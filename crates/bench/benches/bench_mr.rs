@@ -1,0 +1,56 @@
+//! Criterion bench: the MR block solve (Table II left column, as a real
+//! measured kernel) — scalar Schur path, paper parameters Idomain = 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdd_bench::test_operator;
+use qdd_core::mr::{mr_solve_schur, MrConfig};
+use qdd_dirac::block::{DomainFields, SchurOperator};
+use qdd_lattice::{Dims, DomainGrid};
+use qdd_field::spinor::Spinor;
+use qdd_util::rng::Rng64;
+use std::hint::black_box;
+
+fn bench_mr(c: &mut Criterion) {
+    let block = Dims::new(8, 4, 4, 4);
+    let dims = block.times(&Dims::new(2, 2, 2, 2));
+    let op = test_operator(dims, 0.5, 0.2, 11).cast::<f32>();
+    let grid = DomainGrid::new(dims, block);
+    let fields = DomainFields::new(&op).unwrap();
+    let schur = SchurOperator::new(&op, &fields, grid.domain(0));
+    let n = schur.cb_len();
+    let mut rng = Rng64::new(12);
+    let rhs: Vec<Spinor<f32>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+    let mut u = vec![Spinor::ZERO; n];
+    let mut r = vec![Spinor::ZERO; n];
+    let mut q = vec![Spinor::ZERO; n];
+    let mut scratch = vec![Spinor::ZERO; 2 * n];
+    let cfg = MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false };
+
+    let mut group = c.benchmark_group("mr_block_solve_8x4x4x4");
+    // Flop throughput reference: ~5 Schur applications of 1848 flop/site.
+    group.throughput(criterion::Throughput::Elements(
+        (5 * 1848 * block.volume()) as u64,
+    ));
+    group.bench_function("idomain5_f32", |b| {
+        b.iter(|| {
+            let out = mr_solve_schur(
+                &schur,
+                &cfg,
+                &mut u,
+                black_box(&rhs),
+                &mut r,
+                &mut q,
+                &mut scratch,
+            );
+            black_box(out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mr
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the Sec. IV-B1 single-core performance-bound derivation:
+//! FMA fraction -> 82 %, masking -> 93 %, instruction pairing -> 56 %
+//! overall compute efficiency = 18 flop/cycle = ~20 Gflop/s per core.
+//!
+//! Run: `cargo run -p qdd-bench --bin bound --release`
+
+use qdd_machine::chip::ChipSpec;
+use qdd_machine::kernel::{issue_efficiency, wilson_clover_bound, KernelProfile};
+
+fn main() {
+    let chip = ChipSpec::knc_7110p();
+    let p = KernelProfile::schur_operator();
+
+    println!("Sec. IV-B1 bound derivation for the Wilson-Clover kernel\n");
+    println!("peak single-precision:      {:>7.1} Gflop/s/core", chip.peak_sp_gflops_per_core());
+    let fma_eff = 0.5 * (1.0 + p.fma_instr_fraction);
+    println!(
+        "FMA efficiency:             {:>7.1} %   ({}% of compute instructions are FMAs)",
+        100.0 * fma_eff,
+        (100.0 * p.fma_instr_fraction) as u32
+    );
+    println!(
+        "SIMD masking efficiency:    {:>7.1} %   (x: 14/16, y: 12/16 lanes -> ~0.93 combined)",
+        100.0 * p.simd_mask_efficiency
+    );
+    let paired = p.pairing_found * (1.0 - p.compute_instr_fraction);
+    println!(
+        "issue dilution:             {:>7.1} %   ({}% compute instructions, {}% of the rest paired)",
+        100.0 * p.compute_instr_fraction / (1.0 - paired),
+        (100.0 * p.compute_instr_fraction) as u32,
+        (100.0 * p.pairing_found) as u32
+    );
+    let (eff, gflops) = wilson_clover_bound(&chip);
+    println!("\ncombined compute efficiency: {:>6.1} %   (paper: 56 %)", 100.0 * eff);
+    println!(
+        "flop/cycle/core:             {:>6.1}     (paper: 18)",
+        2.0 * chip.simd_f32 as f64 * eff
+    );
+    println!("bound:                       {:>6.1} Gflop/s/core (paper: ~20)", gflops);
+    assert!((issue_efficiency(&p) - eff).abs() < 1e-12);
+}

@@ -1,0 +1,61 @@
+//! Regenerates paper Fig. 5: on-chip strong scaling of the DD
+//! preconditioner from 1 to 60 cores for the three volumes of the figure,
+//! with the load-imbalance plateaus.
+//!
+//! Run: `cargo run -p qdd-bench --bin fig5 --release`
+
+use qdd_lattice::{load, Dims};
+use qdd_machine::onchip::OnChipModel;
+use qdd_machine::workload::paper_block;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    volume: String,
+    ndomain: usize,
+    gflops: Vec<f64>,
+}
+
+fn main() {
+    let model = OnChipModel::paper_setup();
+    let block = paper_block();
+    let volumes = [
+        Dims::new(16, 8, 20, 24),  // ndomain = 60  (100% load at 60 cores)
+        Dims::new(32, 32, 20, 24), // ndomain = 480 (100% load)
+        Dims::new(48, 12, 12, 16), // ndomain = 108 (90% load, Sec. IV-C local volume)
+    ];
+
+    println!("Fig. 5 reproduction: DD preconditioner Gflop/s vs cores");
+    println!("(ISchwarz = 16, Idomain = 5, 8x4x4x4 domains, single/half mix)\n");
+    print!("{:>5}", "cores");
+    for v in &volumes {
+        print!(" {:>16}", format!("{v}"));
+    }
+    println!();
+
+    let mut out = Vec::new();
+    for v in &volumes {
+        let n = load::ndomain(v.volume(), block.volume());
+        out.push(Series {
+            volume: format!("{v}"),
+            ndomain: n,
+            gflops: model.scaling_series(v, &block, 60),
+        });
+    }
+    for c in (0..60).step_by(2).chain([59]) {
+        print!("{:>5}", c + 1);
+        for s in &out {
+            print!(" {:>16.1}", s.gflops[c]);
+        }
+        println!();
+    }
+    println!(
+        "\n60-core loads: {}",
+        out.iter()
+            .map(|s| format!("{} -> {:.0}%", s.volume, 100.0 * load::load_average(s.ndomain, 60)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("Paper: ~450-500 Gflop/s at 60 cores for the full-load volumes.");
+    qdd_bench::write_result("fig5", &out);
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper Fig. 7: KNC-minutes consumed per complete solve, for
+//! the DD and non-DD solvers on all three lattices — the cost metric for
+//! the data-analysis use case (Sec. IV-C3).
+//!
+//! Run: `cargo run -p qdd-bench --bin fig7 --release`
+
+use qdd_machine::multinode::MultiNodeModel;
+use qdd_machine::workload::{all_lattices, rank_layout};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CostPoint {
+    kncs: usize,
+    solver: &'static str,
+    knc_minutes: f64,
+}
+
+fn main() {
+    let model = MultiNodeModel::paper_setup();
+    let mut all = Vec::new();
+
+    for lat in all_lattices() {
+        println!("\n=== {} — cost per solve in KNC-minutes ===", lat.label);
+        println!("{:>6} {:>14}   solver", "KNCs", "KNC-minutes");
+        let mut dd_min = f64::INFINITY;
+        let mut non_min = f64::INFINITY;
+        for &k in &lat.dd_knc_counts {
+            let layout = rank_layout(&lat.dims, k).unwrap();
+            let b = model.dd_solve(&lat.dims, &layout, &lat.dd);
+            let cost = model.knc_minutes(&b);
+            dd_min = dd_min.min(cost);
+            println!("{:>6} {:>14.2}   DD", k, cost);
+            all.push(CostPoint { kncs: k, solver: "dd", knc_minutes: cost });
+        }
+        for &k in &lat.non_dd_knc_counts {
+            let layout = rank_layout(&lat.dims, k).unwrap();
+            let b = model.non_dd_solve(&lat.dims, &layout, &lat.non_dd);
+            let cost = model.knc_minutes(&b);
+            non_min = non_min.min(cost);
+            println!("{:>6} {:>14.2}   non-DD", k, cost);
+            all.push(CostPoint { kncs: k, solver: "non-dd", knc_minutes: cost });
+        }
+        println!(
+            "--> cheapest solve: DD {:.2} vs non-DD {:.2} KNC-minutes ({:.1}x cheaper; paper: ~2x)",
+            dd_min,
+            non_min,
+            non_min / dd_min
+        );
+    }
+    qdd_bench::write_result("fig7", &all);
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper Table II: single-core performance in Gflop/s of the
+//! MR iteration and the full DD method, for single/half precision and the
+//! three prefetch configurations, from the KNC kernel model.
+//!
+//! Run: `cargo run -p qdd-bench --bin table2 --release`
+
+use qdd_machine::chip::ChipSpec;
+use qdd_machine::kernel::{dd_method_rate, mr_iteration_rate, Precision, PrefetchMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: &'static str,
+    mr_single: f64,
+    mr_half: f64,
+    dd_single: f64,
+    dd_half: f64,
+}
+
+fn main() {
+    let chip = ChipSpec::knc_7110p();
+    // Paper Table II values for side-by-side comparison.
+    let paper: [(&str, [f64; 4]); 3] = [
+        ("no software prefetching", [5.4, 7.9, 4.1, 5.9]),
+        ("L1 prefetches", [9.2, 11.8, 5.8, 7.7]),
+        ("L1+L2 prefetches", [9.1, 11.8, 6.3, 8.4]),
+    ];
+
+    println!("Table II reproduction: single-core Gflop/s (model | paper)");
+    println!("{:-<100}", "");
+    println!(
+        "{:<26} | {:>16} | {:>16} | {:>16} | {:>16}",
+        "", "MR single", "MR half", "DD single", "DD half"
+    );
+    let mut rows = Vec::new();
+    for (pf, (label, paper_vals)) in PrefetchMode::ALL.iter().zip(paper.iter()) {
+        let mr_s = mr_iteration_rate(&chip, Precision::Single, *pf);
+        let mr_h = mr_iteration_rate(&chip, Precision::Half, *pf);
+        let dd_s = dd_method_rate(&chip, Precision::Single, *pf, 5);
+        let dd_h = dd_method_rate(&chip, Precision::Half, *pf, 5);
+        println!(
+            "{:<26} | {:>7.1} | {:>6.1} | {:>7.1} | {:>6.1} | {:>7.1} | {:>6.1} | {:>7.1} | {:>6.1}",
+            label, mr_s, paper_vals[0], mr_h, paper_vals[1], dd_s, paper_vals[2], dd_h,
+            paper_vals[3]
+        );
+        rows.push(Row { config: label, mr_single: mr_s, mr_half: mr_h, dd_single: dd_s, dd_half: dd_h });
+    }
+    println!("{:-<100}", "");
+    println!("(left number = this model, right = paper Table II)");
+    qdd_bench::write_result("table2", &rows);
+}

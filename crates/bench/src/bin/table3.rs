@@ -1,0 +1,122 @@
+//! Regenerates paper Table III: strong-scaling details of the DD and
+//! non-DD solvers — time breakdown, per-KNC rates, time-to-solution,
+//! global sums, and network traffic per KNC.
+//!
+//! Run: `cargo run -p qdd-bench --bin table3 --release`
+
+use qdd_machine::multinode::MultiNodeModel;
+use qdd_machine::workload::{lattice_48, lattice_64, rank_layout, Lattice};
+
+fn dd_section(model: &MultiNodeModel, lat: &Lattice, paper: &[(usize, f64, f64, u64, f64)]) {
+    println!(
+        "\n{} DD (m={}, k={}, ISchwarz={}, Idomain={}, {} outer iterations)",
+        lat.label, lat.dd.max_basis, lat.dd.deflate, lat.dd.i_schwarz, lat.dd.i_domain,
+        lat.dd.outer_iterations
+    );
+    println!(
+        "{:>5} {:>8} {:>6} | {:>5} {:>5} {:>5} {:>6} | {:>6} {:>6} {:>5} {:>6} | {:>9} {:>9} | {:>8} {:>10}",
+        "KNCs", "ndomain", "load", "%A", "%M", "%GS", "%other", "A", "M", "GS", "other",
+        "Tflop/s", "time[s]", "#gsums", "comm MB/KNC"
+    );
+    for &kncs in &lat.dd_knc_counts {
+        let layout = rank_layout(&lat.dims, kncs).unwrap();
+        let b = model.dd_solve(&lat.dims, &layout, &lat.dd);
+        println!(
+            "{:>5} {:>8} {:>5.0}% | {:>5.1} {:>5.1} {:>5.1} {:>6.1} | {:>6.0} {:>6.0} {:>5.0} {:>6.0} | {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+            b.kncs, b.ndomain, 100.0 * b.load, b.pct[0], b.pct[1], b.pct[2], b.pct[3],
+            b.gflops_knc[0], b.gflops_knc[1], b.gflops_knc[2], b.gflops_knc[3],
+            b.total_tflops, b.total_time_s, b.global_sums, b.comm_mb_per_knc
+        );
+        if let Some((_, p_time, p_tflops, p_sums, p_comm)) =
+            paper.iter().find(|(k, ..)| *k == kncs)
+        {
+            println!(
+                "{:>5}  paper:{:>58} | {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+                "", "", p_tflops, p_time, p_sums, p_comm
+            );
+        }
+        qdd_bench::write_result(&format!("table3_{}_{}knc", lat.label.replace('^', ""), kncs), &b);
+    }
+}
+
+fn main() {
+    let model = MultiNodeModel::paper_setup();
+
+    println!("Table III reproduction (model rows, with paper reference rows where given)");
+    println!("Columns: per-component % of time, Gflop/s per KNC, total sustained Tflop/s,");
+    println!("time-to-solution, number of global sums, network traffic per KNC.");
+
+    // Paper reference: (KNCs, time, total Tflop/s, #gsums, comm MB/KNC).
+    let paper48: Vec<(usize, f64, f64, u64, f64)> = vec![
+        (24, 35.4, 6.3, 423, 15593.0),
+        (32, 28.6, 7.8, 423, 13156.0),
+        (64, 15.9, 14.0, 423, 8040.0),
+        (128, 10.3, 21.6, 423, 5116.0),
+    ];
+    let paper64: Vec<(usize, f64, f64, u64, f64)> = vec![
+        (64, 3.34, 17.1, 27, 488.0),
+        (128, 2.3, 25.3, 27, 293.0),
+        (256, 1.22, 46.8, 27, 171.0),
+        (512, 0.91, 62.7, 27, 98.0),
+        (1024, 0.65, 88.4, 27, 61.0),
+    ];
+
+    let lat48 = lattice_48();
+    dd_section(&model, &lat48, &paper48);
+    let lat64 = lattice_64();
+    dd_section(&model, &lat64, &paper64);
+
+    // Non-DD sections.
+    println!("\n{} non-DD (double-precision BiCGstab, ~{} iterations)", lat48.label, lat48.non_dd.iterations);
+    println!(
+        "{:>5} | {:>9} {:>9} | {:>8} {:>10}",
+        "KNCs", "Tflop/s", "time[s]", "#gsums", "comm MB/KNC"
+    );
+    let paper48_non: Vec<(usize, f64, f64, u64, f64)> = vec![
+        (12, 168.5, 0.82, 23907, 188272.0),
+        (24, 101.4, 1.36, 23887, 115556.0),
+        (36, 78.4, 1.77, 24012, 91848.0),
+        (72, 55.9, 2.46, 23802, 48200.0),
+        (144, 51.4, 2.66, 23642, 26598.0),
+    ];
+    for &kncs in &lat48.non_dd_knc_counts {
+        let layout = rank_layout(&lat48.dims, kncs).unwrap();
+        let b = model.non_dd_solve(&lat48.dims, &layout, &lat48.non_dd);
+        println!(
+            "{:>5} | {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+            b.kncs, b.total_tflops, b.total_time_s, b.global_sums, b.comm_mb_per_knc
+        );
+        if let Some((_, p_time, p_tflops, p_sums, p_comm)) =
+            paper48_non.iter().find(|(k, ..)| *k == kncs)
+        {
+            println!(
+                "{:>5}  paper: {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+                "", p_tflops, p_time, p_sums, p_comm
+            );
+        }
+    }
+
+    println!("\n{} non-DD (mixed-precision Richardson/BiCGstab, ~{} inner iterations)", lat64.label, lat64.non_dd.iterations);
+    let paper64_non: Vec<(usize, f64, f64, u64, f64)> = vec![
+        (64, 6.1, 6.3, 1408, 2500.0),
+        (128, 3.2, 11.7, 1353, 1314.0),
+        (256, 2.9, 14.1, 1473, 948.0),
+    ];
+    for &kncs in &lat64.non_dd_knc_counts {
+        let layout = rank_layout(&lat64.dims, kncs).unwrap();
+        let b = model.non_dd_solve(&lat64.dims, &layout, &lat64.non_dd);
+        println!(
+            "{:>5} | {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+            b.kncs, b.total_tflops, b.total_time_s, b.global_sums, b.comm_mb_per_knc
+        );
+        if let Some((_, p_time, p_tflops, p_sums, p_comm)) =
+            paper64_non.iter().find(|(k, ..)| *k == kncs)
+        {
+            println!(
+                "{:>5}  paper: {:>9.1} {:>9.1} | {:>8} {:>10.0}",
+                "", p_tflops, p_time, p_sums, p_comm
+            );
+        }
+    }
+    println!("\n(Paper reference rows show: total Tflop/s, time, #global-sums, comm MB/KNC.)");
+}

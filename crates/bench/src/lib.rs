@@ -1,0 +1,58 @@
+//! Shared helpers for the experiment regenerators and criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index); results are printed as aligned text and
+//! optionally dumped as JSON under `results/`.
+
+use qdd_dirac::clover::build_clover_field;
+use qdd_dirac::gamma::GammaBasis;
+use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
+use qdd_field::fields::{GaugeField, SpinorField};
+use qdd_lattice::Dims;
+use qdd_util::rng::Rng64;
+
+/// Standard synthetic test operator: random SU(3) gauge field with the
+/// given roughness, clover csw = 1.5, antiperiodic t.
+pub fn test_operator(dims: Dims, spread: f64, mass: f64, seed: u64) -> WilsonClover<f64> {
+    let mut rng = Rng64::new(seed);
+    let gauge = GaugeField::random(dims, &mut rng, spread);
+    let basis = GammaBasis::degrand_rossi();
+    let clover = build_clover_field(&gauge, 1.5, &basis);
+    WilsonClover::new(gauge, clover, mass, BoundaryPhases::antiperiodic_t())
+}
+
+/// Random right-hand side.
+pub fn test_source(dims: Dims, seed: u64) -> SpinorField<f64> {
+    let mut rng = Rng64::new(seed);
+    SpinorField::random(dims, &mut rng)
+}
+
+/// Write a JSON result file under `results/` (best effort).
+pub fn write_result(name: &str, value: &impl serde::Serialize) {
+    let _ = std::fs::create_dir_all("results");
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(format!("results/{name}.json"), s);
+    }
+}
+
+/// Format a ratio as a "paper vs model" agreement string.
+pub fn agreement(model: f64, paper: f64) -> String {
+    format!("{:>8.2} vs {:>8.2} (x{:.2})", model, paper, model / paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_operator_is_well_formed() {
+        let op = test_operator(Dims::new(4, 4, 4, 4), 0.5, 0.2, 1);
+        assert_eq!(op.gauge().max_unitarity_error() < 1e-10, true);
+    }
+
+    #[test]
+    fn agreement_formats() {
+        let s = agreement(10.0, 5.0);
+        assert!(s.contains("x2.00"));
+    }
+}

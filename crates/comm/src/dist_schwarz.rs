@@ -1,0 +1,363 @@
+//! The distributed multiplicative Schwarz preconditioner.
+//!
+//! Per rank: sweep the *globally* two-colored domain grid; after each
+//! half-sweep, exchange only the boundary data owned by the just-updated
+//! color (half of each face). Over one full Schwarz iteration this moves
+//! exactly one face worth of half-spinors — versus one exchange per
+//! operator application for a non-DD solver, i.e. the communication
+//! reduction by roughly `Idomain` block iterations that Sec. II-D argues
+//! for.
+//!
+//! Domain colors must be *global*: with an odd number of domains per rank
+//! the checkerboard phase alternates from rank to rank, and using local
+//! colors would put adjacent domains in the same half-sweep.
+
+use crate::runtime::{HaloScalar, RankCtx};
+use qdd_core::mr::MrConfig;
+use qdd_core::schwarz::{schwarz_block_update, SchwarzConfig};
+use qdd_dirac::block::{DomainFields, SchurOperator};
+use qdd_dirac::boundary::{pack_for_backward_hop, pack_for_forward_hop};
+use qdd_dirac::wilson::WilsonClover;
+use qdd_field::fields::SpinorField;
+use qdd_field::halo::{face_index, HaloData};
+use qdd_field::spinor::HalfSpinor;
+use qdd_lattice::{Dir, DomainColor, DomainGrid, Parity, SiteIndexer};
+use qdd_util::stats::{Component, SolveStats};
+
+/// One rank's Schwarz preconditioner.
+pub struct DistSchwarz<'a, T: HaloScalar> {
+    ctx: &'a RankCtx<'a>,
+    op: &'a WilsonClover<T>,
+    fields: DomainFields<T>,
+    grid: DomainGrid,
+    cfg: SchwarzConfig,
+    /// Domain indices per *global* color.
+    colors: [Vec<usize>; 2],
+    /// `face_color[d][o][k]`: global color of the domain owning face site
+    /// `k` of our face `o` (0 = backward, coord 0; 1 = forward, coord L-1)
+    /// in direction `d`.
+    face_color: [[Vec<DomainColor>; 2]; 4],
+}
+
+impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
+    pub fn new(ctx: &'a RankCtx<'a>, op: &'a WilsonClover<T>, cfg: SchwarzConfig) -> Option<Self> {
+        let local = *op.dims();
+        assert_eq!(&local, ctx.grid().local(), "operator must be rank-local");
+        let grid = DomainGrid::new(local, cfg.block);
+        assert!(!cfg.additive, "the distributed path implements the multiplicative method");
+
+        // Global color parity offset of this rank.
+        let rc = ctx.grid().rank_coord(ctx.rank());
+        let mut offset = 0usize;
+        for d in Dir::ALL {
+            let doms_per_rank = local[d] / cfg.block[d];
+            // Global domain-grid extent must be even in split directions so
+            // the checkerboard closes around the torus.
+            let global_doms = ctx.grid().grid()[d] * doms_per_rank;
+            assert!(
+                global_doms % 2 == 0 || global_doms == 1,
+                "global domain count in {d} is odd ({global_doms}): two-coloring impossible"
+            );
+            offset += rc[d] * doms_per_rank;
+        }
+        let flip = offset % 2 == 1;
+        let global_color = |local_color: DomainColor| {
+            if flip {
+                local_color.flip()
+            } else {
+                local_color
+            }
+        };
+
+        let mut colors = [Vec::new(), Vec::new()];
+        for dom in grid.domains() {
+            colors[global_color(dom.color) as usize].push(dom.index);
+        }
+
+        // Face-site colors.
+        let idx = SiteIndexer::new(local);
+        let face_color: [[Vec<DomainColor>; 2]; 4] = std::array::from_fn(|d| {
+            let dir = Dir::from_index(d);
+            std::array::from_fn(|o| {
+                let fixed = if o == 1 { local[dir] - 1 } else { 0 };
+                let mut v = vec![DomainColor::Black; local.face_area(dir)];
+                for c in idx.iter().filter(|c| c[dir] == fixed) {
+                    let (dom_idx, _) = grid.locate(&c);
+                    v[face_index(&local, dir, &c)] = global_color(grid.domain(dom_idx).color);
+                }
+                v
+            })
+        });
+
+        let fields = DomainFields::new(op)?;
+        Some(Self { ctx, op, fields, grid, cfg, colors, face_color })
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &DomainGrid {
+        &self.grid
+    }
+
+    #[inline]
+    pub fn config(&self) -> &SchwarzConfig {
+        &self.cfg
+    }
+
+    /// Exchange the boundary data of the just-updated `color`: masked
+    /// subsets of every face, merged into the halo.
+    fn exchange_color(
+        &self,
+        u: &SpinorField<T>,
+        halo: &mut HaloData<T>,
+        color: DomainColor,
+        stats: &mut SolveStats,
+    ) {
+        let local = *self.op.dims();
+        // Post sends.
+        for dir in Dir::ALL {
+            let sign_fwd =
+                if self.ctx.at_global_backward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
+            let sign_bwd =
+                if self.ctx.at_global_forward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
+            // Backward face (o = 0), masked by the updated color.
+            let full = pack_for_forward_hop(self.op, u, dir, sign_fwd);
+            let masked: Vec<HalfSpinor<T>> = full
+                .data
+                .iter()
+                .zip(&self.face_color[dir.index()][0])
+                .filter(|(_, c)| **c == color)
+                .map(|(h, _)| *h)
+                .collect();
+            self.ctx.send_face(dir, false, masked);
+            // Forward face (o = 1).
+            let full = pack_for_backward_hop(self.op, u, dir, sign_bwd);
+            let masked: Vec<HalfSpinor<T>> = full
+                .data
+                .iter()
+                .zip(&self.face_color[dir.index()][1])
+                .filter(|(_, c)| **c == color)
+                .map(|(h, _)| *h)
+                .collect();
+            self.ctx.send_face(dir, true, masked);
+        }
+        // Receive and merge.
+        for dir in Dir::ALL {
+            // halo.face(dir, true) entries mirror the *forward* neighbor's
+            // backward face; its site colors are the flip of our forward
+            // face's colors at the same face positions.
+            for (forward, own_face) in [(true, 1usize), (false, 0usize)] {
+                let data = self.ctx.recv_face::<T>(dir, forward);
+                let mask = &self.face_color[dir.index()][own_face];
+                let positions: Vec<usize> = (0..local.face_area(dir))
+                    .filter(|&k| mask[k].flip() == color)
+                    .collect();
+                assert_eq!(
+                    data.len(),
+                    positions.len(),
+                    "partial-face exchange misaligned ({dir}, fwd={forward})"
+                );
+                let buf = halo.face_mut(dir, forward);
+                for (h, &k) in data.into_iter().zip(&positions) {
+                    buf.data[k] = h;
+                }
+            }
+        }
+        // Account traffic to the preconditioner.
+        let bytes: f64 = Dir::ALL
+            .iter()
+            .filter(|d| self.ctx.is_split(**d))
+            .map(|&d| {
+                let n_fwd =
+                    self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
+                let n_bwd =
+                    self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
+                ((n_fwd + n_bwd) * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
+            })
+            .sum();
+        stats.add_comm_bytes(Component::PreconditionerM, bytes);
+    }
+
+    /// Apply the preconditioner: `u ~= A^-1 f` on this rank's sub-volume,
+    /// collaborating with all other ranks.
+    pub fn apply(&self, f: &SpinorField<T>, stats: &mut SolveStats) -> SpinorField<T> {
+        let local = *self.op.dims();
+        assert_eq!(*f.dims(), local);
+        let mut u = SpinorField::<T>::zeros(local);
+        let mut halo_u = HaloData::<T>::zeros(local);
+        let mut flops = 0.0;
+
+        for sweep in 0..self.cfg.i_schwarz {
+            for color in DomainColor::ALL {
+                for &dom_idx in &self.colors[color as usize] {
+                    let schur =
+                        SchurOperator::new(self.op, &self.fields, self.grid.domain(dom_idx));
+                    let au = |g: usize| {
+                        self.op.apply_site_with_halo_fetch(g, |i| *u.site(i), &halo_u)
+                    };
+                    let (z_e, z_o, fl) =
+                        schwarz_block_update(&schur, &self.cfg.mr, f, au);
+                    schur.scatter_add_cb(&mut u, &z_e, Parity::Even);
+                    schur.scatter_add_cb(&mut u, &z_o, Parity::Odd);
+                    flops += fl;
+                }
+                // Boundary data of the updated color feeds the next
+                // half-sweep; the very last exchange is not needed.
+                let last = sweep + 1 == self.cfg.i_schwarz && color == DomainColor::White;
+                if !last {
+                    self.exchange_color(&u, &mut halo_u, color, stats);
+                }
+            }
+        }
+        stats.add_flops(Component::PreconditionerM, flops);
+        u
+    }
+
+    /// MR configuration in use.
+    pub fn mr_config(&self) -> &MrConfig {
+        &self.cfg.mr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_spmd, CommWorld};
+    use crate::scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};
+    use qdd_core::schwarz::SchwarzPreconditioner;
+    use qdd_dirac::clover::build_clover_field;
+    use qdd_dirac::gamma::GammaBasis;
+    use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::{Dims, RankGrid};
+    use qdd_util::rng::Rng64;
+
+    fn schwarz_cfg(block: Dims, sweeps: usize) -> SchwarzConfig {
+        SchwarzConfig {
+            block,
+            i_schwarz: sweeps,
+            mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+            additive: false,
+        }
+    }
+
+    /// Distributed Schwarz must reproduce the single-rank preconditioner
+    /// bitwise (all block arithmetic is identical; only data movement
+    /// differs).
+    fn check_dist_schwarz(rank_dims: Dims, block: Dims, sweeps: usize) {
+        let global_dims = Dims::new(8, 8, 8, 8);
+        let grid = RankGrid::new(global_dims, rank_dims);
+        let mut rng = Rng64::new(31);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.6);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.5, &basis);
+        let phases = BoundaryPhases::antiperiodic_t();
+        let global_op = WilsonClover::new(gauge.clone(), clover.clone(), 0.2, phases);
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+
+        // Serial reference.
+        let pre = SchwarzPreconditioner::new(
+            WilsonClover::new(gauge.clone(), clover.clone(), 0.2, phases),
+            schwarz_cfg(block, sweeps),
+        )
+        .unwrap();
+        let mut st = SolveStats::new();
+        let expect = pre.apply(&f, &mut st);
+
+        // Distributed.
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+        let world = CommWorld::new(grid.clone());
+        let results = run_spmd(&world, |ctx| {
+            let r = ctx.rank();
+            let op = WilsonClover::new(
+                local_gauge[r].clone(),
+                local_clover[r].clone(),
+                0.2,
+                phases,
+            );
+            let pre = DistSchwarz::new(ctx, &op, schwarz_cfg(block, sweeps)).unwrap();
+            let mut stats = SolveStats::new();
+            let u = pre.apply(&f_local[r], &mut stats);
+            (u, stats.comm_bytes(Component::PreconditionerM))
+        });
+        let locals: Vec<SpinorField<f64>> = results.iter().map(|r| r.0.clone()).collect();
+        let got = gather_field(&locals, &grid);
+        assert_eq!(
+            got.as_slice(),
+            expect.as_slice(),
+            "distributed Schwarz diverged from serial (ranks {rank_dims})"
+        );
+        results
+    .iter()
+            .for_each(|(_, bytes)| assert!(*bytes > 0.0, "no preconditioner traffic counted"));
+    }
+
+    #[test]
+    fn matches_serial_2ranks_even_domains() {
+        // 2 ranks in t; 8x8x8x4 local; 4^4 blocks: 2 domains per dir.
+        check_dist_schwarz(Dims::new(1, 1, 1, 2), Dims::new(4, 4, 4, 4), 2);
+    }
+
+    #[test]
+    fn matches_serial_4ranks_xy() {
+        check_dist_schwarz(Dims::new(2, 2, 1, 1), Dims::new(4, 4, 4, 4), 3);
+    }
+
+    #[test]
+    fn matches_serial_odd_domains_per_rank() {
+        // 2 ranks in x, 4x8x8x8 local with 4^4 blocks: ONE domain per rank
+        // in x — the global-coloring correction is exercised here.
+        check_dist_schwarz(Dims::new(2, 1, 1, 1), Dims::new(4, 4, 4, 4), 2);
+    }
+
+    #[test]
+    fn matches_serial_16ranks() {
+        check_dist_schwarz(Dims::new(2, 2, 2, 2), Dims::new(4, 4, 4, 4), 2);
+    }
+
+    #[test]
+    fn schwarz_traffic_less_than_operator_equivalent() {
+        // One Schwarz iteration moves one face worth of data; Idomain MR
+        // iterations inside would have cost Idomain exchanges in a non-DD
+        // scheme. Check the per-iteration traffic equals one full halo.
+        let global_dims = Dims::new(8, 8, 8, 8);
+        let grid = RankGrid::new(global_dims, Dims::new(2, 1, 1, 1));
+        let mut rng = Rng64::new(32);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.2, &basis);
+        let phases = BoundaryPhases::periodic();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+        let world = CommWorld::new(grid.clone());
+        let sweeps = 4;
+        let results = run_spmd(&world, |ctx| {
+            let r = ctx.rank();
+            let op = WilsonClover::new(
+                local_gauge[r].clone(),
+                local_clover[r].clone(),
+                0.2,
+                phases,
+            );
+            let pre =
+                DistSchwarz::new(ctx, &op, schwarz_cfg(Dims::new(4, 4, 4, 4), sweeps)).unwrap();
+            let mut stats = SolveStats::new();
+            let _ = pre.apply(&f_local[r], &mut stats);
+            stats.comm_bytes(Component::PreconditionerM)
+        });
+        // Full halo of the split (x) direction: 2 faces x 8*8*8 sites x
+        // 96 bytes; per full iteration one such exchange; the final
+        // half-exchange is skipped.
+        let full_halo = 2.0 * 512.0 * 96.0;
+        let expect = full_halo * sweeps as f64 - full_halo / 2.0;
+        for bytes in results {
+            assert!(
+                (bytes - expect).abs() < 1e-9,
+                "bytes {bytes} vs expected {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! SPMD runtime: ranks as threads, neighbor channels, deterministic
+//! collectives, traffic counters.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use qdd_field::spinor::HalfSpinor;
+use qdd_lattice::{Dir, RankGrid};
+use qdd_util::complex::Real;
+use std::cell::Cell;
+use std::sync::Barrier;
+
+/// Message payload: one face worth of half-spinors, in either precision.
+pub enum Payload {
+    F32(Vec<HalfSpinor<f32>>),
+    F64(Vec<HalfSpinor<f64>>),
+}
+
+/// Precision dispatch for payloads.
+pub trait HaloScalar: Real {
+    fn wrap(data: Vec<HalfSpinor<Self>>) -> Payload;
+    fn unwrap(p: Payload) -> Vec<HalfSpinor<Self>>;
+}
+
+impl HaloScalar for f32 {
+    fn wrap(data: Vec<HalfSpinor<f32>>) -> Payload {
+        Payload::F32(data)
+    }
+    fn unwrap(p: Payload) -> Vec<HalfSpinor<f32>> {
+        match p {
+            Payload::F32(d) => d,
+            Payload::F64(_) => panic!("payload precision mismatch: expected f32"),
+        }
+    }
+}
+
+impl HaloScalar for f64 {
+    fn wrap(data: Vec<HalfSpinor<f64>>) -> Payload {
+        Payload::F64(data)
+    }
+    fn unwrap(p: Payload) -> Vec<HalfSpinor<f64>> {
+        match p {
+            Payload::F64(d) => d,
+            Payload::F32(_) => panic!("payload precision mismatch: expected f64"),
+        }
+    }
+}
+
+/// Deterministic all-reduce: every rank deposits a partial vector, all
+/// ranks reduce in fixed rank order (bit-reproducible independent of
+/// thread scheduling).
+pub struct Collective {
+    slots: Vec<Mutex<Vec<f64>>>,
+    barrier: Barrier,
+    parties: usize,
+}
+
+impl Collective {
+    pub fn new(parties: usize) -> Self {
+        Self {
+            slots: (0..parties).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: Barrier::new(parties),
+            parties,
+        }
+    }
+
+    /// All ranks must call with vectors of identical length.
+    pub fn all_sum(&self, rank: usize, vals: &[f64]) -> Vec<f64> {
+        *self.slots[rank].lock() = vals.to_vec();
+        self.barrier.wait();
+        let mut acc = vec![0.0; vals.len()];
+        for r in 0..self.parties {
+            let slot = self.slots[r].lock();
+            assert_eq!(slot.len(), vals.len(), "collective length mismatch");
+            for (a, v) in acc.iter_mut().zip(slot.iter()) {
+                *a += v;
+            }
+        }
+        // Second barrier: nobody may overwrite a slot before all have read.
+        self.barrier.wait();
+        acc
+    }
+}
+
+/// Per-rank communication counters.
+#[derive(Default)]
+pub struct CommCounters {
+    /// Bytes actually sent over the (simulated) network.
+    pub bytes_sent: Cell<f64>,
+    /// Number of point-to-point messages sent.
+    pub messages_sent: Cell<u64>,
+    /// Number of collective reductions participated in.
+    pub reductions: Cell<u64>,
+}
+
+/// One rank's endpoint: channels to/from its eight neighbors plus the
+/// collective.
+pub struct RankCtx<'w> {
+    rank: usize,
+    grid: &'w RankGrid,
+    /// `rx[d][o]` receives from `neighbor(rank, d, o == 1)`.
+    rx: [[Receiver<Payload>; 2]; 4],
+    /// `tx[d][o]` sends to `neighbor(rank, d, o == 1)`.
+    tx: [[Sender<Payload>; 2]; 4],
+    collective: &'w Collective,
+    pub counters: CommCounters,
+}
+
+impl<'w> RankCtx<'w> {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &RankGrid {
+        self.grid
+    }
+
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.grid.num_ranks()
+    }
+
+    /// True if halos in `dir` cross the network (more than one rank).
+    #[inline]
+    pub fn is_split(&self, dir: Dir) -> bool {
+        self.grid.is_split(dir)
+    }
+
+    /// Send one face to the neighbor in `(dir, forward)`. Traffic is
+    /// counted only when the neighbor is a different rank.
+    pub fn send_face<T: HaloScalar>(&self, dir: Dir, forward: bool, data: Vec<HalfSpinor<T>>) {
+        if self.is_split(dir) {
+            let bytes = (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+            self.counters.bytes_sent.set(self.counters.bytes_sent.get() + bytes);
+            self.counters.messages_sent.set(self.counters.messages_sent.get() + 1);
+        }
+        self.tx[dir.index()][forward as usize]
+            .send(T::wrap(data))
+            .expect("peer rank hung up");
+    }
+
+    /// Receive one face from the neighbor in `(dir, forward)` (blocking).
+    pub fn recv_face<T: HaloScalar>(&self, dir: Dir, forward: bool) -> Vec<HalfSpinor<T>> {
+        let p = self.rx[dir.index()][forward as usize]
+            .recv()
+            .expect("peer rank hung up");
+        T::unwrap(p)
+    }
+
+    /// Deterministic global sum of a small vector of reals.
+    pub fn all_sum(&self, vals: &[f64]) -> Vec<f64> {
+        self.counters.reductions.set(self.counters.reductions.get() + 1);
+        self.collective.all_sum(self.rank, vals)
+    }
+
+    /// Rank coordinate helpers for boundary-phase decisions.
+    pub fn at_global_backward_edge(&self, dir: Dir) -> bool {
+        self.grid.rank_coord(self.rank)[dir] == 0
+    }
+
+    pub fn at_global_forward_edge(&self, dir: Dir) -> bool {
+        self.grid.rank_coord(self.rank)[dir] == self.grid.grid()[dir] - 1
+    }
+}
+
+/// The communication world: construct once, then run an SPMD closure on
+/// every rank.
+pub struct CommWorld {
+    grid: RankGrid,
+}
+
+impl CommWorld {
+    pub fn new(grid: RankGrid) -> Self {
+        Self { grid }
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &RankGrid {
+        &self.grid
+    }
+}
+
+/// Run `body` on every rank concurrently; returns the per-rank results in
+/// rank order. `body` must follow SPMD discipline: all ranks make the same
+/// sequence of collective calls.
+pub fn run_spmd<R: Send>(
+    world: &CommWorld,
+    body: impl Fn(&RankCtx<'_>) -> R + Sync,
+) -> Vec<R> {
+    let grid = &world.grid;
+    let n = grid.num_ranks();
+    let collective = Collective::new(n);
+
+    // Wire channels: for each (receiver rank, dir, orientation) one channel;
+    // the sender is neighbor(receiver, dir, o), who addresses it through
+    // its own tx[d][!o].
+    let mut rx_slots: Vec<Vec<Option<Receiver<Payload>>>> = (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
+    let mut tx_slots: Vec<Vec<Option<Sender<Payload>>>> = (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
+    for r in 0..n {
+        for d in 0..4 {
+            for o in 0..2 {
+                let (s, rcv) = unbounded();
+                rx_slots[r][2 * d + o] = Some(rcv);
+                // Sender: the neighbor in (d, o); it sends via tx[d][!o].
+                let nb = grid.neighbor_rank(r, Dir::from_index(d), o == 1);
+                tx_slots[nb][2 * d + (1 - o)] = Some(s);
+            }
+        }
+    }
+
+    let mut ctxs: Vec<RankCtx<'_>> = Vec::with_capacity(n);
+    for (r, (rx_row, tx_row)) in rx_slots.into_iter().zip(tx_slots).enumerate() {
+        let mut rx_iter = rx_row.into_iter();
+        let rx: [[Receiver<Payload>; 2]; 4] = std::array::from_fn(|_| {
+            std::array::from_fn(|_| rx_iter.next().unwrap().unwrap())
+        });
+        let mut tx_iter = tx_row.into_iter();
+        let tx: [[Sender<Payload>; 2]; 4] = std::array::from_fn(|_| {
+            std::array::from_fn(|_| tx_iter.next().unwrap().unwrap())
+        });
+        ctxs.push(RankCtx {
+            rank: r,
+            grid,
+            rx,
+            tx,
+            collective: &collective,
+            counters: CommCounters::default(),
+        });
+    }
+
+    let body = &body;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for ctx in ctxs {
+            // Each context is moved into exactly one thread; the cheap
+            // Cell-based counters therefore never cross threads.
+            handles.push(s.spawn(move |_| body(&ctx)));
+        }
+        for (r, h) in handles.into_iter().enumerate() {
+            results[r] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("spmd scope failed");
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_lattice::Dims;
+
+    fn world_2x1x1x2() -> CommWorld {
+        CommWorld::new(RankGrid::new(Dims::new(8, 4, 4, 8), Dims::new(2, 1, 1, 2)))
+    }
+
+    #[test]
+    fn all_sum_is_deterministic_and_correct() {
+        let world = world_2x1x1x2();
+        let sums = run_spmd(&world, |ctx| {
+            let mine = vec![ctx.rank() as f64 + 1.0, 0.5];
+            ctx.all_sum(&mine)
+        });
+        // 4 ranks: sum of 1+2+3+4 = 10; 4 * 0.5 = 2.
+        for s in &sums {
+            assert_eq!(s[0], 10.0);
+            assert_eq!(s[1], 2.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_interleave() {
+        let world = world_2x1x1x2();
+        let results = run_spmd(&world, |ctx| {
+            let mut acc = Vec::new();
+            for round in 0..20 {
+                let s = ctx.all_sum(&[round as f64]);
+                acc.push(s[0]);
+            }
+            acc
+        });
+        for r in &results {
+            for (round, v) in r.iter().enumerate() {
+                assert_eq!(*v, 4.0 * round as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn face_messages_route_between_neighbors() {
+        let world = world_2x1x1x2();
+        let grid = world.grid().clone();
+        run_spmd(&world, |ctx| {
+            // Send my rank id encoded in a half-spinor to my forward-x
+            // neighbor; expect to receive from my backward-x neighbor.
+            let mut h = HalfSpinor::<f64>::ZERO;
+            h.0[0].0[0] = qdd_util::complex::Complex::real(ctx.rank() as f64);
+            ctx.send_face(Dir::X, true, vec![h]);
+            let got = ctx.recv_face::<f64>(Dir::X, false);
+            let expect = grid.neighbor_rank(ctx.rank(), Dir::X, false) as f64;
+            assert_eq!(got[0].0[0].0[0].re, expect);
+        });
+    }
+
+    #[test]
+    fn traffic_counted_only_for_split_directions() {
+        let world = world_2x1x1x2();
+        let counters = run_spmd(&world, |ctx| {
+            // Y is unsplit: self-message, no bytes. X is split: bytes.
+            ctx.send_face(Dir::Y, true, vec![HalfSpinor::<f32>::ZERO; 10]);
+            let _ = ctx.recv_face::<f32>(Dir::Y, false);
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f32>::ZERO; 10]);
+            let _ = ctx.recv_face::<f32>(Dir::X, false);
+            (ctx.counters.bytes_sent.get(), ctx.counters.messages_sent.get())
+        });
+        for (bytes, msgs) in counters {
+            assert_eq!(bytes, 10.0 * 12.0 * 4.0);
+            assert_eq!(msgs, 1);
+        }
+    }
+
+    #[test]
+    fn edge_detection() {
+        let world = world_2x1x1x2();
+        let flags = run_spmd(&world, |ctx| {
+            (
+                ctx.at_global_backward_edge(Dir::X),
+                ctx.at_global_forward_edge(Dir::X),
+                ctx.at_global_backward_edge(Dir::Y),
+                ctx.at_global_forward_edge(Dir::Y),
+            )
+        });
+        // Y has a single rank: both edges at once.
+        for (_, _, by, fy) in &flags {
+            assert!(by & fy);
+        }
+        // X: exactly half the ranks at each edge.
+        assert_eq!(flags.iter().filter(|f| f.0).count(), 2);
+        assert_eq!(flags.iter().filter(|f| f.1).count(), 2);
+    }
+}

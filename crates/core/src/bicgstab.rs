@@ -1,0 +1,222 @@
+//! BiCGstab — the standard (non-DD) Krylov solver used as the paper's
+//! baseline (Table III: "double-precision BiCGstab", from the KNC code of
+//! Ref. \[1\] extended with the Clover term).
+//!
+//! Per iteration: two operator applications and four global reductions —
+//! exactly the communication profile that makes the non-DD solver stall
+//! in the strong-scaling limit (Sec. IV-C2).
+
+use crate::fgmres_dr::SolveOutcome;
+use crate::system::SystemOps;
+use qdd_field::fields::SpinorField;
+use qdd_util::complex::{Complex, Real};
+use qdd_util::stats::{Component, SolveStats};
+
+/// BiCGstab parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct BiCgStabConfig {
+    pub tolerance: f64,
+    pub max_iterations: usize,
+}
+
+impl Default for BiCgStabConfig {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 50_000 }
+    }
+}
+
+/// Solve `A x = f` from `x0 = 0` by BiCGstab. Returns the solution and
+/// outcome; on breakdown the outcome reports `converged = false` with the
+/// residual reached.
+pub fn bicgstab<T: Real, S: SystemOps<T>>(
+    sys: &S,
+    f: &SpinorField<T>,
+    cfg: &BiCgStabConfig,
+    stats: &mut SolveStats,
+) -> (SpinorField<T>, SolveOutcome) {
+    let dims = *f.dims();
+    let vol = dims.volume() as f64;
+    let l1 = 96.0 * vol;
+
+    let mut outcome = SolveOutcome {
+        converged: false,
+        iterations: 0,
+        cycles: 1,
+        relative_residual: 1.0,
+        history: Vec::new(),
+    };
+
+    let f_norm_sqr = sys.norm_sqr(f, stats).to_f64();
+    let mut x = SpinorField::<T>::zeros(dims);
+    if f_norm_sqr == 0.0 {
+        outcome.converged = true;
+        outcome.relative_residual = 0.0;
+        return (x, outcome);
+    }
+    let tol_sqr = cfg.tolerance * cfg.tolerance * f_norm_sqr;
+
+    // r = f - A*0 = f ; r_hat = r (shadow residual).
+    let mut r = f.clone();
+    let r_hat = f.clone();
+    let mut p = SpinorField::<T>::zeros(dims);
+    let mut v = SpinorField::<T>::zeros(dims);
+    let mut t = SpinorField::<T>::zeros(dims);
+    let mut s = SpinorField::<T>::zeros(dims);
+
+    let mut rho_old = Complex::<T>::ONE;
+    let mut alpha = Complex::<T>::ONE;
+    let mut omega = Complex::<T>::ONE;
+    let mut first = true;
+
+    while outcome.iterations < cfg.max_iterations {
+        let rho = sys.dot(&r_hat, &r, stats);
+        stats.add_flops(Component::Other, l1);
+        if rho.abs().to_f64() == 0.0 {
+            break; // breakdown
+        }
+        if first {
+            p.copy_from(&r);
+            first = false;
+        } else {
+            let beta = (rho / rho_old) * (alpha / omega);
+            // p = r + beta (p - omega v)
+            p.axpy(-omega, &v);
+            p.xpay(&r, beta);
+            stats.add_flops(Component::Other, 2.0 * l1);
+        }
+        sys.apply(&mut v, &p, stats);
+        let rhv = sys.dot(&r_hat, &v, stats);
+        stats.add_flops(Component::Other, l1);
+        if rhv.abs().to_f64() == 0.0 {
+            break;
+        }
+        alpha = rho / rhv;
+        // s = r - alpha v
+        s.copy_from(&r);
+        s.axpy(-alpha, &v);
+        stats.add_flops(Component::Other, l1);
+        sys.apply(&mut t, &s, stats);
+        // omega = <t, s> / <t, t>  (two dots, batched into one reduction)
+        let (ts, tt) = sys.dot_and_norm(&t, &s, stats);
+        stats.add_flops(Component::Other, 2.0 * l1);
+        if tt.to_f64() == 0.0 {
+            // s is already the exact correction direction's residual.
+            x.axpy(alpha, &p);
+            r.copy_from(&s);
+            outcome.iterations += 1;
+            let rn = r.norm_sqr().to_f64();
+            outcome.history.push((rn / f_norm_sqr).sqrt());
+            break;
+        }
+        omega = ts.scale(T::ONE / tt);
+        // x += alpha p + omega s
+        x.axpy(alpha, &p);
+        x.axpy(omega, &s);
+        // r = s - omega t
+        r.copy_from(&s);
+        r.axpy(-omega, &t);
+        stats.add_flops(Component::Other, 3.0 * l1);
+
+        outcome.iterations += 1;
+        stats.count_outer_iteration();
+        let rn = sys.norm_sqr(&r, stats).to_f64();
+        stats.add_flops(Component::Other, l1);
+        outcome.history.push((rn / f_norm_sqr).sqrt());
+        if rn <= tol_sqr {
+            break;
+        }
+        rho_old = rho;
+    }
+
+    // True residual.
+    let mut ax = SpinorField::zeros(dims);
+    sys.apply(&mut ax, &x, stats);
+    let mut rr = f.clone();
+    rr.sub_assign(&ax);
+    outcome.relative_residual = (sys.norm_sqr(&rr, stats).to_f64() / f_norm_sqr).sqrt();
+    outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    (x, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::LocalSystem;
+    use qdd_dirac::clover::build_clover_field;
+    use qdd_dirac::wilson::WilsonClover;
+    use qdd_dirac::gamma::GammaBasis;
+    use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+
+    fn operator(dims: Dims, spread: f64, mass: f64, seed: u64) -> WilsonClover<f64> {
+        let mut rng = Rng64::new(seed);
+        let g = GaugeField::random(dims, &mut rng, spread);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.5, &basis);
+        WilsonClover::new(g, c, mass, BoundaryPhases::antiperiodic_t())
+    }
+
+    #[test]
+    fn converges_and_residual_is_true() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.4, 0.3, 71);
+        let mut rng = Rng64::new(72);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let cfg = BiCgStabConfig { tolerance: 1e-9, max_iterations: 2000 };
+        let mut stats = SolveStats::new();
+        let (x, out) = bicgstab(&LocalSystem::new(&op), &f, &cfg, &mut stats);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        let mut ax = SpinorField::zeros(dims);
+        op.apply(&mut ax, &x);
+        let mut r = f.clone();
+        r.sub_assign(&ax);
+        assert!(r.norm() / f.norm() < 1e-8);
+    }
+
+    #[test]
+    fn recovers_manufactured_solution() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.3, 0.5, 73);
+        let mut rng = Rng64::new(74);
+        let x_true = SpinorField::<f64>::random(dims, &mut rng);
+        let mut f = SpinorField::zeros(dims);
+        op.apply(&mut f, &x_true);
+        let cfg = BiCgStabConfig { tolerance: 1e-10, max_iterations: 2000 };
+        let mut stats = SolveStats::new();
+        let (x, out) = bicgstab(&LocalSystem::new(&op), &f, &cfg, &mut stats);
+        assert!(out.converged);
+        let mut d = x.clone();
+        d.sub_assign(&x_true);
+        assert!(d.norm() / x_true.norm() < 1e-7);
+    }
+
+    #[test]
+    fn global_sum_rate_is_about_four_per_iteration() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.4, 0.3, 75);
+        let mut rng = Rng64::new(76);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let cfg = BiCgStabConfig { tolerance: 1e-8, max_iterations: 2000 };
+        let mut stats = SolveStats::new();
+        let (_, out) = bicgstab(&LocalSystem::new(&op), &f, &cfg, &mut stats);
+        let per_iter = stats.global_sums() as f64 / out.iterations as f64;
+        assert!((3.5..4.8).contains(&per_iter), "sums/iter = {per_iter}");
+        // Two operator applications per iteration.
+        let apps = stats.operator_applications() as f64 / out.iterations as f64;
+        assert!((1.9..2.2).contains(&apps), "ops/iter = {apps}");
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.4, 0.3, 77);
+        let f = SpinorField::<f64>::zeros(dims);
+        let mut stats = SolveStats::new();
+        let (x, out) = bicgstab(&LocalSystem::new(&op), &f, &BiCgStabConfig::default(), &mut stats);
+        assert!(out.converged);
+        assert_eq!(x.norm_sqr(), 0.0);
+        assert_eq!(out.iterations, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! BLAS-1 operations on block-local spinor slices.
+//!
+//! The MR block solver works on domain-local vectors (`&[Spinor<T>]`)
+//! rather than whole-lattice fields; these are its "BLAS-level-1-type
+//! linear algebra (local dot-products only)" (paper Table I, line 9).
+
+use qdd_field::spinor::Spinor;
+use qdd_util::complex::{Complex, Real};
+
+/// Hermitian inner product `<a, b>` over a block vector.
+pub fn dot<T: Real>(a: &[Spinor<T>], b: &[Spinor<T>]) -> Complex<T> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = Complex::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.dot(*y);
+    }
+    acc
+}
+
+/// Squared 2-norm.
+pub fn norm_sqr<T: Real>(a: &[Spinor<T>]) -> T {
+    let mut acc = T::ZERO;
+    for x in a {
+        acc += x.norm_sqr();
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+pub fn axpy<T: Real>(y: &mut [Spinor<T>], alpha: Complex<T>, x: &[Spinor<T>]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = yi.add(xi.cmul(alpha));
+    }
+}
+
+/// `y -= alpha * x`.
+pub fn axmy<T: Real>(y: &mut [Spinor<T>], alpha: Complex<T>, x: &[Spinor<T>]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = yi.sub(xi.cmul(alpha));
+    }
+}
+
+/// Overwrite `y` with zeros.
+pub fn zero<T: Real>(y: &mut [Spinor<T>]) {
+    for yi in y.iter_mut() {
+        *yi = Spinor::ZERO;
+    }
+}
+
+/// Flops of one dot or axpy on a block vector (8 flop per complex
+/// component, 12 components per site).
+pub fn level1_flops(len: usize) -> f64 {
+    96.0 * len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_util::rng::Rng64;
+
+    fn v(seed: u64, n: usize) -> Vec<Spinor<f64>> {
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| Spinor::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn dot_and_norm_consistent() {
+        let a = v(1, 16);
+        assert!((dot(&a, &a).re - norm_sqr(&a)).abs() < 1e-10);
+        assert!(dot(&a, &a).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_then_axmy_is_identity() {
+        let mut y = v(2, 8);
+        let y0 = y.clone();
+        let x = v(3, 8);
+        let alpha = Complex::new(0.3, -0.9);
+        axpy(&mut y, alpha, &x);
+        axmy(&mut y, alpha, &x);
+        for (a, b) in y.iter().zip(&y0) {
+            assert!(a.sub(*b).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn zero_clears() {
+        let mut y = v(4, 4);
+        zero(&mut y);
+        assert_eq!(norm_sqr(&y), 0.0);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        assert_eq!(level1_flops(10), 960.0);
+    }
+}

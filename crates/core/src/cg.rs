@@ -1,0 +1,202 @@
+//! CGNR: conjugate gradients on the normal equations.
+//!
+//! The Wilson-Clover operator is neither Hermitian nor positive definite,
+//! so plain CG (paper Ref. \[7\]) does not apply directly; the textbook
+//! workaround is CG on `A^dag A x = A^dag f`. The adjoint application uses
+//! gamma5-hermiticity: `A^dag = gamma5 A gamma5`. CGNR is provided for
+//! completeness of the solver family discussed in Sec. II-C — it is not
+//! competitive (it squares the condition number), and the bench suite
+//! shows exactly that.
+
+use crate::fgmres_dr::SolveOutcome;
+use crate::system::SystemOps;
+use qdd_dirac::wilson::WilsonClover;
+use qdd_field::fields::SpinorField;
+use qdd_util::complex::{Complex, Real};
+use qdd_util::stats::{Component, SolveStats};
+
+/// CGNR parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct CgConfig {
+    pub tolerance: f64,
+    pub max_iterations: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 100_000 }
+    }
+}
+
+/// Apply `A^dag v = gamma5 A gamma5 v`.
+pub fn apply_adjoint<T: Real>(
+    op: &WilsonClover<T>,
+    out: &mut SpinorField<T>,
+    inp: &SpinorField<T>,
+) {
+    let basis = op.basis();
+    let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
+    op.apply(out, &g5in);
+    for s in 0..out.len() {
+        *out.site_mut(s) = basis.apply_gamma5(out.site(s));
+    }
+}
+
+/// Solve `A x = f` via CG on the normal equations (CGNR).
+pub fn cgnr<T: Real, S: SystemOps<T>>(
+    sys: &S,
+    f: &SpinorField<T>,
+    cfg: &CgConfig,
+    stats: &mut SolveStats,
+) -> (SpinorField<T>, SolveOutcome) {
+    let dims = *f.dims();
+    let vol = dims.volume() as f64;
+    let l1 = 96.0 * vol;
+    let mut outcome = SolveOutcome {
+        converged: false,
+        iterations: 0,
+        cycles: 1,
+        relative_residual: 1.0,
+        history: Vec::new(),
+    };
+    let f_norm_sqr = sys.norm_sqr(f, stats).to_f64();
+    let mut x = SpinorField::<T>::zeros(dims);
+    if f_norm_sqr == 0.0 {
+        outcome.converged = true;
+        outcome.relative_residual = 0.0;
+        return (x, outcome);
+    }
+    let tol_sqr = cfg.tolerance * cfg.tolerance * f_norm_sqr;
+
+    // r = f (residual of A x = f); s = A^dag r (residual of the normal eq).
+    let mut r = f.clone();
+    let mut s = SpinorField::zeros(dims);
+    sys.apply_adjoint(&mut s, &r, stats);
+    let mut p = s.clone();
+    let mut gamma = sys.norm_sqr(&s, stats).to_f64();
+
+    let mut ap = SpinorField::zeros(dims);
+    while outcome.iterations < cfg.max_iterations {
+        // ap = A p
+        sys.apply(&mut ap, &p, stats);
+        let ap_norm_sqr = sys.norm_sqr(&ap, stats).to_f64();
+        stats.add_flops(Component::Other, l1);
+        if ap_norm_sqr == 0.0 {
+            break;
+        }
+        let alpha = T::from_f64(gamma / ap_norm_sqr);
+        x.axpy(Complex::real(alpha), &p);
+        r.axpy(Complex::real(-alpha), &ap);
+        stats.add_flops(Component::Other, 2.0 * l1);
+        outcome.iterations += 1;
+        stats.count_outer_iteration();
+
+        let r_norm_sqr = sys.norm_sqr(&r, stats).to_f64();
+        outcome.history.push((r_norm_sqr / f_norm_sqr).sqrt());
+        if r_norm_sqr <= tol_sqr {
+            break;
+        }
+
+        sys.apply_adjoint(&mut s, &r, stats);
+        let gamma_new = sys.norm_sqr(&s, stats).to_f64();
+        stats.add_flops(Component::Other, l1);
+        let beta = T::from_f64(gamma_new / gamma);
+        // p = s + beta p
+        p.xpay(&s, Complex::real(beta));
+        stats.add_flops(Component::Other, l1);
+        gamma = gamma_new;
+        if gamma == 0.0 {
+            break;
+        }
+    }
+
+    let mut ax = SpinorField::zeros(dims);
+    sys.apply(&mut ax, &x, stats);
+    let mut rr = f.clone();
+    rr.sub_assign(&ax);
+    outcome.relative_residual = (sys.norm_sqr(&rr, stats).to_f64() / f_norm_sqr).sqrt();
+    outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    (x, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicgstab::{bicgstab, BiCgStabConfig};
+    use crate::system::LocalSystem;
+    use qdd_dirac::clover::build_clover_field;
+    use qdd_dirac::gamma::GammaBasis;
+    use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+
+    fn operator(dims: Dims, spread: f64, mass: f64, seed: u64) -> WilsonClover<f64> {
+        let mut rng = Rng64::new(seed);
+        let g = GaugeField::random(dims, &mut rng, spread);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.5, &basis);
+        WilsonClover::new(g, c, mass, BoundaryPhases::antiperiodic_t())
+    }
+
+    #[test]
+    fn adjoint_satisfies_inner_product_identity() {
+        // <A^dag x, y> = <x, A y>.
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.5, 0.2, 87);
+        let mut rng = Rng64::new(88);
+        let x = SpinorField::<f64>::random(dims, &mut rng);
+        let y = SpinorField::<f64>::random(dims, &mut rng);
+        let mut adx = SpinorField::zeros(dims);
+        apply_adjoint(&op, &mut adx, &x);
+        let mut ay = SpinorField::zeros(dims);
+        op.apply(&mut ay, &y);
+        let lhs = adx.dot(&y);
+        let rhs = x.dot(&ay);
+        assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn cgnr_converges() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, 0.4, 0.4, 89);
+        let mut rng = Rng64::new(90);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let cfg = CgConfig { tolerance: 1e-8, max_iterations: 5000 };
+        let mut stats = SolveStats::new();
+        let (x, out) = cgnr(&LocalSystem::new(&op), &f, &cfg, &mut stats);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        let mut ax = SpinorField::zeros(dims);
+        op.apply(&mut ax, &x);
+        let mut r = f.clone();
+        r.sub_assign(&ax);
+        assert!(r.norm() / f.norm() < 1e-7);
+    }
+
+    #[test]
+    fn cgnr_is_slower_than_bicgstab() {
+        // The normal equations square the condition number: CGNR must need
+        // more operator applications than BiCGstab on the same problem.
+        let dims = Dims::new(4, 4, 4, 4);
+        let mut rng = Rng64::new(91);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+
+        let op = operator(dims, 0.6, 0.15, 92);
+        let mut s1 = SolveStats::new();
+        let (_, cg_out) = cgnr(&LocalSystem::new(&op), &f, &CgConfig { tolerance: 1e-8, max_iterations: 20_000 }, &mut s1);
+        let mut s2 = SolveStats::new();
+        let (_, bi_out) = bicgstab(
+            &LocalSystem::new(&op),
+            &f,
+            &BiCgStabConfig { tolerance: 1e-8, max_iterations: 20_000 },
+            &mut s2,
+        );
+        assert!(cg_out.converged && bi_out.converged);
+        assert!(
+            s1.operator_applications() > s2.operator_applications(),
+            "CGNR {} vs BiCGstab {}",
+            s1.operator_applications(),
+            s2.operator_applications()
+        );
+    }
+}

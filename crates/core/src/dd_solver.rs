@@ -1,0 +1,387 @@
+//! The assembled DD solver of the paper: FGMRES-DR (double precision)
+//! preconditioned by the multiplicative Schwarz method (single precision,
+//! optionally with half-precision gauge and clover storage).
+//!
+//! This is the top-level API a user of the library calls; everything in
+//! Table I is wired together here.
+
+use crate::fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
+use crate::schwarz::{SchwarzConfig, SchwarzPreconditioner};
+use crate::system::LocalSystem;
+use qdd_dirac::wilson::WilsonClover;
+use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
+use qdd_util::stats::SolveStats;
+
+/// Storage precision of the preconditioner's constant data (gauge links
+/// and clover matrices). Iteration vectors are always f32 in the
+/// preconditioner (paper Sec. III-B).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Precision {
+    /// Gauge and clover in f32.
+    Single,
+    /// Gauge and clover stored in f16 (KNC up/down-conversion semantics),
+    /// halving the constant working set from 144 kB to 72 kB per domain.
+    HalfCompressed,
+}
+
+/// Complete DD-solver configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct DdSolverConfig {
+    pub fgmres: FgmresConfig,
+    pub schwarz: SchwarzConfig,
+    pub precision: Precision,
+    /// Worker threads for the Schwarz sweeps (1 = serial). Mirrors the
+    /// number of KNC cores in the paper's on-chip experiments.
+    pub workers: usize,
+}
+
+impl Default for DdSolverConfig {
+    fn default() -> Self {
+        Self {
+            fgmres: FgmresConfig::default(),
+            schwarz: SchwarzConfig::default(),
+            precision: Precision::Single,
+            workers: 1,
+        }
+    }
+}
+
+pub use crate::fgmres_dr::SolveOutcome as Outcome;
+
+/// The assembled solver.
+pub struct DdSolver {
+    op: WilsonClover<f64>,
+    pre: SchwarzPreconditioner<f32>,
+    cfg: DdSolverConfig,
+}
+
+impl DdSolver {
+    /// Build the solver. The f32 (or f16-compressed) preconditioner
+    /// operator is derived from the double-precision `op`. Returns `None`
+    /// if a clover site block is singular.
+    pub fn new(op: WilsonClover<f64>, cfg: DdSolverConfig) -> Option<Self> {
+        let op32 = match cfg.precision {
+            Precision::Single => op.cast::<f32>(),
+            Precision::HalfCompressed => {
+                let g16 = GaugeFieldF16::compress(&op.gauge().cast()).decompress();
+                let c16 = CloverFieldF16::compress(&op.clover().cast()).decompress();
+                WilsonClover::new(g16, c16, op.mass() as f32, *op.phases())
+            }
+        };
+        let pre = SchwarzPreconditioner::new(op32, cfg.schwarz)?;
+        Some(Self { op, pre, cfg })
+    }
+
+    #[inline]
+    pub fn op(&self) -> &WilsonClover<f64> {
+        &self.op
+    }
+
+    #[inline]
+    pub fn preconditioner(&self) -> &SchwarzPreconditioner<f32> {
+        &self.pre
+    }
+
+    #[inline]
+    pub fn config(&self) -> &DdSolverConfig {
+        &self.cfg
+    }
+
+    /// Mixed-precision variant of [`Self::solve`] — the paper's Sec. VI
+    /// future-work option: "the outer solver could be implemented in
+    /// mixed-precision (single- and double-precision) ... do most of the
+    /// linear algebra for basis orthogonalization and the operator
+    /// application in single-precision."
+    ///
+    /// Outer loop: double-precision Richardson refinement on the true
+    /// residual. Inner: the whole FGMRES-DR + Schwarz pipeline in f32,
+    /// solving each correction to `inner_tolerance`. Gram-Schmidt, the
+    /// Krylov basis, and the operator applications inside the inner solver
+    /// all run in single precision; only one f64 residual per correction
+    /// remains.
+    pub fn solve_mixed(
+        &self,
+        f: &SpinorField<f64>,
+        inner_tolerance: f64,
+        stats: &mut SolveStats,
+    ) -> (SpinorField<f64>, SolveOutcome) {
+        let dims = *f.dims();
+        let tol = self.cfg.fgmres.tolerance;
+        let mut outcome = SolveOutcome {
+            converged: false,
+            iterations: 0,
+            cycles: 0,
+            relative_residual: 1.0,
+            history: Vec::new(),
+        };
+        let f_norm = f.norm();
+        stats.count_global_sum();
+        let mut x = SpinorField::<f64>::zeros(dims);
+        if f_norm == 0.0 {
+            outcome.converged = true;
+            outcome.relative_residual = 0.0;
+            return (x, outcome);
+        }
+
+        let inner_cfg = FgmresConfig { tolerance: inner_tolerance, ..self.cfg.fgmres };
+        let op32 = self.pre.op();
+        let sys32 = crate::system::LocalSystem::new(op32);
+        let mut r = f.clone();
+        // Each f32 inner solve gains a factor inner_tolerance; cap the
+        // outer refinements generously.
+        for _ in 0..60 {
+            outcome.cycles += 1;
+            let rel = r.norm() / f_norm;
+            stats.count_global_sum();
+            outcome.history.push(rel);
+            if rel < tol {
+                outcome.converged = true;
+                break;
+            }
+            // Inner f32 DD solve: A32 d = r.
+            let r32: SpinorField<f32> = r.cast();
+            let pre = &self.pre;
+            let workers = self.cfg.workers;
+            let mut precond = |v: &SpinorField<f32>, st: &mut SolveStats| -> SpinorField<f32> {
+                if workers > 1 {
+                    pre.apply_parallel(v, workers, st)
+                } else {
+                    pre.apply(v, st)
+                }
+            };
+            let (d32, inner_out) = fgmres_dr(&sys32, &r32, &mut precond, &inner_cfg, stats);
+            outcome.iterations += inner_out.iterations;
+            let d: SpinorField<f64> = d32.cast();
+            x.axpy(qdd_util::complex::Complex::ONE, &d);
+            // True f64 residual.
+            let mut ax = SpinorField::zeros(dims);
+            self.op.apply(&mut ax, &x);
+            stats.add_flops(
+                qdd_util::stats::Component::OperatorA,
+                self.op.apply_flops(),
+            );
+            stats.count_operator_application();
+            r.copy_from(f);
+            r.sub_assign(&ax);
+        }
+        outcome.relative_residual = r.norm() / f_norm;
+        stats.count_global_sum();
+        outcome.converged = outcome.relative_residual < tol;
+        (x, outcome)
+    }
+
+    /// Solve `A x = f` to the configured tolerance.
+    pub fn solve(&self, f: &SpinorField<f64>, stats: &mut SolveStats) -> (SpinorField<f64>, SolveOutcome) {
+        let pre = &self.pre;
+        let workers = self.cfg.workers;
+        let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
+            let r32: SpinorField<f32> = r.cast();
+            let u32 = if workers > 1 {
+                pre.apply_parallel(&r32, workers, st)
+            } else {
+                pre.apply(&r32, st)
+            };
+            u32.cast()
+        };
+        fgmres_dr(&LocalSystem::new(&self.op), f, &mut precond, &self.cfg.fgmres, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicgstab::{bicgstab, BiCgStabConfig};
+    use crate::mr::MrConfig;
+    use qdd_dirac::clover::build_clover_field;
+    use qdd_dirac::gamma::GammaBasis;
+    use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+
+    fn operator(dims: Dims, spread: f64, mass: f64, seed: u64) -> WilsonClover<f64> {
+        let mut rng = Rng64::new(seed);
+        let g = GaugeField::random(dims, &mut rng, spread);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.5, &basis);
+        WilsonClover::new(g, c, mass, BoundaryPhases::antiperiodic_t())
+    }
+
+    fn config(block: Dims, i_schwarz: usize, i_domain: usize) -> DdSolverConfig {
+        DdSolverConfig {
+            fgmres: FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-10, max_iterations: 400 },
+            schwarz: SchwarzConfig {
+                block,
+                i_schwarz,
+                mr: MrConfig { iterations: i_domain, tolerance: 0.0, f16_vectors: false },
+                additive: false,
+            },
+            precision: Precision::Single,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn dd_solver_converges_to_double_precision_target() {
+        let dims = Dims::new(8, 8, 4, 4);
+        let op = operator(dims, 0.5, 0.2, 101);
+        let solver = DdSolver::new(op, config(Dims::new(4, 4, 2, 2), 4, 4)).unwrap();
+        let mut rng = Rng64::new(102);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let mut stats = SolveStats::new();
+        let (x, out) = solver.solve(&f, &mut stats);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        assert!(out.relative_residual < 1e-9);
+        // True residual confirms (the preconditioner ran in f32!).
+        let mut ax = SpinorField::zeros(dims);
+        solver.op().apply(&mut ax, &x);
+        let mut r = f.clone();
+        r.sub_assign(&ax);
+        assert!(r.norm() / f.norm() < 1e-9);
+    }
+
+    #[test]
+    fn dd_needs_far_fewer_outer_iterations_than_bicgstab() {
+        let dims = Dims::new(8, 8, 4, 4);
+        let mut rng = Rng64::new(103);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+
+        let op = operator(dims, 0.5, 0.15, 104);
+        let mut s_dd = SolveStats::new();
+        let solver = DdSolver::new(operator(dims, 0.5, 0.15, 104), config(Dims::new(4, 4, 2, 2), 6, 4)).unwrap();
+        let (_, dd_out) = solver.solve(&f, &mut s_dd);
+        assert!(dd_out.converged);
+
+        let mut s_bi = SolveStats::new();
+        let (_, bi_out) = bicgstab(
+            &crate::system::LocalSystem::new(&op),
+            &f,
+            &BiCgStabConfig { tolerance: 1e-10, max_iterations: 20_000 },
+            &mut s_bi,
+        );
+        assert!(bi_out.converged);
+
+        // The headline algorithmic effect: outer iterations (and hence
+        // global sums) collapse by a large factor.
+        assert!(
+            (dd_out.iterations as f64) < 0.25 * bi_out.iterations as f64,
+            "DD {} vs BiCGstab {}",
+            dd_out.iterations,
+            bi_out.iterations
+        );
+        assert!(
+            (s_dd.global_sums() as f64) < 0.5 * s_bi.global_sums() as f64,
+            "DD sums {} vs BiCGstab sums {}",
+            s_dd.global_sums(),
+            s_bi.global_sums()
+        );
+    }
+
+    #[test]
+    fn half_compressed_preconditioner_converges_like_single() {
+        // Paper Sec. IV-B1: residual-vs-iteration differs by < 0.14%
+        // between single and half preconditioner storage.
+        let dims = Dims::new(8, 4, 4, 4);
+        let mut rng = Rng64::new(105);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+
+        let mut cfg = config(Dims::new(4, 2, 2, 2), 4, 4);
+        let solver_s = DdSolver::new(operator(dims, 0.5, 0.2, 106), cfg).unwrap();
+        cfg.precision = Precision::HalfCompressed;
+        let solver_h = DdSolver::new(operator(dims, 0.5, 0.2, 106), cfg).unwrap();
+
+        let mut s1 = SolveStats::new();
+        let (_, out_s) = solver_s.solve(&f, &mut s1);
+        let mut s2 = SolveStats::new();
+        let (_, out_h) = solver_h.solve(&f, &mut s2);
+        assert!(out_s.converged && out_h.converged);
+        // Same iteration count, or within one iteration of each other.
+        let diff = (out_s.iterations as i64 - out_h.iterations as i64).abs();
+        assert!(diff <= 1, "single {} vs half {}", out_s.iterations, out_h.iterations);
+    }
+
+    #[test]
+    fn parallel_workers_give_identical_solution() {
+        let dims = Dims::new(8, 8, 4, 4);
+        let mut rng = Rng64::new(107);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let mut cfg = config(Dims::new(4, 4, 2, 2), 3, 4);
+        let solver1 = DdSolver::new(operator(dims, 0.5, 0.2, 108), cfg).unwrap();
+        cfg.workers = 4;
+        let solver4 = DdSolver::new(operator(dims, 0.5, 0.2, 108), cfg).unwrap();
+        let mut s1 = SolveStats::new();
+        let mut s4 = SolveStats::new();
+        let (x1, o1) = solver1.solve(&f, &mut s1);
+        let (x4, o4) = solver4.solve(&f, &mut s4);
+        assert_eq!(o1.iterations, o4.iterations);
+        assert_eq!(x1.as_slice(), x4.as_slice());
+    }
+
+    #[test]
+    fn mixed_precision_outer_reaches_double_target() {
+        // Sec. VI future work: f32 outer solver + f64 refinement must hit
+        // the same 1e-10 target with most flops in single precision.
+        let dims = Dims::new(8, 8, 4, 4);
+        let mut rng = Rng64::new(111);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let solver =
+            DdSolver::new(operator(dims, 0.5, 0.2, 112), config(Dims::new(4, 4, 2, 2), 5, 4))
+                .unwrap();
+        let mut stats = SolveStats::new();
+        let (x, out) = solver.solve_mixed(&f, 1e-4, &mut stats);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        assert!(out.relative_residual < 1e-10);
+        // Cross-check against the standard solve.
+        let mut st2 = SolveStats::new();
+        let (x_ref, out_ref) = solver.solve(&f, &mut st2);
+        assert!(out_ref.converged);
+        let mut d = x.clone();
+        d.sub_assign(&x_ref);
+        assert!(d.norm() < 1e-8 * x_ref.norm());
+        // Outer refinement history is monotone.
+        for w in out.history.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn f16_spinor_storage_still_converges() {
+        // Sec. VI future work: half-precision spinors in the block solves.
+        let dims = Dims::new(8, 4, 4, 4);
+        let mut rng = Rng64::new(113);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let mut cfg = config(Dims::new(4, 2, 2, 2), 5, 4);
+        cfg.schwarz.mr.f16_vectors = true;
+        let solver = DdSolver::new(operator(dims, 0.5, 0.2, 114), cfg).unwrap();
+        let mut stats = SolveStats::new();
+        let (_, out) = solver.solve(&f, &mut stats);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        // Compare iteration counts against the f32-spinor run: the f16
+        // storage may cost a few extra outer iterations but not blow up.
+        let mut cfg32 = config(Dims::new(4, 2, 2, 2), 5, 4);
+        cfg32.schwarz.mr.f16_vectors = false;
+        let solver32 = DdSolver::new(operator(dims, 0.5, 0.2, 114), cfg32).unwrap();
+        let mut st = SolveStats::new();
+        let (_, out32) = solver32.solve(&f, &mut st);
+        assert!(out.iterations <= out32.iterations + 4,
+            "f16 spinors degraded too much: {} vs {}", out.iterations, out32.iterations);
+    }
+
+    #[test]
+    fn preconditioner_dominates_flop_budget() {
+        // Paper Table III: M takes 80-90% of the time; in flops it
+        // dominates similarly.
+        let dims = Dims::new(8, 8, 4, 4);
+        let mut rng = Rng64::new(109);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let solver =
+            DdSolver::new(operator(dims, 0.5, 0.2, 110), config(Dims::new(4, 4, 2, 2), 8, 4))
+                .unwrap();
+        let mut stats = SolveStats::new();
+        let (_, out) = solver.solve(&f, &mut stats);
+        assert!(out.converged);
+        let fracs = stats.flop_fractions();
+        // Component order: A, M, GS, Other.
+        assert!(fracs[1] > 0.7, "M fraction {}", fracs[1]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's threading model: a fixed set of workers, each owning a list
+//! of domains, separated by barriers between Schwarz half-sweeps.
+//!
+//! Paper Secs. III-C/III-D: "each core works on a domain of its own …
+//! Before the next Schwarz iteration a barrier among cores ensures that
+//! all boundary data have been extracted". Footnote 6: "We are using a
+//! custom barrier implementation". [`SpinBarrier`] is that custom barrier
+//! — a sense-reversing spinning barrier, appropriate for the short
+//! synchronization intervals between half-sweeps. [`SharedSpinors`] is the
+//! unsafe-but-disjoint shared-field window that lets workers update their
+//! own domains of one color in place while reading neighboring
+//! (other-color) sites.
+
+use qdd_field::spinor::Spinor;
+use qdd_util::complex::Real;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A sense-reversing spinning barrier for a fixed number of participants.
+pub struct SpinBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    parties: usize,
+}
+
+impl SpinBarrier {
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0);
+        Self { count: AtomicUsize::new(0), sense: AtomicBool::new(false), parties }
+    }
+
+    /// Block (spin) until all parties have arrived. Returns `true` on the
+    /// last arriver (the "serial thread" slot).
+    pub fn wait(&self, local_sense: &Cell<bool>) -> bool {
+        let my_sense = !local_sense.get();
+        local_sense.set(my_sense);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+/// A window onto a spinor field that multiple workers may read and write
+/// concurrently under the Schwarz coloring discipline.
+///
+/// # Safety contract
+///
+/// Callers must guarantee, for the lifetime of any concurrent use:
+///
+/// 1. writes from different threads target disjoint site sets (each domain
+///    is owned by exactly one worker), and
+/// 2. no thread reads a site that another thread may write in the same
+///    barrier epoch (guaranteed by the red/black domain coloring: a
+///    half-sweep writes only sites of the active color and reads only
+///    sites of the active domain plus its opposite-color neighbors).
+#[derive(Copy, Clone)]
+pub struct SharedSpinors<T: Real> {
+    ptr: *mut Spinor<T>,
+    len: usize,
+}
+
+unsafe impl<T: Real> Send for SharedSpinors<T> {}
+unsafe impl<T: Real> Sync for SharedSpinors<T> {}
+
+impl<T: Real> SharedSpinors<T> {
+    pub fn new(data: &mut [Spinor<T>]) -> Self {
+        Self { ptr: data.as_mut_ptr(), len: data.len() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read one site.
+    ///
+    /// # Safety
+    /// The coloring discipline above must hold.
+    #[inline]
+    pub unsafe fn read(&self, idx: usize) -> Spinor<T> {
+        debug_assert!(idx < self.len);
+        unsafe { std::ptr::read(self.ptr.add(idx)) }
+    }
+
+    /// `site += v`.
+    ///
+    /// # Safety
+    /// The coloring discipline above must hold and `idx` must be owned by
+    /// the calling worker in this epoch.
+    #[inline]
+    pub unsafe fn add(&self, idx: usize, v: Spinor<T>) {
+        debug_assert!(idx < self.len);
+        unsafe {
+            let p = self.ptr.add(idx);
+            std::ptr::write(p, std::ptr::read(p).add(v));
+        }
+    }
+}
+
+/// Blocked assignment of `n` work items to `workers` workers (the paper's
+/// domain-to-core mapping, see `qdd-lattice::load::core_assignment`).
+pub fn blocked_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let rounds = if n == 0 { 0 } else { n.div_ceil(workers) };
+    (0..workers)
+        .map(|w| {
+            let lo = (w * rounds).min(n);
+            let hi = ((w + 1) * rounds).min(n);
+            lo..hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // Each of N threads increments a phase counter; the barrier must
+        // prevent any thread from running ahead.
+        let n = 4;
+        let barrier = SpinBarrier::new(n);
+        let phase_sum = AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| {
+                    let sense = Cell::new(false);
+                    for round in 0..50u64 {
+                        phase_sum.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(&sense);
+                        // After the barrier, all n increments of this round
+                        // must be visible.
+                        let seen = phase_sum.load(Ordering::SeqCst);
+                        assert!(seen >= (round + 1) * n as u64, "round {round}: {seen}");
+                        barrier.wait(&sense);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(phase_sum.load(Ordering::SeqCst), 50 * n as u64);
+    }
+
+    #[test]
+    fn barrier_reports_single_leader() {
+        let n = 8;
+        let barrier = SpinBarrier::new(n);
+        let leaders = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| {
+                    let sense = Cell::new(false);
+                    for _ in 0..20 {
+                        if barrier.wait(&sense) {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        barrier.wait(&sense);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(leaders.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn shared_spinors_disjoint_parallel_writes() {
+        let n = 64;
+        let mut data = vec![Spinor::<f64>::ZERO; n];
+        let shared = SharedSpinors::new(&mut data);
+        let ranges = blocked_ranges(n, 4);
+        crossbeam::scope(|s| {
+            for r in &ranges {
+                let r = r.clone();
+                s.spawn(move |_| {
+                    for i in r {
+                        let mut v = Spinor::<f64>::ZERO;
+                        v.set_component(0, qdd_util::complex::Complex::real(i as f64));
+                        unsafe { shared.add(i, v) };
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, s) in data.iter().enumerate() {
+            assert_eq!(s.component(0).re, i as f64);
+        }
+    }
+
+    #[test]
+    fn blocked_ranges_cover_exactly() {
+        for (n, w) in [(10, 3), (0, 4), (7, 7), (100, 60), (256, 60)] {
+            let ranges = blocked_ranges(n, w);
+            assert_eq!(ranges.len(), w);
+            let mut covered = vec![false; n];
+            for r in ranges {
+                for i in r {
+                    assert!(!covered[i]);
+                    covered[i] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c));
+        }
+    }
+}

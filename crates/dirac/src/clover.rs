@@ -1,0 +1,267 @@
+//! Construction of the clover term from the gauge field.
+//!
+//! The field-strength tensor is approximated by the "clover leaf": the sum
+//! of the four plaquettes in the mu-nu plane touching the site,
+//! `F_munu = (Q_munu - Q_munu^dagger) / 8` (paper Sec. II-B, Ref. \[6\]).
+//! The spin structure `i sigma_munu` is block-diagonal in chirality, so
+//! the whole term packs into two Hermitian 6x6 matrices per site.
+
+use crate::gamma::GammaBasis;
+use qdd_field::clover::{CloverSite, Herm6};
+use qdd_field::fields::{CloverField, GaugeField};
+use qdd_field::su3::Su3;
+use qdd_lattice::{Coord, Dir, SiteIndexer};
+use qdd_util::complex::C64;
+
+/// The clover-leaf sum `Q_munu(x)`: four plaquettes in the (mu, nu) plane.
+fn clover_leaves(
+    gauge: &GaugeField<f64>,
+    idx: &SiteIndexer,
+    x: &Coord,
+    mu: Dir,
+    nu: Dir,
+) -> Su3<f64> {
+    let dims = idx.dims();
+    let step = |c: &Coord, d: Dir, fwd: bool| c.neighbor(dims, d, fwd).0;
+    let u = |c: &Coord, d: Dir| gauge.link(idx.index(c), d);
+
+    // Leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x
+    let xpmu = step(x, mu, true);
+    let xpnu = step(x, nu, true);
+    let l1 = u(x, mu).mul(u(&xpmu, nu)).mul_adj(u(&xpnu, mu)).mul_adj(u(x, nu));
+
+    // Leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
+    let xmmu = step(x, mu, false);
+    let xmmu_pnu = step(&xmmu, nu, true);
+    let l2 = u(x, nu)
+        .mul_adj(u(&xmmu_pnu, mu))
+        .mul_adj(u(&xmmu, nu))
+        .mul(u(&xmmu, mu));
+
+    // Leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
+    let xmnu = step(x, nu, false);
+    let xmmu_mnu = step(&xmmu, nu, false);
+    let l3 = u(&xmmu, mu)
+        .adjoint()
+        .mul_adj(u(&xmmu_mnu, nu))
+        .mul(u(&xmmu_mnu, mu))
+        .mul(u(&xmnu, nu));
+
+    // Leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
+    let xpmu_mnu = step(&xpmu, nu, false);
+    let l4 = u(&xmnu, nu)
+        .adjoint()
+        .mul(u(&xmnu, mu))
+        .mul(u(&xpmu_mnu, nu))
+        .mul_adj(u(x, mu));
+
+    l1.add(&l2).add(&l3).add(&l4)
+}
+
+/// Anti-Hermitian field strength `F_munu = (Q - Q^dagger)/8`.
+fn field_strength(
+    gauge: &GaugeField<f64>,
+    idx: &SiteIndexer,
+    x: &Coord,
+    mu: Dir,
+    nu: Dir,
+) -> Su3<f64> {
+    let q = clover_leaves(gauge, idx, x, mu, nu);
+    let mut f = q.sub(&q.adjoint()).scale(1.0 / 8.0);
+    // Traceless (su(3)) projection: remove the U(1) trace part.
+    let tr3 = f.trace().scale(1.0 / 3.0);
+    for i in 0..3 {
+        f.0[i][i] -= tr3;
+    }
+    f
+}
+
+/// Build the clover field `D_cl = csw * sum_{mu<nu} i sigma_munu F_munu`
+/// for every site. Construction is done in f64 and can be `cast()` down
+/// for the preconditioner.
+pub fn build_clover_field(gauge: &GaugeField<f64>, csw: f64, basis: &GammaBasis) -> CloverField<f64> {
+    let dims = *gauge.dims();
+    let idx = SiteIndexer::new(dims);
+    CloverField::from_fn(dims, |site| {
+        let x = idx.coord(site);
+        build_clover_site(gauge, &idx, &x, csw, basis)
+    })
+}
+
+fn build_clover_site(
+    gauge: &GaugeField<f64>,
+    idx: &SiteIndexer,
+    x: &Coord,
+    csw: f64,
+    basis: &GammaBasis,
+) -> CloverSite<f64> {
+    // Accumulate the 12x12 site matrix M[(s,c),(s',c')] in chiral blocks.
+    // sigma is chiral-block-diagonal, so only the two 6x6 blocks are
+    // touched; we accumulate them directly.
+    let mut blocks = [[[C64::ZERO; 6]; 6]; 2];
+    for mu in 0..4 {
+        for nu in mu + 1..4 {
+            let f = field_strength(gauge, idx, x, Dir::from_index(mu), Dir::from_index(nu));
+            let sig = &basis.sigma[mu][nu];
+            // i * sigma (Hermitian x i x anti-Hermitian F -> Hermitian term)
+            for b in 0..2 {
+                for si in 0..2 {
+                    for sj in 0..2 {
+                        let spin = sig[2 * b + si][2 * b + sj].mul_i().scale(csw);
+                        if spin.abs() < 1e-15 {
+                            continue;
+                        }
+                        for ci in 0..3 {
+                            for cj in 0..3 {
+                                blocks[b][3 * si + ci][3 * sj + cj] += spin * f.0[ci][cj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CloverSite { block: [Herm6::from_full(&blocks[0]), Herm6::from_full(&blocks[1])] }
+}
+
+/// Average plaquette (normalized to 1 for the free field) — the standard
+/// gauge-field diagnostic, used to characterize synthetic configurations.
+pub fn average_plaquette(gauge: &GaugeField<f64>) -> f64 {
+    let dims = *gauge.dims();
+    let idx = SiteIndexer::new(dims);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for site in 0..dims.volume() {
+        let x = idx.coord(site);
+        for mu in 0..4 {
+            for nu in mu + 1..4 {
+                let (dmu, dnu) = (Dir::from_index(mu), Dir::from_index(nu));
+                let xpmu = x.neighbor(&dims, dmu, true).0;
+                let xpnu = x.neighbor(&dims, dnu, true).0;
+                let p = gauge
+                    .link(site, dmu)
+                    .mul(gauge.link(idx.index(&xpmu), dnu))
+                    .mul_adj(gauge.link(idx.index(&xpnu), dmu))
+                    .mul_adj(gauge.link(site, dnu));
+                sum += p.trace().re / 3.0;
+                count += 1;
+            }
+        }
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_field::spinor::Spinor;
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+
+    fn dims() -> Dims {
+        Dims::new(4, 4, 4, 4)
+    }
+
+    #[test]
+    fn free_field_clover_vanishes() {
+        let g = GaugeField::<f64>::identity(dims());
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.0, &basis);
+        for site in 0..dims().volume() {
+            for b in 0..2 {
+                let blk = &c.site(site).block[b];
+                assert!(blk.diag.iter().all(|d| d.abs() < 1e-13));
+                assert!(blk.off.iter().all(|z| z.abs() < 1e-13));
+            }
+        }
+    }
+
+    #[test]
+    fn free_field_plaquette_is_one() {
+        let g = GaugeField::<f64>::identity(dims());
+        assert!((average_plaquette(&g) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rough_field_lowers_plaquette() {
+        let mut rng = Rng64::new(1);
+        let smooth = GaugeField::<f64>::random(dims(), &mut rng, 0.1);
+        let mut rng = Rng64::new(1);
+        let rough = GaugeField::<f64>::random(dims(), &mut rng, 1.0);
+        let ps = average_plaquette(&smooth);
+        let pr = average_plaquette(&rough);
+        assert!(ps > 0.9, "smooth plaquette {ps}");
+        assert!(pr < ps, "rough {pr} !< smooth {ps}");
+    }
+
+    #[test]
+    fn clover_scales_linearly_with_csw() {
+        let mut rng = Rng64::new(2);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.6);
+        let basis = GammaBasis::degrand_rossi();
+        let c1 = build_clover_field(&g, 1.0, &basis);
+        let c2 = build_clover_field(&g, 2.0, &basis);
+        let mut rng = Rng64::new(3);
+        let s = Spinor::<f64>::random(&mut rng);
+        for site in [0, 7, 100] {
+            let a = c1.site(site).apply(&s);
+            let b = c2.site(site).apply(&s);
+            let d = b.sub(a.scale(2.0));
+            assert!(d.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn clover_site_matrix_is_hermitian() {
+        // <v, Dcl v> real for random spinors at random sites.
+        let mut rng = Rng64::new(4);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.8);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.9, &basis);
+        for seed in 0..5 {
+            let mut rng = Rng64::new(100 + seed);
+            let s = Spinor::<f64>::random(&mut rng);
+            let site = (seed as usize * 37) % dims().volume();
+            let cs = c.site(site).apply(&s);
+            let form = s.dot(cs);
+            assert!(form.im.abs() < 1e-10, "imag part {}", form.im);
+        }
+    }
+
+    #[test]
+    fn field_strength_is_antihermitian_traceless() {
+        let mut rng = Rng64::new(5);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.9);
+        let idx = SiteIndexer::new(dims());
+        let x = idx.coord(33);
+        for mu in 0..3 {
+            for nu in mu + 1..4 {
+                let f = field_strength(&g, &idx, &x, Dir::from_index(mu), Dir::from_index(nu));
+                let sum = f.add(&f.adjoint());
+                for i in 0..3 {
+                    for j in 0..3 {
+                        assert!(sum.0[i][j].abs() < 1e-12);
+                    }
+                }
+                assert!(f.trace().abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn clover_antisymmetric_in_mu_nu() {
+        // F_numu = -F_munu.
+        let mut rng = Rng64::new(6);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.7);
+        let idx = SiteIndexer::new(dims());
+        let x = idx.coord(21);
+        let f_xy = field_strength(&g, &idx, &x, Dir::X, Dir::Y);
+        let f_yx = field_strength(&g, &idx, &x, Dir::Y, Dir::X);
+        let sum = f_xy.add(&f_yx);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(sum.0[i][j].abs() < 1e-12);
+            }
+        }
+    }
+}

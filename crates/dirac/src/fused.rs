@@ -1,0 +1,778 @@
+//! The site-fused SIMD block operator (paper Sec. III-A, Figs. 2-3).
+//!
+//! This is the paper's data-layout contribution executed literally: the
+//! spinors of a domain live in xy-tile SOA form ([`FusedField`]), gauge
+//! links and clover blocks in matching per-tile SOA ([`FusedGauge`],
+//! [`FusedClover`]), and the Wilson hop runs on whole lanes:
+//!
+//! - z/t hops move tile-to-tile with no lane shuffling; hops crossing the
+//!   domain boundary are dropped wholesale (Dirichlet).
+//! - x/y hops permute lanes in-register using the patterns of
+//!   [`TileLayout::xy_neighbor`]; lanes whose neighbor lies outside the
+//!   domain are masked to zero (the paper's mask_add, Fig. 2) — costing
+//!   the documented 2/16 (x) and 4/16 (y) SIMD efficiency.
+//!
+//! Everything is validated lane-for-lane against the scalar
+//! [`SchurOperator`](crate::block::SchurOperator) path.
+
+use crate::gamma::GammaBasis;
+use crate::wilson::WilsonClover;
+use qdd_field::fused::{FusedField, FusedTile, VReal};
+use qdd_field::spinor::Spinor;
+use qdd_lattice::{Coord, Dims, Dir, Domain, LaneSrc, Parity, SiteIndexer, TileLayout};
+use qdd_util::complex::{Real, C64};
+
+/// One tile worth of gauge links for one direction: 3x3 complex in
+/// re/im-split SOA (`idx = 2*(3*i + j) + {0: re, 1: im}`).
+pub type GaugeTile<T, const N: usize> = [VReal<T, N>; 18];
+
+/// Per-domain gauge field in fused layout.
+pub struct FusedGauge<T: Real, const N: usize> {
+    /// `[parity][tile][dir]`.
+    data: [Vec<[GaugeTile<T, N>; 4]>; 2],
+}
+
+impl<T: Real, const N: usize> FusedGauge<T, N> {
+    /// Gather the links of `domain` from the whole-lattice operator.
+    pub fn gather(op: &WilsonClover<T>, domain: &Domain) -> Self {
+        let layout = TileLayout::new(domain.dims);
+        assert_eq!(layout.lanes(), N);
+        let tiles = layout.tiles_per_parity();
+        let zero = [[VReal::ZERO; 18]; 4];
+        let mut data = [vec![zero; tiles], vec![zero; tiles]];
+        let lattice_idx = SiteIndexer::new(*op.dims());
+        let block_idx = SiteIndexer::new(domain.dims);
+        for local in block_idx.iter() {
+            let (p, tile, lane) = layout.locate(&local);
+            let gsite = lattice_idx.index(&domain.to_lattice(&local));
+            for dir in Dir::ALL {
+                let u = op.gauge().link(gsite, dir);
+                let gt = &mut data[p.index()][tile][dir.index()];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        gt[2 * (3 * i + j)].0[lane] = u.0[i][j].re;
+                        gt[2 * (3 * i + j) + 1].0[lane] = u.0[i][j].im;
+                    }
+                }
+            }
+        }
+        Self { data }
+    }
+
+    #[inline]
+    fn tile(&self, parity: Parity, tile: usize, dir: Dir) -> &GaugeTile<T, N> {
+        &self.data[parity.index()][tile][dir.index()]
+    }
+}
+
+/// Per-domain clover + mass diagonal in fused layout: for each chirality,
+/// 6 real diagonals and 15 complex off-diagonals (re/im split).
+pub struct FusedClover<T: Real, const N: usize> {
+    /// `[parity][tile][chirality]` -> (diag[6], off_re_im[30]).
+    data: [Vec<[([VReal<T, N>; 6], [VReal<T, N>; 30]); 2]>; 2],
+}
+
+impl<T: Real, const N: usize> FusedClover<T, N> {
+    /// Gather the `(Nd+m) + Dcl` diagonal of `domain`.
+    pub fn gather(op: &WilsonClover<T>, domain: &Domain) -> Self {
+        let layout = TileLayout::new(domain.dims);
+        assert_eq!(layout.lanes(), N);
+        let tiles = layout.tiles_per_parity();
+        let zero = [([VReal::ZERO; 6], [VReal::ZERO; 30]); 2];
+        let mut data = [vec![zero; tiles], vec![zero; tiles]];
+        let lattice_idx = SiteIndexer::new(*op.dims());
+        let block_idx = SiteIndexer::new(domain.dims);
+        for local in block_idx.iter() {
+            let (p, tile, lane) = layout.locate(&local);
+            let gsite = lattice_idx.index(&domain.to_lattice(&local));
+            let site = op.diag().site(gsite);
+            for ch in 0..2 {
+                let blk = &site.block[ch];
+                let (diag, off) = &mut data[p.index()][tile][ch];
+                for i in 0..6 {
+                    diag[i].0[lane] = blk.diag[i];
+                }
+                for k in 0..15 {
+                    off[2 * k].0[lane] = blk.off[k].re;
+                    off[2 * k + 1].0[lane] = blk.off[k].im;
+                }
+            }
+        }
+        Self { data }
+    }
+}
+
+/// Permutation pattern for one (flavor, parity, dir, orientation): source
+/// lane table plus the boundary mask (false = neighbor outside block).
+#[derive(Clone)]
+struct Pattern<const N: usize> {
+    table: [usize; N],
+    mask: [bool; N],
+    /// True if any lane survives (x/y always; z/t handled separately).
+    any: bool,
+}
+
+/// Precomputed patterns and rules for the fused kernel of one block shape.
+pub struct FusedKernel<T: Real, const N: usize> {
+    layout: TileLayout,
+    basis: GammaBasis,
+    /// `[flavor][parity][dir(0..2 = x,y)][fwd]`.
+    xy: Vec<Pattern<N>>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+#[inline]
+fn xy_idx(flavor: usize, parity: Parity, dir: usize, fwd: usize) -> usize {
+    ((flavor * 2 + parity.index()) * 2 + dir) * 2 + fwd
+}
+
+/// Accumulate `dst += coef * src` where `coef` is `+-1` or `+-i`
+/// (complex, lane-wise on split re/im vectors).
+#[inline(always)]
+fn acc_unit<T: Real, const N: usize>(
+    dst_re: &mut VReal<T, N>,
+    dst_im: &mut VReal<T, N>,
+    src_re: VReal<T, N>,
+    src_im: VReal<T, N>,
+    coef: C64,
+) {
+    if coef.im == 0.0 {
+        if coef.re >= 0.0 {
+            *dst_re = dst_re.add(src_re);
+            *dst_im = dst_im.add(src_im);
+        } else {
+            *dst_re = dst_re.sub(src_re);
+            *dst_im = dst_im.sub(src_im);
+        }
+    } else if coef.im > 0.0 {
+        // * i: (re, im) -> (-im, re)
+        *dst_re = dst_re.sub(src_im);
+        *dst_im = dst_im.add(src_re);
+    } else {
+        // * -i
+        *dst_re = dst_re.add(src_im);
+        *dst_im = dst_im.sub(src_re);
+    }
+}
+
+/// `dst += s * src` for a real lane-invariant scalar.
+#[inline(always)]
+fn acc_scaled<T: Real, const N: usize>(dst: &mut VReal<T, N>, src: VReal<T, N>, s: T) {
+    *dst = dst.fma(src, VReal::splat(s));
+}
+
+type Half<T, const N: usize> = [[VReal<T, N>; 2]; 6]; // 6 complex (2 spin x 3 color), [re, im]
+
+impl<T: Real, const N: usize> FusedKernel<T, N> {
+    pub fn new(block: Dims) -> Self {
+        let layout = TileLayout::new(block);
+        assert_eq!(layout.lanes(), N, "lane count mismatch");
+        let mut xy = Vec::with_capacity(16);
+        for flavor in 0..2 {
+            for parity in [Parity::Even, Parity::Odd] {
+                for dir in [Dir::X, Dir::Y] {
+                    for fwd in [false, true] {
+                        let pat = layout.xy_neighbor(flavor, parity, dir, fwd);
+                        let mut table = [0usize; N];
+                        let mut mask = [false; N];
+                        for (l, src) in pat.iter().enumerate() {
+                            match src {
+                                LaneSrc::Internal(s) => {
+                                    table[l] = *s;
+                                    mask[l] = true;
+                                }
+                                LaneSrc::Boundary(_) => {
+                                    table[l] = l;
+                                    mask[l] = false;
+                                }
+                            }
+                        }
+                        xy.push(Pattern { table, mask, any: mask.iter().any(|&b| b) });
+                    }
+                }
+            }
+        }
+        Self { layout, basis: GammaBasis::degrand_rossi(), xy, _marker: std::marker::PhantomData }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    /// Fetch a spinor tile with lanes permuted (and masked lanes zeroed).
+    #[inline]
+    fn permuted_tile(
+        src: &FusedTile<T, N>,
+        pattern: &Pattern<N>,
+    ) -> FusedTile<T, N> {
+        std::array::from_fn(|c| {
+            let permuted = src[c].permute(&pattern.table);
+            VReal::ZERO.masked_add(&pattern.mask, permuted)
+        })
+    }
+
+    /// Project `(1 + sign*gamma_mu)` on a (possibly permuted) tile.
+    #[inline]
+    fn project(&self, dir: Dir, plus: bool, tile: &FusedTile<T, N>) -> Half<T, N> {
+        let rule = self.basis.gamma[dir.index()].proj_rule(plus);
+        let mut h: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
+        for s in 0..2 {
+            let (src_spin, coef) = rule[s];
+            for c in 0..3 {
+                let k = 3 * s + c;
+                let base = 3 * src_spin + c;
+                let (mut re, mut im) = (tile[2 * k], tile[2 * k + 1]);
+                acc_unit(&mut re, &mut im, tile[2 * base], tile[2 * base + 1], coef);
+                h[k] = [re, im];
+            }
+        }
+        h
+    }
+
+    /// `out = U * h` (color multiply of both spin components).
+    #[inline]
+    fn su3_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+        let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
+        for s in 0..2 {
+            for i in 0..3 {
+                let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
+                for c in 0..3 {
+                    let u_re = g[2 * (3 * i + c)];
+                    let u_im = g[2 * (3 * i + c) + 1];
+                    let h_re = h[3 * s + c][0];
+                    let h_im = h[3 * s + c][1];
+                    // acc += u * h
+                    acc_re = acc_re.fma(u_re, h_re).fms(u_im, h_im);
+                    acc_im = acc_im.fma(u_re, h_im).fma(u_im, h_re);
+                }
+                out[3 * s + i] = [acc_re, acc_im];
+            }
+        }
+        out
+    }
+
+    /// `out = U^dag * h`.
+    #[inline]
+    fn su3_adj_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+        let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
+        for s in 0..2 {
+            for i in 0..3 {
+                let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
+                for c in 0..3 {
+                    // conj(U[c][i]) * h[c]
+                    let u_re = g[2 * (3 * c + i)];
+                    let u_im = g[2 * (3 * c + i) + 1];
+                    let h_re = h[3 * s + c][0];
+                    let h_im = h[3 * s + c][1];
+                    acc_re = acc_re.fma(u_re, h_re).fma(u_im, h_im);
+                    acc_im = acc_im.fma(u_re, h_im).fms(u_im, h_re);
+                }
+                out[3 * s + i] = [acc_re, acc_im];
+            }
+        }
+        out
+    }
+
+    /// Reconstruct-and-accumulate `acc += -1/2 * recon(h)`.
+    #[inline]
+    fn reconstruct_acc(&self, dir: Dir, plus: bool, h: &Half<T, N>, acc: &mut FusedTile<T, N>) {
+        let m_half = T::from_f64(-0.5);
+        // Rows 0, 1 directly.
+        for k in 0..6 {
+            acc_scaled(&mut acc[2 * k], h[k][0], m_half);
+            acc_scaled(&mut acc[2 * k + 1], h[k][1], m_half);
+        }
+        // Rows 2, 3 from the rule.
+        let rule = self.basis.gamma[dir.index()].recon_rule(plus);
+        for s in 0..2 {
+            let (src_spin, coef) = rule[s];
+            let coef = coef.scale(-0.5);
+            for c in 0..3 {
+                let k = 3 * (2 + s) + c;
+                let base = 3 * src_spin + c;
+                // acc[k] += coef * h[base]; coef is +-1/2 or +-i/2.
+                let (re, im) = (h[base][0], h[base][1]);
+                if coef.im == 0.0 {
+                    acc_scaled(&mut acc[2 * k], re, T::from_f64(coef.re));
+                    acc_scaled(&mut acc[2 * k + 1], im, T::from_f64(coef.re));
+                } else {
+                    acc_scaled(&mut acc[2 * k], im, T::from_f64(-coef.im));
+                    acc_scaled(&mut acc[2 * k + 1], re, T::from_f64(coef.im));
+                }
+            }
+        }
+    }
+
+    /// The fused block hop: `out = (-1/2 Dw)|_block inp`, mapping the
+    /// vector on parity `from` to tiles of parity `to = from.flip()`.
+    /// `out` is overwritten.
+    pub fn hop(
+        &self,
+        out: &mut FusedField<T, N>,
+        inp: &FusedField<T, N>,
+        gauge: &FusedGauge<T, N>,
+        from: Parity,
+    ) {
+        let to = from.flip();
+        let block = *self.layout.block();
+        let (bz, bt) = (block[Dir::Z], block[Dir::T]);
+        for tz in 0..bz {
+            for tt in 0..bt {
+                let tile = self.layout.tile_of(tz, tt);
+                let flavor = self.layout.flavor(tile);
+                let mut acc: FusedTile<T, N> = [VReal::ZERO; 24];
+
+                // x and y hops: permutations within the same (z, t) slice.
+                for (di, dir) in [Dir::X, Dir::Y].into_iter().enumerate() {
+                    for (fi, fwd) in [false, true].into_iter().enumerate() {
+                        let pat = &self.xy[xy_idx(flavor, to, di, fi)];
+                        if !pat.any {
+                            continue;
+                        }
+                        let src = Self::permuted_tile(inp.tile(from, tile), pat);
+                        if fwd {
+                            // (1 - gamma) U(x) psi(x+mu)
+                            let h = self.project(dir, false, &src);
+                            let uh = Self::su3_mul(gauge.tile(to, tile, dir), &h);
+                            self.reconstruct_acc(dir, false, &uh, &mut acc);
+                        } else {
+                            // (1 + gamma) U^dag(x-mu) psi(x-mu): the link
+                            // lives at the source site -> permute it too.
+                            let g_src: GaugeTile<T, N> = std::array::from_fn(|c| {
+                                gauge.tile(from, tile, dir)[c].permute(&pat.table)
+                            });
+                            let h = self.project(dir, true, &src);
+                            let uh = Self::su3_adj_mul(&g_src, &h);
+                            self.reconstruct_acc(dir, true, &uh, &mut acc);
+                        }
+                    }
+                }
+
+                // z and t hops: tile-to-tile, no shuffles; drop hops that
+                // cross the block boundary.
+                for (dir, coord, extent) in [(Dir::Z, tz, bz), (Dir::T, tt, bt)] {
+                    // Forward.
+                    if coord + 1 < extent {
+                        let ntile = match dir {
+                            Dir::Z => self.layout.tile_of(tz + 1, tt),
+                            _ => self.layout.tile_of(tz, tt + 1),
+                        };
+                        let src = inp.tile(from, ntile);
+                        let h = self.project(dir, false, src);
+                        let uh = Self::su3_mul(gauge.tile(to, tile, dir), &h);
+                        self.reconstruct_acc(dir, false, &uh, &mut acc);
+                    }
+                    // Backward.
+                    if coord > 0 {
+                        let ntile = match dir {
+                            Dir::Z => self.layout.tile_of(tz - 1, tt),
+                            _ => self.layout.tile_of(tz, tt - 1),
+                        };
+                        let src = inp.tile(from, ntile);
+                        let h = self.project(dir, true, src);
+                        let uh = Self::su3_adj_mul(gauge.tile(from, ntile, dir), &h);
+                        self.reconstruct_acc(dir, true, &uh, &mut acc);
+                    }
+                }
+
+                *out.tile_mut(to, tile) = acc;
+            }
+        }
+    }
+
+    /// Apply the fused clover + mass diagonal on one parity (in place on
+    /// `out` from `inp`).
+    pub fn apply_diag(
+        &self,
+        out: &mut FusedField<T, N>,
+        inp: &FusedField<T, N>,
+        clover: &FusedClover<T, N>,
+        parity: Parity,
+    ) {
+        use qdd_field::clover::LOWER_PAIRS;
+        for tile in 0..self.layout.tiles_per_parity() {
+            let src = inp.tile(parity, tile);
+            let mut dst: FusedTile<T, N> = [VReal::ZERO; 24];
+            for ch in 0..2 {
+                let (diag, off) = &clover.data[parity.index()][tile][ch];
+                // Diagonal.
+                for i in 0..6 {
+                    let k = 6 * ch + i;
+                    dst[2 * k] = src[2 * k].mul(diag[i]);
+                    dst[2 * k + 1] = src[2 * k + 1].mul(diag[i]);
+                }
+                // Off-diagonals (i > j): dst_i += off * src_j;
+                // dst_j += conj(off) * src_i.
+                for (kk, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+                    let o_re = off[2 * kk];
+                    let o_im = off[2 * kk + 1];
+                    let gi = 6 * ch + i;
+                    let gj = 6 * ch + j;
+                    let (sj_re, sj_im) = (src[2 * gj], src[2 * gj + 1]);
+                    dst[2 * gi] = dst[2 * gi].fma(o_re, sj_re).fms(o_im, sj_im);
+                    dst[2 * gi + 1] = dst[2 * gi + 1].fma(o_re, sj_im).fma(o_im, sj_re);
+                    let (si_re, si_im) = (src[2 * gi], src[2 * gi + 1]);
+                    dst[2 * gj] = dst[2 * gj].fma(o_re, si_re).fma(o_im, si_im);
+                    dst[2 * gj + 1] = dst[2 * gj + 1].fma(o_re, si_im).fms(o_im, si_re);
+                }
+            }
+            *out.tile_mut(parity, tile) = dst;
+        }
+    }
+
+    /// The full fused block operator `D = diag + hop` on both parities:
+    /// `out = D inp` with Dirichlet block boundary.
+    pub fn apply_block(
+        &self,
+        out: &mut FusedField<T, N>,
+        inp: &FusedField<T, N>,
+        gauge: &FusedGauge<T, N>,
+        clover: &FusedClover<T, N>,
+        scratch: &mut FusedField<T, N>,
+    ) {
+        // Hops write into `out`; diag into scratch; sum.
+        self.hop(out, inp, gauge, Parity::Even); // writes odd tiles
+        self.hop(out, inp, gauge, Parity::Odd); // writes even tiles
+        self.apply_diag(scratch, inp, clover, Parity::Even);
+        self.apply_diag(scratch, inp, clover, Parity::Odd);
+        for parity in [Parity::Even, Parity::Odd] {
+            for tile in 0..self.layout.tiles_per_parity() {
+                let d = *scratch.tile(parity, tile);
+                let o = out.tile_mut(parity, tile);
+                for c in 0..24 {
+                    o[c] = o[c].add(d[c]);
+                }
+            }
+        }
+    }
+}
+
+/// The fused even-odd Schur complement of one domain:
+/// `D~ee = Dee - Deo Doo^-1 Doe` entirely on tile vectors.
+pub struct FusedSchur<T: Real, const N: usize> {
+    kernel: FusedKernel<T, N>,
+    gauge: FusedGauge<T, N>,
+    /// `(Nd+m) + Dcl` in fused form.
+    diag: FusedClover<T, N>,
+    /// Its per-site inverse.
+    diag_inv: FusedClover<T, N>,
+}
+
+impl<T: Real, const N: usize> FusedSchur<T, N> {
+    /// Assemble from the whole-lattice operator and a domain. Returns
+    /// `None` when a site diagonal is singular.
+    pub fn new(op: &WilsonClover<T>, domain: &Domain) -> Option<Self> {
+        let kernel = FusedKernel::new(domain.dims);
+        let gauge = FusedGauge::gather(op, domain);
+        let diag = FusedClover::gather(op, domain);
+        // Inverted diagonal: invert per site then gather.
+        let layout = TileLayout::new(domain.dims);
+        let tiles = layout.tiles_per_parity();
+        let zero = [([VReal::ZERO; 6], [VReal::ZERO; 30]); 2];
+        let mut data = [vec![zero; tiles], vec![zero; tiles]];
+        let lattice_idx = SiteIndexer::new(*op.dims());
+        let block_idx = SiteIndexer::new(domain.dims);
+        for local in block_idx.iter() {
+            let (p, tile, lane) = layout.locate(&local);
+            let gsite = lattice_idx.index(&domain.to_lattice(&local));
+            let inv = op.diag().site(gsite).invert()?;
+            for ch in 0..2 {
+                let blk = &inv.block[ch];
+                let (diag_v, off) = &mut data[p.index()][tile][ch];
+                for i in 0..6 {
+                    diag_v[i].0[lane] = blk.diag[i];
+                }
+                for k in 0..15 {
+                    off[2 * k].0[lane] = blk.off[k].re;
+                    off[2 * k + 1].0[lane] = blk.off[k].im;
+                }
+            }
+        }
+        Some(Self { kernel, gauge, diag, diag_inv: FusedClover { data } })
+    }
+
+    #[inline]
+    pub fn kernel(&self) -> &FusedKernel<T, N> {
+        &self.kernel
+    }
+
+    /// `out(even) = D~ee inp(even)`; `s1`, `s2` are scratch fused fields.
+    pub fn apply_schur(
+        &self,
+        out: &mut FusedField<T, N>,
+        inp: &FusedField<T, N>,
+        s1: &mut FusedField<T, N>,
+        s2: &mut FusedField<T, N>,
+    ) {
+        // s1(odd) = Doe inp(even)
+        self.kernel.hop(s1, inp, &self.gauge, Parity::Even);
+        // s2(odd) = Doo^-1 s1(odd)
+        self.kernel.apply_diag(s2, s1, &self.diag_inv, Parity::Odd);
+        // out(even) = -(Deo s2)(even)  [hop writes, then negate+add diag]
+        self.kernel.hop(out, s2, &self.gauge, Parity::Odd);
+        // s1(even) = Dee inp(even)
+        self.kernel.apply_diag(s1, inp, &self.diag, Parity::Even);
+        let tiles = self.kernel.layout.tiles_per_parity();
+        for tile in 0..tiles {
+            let dee = *s1.tile(Parity::Even, tile);
+            let o = out.tile_mut(Parity::Even, tile);
+            for c in 0..24 {
+                o[c] = dee[c].sub(o[c]);
+            }
+        }
+    }
+}
+
+/// Gather a block-local checkerboard slice pair (as used by the scalar
+/// Schur path) into a fused field. `even` and `odd` are cb-ordered block
+/// vectors.
+pub fn fused_from_cb<T: Real, const N: usize>(
+    block: Dims,
+    even: &[Spinor<T>],
+    odd: &[Spinor<T>],
+) -> FusedField<T, N> {
+    let idx = SiteIndexer::new(block);
+    let full: Vec<Spinor<T>> = idx
+        .iter()
+        .map(|c| {
+            let (p, cb) = idx.cb_index(&c);
+            match p {
+                Parity::Even => even[cb],
+                Parity::Odd => odd[cb],
+            }
+        })
+        .collect();
+    FusedField::gather(&full, block)
+}
+
+/// Scatter a fused field back to checkerboard vectors.
+pub fn fused_to_cb<T: Real, const N: usize>(
+    field: &FusedField<T, N>,
+    block: Dims,
+) -> (Vec<Spinor<T>>, Vec<Spinor<T>>) {
+    let idx = SiteIndexer::new(block);
+    let mut full = vec![Spinor::ZERO; block.volume()];
+    field.scatter(&mut full);
+    let half = block.volume() / 2;
+    let mut even = vec![Spinor::ZERO; half];
+    let mut odd = vec![Spinor::ZERO; half];
+    for c in idx.iter() {
+        let (p, cb) = idx.cb_index(&c);
+        match p {
+            Parity::Even => even[cb] = full[idx.index(&c)],
+            Parity::Odd => odd[cb] = full[idx.index(&c)],
+        }
+    }
+    (even, odd)
+}
+
+/// Helper for tests/benches: local coordinate round trip.
+pub fn coord_roundtrip_check(block: Dims) -> bool {
+    let layout = TileLayout::new(block);
+    let idx = SiteIndexer::new(block);
+    let coords: Vec<Coord> = idx.iter().collect();
+    coords.iter().all(|c| {
+        let (p, t, l) = layout.locate(c);
+        layout.coord(p, t, l) == *c
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{DomainFields, SchurOperator};
+    use crate::clover::build_clover_field;
+    use crate::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::DomainGrid;
+    use qdd_util::rng::Rng64;
+
+    fn setup(block: Dims) -> (WilsonClover<f64>, DomainGrid) {
+        let dims = block.times(&Dims::new(2, 2, 2, 2));
+        let mut rng = Rng64::new(71);
+        let g = GaugeField::random(dims, &mut rng, 0.7);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.6, &basis);
+        let op = WilsonClover::new(g, c, 0.2, BoundaryPhases::periodic());
+        let grid = DomainGrid::new(dims, block);
+        (op, grid)
+    }
+
+    fn check_fused_matches_scalar<const N: usize>(block: Dims) {
+        let (op, grid) = setup(block);
+        let fields = DomainFields::new(&op).unwrap();
+        for dom_idx in [0, 5, grid.num_domains() - 1] {
+            let domain = grid.domain(dom_idx);
+            let schur = SchurOperator::new(&op, &fields, domain);
+            let n = schur.cb_len();
+            let mut rng = Rng64::new(72 + dom_idx as u64);
+            let in_e: Vec<Spinor<f64>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+            let in_o: Vec<Spinor<f64>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+
+            // Scalar reference: the full block operator.
+            let mut block_in = in_e.clone();
+            block_in.extend_from_slice(&in_o);
+            let mut expect = vec![Spinor::ZERO; 2 * n];
+            schur.apply_block_full(&mut expect, &block_in);
+
+            // Fused path.
+            let kernel = FusedKernel::<f64, N>::new(block);
+            let gauge = FusedGauge::<f64, N>::gather(&op, &domain);
+            let clover = FusedClover::<f64, N>::gather(&op, &domain);
+            let inp = fused_from_cb::<f64, N>(block, &in_e, &in_o);
+            let mut out = FusedField::<f64, N>::zeros(block);
+            let mut scratch = FusedField::<f64, N>::zeros(block);
+            kernel.apply_block(&mut out, &inp, &gauge, &clover, &mut scratch);
+            let (got_e, got_o) = fused_to_cb::<f64, N>(&out, block);
+
+            for cb in 0..n {
+                let de = got_e[cb].sub(expect[cb]);
+                assert!(
+                    de.norm_sqr() < 1e-20,
+                    "block {block} domain {dom_idx} even cb {cb}: {}",
+                    de.norm_sqr()
+                );
+                let do_ = got_o[cb].sub(expect[n + cb]);
+                assert!(
+                    do_.norm_sqr() < 1e-20,
+                    "block {block} domain {dom_idx} odd cb {cb}: {}",
+                    do_.norm_sqr()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_block_operator_matches_scalar_paper_block() {
+        // The paper's 8x4 cross-section: 16 lanes.
+        check_fused_matches_scalar::<16>(Dims::new(8, 4, 4, 4));
+    }
+
+    #[test]
+    fn fused_block_operator_matches_scalar_8_lanes() {
+        check_fused_matches_scalar::<8>(Dims::new(4, 4, 2, 2));
+    }
+
+    #[test]
+    fn fused_hop_only_matches_scalar() {
+        let block = Dims::new(4, 4, 2, 2);
+        let (op, grid) = setup(block);
+        let fields = DomainFields::new(&op).unwrap();
+        let domain = grid.domain(3);
+        let schur = SchurOperator::new(&op, &fields, domain);
+        let n = schur.cb_len();
+        let mut rng = Rng64::new(75);
+        let in_e: Vec<Spinor<f64>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+        let zero = vec![Spinor::ZERO; n];
+        let mut expect = vec![Spinor::ZERO; n];
+        schur.hop(&mut expect, &in_e, Parity::Even); // even -> odd
+
+        let kernel = FusedKernel::<f64, 8>::new(block);
+        let gauge = FusedGauge::<f64, 8>::gather(&op, &domain);
+        let inp = fused_from_cb::<f64, 8>(block, &in_e, &zero);
+        let mut out = FusedField::<f64, 8>::zeros(block);
+        kernel.hop(&mut out, &inp, &gauge, Parity::Even);
+        let (_, got_o) = fused_to_cb::<f64, 8>(&out, block);
+        for cb in 0..n {
+            let d = got_o[cb].sub(expect[cb]);
+            assert!(d.norm_sqr() < 1e-20, "cb {cb}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn fused_diag_matches_scalar() {
+        let block = Dims::new(4, 4, 2, 2);
+        let (op, grid) = setup(block);
+        let fields = DomainFields::new(&op).unwrap();
+        let domain = grid.domain(1);
+        let schur = SchurOperator::new(&op, &fields, domain);
+        let n = schur.cb_len();
+        let mut rng = Rng64::new(76);
+        let in_o: Vec<Spinor<f64>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+        let zero = vec![Spinor::ZERO; n];
+        let mut expect = vec![Spinor::ZERO; n];
+        schur.apply_diag(&mut expect, &in_o, Parity::Odd);
+
+        let kernel = FusedKernel::<f64, 8>::new(block);
+        let clover = FusedClover::<f64, 8>::gather(&op, &domain);
+        let inp = fused_from_cb::<f64, 8>(block, &zero, &in_o);
+        let mut out = FusedField::<f64, 8>::zeros(block);
+        kernel.apply_diag(&mut out, &inp, &clover, Parity::Odd);
+        let (_, got_o) = fused_to_cb::<f64, 8>(&out, block);
+        for cb in 0..n {
+            let d = got_o[cb].sub(expect[cb]);
+            assert!(d.norm_sqr() < 1e-22, "cb {cb}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn f32_fused_path_works() {
+        let block = Dims::new(8, 4, 4, 4);
+        let (op, grid) = setup(block);
+        let op32: WilsonClover<f32> = op.cast();
+        let domain = grid.domain(0);
+        let kernel = FusedKernel::<f32, 16>::new(block);
+        let gauge = FusedGauge::<f32, 16>::gather(&op32, &domain);
+        let clover = FusedClover::<f32, 16>::gather(&op32, &domain);
+        let n = block.volume() / 2;
+        let mut rng = Rng64::new(77);
+        let in_e: Vec<Spinor<f32>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+        let in_o: Vec<Spinor<f32>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+        let inp = fused_from_cb::<f32, 16>(block, &in_e, &in_o);
+        let mut out = FusedField::<f32, 16>::zeros(block);
+        let mut scratch = FusedField::<f32, 16>::zeros(block);
+        kernel.apply_block(&mut out, &inp, &gauge, &clover, &mut scratch);
+        // Cross-check against the f64 scalar path at f32 accuracy.
+        let fields = DomainFields::new(&op).unwrap();
+        let schur = SchurOperator::new(&op, &fields, domain);
+        let mut block_in: Vec<Spinor<f64>> =
+            in_e.iter().map(|s| s.cast()).collect();
+        block_in.extend(in_o.iter().map(|s| s.cast::<f64>()));
+        let mut expect = vec![Spinor::ZERO; 2 * n];
+        schur.apply_block_full(&mut expect, &block_in);
+        let (got_e, got_o) = fused_to_cb::<f32, 16>(&out, block);
+        for cb in 0..n {
+            let ge: Spinor<f64> = got_e[cb].cast();
+            let d = ge.sub(expect[cb]);
+            assert!(d.norm_sqr() < 1e-8, "even cb {cb}: {}", d.norm_sqr());
+            let go: Spinor<f64> = got_o[cb].cast();
+            let d = go.sub(expect[n + cb]);
+            assert!(d.norm_sqr() < 1e-8, "odd cb {cb}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn fused_schur_matches_scalar() {
+        let block = Dims::new(8, 4, 4, 4);
+        let (op, grid) = setup(block);
+        let fields = DomainFields::new(&op).unwrap();
+        let domain = grid.domain(2);
+        let schur = SchurOperator::new(&op, &fields, domain);
+        let n = schur.cb_len();
+        let mut rng = Rng64::new(78);
+        let in_e: Vec<Spinor<f64>> = (0..n).map(|_| Spinor::random(&mut rng)).collect();
+        let zero = vec![Spinor::ZERO; n];
+        let mut expect = vec![Spinor::ZERO; n];
+        let mut scratch = vec![Spinor::ZERO; 2 * n];
+        schur.apply_schur(&mut expect, &in_e, &mut scratch);
+
+        let fused = FusedSchur::<f64, 16>::new(&op, &domain).unwrap();
+        let inp = fused_from_cb::<f64, 16>(block, &in_e, &zero);
+        let mut out = FusedField::<f64, 16>::zeros(block);
+        let mut s1 = FusedField::<f64, 16>::zeros(block);
+        let mut s2 = FusedField::<f64, 16>::zeros(block);
+        fused.apply_schur(&mut out, &inp, &mut s1, &mut s2);
+        let (got_e, _) = fused_to_cb::<f64, 16>(&out, block);
+        for cb in 0..n {
+            let d = got_e[cb].sub(expect[cb]);
+            assert!(d.norm_sqr() < 1e-18, "cb {cb}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn coord_roundtrip_helper() {
+        assert!(coord_roundtrip_check(Dims::new(8, 4, 4, 4)));
+        assert!(coord_roundtrip_check(Dims::new(4, 4, 2, 2)));
+    }
+}

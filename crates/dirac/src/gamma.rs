@@ -1,0 +1,460 @@
+//! Dirac spin algebra in the DeGrand-Rossi (chiral) basis.
+//!
+//! The Wilson hopping term applies `(1 -+ gamma_mu)` before the color
+//! multiply. These projectors have rank 2: the lower two spin components
+//! of the projected spinor are fixed multiples of the upper two, so only a
+//! 12-real-component *half-spinor* needs the SU(3) multiply (paper
+//! Sec. II-B). The multiplier is always one of `{+-1, +-i}`, which is what
+//! makes the trick cheap.
+//!
+//! Rather than hard-coding the projection coefficient tables (an endless
+//! source of sign bugs), they are *derived* from the gamma matrices at
+//! construction and cross-validated against full 4x4 spin-matrix
+//! application in the tests.
+
+use qdd_field::spinor::{HalfSpinor, Spinor};
+use qdd_field::su3::C3;
+use qdd_util::complex::{Complex, Real, C64};
+
+/// A 4x4 complex spin matrix (f64 master precision).
+pub type SpinMat = [[C64; 4]; 4];
+
+/// One gamma matrix with its derived projection data.
+#[derive(Clone, Debug)]
+pub struct Gamma {
+    /// The full 4x4 matrix.
+    pub mat: SpinMat,
+    /// For projection rows s = 0, 1 of `(1 + sign*gamma)`: the source spin
+    /// (in {2, 3}) and coefficient for the gamma part, per sign
+    /// (`[0]` = minus, `[1]` = plus).
+    proj_src: [usize; 2],
+    proj_coef: [[C64; 2]; 2],
+    /// For reconstruction rows s = 2, 3: the source half-spinor component
+    /// (in {0, 1}) and coefficient, per sign.
+    recon_src: [usize; 2],
+    recon_coef: [[C64; 2]; 2],
+}
+
+fn c(re: f64, im: f64) -> C64 {
+    Complex::new(re, im)
+}
+
+impl Gamma {
+    /// Build from a full matrix with the "one entry per row, unit modulus"
+    /// structure of the standard bases.
+    fn derive(mat: SpinMat) -> Gamma {
+        let mut proj_src = [0usize; 2];
+        let mut recon_src = [0usize; 2];
+        let mut proj_coef = [[C64::ZERO; 2]; 2];
+        let mut recon_coef = [[C64::ZERO; 2]; 2];
+
+        for s in 0..2 {
+            // Row s of gamma must have exactly one nonzero entry, in
+            // columns 2..4.
+            let nz: Vec<usize> = (0..4).filter(|&j| mat[s][j].abs() > 1e-14).collect();
+            assert_eq!(nz.len(), 1, "gamma row {s} structure unsupported");
+            let j = nz[0];
+            assert!(j >= 2, "gamma must be block-off-diagonal in the chiral basis");
+            proj_src[s] = j;
+            for (k, sign) in [(-1.0), 1.0].iter().enumerate() {
+                proj_coef[s][k] = mat[s][j].scale(*sign);
+            }
+        }
+        for s in 2..4 {
+            let nz: Vec<usize> = (0..4).filter(|&j| mat[s][j].abs() > 1e-14).collect();
+            assert_eq!(nz.len(), 1, "gamma row {s} structure unsupported");
+            let j = nz[0];
+            assert!(j < 2);
+            recon_src[s - 2] = j;
+            for (k, sign) in [(-1.0), 1.0].iter().enumerate() {
+                recon_coef[s - 2][k] = mat[s][j].scale(*sign);
+            }
+        }
+        Gamma { mat, proj_src, proj_coef, recon_src, recon_coef }
+    }
+
+    /// Project: upper two spin rows of `(1 + sign*gamma) psi`.
+    ///
+    /// `sign = false` means `(1 - gamma)` (forward hop), `sign = true`
+    /// means `(1 + gamma)` (backward hop).
+    #[inline]
+    pub fn project<T: Real>(&self, plus: bool, psi: &Spinor<T>) -> HalfSpinor<T> {
+        let k = plus as usize;
+        let mut h = HalfSpinor::ZERO;
+        for s in 0..2 {
+            let coef: Complex<T> = self.proj_coef[s][k].cast();
+            let src = psi.0[self.proj_src[s]];
+            h.0[s] = psi.0[s].add(mul_unit(src, coef));
+        }
+        h
+    }
+
+    /// Reconstruct the full 4-spinor `(1 + sign*gamma) psi` from the
+    /// projected half-spinor (after the color multiply).
+    #[inline]
+    pub fn reconstruct<T: Real>(&self, plus: bool, h: &HalfSpinor<T>) -> Spinor<T> {
+        let k = plus as usize;
+        let mut out = Spinor::ZERO;
+        out.0[0] = h.0[0];
+        out.0[1] = h.0[1];
+        for s in 0..2 {
+            let coef: Complex<T> = self.recon_coef[s][k].cast();
+            out.0[2 + s] = mul_unit(h.0[self.recon_src[s]], coef);
+        }
+        out
+    }
+
+    /// Accumulate the reconstruction onto an existing spinor.
+    #[inline]
+    pub fn reconstruct_add<T: Real>(&self, plus: bool, h: &HalfSpinor<T>, acc: &mut Spinor<T>) {
+        let k = plus as usize;
+        acc.0[0] = acc.0[0].add(h.0[0]);
+        acc.0[1] = acc.0[1].add(h.0[1]);
+        for s in 0..2 {
+            let coef: Complex<T> = self.recon_coef[s][k].cast();
+            acc.0[2 + s] = acc.0[2 + s].add(mul_unit(h.0[self.recon_src[s]], coef));
+        }
+    }
+
+    /// The projection rule for spin rows 0 and 1 of `(1 + sign*gamma)`:
+    /// `h_s = psi_s + coef_s * psi_{src_s}`. Coefficients are unit-modulus
+    /// (`+-1` or `+-i`). Used by the site-fused kernels.
+    pub fn proj_rule(&self, plus: bool) -> [(usize, C64); 2] {
+        let k = plus as usize;
+        [
+            (self.proj_src[0], self.proj_coef[0][k]),
+            (self.proj_src[1], self.proj_coef[1][k]),
+        ]
+    }
+
+    /// The reconstruction rule for spin rows 2 and 3:
+    /// `psi_{2+s} = coef_s * h_{src_s}`.
+    pub fn recon_rule(&self, plus: bool) -> [(usize, C64); 2] {
+        let k = plus as usize;
+        [
+            (self.recon_src[0], self.recon_coef[0][k]),
+            (self.recon_src[1], self.recon_coef[1][k]),
+        ]
+    }
+
+    /// Apply the full matrix `(1 + sign*gamma)` naively (reference path).
+    pub fn apply_projector_full<T: Real>(&self, plus: bool, psi: &Spinor<T>) -> Spinor<T> {
+        let sign = if plus { 1.0 } else { -1.0 };
+        let mut out = *psi;
+        for s in 0..4 {
+            for sp in 0..4 {
+                let g: Complex<T> = self.mat[s][sp].scale(sign).cast();
+                out.0[s] = out.0[s].add(psi.0[sp].cmul(g));
+            }
+        }
+        out
+    }
+}
+
+/// Multiply a color vector by a unit-modulus complex coefficient, using the
+/// cheap paths for `+-1` and `+-i`.
+#[inline(always)]
+fn mul_unit<T: Real>(v: C3<T>, coef: Complex<T>) -> C3<T> {
+    let re = coef.re.to_f64();
+    let im = coef.im.to_f64();
+    if im == 0.0 {
+        if re == 1.0 {
+            v
+        } else if re == -1.0 {
+            v.neg()
+        } else {
+            v.scale(coef.re)
+        }
+    } else if re == 0.0 {
+        if im == 1.0 {
+            v.mul_i()
+        } else if im == -1.0 {
+            v.mul_neg_i()
+        } else {
+            v.cmul(coef)
+        }
+    } else {
+        v.cmul(coef)
+    }
+}
+
+/// The four gamma matrices, gamma5, and the sigma tensor.
+#[derive(Clone, Debug)]
+pub struct GammaBasis {
+    pub gamma: [Gamma; 4],
+    /// `gamma5 = gamma_x gamma_y gamma_z gamma_t`, diagonal in this basis.
+    pub gamma5: SpinMat,
+    /// `sigma[mu][nu] = (i/2) [gamma_mu, gamma_nu]`.
+    pub sigma: [[SpinMat; 4]; 4],
+}
+
+fn mat_mul(a: &SpinMat, b: &SpinMat) -> SpinMat {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let v = a[i][k];
+            if v.abs() == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                out[i][j] = out[i][j].add_mul(v, b[k][j]);
+            }
+        }
+    }
+    out
+}
+
+fn mat_sub(a: &SpinMat, b: &SpinMat) -> SpinMat {
+    let mut out = *a;
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] -= b[i][j];
+        }
+    }
+    out
+}
+
+fn mat_scale(a: &SpinMat, s: C64) -> SpinMat {
+    let mut out = *a;
+    for row in out.iter_mut() {
+        for z in row.iter_mut() {
+            *z *= s;
+        }
+    }
+    out
+}
+
+impl GammaBasis {
+    /// The DeGrand-Rossi basis used throughout this crate.
+    pub fn degrand_rossi() -> GammaBasis {
+        let z = c(0.0, 0.0);
+        let i = c(0.0, 1.0);
+        let ni = c(0.0, -1.0);
+        let o = c(1.0, 0.0);
+        let no = c(-1.0, 0.0);
+
+        let gx: SpinMat = [[z, z, z, i], [z, z, i, z], [z, ni, z, z], [ni, z, z, z]];
+        let gy: SpinMat = [[z, z, z, no], [z, z, o, z], [z, o, z, z], [no, z, z, z]];
+        let gz: SpinMat = [[z, z, i, z], [z, z, z, ni], [ni, z, z, z], [z, i, z, z]];
+        let gt: SpinMat = [[z, z, o, z], [z, z, z, o], [o, z, z, z], [z, o, z, z]];
+
+        let gamma = [Gamma::derive(gx), Gamma::derive(gy), Gamma::derive(gz), Gamma::derive(gt)];
+
+        let gamma5 = mat_mul(&mat_mul(&gamma[0].mat, &gamma[1].mat), &mat_mul(&gamma[2].mat, &gamma[3].mat));
+
+        let mut sigma = [[[[C64::ZERO; 4]; 4]; 4]; 4];
+        for mu in 0..4 {
+            for nu in 0..4 {
+                let comm = mat_sub(
+                    &mat_mul(&gamma[mu].mat, &gamma[nu].mat),
+                    &mat_mul(&gamma[nu].mat, &gamma[mu].mat),
+                );
+                sigma[mu][nu] = mat_scale(&comm, c(0.0, 0.5));
+            }
+        }
+        GammaBasis { gamma, gamma5, sigma }
+    }
+
+    /// Apply `gamma5` to a spinor (diagonal +-1 in the chiral basis).
+    pub fn apply_gamma5<T: Real>(&self, psi: &Spinor<T>) -> Spinor<T> {
+        let mut out = Spinor::ZERO;
+        for s in 0..4 {
+            let d: Complex<T> = self.gamma5[s][s].cast();
+            out.0[s] = psi.0[s].cmul(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_util::rng::Rng64;
+
+    fn basis() -> GammaBasis {
+        GammaBasis::degrand_rossi()
+    }
+
+    fn mat_identity() -> SpinMat {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for i in 0..4 {
+            m[i][i] = C64::ONE;
+        }
+        m
+    }
+
+    fn mat_max_diff(a: &SpinMat, b: &SpinMat) -> f64 {
+        let mut e = 0.0f64;
+        for i in 0..4 {
+            for j in 0..4 {
+                e = e.max((a[i][j] - b[i][j]).abs());
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn clifford_algebra() {
+        let b = basis();
+        for mu in 0..4 {
+            for nu in 0..4 {
+                let anti = {
+                    let ab = mat_mul(&b.gamma[mu].mat, &b.gamma[nu].mat);
+                    let ba = mat_mul(&b.gamma[nu].mat, &b.gamma[mu].mat);
+                    let mut s = ab;
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            s[i][j] += ba[i][j];
+                        }
+                    }
+                    s
+                };
+                let expect = if mu == nu {
+                    mat_scale(&mat_identity(), c(2.0, 0.0))
+                } else {
+                    [[C64::ZERO; 4]; 4]
+                };
+                assert!(mat_max_diff(&anti, &expect) < 1e-14, "mu={mu} nu={nu}");
+            }
+        }
+    }
+
+    #[test]
+    fn gammas_are_hermitian() {
+        let b = basis();
+        for g in &b.gamma {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!((g.mat[i][j] - g.mat[j][i].conj()).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma5_is_diagonal_chiral() {
+        let b = basis();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(b.gamma5[i][j].abs() < 1e-14);
+                } else {
+                    assert!((b.gamma5[i][j].abs() - 1.0).abs() < 1e-14);
+                    assert!(b.gamma5[i][j].im.abs() < 1e-14);
+                }
+            }
+        }
+        // Chirality: upper block and lower block have opposite signs.
+        assert!((b.gamma5[0][0] - b.gamma5[1][1]).abs() < 1e-14);
+        assert!((b.gamma5[2][2] - b.gamma5[3][3]).abs() < 1e-14);
+        assert!((b.gamma5[0][0] + b.gamma5[2][2]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gamma5_anticommutes_with_gammas() {
+        let b = basis();
+        for mu in 0..4 {
+            let g5g = mat_mul(&b.gamma5, &b.gamma[mu].mat);
+            let gg5 = mat_mul(&b.gamma[mu].mat, &b.gamma5);
+            let mut sum = g5g;
+            for i in 0..4 {
+                for j in 0..4 {
+                    sum[i][j] += gg5[i][j];
+                }
+            }
+            assert!(mat_max_diff(&sum, &[[C64::ZERO; 4]; 4]) < 1e-14, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn sigma_is_hermitian_and_chiral_block_diagonal() {
+        let b = basis();
+        for mu in 0..4 {
+            for nu in 0..4 {
+                let s = &b.sigma[mu][nu];
+                for i in 0..4 {
+                    for j in 0..4 {
+                        assert!((s[i][j] - s[j][i].conj()).abs() < 1e-14);
+                    }
+                }
+                // sigma commutes with gamma5 -> no mixing between the
+                // (0,1) and (2,3) chirality blocks.
+                for i in 0..2 {
+                    for j in 2..4 {
+                        assert!(s[i][j].abs() < 1e-14, "mu={mu} nu={nu}");
+                        assert!(s[j][i].abs() < 1e-14);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_matches_full_matrix() {
+        let b = basis();
+        let mut rng = Rng64::new(42);
+        for _ in 0..20 {
+            let psi = Spinor::<f64>::random(&mut rng);
+            for mu in 0..4 {
+                for plus in [false, true] {
+                    let full = b.gamma[mu].apply_projector_full(plus, &psi);
+                    let h = b.gamma[mu].project(plus, &psi);
+                    let rec = b.gamma[mu].reconstruct(plus, &h);
+                    let d = full.sub(rec);
+                    assert!(d.norm_sqr() < 1e-24, "mu={mu} plus={plus} err={}", d.norm_sqr());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projector_is_projection_times_two() {
+        // P^2 = 2P for P = 1 +- gamma.
+        let b = basis();
+        let mut rng = Rng64::new(43);
+        let psi = Spinor::<f64>::random(&mut rng);
+        for mu in 0..4 {
+            for plus in [false, true] {
+                let once = b.gamma[mu].apply_projector_full(plus, &psi);
+                let twice = b.gamma[mu].apply_projector_full(plus, &once);
+                let d = twice.sub(once.scale(2.0));
+                assert!(d.norm_sqr() < 1e-22);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_and_minus_projectors_sum_to_identity() {
+        let b = basis();
+        let mut rng = Rng64::new(44);
+        let psi = Spinor::<f64>::random(&mut rng);
+        for mu in 0..4 {
+            let plus = b.gamma[mu].apply_projector_full(true, &psi);
+            let minus = b.gamma[mu].apply_projector_full(false, &psi);
+            let d = plus.add(minus).sub(psi.scale(2.0));
+            assert!(d.norm_sqr() < 1e-22);
+        }
+    }
+
+    #[test]
+    fn reconstruct_add_accumulates() {
+        let b = basis();
+        let mut rng = Rng64::new(45);
+        let psi = Spinor::<f64>::random(&mut rng);
+        let h = b.gamma[2].project(true, &psi);
+        let mut acc = psi;
+        b.gamma[2].reconstruct_add(true, &h, &mut acc);
+        let expect = psi.add(b.gamma[2].reconstruct(true, &h));
+        assert!(acc.sub(expect).norm_sqr() < 1e-24);
+    }
+
+    #[test]
+    fn gamma5_application() {
+        let b = basis();
+        let mut rng = Rng64::new(46);
+        let psi = Spinor::<f64>::random(&mut rng);
+        let g5psi = b.apply_gamma5(&psi);
+        let back = b.apply_gamma5(&g5psi);
+        assert!(back.sub(psi).norm_sqr() < 1e-24); // gamma5^2 = 1
+    }
+}

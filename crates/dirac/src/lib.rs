@@ -1,0 +1,41 @@
+//! The Wilson-Clover Dirac operator and its domain-restricted forms.
+//!
+//! This crate implements the sparse matrix the whole paper is about
+//! (Sec. II-B):
+//!
+//! ```text
+//! A = (Nd + m) - 1/2 Dw + Dcl
+//! ```
+//!
+//! with the Wilson nearest-neighbor hopping term `Dw` (a 9-point stencil
+//! in 4-D with 24 internal degrees of freedom), the clover improvement
+//! term `Dcl` built from the gauge field, and everything the
+//! domain-decomposition solver needs on top:
+//!
+//! - [`gamma`]: the Dirac spin algebra (DeGrand-Rossi basis), spin
+//!   projection to half-spinors and reconstruction — the 1344-flop/site
+//!   hopping kernel works entirely in projected form.
+//! - [`clover`]: construction of the clover field strength from
+//!   clover-leaf plaquettes.
+//! - [`wilson`]: the full operator on a local lattice, with halo inputs
+//!   for the multi-node case.
+//! - [`block`]: the domain-restricted operator `D` (zero Dirichlet
+//!   boundary) and the even-odd Schur complement `D̃ee` (paper Eq. (5))
+//!   used by the MR block solver.
+//! - [`boundary`]: spin-projected halo packing (what actually crosses
+//!   domain and rank boundaries, Fig. 3).
+//! - [`fused`]: the site-fused SIMD implementation of the block operator
+//!   using the xy-tile layout of Sec. III-A.
+
+pub mod block;
+pub mod boundary;
+pub mod clover;
+pub mod fused;
+pub mod gamma;
+pub mod wilson;
+
+pub use block::{DomainFields, SchurOperator};
+pub use clover::build_clover_field;
+pub use fused::{FusedClover, FusedGauge, FusedKernel, FusedSchur};
+pub use gamma::{Gamma, GammaBasis};
+pub use wilson::{BoundaryPhases, WilsonClover, DW_FLOPS_PER_SITE, TOTAL_FLOPS_PER_SITE};

@@ -1,0 +1,371 @@
+//! Packed Hermitian 6x6 blocks: the clover term.
+//!
+//! The clover term is block-diagonal in chirality: it couples the 6
+//! components (2 spin x 3 color) of each chiral half of a spinor through a
+//! Hermitian 6x6 matrix. Each block is stored packed as 6 real diagonal
+//! elements + 15 complex lower-triangle elements = 36 reals, i.e. 72 reals
+//! per site for both blocks (paper Sec. II-B).
+
+use crate::spinor::Spinor;
+use qdd_util::complex::{Complex, Real};
+
+/// Flat order of the 15 strictly-lower-triangle (i > j) index pairs.
+pub const LOWER_PAIRS: [(usize, usize); 15] = [
+    (1, 0),
+    (2, 0),
+    (2, 1),
+    (3, 0),
+    (3, 1),
+    (3, 2),
+    (4, 0),
+    (4, 1),
+    (4, 2),
+    (4, 3),
+    (5, 0),
+    (5, 1),
+    (5, 2),
+    (5, 3),
+    (5, 4),
+];
+
+/// A packed Hermitian 6x6 matrix.
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[repr(C)]
+pub struct Herm6<T: Real> {
+    /// Real diagonal.
+    pub diag: [T; 6],
+    /// Strictly-lower triangle in [`LOWER_PAIRS`] order; the upper triangle
+    /// is the conjugate.
+    pub off: [Complex<T>; 15],
+}
+
+impl<T: Real> Default for Herm6<T> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<T: Real> Herm6<T> {
+    pub fn zero() -> Self {
+        Self { diag: [T::ZERO; 6], off: [Complex::ZERO; 15] }
+    }
+
+    /// Identity scaled by `s`.
+    pub fn scaled_identity(s: T) -> Self {
+        Self { diag: [s; 6], off: [Complex::ZERO; 15] }
+    }
+
+    /// Build from a full 6x6 matrix, which must be Hermitian (the skew part
+    /// is discarded; debug builds assert it is small).
+    pub fn from_full(m: &[[Complex<T>; 6]; 6]) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut scale = 0.0f64;
+            for row in m.iter() {
+                for z in row.iter() {
+                    scale = scale.max(z.abs().to_f64());
+                }
+            }
+            for i in 0..6 {
+                for j in 0..6 {
+                    let skew = (m[i][j] - m[j][i].conj()).abs().to_f64();
+                    debug_assert!(
+                        skew <= 1e-5 * scale.max(1e-30),
+                        "matrix not Hermitian: skew {skew} at ({i},{j})"
+                    );
+                }
+            }
+        }
+        let mut h = Self::zero();
+        for i in 0..6 {
+            h.diag[i] = m[i][i].re;
+        }
+        for (k, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+            h.off[k] = (m[i][j] + m[j][i].conj()).scale(T::from_f64(0.5));
+        }
+        h
+    }
+
+    /// Expand to a full 6x6 matrix.
+    pub fn to_full(&self) -> [[Complex<T>; 6]; 6] {
+        let mut m = [[Complex::ZERO; 6]; 6];
+        for i in 0..6 {
+            m[i][i] = Complex::real(self.diag[i]);
+        }
+        for (k, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+            m[i][j] = self.off[k];
+            m[j][i] = self.off[k].conj();
+        }
+        m
+    }
+
+    /// Matrix-vector product on a 6-component chiral half.
+    #[inline]
+    pub fn apply(&self, v: &[Complex<T>; 6]) -> [Complex<T>; 6] {
+        let mut out = [Complex::ZERO; 6];
+        for i in 0..6 {
+            out[i] = v[i].scale(self.diag[i]);
+        }
+        for (k, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+            let a = self.off[k];
+            out[i] = out[i].add_mul(a, v[j]);
+            out[j] = out[j].add_conj_mul(a, v[i]);
+        }
+        out
+    }
+
+    /// Add `s` to the diagonal (the `(Nd + m)` mass shift).
+    pub fn add_diag(&self, s: T) -> Self {
+        let mut out = *self;
+        for d in out.diag.iter_mut() {
+            *d += s;
+        }
+        out
+    }
+
+    /// Sum of two packed matrices.
+    pub fn add(&self, o: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..6 {
+            out.diag[i] += o.diag[i];
+        }
+        for k in 0..15 {
+            out.off[k] += o.off[k];
+        }
+        out
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(&self, s: T) -> Self {
+        let mut out = *self;
+        for d in out.diag.iter_mut() {
+            *d *= s;
+        }
+        for z in out.off.iter_mut() {
+            *z = z.scale(s);
+        }
+        out
+    }
+
+    /// Inverse via Gauss-Jordan elimination with partial pivoting on the
+    /// full 6x6 form. The inverse of a Hermitian matrix is Hermitian, so it
+    /// repacks exactly. Returns `None` if the block is numerically singular
+    /// (the even-odd preconditioner treats this as a breakdown).
+    pub fn invert(&self) -> Option<Herm6<T>> {
+        let mut a = self.to_full();
+        let mut inv = [[Complex::<T>::ZERO; 6]; 6];
+        for (i, row) in inv.iter_mut().enumerate() {
+            row[i] = Complex::ONE;
+        }
+        for k in 0..6 {
+            // Pivot.
+            let mut p = k;
+            let mut best = a[k][k].abs().to_f64();
+            for i in k + 1..6 {
+                let v = a[i][k].abs().to_f64();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if !(best > 0.0) || !best.is_finite() {
+                return None;
+            }
+            if p != k {
+                a.swap(k, p);
+                inv.swap(k, p);
+            }
+            let piv = a[k][k].inv();
+            for j in 0..6 {
+                a[k][j] *= piv;
+                inv[k][j] *= piv;
+            }
+            for i in 0..6 {
+                if i == k {
+                    continue;
+                }
+                let f = a[i][k];
+                if f.abs() == T::ZERO {
+                    continue;
+                }
+                for j in 0..6 {
+                    let s1 = f * a[k][j];
+                    a[i][j] -= s1;
+                    let s2 = f * inv[k][j];
+                    inv[i][j] -= s2;
+                }
+            }
+        }
+        // Symmetrize before packing: elimination breaks exact hermiticity.
+        let mut herm = [[Complex::<T>::ZERO; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                herm[i][j] = (inv[i][j] + inv[j][i].conj()).scale(T::from_f64(0.5));
+            }
+        }
+        Some(Herm6::from_full(&herm))
+    }
+
+    pub fn cast<U: Real>(&self) -> Herm6<U> {
+        Herm6 {
+            diag: std::array::from_fn(|i| U::from_f64(self.diag[i].to_f64())),
+            off: std::array::from_fn(|k| self.off[k].cast()),
+        }
+    }
+}
+
+/// The clover data of one site: one Hermitian block per chirality.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct CloverSite<T: Real> {
+    pub block: [Herm6<T>; 2],
+}
+
+impl<T: Real> CloverSite<T> {
+    /// Apply to a spinor: chirality 0 is spins (0, 1), chirality 1 is
+    /// spins (2, 3), each interleaved with color as `spin*3 + color`.
+    pub fn apply(&self, s: &Spinor<T>) -> Spinor<T> {
+        let mut out = Spinor::ZERO;
+        for ch in 0..2 {
+            let mut v = [Complex::ZERO; 6];
+            for k in 0..6 {
+                v[k] = s.component(6 * ch + k);
+            }
+            let w = self.block[ch].apply(&v);
+            for k in 0..6 {
+                out.set_component(6 * ch + k, w[k]);
+            }
+        }
+        out
+    }
+
+    /// Both blocks shifted by `s` on the diagonal.
+    pub fn add_diag(&self, s: T) -> Self {
+        CloverSite { block: [self.block[0].add_diag(s), self.block[1].add_diag(s)] }
+    }
+
+    /// Per-chirality inverse.
+    pub fn invert(&self) -> Option<CloverSite<T>> {
+        Some(CloverSite { block: [self.block[0].invert()?, self.block[1].invert()?] })
+    }
+
+    pub fn cast<U: Real>(&self) -> CloverSite<U> {
+        CloverSite { block: [self.block[0].cast(), self.block[1].cast()] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_util::rng::Rng64;
+
+    fn random_herm(seed: u64) -> Herm6<f64> {
+        let mut rng = Rng64::new(seed);
+        let mut h = Herm6::zero();
+        for i in 0..6 {
+            h.diag[i] = rng.normal() + 5.0; // keep it well-conditioned
+        }
+        for k in 0..15 {
+            h.off[k] = Complex::new(rng.normal() * 0.3, rng.normal() * 0.3);
+        }
+        h
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let h = random_herm(1);
+        let full = h.to_full();
+        let back = Herm6::from_full(&full);
+        assert_eq!(h, back);
+        // Full form is Hermitian.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((full[i][j] - full[j][i].conj()).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_full_matrix() {
+        let h = random_herm(2);
+        let full = h.to_full();
+        let mut rng = Rng64::new(3);
+        let v: [Complex<f64>; 6] =
+            std::array::from_fn(|_| Complex::new(rng.normal(), rng.normal()));
+        let packed = h.apply(&v);
+        for i in 0..6 {
+            let mut expect = Complex::ZERO;
+            for j in 0..6 {
+                expect += full[i][j] * v[j];
+            }
+            assert!((packed[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_preserves_hermitian_quadratic_form() {
+        // <v, H v> must be real for Hermitian H.
+        let h = random_herm(4);
+        let mut rng = Rng64::new(5);
+        let v: [Complex<f64>; 6] =
+            std::array::from_fn(|_| Complex::new(rng.normal(), rng.normal()));
+        let hv = h.apply(&v);
+        let form: Complex<f64> = (0..6).map(|i| v[i].conj() * hv[i]).sum();
+        assert!(form.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let h = random_herm(6);
+        let inv = h.invert().unwrap();
+        let mut rng = Rng64::new(7);
+        let v: [Complex<f64>; 6] =
+            std::array::from_fn(|_| Complex::new(rng.normal(), rng.normal()));
+        let back = inv.apply(&h.apply(&v));
+        for i in 0..6 {
+            assert!((back[i] - v[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_block_returns_none() {
+        let h = Herm6::<f64>::zero();
+        assert!(h.invert().is_none());
+    }
+
+    #[test]
+    fn add_diag_shifts_spectrum() {
+        let h = random_herm(8);
+        let shifted = h.add_diag(2.5);
+        let v = [Complex::new(1.0, 0.0); 6];
+        let a = h.apply(&v);
+        let b = shifted.apply(&v);
+        for i in 0..6 {
+            assert!((b[i] - a[i] - v[i].scale(2.5)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn clover_site_apply_block_structure() {
+        // A clover site with identity in block 0 and 2x identity in block 1
+        // scales the chiral halves independently.
+        let site = CloverSite {
+            block: [Herm6::scaled_identity(1.0f64), Herm6::scaled_identity(2.0)],
+        };
+        let mut rng = Rng64::new(9);
+        let s = Spinor::random(&mut rng);
+        let out = site.apply(&s);
+        for flat in 0..6 {
+            assert!((out.component(flat) - s.component(flat)).abs() < 1e-14);
+        }
+        for flat in 6..12 {
+            assert!((out.component(flat) - s.component(flat).scale(2.0)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn storage_is_72_reals_per_site() {
+        assert_eq!(std::mem::size_of::<CloverSite<f32>>(), 72 * 4);
+        assert_eq!(std::mem::size_of::<CloverSite<f64>>(), 72 * 8);
+    }
+}

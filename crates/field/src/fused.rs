@@ -1,0 +1,263 @@
+//! Site-fused SOA storage and the portable SIMD vector type.
+//!
+//! On the KNC, 16 lattice sites fill the 16 lanes of one single-precision
+//! register, and every one of the 24 real spinor components lives in its
+//! own register/cache-line stream (paper Sec. III-A). [`VReal`] is the
+//! portable stand-in for such a register: a fixed-size, cache-line-aligned
+//! array with the operations the kernels need (lane-wise FMA, in-register
+//! permutation, masked accumulation). LLVM auto-vectorizes these
+//! fixed-trip-count loops into real SIMD on the host.
+//!
+//! [`FusedField`] stores one domain's spinors in this layout: for each
+//! parity and each xy-tile, 24 component vectors of `N` lanes.
+
+use crate::spinor::Spinor;
+use qdd_lattice::{Dims, Parity, SiteIndexer, TileLayout};
+use qdd_util::complex::{Complex, Real};
+
+/// A fixed-width lane vector ("one SIMD register" of the model machine).
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[repr(C, align(64))]
+pub struct VReal<T: Real, const N: usize>(pub [T; N]);
+
+impl<T: Real, const N: usize> Default for VReal<T, N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<T: Real, const N: usize> VReal<T, N> {
+    pub const ZERO: Self = VReal([T::ZERO; N]);
+
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        VReal([v; N])
+    }
+
+    #[inline(always)]
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        VReal(std::array::from_fn(f))
+    }
+
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        VReal(std::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+
+    #[inline(always)]
+    pub fn sub(self, o: Self) -> Self {
+        VReal(std::array::from_fn(|i| self.0[i] - o.0[i]))
+    }
+
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        VReal(std::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        VReal(std::array::from_fn(|i| -self.0[i]))
+    }
+
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        VReal(std::array::from_fn(|i| self.0[i] * s))
+    }
+
+    /// `self + a * b` lane-wise (the FMA).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        VReal(std::array::from_fn(|i| a.0[i].mul_add(b.0[i], self.0[i])))
+    }
+
+    /// `self - a * b` lane-wise.
+    #[inline(always)]
+    pub fn fms(self, a: Self, b: Self) -> Self {
+        VReal(std::array::from_fn(|i| (-a.0[i]).mul_add(b.0[i], self.0[i])))
+    }
+
+    /// In-register permutation: `out[i] = self[table[i]]`.
+    #[inline(always)]
+    pub fn permute(self, table: &[usize; N]) -> Self {
+        VReal(std::array::from_fn(|i| self.0[table[i]]))
+    }
+
+    /// Masked accumulate: add `o` only in lanes where `mask` is true — the
+    /// KNC mask feature used to suppress hops across the domain boundary
+    /// (paper Fig. 2).
+    #[inline(always)]
+    pub fn masked_add(self, mask: &[bool; N], o: Self) -> Self {
+        VReal(std::array::from_fn(|i| if mask[i] { self.0[i] + o.0[i] } else { self.0[i] }))
+    }
+
+    /// Lane-wise select: `mask ? a : self` (the blend of Fig. 3).
+    #[inline(always)]
+    pub fn blend(self, mask: &[bool; N], a: Self) -> Self {
+        VReal(std::array::from_fn(|i| if mask[i] { a.0[i] } else { self.0[i] }))
+    }
+
+    /// Horizontal sum.
+    #[inline]
+    pub fn reduce_add(self) -> T {
+        let mut acc = T::ZERO;
+        for i in 0..N {
+            acc += self.0[i];
+        }
+        acc
+    }
+}
+
+/// One tile worth of fused spinor data: 24 real component vectors
+/// (component `2k` is the real part of complex component `k`, `2k+1` the
+/// imaginary part; complex component `k = 3*spin + color`).
+pub type FusedTile<T, const N: usize> = [VReal<T, N>; 24];
+
+/// A whole domain's spinor data in site-fused SOA layout.
+#[derive(Clone, Debug)]
+pub struct FusedField<T: Real, const N: usize> {
+    layout: TileLayout,
+    /// `[parity][tile] -> FusedTile`.
+    data: [Vec<FusedTile<T, N>>; 2],
+}
+
+impl<T: Real, const N: usize> FusedField<T, N> {
+    pub fn zeros(block: Dims) -> Self {
+        let layout = TileLayout::new(block);
+        assert_eq!(
+            layout.lanes(),
+            N,
+            "block {block} has {} lanes per tile, expected {N}",
+            layout.lanes()
+        );
+        let tiles = layout.tiles_per_parity();
+        Self { layout, data: [vec![[VReal::ZERO; 24]; tiles], vec![[VReal::ZERO; 24]; tiles]] }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    #[inline]
+    pub fn tile(&self, parity: Parity, tile: usize) -> &FusedTile<T, N> {
+        &self.data[parity.index()][tile]
+    }
+
+    #[inline]
+    pub fn tile_mut(&mut self, parity: Parity, tile: usize) -> &mut FusedTile<T, N> {
+        &mut self.data[parity.index()][tile]
+    }
+
+    /// Gather from an AOS spinor field over the same block.
+    pub fn gather(field: &[Spinor<T>], block: Dims) -> Self {
+        let mut out = Self::zeros(block);
+        let idx = SiteIndexer::new(block);
+        for c in idx.iter() {
+            let s = field[idx.index(&c)];
+            let (p, tile, lane) = out.layout.locate(&c);
+            let t = out.tile_mut(p, tile);
+            for k in 0..12 {
+                let z = s.component(k);
+                t[2 * k].0[lane] = z.re;
+                t[2 * k + 1].0[lane] = z.im;
+            }
+        }
+        out
+    }
+
+    /// Scatter back to an AOS spinor field.
+    pub fn scatter(&self, field: &mut [Spinor<T>]) {
+        let block = *self.layout.block();
+        let idx = SiteIndexer::new(block);
+        assert_eq!(field.len(), block.volume());
+        for c in idx.iter() {
+            let (p, tile, lane) = self.layout.locate(&c);
+            let t = self.tile(p, tile);
+            let s = &mut field[idx.index(&c)];
+            for k in 0..12 {
+                s.set_component(k, Complex::new(t[2 * k].0[lane], t[2 * k + 1].0[lane]));
+            }
+        }
+    }
+
+    /// Read one lane back as a spinor (testing / debugging).
+    pub fn lane_spinor(&self, parity: Parity, tile: usize, lane: usize) -> Spinor<T> {
+        let t = self.tile(parity, tile);
+        let mut s = Spinor::ZERO;
+        for k in 0..12 {
+            s.set_component(k, Complex::new(t[2 * k].0[lane], t[2 * k + 1].0[lane]));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_lattice::Coord;
+    use qdd_util::rng::Rng64;
+
+    #[test]
+    fn vreal_arithmetic() {
+        let a = VReal::<f64, 8>::from_fn(|i| i as f64);
+        let b = VReal::<f64, 8>::splat(2.0);
+        assert_eq!(a.add(b).0[3], 5.0);
+        assert_eq!(a.sub(b).0[0], -2.0);
+        assert_eq!(a.mul(b).0[4], 8.0);
+        assert_eq!(a.neg().0[5], -5.0);
+        assert_eq!(a.scale(3.0).0[2], 6.0);
+        let c = VReal::<f64, 8>::splat(1.0);
+        assert_eq!(c.fma(a, b).0[7], 15.0);
+        assert_eq!(c.fms(a, b).0[7], -13.0);
+        assert_eq!(a.reduce_add(), 28.0);
+    }
+
+    #[test]
+    fn vreal_permute_and_masks() {
+        let a = VReal::<f64, 4>::from_fn(|i| 10.0 * i as f64);
+        let p = a.permute(&[3, 2, 1, 0]);
+        assert_eq!(p.0, [30.0, 20.0, 10.0, 0.0]);
+        let mask = [true, false, true, false];
+        let b = VReal::<f64, 4>::splat(1.0);
+        assert_eq!(a.masked_add(&mask, b).0, [1.0, 10.0, 21.0, 30.0]);
+        assert_eq!(a.blend(&mask, b).0, [1.0, 10.0, 1.0, 30.0]);
+    }
+
+    #[test]
+    fn alignment_is_cache_line() {
+        assert_eq!(std::mem::align_of::<VReal<f32, 16>>(), 64);
+        assert_eq!(std::mem::size_of::<VReal<f32, 16>>(), 64);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let block = Dims::new(8, 4, 4, 4); // 16 lanes
+        let mut rng = Rng64::new(1);
+        let field: Vec<Spinor<f32>> =
+            (0..block.volume()).map(|_| Spinor::random(&mut rng)).collect();
+        let fused = FusedField::<f32, 16>::gather(&field, block);
+        let mut back = vec![Spinor::ZERO; block.volume()];
+        fused.scatter(&mut back);
+        assert_eq!(field, back);
+    }
+
+    #[test]
+    fn lane_spinor_matches_source() {
+        let block = Dims::new(4, 4, 2, 2); // 8 lanes
+        let mut rng = Rng64::new(2);
+        let field: Vec<Spinor<f64>> =
+            (0..block.volume()).map(|_| Spinor::random(&mut rng)).collect();
+        let fused = FusedField::<f64, 8>::gather(&field, block);
+        let idx = SiteIndexer::new(block);
+        let c = Coord::new(1, 2, 1, 0);
+        let (p, tile, lane) = fused.layout().locate(&c);
+        let s = fused.lane_spinor(p, tile, lane);
+        assert_eq!(s, field[idx.index(&c)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes per tile")]
+    fn wrong_lane_count_rejected() {
+        let _ = FusedField::<f32, 16>::zeros(Dims::new(4, 4, 2, 2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Spinors: the quark degrees of freedom.
+//!
+//! A site spinor has 4 spin x 3 color = 12 complex = 24 real components
+//! (paper Sec. II-B). The half-spinor (2 spin x 3 color) is the projected
+//! form produced by `(1 +- gamma_mu)` in the Wilson hopping term and is
+//! also what crosses domain and node boundaries (Fig. 3).
+
+use crate::su3::C3;
+use qdd_util::complex::{Complex, Real};
+use qdd_util::rng::Rng64;
+
+/// Full spinor: 4 spin components, each a color vector.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct Spinor<T: Real>(pub [C3<T>; 4]);
+
+/// Half spinor: 2 spin components, each a color vector (12 complex).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct HalfSpinor<T: Real>(pub [C3<T>; 2]);
+
+impl<T: Real> Spinor<T> {
+    pub const ZERO: Self = Spinor([C3::ZERO; 4]);
+
+    /// Number of real degrees of freedom per site.
+    pub const REALS: usize = 24;
+
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        Spinor(std::array::from_fn(|s| self.0[s].add(o.0[s])))
+    }
+
+    #[inline(always)]
+    pub fn sub(self, o: Self) -> Self {
+        Spinor(std::array::from_fn(|s| self.0[s].sub(o.0[s])))
+    }
+
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        Spinor(std::array::from_fn(|i| self.0[i].scale(s)))
+    }
+
+    #[inline(always)]
+    pub fn cmul(self, s: Complex<T>) -> Self {
+        Spinor(std::array::from_fn(|i| self.0[i].cmul(s)))
+    }
+
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        Spinor(std::array::from_fn(|i| self.0[i].neg()))
+    }
+
+    /// Hermitian inner product over all 12 complex components.
+    #[inline]
+    pub fn dot(self, o: Self) -> Complex<T> {
+        let mut acc = Complex::ZERO;
+        for s in 0..4 {
+            acc += self.0[s].dot(o.0[s]);
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        let mut acc = T::ZERO;
+        for s in 0..4 {
+            acc += self.0[s].norm_sqr();
+        }
+        acc
+    }
+
+    pub fn cast<U: Real>(self) -> Spinor<U> {
+        Spinor(std::array::from_fn(|s| self.0[s].cast()))
+    }
+
+    /// Gaussian random spinor.
+    pub fn random(rng: &mut Rng64) -> Self {
+        Spinor(std::array::from_fn(|_| C3::random(rng)))
+    }
+
+    /// Access by flat complex index (spin*3 + color), used by the packed
+    /// clover application.
+    #[inline(always)]
+    pub fn component(&self, flat: usize) -> Complex<T> {
+        self.0[flat / 3].0[flat % 3]
+    }
+
+    #[inline(always)]
+    pub fn set_component(&mut self, flat: usize, v: Complex<T>) {
+        self.0[flat / 3].0[flat % 3] = v;
+    }
+}
+
+impl<T: Real> HalfSpinor<T> {
+    pub const ZERO: Self = HalfSpinor([C3::ZERO; 2]);
+
+    /// Number of real degrees of freedom.
+    pub const REALS: usize = 12;
+
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        HalfSpinor([self.0[0].add(o.0[0]), self.0[1].add(o.0[1])])
+    }
+
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        HalfSpinor([self.0[0].scale(s), self.0[1].scale(s)])
+    }
+
+    pub fn cast<U: Real>(self) -> HalfSpinor<U> {
+        HalfSpinor([self.0[0].cast(), self.0[1].cast()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_util::complex::C64;
+
+    fn rnd(seed: u64) -> Spinor<f64> {
+        let mut rng = Rng64::new(seed);
+        Spinor::random(&mut rng)
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = rnd(1);
+        let b = rnd(2);
+        let sum = a.add(b);
+        let back = sum.sub(b);
+        for s in 0..4 {
+            for c in 0..3 {
+                assert!((back.0[s].0[c] - a.0[s].0[c]).abs() < 1e-14);
+            }
+        }
+        let scaled = a.scale(2.0);
+        assert!((scaled.norm_sqr() - 4.0 * a.norm_sqr()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dot_properties() {
+        let a = rnd(3);
+        let b = rnd(4);
+        // <a,a> is real and equals |a|^2.
+        let aa = a.dot(a);
+        assert!(aa.im.abs() < 1e-12);
+        assert!((aa.re - a.norm_sqr()).abs() < 1e-10);
+        // Conjugate symmetry.
+        assert!((a.dot(b) - b.dot(a).conj()).abs() < 1e-12);
+        // Sesquilinearity.
+        let s = Complex::new(0.7, -1.1);
+        let lhs = a.dot(b.cmul(s));
+        let rhs: C64 = a.dot(b) * s;
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_flat_indexing() {
+        let mut a = Spinor::<f64>::ZERO;
+        for flat in 0..12 {
+            a.set_component(flat, Complex::new(flat as f64, -(flat as f64)));
+        }
+        for flat in 0..12 {
+            assert_eq!(a.component(flat), Complex::new(flat as f64, -(flat as f64)));
+            assert_eq!(a.0[flat / 3].0[flat % 3], a.component(flat));
+        }
+    }
+
+    #[test]
+    fn cast_precision_loss_is_bounded() {
+        let a = rnd(5);
+        let low: Spinor<f32> = a.cast();
+        let back: Spinor<f64> = low.cast();
+        let diff = a.sub(back);
+        assert!(diff.norm_sqr().sqrt() < 1e-6 * a.norm_sqr().sqrt().max(1.0));
+    }
+
+    #[test]
+    fn half_spinor_ops() {
+        let mut rng = Rng64::new(6);
+        let h = HalfSpinor::<f64>([C3::random(&mut rng), C3::random(&mut rng)]);
+        let doubled = h.add(h);
+        let scaled = h.scale(2.0);
+        for s in 0..2 {
+            for c in 0..3 {
+                assert!((doubled.0[s].0[c] - scaled.0[s].0[c]).abs() < 1e-14);
+            }
+        }
+    }
+}

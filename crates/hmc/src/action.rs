@@ -1,0 +1,187 @@
+//! The Wilson plaquette gauge action, its staples, and the MD force.
+//!
+//! `S(U) = beta * sum_{x, mu<nu} (1 - Re tr P_munu(x) / 3)`.
+//!
+//! The molecular-dynamics force on the momentum conjugate to `U_mu(x)` is
+//! `Pdot = -(beta/6) * TH[ -i (M - M^dag) / 2 ]` with `M = U_mu(x) V_mu(x)`
+//! and `V` the staple sum (TH = traceless Hermitian projection) — verified
+//! against the numerical derivative of the action in the tests.
+
+use crate::algebra::Su3Algebra;
+use qdd_field::fields::GaugeField;
+use qdd_field::su3::Su3;
+use qdd_lattice::{Coord, Dims, Dir, SiteIndexer};
+
+/// Total Wilson action `beta * sum (1 - Re tr P / 3)`.
+pub fn plaquette_action(gauge: &GaugeField<f64>, beta: f64) -> f64 {
+    let dims = *gauge.dims();
+    let idx = SiteIndexer::new(dims);
+    let mut sum = 0.0;
+    for site in 0..dims.volume() {
+        let x = idx.coord(site);
+        for mu in 0..4 {
+            for nu in mu + 1..4 {
+                let (dmu, dnu) = (Dir::from_index(mu), Dir::from_index(nu));
+                let xpmu = x.neighbor(&dims, dmu, true).0;
+                let xpnu = x.neighbor(&dims, dnu, true).0;
+                let p = gauge
+                    .link(site, dmu)
+                    .mul(gauge.link(idx.index(&xpmu), dnu))
+                    .mul_adj(gauge.link(idx.index(&xpnu), dmu))
+                    .mul_adj(gauge.link(site, dnu));
+                sum += 1.0 - p.trace().re / 3.0;
+            }
+        }
+    }
+    beta * sum
+}
+
+/// The staple sum `V_mu(x)`: the six 3-link paths closing a plaquette with
+/// `U_mu(x)`.
+pub fn staple_sum(gauge: &GaugeField<f64>, idx: &SiteIndexer, x: &Coord, mu: Dir) -> Su3<f64> {
+    let dims: &Dims = idx.dims();
+    let mut v = Su3::ZERO;
+    let xpmu = x.neighbor(dims, mu, true).0;
+    for nu in Dir::ALL {
+        if nu == mu {
+            continue;
+        }
+        // Upper staple: U_nu(x+mu) U_mu^dag(x+nu) U_nu^dag(x).
+        let xpnu = x.neighbor(dims, nu, true).0;
+        let up = gauge
+            .link(idx.index(&xpmu), nu)
+            .mul_adj(gauge.link(idx.index(&xpnu), mu))
+            .mul_adj(gauge.link(idx.index(x), nu));
+        // Lower staple: U_nu^dag(x+mu-nu) U_mu^dag(x-nu) U_nu(x-nu).
+        let xmnu = x.neighbor(dims, nu, false).0;
+        let xpmu_mnu = xpmu.neighbor(dims, nu, false).0;
+        let down = gauge
+            .link(idx.index(&xpmu_mnu), nu)
+            .adjoint()
+            .mul_adj(gauge.link(idx.index(&xmnu), mu))
+            .mul(gauge.link(idx.index(&xmnu), nu));
+        v = v.add(&up).add(&down);
+    }
+    v
+}
+
+/// MD force for the link `(x, mu)`: the time derivative of its conjugate
+/// momentum.
+pub fn wilson_force(
+    gauge: &GaugeField<f64>,
+    idx: &SiteIndexer,
+    x: &Coord,
+    mu: Dir,
+    beta: f64,
+) -> Su3Algebra {
+    let v = staple_sum(gauge, idx, x, mu);
+    let m = gauge.link(idx.index(x), mu).mul(&v);
+    // M_ah = -i (M - M^dag) / 2  (Hermitian part of -iM).
+    let d = m.sub(&m.adjoint());
+    let m_ah = Su3(std::array::from_fn(|i| {
+        std::array::from_fn(|j| d.0[i][j].mul_neg_i().scale(0.5))
+    }));
+    Su3Algebra::project(&m_ah).scale(-beta / 6.0)
+}
+
+/// Average plaquette `<Re tr P / 3>` (thermalization observable).
+pub fn average_plaquette(gauge: &GaugeField<f64>) -> f64 {
+    let dims = *gauge.dims();
+    let n_plaq = (dims.volume() * 6) as f64;
+    1.0 - plaquette_action(gauge, 1.0) / n_plaq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{exp_su3, Su3Algebra};
+    use qdd_util::rng::Rng64;
+
+    fn dims() -> Dims {
+        Dims::new(4, 4, 4, 4)
+    }
+
+    #[test]
+    fn free_field_action_is_zero() {
+        let g = GaugeField::<f64>::identity(dims());
+        assert!(plaquette_action(&g, 6.0).abs() < 1e-12);
+        assert!((average_plaquette(&g) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn action_is_nonnegative_and_extensive() {
+        let mut rng = Rng64::new(1);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.8);
+        let s = plaquette_action(&g, 6.0);
+        assert!(s > 0.0);
+        // Doubling beta doubles the action.
+        assert!((plaquette_action(&g, 12.0) - 2.0 * s).abs() < 1e-9 * s);
+    }
+
+    #[test]
+    fn force_matches_numerical_derivative() {
+        let mut rng = Rng64::new(2);
+        let mut g = GaugeField::<f64>::random(dims(), &mut rng, 0.6);
+        let idx = SiteIndexer::new(dims());
+        let beta = 5.5;
+
+        for trial in 0..4 {
+            let site = (trial * 37 + 5) % dims().volume();
+            let x = idx.coord(site);
+            let mu = Dir::from_index(trial % 4);
+            let f = wilson_force(&g, &idx, &x, mu, beta);
+            // Perturb the link along a random algebra direction Q.
+            let q = Su3Algebra::gaussian(&mut rng);
+            let eps = 1e-6;
+            let u0 = *g.link(site, mu);
+            let s0 = plaquette_action(&g, beta);
+            *g.link_mut(site, mu) = exp_su3(&q, eps).mul(&u0);
+            let s1 = plaquette_action(&g, beta);
+            *g.link_mut(site, mu) = u0; // restore
+            let numeric = (s1 - s0) / eps;
+            // dS = -2 tr(Q F).
+            let analytic = -2.0 * q.0.mul(&f.0).trace().re;
+            assert!(
+                (numeric - analytic).abs() < 2e-4 * (1.0 + analytic.abs()),
+                "trial {trial}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn force_is_traceless_hermitian() {
+        let mut rng = Rng64::new(3);
+        let g = GaugeField::<f64>::random(dims(), &mut rng, 0.7);
+        let idx = SiteIndexer::new(dims());
+        for site in [0, 11, 100] {
+            let x = idx.coord(site);
+            for mu in Dir::ALL {
+                let f = wilson_force(&g, &idx, &x, mu, 6.0);
+                assert!(f.defect() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn force_vanishes_on_free_field() {
+        let g = GaugeField::<f64>::identity(dims());
+        let idx = SiteIndexer::new(dims());
+        let f = wilson_force(&g, &idx, &Coord::new(1, 2, 3, 0), Dir::Y, 6.0);
+        assert!(f.0 .0.iter().flatten().all(|z| z.abs() < 1e-13));
+    }
+
+    #[test]
+    fn staple_count_is_six_paths() {
+        // On the free field each staple is the identity: V = 6 * I.
+        let g = GaugeField::<f64>::identity(dims());
+        let idx = SiteIndexer::new(dims());
+        let v = staple_sum(&g, &idx, &Coord::new(0, 0, 0, 0), Dir::X);
+        for i in 0..3 {
+            for j in 0..3 {
+                let target = if i == j { 6.0 } else { 0.0 };
+                assert!((v.0[i][j].re - target).abs() < 1e-13);
+                assert!(v.0[i][j].im.abs() < 1e-13);
+            }
+        }
+    }
+}

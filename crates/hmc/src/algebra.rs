@@ -1,0 +1,184 @@
+//! su(3) algebra elements: the HMC momenta.
+//!
+//! Momenta are traceless Hermitian 3x3 matrices `P = sum_a p_a T_a` with
+//! the Gell-Mann normalization `tr(T_a T_b) = delta_ab / 2`; Gaussian
+//! `p_a ~ N(0,1)` gives the kinetic term `K = sum_a p_a^2 / 2 = tr(P^2)`.
+
+use qdd_field::su3::Su3;
+use qdd_util::complex::{Complex, C64};
+use qdd_util::rng::Rng64;
+
+/// A traceless Hermitian 3x3 matrix (an su(3) algebra element up to the
+/// conventional factor of i).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Su3Algebra(pub Su3<f64>);
+
+impl Su3Algebra {
+    pub const ZERO: Self = Su3Algebra(Su3::ZERO);
+
+    /// Gaussian momentum with `tr(P^2) = sum_a p_a^2 / ... ` — eight
+    /// independent N(0,1) coefficients on the Gell-Mann basis.
+    pub fn gaussian(rng: &mut Rng64) -> Self {
+        let p: [f64; 8] = std::array::from_fn(|_| rng.normal());
+        let s3 = 3.0f64.sqrt();
+        let mut m = [[C64::ZERO; 3]; 3];
+        // Gell-Mann matrices over 2 (T_a = lambda_a / 2).
+        // Diagonal parts: T3 = diag(1,-1,0)/2, T8 = diag(1,1,-2)/(2 sqrt3).
+        m[0][0] = Complex::real(0.5 * p[2] + 0.5 / s3 * p[7]);
+        m[1][1] = Complex::real(-0.5 * p[2] + 0.5 / s3 * p[7]);
+        m[2][2] = Complex::real(-1.0 / s3 * p[7]);
+        // Off-diagonals: (T1, T2) on (0,1), (T4, T5) on (0,2), (T6, T7) on (1,2).
+        m[0][1] = Complex::new(0.5 * p[0], -0.5 * p[1]);
+        m[1][0] = m[0][1].conj();
+        m[0][2] = Complex::new(0.5 * p[3], -0.5 * p[4]);
+        m[2][0] = m[0][2].conj();
+        m[1][2] = Complex::new(0.5 * p[5], -0.5 * p[6]);
+        m[2][1] = m[1][2].conj();
+        Su3Algebra(Su3(m))
+    }
+
+    /// Kinetic energy contribution `tr(P^2)` (real and non-negative).
+    pub fn kinetic(&self) -> f64 {
+        let p2 = self.0.mul(&self.0);
+        p2.trace().re
+    }
+
+    /// Projection of an arbitrary 3x3 matrix onto traceless Hermitian form:
+    /// `TH(M) = (M + M^dag)/2 - tr(M + M^dag)/6 * I`.
+    pub fn project(m: &Su3<f64>) -> Self {
+        let h = m.add(&m.adjoint()).scale(0.5);
+        let tr3 = h.trace().scale(1.0 / 3.0);
+        let mut out = h;
+        for i in 0..3 {
+            out.0[i][i] -= tr3;
+        }
+        Su3Algebra(out)
+    }
+
+    pub fn scale(&self, s: f64) -> Self {
+        Su3Algebra(self.0.scale(s))
+    }
+
+    pub fn add(&self, o: &Self) -> Self {
+        Su3Algebra(self.0.add(&o.0))
+    }
+
+    pub fn neg(&self) -> Self {
+        Su3Algebra(self.0.scale(-1.0))
+    }
+
+    /// Hermiticity / tracelessness diagnostics.
+    pub fn defect(&self) -> f64 {
+        let herm = self.0.sub(&self.0.adjoint());
+        let mut e = self.0.trace().abs();
+        for i in 0..3 {
+            for j in 0..3 {
+                e = e.max(herm.0[i][j].abs());
+            }
+        }
+        e
+    }
+}
+
+/// Matrix exponential `exp(i eps P)` for traceless Hermitian `P`, via a
+/// scaled Taylor series with reunitarization — exactly the update the MD
+/// evolution needs (`U <- exp(i eps P) U`).
+pub fn exp_su3(p: &Su3Algebra, eps: f64) -> Su3<f64> {
+    // X = i eps P (anti-Hermitian).
+    let x = Su3(std::array::from_fn(|i| {
+        std::array::from_fn(|j| p.0 .0[i][j].mul_i().scale(eps))
+    }));
+    let mut term = Su3::<f64>::IDENTITY;
+    let mut acc = Su3::<f64>::IDENTITY;
+    for k in 1..=18 {
+        term = term.mul(&x).scale(1.0 / k as f64);
+        acc = acc.add(&term);
+    }
+    acc.reunitarize()
+}
+
+/// Fresh Gaussian momentum (convenience alias used by the Markov chain).
+pub fn random_momentum(rng: &mut Rng64) -> Su3Algebra {
+    Su3Algebra::gaussian(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_momenta_are_traceless_hermitian() {
+        let mut rng = Rng64::new(1);
+        for _ in 0..50 {
+            let p = Su3Algebra::gaussian(&mut rng);
+            assert!(p.defect() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn kinetic_energy_statistics() {
+        // <tr P^2> = sum_a <p_a^2> tr(T_a^2) = 8 * 1 * 1/2 = 4.
+        let mut rng = Rng64::new(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| Su3Algebra::gaussian(&mut rng).kinetic()).sum::<f64>()
+            / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean kinetic {mean}");
+    }
+
+    #[test]
+    fn kinetic_is_nonnegative() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..100 {
+            assert!(Su3Algebra::gaussian(&mut rng).kinetic() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exp_is_special_unitary_and_inverts() {
+        let mut rng = Rng64::new(4);
+        for _ in 0..20 {
+            let p = Su3Algebra::gaussian(&mut rng);
+            let u = exp_su3(&p, 0.3);
+            assert!(u.unitarity_error() < 1e-12);
+            assert!((u.det() - C64::ONE).abs() < 1e-12);
+            // exp(-X) exp(X) = 1.
+            let v = exp_su3(&p, -0.3);
+            let prod = u.mul(&v);
+            let err: f64 = (0..3)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .map(|(i, j)| {
+                    let target = if i == j { C64::ONE } else { C64::ZERO };
+                    (prod.0[i][j] - target).abs()
+                })
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "exp inverse error {err}");
+        }
+    }
+
+    #[test]
+    fn exp_small_step_is_identity_plus_linear() {
+        let mut rng = Rng64::new(5);
+        let p = Su3Algebra::gaussian(&mut rng);
+        let eps = 1e-5;
+        let u = exp_su3(&p, eps);
+        // U ~ 1 + i eps P.
+        for i in 0..3 {
+            for j in 0..3 {
+                let target = if i == j { C64::ONE } else { C64::ZERO }
+                    + p.0 .0[i][j].mul_i().scale(eps);
+                assert!((u.0[i][j] - target).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_kills_trace() {
+        let mut rng = Rng64::new(6);
+        let m = Su3::<f64>::random(&mut rng, 1.0).scale(1.7);
+        let p = Su3Algebra::project(&m);
+        assert!(p.defect() < 1e-13);
+        let pp = Su3Algebra::project(&p.0);
+        let diff = pp.0.sub(&p.0);
+        assert!(diff.0.iter().flatten().all(|z| z.abs() < 1e-14));
+    }
+}

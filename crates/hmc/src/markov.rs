@@ -1,0 +1,214 @@
+//! The HMC Markov chain: momentum refresh, leapfrog trajectory, Metropolis
+//! accept/reject (Duane-Kennedy-Pendleton-Roweth, the paper's Ref. \[18\]).
+
+use crate::action::{average_plaquette, plaquette_action};
+use crate::algebra::Su3Algebra;
+use crate::leapfrog::{kinetic_energy, leapfrog_trajectory, LeapfrogConfig, MomentumField};
+use qdd_field::fields::GaugeField;
+use qdd_lattice::Dims;
+use qdd_util::rng::Rng64;
+
+/// HMC parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct HmcConfig {
+    pub beta: f64,
+    pub leapfrog: LeapfrogConfig,
+}
+
+impl Default for HmcConfig {
+    fn default() -> Self {
+        Self { beta: 5.8, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } }
+    }
+}
+
+/// Running chain statistics.
+#[derive(Clone, Debug, Default)]
+pub struct HmcStats {
+    pub trajectories: usize,
+    pub accepted: usize,
+    /// Per-trajectory `dH` values (for the Creutz check `<exp(-dH)> = 1`).
+    pub delta_h: Vec<f64>,
+    /// Plaquette after each trajectory.
+    pub plaquette: Vec<f64>,
+}
+
+impl HmcStats {
+    pub fn acceptance(&self) -> f64 {
+        if self.trajectories == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.trajectories as f64
+        }
+    }
+
+    /// `<exp(-dH)>` — must be ~1 for a correct sampler (Creutz equality).
+    pub fn creutz(&self) -> f64 {
+        if self.delta_h.is_empty() {
+            return 1.0;
+        }
+        self.delta_h.iter().map(|dh| (-dh).exp()).sum::<f64>() / self.delta_h.len() as f64
+    }
+}
+
+/// The HMC sampler.
+pub struct Hmc {
+    pub gauge: GaugeField<f64>,
+    cfg: HmcConfig,
+    rng: Rng64,
+    pub stats: HmcStats,
+}
+
+impl Hmc {
+    /// Start from a cold (unit-gauge) configuration.
+    pub fn cold_start(dims: Dims, cfg: HmcConfig, seed: u64) -> Self {
+        Self {
+            gauge: GaugeField::identity(dims),
+            cfg,
+            rng: Rng64::new(seed),
+            stats: HmcStats::default(),
+        }
+    }
+
+    /// Start from a random ("hot") configuration.
+    pub fn hot_start(dims: Dims, cfg: HmcConfig, seed: u64) -> Self {
+        let mut rng = Rng64::new(seed);
+        Self {
+            gauge: GaugeField::random(dims, &mut rng, 1.5),
+            cfg,
+            rng,
+            stats: HmcStats::default(),
+        }
+    }
+
+    /// One HMC trajectory: refresh momenta, integrate, accept/reject.
+    /// Returns `(accepted, delta_h)`.
+    pub fn trajectory(&mut self) -> (bool, f64) {
+        let volume = self.gauge.dims().volume();
+        let mut p: MomentumField = (0..volume)
+            .map(|_| std::array::from_fn(|_| Su3Algebra::gaussian(&mut self.rng)))
+            .collect();
+        let h0 = kinetic_energy(&p) + plaquette_action(&self.gauge, self.cfg.beta);
+        let proposal = {
+            let mut g = self.gauge.clone();
+            leapfrog_trajectory(&mut g, &mut p, self.cfg.beta, &self.cfg.leapfrog);
+            g
+        };
+        let h1 = kinetic_energy(&p) + plaquette_action(&proposal, self.cfg.beta);
+        let dh = h1 - h0;
+        let accept = dh <= 0.0 || self.rng.unit() < (-dh).exp();
+        if accept {
+            self.gauge = proposal;
+            self.stats.accepted += 1;
+        }
+        self.stats.trajectories += 1;
+        self.stats.delta_h.push(dh);
+        self.stats.plaquette.push(average_plaquette(&self.gauge));
+        (accept, dh)
+    }
+
+    /// Run `n` trajectories; returns the final plaquette.
+    pub fn run(&mut self, n: usize) -> f64 {
+        for _ in 0..n {
+            self.trajectory();
+        }
+        average_plaquette(&self.gauge)
+    }
+
+    pub fn config(&self) -> &HmcConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dims {
+        Dims::new(4, 4, 4, 4)
+    }
+
+    #[test]
+    fn acceptance_is_high_with_fine_steps() {
+        let cfg = HmcConfig {
+            beta: 5.8,
+            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
+        };
+        let mut hmc = Hmc::cold_start(small(), cfg, 1);
+        hmc.run(12);
+        assert!(
+            hmc.stats.acceptance() > 0.75,
+            "acceptance {:.2}",
+            hmc.stats.acceptance()
+        );
+    }
+
+    #[test]
+    fn creutz_equality_holds() {
+        let cfg = HmcConfig {
+            beta: 5.6,
+            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
+        };
+        let mut hmc = Hmc::cold_start(small(), cfg, 2);
+        hmc.run(40);
+        let c = hmc.stats.creutz();
+        assert!((c - 1.0).abs() < 0.35, "<exp(-dH)> = {c}");
+    }
+
+    #[test]
+    fn plaquette_thermalizes_from_cold_start() {
+        // Cold start: plaquette 1.0; thermalization pulls it down to the
+        // equilibrium value for this beta.
+        let cfg = HmcConfig {
+            beta: 5.8,
+            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
+        };
+        let mut hmc = Hmc::cold_start(small(), cfg, 3);
+        let p_final = hmc.run(25);
+        assert!(p_final < 0.85, "plaquette should drop from 1.0, got {p_final}");
+        assert!(p_final > 0.3, "plaquette collapsed: {p_final}");
+    }
+
+    #[test]
+    fn plaquette_is_monotone_in_beta() {
+        // Stronger coupling (smaller beta) = rougher field = lower plaquette.
+        let run_beta = |beta: f64| {
+            let cfg = HmcConfig { beta, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } };
+            let mut hmc = Hmc::cold_start(small(), cfg, 4);
+            hmc.run(20);
+            // Average the last 8 measurements.
+            let tail = &hmc.stats.plaquette[hmc.stats.plaquette.len() - 8..];
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        let p_weak = run_beta(7.0);
+        let p_mid = run_beta(5.8);
+        assert!(p_weak > p_mid + 0.03, "beta 7.0 -> {p_weak}, beta 5.8 -> {p_mid}");
+    }
+
+    #[test]
+    fn hot_and_cold_starts_converge_to_the_same_plaquette() {
+        let cfg = HmcConfig {
+            beta: 6.2,
+            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
+        };
+        let mut cold = Hmc::cold_start(small(), cfg, 5);
+        let mut hot = Hmc::hot_start(small(), cfg, 6);
+        cold.run(40);
+        hot.run(40);
+        let avg = |s: &HmcStats| {
+            let t = &s.plaquette[s.plaquette.len() - 10..];
+            t.iter().sum::<f64>() / t.len() as f64
+        };
+        let (pc, ph) = (avg(&cold.stats), avg(&hot.stats));
+        assert!(
+            (pc - ph).abs() < 0.06,
+            "cold {pc} vs hot {ph}: chain not converging to one equilibrium"
+        );
+    }
+
+    #[test]
+    fn links_remain_special_unitary_along_the_chain() {
+        let mut hmc = Hmc::cold_start(small(), HmcConfig::default(), 7);
+        hmc.run(5);
+        assert!(hmc.gauge.max_unitarity_error() < 1e-9);
+    }
+}

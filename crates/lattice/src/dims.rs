@@ -1,0 +1,244 @@
+//! Lattice dimensions, coordinates, and directions.
+
+use serde::Serialize;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The four space-time directions. Order is `x, y, z, t` as in the paper
+/// (site fusing happens in x and y; communication patterns are described
+/// per-direction in Sec. III-E).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum Dir {
+    X = 0,
+    Y = 1,
+    Z = 2,
+    T = 3,
+}
+
+impl Dir {
+    pub const ALL: [Dir; 4] = [Dir::X, Dir::Y, Dir::Z, Dir::T];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn from_index(i: usize) -> Dir {
+        match i {
+            0 => Dir::X,
+            1 => Dir::Y,
+            2 => Dir::Z,
+            3 => Dir::T,
+            _ => panic!("direction index {i} out of range"),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::X => "x",
+            Dir::Y => "y",
+            Dir::Z => "z",
+            Dir::T => "t",
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Lattice extents `(Lx, Ly, Lz, Lt)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
+pub struct Dims(pub [usize; 4]);
+
+impl Dims {
+    pub fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Dims([x, y, z, t])
+    }
+
+    /// Total number of sites `V = Lx Ly Lz Lt`.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True if every extent of `block` divides the corresponding extent.
+    pub fn divisible_by(&self, block: &Dims) -> bool {
+        self.0.iter().zip(&block.0).all(|(l, b)| *b > 0 && l % b == 0)
+    }
+
+    /// Component-wise quotient (panics if not divisible).
+    pub fn grid_over(&self, block: &Dims) -> Dims {
+        assert!(
+            self.divisible_by(block),
+            "lattice {self:?} not divisible by block {block:?}"
+        );
+        Dims([
+            self.0[0] / block.0[0],
+            self.0[1] / block.0[1],
+            self.0[2] / block.0[2],
+            self.0[3] / block.0[3],
+        ])
+    }
+
+    /// Component-wise product.
+    pub fn times(&self, other: &Dims) -> Dims {
+        Dims([
+            self.0[0] * other.0[0],
+            self.0[1] * other.0[1],
+            self.0[2] * other.0[2],
+            self.0[3] * other.0[3],
+        ])
+    }
+
+    /// Area of the boundary surface orthogonal to `dir` (number of sites on
+    /// one face): `V / L_dir`.
+    #[inline]
+    pub fn face_area(&self, dir: Dir) -> usize {
+        self.volume() / self.0[dir.index()]
+    }
+}
+
+impl Index<Dir> for Dims {
+    type Output = usize;
+    #[inline]
+    fn index(&self, d: Dir) -> &usize {
+        &self.0[d.index()]
+    }
+}
+
+impl IndexMut<Dir> for Dims {
+    #[inline]
+    fn index_mut(&mut self, d: Dir) -> &mut usize {
+        &mut self.0[d.index()]
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// A site coordinate `(x, y, z, t)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
+pub struct Coord(pub [usize; 4]);
+
+impl Coord {
+    pub fn new(x: usize, y: usize, z: usize, t: usize) -> Self {
+        Coord([x, y, z, t])
+    }
+
+    /// Coordinate parity: even if `x+y+z+t` is even.
+    #[inline]
+    pub fn parity_sum(&self) -> usize {
+        self.0.iter().sum::<usize>()
+    }
+
+    /// Neighbor in direction `dir`, periodic. `forward` selects +μ vs −μ.
+    /// Returns the wrapped coordinate and whether the boundary was crossed
+    /// (needed for antiperiodic fermion boundary conditions in t).
+    #[inline]
+    pub fn neighbor(&self, dims: &Dims, dir: Dir, forward: bool) -> (Coord, bool) {
+        let mut c = *self;
+        let i = dir.index();
+        let l = dims.0[i];
+        let wrapped;
+        if forward {
+            if c.0[i] + 1 == l {
+                c.0[i] = 0;
+                wrapped = true;
+            } else {
+                c.0[i] += 1;
+                wrapped = false;
+            }
+        } else if c.0[i] == 0 {
+            c.0[i] = l - 1;
+            wrapped = true;
+        } else {
+            c.0[i] -= 1;
+            wrapped = false;
+        }
+        (c, wrapped)
+    }
+}
+
+impl Index<Dir> for Coord {
+    type Output = usize;
+    #[inline]
+    fn index(&self, d: Dir) -> &usize {
+        &self.0[d.index()]
+    }
+}
+
+impl IndexMut<Dir> for Coord {
+    #[inline]
+    fn index_mut(&mut self, d: Dir) -> &mut usize {
+        &mut self.0[d.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_faces() {
+        let d = Dims::new(8, 4, 4, 16);
+        assert_eq!(d.volume(), 2048);
+        assert_eq!(d.face_area(Dir::X), 256);
+        assert_eq!(d.face_area(Dir::T), 128);
+    }
+
+    #[test]
+    fn divisibility_and_grid() {
+        let lat = Dims::new(16, 8, 8, 32);
+        let block = Dims::new(8, 4, 4, 4);
+        assert!(lat.divisible_by(&block));
+        let grid = lat.grid_over(&block);
+        assert_eq!(grid, Dims::new(2, 2, 2, 8));
+        assert_eq!(grid.times(&block), lat);
+        assert!(!lat.divisible_by(&Dims::new(5, 4, 4, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn grid_over_panics_on_indivisible() {
+        Dims::new(10, 4, 4, 4).grid_over(&Dims::new(8, 4, 4, 4));
+    }
+
+    #[test]
+    fn neighbor_wraps_periodically() {
+        let d = Dims::new(4, 4, 4, 4);
+        let c = Coord::new(3, 0, 2, 1);
+        let (fwd, wrapped) = c.neighbor(&d, Dir::X, true);
+        assert_eq!(fwd, Coord::new(0, 0, 2, 1));
+        assert!(wrapped);
+        let (bwd, wrapped) = c.neighbor(&d, Dir::Y, false);
+        assert_eq!(bwd, Coord::new(3, 3, 2, 1));
+        assert!(wrapped);
+        let (fwd, wrapped) = c.neighbor(&d, Dir::Z, true);
+        assert_eq!(fwd, Coord::new(3, 0, 3, 1));
+        assert!(!wrapped);
+    }
+
+    #[test]
+    fn neighbor_forward_backward_inverse() {
+        let d = Dims::new(4, 6, 2, 8);
+        for dir in Dir::ALL {
+            let c = Coord::new(1, 5, 1, 0);
+            let (f, _) = c.neighbor(&d, dir, true);
+            let (back, _) = f.neighbor(&d, dir, false);
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::from_index(d.index()), d);
+        }
+    }
+}

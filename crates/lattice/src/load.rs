@@ -1,0 +1,139 @@
+//! Load-balance accounting for domain-to-core assignment.
+//!
+//! Implements the paper's Eqs. (6)–(7): with multiplicative Schwarz the
+//! domains split into two colors processed in alternating half-sweeps, so
+//! the number of *concurrently processable* domains is half the total, and
+//! the average load on `Ncore` cores follows from round-robin assignment.
+//! The worked example in Sec. III-D (256 domains on 60 cores → 85 % load)
+//! is reproduced in the tests.
+
+use crate::dims::Dims;
+
+/// Eq. (6): number of domains processable in parallel for a local volume
+/// `v` and domain volume `v_domain`, accounting for the factor 1/2 from the
+/// two-color (black/white) sweep of the multiplicative Schwarz method.
+pub fn ndomain(local_volume: usize, domain_volume: usize) -> usize {
+    assert!(domain_volume > 0);
+    assert!(
+        local_volume % (2 * domain_volume) == 0,
+        "volume {local_volume} not an even multiple of domain volume {domain_volume}"
+    );
+    local_volume / (2 * domain_volume)
+}
+
+/// Convenience form of [`ndomain`] from lattice shapes.
+pub fn ndomain_dims(local: &Dims, block: &Dims) -> usize {
+    ndomain(local.volume(), block.volume())
+}
+
+/// Eq. (7): average load when `n` domains are processed round-robin by
+/// `ncore` cores: `n / (ncore * ceil(n / ncore))`.
+pub fn load_average(n_domains: usize, ncore: usize) -> f64 {
+    assert!(ncore > 0);
+    if n_domains == 0 {
+        return 0.0;
+    }
+    let rounds = n_domains.div_ceil(ncore);
+    n_domains as f64 / (ncore * rounds) as f64
+}
+
+/// Round-robin assignment of `n` domains to `ncore` cores: returns for each
+/// core the list of domain slots it processes. Matches the paper's
+/// Sec. III-D example (51 cores with 5 domains, 1 core with 1, 8 idle for
+/// 256 domains on 60 cores).
+pub fn core_assignment(n_domains: usize, ncore: usize) -> Vec<Vec<usize>> {
+    let rounds = if n_domains == 0 { 0 } else { n_domains.div_ceil(ncore) };
+    let mut cores = vec![Vec::new(); ncore];
+    for (i, core) in cores.iter_mut().enumerate() {
+        let lo = (i * rounds).min(n_domains);
+        let hi = ((i + 1) * rounds).min(n_domains);
+        core.extend(lo..hi);
+    }
+    cores
+}
+
+/// Parallel-time in units of one domain-solve: the maximum number of
+/// domains any core processes (the straggler determines the sweep time).
+pub fn sweep_rounds(n_domains: usize, ncore: usize) -> usize {
+    n_domains.div_ceil(ncore)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims;
+
+    #[test]
+    fn eq6_matches_fig5_volumes() {
+        // Fig. 5 caption: 16x8x20x24 -> ndomain=60, 32x32x20x24 -> 480,
+        // 48x12x12x16 -> 108, all with the 8x4^3 block.
+        let block = Dims::new(8, 4, 4, 4);
+        assert_eq!(ndomain_dims(&Dims::new(16, 8, 20, 24), &block), 60);
+        assert_eq!(ndomain_dims(&Dims::new(32, 32, 20, 24), &block), 480);
+        assert_eq!(ndomain_dims(&Dims::new(48, 12, 12, 16), &block), 108);
+    }
+
+    #[test]
+    fn eq7_matches_sec3d_example() {
+        // 256 domains on 60 cores: load = 256/(5*60) = 0.8533...
+        let load = load_average(256, 60);
+        assert!((load - 256.0 / 300.0).abs() < 1e-15);
+        // Perfect load when divisible.
+        assert_eq!(load_average(60, 60), 1.0);
+        assert_eq!(load_average(120, 60), 1.0);
+        // Single domain on many cores.
+        assert!((load_average(1, 60) - 1.0 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table3_loads() {
+        // 48^3x64 on 24 KNCs: local volume 48*48*48*64/24; the paper
+        // reports ndomain=288 and load 96 %.
+        let v = 48 * 48 * 48 * 64 / 24;
+        let n = ndomain(v, 512);
+        assert_eq!(n, 288);
+        assert!((load_average(n, 60) - 0.96).abs() < 1e-12);
+        // 64^3x128 on 512 KNCs: ndomain=64, load 53 %.
+        let v = 64 * 64 * 64 * 128 / 512;
+        let n = ndomain(v, 512);
+        assert_eq!(n, 64);
+        let load = load_average(n, 60);
+        assert!((load - 64.0 / 120.0).abs() < 1e-12, "load={load}");
+    }
+
+    #[test]
+    fn assignment_matches_paper_example() {
+        let cores = core_assignment(256, 60);
+        let with5 = cores.iter().filter(|c| c.len() == 5).count();
+        let with1 = cores.iter().filter(|c| c.len() == 1).count();
+        let idle = cores.iter().filter(|c| c.is_empty()).count();
+        assert_eq!((with5, with1, idle), (51, 1, 8));
+        assert_eq!(sweep_rounds(256, 60), 5);
+    }
+
+    #[test]
+    fn assignment_covers_all_domains_once() {
+        let cores = core_assignment(97, 13);
+        let mut seen = vec![false; 97];
+        for c in &cores {
+            for &d in c {
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn load_consistent_with_rounds() {
+        for n in [1, 59, 60, 61, 100, 256, 480] {
+            for ncore in [1, 7, 60] {
+                let load = load_average(n, ncore);
+                let rounds = sweep_rounds(n, ncore);
+                let expect = n as f64 / (ncore * rounds) as f64;
+                assert!((load - expect).abs() < 1e-15);
+                assert!(load > 0.0 && load <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Global site indexing and even/odd checkerboarding.
+//!
+//! Sites are stored lexicographically with x fastest:
+//! `idx = x + Lx*(y + Ly*(z + Lz*t))`. The even-odd preconditioning of the
+//! block solves (paper Eq. (5)) additionally needs a *checkerboard index*:
+//! the position of a site within its own parity class.
+
+use crate::dims::{Coord, Dims, Dir};
+
+/// Site parity for the red/black (even/odd) checkerboard.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Parity {
+    Even = 0,
+    Odd = 1,
+}
+
+impl Parity {
+    #[inline]
+    pub fn of(c: &Coord) -> Parity {
+        if c.parity_sum() % 2 == 0 {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    #[inline]
+    pub fn flip(self) -> Parity {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Bijective maps between coordinates, lexicographic indices, and
+/// checkerboard indices for a fixed lattice size.
+#[derive(Clone, Debug)]
+pub struct SiteIndexer {
+    dims: Dims,
+}
+
+impl SiteIndexer {
+    pub fn new(dims: Dims) -> Self {
+        assert!(dims.volume() > 0, "empty lattice");
+        Self { dims }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.dims.volume()
+    }
+
+    /// Lexicographic index of a coordinate (x fastest).
+    #[inline]
+    pub fn index(&self, c: &Coord) -> usize {
+        let [lx, ly, lz, _] = self.dims.0;
+        debug_assert!(
+            c.0.iter().zip(&self.dims.0).all(|(a, l)| a < l),
+            "coordinate {c:?} outside {:?}",
+            self.dims
+        );
+        c.0[0] + lx * (c.0[1] + ly * (c.0[2] + lz * c.0[3]))
+    }
+
+    /// Inverse of [`Self::index`].
+    #[inline]
+    pub fn coord(&self, mut idx: usize) -> Coord {
+        let [lx, ly, lz, _] = self.dims.0;
+        let x = idx % lx;
+        idx /= lx;
+        let y = idx % ly;
+        idx /= ly;
+        let z = idx % lz;
+        idx /= lz;
+        Coord([x, y, z, idx])
+    }
+
+    /// Checkerboard index: position of the site within its parity class,
+    /// counted in lexicographic order. Both classes have `V/2` sites when
+    /// any extent is even (required).
+    #[inline]
+    pub fn cb_index(&self, c: &Coord) -> (Parity, usize) {
+        // Count lexicographically-smaller sites of the same parity. With Lx
+        // even, each x-row of fixed (y,z,t) contains Lx/2 sites of each
+        // parity, which makes the count a simple halved lexicographic index.
+        let [lx, ly, lz, _] = self.dims.0;
+        debug_assert!(lx % 2 == 0, "checkerboarding requires even Lx");
+        let p = Parity::of(c);
+        let row = c.0[1] + ly * (c.0[2] + lz * c.0[3]);
+        let within_row = c.0[0] / 2;
+        (p, row * (lx / 2) + within_row)
+    }
+
+    /// Inverse of [`Self::cb_index`].
+    pub fn cb_coord(&self, p: Parity, cb_idx: usize) -> Coord {
+        let [lx, ly, lz, _] = self.dims.0;
+        let half = lx / 2;
+        let row = cb_idx / half;
+        let within = cb_idx % half;
+        let y = row % ly;
+        let rest = row / ly;
+        let z = rest % lz;
+        let t = rest / lz;
+        // The x offset parity depends on the row parity and the target parity.
+        let row_parity = (y + z + t) % 2;
+        let x0 = if (row_parity == 0) == (p == Parity::Even) { 0 } else { 1 };
+        Coord([2 * within + x0, y, z, t])
+    }
+
+    /// Number of sites of each parity (`V/2` for even extents).
+    pub fn cb_volume(&self) -> usize {
+        self.volume() / 2
+    }
+
+    /// Iterate over all coordinates in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.volume()).map(move |i| self.coord(i))
+    }
+
+    /// Lexicographic index of the periodic neighbor; also reports boundary
+    /// wrap (for antiperiodic temporal boundary conditions).
+    #[inline]
+    pub fn neighbor_index(&self, c: &Coord, dir: Dir, forward: bool) -> (usize, bool) {
+        let (nc, wrapped) = c.neighbor(&self.dims, dir, forward);
+        (self.index(&nc), wrapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let s = SiteIndexer::new(Dims::new(4, 6, 2, 8));
+        for i in 0..s.volume() {
+            let c = s.coord(i);
+            assert_eq!(s.index(&c), i);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest() {
+        let s = SiteIndexer::new(Dims::new(4, 4, 4, 4));
+        assert_eq!(s.index(&Coord::new(1, 0, 0, 0)), 1);
+        assert_eq!(s.index(&Coord::new(0, 1, 0, 0)), 4);
+        assert_eq!(s.index(&Coord::new(0, 0, 1, 0)), 16);
+        assert_eq!(s.index(&Coord::new(0, 0, 0, 1)), 64);
+    }
+
+    #[test]
+    fn cb_index_roundtrip_and_balance() {
+        let s = SiteIndexer::new(Dims::new(4, 4, 2, 6));
+        let mut even_seen = vec![false; s.cb_volume()];
+        let mut odd_seen = vec![false; s.cb_volume()];
+        for c in s.iter() {
+            let (p, i) = s.cb_index(&c);
+            assert_eq!(p, Parity::of(&c));
+            match p {
+                Parity::Even => {
+                    assert!(!even_seen[i], "duplicate even cb index {i}");
+                    even_seen[i] = true;
+                }
+                Parity::Odd => {
+                    assert!(!odd_seen[i], "duplicate odd cb index {i}");
+                    odd_seen[i] = true;
+                }
+            }
+            assert_eq!(s.cb_coord(p, i), c);
+        }
+        assert!(even_seen.iter().all(|&b| b));
+        assert!(odd_seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn neighbors_flip_parity() {
+        let s = SiteIndexer::new(Dims::new(4, 4, 4, 4));
+        for c in s.iter() {
+            for dir in Dir::ALL {
+                for fwd in [true, false] {
+                    let (nc, _) = c.neighbor(s.dims(), dir, fwd);
+                    assert_eq!(Parity::of(&nc), Parity::of(&c).flip());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_flip() {
+        assert_eq!(Parity::Even.flip(), Parity::Odd);
+        assert_eq!(Parity::Odd.flip(), Parity::Even);
+        assert_eq!(Parity::of(&Coord::new(0, 0, 0, 0)), Parity::Even);
+        assert_eq!(Parity::of(&Coord::new(1, 0, 0, 0)), Parity::Odd);
+        assert_eq!(Parity::of(&Coord::new(1, 1, 0, 0)), Parity::Even);
+    }
+
+    #[test]
+    fn neighbor_index_wrap_flag() {
+        let s = SiteIndexer::new(Dims::new(4, 4, 4, 4));
+        let c = Coord::new(0, 0, 0, 3);
+        let (idx, wrapped) = s.neighbor_index(&c, Dir::T, true);
+        assert!(wrapped);
+        assert_eq!(idx, s.index(&Coord::new(0, 0, 0, 0)));
+        let (_, wrapped) = s.neighbor_index(&c, Dir::T, false);
+        assert!(!wrapped);
+    }
+}

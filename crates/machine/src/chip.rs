@@ -1,0 +1,74 @@
+//! Chip specification: the KNC of Sec. II-A.
+
+use serde::Serialize;
+
+/// Parameters of a many-core co-processor.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct ChipSpec {
+    /// Usable cores (the paper stays off the 61st, where Linux runs).
+    pub cores: usize,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Single-precision SIMD lanes (16 on KNC).
+    pub simd_f32: usize,
+    /// L1 data cache per core, kB.
+    pub l1_kb: f64,
+    /// L2 cache partition per core, kB.
+    pub l2_per_core_kb: f64,
+    /// Streaming memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Cycles lost on an L1 miss that hits L2 (in-order core, no OoO to
+    /// hide it).
+    pub l1_miss_penalty_cycles: f64,
+    /// Additional cycles lost on an L2 miss (beyond bandwidth).
+    pub l2_miss_penalty_cycles: f64,
+}
+
+impl ChipSpec {
+    /// The Stampede KNC (7110P @ 1.1 GHz, 60 usable cores).
+    pub fn knc_7110p() -> Self {
+        Self {
+            cores: 60,
+            freq_ghz: 1.1,
+            simd_f32: 16,
+            l1_kb: 32.0,
+            l2_per_core_kb: 512.0,
+            mem_bw_gbs: 150.0,
+            l1_miss_penalty_cycles: 24.0,
+            l2_miss_penalty_cycles: 250.0,
+        }
+    }
+
+    /// Peak single-precision Gflop/s of the whole chip (FMA).
+    pub fn peak_sp_gflops(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.simd_f32 as f64 * 2.0
+    }
+
+    /// Peak single-precision Gflop/s of one core.
+    pub fn peak_sp_gflops_per_core(&self) -> f64 {
+        self.freq_ghz * self.simd_f32 as f64 * 2.0
+    }
+
+    /// Peak double-precision Gflop/s of the whole chip.
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.peak_sp_gflops() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knc_peaks_match_paper() {
+        // Sec. II-A: "up to around 1 or 2 Tflop/s in double- and
+        // single-precision".
+        let chip = ChipSpec::knc_7110p();
+        let sp = chip.peak_sp_gflops();
+        let dp = chip.peak_dp_gflops();
+        assert!((2000.0..2300.0).contains(&sp), "sp peak {sp}");
+        assert!((1000.0..1150.0).contains(&dp), "dp peak {dp}");
+        // Per-core single precision peak ~35 Gflop/s.
+        assert!((chip.peak_sp_gflops_per_core() - 35.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Analytic performance model of a KNC-class many-core chip and its
+//! cluster — the substitute for the paper's hardware testbed (see
+//! DESIGN.md, substitution table).
+//!
+//! Nothing here contains lattice *data*; the model consumes workload
+//! descriptions (flop counts, working sets, message sizes, iteration
+//! counts) and produces time and rate estimates from first principles:
+//!
+//! - [`chip`]: the chip specification (cores, SIMD width, cache sizes,
+//!   bandwidth) with the KNC 7110P defaults of Sec. II-A / IV-A.
+//! - [`kernel`]: the instruction-mix pipeline model of Sec. IV-B1 —
+//!   reproducing the 56 % compute-efficiency bound and the Table II
+//!   single-core rates as functions of precision and prefetch mode.
+//! - [`onchip`]: on-chip strong scaling with domain load balance (Fig. 5).
+//! - [`network`]: link bandwidth/latency with packet-size-dependent
+//!   effective bandwidth, and global-sum latency trees.
+//! - [`overlap`]: the communication-hiding patterns of Fig. 4.
+//! - [`multinode`]: full solver-time composition — the generator behind
+//!   Fig. 6, Table III, and Fig. 7.
+//! - [`workload`]: the paper's three production lattices and solver
+//!   parameter sets as workload descriptions.
+
+pub mod chip;
+pub mod kernel;
+pub mod multinode;
+pub mod network;
+pub mod onchip;
+pub mod overlap;
+pub mod workload;
+
+pub use chip::ChipSpec;
+pub use kernel::{KernelModel, KernelProfile, Precision, PrefetchMode};
+pub use multinode::{ModelKnobs, MultiNodeModel, SolveTimeBreakdown};
+pub use network::NetworkModel;
+pub use onchip::OnChipModel;
+pub use overlap::{OverlapModel, OverlapPattern};
+pub use workload::{all_lattices, paper_block, rank_layout, DdParams, Lattice, NonDdParams};
+

@@ -1,0 +1,427 @@
+//! Multi-node solve-time composition: the generator behind Fig. 6,
+//! Table III, and Fig. 7.
+//!
+//! For a given lattice, rank layout, and solver parameters this produces
+//! the per-component time breakdown (A / M / GS / other), per-component
+//! Gflop/s per KNC, total time-to-solution, network traffic, and
+//! global-sum counts — the full set of Table III columns. Workload
+//! *iteration counts* are inputs (see `workload.rs`); everything else is
+//! derived from the chip, kernel, network, and overlap models.
+
+use crate::chip::ChipSpec;
+use crate::kernel::{
+    dd_method_flops_per_site, dd_method_rate, Precision, PrefetchMode,
+};
+use crate::network::NetworkModel;
+use crate::overlap::OverlapModel;
+use crate::workload::{paper_block, DdParams, NonDdParams};
+use qdd_lattice::{load, Dims, Dir};
+use serde::Serialize;
+
+/// Tunable efficiency constants of the composition (documented defaults).
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct ModelKnobs {
+    /// Fraction of streaming bandwidth achieved by the whole-lattice
+    /// operator (f64, AOS-ish access).
+    pub stream_bw_efficiency: f64,
+    /// Effective flop/byte of blocked outer-solver level-1 (some reuse of
+    /// the common vector across batched dots).
+    pub level1_flop_per_byte: f64,
+    /// Barrier between Schwarz half-sweeps, microseconds.
+    pub barrier_us: f64,
+}
+
+impl Default for ModelKnobs {
+    fn default() -> Self {
+        Self { stream_bw_efficiency: 0.42, level1_flop_per_byte: 0.38, barrier_us: 1.5 }
+    }
+}
+
+/// The model: chip + network + knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct MultiNodeModel {
+    pub chip: ChipSpec,
+    pub net: NetworkModel,
+    pub overlap: OverlapModel,
+    pub knobs: ModelKnobs,
+    /// Preconditioner storage precision (paper: half).
+    pub m_precision: Precision,
+    pub prefetch: PrefetchMode,
+}
+
+/// Everything Table III reports for one configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolveTimeBreakdown {
+    pub kncs: usize,
+    pub ndomain: usize,
+    pub load: f64,
+    /// Seconds per solve, per component.
+    pub time_a: f64,
+    pub time_m: f64,
+    pub time_gs: f64,
+    pub time_other: f64,
+    /// Percent of total time per component.
+    pub pct: [f64; 4],
+    /// Gflop/s per KNC, per component.
+    pub gflops_knc: [f64; 4],
+    pub total_time_s: f64,
+    /// Total sustained Tflop/s (all KNCs, all components).
+    pub total_tflops: f64,
+    /// Preconditioner-only sustained Tflop/s.
+    pub m_tflops: f64,
+    pub global_sums: u64,
+    /// MB sent per KNC over the full solve.
+    pub comm_mb_per_knc: f64,
+}
+
+impl MultiNodeModel {
+    pub fn paper_setup() -> Self {
+        Self {
+            chip: ChipSpec::knc_7110p(),
+            net: NetworkModel::stampede_fdr(),
+            overlap: OverlapModel::paper_dd(),
+            knobs: ModelKnobs::default(),
+            m_precision: Precision::Half,
+            prefetch: PrefetchMode::L1L2,
+        }
+    }
+
+    /// Streaming chip rate for the f64 whole-lattice operator (Gflop/s).
+    fn full_operator_rate_gflops(&self) -> f64 {
+        // f64 traffic per site: in/out spinors ~2.5 x 192 B (imperfect
+        // stencil reuse) + gauge 1152 B + clover 576 B.
+        let bytes = 2.5 * 192.0 + 1152.0 + 576.0;
+        let ai = 1848.0 / bytes;
+        self.chip.mem_bw_gbs * self.knobs.stream_bw_efficiency * ai
+    }
+
+    /// Chip rate for outer level-1 f64 linear algebra (Gflop/s).
+    fn level1_rate_gflops(&self) -> f64 {
+        self.chip.mem_bw_gbs * self.knobs.level1_flop_per_byte
+    }
+
+    /// Per-direction halo transfer times (seconds) for one exchange of
+    /// `bytes_per_site` per face site, two messages per split direction.
+    fn halo_times(&self, local: &Dims, layout: &Dims, bytes_per_site: f64) -> [f64; 4] {
+        let mut t = [0.0; 4];
+        for d in Dir::ALL {
+            if layout[d] > 1 {
+                let bytes = 2.0 * local.face_area(d) as f64 * bytes_per_site;
+                t[d.index()] = self.net.transfer_time_s(bytes, 2.0);
+            }
+        }
+        t
+    }
+
+    fn halo_bytes(&self, local: &Dims, layout: &Dims, bytes_per_site: f64) -> f64 {
+        Dir::ALL
+            .iter()
+            .filter(|d| layout[**d] > 1)
+            .map(|&d| 2.0 * local.face_area(d) as f64 * bytes_per_site)
+            .sum()
+    }
+
+    /// The DD solver breakdown (Table III upper sections).
+    pub fn dd_solve(&self, dims: &Dims, layout: &Dims, dd: &DdParams) -> SolveTimeBreakdown {
+        let kncs = layout.volume();
+        let local = dims.grid_over(layout);
+        let v = local.volume() as f64;
+        let block = paper_block();
+        let vb = block.volume() as f64;
+        let cores = self.chip.cores;
+
+        // ---- M: the Schwarz preconditioner ----
+        let ndom_color = load::ndomain(local.volume(), block.volume());
+        let load_avg = load::load_average(ndom_color, cores);
+        let fd = dd_method_flops_per_site(dd.i_domain) * vb;
+        let rate_core = dd_method_rate(&self.chip, self.m_precision, self.prefetch, dd.i_domain);
+        let t_domain = fd / (rate_core * 1e9);
+        let rounds = load::sweep_rounds(ndom_color, cores) as f64;
+        let t_half_sweep = rounds * t_domain + self.knobs.barrier_us * 1e-6;
+        let m_compute_per_iter = dd.i_schwarz as f64 * 2.0 * t_half_sweep;
+        // Communication: one f32 half-spinor halo per Schwarz iteration
+        // (two halved exchanges), hidden behind the sweep compute when
+        // there are spare domains (cores <= ndomain per color).
+        let m_halo_t = self.halo_times(&local, layout, 48.0);
+        let can_hide = cores <= ndom_color;
+        let m_exposed_per_schwarz =
+            self.overlap
+                .exposed_s(&m_halo_t, m_compute_per_iter / dd.i_schwarz as f64, can_hide);
+        let t_m_iter = m_compute_per_iter + dd.i_schwarz as f64 * m_exposed_per_schwarz;
+        let m_flops_iter = dd.i_schwarz as f64 * 2.0 * ndom_color as f64 * fd;
+
+        // ---- A: the full f64 operator, once per outer iteration ----
+        let a_flops_iter = 1848.0 * v;
+        let a_compute = a_flops_iter / (self.full_operator_rate_gflops() * 1e9);
+        let a_halo_t = self.halo_times(&local, layout, 96.0);
+        let a_exposed = self.overlap.exposed_s(&a_halo_t, a_compute, can_hide);
+        let t_a_iter = a_compute + a_exposed;
+
+        // ---- GS: batched classical Gram-Schmidt + two reductions ----
+        let avg_j = 0.5 * (dd.deflate + dd.max_basis) as f64;
+        let gs_flops_iter = (2.0 * avg_j + 3.0) * 96.0 * v;
+        let t_gs_iter = gs_flops_iter / (self.level1_rate_gflops() * 1e9)
+            + 2.0 * self.net.allreduce_time_s(kncs);
+
+        // ---- Other: solution updates, restarts ----
+        let other_flops_iter = 6.0 * 96.0 * v;
+        let t_other_iter = other_flops_iter / (self.level1_rate_gflops() * 1e9);
+
+        let iters = dd.outer_iterations as f64;
+        let time = [t_a_iter, t_m_iter, t_gs_iter, t_other_iter].map(|t| t * iters);
+        let flops = [a_flops_iter, m_flops_iter, gs_flops_iter, other_flops_iter]
+            .map(|f| f * iters);
+        let total_time: f64 = time.iter().sum();
+
+        let comm_per_iter = self.halo_bytes(&local, layout, 96.0)
+            + dd.i_schwarz as f64 * self.halo_bytes(&local, layout, 48.0);
+        let global_sums = (iters as u64) * 2 + 2 * (iters as u64 / dd.max_basis as u64 + 1);
+
+        SolveTimeBreakdown {
+            kncs,
+            ndomain: ndom_color,
+            load: load_avg,
+            time_a: time[0],
+            time_m: time[1],
+            time_gs: time[2],
+            time_other: time[3],
+            pct: time.map(|t| 100.0 * t / total_time),
+            gflops_knc: [0, 1, 2, 3].map(|i| flops[i] / time[i] / 1e9),
+            total_time_s: total_time,
+            // Machine-wide sustained rates (flops above are per KNC).
+            total_tflops: kncs as f64 * flops.iter().sum::<f64>() / total_time / 1e12,
+            m_tflops: kncs as f64 * flops[1] / time[1] / 1e12,
+            global_sums,
+            comm_mb_per_knc: comm_per_iter * iters / 1e6,
+        }
+    }
+
+    /// The non-DD baseline breakdown (Table III lower sections):
+    /// BiCGstab in double precision, or the mixed-precision Richardson
+    /// variant (inner iterations in single precision).
+    pub fn non_dd_solve(
+        &self,
+        dims: &Dims,
+        layout: &Dims,
+        params: &NonDdParams,
+    ) -> SolveTimeBreakdown {
+        let kncs = layout.volume();
+        let local = dims.grid_over(layout);
+        let v = local.volume() as f64;
+
+        // Per BiCGstab iteration: two operator applications + ~10 level-1
+        // ops + 4 reductions + two halo exchanges.
+        let (op_rate, halo_bytes_site) = if params.mixed_precision {
+            // Inner solver in single precision: double throughput, half
+            // the traffic.
+            (2.0 * self.full_operator_rate_gflops(), 48.0)
+        } else {
+            (self.full_operator_rate_gflops(), 96.0)
+        };
+        let a_flops_iter = 2.0 * 1848.0 * v;
+        let a_compute = a_flops_iter / (op_rate * 1e9);
+        let halo_t = self.halo_times(&local, layout, halo_bytes_site);
+        // Non-DD can use the classic interior/surface split; window is the
+        // operator compute itself.
+        let exposed = self
+            .overlap
+            .exposed_s(&halo_t, 0.5 * a_compute, true);
+        let t_a_iter = a_compute + 2.0 * exposed;
+
+        let l1_flops_iter = 10.0 * 96.0 * v;
+        let l1_rate = if params.mixed_precision {
+            2.0 * self.level1_rate_gflops()
+        } else {
+            self.level1_rate_gflops()
+        };
+        let t_l1_iter = l1_flops_iter / (l1_rate * 1e9) + 4.0 * self.net.allreduce_time_s(kncs);
+
+        let iters = params.iterations as f64;
+        let t_total = (t_a_iter + t_l1_iter) * iters;
+        let flops_total = (a_flops_iter + l1_flops_iter) * iters;
+
+        SolveTimeBreakdown {
+            kncs,
+            ndomain: 0,
+            load: 1.0,
+            time_a: t_a_iter * iters,
+            time_m: 0.0,
+            time_gs: 0.0,
+            time_other: t_l1_iter * iters,
+            pct: [
+                100.0 * t_a_iter / (t_a_iter + t_l1_iter),
+                0.0,
+                0.0,
+                100.0 * t_l1_iter / (t_a_iter + t_l1_iter),
+            ],
+            gflops_knc: [
+                a_flops_iter / t_a_iter / 1e9,
+                0.0,
+                0.0,
+                l1_flops_iter / t_l1_iter / 1e9,
+            ],
+            total_time_s: t_total,
+            total_tflops: kncs as f64 * flops_total / t_total / 1e12,
+            m_tflops: 0.0,
+            global_sums: iters as u64 * 5,
+            comm_mb_per_knc: 2.0 * self.halo_bytes(&local, layout, halo_bytes_site) * iters
+                / 1e6,
+        }
+    }
+
+    /// Cost of a solve in KNC-minutes (Fig. 7).
+    pub fn knc_minutes(&self, breakdown: &SolveTimeBreakdown) -> f64 {
+        breakdown.total_time_s * breakdown.kncs as f64 / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{lattice_48, lattice_64, rank_layout};
+
+    fn model() -> MultiNodeModel {
+        MultiNodeModel::paper_setup()
+    }
+
+    #[test]
+    fn dd_48_strong_scaling_shape() {
+        // Table III: DD on 48^3x64 keeps gaining up to 128 KNCs; the M
+        // fraction stays at 80-90%; per-KNC rates degrade.
+        let m = model();
+        let lat = lattice_48();
+        let mut prev_time = f64::INFINITY;
+        let mut prev_m_rate = f64::INFINITY;
+        for &kncs in &lat.dd_knc_counts {
+            let layout = rank_layout(&lat.dims, kncs).unwrap();
+            let b = m.dd_solve(&lat.dims, &layout, &lat.dd);
+            assert!(b.total_time_s < prev_time, "{kncs} KNCs not faster");
+            assert!(
+                (60.0..95.0).contains(&b.pct[1]),
+                "{kncs} KNCs: M share {:.1}%",
+                b.pct[1]
+            );
+            assert!(b.gflops_knc[1] <= prev_m_rate * 1.001);
+            prev_time = b.total_time_s;
+            prev_m_rate = b.gflops_knc[1];
+        }
+    }
+
+    #[test]
+    fn dd_48_matches_table3_magnitudes() {
+        // 24 KNCs: paper 35.4 s total, M ~300 Gflop/s/KNC, 15.6 GB/KNC.
+        // 128 KNCs: paper 10.3 s, M ~199 Gflop/s/KNC, 5.1 GB/KNC.
+        // Accept a factor ~1.7 band on time/rates, 1.35 on traffic.
+        let m = model();
+        let lat = lattice_48();
+        let b24 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 24).unwrap(), &lat.dd);
+        assert!(
+            (20.0..60.0).contains(&b24.total_time_s),
+            "24 KNC time {}",
+            b24.total_time_s
+        );
+        assert!(
+            (11_000.0..21_000.0).contains(&(b24.comm_mb_per_knc)),
+            "24 KNC comm {} MB",
+            b24.comm_mb_per_knc
+        );
+        let b128 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 128).unwrap(), &lat.dd);
+        assert!(
+            (6.0..18.0).contains(&b128.total_time_s),
+            "128 KNC time {}",
+            b128.total_time_s
+        );
+        assert!(
+            (3_800.0..6_900.0).contains(&b128.comm_mb_per_knc),
+            "128 KNC comm {} MB",
+            b128.comm_mb_per_knc
+        );
+        // Load column: 96% at 24, 90% at 128 (Table III).
+        assert!((b24.load - 0.96).abs() < 0.01);
+        assert!((b128.load - 0.90).abs() < 0.01);
+    }
+
+    #[test]
+    fn dd_beats_non_dd_by_factor_about_five_in_strong_scaling() {
+        // The headline: best DD time ~5x better than best non-DD time on
+        // 48^3x64 (paper: 10.3 s vs 51.4 s).
+        let m = model();
+        let lat = lattice_48();
+        let best_dd = lat
+            .dd_knc_counts
+            .iter()
+            .map(|&k| m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd).total_time_s)
+            .fold(f64::INFINITY, f64::min);
+        let best_non = lat
+            .non_dd_knc_counts
+            .iter()
+            .map(|&k| {
+                m.non_dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.non_dd)
+                    .total_time_s
+            })
+            .fold(f64::INFINITY, f64::min);
+        let factor = best_non / best_dd;
+        assert!(
+            (3.0..8.0).contains(&factor),
+            "time-to-solution factor {factor} (DD {best_dd}s vs non-DD {best_non}s)"
+        );
+    }
+
+    #[test]
+    fn non_dd_flattens_early() {
+        // Paper Fig. 6 middle panel: non-DD stops improving beyond ~72.
+        let m = model();
+        let lat = lattice_48();
+        let t72 = m
+            .non_dd_solve(&lat.dims, &rank_layout(&lat.dims, 72).unwrap(), &lat.non_dd)
+            .total_time_s;
+        let t144 = m
+            .non_dd_solve(&lat.dims, &rank_layout(&lat.dims, 144).unwrap(), &lat.non_dd)
+            .total_time_s;
+        // Far from the 2x of perfect scaling.
+        assert!(t144 > 0.6 * t72, "non-DD kept scaling: {t72} -> {t144}");
+    }
+
+    #[test]
+    fn dd_64_preconditioner_reaches_100_tflops_at_1024() {
+        // Paper conclusion: ~100 Tflop/s sustained in M at 1024 KNCs.
+        let m = model();
+        let lat = lattice_64();
+        let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 1024).unwrap(), &lat.dd);
+        assert!(
+            (60.0..220.0).contains(&b.m_tflops),
+            "M total {} Tflop/s",
+            b.m_tflops
+        );
+        // Load 53% as in Table III.
+        assert!((b.load - 32.0 / 60.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn global_sum_counts_in_paper_range() {
+        // Table III: 423 sums for 198 iterations (~2.1/iter).
+        let m = model();
+        let lat = lattice_48();
+        let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 64).unwrap(), &lat.dd);
+        let per_iter = b.global_sums as f64 / lat.dd.outer_iterations as f64;
+        assert!((1.9..2.4).contains(&per_iter), "sums/iter {per_iter}");
+    }
+
+    #[test]
+    fn knc_minutes_lower_on_fewer_nodes() {
+        // Fig. 7: cost rises with node count; DD cheaper than non-DD.
+        let m = model();
+        let lat = lattice_48();
+        let dd24 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 24).unwrap(), &lat.dd);
+        let dd128 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 128).unwrap(), &lat.dd);
+        assert!(m.knc_minutes(&dd24) < m.knc_minutes(&dd128));
+        let non12 =
+            m.non_dd_solve(&lat.dims, &rank_layout(&lat.dims, 12).unwrap(), &lat.non_dd);
+        assert!(
+            m.knc_minutes(&dd24) < 0.7 * m.knc_minutes(&non12),
+            "DD {} vs non-DD {} KNC-minutes",
+            m.knc_minutes(&dd24),
+            m.knc_minutes(&non12)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Network model: FDR InfiniBand with the host-proxy of paper Ref. \[3\].
+//!
+//! Two effects matter for the strong-scaling story (Sec. IV-C2):
+//! per-message latency (dominating when surfaces shrink) and the
+//! packet-size dependence of the achievable bandwidth ("the shrinking
+//! packet size diminishes the achievable network bandwidth").
+
+use serde::Serialize;
+
+/// Point-to-point and collective network parameters.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct NetworkModel {
+    /// Peak link bandwidth, GB/s (FDR: 7 theoretical).
+    pub link_bw_gbs: f64,
+    /// Per-message latency, microseconds (KNC-native MPI via host proxy).
+    pub latency_us: f64,
+    /// Message size (bytes) at which half the peak bandwidth is reached.
+    pub half_bw_bytes: f64,
+    /// Per-hop latency of the all-reduce tree, microseconds.
+    pub reduction_hop_us: f64,
+}
+
+impl NetworkModel {
+    /// TACC Stampede: FDR IB, ConnectX-3, KNC-native MPI through the
+    /// host-CPU proxy of Ref. \[3\].
+    pub fn stampede_fdr() -> Self {
+        Self {
+            link_bw_gbs: 7.0,
+            latency_us: 25.0,
+            half_bw_bytes: 256.0 * 1024.0,
+            reduction_hop_us: 40.0,
+        }
+    }
+
+    /// Effective bandwidth for a given message size (GB/s). Latency is
+    /// accounted separately, so the size dependence is floored at 4 kB to
+    /// avoid double counting for tiny messages.
+    pub fn effective_bw_gbs(&self, message_bytes: f64) -> f64 {
+        let m = message_bytes.max(4096.0);
+        self.link_bw_gbs * m / (m + self.half_bw_bytes)
+    }
+
+    /// Time to ship `messages` messages of equal size totaling `bytes`
+    /// (seconds). Messages to distinct neighbors are serialized through
+    /// the single communicating core (paper Sec. III-E).
+    pub fn transfer_time_s(&self, bytes: f64, messages: f64) -> f64 {
+        if bytes <= 0.0 || messages <= 0.0 {
+            return 0.0;
+        }
+        let msg_size = bytes / messages;
+        messages * self.latency_us * 1e-6 + bytes / (self.effective_bw_gbs(msg_size) * 1e9)
+    }
+
+    /// Latency of one global sum over `ranks` ranks (binary-tree
+    /// reduce + broadcast).
+    pub fn allreduce_time_s(&self, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let hops = (ranks as f64).log2().ceil();
+        2.0 * hops * self.reduction_hop_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_saturates_with_message_size() {
+        let n = NetworkModel::stampede_fdr();
+        let small = n.effective_bw_gbs(1024.0);
+        let big = n.effective_bw_gbs(16.0 * 1024.0 * 1024.0);
+        assert!(small < 0.2 * n.link_bw_gbs, "small-message bw {small}");
+        assert!(big > 0.95 * n.link_bw_gbs, "large-message bw {big}");
+        // Monotone.
+        let mut prev = 0.0;
+        for k in [256.0, 4096.0, 65536.0, 1048576.0] {
+            let bw = n.effective_bw_gbs(k);
+            assert!(bw >= prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let n = NetworkModel::stampede_fdr();
+        let t = n.transfer_time_s(512.0, 8.0);
+        // Eight messages: at least 8 latencies.
+        assert!(t >= 8.0 * n.latency_us * 1e-6);
+        // Bandwidth term negligible here.
+        assert!(t < 8.0 * n.latency_us * 1e-6 + 2e-5);
+    }
+
+    #[test]
+    fn big_transfer_hits_link_bandwidth() {
+        let n = NetworkModel::stampede_fdr();
+        let bytes = 64.0 * 1024.0 * 1024.0;
+        let t = n.transfer_time_s(bytes, 2.0);
+        let ideal = bytes / (n.link_bw_gbs * 1e9);
+        assert!(t < 1.3 * ideal, "t {t} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let n = NetworkModel::stampede_fdr();
+        assert_eq!(n.allreduce_time_s(1), 0.0);
+        let t64 = n.allreduce_time_s(64);
+        let t1024 = n.allreduce_time_s(1024);
+        assert!((t1024 / t64 - 10.0 / 6.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let n = NetworkModel::stampede_fdr();
+        assert_eq!(n.transfer_time_s(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! On-chip strong scaling of the DD preconditioner (paper Fig. 5).
+//!
+//! Cores process domains in rounds; the time of one Schwarz half-sweep is
+//! `ceil(ndomain_color / cores)` domain solves plus one barrier. The
+//! characteristic load-imbalance steps of Fig. 5 come straight from the
+//! ceiling; the near-linear scaling from the block solves running out of
+//! L2 (no shared-resource term in the compute time).
+
+use crate::chip::ChipSpec;
+use crate::kernel::{dd_method_flops_per_site, dd_method_rate, Precision, PrefetchMode};
+use qdd_lattice::{load, Dims};
+
+/// Fig. 5 model.
+#[derive(Copy, Clone, Debug)]
+pub struct OnChipModel {
+    pub chip: ChipSpec,
+    pub precision: Precision,
+    pub prefetch: PrefetchMode,
+    pub i_domain: usize,
+    /// Barrier cost between half-sweeps, microseconds.
+    pub barrier_us: f64,
+}
+
+impl OnChipModel {
+    pub fn paper_setup() -> Self {
+        Self {
+            chip: ChipSpec::knc_7110p(),
+            precision: Precision::Half,
+            prefetch: PrefetchMode::L1L2,
+            i_domain: 5,
+            barrier_us: 1.5,
+        }
+    }
+
+    /// Sustained preconditioner Gflop/s on `cores` cores for a local
+    /// lattice and block size.
+    pub fn preconditioner_gflops(&self, lattice: &Dims, block: &Dims, cores: usize) -> f64 {
+        assert!(cores >= 1);
+        // Domains per color (Eq. (6)).
+        let ndom_color = load::ndomain(lattice.volume(), block.volume());
+        let flops_per_domain =
+            dd_method_flops_per_site(self.i_domain) * block.volume() as f64;
+        let rate_core =
+            dd_method_rate(&self.chip, self.precision, self.prefetch, self.i_domain);
+        let t_domain_s = flops_per_domain / (rate_core * 1e9);
+        let rounds = load::sweep_rounds(ndom_color, cores) as f64;
+        // One half-sweep: rounds of domain solves + a barrier.
+        let t_half = rounds * t_domain_s + self.barrier_us * 1e-6;
+        // Total over both colors; flops of a full sweep.
+        let sweep_flops = 2.0 * ndom_color as f64 * flops_per_domain;
+        sweep_flops / (2.0 * t_half) / 1e9
+    }
+
+    /// The whole Fig. 5 series: Gflop/s for 1..=max_cores.
+    pub fn scaling_series(&self, lattice: &Dims, block: &Dims, max_cores: usize) -> Vec<f64> {
+        (1..=max_cores)
+            .map(|c| self.preconditioner_gflops(lattice, block, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OnChipModel {
+        OnChipModel::paper_setup()
+    }
+
+    fn block() -> Dims {
+        Dims::new(8, 4, 4, 4)
+    }
+
+    #[test]
+    fn full_load_volumes_scale_nearly_linearly() {
+        // Fig. 5: 16x8x20x24 (ndomain=60) and 32x32x20x24 (480) give
+        // linear scaling to 60 cores.
+        let m = model();
+        for lattice in [Dims::new(16, 8, 20, 24), Dims::new(32, 32, 20, 24)] {
+            let g1 = m.preconditioner_gflops(&lattice, &block(), 1);
+            let g60 = m.preconditioner_gflops(&lattice, &block(), 60);
+            let speedup = g60 / g1;
+            assert!(speedup > 54.0, "{lattice}: speedup {speedup}");
+        }
+    }
+
+    #[test]
+    fn sixty_core_rate_in_paper_range() {
+        // Fig. 5 peak: 400-500 Gflop/s with the single/half mix.
+        let m = model();
+        let g = m.preconditioner_gflops(&Dims::new(32, 32, 20, 24), &block(), 60);
+        assert!((350.0..550.0).contains(&g), "60-core rate {g}");
+    }
+
+    #[test]
+    fn load_imbalance_steps_visible() {
+        // 48x12x12x16 has ndomain=108: at 54 cores every core does 2
+        // domains (100% load); at 55..59 cores one round has idle cores.
+        let m = model();
+        let lattice = Dims::new(48, 12, 12, 16);
+        let g54 = m.preconditioner_gflops(&lattice, &block(), 54);
+        let g55 = m.preconditioner_gflops(&lattice, &block(), 55);
+        let g60 = m.preconditioner_gflops(&lattice, &block(), 60);
+        // 55..59 cores are no faster than 54 (still 2 rounds).
+        assert!(g55 <= g54 * 1.001, "step missing: {g54} -> {g55}");
+        // 60 cores: 108/60 -> still 2 rounds; load 90%.
+        assert!(g60 <= g54 * 1.001);
+        // But well below the perfect-scaling line.
+        let g1 = m.preconditioner_gflops(&lattice, &block(), 1);
+        assert!(g60 / g1 < 56.0, "should show the 90% load plateau");
+    }
+
+    #[test]
+    fn series_is_monotonically_nondecreasing() {
+        let m = model();
+        let s = m.scaling_series(&Dims::new(16, 8, 20, 24), &block(), 60);
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0] * 0.999, "{} -> {}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Generic complex arithmetic over `f32` / `f64`.
+//!
+//! The Dirac kernels are written generically over the scalar type so the
+//! same code serves the double-precision outer solver and the
+//! single-precision preconditioner (paper Sec. III). The type is `repr(C)`
+//! with `(re, im)` layout so site-fused SIMD layouts can reinterpret
+//! component arrays without copying.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar abstraction over `f32` and `f64`.
+///
+/// Only the operations actually used by the solver stack are exposed; this
+/// keeps the trait small and the generic code monomorphization-friendly.
+pub trait Real:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const EPSILON: Self;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    /// Fused multiply-add `self * b + c` (maps to the hardware FMA).
+    fn mul_add(self, b: Self, c: Self) -> Self;
+    fn max(self, other: Self) -> Self;
+    fn min(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn mul_add(self, b: Self, c: Self) -> Self {
+                self.mul_add(b, c)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+/// A complex number `re + i*im` over a [`Real`] scalar.
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T: Real> {
+    pub re: T,
+    pub im: T,
+}
+
+/// Single-precision complex number.
+pub type C32 = Complex<f32>;
+/// Double-precision complex number.
+pub type C64 = Complex<f64>;
+
+impl<T: Real> Complex<T> {
+    pub const ZERO: Self = Self { re: T::ZERO, im: T::ZERO };
+    pub const ONE: Self = Self { re: T::ONE, im: T::ZERO };
+    /// The imaginary unit `i`.
+    pub const I: Self = Self { re: T::ZERO, im: T::ONE };
+
+    #[inline(always)]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// Purely real complex number.
+    #[inline(always)]
+    pub fn real(re: T) -> Self {
+        Self { re, im: T::ZERO }
+    }
+
+    /// Purely imaginary complex number.
+    #[inline(always)]
+    pub fn imag(im: T) -> Self {
+        Self { re: T::ZERO, im }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re.mul_add(self.re, self.im * self.im)
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by `i` (no multiplies, a register swap + negate).
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Self { re: -self.im, im: self.re }
+    }
+
+    /// Multiplication by `-i`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Self { re: self.im, im: -self.re }
+    }
+
+    /// Fused `self + a * b` (the inner-loop primitive of the SU(3) multiply).
+    #[inline(always)]
+    pub fn add_mul(self, a: Self, b: Self) -> Self {
+        Self {
+            re: a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
+            im: a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        }
+    }
+
+    /// Fused `self + conj(a) * b` (used for the adjoint SU(3) multiply).
+    #[inline(always)]
+    pub fn add_conj_mul(self, a: Self, b: Self) -> Self {
+        Self {
+            re: a.re.mul_add(b.re, a.im.mul_add(b.im, self.re)),
+            im: a.re.mul_add(b.im, (-a.im).mul_add(b.re, self.im)),
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// True if both components are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Lossy conversion to a different scalar precision.
+    #[inline(always)]
+    pub fn cast<U: Real>(self) -> Complex<U> {
+        Complex { re: U::from_f64(self.re.to_f64()), im: U::from_f64(self.im.to_f64()) }
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re.mul_add(rhs.re, -(self.im * rhs.im)),
+            im: self.re.mul_add(rhs.im, self.im * rhs.re),
+        }
+    }
+}
+
+impl<T: Real> Div for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl<T: Real> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<T: Real> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{}{:?}i)", self.re, if self.im.to_f64() < 0.0 { "" } else { "+" }, self.im)
+    }
+}
+
+impl<T: Real> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{}{}i)", self.re, if self.im.to_f64() < 0.0 { "" } else { "+" }, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> C64 {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -4.0);
+        assert_eq!(a + b, c(4.0, -2.0));
+        assert_eq!(a - b, c(-2.0, 6.0));
+        assert_eq!(a * b, c(11.0, 2.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = c(3.0, 4.0);
+        assert_eq!(a.conj(), c(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!((a * a.conj() - Complex::real(25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_i_identities() {
+        let a = c(1.5, -2.5);
+        assert_eq!(a.mul_i(), a * Complex::I);
+        assert_eq!(a.mul_neg_i(), a * c(0.0, -1.0));
+        assert_eq!(a.mul_i().mul_neg_i(), a);
+    }
+
+    #[test]
+    fn fused_forms_match_expanded() {
+        let acc = c(0.5, 0.25);
+        let a = c(1.0, -3.0);
+        let b = c(2.0, 7.0);
+        let fused = acc.add_mul(a, b);
+        let expanded = acc + a * b;
+        assert!((fused - expanded).abs() < 1e-12);
+        let fused = acc.add_conj_mul(a, b);
+        let expanded = acc + a.conj() * b;
+        assert!((fused - expanded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse() {
+        let a = c(2.0, -1.0);
+        assert!((a * a.inv() - Complex::ONE).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cast_roundtrip_f32() {
+        let a = c(1.25, -0.5); // exactly representable in f32
+        let down: C32 = a.cast();
+        let up: C64 = down.cast();
+        assert_eq!(up, a);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = [c(1.0, 1.0), c(2.0, -3.0), c(-0.5, 0.5)];
+        let s: C64 = v.iter().copied().sum();
+        assert_eq!(s, c(2.5, -1.5));
+    }
+}

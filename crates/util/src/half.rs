@@ -1,0 +1,253 @@
+//! Software IEEE-754 binary16 ("half precision").
+//!
+//! The KNC has no 16-bit arithmetic, but its load/store paths up-convert
+//! f16 → f32 and down-convert f32 → f16 in hardware (paper Sec. II-A).
+//! The DD preconditioner exploits this to store the *constant* data of an
+//! inversion — gauge links and clover matrices — in half precision, halving
+//! their cache footprint from 144 kB to 72 kB per domain (Sec. III-B),
+//! while keeping the iteration vectors (spinors) in single precision.
+//!
+//! This module reproduces those conversions in software with
+//! round-to-nearest-even, matching x86 `VCVTPS2PH`/`VCVTPH2PS` semantics.
+
+use crate::complex::Complex;
+
+/// IEEE-754 binary16 storage type.
+///
+/// Arithmetic is not provided: like on the KNC, `F16` exists only as a
+/// storage format; all computation happens after up-conversion to `f32`.
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+impl F16 {
+    pub const ZERO: F16 = F16(0);
+    pub const ONE: F16 = F16(0x3C00);
+    pub const INFINITY: F16 = F16(0x7C00);
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// Largest finite f16 value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+
+    /// Down-convert from `f32` with round-to-nearest-even.
+    ///
+    /// Overflow saturates to ±infinity (as the hardware conversion does
+    /// without exception handling); subnormals are produced for tiny
+    /// magnitudes; NaN payloads are canonicalized.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            return if mant == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                F16(sign | 0x7E00) // canonical quiet NaN
+            };
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Too large: saturate to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range for f16.
+            let half_exp = (unbiased + 15) as u16;
+            // Keep the top 10 mantissa bits, round-to-nearest-even on the rest.
+            let mant10 = (mant >> 13) as u16;
+            let rest = mant & 0x1FFF;
+            let mut out = sign | (half_exp << 10) | mant10;
+            // Round: rest > half, or exactly half and LSB set.
+            if rest > 0x1000 || (rest == 0x1000 && (mant10 & 1) != 0) {
+                out += 1; // may carry into the exponent — that is correct
+                          // (rounds up to the next binade or to infinity)
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16 range: effective mantissa with implicit 1.
+            let full = mant | 0x0080_0000;
+            let shift = (-14 - unbiased + 13) as u32; // bits to discard
+            let mant10 = (full >> shift) as u16;
+            let rest_mask = (1u32 << shift) - 1;
+            let rest = full & rest_mask;
+            let half = 1u32 << (shift - 1);
+            let mut out = sign | mant10;
+            if rest > half || (rest == half && (mant10 & 1) != 0) {
+                out += 1;
+            }
+            return F16(out);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Up-convert to `f32` (exact — every f16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1F;
+        let mant = bits & 0x03FF;
+
+        let out = if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalize.
+                let lead = mant.leading_zeros() - 22; // zeros within the 10-bit field
+                let mant_norm = (mant << (lead + 1)) & 0x03FF;
+                let exp_f32 = (127 - 15 - lead) as u32;
+                sign | (exp_f32 << 23) | (mant_norm << 13)
+            }
+        } else if exp == 0x1F {
+            if mant == 0 {
+                sign | 0x7F80_0000
+            } else {
+                sign | 0x7FC0_0000 | (mant << 13)
+            }
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// Convenience: round-trip a value through f16 precision.
+    #[inline]
+    pub fn round_f32(x: f32) -> f32 {
+        F16::from_f32(x).to_f32()
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+/// A complex number stored as two packed `F16` values.
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
+#[repr(C)]
+pub struct CF16 {
+    pub re: F16,
+    pub im: F16,
+}
+
+impl CF16 {
+    #[inline]
+    pub fn from_c32(z: Complex<f32>) -> Self {
+        Self { re: F16::from_f32(z.re), im: F16::from_f32(z.im) }
+    }
+
+    #[inline]
+    pub fn to_c32(self) -> Complex<f32> {
+        Complex::new(self.re.to_f32(), self.im.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(0.099975586).0, 0x2E66); // nearest f16 to 0.1
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0).0, 0x7C00); // rounds up past MAX
+        assert_eq!(F16::from_f32(1e10).0, 0x7C00);
+        assert_eq!(F16::from_f32(-1e10).0, 0xFC00);
+        assert!(F16::from_f32(1e10).is_infinite());
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).0, 0x0001);
+        assert_eq!(F16(0x0001).to_f32(), tiny);
+        // Below half the smallest subnormal rounds to zero.
+        assert_eq!(F16::from_f32(tiny / 4.0).0, 0x0000);
+        // Largest subnormal.
+        let lsub = 2.0_f32.powi(-14) - 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(lsub).0, 0x03FF);
+        assert_eq!(F16(0x03FF).to_f32(), lsub);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let n = F16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        assert!(n.to_f32().is_nan());
+    }
+
+    #[test]
+    fn infinity_roundtrip() {
+        assert_eq!(F16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even → 1.0.
+        let x = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(x).0, F16::from_f32(1.0).0);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even → 1+2^-9.
+        let x = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(x).0, 0x3C02);
+        // Slightly above the tie rounds up.
+        let x = 1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-18);
+        assert_eq!(F16::from_f32(x).0, 0x3C01);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_finite_f16() {
+        // Every finite f16 must survive f16 -> f32 -> f16 exactly.
+        for bits in 0..=0xFFFFu16 {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let f = h.to_f32();
+            let back = F16::from_f32(f);
+            assert_eq!(back.0, bits, "bits {bits:#06x} -> {f} -> {:#06x}", back.0);
+        }
+    }
+
+    #[test]
+    fn relative_error_bound_normals() {
+        // For values in the normal f16 range the relative round-trip error
+        // is at most 2^-11.
+        let mut x = 6.1e-5_f32;
+        while x < 6.0e4 {
+            let r = F16::round_f32(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= 2.0_f32.powi(-11), "x={x} r={r} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn complex_f16() {
+        let z = Complex::new(0.25f32, -3.5);
+        let packed = CF16::from_c32(z);
+        assert_eq!(packed.to_c32(), z); // exactly representable
+    }
+}

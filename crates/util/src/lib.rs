@@ -1,0 +1,26 @@
+//! Foundation utilities for the Lattice-QCD domain-decomposition solver.
+//!
+//! This crate provides the numeric substrate everything else builds on:
+//!
+//! - [`complex`]: a minimal generic complex type ([`Complex`]) over a
+//!   [`Real`] scalar (`f32` / `f64`), with the full arithmetic surface the
+//!   Dirac kernels need (fused multiply-add forms, conjugation, …).
+//! - [`half`]: software IEEE-754 binary16 ([`half::F16`]) mirroring the
+//!   KNC's hardware up-/down-conversion used to store gauge links and
+//!   clover matrices in reduced precision (paper Sec. III-B).
+//! - [`linalg`]: small dense *complex* linear algebra — Householder QR,
+//!   Givens least squares, Hessenberg reduction, shifted-QR eigensolver —
+//!   required by the deflated-restart logic of FGMRES-DR (paper Ref. \[10\]).
+//! - [`stats`]: flop / communication / global-sum counters used to produce
+//!   the per-component breakdowns of the paper's Table III.
+//! - [`rng`]: deterministic seeded random-number generation (xoshiro256**)
+//!   so every experiment is bit-reproducible.
+
+pub mod complex;
+pub mod half;
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+
+pub use complex::{Complex, Real, C32, C64};
+pub use half::F16;

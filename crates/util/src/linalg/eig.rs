@@ -1,0 +1,499 @@
+//! Eigenvalues and eigenvectors of small complex upper-Hessenberg matrices.
+//!
+//! GMRES with deflated restarts retains the `k` *harmonic Ritz vectors* of
+//! smallest modulus at each restart (paper Ref. [10]). The harmonic Ritz
+//! problem for an Arnoldi relation `A V_m = V_{m+1} Hbar_m` is the ordinary
+//! eigenproblem of the rank-one-modified Hessenberg matrix
+//! `H_m + h_{m+1,m}^2 f e_m^H` with `f = H_m^{-H} e_m` — which is still
+//! upper Hessenberg, so a single-shift complex QR iteration suffices.
+
+use super::lu::CLu;
+use super::qr::orthonormal_columns;
+use super::CMat;
+use crate::complex::{Complex, C64};
+
+/// Principal square root of a complex number.
+fn csqrt(z: C64) -> C64 {
+    let r = z.abs();
+    if r == 0.0 {
+        return C64::ZERO;
+    }
+    let re = ((r + z.re) * 0.5).max(0.0).sqrt();
+    let im_mag = ((r - z.re) * 0.5).max(0.0).sqrt();
+    let im = if z.im >= 0.0 { im_mag } else { -im_mag };
+    Complex::new(re, im)
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 block closest to the
+/// bottom-right entry.
+fn wilkinson_shift(a: C64, b: C64, c: C64, d: C64) -> C64 {
+    let tr_half = (a + d).scale(0.5);
+    let diff_half = (a - d).scale(0.5);
+    let disc = csqrt(diff_half * diff_half + b * c);
+    let l1 = tr_half + disc;
+    let l2 = tr_half - disc;
+    if (l1 - d).abs() <= (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+/// Eigenvalues of a complex upper-Hessenberg matrix via explicit
+/// single-shift QR iteration with deflation.
+///
+/// Input entries below the first subdiagonal are ignored. Panics only on
+/// shape errors; non-convergence (which should not occur for these tiny
+/// well-scaled matrices) falls back to returning the current diagonal.
+pub fn eig_upper_hessenberg_values(h_in: &CMat) -> Vec<C64> {
+    let n = h_in.nrows();
+    assert_eq!(n, h_in.ncols(), "eig needs a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![h_in[(0, 0)]];
+    }
+
+    let mut h = h_in.clone();
+    // Clean anything below the subdiagonal.
+    for i in 0..n {
+        for j in 0..i.saturating_sub(1) {
+            h[(i, j)] = C64::ZERO;
+        }
+    }
+
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n; // active block is rows/cols [lo, hi)
+    let max_sweeps = 60 * n;
+    let mut sweeps = 0;
+
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push(h[(0, 0)]);
+            hi = 0;
+            continue;
+        }
+        // Deflate converged subdiagonals from the bottom.
+        let tol_at = |h: &CMat, i: usize| {
+            f64::EPSILON * (h[(i - 1, i - 1)].abs() + h[(i, i)].abs()).max(1e-300)
+        };
+        if h[(hi - 1, hi - 2)].abs() <= tol_at(&h, hi - 1) {
+            eigs.push(h[(hi - 1, hi - 1)]);
+            hi -= 1;
+            continue;
+        }
+        // Find the start of the active unreduced block.
+        let mut lo = hi - 1;
+        while lo > 0 && h[(lo, lo - 1)].abs() > tol_at(&h, lo) {
+            lo -= 1;
+        }
+
+        sweeps += 1;
+        if sweeps > max_sweeps {
+            // Should never happen for m <= ~30; degrade gracefully.
+            for i in (0..hi).rev() {
+                eigs.push(h[(i, i)]);
+            }
+            break;
+        }
+
+        // Shift: Wilkinson from the trailing 2x2; occasionally use an
+        // exceptional shift to break symmetry cycles.
+        let mu = if sweeps % 31 == 0 {
+            h[(hi - 1, hi - 1)] + Complex::real(h[(hi - 1, hi - 2)].abs())
+        } else {
+            wilkinson_shift(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            )
+        };
+
+        // Explicit shifted QR step on the active block.
+        for i in lo..hi {
+            h[(i, i)] -= mu;
+        }
+        let mut rots = Vec::with_capacity(hi - lo - 1);
+        for i in lo..hi - 1 {
+            let (g, r) = super::GivensRotation::zeroing(h[(i, i)], h[(i + 1, i)]);
+            h[(i, i)] = r;
+            h[(i + 1, i)] = C64::ZERO;
+            for j in i + 1..hi {
+                let (x, y) = g.apply(h[(i, j)], h[(i + 1, j)]);
+                h[(i, j)] = x;
+                h[(i + 1, j)] = y;
+            }
+            rots.push(g);
+        }
+        // H <- R Q = R * G_lo^H * ... (right-multiplications).
+        for (idx, g) in rots.iter().enumerate() {
+            let i = lo + idx;
+            let top = if i + 2 < hi { i + 2 } else { hi };
+            for row in lo..top {
+                let a = h[(row, i)];
+                let b = h[(row, i + 1)];
+                h[(row, i)] = a.scale(g.c) + b * g.s.conj();
+                h[(row, i + 1)] = b.scale(g.c) - a * g.s;
+            }
+        }
+        for i in lo..hi {
+            h[(i, i)] += mu;
+        }
+    }
+
+    eigs
+}
+
+/// Householder reduction of a general complex matrix to upper Hessenberg
+/// form (similarity transform; only the Hessenberg factor is returned —
+/// eigen*vectors* are recovered by inverse iteration on the original
+/// matrix, so the transform itself is not needed).
+pub fn hessenberg_reduce(a: &CMat) -> CMat {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Reflector zeroing column k below row k+1.
+        let mut v: Vec<C64> = (k + 1..n).map(|i| h[(i, k)]).collect();
+        let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let v0 = v[0];
+        let phase = if v0.abs() > 0.0 { v0.scale(1.0 / v0.abs()) } else { C64::ONE };
+        let alpha = -phase.scale(norm);
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // H <- P H P with P = I - 2 v v^H / |v|^2 acting on rows/cols k+1..n.
+        // Left: rows k+1..n.
+        for j in 0..n {
+            let mut dot = C64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot = dot.add_conj_mul(*vi, h[(k + 1 + i, j)]);
+            }
+            let coef = dot.scale(2.0 / vnorm2);
+            for (i, vi) in v.iter().enumerate() {
+                let sub = *vi * coef;
+                h[(k + 1 + i, j)] -= sub;
+            }
+        }
+        // Right: columns k+1..n.
+        for i in 0..n {
+            let mut dot = C64::ZERO;
+            for (j, vj) in v.iter().enumerate() {
+                dot = dot.add_mul(h[(i, k + 1 + j)], *vj);
+            }
+            let coef = dot.scale(2.0 / vnorm2);
+            for (j, vj) in v.iter().enumerate() {
+                let sub = vj.conj() * coef;
+                h[(i, k + 1 + j)] -= sub;
+            }
+        }
+    }
+    // Clean below-subdiagonal noise.
+    for i in 0..n {
+        for j in 0..i.saturating_sub(1) {
+            h[(i, j)] = C64::ZERO;
+        }
+    }
+    h
+}
+
+/// Eigenvalues and (right) eigenvectors of a *general* dense complex
+/// matrix: Hessenberg-reduce for the values, inverse-iterate on the
+/// original matrix for the vectors.
+pub fn eig_dense(a: &CMat) -> Vec<(C64, Vec<C64>)> {
+    let n = a.nrows();
+    let values = if a.is_upper_hessenberg(0.0) {
+        eig_upper_hessenberg_values(a)
+    } else {
+        eig_upper_hessenberg_values(&hessenberg_reduce(a))
+    };
+    let scale = a.norm_max().max(1e-300);
+    let mut out = Vec::with_capacity(n);
+    for (idx, &theta) in values.iter().enumerate() {
+        let eps = Complex::real(scale * 1e-13 * (1.0 + idx as f64));
+        let shifted = CMat::from_fn(n, n, |i, j| {
+            let mut v = a[(i, j)];
+            if i == j {
+                v -= theta + eps;
+            }
+            v
+        });
+        let lu = CLu::new(&shifted);
+        let mut v: Vec<C64> = (0..n)
+            .map(|i| {
+                let t = ((i * 2654435761 + idx * 40503 + 12345) % 1000) as f64 / 1000.0;
+                Complex::new(1.0 + t, 0.5 - t)
+            })
+            .collect();
+        for _ in 0..3 {
+            let w = lu.solve(&v);
+            let norm = super::cnorm(&w);
+            if norm == 0.0 || !norm.is_finite() {
+                break;
+            }
+            v = w.iter().map(|z| z.scale(1.0 / norm)).collect();
+        }
+        out.push((theta, v));
+    }
+    out
+}
+
+/// Eigenvalues *and* (right) eigenvectors of a complex upper-Hessenberg
+/// matrix. Eigenvectors are computed by inverse iteration and normalized;
+/// for (numerically) repeated eigenvalues the vectors may coincide — the
+/// caller is expected to re-orthonormalize (deflated restart does so).
+pub fn eig_hessenberg(h: &CMat) -> Vec<(C64, Vec<C64>)> {
+    eig_dense(h)
+}
+
+/// Harmonic Ritz deflation basis for GMRES-DR.
+///
+/// `hbar` is the rectangular (m+1) x m Arnoldi Hessenberg matrix. Returns
+/// the m x k matrix whose orthonormal columns span the `k` harmonic Ritz
+/// vectors of smallest |theta| (the approximate low modes the restart
+/// retains), together with the corresponding harmonic Ritz values.
+///
+/// If `H_m` is singular (lucky breakdown), the plain Ritz vectors of `H_m`
+/// are used instead.
+pub fn harmonic_ritz(hbar: &CMat, k: usize) -> (CMat, Vec<C64>) {
+    let m = hbar.ncols();
+    assert_eq!(hbar.nrows(), m + 1, "hbar must be (m+1) x m");
+    assert!(k <= m, "cannot deflate more vectors than the basis size");
+    let hm = hbar.submatrix(0, 0, m, m);
+    let h_last = hbar[(m, m - 1)];
+
+    // f = H_m^{-H} e_m
+    let lu_ah = CLu::new(&hm.adjoint());
+    let mut modified = hm.clone();
+    if !lu_ah.is_singular() {
+        let mut em = vec![C64::ZERO; m];
+        em[m - 1] = C64::ONE;
+        let f = lu_ah.solve(&em);
+        let coef = Complex::real(h_last.norm_sqr());
+        // H_m + |h_{m+1,m}|^2 * conj(f) ... careful: the standard formula is
+        // H_m + h^2 f e_m^H with f = H_m^{-H} e_m; for complex h the scalar
+        // is |h_{m+1,m}|^2 (the residual-norm correction term).
+        for i in 0..m {
+            modified[(i, m - 1)] += coef * f[i];
+        }
+    }
+
+    let mut pairs = eig_dense(&modified);
+    pairs.sort_by(|a, b| a.0.abs().partial_cmp(&b.0.abs()).unwrap());
+    pairs.truncate(k);
+
+    let mut g = CMat::zeros(m, pairs.len());
+    for (j, (_, v)) in pairs.iter().enumerate() {
+        g.set_col(j, v);
+    }
+    let q = orthonormal_columns(&g);
+    let values = pairs.iter().map(|p| p.0).collect();
+    (q, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::cnorm;
+    use crate::rng::TestRng;
+
+    fn random_hessenberg(rng: &mut TestRng, n: usize) -> CMat {
+        CMat::from_fn(n, n, |i, j| {
+            if j + 1 >= i {
+                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
+            } else {
+                C64::ZERO
+            }
+        })
+    }
+
+    fn sort_by_abs(mut v: Vec<C64>) -> Vec<C64> {
+        v.sort_by(|a, b| {
+            (a.abs(), a.re, a.im).partial_cmp(&(b.abs(), b.re, b.im)).unwrap()
+        });
+        v
+    }
+
+    #[test]
+    fn csqrt_squares_back() {
+        for z in [
+            Complex::new(4.0, 0.0),
+            Complex::new(-4.0, 0.0),
+            Complex::new(0.0, 2.0),
+            Complex::new(3.0, -4.0),
+            Complex::new(-1.0, -1.0),
+        ] {
+            let s = csqrt(z);
+            assert!((s * s - z).abs() < 1e-12, "z={z:?}");
+            assert!(s.re >= 0.0, "principal branch: {s:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular_matrix_are_diagonal() {
+        let mut rng = TestRng::new(41);
+        let n = 6;
+        let t = CMat::from_fn(n, n, |i, j| {
+            if j >= i {
+                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
+            } else {
+                C64::ZERO
+            }
+        });
+        let mut expect: Vec<C64> = (0..n).map(|i| t[(i, i)]).collect();
+        let got = eig_upper_hessenberg_values(&t);
+        let mut got = got;
+        expect = sort_by_abs(expect);
+        got = sort_by_abs(got);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((*a - *b).abs() < 1e-10, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_satisfy_characteristic_residual() {
+        // For each computed eigenpair, check ||H v - theta v|| is tiny.
+        let mut rng = TestRng::new(42);
+        for n in [2, 3, 5, 9, 16] {
+            let h = random_hessenberg(&mut rng, n);
+            let pairs = eig_hessenberg(&h);
+            assert_eq!(pairs.len(), n);
+            for (theta, v) in &pairs {
+                let hv = h.mul_vec(v);
+                let res: f64 = hv
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| (*a - *b * *theta).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(res < 1e-8 * h.norm_max().max(1.0), "n={n} res={res}");
+                assert!((cnorm(v) - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let mut rng = TestRng::new(43);
+        for n in [2, 4, 8, 12] {
+            let h = random_hessenberg(&mut rng, n);
+            let trace: C64 = (0..n).map(|i| h[(i, i)]).sum();
+            let sum: C64 = eig_upper_hessenberg_values(&h).into_iter().sum();
+            assert!((trace - sum).abs() < 1e-9 * (1.0 + trace.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[0, 1], [1, 0]] has eigenvalues +-1.
+        let h = CMat::from_rows(2, 2, &[(0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        let e = sort_by_abs(eig_upper_hessenberg_values(&h));
+        assert!((e[0].abs() - 1.0).abs() < 1e-12);
+        assert!((e[1].abs() - 1.0).abs() < 1e-12);
+        assert!((e[0] + e[1]).abs() < 1e-12);
+
+        // Rotation-like matrix [[0, -1], [1, 0]]: eigenvalues +-i.
+        let h = CMat::from_rows(2, 2, &[(0.0, 0.0), (-1.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        let e = eig_upper_hessenberg_values(&h);
+        for ev in e {
+            assert!(ev.re.abs() < 1e-12);
+            assert!((ev.im.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hessenberg_reduce_preserves_spectrum_proxy() {
+        // Similarity transform: trace and Frobenius norm are preserved
+        // (unitary similarity), and the result is upper Hessenberg.
+        let mut rng = TestRng::new(47);
+        for n in [2, 3, 5, 9] {
+            let a = CMat::from_fn(n, n, |_, _| {
+                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
+            });
+            let h = hessenberg_reduce(&a);
+            assert!(h.is_upper_hessenberg(1e-12));
+            let tr_a: C64 = (0..n).map(|i| a[(i, i)]).sum();
+            let tr_h: C64 = (0..n).map(|i| h[(i, i)]).sum();
+            assert!((tr_a - tr_h).abs() < 1e-10, "n={n}");
+            assert!((a.norm_fro() - h.norm_fro()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eig_dense_residuals_on_general_matrix() {
+        let mut rng = TestRng::new(48);
+        for n in [2, 4, 7, 12] {
+            let a = CMat::from_fn(n, n, |_, _| {
+                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
+            });
+            let pairs = eig_dense(&a);
+            assert_eq!(pairs.len(), n);
+            for (theta, v) in &pairs {
+                let av = a.mul_vec(v);
+                let res: f64 = av
+                    .iter()
+                    .zip(v)
+                    .map(|(x, y)| (*x - *y * *theta).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(res < 1e-8, "n={n} res={res}");
+            }
+            // Eigenvalue sum equals the trace.
+            let tr: C64 = (0..n).map(|i| a[(i, i)]).sum();
+            let sum: C64 = pairs.iter().map(|p| p.0).sum();
+            assert!((tr - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn harmonic_ritz_basis_is_orthonormal_and_right_size() {
+        let mut rng = TestRng::new(44);
+        let m = 8;
+        let hbar = CMat::from_fn(m + 1, m, |i, j| {
+            if j + 1 >= i {
+                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
+            } else {
+                C64::ZERO
+            }
+        });
+        let k = 3;
+        let (q, values) = harmonic_ritz(&hbar, k);
+        assert_eq!(q.nrows(), m);
+        assert_eq!(q.ncols(), k);
+        assert_eq!(values.len(), k);
+        let g = q.adjoint().mul(&q);
+        assert!(g.sub(&CMat::identity(k)).norm_max() < 1e-10);
+        // Values sorted by modulus ascending.
+        for w in values.windows(2) {
+            assert!(w[0].abs() <= w[1].abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn harmonic_ritz_values_invert_ritz_of_inverse() {
+        // For an invertible upper-triangular H with hbar last row ~ 0, the
+        // harmonic Ritz values equal the eigenvalues of H exactly.
+        let mut rng = TestRng::new(45);
+        let m = 5;
+        let mut hbar = CMat::zeros(m + 1, m);
+        for i in 0..m {
+            for j in i..m {
+                hbar[(i, j)] = Complex::new(rng.unit() + 0.5, rng.unit() - 0.5);
+            }
+        }
+        // h_{m+1,m} = 0 → no rank-one correction.
+        let (_, values) = harmonic_ritz(&hbar, m);
+        let expect = sort_by_abs((0..m).map(|i| hbar[(i, i)]).collect());
+        let got = sort_by_abs(values);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((*a - *b).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+}

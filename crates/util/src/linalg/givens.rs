@@ -1,0 +1,108 @@
+//! Complex Givens rotations.
+//!
+//! GMRES solves its small least-squares problem by maintaining a QR
+//! factorization of the (m+1) x m Hessenberg matrix with one Givens
+//! rotation per Arnoldi step; the rotation also yields the residual norm
+//! for free (the last entry of the rotated right-hand side).
+
+use crate::complex::{Complex, C64};
+
+/// A complex Givens rotation eliminating the second component of `(a, b)`:
+///
+/// ```text
+/// [  c        s ] [a]   [r]
+/// [ -conj(s)  c ] [b] = [0]
+/// ```
+///
+/// with `c` real and `|c|^2 + |s|^2 = 1`.
+#[derive(Copy, Clone, Debug)]
+pub struct GivensRotation {
+    pub c: f64,
+    pub s: C64,
+}
+
+impl GivensRotation {
+    /// Construct the rotation zeroing `b` against `a`; returns the rotation
+    /// and the resulting `r`.
+    pub fn zeroing(a: C64, b: C64) -> (Self, C64) {
+        let bn = b.abs();
+        if bn == 0.0 {
+            return (Self { c: 1.0, s: C64::ZERO }, a);
+        }
+        let an = a.abs();
+        if an == 0.0 {
+            // Pure swap with phase.
+            let s = b.conj().scale(1.0 / bn);
+            return (Self { c: 0.0, s }, Complex::real(bn));
+        }
+        let rho = (an * an + bn * bn).sqrt();
+        let c = an / rho;
+        // s = conj(b) * (a/|a|) / rho
+        let phase_a = a.scale(1.0 / an);
+        let s = b.conj() * phase_a.scale(1.0 / rho);
+        let r = phase_a.scale(rho);
+        (Self { c, s }, r)
+    }
+
+    /// Apply to a pair, returning the rotated pair.
+    #[inline]
+    pub fn apply(&self, a: C64, b: C64) -> (C64, C64) {
+        let new_a = a.scale(self.c) + self.s * b;
+        let new_b = b.scale(self.c) - self.s.conj() * a;
+        (new_a, new_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn zeroes_second_component() {
+        let mut rng = TestRng::new(31);
+        for _ in 0..100 {
+            let a = Complex::new(rng.unit() - 0.5, rng.unit() - 0.5);
+            let b = Complex::new(rng.unit() - 0.5, rng.unit() - 0.5);
+            let (g, r) = GivensRotation::zeroing(a, b);
+            let (ra, rb) = g.apply(a, b);
+            assert!(rb.abs() < 1e-14, "b not zeroed: {rb:?}");
+            assert!((ra - r).abs() < 1e-14);
+            // Norm preserved.
+            let before = (a.norm_sqr() + b.norm_sqr()).sqrt();
+            assert!((r.abs() - before).abs() < 1e-13);
+            // Unitarity of the rotation.
+            assert!((g.c * g.c + g.s.norm_sqr() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let a = Complex::new(2.0, -1.0);
+        let (g, r) = GivensRotation::zeroing(a, C64::ZERO);
+        assert_eq!(g.c, 1.0);
+        assert_eq!(r, a);
+
+        let b = Complex::new(0.0, 3.0);
+        let (g, r) = GivensRotation::zeroing(C64::ZERO, b);
+        let (ra, rb) = g.apply(C64::ZERO, b);
+        assert!(rb.abs() < 1e-14);
+        assert!((ra - r).abs() < 1e-14);
+        assert!((r.abs() - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rotation_is_unitary_on_arbitrary_pairs() {
+        let mut rng = TestRng::new(32);
+        let a = Complex::new(rng.unit(), rng.unit());
+        let b = Complex::new(rng.unit(), rng.unit());
+        let (g, _) = GivensRotation::zeroing(a, b);
+        // Apply to an unrelated pair: norms must be preserved.
+        let x = Complex::new(0.3, -0.9);
+        let y = Complex::new(-1.1, 0.2);
+        let (rx, ry) = g.apply(x, y);
+        let before = x.norm_sqr() + y.norm_sqr();
+        let after = rx.norm_sqr() + ry.norm_sqr();
+        assert!((before - after).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,199 @@
+//! LU factorization with partial pivoting for small complex systems.
+//!
+//! Used for the linear solves inside inverse iteration (eigenvector
+//! refinement) and for inverting the tiny projected matrices that appear in
+//! the deflated-restart bookkeeping.
+
+use super::CMat;
+use crate::complex::C64;
+
+/// LU decomposition `P A = L U` of a square complex matrix.
+pub struct CLu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: CMat,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1 / -1), for determinants.
+    sign: f64,
+    singular: bool,
+}
+
+impl CLu {
+    /// Factorize. Near-singular pivots are flagged, not fatal: the solver
+    /// layer decides how to react (e.g. MR breakdown handling).
+    pub fn new(a: &CMat) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let mut singular = false;
+        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= scale * 1e-300 {
+                singular = true;
+                continue;
+            }
+            if p != k {
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = t;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot_inv = lu[(k, k)].inv();
+            for i in k + 1..n {
+                let m = lu[(i, k)] * pivot_inv;
+                lu[(i, k)] = m;
+                for j in k + 1..n {
+                    let sub = m * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+        Self { lu, perm, sign, singular }
+    }
+
+    /// True if a pivot collapsed to (numerical) zero.
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[C64]) -> Vec<C64> {
+        let n = self.lu.nrows();
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<C64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                let sub = self.lu[(i, j)] * x[j];
+                acc -= sub;
+            }
+            x[i] = acc;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                let sub = self.lu[(i, j)] * x[j];
+                acc -= sub;
+            }
+            let d = self.lu[(i, i)];
+            x[i] = if d.abs() > 0.0 { acc * d.inv() } else { C64::ZERO };
+        }
+        x
+    }
+
+    /// Solve for several right-hand sides given as matrix columns.
+    pub fn solve_mat(&self, b: &CMat) -> CMat {
+        let mut out = CMat::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            out.set_col(j, &self.solve(&b.col(j)));
+        }
+        out
+    }
+
+    /// Matrix inverse (only sensible for well-conditioned tiny matrices).
+    pub fn inverse(&self) -> CMat {
+        self.solve_mat(&CMat::identity(self.lu.nrows()))
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        let n = self.lu.nrows();
+        let mut d = C64::new(self.sign, 0.0);
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::linalg::cnorm;
+    use crate::rng::TestRng;
+
+    fn random(rng: &mut TestRng, n: usize) -> CMat {
+        CMat::from_fn(n, n, |_, _| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5))
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let mut rng = TestRng::new(11);
+        for n in [1, 2, 3, 5, 8, 13] {
+            let a = random(&mut rng, n);
+            let x_true: Vec<C64> =
+                (0..n).map(|_| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)).collect();
+            let b = a.mul_vec(&x_true);
+            let lu = CLu::new(&a);
+            assert!(!lu.is_singular());
+            let x = lu.solve(&b);
+            let err: f64 = x
+                .iter()
+                .zip(&x_true)
+                .map(|(p, q)| (*p - *q).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < 1e-9 * cnorm(&x_true).max(1.0), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let mut rng = TestRng::new(12);
+        let a = random(&mut rng, 6);
+        let inv = CLu::new(&a).inverse();
+        let prod = a.mul(&inv);
+        assert!(prod.sub(&CMat::identity(6)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let mut a = CMat::zeros(3, 3);
+        a[(0, 0)] = Complex::new(2.0, 0.0);
+        a[(1, 1)] = Complex::new(0.0, 1.0);
+        a[(2, 2)] = Complex::new(-1.0, 0.0);
+        let d = CLu::new(&a).det();
+        assert!((d - Complex::new(0.0, -2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_flagged() {
+        let mut a = CMat::zeros(3, 3);
+        a[(0, 0)] = C64::ONE;
+        a[(1, 1)] = C64::ONE;
+        // Row 2 is all zero.
+        let lu = CLu::new(&a);
+        assert!(lu.is_singular());
+        assert!(lu.det().abs() < 1e-300);
+    }
+
+    #[test]
+    fn permutation_parity() {
+        // A permutation matrix swapping rows 0,1 has det -1.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 1)] = C64::ONE;
+        a[(1, 0)] = C64::ONE;
+        let d = CLu::new(&a).det();
+        assert!((d - Complex::new(-1.0, 0.0)).abs() < 1e-14);
+    }
+}

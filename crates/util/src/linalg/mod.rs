@@ -1,0 +1,314 @@
+//! Small dense complex linear algebra.
+//!
+//! The deflated-restart machinery of FGMRES-DR (paper Ref. \[10\]) needs a
+//! handful of dense operations on matrices of dimension at most the restart
+//! length (m ≲ 20): QR factorization, least-squares via Givens rotations,
+//! Hessenberg eigenvalue problems for the harmonic Ritz vectors, and linear
+//! solves. Everything here is written for clarity and numerical robustness
+//! at these tiny sizes — none of it is performance-critical.
+
+mod eig;
+mod givens;
+mod lu;
+mod qr;
+
+pub use eig::{eig_dense, eig_hessenberg, eig_upper_hessenberg_values, harmonic_ritz, hessenberg_reduce};
+pub use givens::GivensRotation;
+pub use lu::CLu;
+pub use qr::{householder_qr, is_orthonormal, orthonormal_columns};
+
+use crate::complex::{Complex, C64};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major complex matrix (f64).
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![C64::ZERO; nrows * ncols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Build from a closure `f(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from a row-major slice of `(re, im)` pairs.
+    pub fn from_rows(nrows: usize, ncols: usize, vals: &[(f64, f64)]) -> Self {
+        assert_eq!(vals.len(), nrows * ncols);
+        Self {
+            nrows,
+            ncols,
+            data: vals.iter().map(|&(re, im)| Complex::new(re, im)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.ncols, rhs.nrows, "shape mismatch in matmul");
+        let mut out = CMat::zeros(self.nrows, rhs.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.ncols {
+                    out[(i, j)] = out[(i, j)].add_mul(a, rhs[(k, j)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.ncols, v.len());
+        let mut out = vec![C64::ZERO; self.nrows];
+        for i in 0..self.nrows {
+            let mut acc = C64::ZERO;
+            for j in 0..self.ncols {
+                acc = acc.add_mul(self[(i, j)], v[j]);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> CMat {
+        CMat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.nrows, self.ncols), (rhs.nrows, rhs.ncols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a += *b;
+        }
+        out
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.nrows, self.ncols), (rhs.nrows, rhs.ncols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= *b;
+        }
+        out
+    }
+
+    /// Scale by a complex scalar.
+    pub fn scale(&self, s: C64) -> CMat {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= s;
+        }
+        out
+    }
+
+    /// Copy of a contiguous sub-matrix.
+    pub fn submatrix(&self, row0: usize, col0: usize, nrows: usize, ncols: usize) -> CMat {
+        assert!(row0 + nrows <= self.nrows && col0 + ncols <= self.ncols);
+        CMat::from_fn(nrows, ncols, |i, j| self[(row0 + i, col0 + j)])
+    }
+
+    /// Column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<C64> {
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j`.
+    pub fn set_col(&mut self, j: usize, v: &[C64]) {
+        assert_eq!(v.len(), self.nrows);
+        for i in 0..self.nrows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// True if `self` is upper Hessenberg up to `tol`.
+    pub fn is_upper_hessenberg(&self, tol: f64) -> bool {
+        for i in 0..self.nrows {
+            for j in 0..self.ncols.min(i.saturating_sub(1)) {
+                if self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Raw data access (row-major).
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows {
+            write!(f, "  ")?;
+            for j in 0..self.ncols {
+                let z = self[(i, j)];
+                write!(f, "{:+.3e}{:+.3e}i  ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Hermitian inner product `<a, b> = a^H b` of complex vectors.
+pub fn cdot(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len());
+    let mut acc = C64::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.add_conj_mul(*x, *y);
+    }
+    acc
+}
+
+/// Euclidean norm of a complex vector.
+pub fn cnorm(a: &[C64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    pub(crate) fn random_cmat(rng: &mut TestRng, n: usize, m: usize) -> CMat {
+        CMat::from_fn(n, m, |_, _| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TestRng::new(7);
+        let a = random_cmat(&mut rng, 4, 4);
+        let i = CMat::identity(4);
+        assert!((a.mul(&i).sub(&a)).norm_max() < 1e-14);
+        assert!((i.mul(&a).sub(&a)).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn adjoint_reverses_product() {
+        let mut rng = TestRng::new(8);
+        let a = random_cmat(&mut rng, 3, 5);
+        let b = random_cmat(&mut rng, 5, 4);
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        assert!(lhs.sub(&rhs).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let mut rng = TestRng::new(9);
+        let a = random_cmat(&mut rng, 4, 3);
+        let v = random_cmat(&mut rng, 3, 1);
+        let via_mat = a.mul(&v);
+        let via_vec = a.mul_vec(&v.col(0));
+        for i in 0..4 {
+            assert!((via_mat[(i, 0)] - via_vec[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn dot_is_sesquilinear() {
+        let a = [Complex::new(1.0, 2.0), Complex::new(0.0, -1.0)];
+        let b = [Complex::new(3.0, 0.0), Complex::new(1.0, 1.0)];
+        let d = cdot(&a, &b);
+        // conj(1+2i)*3 + conj(-i)*(1+i) = (3-6i) + i(1+i) = (3-6i) + (i-1) = 2-5i
+        assert!((d - Complex::new(2.0, -5.0)).abs() < 1e-14);
+        assert!((cdot(&a, &a).im).abs() < 1e-14);
+        assert!((cnorm(&a) - cdot(&a, &a).re.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn submatrix_and_cols() {
+        let a = CMat::from_fn(3, 3, |i, j| Complex::new((3 * i + j) as f64, 0.0));
+        let s = a.submatrix(1, 1, 2, 2);
+        assert_eq!(s[(0, 0)].re, 4.0);
+        assert_eq!(s[(1, 1)].re, 8.0);
+        let c = a.col(2);
+        assert_eq!(c[0].re, 2.0);
+        assert_eq!(c[2].re, 8.0);
+    }
+
+    #[test]
+    fn hessenberg_predicate() {
+        let mut h = CMat::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if j + 1 >= i {
+                    h[(i, j)] = C64::ONE;
+                }
+            }
+        }
+        assert!(h.is_upper_hessenberg(1e-15));
+        h[(3, 0)] = C64::ONE;
+        assert!(!h.is_upper_hessenberg(1e-15));
+    }
+}

@@ -1,0 +1,171 @@
+//! Householder QR and column orthonormalization.
+//!
+//! Deflated restarts replace the Krylov basis `V_{m+1}` by `V_{m+1} P_{k+1}`
+//! where the columns of `P` must be orthonormal (paper Ref. [10]); the
+//! columns are produced here by Householder QR, which is unconditionally
+//! stable at these sizes.
+
+use super::CMat;
+use crate::complex::C64;
+#[cfg(test)]
+use crate::complex::Complex;
+
+/// Economy-size Householder QR: `A (n x m, n >= m) = Q R` with `Q` having
+/// orthonormal columns (n x m) and `R` upper triangular (m x m).
+pub fn householder_qr(a: &CMat) -> (CMat, CMat) {
+    let n = a.nrows();
+    let m = a.ncols();
+    assert!(n >= m, "economy QR needs n >= m");
+
+    let mut r = a.clone();
+    // Householder vectors, stored column by column.
+    let mut vs: Vec<Vec<C64>> = Vec::with_capacity(m);
+
+    for k in 0..m {
+        // Build the reflector for column k, rows k..n.
+        let mut v: Vec<C64> = (k..n).map(|i| r[(i, k)]).collect();
+        let alpha = {
+            let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm == 0.0 {
+                // Column already zero below the diagonal; identity reflector.
+                vs.push(vec![C64::ZERO; n - k]);
+                continue;
+            }
+            // Phase choice avoiding cancellation: alpha = -sign(v0) * norm.
+            let v0 = v[0];
+            let phase = if v0.abs() > 0.0 { v0.scale(1.0 / v0.abs()) } else { C64::ONE };
+            -phase.scale(norm)
+        };
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm2 > 0.0 {
+            // Apply reflector H = I - 2 v v^H / |v|^2 to R[k.., k..].
+            for j in k..m {
+                let mut dot = C64::ZERO;
+                for (i, vi) in v.iter().enumerate() {
+                    dot = dot.add_conj_mul(*vi, r[(k + i, j)]);
+                }
+                let coef = dot.scale(2.0 / vnorm2);
+                for (i, vi) in v.iter().enumerate() {
+                    let sub = *vi * coef;
+                    r[(k + i, j)] -= sub;
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Accumulate Q = H_0 H_1 ... H_{m-1} applied to the first m columns of I.
+    let mut q = CMat::zeros(n, m);
+    for j in 0..m {
+        q[(j, j)] = C64::ONE;
+    }
+    for k in (0..m).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for j in 0..m {
+            let mut dot = C64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot = dot.add_conj_mul(*vi, q[(k + i, j)]);
+            }
+            let coef = dot.scale(2.0 / vnorm2);
+            for (i, vi) in v.iter().enumerate() {
+                let sub = *vi * coef;
+                q[(k + i, j)] -= sub;
+            }
+        }
+    }
+
+    // Zero out the strictly-lower part of R and truncate to m x m.
+    let r_trunc = CMat::from_fn(m, m, |i, j| if j >= i { r[(i, j)] } else { C64::ZERO });
+    (q, r_trunc)
+}
+
+/// Orthonormalize the columns of `a` (in order), dropping any column that is
+/// numerically dependent on its predecessors. Returns the Q factor.
+pub fn orthonormal_columns(a: &CMat) -> CMat {
+    let (q, r) = householder_qr(a);
+    // Detect rank deficiency: tiny diagonal of R.
+    let tol = 1e-12 * r.norm_max().max(1e-300);
+    let keep: Vec<usize> = (0..r.ncols()).filter(|&j| r[(j, j)].abs() > tol).collect();
+    if keep.len() == q.ncols() {
+        return q;
+    }
+    let mut out = CMat::zeros(q.nrows(), keep.len());
+    for (jj, &j) in keep.iter().enumerate() {
+        out.set_col(jj, &q.col(j));
+    }
+    out
+}
+
+/// Check `Q^H Q = I` to the given tolerance. Exposed for tests.
+pub fn is_orthonormal(q: &CMat, tol: f64) -> bool {
+    let g = q.adjoint().mul(q);
+    g.sub(&CMat::identity(q.ncols())).norm_max() < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    fn random(rng: &mut TestRng, n: usize, m: usize) -> CMat {
+        CMat::from_fn(n, m, |_, _| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5))
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal() {
+        let mut rng = TestRng::new(21);
+        for (n, m) in [(1, 1), (3, 2), (5, 5), (9, 4), (17, 17)] {
+            let a = random(&mut rng, n, m);
+            let (q, r) = householder_qr(&a);
+            assert!(is_orthonormal(&q, 1e-12), "Q not orthonormal n={n} m={m}");
+            let qr = q.mul(&r);
+            assert!(qr.sub(&a).norm_max() < 1e-12, "QR != A for n={n} m={m}");
+            // R upper triangular.
+            for i in 0..m {
+                for j in 0..i {
+                    assert_eq!(r[(i, j)], C64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_columns_dropped() {
+        let mut rng = TestRng::new(22);
+        let mut a = random(&mut rng, 6, 4);
+        // Make column 2 a linear combination of columns 0 and 1.
+        let c0 = a.col(0);
+        let c1 = a.col(1);
+        let dep: Vec<C64> = c0
+            .iter()
+            .zip(&c1)
+            .map(|(x, y)| x.scale(2.0) - y.scale(0.5))
+            .collect();
+        a.set_col(2, &dep);
+        let q = orthonormal_columns(&a);
+        assert_eq!(q.ncols(), 3);
+        assert!(is_orthonormal(&q, 1e-12));
+    }
+
+    #[test]
+    fn zero_matrix_gives_empty_basis() {
+        let a = CMat::zeros(5, 3);
+        let q = orthonormal_columns(&a);
+        assert_eq!(q.ncols(), 0);
+    }
+
+    #[test]
+    fn projection_preserves_column_space() {
+        // Q Q^H a_j = a_j for every column of A when A has full rank.
+        let mut rng = TestRng::new(23);
+        let a = random(&mut rng, 7, 3);
+        let (q, _) = householder_qr(&a);
+        let proj = q.mul(&q.adjoint()).mul(&a);
+        assert!(proj.sub(&a).norm_max() < 1e-12);
+    }
+}

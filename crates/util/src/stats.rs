@@ -1,0 +1,270 @@
+//! Solver instrumentation: flop, communication, and global-sum accounting.
+//!
+//! The paper's Table III breaks each solve into four components — the
+//! Wilson-Clover operator `A`, the Schwarz preconditioner `M`,
+//! Gram-Schmidt orthogonalization `GS`, and `Other` linear algebra — and
+//! reports per-component flops, total network traffic, and the number of
+//! global sums. The solver stack records exactly these quantities into a
+//! [`SolveStats`] ledger, which the machine model later converts to time.
+
+use std::fmt;
+
+/// The component taxonomy of the paper's Table III.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Component {
+    /// Full Wilson-Clover operator application (outer solver).
+    OperatorA,
+    /// Schwarz domain-decomposition preconditioner.
+    PreconditionerM,
+    /// Gram-Schmidt orthogonalization in the outer solver.
+    GramSchmidt,
+    /// Remaining BLAS-1 linear algebra of the outer solver.
+    Other,
+}
+
+impl Component {
+    pub const ALL: [Component; 4] = [
+        Component::OperatorA,
+        Component::PreconditionerM,
+        Component::GramSchmidt,
+        Component::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::OperatorA => "A",
+            Component::PreconditionerM => "M",
+            Component::GramSchmidt => "GS",
+            Component::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Component::OperatorA => 0,
+            Component::PreconditionerM => 1,
+            Component::GramSchmidt => 2,
+            Component::Other => 3,
+        }
+    }
+}
+
+/// Mutable ledger of everything a solve did.
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    flops: [f64; 4],
+    /// Bytes sent over the (simulated) network, per component.
+    comm_bytes: [f64; 4],
+    /// Number of global reductions (each one is a latency-bound all-reduce).
+    global_sums: u64,
+    /// Outer-solver iterations.
+    outer_iterations: u64,
+    /// Total operator applications (A or block operators), for sanity checks.
+    operator_applications: u64,
+}
+
+impl SolveStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_flops(&mut self, c: Component, flops: f64) {
+        self.flops[c.index()] += flops;
+    }
+
+    #[inline]
+    pub fn add_comm_bytes(&mut self, c: Component, bytes: f64) {
+        self.comm_bytes[c.index()] += bytes;
+    }
+
+    #[inline]
+    pub fn count_global_sum(&mut self) {
+        self.global_sums += 1;
+    }
+
+    #[inline]
+    pub fn count_global_sums(&mut self, n: u64) {
+        self.global_sums += n;
+    }
+
+    #[inline]
+    pub fn count_outer_iteration(&mut self) {
+        self.outer_iterations += 1;
+    }
+
+    #[inline]
+    pub fn count_operator_application(&mut self) {
+        self.operator_applications += 1;
+    }
+
+    pub fn flops(&self, c: Component) -> f64 {
+        self.flops[c.index()]
+    }
+
+    pub fn total_flops(&self) -> f64 {
+        self.flops.iter().sum()
+    }
+
+    pub fn comm_bytes(&self, c: Component) -> f64 {
+        self.comm_bytes[c.index()]
+    }
+
+    pub fn total_comm_bytes(&self) -> f64 {
+        self.comm_bytes.iter().sum()
+    }
+
+    pub fn global_sums(&self) -> u64 {
+        self.global_sums
+    }
+
+    pub fn outer_iterations(&self) -> u64 {
+        self.outer_iterations
+    }
+
+    pub fn operator_applications(&self) -> u64 {
+        self.operator_applications
+    }
+
+    /// Merge another ledger into this one (e.g. across ranks).
+    pub fn merge(&mut self, other: &SolveStats) {
+        for i in 0..4 {
+            self.flops[i] += other.flops[i];
+            self.comm_bytes[i] += other.comm_bytes[i];
+        }
+        self.global_sums += other.global_sums;
+        self.outer_iterations = self.outer_iterations.max(other.outer_iterations);
+        self.operator_applications += other.operator_applications;
+    }
+
+    /// Fraction of total flops per component, in `Component::ALL` order.
+    pub fn flop_fractions(&self) -> [f64; 4] {
+        let total = self.total_flops().max(f64::MIN_POSITIVE);
+        [
+            self.flops[0] / total,
+            self.flops[1] / total,
+            self.flops[2] / total,
+            self.flops[3] / total,
+        ]
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SolveStats:")?;
+        for c in Component::ALL {
+            writeln!(
+                f,
+                "  {:>5}: {:>12.3e} flop   {:>12.3e} bytes",
+                c.label(),
+                self.flops(c),
+                self.comm_bytes(c)
+            )?;
+        }
+        writeln!(f, "  global sums: {}", self.global_sums)?;
+        write!(f, "  outer iterations: {}", self.outer_iterations)
+    }
+}
+
+/// Simple running summary (mean / min / max) used by the benches.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut s = SolveStats::new();
+        s.add_flops(Component::OperatorA, 100.0);
+        s.add_flops(Component::PreconditionerM, 300.0);
+        s.add_flops(Component::OperatorA, 50.0);
+        s.add_comm_bytes(Component::PreconditionerM, 1024.0);
+        s.count_global_sum();
+        s.count_global_sums(4);
+        assert_eq!(s.flops(Component::OperatorA), 150.0);
+        assert_eq!(s.total_flops(), 450.0);
+        assert_eq!(s.total_comm_bytes(), 1024.0);
+        assert_eq!(s.global_sums(), 5);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = SolveStats::new();
+        s.add_flops(Component::OperatorA, 1.0);
+        s.add_flops(Component::PreconditionerM, 8.0);
+        s.add_flops(Component::GramSchmidt, 0.5);
+        s.add_flops(Component::Other, 0.5);
+        let f = s.flop_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        assert!((f[1] - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_combines_ranks() {
+        let mut a = SolveStats::new();
+        a.add_flops(Component::OperatorA, 10.0);
+        a.count_global_sums(3);
+        a.count_outer_iteration();
+        let mut b = SolveStats::new();
+        b.add_flops(Component::OperatorA, 20.0);
+        b.count_global_sums(3);
+        b.count_outer_iteration();
+        a.merge(&b);
+        assert_eq!(a.flops(Component::OperatorA), 30.0);
+        assert_eq!(a.global_sums(), 6);
+        // Iterations are a max, not a sum: all ranks iterate together.
+        assert_eq!(a.outer_iterations(), 1);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! `qdd` — command-line driver for the lattice-qcd-dd library.
+//!
+//! ```text
+//! qdd solve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--mass M] [--spread S]
+//!           [--ischwarz N] [--idomain N] [--basis M] [--deflate K]
+//!           [--tol T] [--solver dd|bicgstab|cgnr|richardson] [--workers N]
+//!           [--seed N] [--half]
+//! qdd hmc   [--dims X,Y,Z,T] [--beta B] [--trajectories N] [--steps N]
+//!           [--length L] [--seed N]
+//! qdd model table2|table3|fig5|fig6|fig7|bound
+//! qdd info
+//! ```
+//!
+//! Everything is deterministic for a fixed `--seed`.
+
+use lattice_qcd_dd::prelude::*;
+use qdd_hmc::{Hmc, HmcConfig, LeapfrogConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_dims(s: &str) -> Result<Dims, String> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| format!("bad dims '{s}': {e}")))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 4 {
+        return Err(format!("dims must have 4 components, got '{s}'"));
+    }
+    Ok(Dims::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut bools = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    bools.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Args { flags, bools })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn dims(&self, name: &str, default: Dims) -> Result<Dims, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => parse_dims(v),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
+    let block = args.dims("block", Dims::new(4, 4, 4, 4))?;
+    let mass: f64 = args.get("mass", 0.1)?;
+    let spread: f64 = args.get("spread", 0.45)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let tol: f64 = args.get("tol", 1e-9)?;
+    let solver_kind: String = args.get("solver", "dd".to_string())?;
+    let workers: usize = args.get("workers", 1)?;
+
+    if solver_kind == "dd" && !dims.divisible_by(&block) {
+        return Err(format!("block {block} does not tile lattice {dims}"));
+    }
+    if solver_kind == "dd" && block.0.iter().any(|b| b % 2 != 0) {
+        return Err(format!("block extents must be even, got {block}"));
+    }
+    println!("building synthetic configuration on {dims} (spread {spread}, seed {seed}) ...");
+    let mut rng = Rng64::new(seed);
+    let gauge = GaugeField::<f64>::random(dims, &mut rng, spread);
+    let basis = GammaBasis::degrand_rossi();
+    let clover = build_clover_field(&gauge, 1.5, &basis);
+    let op = WilsonClover::new(gauge, clover, mass, BoundaryPhases::antiperiodic_t());
+    let b = SpinorField::<f64>::random(dims, &mut rng);
+    let mut stats = SolveStats::new();
+
+    let outcome = match solver_kind.as_str() {
+        "dd" => {
+            let cfg = DdSolverConfig {
+                fgmres: FgmresConfig {
+                    max_basis: args.get("basis", 10)?,
+                    deflate: args.get("deflate", 4)?,
+                    tolerance: tol,
+                    max_iterations: args.get("max-iterations", 500)?,
+                },
+                schwarz: SchwarzConfig {
+                    block,
+                    i_schwarz: args.get("ischwarz", 5)?,
+                    mr: MrConfig {
+                        iterations: args.get("idomain", 4)?,
+                        tolerance: 0.0,
+                        f16_vectors: args.has("f16-spinors"),
+                    },
+                    additive: args.has("additive"),
+                },
+                precision: if args.has("half") {
+                    Precision::HalfCompressed
+                } else {
+                    Precision::Single
+                },
+                workers,
+            };
+            let solver = DdSolver::new(op, cfg).ok_or("singular clover block")?;
+            let (_, out) = if args.has("mixed") {
+                solver.solve_mixed(&b, 1e-4, &mut stats)
+            } else {
+                solver.solve(&b, &mut stats)
+            };
+            out
+        }
+        "bicgstab" => {
+            let sys = LocalSystem::new(&op);
+            let (_, out) = bicgstab(
+                &sys,
+                &b,
+                &BiCgStabConfig { tolerance: tol, max_iterations: 100_000 },
+                &mut stats,
+            );
+            out
+        }
+        "cgnr" => {
+            let sys = LocalSystem::new(&op);
+            let (_, out) =
+                cgnr(&sys, &b, &CgConfig { tolerance: tol, max_iterations: 200_000 }, &mut stats);
+            out
+        }
+        "richardson" => {
+            let op32: WilsonClover<f32> = op.cast();
+            let sys = LocalSystem::new(&op);
+            let sys32 = LocalSystem::new(&op32);
+            let (_, out) = richardson_bicgstab(
+                &sys,
+                &sys32,
+                &b,
+                &RichardsonConfig { tolerance: tol, ..Default::default() },
+                &mut stats,
+            );
+            out
+        }
+        other => return Err(format!("unknown solver '{other}' (dd|bicgstab|cgnr|richardson)")),
+    };
+
+    println!(
+        "\n{}: {} iterations, relative residual {:.2e}",
+        if outcome.converged { "converged" } else { "NOT converged" },
+        outcome.iterations,
+        outcome.relative_residual
+    );
+    println!("{stats}");
+    if outcome.converged {
+        Ok(())
+    } else {
+        Err("solver did not reach the target".into())
+    }
+}
+
+fn cmd_hmc(args: &Args) -> Result<(), String> {
+    let dims = args.dims("dims", Dims::new(4, 4, 4, 8))?;
+    let beta: f64 = args.get("beta", 5.9)?;
+    let n: usize = args.get("trajectories", 20)?;
+    let steps: usize = args.get("steps", 50)?;
+    let length: f64 = args.get("length", 0.5)?;
+    let seed: u64 = args.get("seed", 1)?;
+
+    println!("quenched HMC on {dims} at beta = {beta} ({n} trajectories) ...");
+    let cfg = HmcConfig { beta, leapfrog: LeapfrogConfig { steps, length } };
+    let mut hmc = Hmc::cold_start(dims, cfg, seed);
+    for i in 0..n {
+        let (acc, dh) = hmc.trajectory();
+        println!(
+            "traj {i:>3}: dH {dh:+9.4}  {}  plaquette {:.4}",
+            if acc { "accept" } else { "reject" },
+            hmc.stats.plaquette.last().unwrap()
+        );
+    }
+    println!(
+        "\nacceptance {:.0}%, <exp(-dH)> = {:.3}, final plaquette {:.4}",
+        100.0 * hmc.stats.acceptance(),
+        hmc.stats.creutz(),
+        hmc.stats.plaquette.last().unwrap()
+    );
+    Ok(())
+}
+
+fn cmd_model(which: &str) -> Result<(), String> {
+    // The model generators live in qdd-bench binaries; point there.
+    match which {
+        "table2" | "table3" | "fig5" | "fig6" | "fig7" | "bound" => {
+            println!("run: cargo run -p qdd-bench --release --bin {which}");
+            Ok(())
+        }
+        other => Err(format!("unknown model target '{other}'")),
+    }
+}
+
+fn cmd_info() {
+    println!("lattice-qcd-dd: Rust reproduction of Heybrock et al., SC 2014");
+    println!("(domain-decomposition Wilson-Clover solver for KNC clusters)\n");
+    let chip = lattice_qcd_dd::machine::chip::ChipSpec::knc_7110p();
+    println!("modeled chip: {} cores @ {} GHz, {:.0} Gflop/s sp peak", chip.cores, chip.freq_ghz, chip.peak_sp_gflops());
+    let (eff, bound) = lattice_qcd_dd::machine::kernel::wilson_clover_bound(&chip);
+    println!("Wilson-Clover compute bound: {:.1}% efficiency, {:.1} Gflop/s/core", 100.0 * eff, bound);
+    println!("\nsubcommands: solve, hmc, model <table2|table3|fig5|fig6|fig7|bound>, info");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("solve") => Args::parse(&argv[1..]).and_then(|a| cmd_solve(&a)),
+        Some("hmc") => Args::parse(&argv[1..]).and_then(|a| cmd_hmc(&a)),
+        Some("model") => match argv.get(1) {
+            Some(w) => cmd_model(w),
+            None => Err("model needs a target".into()),
+        },
+        Some("info") | None => {
+            cmd_info();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the machine model: the Table III generator must obey
+//! the structural laws the paper's data shows, for *any* sensible
+//! configuration — not just the calibrated points.
+
+use proptest::prelude::*;
+use qdd_lattice::Dims;
+use qdd_machine::multinode::MultiNodeModel;
+use qdd_machine::onchip::OnChipModel;
+use qdd_machine::workload::{lattice_48, lattice_64, paper_block, rank_layout, DdParams};
+
+#[test]
+fn dd_time_strictly_improves_with_more_kncs_on_48() {
+    let m = MultiNodeModel::paper_setup();
+    let lat = lattice_48();
+    let mut prev = f64::INFINITY;
+    for &k in &lat.dd_knc_counts {
+        let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd);
+        assert!(b.total_time_s < prev);
+        assert!(b.total_time_s > 0.0);
+        prev = b.total_time_s;
+    }
+}
+
+#[test]
+fn traffic_per_knc_shrinks_with_more_kncs() {
+    let m = MultiNodeModel::paper_setup();
+    for lat in [lattice_48(), lattice_64()] {
+        let mut prev = f64::INFINITY;
+        for &k in &lat.dd_knc_counts {
+            let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd);
+            assert!(
+                b.comm_mb_per_knc < prev,
+                "{}: {} KNCs sent {} MB",
+                lat.label,
+                k,
+                b.comm_mb_per_knc
+            );
+            prev = b.comm_mb_per_knc;
+        }
+    }
+}
+
+#[test]
+fn global_sum_count_is_independent_of_knc_count() {
+    // The paper's Table III shows exactly 423 / 27 sums at every node
+    // count — reductions are an algorithm property, not a machine one.
+    let m = MultiNodeModel::paper_setup();
+    let lat = lattice_48();
+    let counts: Vec<u64> = lat
+        .dd_knc_counts
+        .iter()
+        .map(|&k| m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd).global_sums)
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More Schwarz iterations cost proportionally more preconditioner
+    /// time but never change A/GS/other.
+    #[test]
+    fn ischwarz_scales_m_linearly(is1 in 2usize..30) {
+        let m = MultiNodeModel::paper_setup();
+        let lat = lattice_48();
+        let layout = rank_layout(&lat.dims, 64).unwrap();
+        let mk = |i_schwarz| DdParams { i_schwarz, ..lat.dd };
+        let a = m.dd_solve(&lat.dims, &layout, &mk(is1));
+        let b = m.dd_solve(&lat.dims, &layout, &mk(2 * is1));
+        prop_assert!((b.time_m / a.time_m - 2.0).abs() < 0.05);
+        prop_assert!((b.time_a - a.time_a).abs() < 1e-12);
+        prop_assert!((b.time_gs - a.time_gs).abs() < 1e-12);
+    }
+
+    /// Outer iterations scale every component linearly.
+    #[test]
+    fn outer_iterations_scale_everything(iters in 10usize..400) {
+        let m = MultiNodeModel::paper_setup();
+        let lat = lattice_48();
+        let layout = rank_layout(&lat.dims, 32).unwrap();
+        let mk = |outer_iterations| DdParams { outer_iterations, ..lat.dd };
+        let a = m.dd_solve(&lat.dims, &layout, &mk(iters));
+        let b = m.dd_solve(&lat.dims, &layout, &mk(2 * iters));
+        prop_assert!((b.total_time_s / a.total_time_s - 2.0).abs() < 1e-9);
+        prop_assert!((b.comm_mb_per_knc / a.comm_mb_per_knc - 2.0).abs() < 1e-9);
+    }
+
+    /// On-chip rate never exceeds cores x single-core rate, and the load
+    /// factor stays within (0, 1].
+    #[test]
+    fn onchip_rate_bounded_by_linear_scaling(
+        cores in 1usize..=60,
+        bx in 1usize..=4,
+        bt in 1usize..=6,
+    ) {
+        let model = OnChipModel::paper_setup();
+        let block = paper_block();
+        let lattice = Dims::new(16 * bx, 8, 8, 8 * bt);
+        let r1 = model.preconditioner_gflops(&lattice, &block, 1);
+        let rc = model.preconditioner_gflops(&lattice, &block, cores);
+        prop_assert!(rc <= cores as f64 * r1 * 1.001,
+            "cores {cores}: {rc} > {} x {r1}", cores as f64);
+        prop_assert!(rc >= r1 * 0.999);
+    }
+}
