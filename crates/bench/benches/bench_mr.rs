@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qdd_bench::test_operator;
 use qdd_core::mr::{mr_solve_schur, MrConfig};
 use qdd_dirac::block::{DomainFields, SchurOperator};
-use qdd_lattice::{Dims, DomainGrid};
 use qdd_field::spinor::Spinor;
+use qdd_lattice::{Dims, DomainGrid};
 use qdd_util::rng::Rng64;
 use std::hint::black_box;
 
@@ -28,20 +28,11 @@ fn bench_mr(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mr_block_solve_8x4x4x4");
     // Flop throughput reference: ~5 Schur applications of 1848 flop/site.
-    group.throughput(criterion::Throughput::Elements(
-        (5 * 1848 * block.volume()) as u64,
-    ));
+    group.throughput(criterion::Throughput::Elements((5 * 1848 * block.volume()) as u64));
     group.bench_function("idomain5_f32", |b| {
         b.iter(|| {
-            let out = mr_solve_schur(
-                &schur,
-                &cfg,
-                &mut u,
-                black_box(&rhs),
-                &mut r,
-                &mut q,
-                &mut scratch,
-            );
+            let out =
+                mr_solve_schur(&schur, &cfg, &mut u, black_box(&rhs), &mut r, &mut q, &mut scratch);
             black_box(out);
         })
     });

@@ -49,9 +49,16 @@ fn main() {
     let dims = Dims::new(8, 8, 8, 8);
     let (spread, mass, seed) = (0.45, 0.1, 501);
     let f = test_source(dims, 502);
-    let mut rows: Vec<Row> = Vec::new();
+    let mut report = qdd_bench::Report::new("ablation");
+    report
+        .param("dims", format!("{dims}"))
+        .param("spread", spread)
+        .param("mass", mass)
+        .param("tolerance", 1e-9)
+        .meta("note", "all rows measured with the real solver on one synthetic problem");
+    let report = std::cell::RefCell::new(report);
 
-    let mut run = |label: String, cfg: DdSolverConfig, mixed: Option<f64>| {
+    let run = |section: &str, label: String, cfg: DdSolverConfig, mixed: Option<f64>| {
         let solver = DdSolver::new(test_operator(dims, spread, mass, seed), cfg).unwrap();
         let mut stats = SolveStats::new();
         let (_, out) = match mixed {
@@ -67,14 +74,17 @@ fn main() {
             stats.total_flops() / 1e9,
             if out.converged { "ok" } else { "FAIL" }
         );
-        rows.push(Row {
-            variant: label,
-            outer_iterations: out.iterations,
-            global_sums: stats.global_sums(),
-            preconditioner_gflop: stats.flops(Component::PreconditionerM) / 1e9,
-            total_gflop: stats.total_flops() / 1e9,
-            converged: out.converged,
-        });
+        report.borrow_mut().push(
+            section,
+            Row {
+                variant: label,
+                outer_iterations: out.iterations,
+                global_sums: stats.global_sums(),
+                preconditioner_gflop: stats.flops(Component::PreconditionerM) / 1e9,
+                total_gflop: stats.total_flops() / 1e9,
+                converged: out.converged,
+            },
+        );
     };
 
     println!("Ablation study on {dims} (synthetic configuration, target 1e-9)\n");
@@ -84,54 +94,56 @@ fn main() {
     );
 
     println!("\n-- domain size (Sec. VI: smaller domains vs overhead) --");
-    for block in [Dims::new(2, 2, 2, 2), Dims::new(4, 4, 2, 2), Dims::new(4, 4, 4, 4), Dims::new(8, 4, 4, 4)] {
+    for block in
+        [Dims::new(2, 2, 2, 2), Dims::new(4, 4, 2, 2), Dims::new(4, 4, 4, 4), Dims::new(8, 4, 4, 4)]
+    {
         let mut cfg = base_config();
         cfg.schwarz.block = block;
-        run(format!("block {block}"), cfg, None);
+        run("block size", format!("block {block}"), cfg, None);
     }
 
     println!("\n-- Idomain (MR iterations per block) --");
     for idom in [1usize, 2, 4, 8] {
         let mut cfg = base_config();
         cfg.schwarz.mr.iterations = idom;
-        run(format!("Idomain {idom}"), cfg, None);
+        run("i_domain", format!("Idomain {idom}"), cfg, None);
     }
 
     println!("\n-- ISchwarz (sweeps per preconditioner application) --");
     for isch in [1usize, 2, 5, 10, 16] {
         let mut cfg = base_config();
         cfg.schwarz.i_schwarz = isch;
-        run(format!("ISchwarz {isch}"), cfg, None);
+        run("i_schwarz", format!("ISchwarz {isch}"), cfg, None);
     }
 
     println!("\n-- Schwarz variant --");
     let cfg = base_config();
-    run("multiplicative".into(), cfg, None);
+    run("schwarz variant", "multiplicative".into(), cfg, None);
     let mut cfg = base_config();
     cfg.schwarz.additive = true;
-    run("additive".into(), cfg, None);
+    run("schwarz variant", "additive".into(), cfg, None);
 
     println!("\n-- outer deflation k --");
     for k in [0usize, 2, 4, 8] {
         let mut cfg = base_config();
         cfg.fgmres.deflate = k;
-        run(format!("deflate k={k}"), cfg, None);
+        run("deflation", format!("deflate k={k}"), cfg, None);
     }
 
     println!("\n-- precision options (Sec. III-B + Sec. VI future work) --");
-    run("f32 everything (baseline)".into(), base_config(), None);
+    run("precision", "f32 everything (baseline)".into(), base_config(), None);
     let mut cfg = base_config();
     cfg.precision = Precision::HalfCompressed;
-    run("f16 gauge+clover (paper default)".into(), cfg, None);
+    run("precision", "f16 gauge+clover (paper default)".into(), cfg, None);
     let mut cfg = base_config();
     cfg.precision = Precision::HalfCompressed;
     cfg.schwarz.mr.f16_vectors = true;
-    run("f16 gauge+clover+spinors (future work)".into(), cfg, None);
-    run("mixed f32 outer (future work)".into(), base_config(), Some(1e-4));
+    run("precision", "f16 gauge+clover+spinors (future work)".into(), cfg, None);
+    run("precision", "mixed f32 outer (future work)".into(), base_config(), Some(1e-4));
 
     println!("\nReading guide: iterations fall as the preconditioner strengthens (bigger");
     println!("blocks, more Idomain/ISchwarz) while M flops rise — the tradeoff the");
     println!("paper tunes. Precision variants should match the baseline iteration count");
     println!("to within a few iterations at a fraction of the data volume.");
-    qdd_bench::write_result("ablation", &rows);
+    report.borrow().write();
 }

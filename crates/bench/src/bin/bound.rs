@@ -38,4 +38,24 @@ fn main() {
     );
     println!("bound:                       {:>6.1} Gflop/s/core (paper: ~20)", gflops);
     assert!((issue_efficiency(&p) - eff).abs() < 1e-12);
+
+    let mut report = qdd_bench::Report::new("bound");
+    report
+        .param("chip", "KNC 7110P")
+        .param("kernel", "schur_operator")
+        .meta("paper", "Sec. IV-B1: 56% efficiency, 18 flop/cycle, ~20 Gflop/s/core");
+    for (stage, value) in [
+        ("peak_sp_gflops_per_core", chip.peak_sp_gflops_per_core()),
+        ("fma_efficiency", fma_eff),
+        ("simd_mask_efficiency", p.simd_mask_efficiency),
+        ("combined_efficiency", eff),
+        ("flop_per_cycle_per_core", 2.0 * chip.simd_f32 as f64 * eff),
+        ("bound_gflops_per_core", gflops),
+    ] {
+        let mut point = serde::Map::new();
+        point.insert("stage".to_string(), serde::Value::from(stage));
+        point.insert("value".to_string(), serde::Value::from(value));
+        report.push("derivation", point);
+    }
+    report.write();
 }

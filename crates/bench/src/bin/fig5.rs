@@ -57,5 +57,19 @@ fn main() {
             .join(", ")
     );
     println!("Paper: ~450-500 Gflop/s at 60 cores for the full-load volumes.");
-    qdd_bench::write_result("fig5", &out);
+    let mut report = qdd_bench::Report::new("fig5");
+    report
+        .param("block", format!("{block}"))
+        .param("i_schwarz", 16usize)
+        .param("i_domain", 5usize)
+        .param("cores", 60usize)
+        .meta("paper", "Fig. 5: ~450-500 Gflop/s at 60 cores for the full-load volumes")
+        .meta("points", "Gflop/s of the DD preconditioner at 1..=60 cores");
+    for s in &out {
+        report.meta(&format!("ndomain {}", s.volume), s.ndomain);
+        for g in &s.gflops {
+            report.push(&s.volume, *g);
+        }
+    }
+    report.write();
 }

@@ -3,10 +3,14 @@
 //! of the non-DD solver, for all three lattices (plus the non-uniform
 //! partitioning points for 64^3x128).
 //!
-//! Run: `cargo run -p qdd-bench --bin fig6 --release`
+//! Run: `cargo run -p qdd-bench --bin fig6 --release [-- --trace t.json]`
+//!
+//! With `--trace <path>` the predicted per-component breakdown of every
+//! DD point is emitted as Chrome-trace spans (one lane per point).
 
 use qdd_machine::multinode::MultiNodeModel;
 use qdd_machine::workload::{all_lattices, non_uniform_64, rank_layout};
+use qdd_trace::TraceSink;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -16,17 +20,16 @@ struct Point {
     relative_speed: f64,
 }
 
-#[derive(Serialize)]
-struct Panel {
-    lattice: String,
-    dd: Vec<Point>,
-    non_dd: Vec<Point>,
-    dd_non_uniform: Vec<Point>,
-}
-
 fn main() {
     let model = MultiNodeModel::paper_setup();
-    let mut panels = Vec::new();
+    let mut report = qdd_bench::Report::new("fig6");
+    report
+        .param("setup", "MultiNodeModel::paper_setup")
+        .meta("paper", "Fig. 6: ~5x strong-scaling speedup of DD over non-DD on 48^3x64")
+        .meta("normalization", "relative_speed = best non-DD time / time");
+    let trace_path = qdd_bench::trace_path_from_args();
+    let sink = if trace_path.is_some() { TraceSink::enabled() } else { TraceSink::disabled() };
+    let mut next_tid = 1u32;
 
     for lat in all_lattices() {
         // Baseline: best non-DD time.
@@ -45,7 +48,10 @@ fn main() {
             .iter()
             .map(|&k| {
                 let layout = rank_layout(&lat.dims, k).unwrap();
-                (k, model.dd_solve(&lat.dims, &layout, &lat.dd).total_time_s)
+                let b = model.dd_solve(&lat.dims, &layout, &lat.dd);
+                b.record_predicted_spans(&sink, next_tid, &format!("{}@{k}", lat.label));
+                next_tid += 1;
+                (k, b.total_time_s)
             })
             .collect();
 
@@ -69,21 +75,21 @@ fn main() {
 
         println!("\n=== {} (relative speed; 1.0 = best non-DD) ===", lat.label);
         println!("{:>6} {:>12} {:>10}   solver", "KNCs", "time [s]", "rel.speed");
-        let mut panel = Panel {
-            lattice: lat.label.to_string(),
-            dd: Vec::new(),
-            non_dd: Vec::new(),
-            dd_non_uniform: dd_nu,
-        };
         for (k, t) in &non_dd {
             println!("{:>6} {:>12.2} {:>10.2}   non-DD", k, t, best_non / t);
-            panel.non_dd.push(Point { kncs: *k, time_s: *t, relative_speed: best_non / t });
+            report.push(
+                &format!("{} non-dd", lat.label),
+                Point { kncs: *k, time_s: *t, relative_speed: best_non / t },
+            );
         }
         for (k, t) in &dd {
             println!("{:>6} {:>12.2} {:>10.2}   DD", k, t, best_non / t);
-            panel.dd.push(Point { kncs: *k, time_s: *t, relative_speed: best_non / t });
+            report.push(
+                &format!("{} dd", lat.label),
+                Point { kncs: *k, time_s: *t, relative_speed: best_non / t },
+            );
         }
-        for p in &panel.dd_non_uniform {
+        for p in &dd_nu {
             println!(
                 "{:>6} {:>12.2} {:>10.2}   DD (non-uniform, preliminary)",
                 p.kncs, p.time_s, p.relative_speed
@@ -94,7 +100,13 @@ fn main() {
             "--> strong-scaling speedup of DD over non-DD: {:.1}x (paper: ~5x on 48^3x64)",
             best_non / best_dd
         );
-        panels.push(panel);
+        report.meta(&format!("{} speedup", lat.label), best_non / best_dd);
+        for p in dd_nu {
+            report.push(&format!("{} dd non-uniform", lat.label), p);
+        }
     }
-    qdd_bench::write_result("fig6", &panels);
+    report.write();
+    if let Some(path) = &trace_path {
+        qdd_bench::dump_trace(&sink, path);
+    }
 }

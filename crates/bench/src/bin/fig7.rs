@@ -11,13 +11,15 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct CostPoint {
     kncs: usize,
-    solver: &'static str,
     knc_minutes: f64,
 }
 
 fn main() {
     let model = MultiNodeModel::paper_setup();
-    let mut all = Vec::new();
+    let mut report = qdd_bench::Report::new("fig7");
+    report
+        .param("setup", "MultiNodeModel::paper_setup")
+        .meta("paper", "Fig. 7: DD is ~2x cheaper in KNC-minutes than non-DD");
 
     for lat in all_lattices() {
         println!("\n=== {} — cost per solve in KNC-minutes ===", lat.label);
@@ -30,7 +32,7 @@ fn main() {
             let cost = model.knc_minutes(&b);
             dd_min = dd_min.min(cost);
             println!("{:>6} {:>14.2}   DD", k, cost);
-            all.push(CostPoint { kncs: k, solver: "dd", knc_minutes: cost });
+            report.push(&format!("{} dd", lat.label), CostPoint { kncs: k, knc_minutes: cost });
         }
         for &k in &lat.non_dd_knc_counts {
             let layout = rank_layout(&lat.dims, k).unwrap();
@@ -38,7 +40,7 @@ fn main() {
             let cost = model.knc_minutes(&b);
             non_min = non_min.min(cost);
             println!("{:>6} {:>14.2}   non-DD", k, cost);
-            all.push(CostPoint { kncs: k, solver: "non-dd", knc_minutes: cost });
+            report.push(&format!("{} non-dd", lat.label), CostPoint { kncs: k, knc_minutes: cost });
         }
         println!(
             "--> cheapest solve: DD {:.2} vs non-DD {:.2} KNC-minutes ({:.1}x cheaper; paper: ~2x)",
@@ -46,6 +48,7 @@ fn main() {
             non_min,
             non_min / dd_min
         );
+        report.meta(&format!("{} cost ratio", lat.label), non_min / dd_min);
     }
-    qdd_bench::write_result("fig7", &all);
+    report.write();
 }

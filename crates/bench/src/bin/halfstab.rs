@@ -50,7 +50,13 @@ fn main() {
     println!("Half-precision preconditioner stability (paper Sec. IV-B1)");
     println!("lattice {dims}, 4^4 domains, ISchwarz=6, Idomain=4, target 1e-10\n");
     println!("{:>5} {:>14} {:>14} {:>10}", "iter", "single", "half", "diff %");
-    let mut rows = Vec::new();
+    let mut report = qdd_bench::Report::new("halfstab");
+    report
+        .param("dims", format!("{dims}"))
+        .param("block", "4x4x4x4")
+        .param("i_schwarz", 6usize)
+        .param("i_domain", 4usize)
+        .param("tolerance", 1e-10);
     let n = single.history.len().min(half.history.len());
     let mut max_diff: f64 = 0.0;
     for i in 0..n {
@@ -60,7 +66,10 @@ fn main() {
         if i % 2 == 0 || i + 1 == n {
             println!("{:>5} {:>14.4e} {:>14.4e} {:>9.3}%", i + 1, s, h, d);
         }
-        rows.push(Comparison { iteration: i + 1, single: s, half: h, rel_diff_percent: d });
+        report.push(
+            "comparison",
+            Comparison { iteration: i + 1, single: s, half: h, rel_diff_percent: d },
+        );
     }
     println!(
         "\niterations: single {}, half {}; max residual-history deviation {:.3} %",
@@ -68,5 +77,8 @@ fn main() {
     );
     println!("paper: < 0.14 % difference on a 48^3x64 lattice -> same conclusion: half-");
     println!("precision storage of gauge+clover does not affect solver convergence.");
-    qdd_bench::write_result("halfstab", &rows);
+    report
+        .meta("max_rel_diff_percent", max_diff)
+        .meta("paper", "< 0.14% residual-history difference on 48^3x64")
+        .write();
 }

@@ -45,11 +45,23 @@ fn main() {
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     println!("Measured Schwarz on-chip scaling (host has {hw} hardware threads)");
     println!("lattice {dims}, {} domains per color, ISchwarz=8, Idomain=5\n", ndom);
-    println!("{:>8} {:>10} {:>9} {:>9} {:>6}", "workers", "time [ms]", "speedup", "Gflop/s", "load");
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>6}",
+        "workers", "time [ms]", "speedup", "Gflop/s", "load"
+    );
 
     let reps = 3;
     let mut t1 = 0.0;
-    let mut points = Vec::new();
+    let mut report = qdd_bench::Report::new("onchip_real");
+    report
+        .param("dims", format!("{dims}"))
+        .param("block", format!("{block}"))
+        .param("ndomain", ndom)
+        .param("i_schwarz", 8usize)
+        .param("i_domain", 5usize)
+        .param("reps", reps as usize)
+        .meta("hardware_threads", hw)
+        .meta("paper", "Fig. 5 shape: near-linear scaling, load-imbalance plateaus");
     for workers in [1, 2, 3, 4, 6, 8, 12, 16] {
         if workers > 2 * hw {
             break;
@@ -77,16 +89,19 @@ fn main() {
             flops / secs / 1e9,
             100.0 * l
         );
-        points.push(Point {
-            workers,
-            seconds: secs,
-            speedup: t1 / secs,
-            gflops: flops / secs / 1e9,
-            load: l,
-        });
+        report.push(
+            "measured",
+            Point {
+                workers,
+                seconds: secs,
+                speedup: t1 / secs,
+                gflops: flops / secs / 1e9,
+                load: l,
+            },
+        );
     }
     println!("\nExpected shape on a multi-core host: speedup tracks workers x load");
     println!("(Eq. (7)); plateaus where ceil(ndomain/workers) is constant — the Fig. 5");
     println!("steps. On a single-core host the workers time-slice and speedup stays ~1.");
-    qdd_bench::write_result("onchip_real", &points);
+    report.write();
 }

@@ -32,7 +32,11 @@ fn main() {
         "{:<26} | {:>16} | {:>16} | {:>16} | {:>16}",
         "", "MR single", "MR half", "DD single", "DD half"
     );
-    let mut rows = Vec::new();
+    let mut report = qdd_bench::Report::new("table2");
+    report
+        .param("chip", "KNC 7110P")
+        .param("i_schwarz", 5usize)
+        .meta("paper", "Table II of Heybrock et al., SC 2014 (model vs paper rows)");
     for (pf, (label, paper_vals)) in PrefetchMode::ALL.iter().zip(paper.iter()) {
         let mr_s = mr_iteration_rate(&chip, Precision::Single, *pf);
         let mr_h = mr_iteration_rate(&chip, Precision::Half, *pf);
@@ -43,9 +47,22 @@ fn main() {
             label, mr_s, paper_vals[0], mr_h, paper_vals[1], dd_s, paper_vals[2], dd_h,
             paper_vals[3]
         );
-        rows.push(Row { config: label, mr_single: mr_s, mr_half: mr_h, dd_single: dd_s, dd_half: dd_h });
+        report.push(
+            "model",
+            Row { config: label, mr_single: mr_s, mr_half: mr_h, dd_single: dd_s, dd_half: dd_h },
+        );
+        report.push(
+            "paper",
+            Row {
+                config: label,
+                mr_single: paper_vals[0],
+                mr_half: paper_vals[1],
+                dd_single: paper_vals[2],
+                dd_half: paper_vals[3],
+            },
+        );
     }
     println!("{:-<100}", "");
     println!("(left number = this model, right = paper Table II)");
-    qdd_bench::write_result("table2", &rows);
+    report.write();
 }

@@ -2,15 +2,37 @@
 //! non-DD solvers — time breakdown, per-KNC rates, time-to-solution,
 //! global sums, and network traffic per KNC.
 //!
-//! Run: `cargo run -p qdd-bench --bin table3 --release`
+//! Run: `cargo run -p qdd-bench --bin table3 --release [-- --trace t.json]`
+//!
+//! With `--trace <path>` the model's predicted per-component times are
+//! additionally emitted as Chrome-trace spans (one lane per DD row), so
+//! the prediction can be compared against a measured trace from the
+//! `qdd solve --trace` CLI in the same viewer.
 
+use qdd_bench::Report;
 use qdd_machine::multinode::MultiNodeModel;
 use qdd_machine::workload::{lattice_48, lattice_64, rank_layout, Lattice};
+use qdd_trace::TraceSink;
 
-fn dd_section(model: &MultiNodeModel, lat: &Lattice, paper: &[(usize, f64, f64, u64, f64)]) {
+struct TraceOut {
+    sink: TraceSink,
+    next_tid: u32,
+}
+
+fn dd_section(
+    model: &MultiNodeModel,
+    lat: &Lattice,
+    paper: &[(usize, f64, f64, u64, f64)],
+    report: &mut Report,
+    trace: &mut TraceOut,
+) {
     println!(
         "\n{} DD (m={}, k={}, ISchwarz={}, Idomain={}, {} outer iterations)",
-        lat.label, lat.dd.max_basis, lat.dd.deflate, lat.dd.i_schwarz, lat.dd.i_domain,
+        lat.label,
+        lat.dd.max_basis,
+        lat.dd.deflate,
+        lat.dd.i_schwarz,
+        lat.dd.i_domain,
         lat.dd.outer_iterations
     );
     println!(
@@ -27,20 +49,33 @@ fn dd_section(model: &MultiNodeModel, lat: &Lattice, paper: &[(usize, f64, f64, 
             b.gflops_knc[0], b.gflops_knc[1], b.gflops_knc[2], b.gflops_knc[3],
             b.total_tflops, b.total_time_s, b.global_sums, b.comm_mb_per_knc
         );
-        if let Some((_, p_time, p_tflops, p_sums, p_comm)) =
-            paper.iter().find(|(k, ..)| *k == kncs)
+        if let Some((_, p_time, p_tflops, p_sums, p_comm)) = paper.iter().find(|(k, ..)| *k == kncs)
         {
             println!(
                 "{:>5}  paper:{:>58} | {:>9.1} {:>9.1} | {:>8} {:>10.0}",
                 "", "", p_tflops, p_time, p_sums, p_comm
             );
         }
-        qdd_bench::write_result(&format!("table3_{}_{}knc", lat.label.replace('^', ""), kncs), &b);
+        b.record_predicted_spans(&trace.sink, trace.next_tid, &format!("{}@{kncs}", lat.label));
+        trace.next_tid += 1;
+        report.push(&format!("{} dd", lat.label), &b);
     }
 }
 
 fn main() {
     let model = MultiNodeModel::paper_setup();
+    let mut report = Report::new("table3");
+    report
+        .param("setup", "MultiNodeModel::paper_setup")
+        .meta("paper", "Table III of Heybrock et al., SC 2014")
+        .meta("columns", "per-component % and Gflop/s per KNC, Tflop/s, time, gsums, comm");
+    // With no --trace the sink is disabled and every record call is a
+    // single branch, so the predicted-span emission below is free.
+    let trace_path = qdd_bench::trace_path_from_args();
+    let mut trace = TraceOut {
+        sink: if trace_path.is_some() { TraceSink::enabled() } else { TraceSink::disabled() },
+        next_tid: 1,
+    };
 
     println!("Table III reproduction (model rows, with paper reference rows where given)");
     println!("Columns: per-component % of time, Gflop/s per KNC, total sustained Tflop/s,");
@@ -62,12 +97,15 @@ fn main() {
     ];
 
     let lat48 = lattice_48();
-    dd_section(&model, &lat48, &paper48);
+    dd_section(&model, &lat48, &paper48, &mut report, &mut trace);
     let lat64 = lattice_64();
-    dd_section(&model, &lat64, &paper64);
+    dd_section(&model, &lat64, &paper64, &mut report, &mut trace);
 
     // Non-DD sections.
-    println!("\n{} non-DD (double-precision BiCGstab, ~{} iterations)", lat48.label, lat48.non_dd.iterations);
+    println!(
+        "\n{} non-DD (double-precision BiCGstab, ~{} iterations)",
+        lat48.label, lat48.non_dd.iterations
+    );
     println!(
         "{:>5} | {:>9} {:>9} | {:>8} {:>10}",
         "KNCs", "Tflop/s", "time[s]", "#gsums", "comm MB/KNC"
@@ -94,9 +132,13 @@ fn main() {
                 "", p_tflops, p_time, p_sums, p_comm
             );
         }
+        report.push(&format!("{} non-dd", lat48.label), &b);
     }
 
-    println!("\n{} non-DD (mixed-precision Richardson/BiCGstab, ~{} inner iterations)", lat64.label, lat64.non_dd.iterations);
+    println!(
+        "\n{} non-DD (mixed-precision Richardson/BiCGstab, ~{} inner iterations)",
+        lat64.label, lat64.non_dd.iterations
+    );
     let paper64_non: Vec<(usize, f64, f64, u64, f64)> = vec![
         (64, 6.1, 6.3, 1408, 2500.0),
         (128, 3.2, 11.7, 1353, 1314.0),
@@ -117,6 +159,11 @@ fn main() {
                 "", p_tflops, p_time, p_sums, p_comm
             );
         }
+        report.push(&format!("{} non-dd", lat64.label), &b);
     }
     println!("\n(Paper reference rows show: total Tflop/s, time, #global-sums, comm MB/KNC.)");
+    report.write();
+    if let Some(path) = &trace_path {
+        qdd_bench::dump_trace(&trace.sink, path);
+    }
 }

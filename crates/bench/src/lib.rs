@@ -9,7 +9,9 @@ use qdd_dirac::gamma::GammaBasis;
 use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
 use qdd_field::fields::{GaugeField, SpinorField};
 use qdd_lattice::Dims;
+use qdd_trace::TraceSink;
 use qdd_util::rng::Rng64;
+use serde::{Map, Serialize, Value};
 
 /// Standard synthetic test operator: random SU(3) gauge field with the
 /// given roughness, clover csw = 1.5, antiperiodic t.
@@ -40,6 +42,105 @@ pub fn agreement(model: f64, paper: f64) -> String {
     format!("{:>8.2} vs {:>8.2} (x{:.2})", model, paper, model / paper)
 }
 
+/// A structured result file with the workspace-wide schema
+///
+/// ```json
+/// {"name": ..., "params": {...},
+///  "series": [{"label": ..., "points": [...]}, ...],
+///  "metadata": {...}}
+/// ```
+///
+/// `params` are the inputs of the run (lattice, solver settings),
+/// `series` the generated data (one labeled point list per curve or table
+/// section), `metadata` free-form context such as paper reference values.
+/// Every regenerator binary writes its `results/{name}.json` through
+/// this type, so downstream plotting only has to understand one layout.
+pub struct Report {
+    name: String,
+    params: Map,
+    series: Vec<(String, Vec<Value>)>,
+    metadata: Map,
+}
+
+impl Report {
+    pub fn new(name: &str) -> Report {
+        Report {
+            name: name.to_string(),
+            params: Map::new(),
+            series: Vec::new(),
+            metadata: Map::new(),
+        }
+    }
+
+    /// Record an input parameter of the run.
+    pub fn param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.params.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Record free-form metadata (paper reference values, host info, ...).
+    pub fn meta(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.metadata.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Append one point to the named series, creating it on first use.
+    /// Series keep their first-push order in the output.
+    pub fn push(&mut self, series: &str, point: impl Serialize) -> &mut Self {
+        let v = point.to_value();
+        if let Some((_, points)) = self.series.iter_mut().find(|(label, _)| label == series) {
+            points.push(v);
+        } else {
+            self.series.push((series.to_string(), vec![v]));
+        }
+        self
+    }
+
+    /// Write `results/{name}.json` (best effort, like [`write_result`]).
+    pub fn write(&self) {
+        write_result(&self.name, self);
+    }
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".to_string(), Value::from(self.name.clone()));
+        m.insert("params".to_string(), Value::Object(self.params.clone()));
+        let series = self
+            .series
+            .iter()
+            .map(|(label, points)| {
+                let mut s = Map::new();
+                s.insert("label".to_string(), Value::from(label.clone()));
+                s.insert("points".to_string(), Value::Array(points.clone()));
+                Value::Object(s)
+            })
+            .collect();
+        m.insert("series".to_string(), Value::Array(series));
+        m.insert("metadata".to_string(), Value::Object(self.metadata.clone()));
+        Value::Object(m)
+    }
+}
+
+/// The `--trace <path>` argument of the regenerator binaries (the `qdd`
+/// CLI has its own flag parser).
+pub fn trace_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Shared tail of the binaries' `--trace` handling: write the Chrome-trace
+/// and JSONL exports of `sink` at `path` and print the phase breakdown.
+pub fn dump_trace(sink: &TraceSink, path: &str) {
+    let streams = [sink.stream()];
+    match qdd_trace::write_trace_files(&streams, path) {
+        Ok(()) => println!("\ntrace written: {path} (chrome://tracing), {path}.jsonl"),
+        Err(e) => eprintln!("\ncould not write trace to {path}: {e}"),
+    }
+    println!("{}", qdd_trace::breakdown_table(&streams));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,12 +148,31 @@ mod tests {
     #[test]
     fn test_operator_is_well_formed() {
         let op = test_operator(Dims::new(4, 4, 4, 4), 0.5, 0.2, 1);
-        assert_eq!(op.gauge().max_unitarity_error() < 1e-10, true);
+        assert!(op.gauge().max_unitarity_error() < 1e-10);
     }
 
     #[test]
     fn agreement_formats() {
         let s = agreement(10.0, 5.0);
         assert!(s.contains("x2.00"));
+    }
+
+    #[test]
+    fn report_serializes_to_the_shared_schema() {
+        let mut r = Report::new("demo");
+        r.param("dims", "8x8x8x8").meta("paper", "Table II");
+        r.push("model", 1.5f64).push("model", 2.5f64).push("paper", 3usize);
+        let v = r.to_value();
+        assert_eq!(v["name"].as_str(), Some("demo"));
+        assert_eq!(v["params"]["dims"].as_str(), Some("8x8x8x8"));
+        assert_eq!(v["series"][0]["label"].as_str(), Some("model"));
+        assert_eq!(v["series"][0]["points"][1].as_f64(), Some(2.5));
+        assert_eq!(v["series"][1]["label"].as_str(), Some("paper"));
+        assert_eq!(v["series"][1]["points"][0].as_u64(), Some(3));
+        assert_eq!(v["metadata"]["paper"].as_str(), Some("Table II"));
+        // The JSON text parses back and keeps the four top-level keys.
+        let parsed: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(parsed.as_object().unwrap().len(), 4);
     }
 }

@@ -55,7 +55,7 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             // the checkerboard closes around the torus.
             let global_doms = ctx.grid().grid()[d] * doms_per_rank;
             assert!(
-                global_doms % 2 == 0 || global_doms == 1,
+                global_doms.is_multiple_of(2) || global_doms == 1,
                 "global domain count in {d} is odd ({global_doms}): two-coloring impossible"
             );
             offset += rc[d] * doms_per_rank;
@@ -113,7 +113,9 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
         stats: &mut SolveStats,
     ) {
         let local = *self.op.dims();
+        let trace = self.ctx.trace();
         // Post sends.
+        trace.begin(qdd_trace::Phase::HaloPack);
         for dir in Dir::ALL {
             let sign_fwd =
                 if self.ctx.at_global_backward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
@@ -140,7 +142,9 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                 .collect();
             self.ctx.send_face(dir, true, masked);
         }
+        trace.end(qdd_trace::Phase::HaloPack);
         // Receive and merge.
+        trace.begin(qdd_trace::Phase::HaloUnpack);
         for dir in Dir::ALL {
             // halo.face(dir, true) entries mirror the *forward* neighbor's
             // backward face; its site colors are the flip of our forward
@@ -148,9 +152,8 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             for (forward, own_face) in [(true, 1usize), (false, 0usize)] {
                 let data = self.ctx.recv_face::<T>(dir, forward);
                 let mask = &self.face_color[dir.index()][own_face];
-                let positions: Vec<usize> = (0..local.face_area(dir))
-                    .filter(|&k| mask[k].flip() == color)
-                    .collect();
+                let positions: Vec<usize> =
+                    (0..local.face_area(dir)).filter(|&k| mask[k].flip() == color).collect();
                 assert_eq!(
                     data.len(),
                     positions.len(),
@@ -162,15 +165,14 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                 }
             }
         }
+        trace.end(qdd_trace::Phase::HaloUnpack);
         // Account traffic to the preconditioner.
         let bytes: f64 = Dir::ALL
             .iter()
             .filter(|d| self.ctx.is_split(**d))
             .map(|&d| {
-                let n_fwd =
-                    self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
-                let n_bwd =
-                    self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
+                let n_fwd = self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
+                let n_bwd = self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
                 ((n_fwd + n_bwd) * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
             })
             .sum();
@@ -187,17 +189,19 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
         let mut flops = 0.0;
 
         for sweep in 0..self.cfg.i_schwarz {
+            stats.span_begin(qdd_trace::Phase::SchwarzSweep);
             for color in DomainColor::ALL {
+                stats.span_begin(qdd_trace::Phase::ColorSweep);
                 for &dom_idx in &self.colors[color as usize] {
+                    stats.span_begin(qdd_trace::Phase::DomainSolve);
                     let schur =
                         SchurOperator::new(self.op, &self.fields, self.grid.domain(dom_idx));
-                    let au = |g: usize| {
-                        self.op.apply_site_with_halo_fetch(g, |i| *u.site(i), &halo_u)
-                    };
-                    let (z_e, z_o, fl) =
-                        schwarz_block_update(&schur, &self.cfg.mr, f, au);
+                    let au =
+                        |g: usize| self.op.apply_site_with_halo_fetch(g, |i| *u.site(i), &halo_u);
+                    let (z_e, z_o, fl) = schwarz_block_update(&schur, &self.cfg.mr, f, au);
                     schur.scatter_add_cb(&mut u, &z_e, Parity::Even);
                     schur.scatter_add_cb(&mut u, &z_o, Parity::Odd);
+                    stats.span_end(qdd_trace::Phase::DomainSolve);
                     flops += fl;
                 }
                 // Boundary data of the updated color feeds the next
@@ -206,7 +210,9 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                 if !last {
                     self.exchange_color(&u, &mut halo_u, color, stats);
                 }
+                stats.span_end(qdd_trace::Phase::ColorSweep);
             }
+            stats.span_end(qdd_trace::Phase::SchwarzSweep);
         }
         stats.add_flops(Component::PreconditionerM, flops);
         u
@@ -251,7 +257,6 @@ mod tests {
         let basis = GammaBasis::degrand_rossi();
         let clover = build_clover_field(&gauge, 1.5, &basis);
         let phases = BoundaryPhases::antiperiodic_t();
-        let global_op = WilsonClover::new(gauge.clone(), clover.clone(), 0.2, phases);
         let f = SpinorField::<f64>::random(global_dims, &mut rng);
 
         // Serial reference.
@@ -270,12 +275,8 @@ mod tests {
         let world = CommWorld::new(grid.clone());
         let results = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(
-                local_gauge[r].clone(),
-                local_clover[r].clone(),
-                0.2,
-                phases,
-            );
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
             let pre = DistSchwarz::new(ctx, &op, schwarz_cfg(block, sweeps)).unwrap();
             let mut stats = SolveStats::new();
             let u = pre.apply(&f_local[r], &mut stats);
@@ -289,7 +290,7 @@ mod tests {
             "distributed Schwarz diverged from serial (ranks {rank_dims})"
         );
         results
-    .iter()
+            .iter()
             .for_each(|(_, bytes)| assert!(*bytes > 0.0, "no preconditioner traffic counted"));
     }
 
@@ -336,12 +337,8 @@ mod tests {
         let sweeps = 4;
         let results = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(
-                local_gauge[r].clone(),
-                local_clover[r].clone(),
-                0.2,
-                phases,
-            );
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
             let pre =
                 DistSchwarz::new(ctx, &op, schwarz_cfg(Dims::new(4, 4, 4, 4), sweeps)).unwrap();
             let mut stats = SolveStats::new();
@@ -354,10 +351,7 @@ mod tests {
         let full_halo = 2.0 * 512.0 * 96.0;
         let expect = full_halo * sweeps as f64 - full_halo / 2.0;
         for bytes in results {
-            assert!(
-                (bytes - expect).abs() < 1e-9,
-                "bytes {bytes} vs expected {expect}"
-            );
+            assert!((bytes - expect).abs() < 1e-9, "bytes {bytes} vs expected {expect}");
         }
     }
 }

@@ -10,6 +10,7 @@ use qdd_core::fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
 use qdd_core::schwarz::SchwarzConfig;
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
+use qdd_trace::CommStats;
 use qdd_util::stats::SolveStats;
 
 /// Configuration of a distributed DD solve.
@@ -23,13 +24,19 @@ pub struct DistDdConfig {
 /// Run the paper's solver on this rank: double-precision FGMRES-DR outer,
 /// single- (or half-compressed-) precision distributed Schwarz inner.
 /// SPMD: every rank calls this with its local operator and local rhs.
+///
+/// The third return value is this rank's network traffic during the solve
+/// (the delta of the context's [`CommCounters`](crate::runtime::CommCounters)),
+/// so callers can attribute bytes per direction without bookkeeping of
+/// their own.
 pub fn dd_solve_distributed(
     ctx: &RankCtx<'_>,
     op: &WilsonClover<f64>,
     f: &SpinorField<f64>,
     cfg: &DistDdConfig,
     stats: &mut SolveStats,
-) -> (SpinorField<f64>, SolveOutcome) {
+) -> (SpinorField<f64>, SolveOutcome, CommStats) {
+    let before = ctx.counters.snapshot();
     let op32 = match cfg.precision {
         Precision::Single => op.cast::<f32>(),
         Precision::HalfCompressed => {
@@ -38,14 +45,16 @@ pub fn dd_solve_distributed(
             WilsonClover::new(g16, c16, op.mass() as f32, *op.phases())
         }
     };
-    let pre = DistSchwarz::new(ctx, &op32, cfg.schwarz)
-        .expect("singular clover block in preconditioner");
+    let pre =
+        DistSchwarz::new(ctx, &op32, cfg.schwarz).expect("singular clover block in preconditioner");
     let sys = DistSystem::new(ctx, op);
     let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
         let r32: SpinorField<f32> = r.cast();
         pre.apply(&r32, st).cast()
     };
-    fgmres_dr(&sys, f, &mut precond, &cfg.fgmres, stats)
+    let (x, out) = fgmres_dr(&sys, f, &mut precond, &cfg.fgmres, stats);
+    let comm = ctx.counters.snapshot().since(&before);
+    (x, out, comm)
 }
 
 #[cfg(test)]
@@ -74,7 +83,8 @@ mod tests {
         let phases = BoundaryPhases::antiperiodic_t();
         let f = SpinorField::<f64>::random(global_dims, &mut rng);
 
-        let fgmres = FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-10, max_iterations: 300 };
+        let fgmres =
+            FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-10, max_iterations: 300 };
         let schwarz = SchwarzConfig {
             block: Dims::new(4, 4, 4, 4),
             i_schwarz: 4,
@@ -100,18 +110,14 @@ mod tests {
         let cfg = DistDdConfig { fgmres, schwarz, precision: Precision::Single };
         let results = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(
-                local_gauge[r].clone(),
-                local_clover[r].clone(),
-                0.2,
-                phases,
-            );
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
             let mut stats = SolveStats::new();
-            let (x, out) = dd_solve_distributed(ctx, &op, &f_local[r], &cfg, &mut stats);
-            (x, out, stats)
+            let (x, out, comm) = dd_solve_distributed(ctx, &op, &f_local[r], &cfg, &mut stats);
+            (x, out, stats, comm)
         });
 
-        for (_, out, _) in &results {
+        for (_, out, _, _) in &results {
             assert!(out.converged, "rank failed: residual {}", out.relative_residual);
             assert_eq!(out.iterations, results[0].1.iterations);
         }
@@ -135,6 +141,15 @@ mod tests {
         let stats = &results[0].2;
         assert!(stats.comm_bytes(Component::PreconditionerM) > 0.0);
         assert!(stats.comm_bytes(Component::OperatorA) > 0.0);
+        // The returned counter delta agrees with the ledger, and the split
+        // directions carry symmetric traffic.
+        let comm = &results[0].3;
+        let ledger =
+            stats.comm_bytes(Component::PreconditionerM) + stats.comm_bytes(Component::OperatorA);
+        assert!((comm.bytes_sent - ledger).abs() < 1e-6, "{} vs {ledger}", comm.bytes_sent);
+        assert_eq!(comm.bytes_by_dir[0][0], comm.bytes_by_dir[0][1]);
+        assert_eq!(comm.bytes_by_dir[1], [0.0, 0.0], "y is unsplit");
+        assert!(comm.reductions > 0);
     }
 
     #[test]
@@ -156,7 +171,8 @@ mod tests {
 
         // Near-critical quark mass on a smooth field: the regime where the
         // paper's comparison lives (light pion, many BiCGstab iterations).
-        let fgmres = FgmresConfig { max_basis: 12, deflate: 6, tolerance: 1e-9, max_iterations: 400 };
+        let fgmres =
+            FgmresConfig { max_basis: 12, deflate: 6, tolerance: 1e-9, max_iterations: 400 };
         let schwarz = SchwarzConfig {
             block: Dims::new(4, 4, 4, 4),
             i_schwarz: 8,
@@ -168,14 +184,10 @@ mod tests {
         let world = CommWorld::new(grid.clone());
         let dd = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(
-                local_gauge[r].clone(),
-                local_clover[r].clone(),
-                -0.15,
-                phases,
-            );
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), -0.15, phases);
             let mut stats = SolveStats::new();
-            let (_, out) = dd_solve_distributed(ctx, &op, &f_local[r], &cfg, &mut stats);
+            let (_, out, _) = dd_solve_distributed(ctx, &op, &f_local[r], &cfg, &mut stats);
             assert!(out.converged);
             (stats.total_comm_bytes(), stats.global_sums())
         });
@@ -183,12 +195,8 @@ mod tests {
         let world = CommWorld::new(grid.clone());
         let bi = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(
-                local_gauge[r].clone(),
-                local_clover[r].clone(),
-                -0.15,
-                phases,
-            );
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), -0.15, phases);
             let sys = crate::dist_system::DistSystem::new(ctx, &op);
             let mut stats = SolveStats::new();
             let (_, out) = qdd_core::bicgstab::bicgstab(

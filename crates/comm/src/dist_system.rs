@@ -56,7 +56,12 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
         stats.count_operator_application();
     }
 
-    fn apply_adjoint(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
+    fn apply_adjoint(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        stats: &mut SolveStats,
+    ) {
         let basis = self.op.basis();
         let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
         let halo = exchange_halo(self.ctx, self.op, &g5in);
@@ -100,10 +105,7 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
             partial.push(d.im.to_f64());
         }
         let global = self.ctx.all_sum(&partial);
-        global
-            .chunks(2)
-            .map(|c| Complex::new(T::from_f64(c[0]), T::from_f64(c[1])))
-            .collect()
+        global.chunks(2).map(|c| Complex::new(T::from_f64(c[0]), T::from_f64(c[1]))).collect()
     }
 
     fn dot_and_norm(
@@ -116,10 +118,7 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
         let d = a.dot(b);
         let n = a.norm_sqr().to_f64();
         let global = self.ctx.all_sum(&[d.re.to_f64(), d.im.to_f64(), n]);
-        (
-            Complex::new(T::from_f64(global[0]), T::from_f64(global[1])),
-            T::from_f64(global[2]),
-        )
+        (Complex::new(T::from_f64(global[0]), T::from_f64(global[1])), T::from_f64(global[2]))
     }
 }
 
@@ -153,8 +152,12 @@ mod tests {
         let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
         let basis = GammaBasis::degrand_rossi();
         let clover = build_clover_field(&gauge, 1.4, &basis);
-        let global_op =
-            WilsonClover::new(gauge.clone(), clover.clone(), 0.25, BoundaryPhases::antiperiodic_t());
+        let global_op = WilsonClover::new(
+            gauge.clone(),
+            clover.clone(),
+            0.25,
+            BoundaryPhases::antiperiodic_t(),
+        );
         let f_global = SpinorField::<f64>::random(global_dims, &mut rng);
         Setup {
             local_gauge: scatter_gauge(&gauge, &grid),
@@ -173,7 +176,8 @@ mod tests {
 
         // Single rank ground truth.
         let mut st = qdd_util::stats::SolveStats::new();
-        let (x_ref, out_ref) = bicgstab(&LocalSystem::new(&s.global_op), &s.f_global, &cfg, &mut st);
+        let (x_ref, out_ref) =
+            bicgstab(&LocalSystem::new(&s.global_op), &s.f_global, &cfg, &mut st);
         assert!(out_ref.converged);
 
         // Distributed.

@@ -10,6 +10,7 @@ use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_field::halo::{FaceBuffer, HaloData};
 use qdd_lattice::Dir;
+use qdd_trace::Phase;
 
 /// Exchange all faces of `inp` and assemble this rank's halo.
 ///
@@ -21,7 +22,9 @@ pub fn exchange_halo<T: HaloScalar>(
     op: &WilsonClover<T>,
     inp: &SpinorField<T>,
 ) -> HaloData<T> {
+    let trace = ctx.trace();
     // Post all sends.
+    trace.begin(Phase::HaloPack);
     for dir in Dir::ALL {
         let sign_fwd = if ctx.at_global_backward_edge(dir) { op.phases().of(dir) } else { 1.0 };
         let sign_bwd = if ctx.at_global_forward_edge(dir) { op.phases().of(dir) } else { 1.0 };
@@ -34,7 +37,9 @@ pub fn exchange_halo<T: HaloScalar>(
         let bwd_payload = pack_for_backward_hop(op, inp, dir, sign_bwd);
         ctx.send_face(dir, true, bwd_payload.data);
     }
+    trace.end(Phase::HaloPack);
     // Collect receives.
+    trace.begin(Phase::HaloUnpack);
     let mut halo = HaloData::zeros(*op.dims());
     for dir in Dir::ALL {
         // face(dir, true): from our forward neighbor.
@@ -44,6 +49,7 @@ pub fn exchange_halo<T: HaloScalar>(
         let data = ctx.recv_face::<T>(dir, false);
         *halo.face_mut(dir, false) = FaceBuffer { data };
     }
+    trace.end(Phase::HaloUnpack);
     halo
 }
 
@@ -94,7 +100,8 @@ mod tests {
         let world = CommWorld::new(grid.clone());
         let local_out = run_spmd(&world, |ctx| {
             let r = ctx.rank();
-            let op = WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
+            let op =
+                WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
             let halo = exchange_halo(ctx, &op, &local_in[r]);
             let mut out = SpinorField::zeros(*grid.local());
             op.apply_with_halo(&mut out, &local_in[r], &halo);

@@ -5,8 +5,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use qdd_field::spinor::HalfSpinor;
 use qdd_lattice::{Dir, RankGrid};
+use qdd_trace::{CommStats, Phase, TraceSink};
 use qdd_util::complex::Real;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
 
 /// Message payload: one face worth of half-spinors, in either precision.
@@ -86,10 +87,26 @@ impl Collective {
 pub struct CommCounters {
     /// Bytes actually sent over the (simulated) network.
     pub bytes_sent: Cell<f64>,
+    /// Bytes per `[dimension][orientation]` (0 = backward, 1 = forward).
+    pub bytes_by_dir: [[Cell<f64>; 2]; 4],
     /// Number of point-to-point messages sent.
     pub messages_sent: Cell<u64>,
     /// Number of collective reductions participated in.
     pub reductions: Cell<u64>,
+}
+
+impl CommCounters {
+    /// Immutable snapshot in the trace crate's exchange format.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.get(),
+            bytes_by_dir: std::array::from_fn(|d| {
+                std::array::from_fn(|o| self.bytes_by_dir[d][o].get())
+            }),
+            messages_sent: self.messages_sent.get(),
+            reductions: self.reductions.get(),
+        }
+    }
 }
 
 /// One rank's endpoint: channels to/from its eight neighbors plus the
@@ -103,6 +120,10 @@ pub struct RankCtx<'w> {
     tx: [[Sender<Payload>; 2]; 4],
     collective: &'w Collective,
     pub counters: CommCounters,
+    /// Trace sink for the rank's communication spans (disabled by
+    /// default). `RefCell` because contexts are handed to rank bodies by
+    /// shared reference; each context lives on exactly one thread.
+    trace: RefCell<TraceSink>,
 }
 
 impl<'w> RankCtx<'w> {
@@ -127,31 +148,52 @@ impl<'w> RankCtx<'w> {
         self.grid.is_split(dir)
     }
 
+    /// Attach a trace sink: subsequent sends, receives and collectives
+    /// record `HaloSend` / `HaloRecv` / `GlobalSum` spans into it.
+    pub fn attach_trace(&self, sink: TraceSink) {
+        *self.trace.borrow_mut() = sink;
+    }
+
+    /// The rank's trace sink (disabled unless attached).
+    pub fn trace(&self) -> TraceSink {
+        self.trace.borrow().clone()
+    }
+
     /// Send one face to the neighbor in `(dir, forward)`. Traffic is
     /// counted only when the neighbor is a different rank.
     pub fn send_face<T: HaloScalar>(&self, dir: Dir, forward: bool, data: Vec<HalfSpinor<T>>) {
+        let mut sent = 0.0;
         if self.is_split(dir) {
             let bytes = (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
             self.counters.bytes_sent.set(self.counters.bytes_sent.get() + bytes);
+            let by_dir = &self.counters.bytes_by_dir[dir.index()][forward as usize];
+            by_dir.set(by_dir.get() + bytes);
             self.counters.messages_sent.set(self.counters.messages_sent.get() + 1);
+            sent = bytes;
         }
-        self.tx[dir.index()][forward as usize]
-            .send(T::wrap(data))
-            .expect("peer rank hung up");
+        let trace = self.trace.borrow();
+        trace.begin(Phase::HaloSend);
+        self.tx[dir.index()][forward as usize].send(T::wrap(data)).expect("peer rank hung up");
+        trace.end_with(Phase::HaloSend, &[("bytes", sent), ("dir", dir.index() as f64)]);
     }
 
     /// Receive one face from the neighbor in `(dir, forward)` (blocking).
     pub fn recv_face<T: HaloScalar>(&self, dir: Dir, forward: bool) -> Vec<HalfSpinor<T>> {
-        let p = self.rx[dir.index()][forward as usize]
-            .recv()
-            .expect("peer rank hung up");
+        let trace = self.trace.borrow();
+        trace.begin(Phase::HaloRecv);
+        let p = self.rx[dir.index()][forward as usize].recv().expect("peer rank hung up");
+        trace.end_with(Phase::HaloRecv, &[("dir", dir.index() as f64)]);
         T::unwrap(p)
     }
 
     /// Deterministic global sum of a small vector of reals.
     pub fn all_sum(&self, vals: &[f64]) -> Vec<f64> {
         self.counters.reductions.set(self.counters.reductions.get() + 1);
-        self.collective.all_sum(self.rank, vals)
+        let trace = self.trace.borrow();
+        trace.begin(Phase::GlobalSum);
+        let out = self.collective.all_sum(self.rank, vals);
+        trace.end(Phase::GlobalSum);
+        out
     }
 
     /// Rank coordinate helpers for boundary-phase decisions.
@@ -184,10 +226,7 @@ impl CommWorld {
 /// Run `body` on every rank concurrently; returns the per-rank results in
 /// rank order. `body` must follow SPMD discipline: all ranks make the same
 /// sequence of collective calls.
-pub fn run_spmd<R: Send>(
-    world: &CommWorld,
-    body: impl Fn(&RankCtx<'_>) -> R + Sync,
-) -> Vec<R> {
+pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + Sync) -> Vec<R> {
     let grid = &world.grid;
     let n = grid.num_ranks();
     let collective = Collective::new(n);
@@ -195,8 +234,10 @@ pub fn run_spmd<R: Send>(
     // Wire channels: for each (receiver rank, dir, orientation) one channel;
     // the sender is neighbor(receiver, dir, o), who addresses it through
     // its own tx[d][!o].
-    let mut rx_slots: Vec<Vec<Option<Receiver<Payload>>>> = (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
-    let mut tx_slots: Vec<Vec<Option<Sender<Payload>>>> = (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
+    let mut rx_slots: Vec<Vec<Option<Receiver<Payload>>>> =
+        (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
+    let mut tx_slots: Vec<Vec<Option<Sender<Payload>>>> =
+        (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
     for r in 0..n {
         for d in 0..4 {
             for o in 0..2 {
@@ -212,13 +253,11 @@ pub fn run_spmd<R: Send>(
     let mut ctxs: Vec<RankCtx<'_>> = Vec::with_capacity(n);
     for (r, (rx_row, tx_row)) in rx_slots.into_iter().zip(tx_slots).enumerate() {
         let mut rx_iter = rx_row.into_iter();
-        let rx: [[Receiver<Payload>; 2]; 4] = std::array::from_fn(|_| {
-            std::array::from_fn(|_| rx_iter.next().unwrap().unwrap())
-        });
+        let rx: [[Receiver<Payload>; 2]; 4] =
+            std::array::from_fn(|_| std::array::from_fn(|_| rx_iter.next().unwrap().unwrap()));
         let mut tx_iter = tx_row.into_iter();
-        let tx: [[Sender<Payload>; 2]; 4] = std::array::from_fn(|_| {
-            std::array::from_fn(|_| tx_iter.next().unwrap().unwrap())
-        });
+        let tx: [[Sender<Payload>; 2]; 4] =
+            std::array::from_fn(|_| std::array::from_fn(|_| tx_iter.next().unwrap().unwrap()));
         ctxs.push(RankCtx {
             rank: r,
             grid,
@@ -226,6 +265,7 @@ pub fn run_spmd<R: Send>(
             tx,
             collective: &collective,
             counters: CommCounters::default(),
+            trace: RefCell::new(TraceSink::disabled()),
         });
     }
 

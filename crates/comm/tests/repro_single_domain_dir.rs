@@ -1,7 +1,9 @@
 //! Repro: DistSchwarz with a direction having exactly ONE global domain
 //! (block spans the full global extent of an unsplit direction).
 
-use qdd_comm::{gather_field, run_spmd, scatter_clover, scatter_field, scatter_gauge, CommWorld, DistSchwarz};
+use qdd_comm::{
+    gather_field, run_spmd, scatter_clover, scatter_field, scatter_gauge, CommWorld, DistSchwarz,
+};
 use qdd_core::mr::MrConfig;
 use qdd_core::schwarz::{SchwarzConfig, SchwarzPreconditioner};
 use qdd_dirac::clover::build_clover_field;

@@ -43,16 +43,20 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         iterations: 0,
         cycles: 1,
         relative_residual: 1.0,
-        history: Vec::new(),
+        history: vec![1.0],
     };
 
+    stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm_sqr = sys.norm_sqr(f, stats).to_f64();
     let mut x = SpinorField::<T>::zeros(dims);
     if f_norm_sqr == 0.0 {
         outcome.converged = true;
         outcome.relative_residual = 0.0;
+        outcome.history = vec![0.0];
+        stats.span_end(qdd_trace::Phase::Solve);
         return (x, outcome);
     }
+    stats.trace_residual(0, 1.0);
     let tol_sqr = cfg.tolerance * cfg.tolerance * f_norm_sqr;
 
     // r = f - A*0 = f ; r_hat = r (shadow residual).
@@ -69,9 +73,11 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
     let mut first = true;
 
     while outcome.iterations < cfg.max_iterations {
+        stats.span_begin(qdd_trace::Phase::OuterIteration);
         let rho = sys.dot(&r_hat, &r, stats);
         stats.add_flops(Component::Other, l1);
         if rho.abs().to_f64() == 0.0 {
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             break; // breakdown
         }
         if first {
@@ -88,6 +94,7 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         let rhv = sys.dot(&r_hat, &v, stats);
         stats.add_flops(Component::Other, l1);
         if rhv.abs().to_f64() == 0.0 {
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
         alpha = rho / rhv;
@@ -105,7 +112,10 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
             r.copy_from(&s);
             outcome.iterations += 1;
             let rn = r.norm_sqr().to_f64();
-            outcome.history.push((rn / f_norm_sqr).sqrt());
+            let rel = (rn / f_norm_sqr).sqrt();
+            outcome.history.push(rel);
+            stats.trace_residual(outcome.iterations as u64, rel);
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
         omega = ts.scale(T::ONE / tt);
@@ -121,7 +131,10 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         stats.count_outer_iteration();
         let rn = sys.norm_sqr(&r, stats).to_f64();
         stats.add_flops(Component::Other, l1);
-        outcome.history.push((rn / f_norm_sqr).sqrt());
+        let rel = (rn / f_norm_sqr).sqrt();
+        outcome.history.push(rel);
+        stats.trace_residual(outcome.iterations as u64, rel);
+        stats.span_end(qdd_trace::Phase::OuterIteration);
         if rn <= tol_sqr {
             break;
         }
@@ -135,6 +148,7 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
     rr.sub_assign(&ax);
     outcome.relative_residual = (sys.norm_sqr(&rr, stats).to_f64() / f_norm_sqr).sqrt();
     outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    stats.span_end(qdd_trace::Phase::Solve);
     (x, outcome)
 }
 
@@ -143,9 +157,9 @@ mod tests {
     use super::*;
     use crate::system::LocalSystem;
     use qdd_dirac::clover::build_clover_field;
-    use qdd_dirac::wilson::WilsonClover;
     use qdd_dirac::gamma::GammaBasis;
     use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_dirac::wilson::WilsonClover;
     use qdd_field::fields::GaugeField;
     use qdd_lattice::Dims;
     use qdd_util::rng::Rng64;

@@ -57,15 +57,19 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
         iterations: 0,
         cycles: 1,
         relative_residual: 1.0,
-        history: Vec::new(),
+        history: vec![1.0],
     };
+    stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm_sqr = sys.norm_sqr(f, stats).to_f64();
     let mut x = SpinorField::<T>::zeros(dims);
     if f_norm_sqr == 0.0 {
         outcome.converged = true;
         outcome.relative_residual = 0.0;
+        outcome.history = vec![0.0];
+        stats.span_end(qdd_trace::Phase::Solve);
         return (x, outcome);
     }
+    stats.trace_residual(0, 1.0);
     let tol_sqr = cfg.tolerance * cfg.tolerance * f_norm_sqr;
 
     // r = f (residual of A x = f); s = A^dag r (residual of the normal eq).
@@ -77,11 +81,13 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
 
     let mut ap = SpinorField::zeros(dims);
     while outcome.iterations < cfg.max_iterations {
+        stats.span_begin(qdd_trace::Phase::OuterIteration);
         // ap = A p
         sys.apply(&mut ap, &p, stats);
         let ap_norm_sqr = sys.norm_sqr(&ap, stats).to_f64();
         stats.add_flops(Component::Other, l1);
         if ap_norm_sqr == 0.0 {
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
         let alpha = T::from_f64(gamma / ap_norm_sqr);
@@ -92,8 +98,11 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
         stats.count_outer_iteration();
 
         let r_norm_sqr = sys.norm_sqr(&r, stats).to_f64();
-        outcome.history.push((r_norm_sqr / f_norm_sqr).sqrt());
+        let rel = (r_norm_sqr / f_norm_sqr).sqrt();
+        outcome.history.push(rel);
+        stats.trace_residual(outcome.iterations as u64, rel);
         if r_norm_sqr <= tol_sqr {
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
 
@@ -105,6 +114,7 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
         p.xpay(&s, Complex::real(beta));
         stats.add_flops(Component::Other, l1);
         gamma = gamma_new;
+        stats.span_end(qdd_trace::Phase::OuterIteration);
         if gamma == 0.0 {
             break;
         }
@@ -116,6 +126,7 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
     rr.sub_assign(&ax);
     outcome.relative_residual = (sys.norm_sqr(&rr, stats).to_f64() / f_norm_sqr).sqrt();
     outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    stats.span_end(qdd_trace::Phase::Solve);
     (x, outcome)
 }
 
@@ -183,7 +194,12 @@ mod tests {
 
         let op = operator(dims, 0.6, 0.15, 92);
         let mut s1 = SolveStats::new();
-        let (_, cg_out) = cgnr(&LocalSystem::new(&op), &f, &CgConfig { tolerance: 1e-8, max_iterations: 20_000 }, &mut s1);
+        let (_, cg_out) = cgnr(
+            &LocalSystem::new(&op),
+            &f,
+            &CgConfig { tolerance: 1e-8, max_iterations: 20_000 },
+            &mut s1,
+        );
         let mut s2 = SolveStats::new();
         let (_, bi_out) = bicgstab(
             &LocalSystem::new(&op),

@@ -112,16 +112,20 @@ impl DdSolver {
             iterations: 0,
             cycles: 0,
             relative_residual: 1.0,
-            history: Vec::new(),
+            history: vec![1.0],
         };
+        stats.span_begin(qdd_trace::Phase::Solve);
         let f_norm = f.norm();
         stats.count_global_sum();
         let mut x = SpinorField::<f64>::zeros(dims);
         if f_norm == 0.0 {
             outcome.converged = true;
             outcome.relative_residual = 0.0;
+            outcome.history = vec![0.0];
+            stats.span_end(qdd_trace::Phase::Solve);
             return (x, outcome);
         }
+        stats.trace_residual(0, 1.0);
 
         let inner_cfg = FgmresConfig { tolerance: inner_tolerance, ..self.cfg.fgmres };
         let op32 = self.pre.op();
@@ -130,14 +134,14 @@ impl DdSolver {
         // Each f32 inner solve gains a factor inner_tolerance; cap the
         // outer refinements generously.
         for _ in 0..60 {
-            outcome.cycles += 1;
             let rel = r.norm() / f_norm;
             stats.count_global_sum();
-            outcome.history.push(rel);
             if rel < tol {
                 outcome.converged = true;
                 break;
             }
+            outcome.cycles += 1;
+            stats.span_begin(qdd_trace::Phase::OuterIteration);
             // Inner f32 DD solve: A32 d = r.
             let r32: SpinorField<f32> = r.cast();
             let pre = &self.pre;
@@ -151,27 +155,34 @@ impl DdSolver {
             };
             let (d32, inner_out) = fgmres_dr(&sys32, &r32, &mut precond, &inner_cfg, stats);
             outcome.iterations += inner_out.iterations;
+            // Rescale the inner trajectory by the cycle-start residual so
+            // the outer history has one entry per inner iteration
+            // (`history.len() == iterations + 1`).
+            outcome.history.extend(inner_out.history[1..].iter().map(|h| h * rel));
             let d: SpinorField<f64> = d32.cast();
             x.axpy(qdd_util::complex::Complex::ONE, &d);
             // True f64 residual.
             let mut ax = SpinorField::zeros(dims);
             self.op.apply(&mut ax, &x);
-            stats.add_flops(
-                qdd_util::stats::Component::OperatorA,
-                self.op.apply_flops(),
-            );
+            stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
             stats.count_operator_application();
             r.copy_from(f);
             r.sub_assign(&ax);
+            stats.span_end(qdd_trace::Phase::OuterIteration);
         }
         outcome.relative_residual = r.norm() / f_norm;
         stats.count_global_sum();
         outcome.converged = outcome.relative_residual < tol;
+        stats.span_end(qdd_trace::Phase::Solve);
         (x, outcome)
     }
 
     /// Solve `A x = f` to the configured tolerance.
-    pub fn solve(&self, f: &SpinorField<f64>, stats: &mut SolveStats) -> (SpinorField<f64>, SolveOutcome) {
+    pub fn solve(
+        &self,
+        f: &SpinorField<f64>,
+        stats: &mut SolveStats,
+    ) -> (SpinorField<f64>, SolveOutcome) {
         let pre = &self.pre;
         let workers = self.cfg.workers;
         let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
@@ -209,7 +220,12 @@ mod tests {
 
     fn config(block: Dims, i_schwarz: usize, i_domain: usize) -> DdSolverConfig {
         DdSolverConfig {
-            fgmres: FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-10, max_iterations: 400 },
+            fgmres: FgmresConfig {
+                max_basis: 8,
+                deflate: 4,
+                tolerance: 1e-10,
+                max_iterations: 400,
+            },
             schwarz: SchwarzConfig {
                 block,
                 i_schwarz,
@@ -248,7 +264,9 @@ mod tests {
 
         let op = operator(dims, 0.5, 0.15, 104);
         let mut s_dd = SolveStats::new();
-        let solver = DdSolver::new(operator(dims, 0.5, 0.15, 104), config(Dims::new(4, 4, 2, 2), 6, 4)).unwrap();
+        let solver =
+            DdSolver::new(operator(dims, 0.5, 0.15, 104), config(Dims::new(4, 4, 2, 2), 6, 4))
+                .unwrap();
         let (_, dd_out) = solver.solve(&f, &mut s_dd);
         assert!(dd_out.converged);
 
@@ -338,10 +356,10 @@ mod tests {
         let mut d = x.clone();
         d.sub_assign(&x_ref);
         assert!(d.norm() < 1e-8 * x_ref.norm());
-        // Outer refinement history is monotone.
-        for w in out.history.windows(2) {
-            assert!(w[1] < w[0]);
-        }
+        // One continuous trajectory descending from 1.0 to the target.
+        assert_eq!(out.history.len(), out.iterations + 1);
+        assert_eq!(out.history[0], 1.0);
+        assert!(*out.history.last().unwrap() < 1e-9);
     }
 
     #[test]
@@ -363,8 +381,12 @@ mod tests {
         let solver32 = DdSolver::new(operator(dims, 0.5, 0.2, 114), cfg32).unwrap();
         let mut st = SolveStats::new();
         let (_, out32) = solver32.solve(&f, &mut st);
-        assert!(out.iterations <= out32.iterations + 4,
-            "f16 spinors degraded too much: {} vs {}", out.iterations, out32.iterations);
+        assert!(
+            out.iterations <= out32.iterations + 4,
+            "f16 spinors degraded too much: {} vs {}",
+            out.iterations,
+            out32.iterations
+        );
     }
 
     #[test]

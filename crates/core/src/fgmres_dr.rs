@@ -15,7 +15,7 @@
 
 use crate::system::SystemOps;
 use qdd_field::fields::SpinorField;
-use qdd_util::complex::{Complex, C64, Real};
+use qdd_util::complex::{Complex, Real, C64};
 use qdd_util::linalg::{harmonic_ritz, householder_qr, CMat};
 use qdd_util::stats::{Component, SolveStats};
 
@@ -49,7 +49,14 @@ pub struct SolveOutcome {
     pub cycles: usize,
     /// Final relative residual (true residual, recomputed).
     pub relative_residual: f64,
-    /// Per-iteration relative-residual estimates.
+    /// Relative-residual trajectory, starting from the initial residual:
+    /// `history[0]` is the relative residual before the first iteration
+    /// (1.0 for a nonzero right-hand side, 0.0 for a zero one) and
+    /// `history[i]` the estimate after iteration `i`, so
+    /// `history.len() == iterations + 1` always holds. Entries are the
+    /// solvers' cheap per-iteration *estimates* (least-squares residual
+    /// for GMRES, recurrence residuals elsewhere); only
+    /// `relative_residual` is recomputed as a true residual.
     pub history: Vec<f64>,
 }
 
@@ -72,20 +79,24 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
     let vol = dims.volume() as f64;
     let l1_flops = 96.0 * vol;
 
+    stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm = sys.norm_sqr(f, stats).to_f64().sqrt();
     let mut outcome = SolveOutcome {
         converged: false,
         iterations: 0,
         cycles: 0,
         relative_residual: 1.0,
-        history: Vec::new(),
+        history: vec![1.0],
     };
     let mut x = SpinorField::<T>::zeros(dims);
     if f_norm == 0.0 {
         outcome.converged = true;
         outcome.relative_residual = 0.0;
+        outcome.history = vec![0.0];
+        stats.span_end(qdd_trace::Phase::Solve);
         return (x, outcome);
     }
+    stats.trace_residual(0, 1.0);
 
     // Krylov data for one cycle.
     let mut v: Vec<SpinorField<T>> = Vec::with_capacity(m + 1);
@@ -112,9 +123,15 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
             c[0] = Complex::new(beta, 0.0);
         }
 
+        // `start_col` is reassigned at restart, right before `continue
+        // 'outer` re-enters this loop and re-reads it as the new bound.
+        #[allow(clippy::mut_range_bound)]
         for j in start_col..m {
+            stats.span_begin(qdd_trace::Phase::ArnoldiStep);
             // Flexible preconditioned direction.
+            stats.span_begin(qdd_trace::Phase::Precondition);
             let zj = precond(&v[j], stats);
+            stats.span_end(qdd_trace::Phase::Precondition);
             // w = A z_j
             let mut w = SpinorField::zeros(dims);
             sys.apply(&mut w, &zj, stats);
@@ -122,6 +139,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
 
             // Classical Gram-Schmidt, one batched global sum for the
             // projections and one for the norm.
+            stats.span_begin(qdd_trace::Phase::GramSchmidt);
             let coeffs = sys.dots_batched(&v, &w, stats);
             for (i, &hij) in coeffs.iter().enumerate() {
                 w.axpy(-hij, &v[i]);
@@ -130,6 +148,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
             stats.add_flops(Component::GramSchmidt, 2.0 * (j + 1) as f64 * l1_flops);
             let h_next = sys.norm_sqr(&w, stats).to_f64().sqrt();
             stats.add_flops(Component::GramSchmidt, l1_flops);
+            stats.span_end(qdd_trace::Phase::GramSchmidt);
             hbar[(j + 1, j)] = Complex::new(h_next, 0.0);
             if h_next > 0.0 {
                 let mut vn = w;
@@ -149,10 +168,11 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
             let (y, rho) = solve_ls(&hbar, &c, rows, cols);
             let rel = rho / f_norm;
             outcome.history.push(rel);
+            stats.trace_residual(outcome.iterations as u64, rel);
+            stats.span_end(qdd_trace::Phase::ArnoldiStep);
 
-            let done = rel < cfg.tolerance
-                || outcome.iterations >= cfg.max_iterations
-                || h_next == 0.0;
+            let done =
+                rel < cfg.tolerance || outcome.iterations >= cfg.max_iterations || h_next == 0.0;
             if done || j + 1 == m {
                 // Form the solution update x += Z y.
                 for (i, yi) in y.iter().enumerate() {
@@ -201,6 +221,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
     rr.sub_assign(&ax);
     outcome.relative_residual = sys.norm_sqr(&rr, stats).to_f64().sqrt() / f_norm;
     outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    stats.span_end(qdd_trace::Phase::Solve);
     (x, outcome)
 }
 
@@ -314,10 +335,7 @@ fn deflated_restart<T: Real>(
         }
         new_z.push(acc);
     }
-    stats.add_flops(
-        Component::Other,
-        ((m + 1) * kp1 + m * kk) as f64 * l1_flops,
-    );
+    stats.add_flops(Component::Other, ((m + 1) * kp1 + m * kk) as f64 * l1_flops);
 
     // Hbar' = Phat^H Hbar P  ((kk+1) x kk), embedded in the (m+1) x m frame.
     let hp = hbar.submatrix(0, 0, m + 1, m).mul(&p);
@@ -351,9 +369,9 @@ mod tests {
     use super::*;
     use crate::system::LocalSystem;
     use qdd_dirac::clover::build_clover_field;
-    use qdd_dirac::wilson::WilsonClover;
     use qdd_dirac::gamma::GammaBasis;
     use qdd_dirac::wilson::BoundaryPhases;
+    use qdd_dirac::wilson::WilsonClover;
     use qdd_field::fields::GaugeField;
     use qdd_lattice::Dims;
     use qdd_util::rng::Rng64;
@@ -399,12 +417,8 @@ mod tests {
 
         let run = |k: usize| {
             let op = operator(dims, 0.7, 0.05, 64);
-            let cfg = FgmresConfig {
-                max_basis: 8,
-                deflate: k,
-                tolerance: 1e-8,
-                max_iterations: 600,
-            };
+            let cfg =
+                FgmresConfig { max_basis: 8, deflate: k, tolerance: 1e-8, max_iterations: 600 };
             let mut stats = SolveStats::new();
             let mut pre = identity_precond();
             let (_, out) = fgmres_dr(&LocalSystem::new(&op), &f, &mut pre, &cfg, &mut stats);
@@ -413,10 +427,7 @@ mod tests {
         };
         let plain = run(0);
         let deflated = run(4);
-        assert!(
-            deflated <= plain,
-            "deflated {deflated} should not exceed plain {plain}"
-        );
+        assert!(deflated <= plain, "deflated {deflated} should not exceed plain {plain}");
     }
 
     #[test]
@@ -426,7 +437,8 @@ mod tests {
         let f = SpinorField::<f64>::zeros(dims);
         let mut stats = SolveStats::new();
         let mut pre = identity_precond();
-        let (x, out) = fgmres_dr(&LocalSystem::new(&op), &f, &mut pre, &FgmresConfig::default(), &mut stats);
+        let (x, out) =
+            fgmres_dr(&LocalSystem::new(&op), &f, &mut pre, &FgmresConfig::default(), &mut stats);
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
         assert_eq!(x.norm_sqr(), 0.0);
@@ -443,7 +455,9 @@ mod tests {
         let mut stats = SolveStats::new();
         let mut pre = identity_precond();
         let (_, out) = fgmres_dr(&LocalSystem::new(&op), &f, &mut pre, &cfg, &mut stats);
-        for win in out.history.chunks(10) {
+        assert_eq!(out.history.len(), out.iterations + 1);
+        assert_eq!(out.history[0], 1.0);
+        for win in out.history[1..].chunks(10) {
             for pair in win.windows(2) {
                 assert!(pair[1] <= pair[0] * (1.0 + 1e-9), "{} -> {}", pair[0], pair[1]);
             }

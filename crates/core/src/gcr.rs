@@ -47,16 +47,20 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
         iterations: 0,
         cycles: 0,
         relative_residual: 1.0,
-        history: Vec::new(),
+        history: vec![1.0],
     };
 
+    stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm = sys.norm_sqr(f, stats).to_f64().sqrt();
     let mut x = SpinorField::<T>::zeros(dims);
     if f_norm == 0.0 {
         outcome.converged = true;
         outcome.relative_residual = 0.0;
+        outcome.history = vec![0.0];
+        stats.span_end(qdd_trace::Phase::Solve);
         return (x, outcome);
     }
+    stats.trace_residual(0, 1.0);
 
     let mut r = f.clone();
     // Stored search directions z_i and their images q_i = A z_i with
@@ -69,8 +73,11 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
         zs.clear();
         qs.clear();
         loop {
+            stats.span_begin(qdd_trace::Phase::OuterIteration);
             // New preconditioned direction.
+            stats.span_begin(qdd_trace::Phase::Precondition);
             let z = precond(&r, stats);
+            stats.span_end(qdd_trace::Phase::Precondition);
             let mut q = SpinorField::zeros(dims);
             sys.apply(&mut q, &z, stats);
             // Orthogonalize q against previous q_i (and update z the same
@@ -83,14 +90,12 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
             }
             // len batched dots + 2*len axpys (both q and z are updated),
             // plus the norm and the two rescales.
-            stats.add_flops(
-                Component::GramSchmidt,
-                (3.0 * coeffs.len() as f64 + 1.5) * l1,
-            );
+            stats.add_flops(Component::GramSchmidt, (3.0 * coeffs.len() as f64 + 1.5) * l1);
             let qn = sys.norm_sqr(&q, stats).to_f64().sqrt();
             if qn == 0.0 {
                 // Breakdown: the preconditioner returned a direction in
                 // the span of the previous ones.
+                stats.span_end(qdd_trace::Phase::OuterIteration);
                 break 'outer;
             }
             let inv = Complex::real(T::from_f64(1.0 / qn));
@@ -109,6 +114,8 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
             stats.count_outer_iteration();
             let rel = sys.norm_sqr(&r, stats).to_f64().sqrt() / f_norm;
             outcome.history.push(rel);
+            stats.trace_residual(outcome.iterations as u64, rel);
+            stats.span_end(qdd_trace::Phase::OuterIteration);
             if rel < cfg.tolerance || outcome.iterations >= cfg.max_iterations {
                 break 'outer;
             }
@@ -125,6 +132,7 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
     rr.sub_assign(&ax);
     outcome.relative_residual = sys.norm_sqr(&rr, stats).to_f64().sqrt() / f_norm;
     outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    stats.span_end(qdd_trace::Phase::Solve);
     (x, outcome)
 }
 
@@ -182,6 +190,7 @@ mod tests {
         let cfg = GcrConfig { restart: 8, tolerance: 1e-8, max_iterations: 600 };
         let (_, out) = gcr(&sys, &f, &mut ident, &cfg, &mut stats);
         assert!(out.converged);
+        assert_eq!(out.history.len(), out.iterations + 1);
         for w in out.history.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-10), "{} -> {}", w[0], w[1]);
         }

@@ -62,10 +62,8 @@ impl<T: Real> SchwarzPreconditioner<T> {
     pub fn new(op: WilsonClover<T>, cfg: SchwarzConfig) -> Option<Self> {
         let grid = DomainGrid::new(*op.dims(), cfg.block);
         let fields = DomainFields::new(&op)?;
-        let colors = [
-            grid.domains_of_color(DomainColor::Black),
-            grid.domains_of_color(DomainColor::White),
-        ];
+        let colors =
+            [grid.domains_of_color(DomainColor::Black), grid.domains_of_color(DomainColor::White)];
         Some(Self { op, fields, grid, cfg, colors })
     }
 
@@ -86,14 +84,14 @@ impl<T: Real> SchwarzPreconditioner<T> {
 
     /// Compute the update `(z_e, z_o)` for one domain from the current
     /// iterate (read through `fetch`), and the flops spent.
+    #[allow(clippy::type_complexity)]
     fn block_update<F: Fn(usize) -> Spinor<T>>(
         &self,
         dom_idx: usize,
         f: &SpinorField<T>,
         fetch: F,
     ) -> (SchurOperator<'_, T>, Vec<Spinor<T>>, Vec<Spinor<T>>, f64) {
-        let schur =
-            SchurOperator::new(&self.op, &self.fields, self.grid.domain(dom_idx));
+        let schur = SchurOperator::new(&self.op, &self.fields, self.grid.domain(dom_idx));
         let au = |g: usize| self.op.apply_site_with(g, &fetch);
         let (z_e, z_o, flops) = schwarz_block_update(&schur, &self.cfg.mr, f, au);
         (schur, z_e, z_o, flops)
@@ -105,11 +103,14 @@ impl<T: Real> SchwarzPreconditioner<T> {
         let mut u = SpinorField::zeros(*f.dims());
         let mut flops = 0.0;
         for _ in 0..self.cfg.i_schwarz {
+            stats.span_begin(qdd_trace::Phase::SchwarzSweep);
             if self.cfg.additive {
                 // All updates from the frozen iterate.
                 let mut updates = Vec::with_capacity(self.grid.num_domains());
                 for dom_idx in 0..self.grid.num_domains() {
+                    stats.span_begin(qdd_trace::Phase::DomainSolve);
                     let (_, z_e, z_o, fl) = self.block_update(dom_idx, f, |i| *u.site(i));
+                    stats.span_end(qdd_trace::Phase::DomainSolve);
                     updates.push((dom_idx, z_e, z_o));
                     flops += fl;
                 }
@@ -121,15 +122,19 @@ impl<T: Real> SchwarzPreconditioner<T> {
                 }
             } else {
                 for color in DomainColor::ALL {
+                    stats.span_begin(qdd_trace::Phase::ColorSweep);
                     for &dom_idx in &self.colors[color as usize] {
-                        let (schur, z_e, z_o, fl) =
-                            self.block_update(dom_idx, f, |i| *u.site(i));
+                        stats.span_begin(qdd_trace::Phase::DomainSolve);
+                        let (schur, z_e, z_o, fl) = self.block_update(dom_idx, f, |i| *u.site(i));
                         schur.scatter_add_cb(&mut u, &z_e, Parity::Even);
                         schur.scatter_add_cb(&mut u, &z_o, Parity::Odd);
+                        stats.span_end(qdd_trace::Phase::DomainSolve);
                         flops += fl;
                     }
+                    stats.span_end(qdd_trace::Phase::ColorSweep);
                 }
             }
+            stats.span_end(qdd_trace::Phase::SchwarzSweep);
         }
         stats.add_flops(Component::PreconditionerM, flops);
         u
@@ -157,7 +162,7 @@ impl<T: Real> SchwarzPreconditioner<T> {
         for d in qdd_lattice::Dir::ALL {
             let e = self.grid.grid()[d];
             assert!(
-                e % 2 == 0 || e == 1,
+                e.is_multiple_of(2) || e == 1,
                 "domain grid extent {e} in {d} is odd: two-coloring breaks and \
                  parallel half-sweeps would race; use the serial apply() or an \
                  even number of domains per direction"
@@ -168,6 +173,9 @@ impl<T: Real> SchwarzPreconditioner<T> {
         let shared = SharedSpinors::new(u.as_mut_slice());
         let barrier = SpinBarrier::new(workers);
         let mut worker_flops = vec![0.0f64; workers];
+        // Workers record into per-thread lanes (tid = worker + 1; lane 0 is
+        // the rank's main thread) and flush once at the end of the sweep.
+        let sink = stats.sink().clone();
 
         crossbeam::scope(|s| {
             let mut handles = Vec::with_capacity(workers);
@@ -175,14 +183,18 @@ impl<T: Real> SchwarzPreconditioner<T> {
                 let barrier = &barrier;
                 let this = &self;
                 let f_ref = f;
+                let sink = &sink;
                 handles.push(s.spawn(move |_| {
                     let sense = Cell::new(false);
+                    let mut rec = sink.thread(w as u32 + 1);
                     let mut flops = 0.0;
                     for _ in 0..this.cfg.i_schwarz {
                         for color in DomainColor::ALL {
+                            rec.begin(qdd_trace::Phase::ColorSweep);
                             let list = &this.colors[color as usize];
                             let range = blocked_ranges(list.len(), workers)[w].clone();
                             for &dom_idx in &list[range] {
+                                rec.begin(qdd_trace::Phase::DomainSolve);
                                 // SAFETY: reads touch the domain (owned by
                                 // this worker in this epoch) and its
                                 // opposite-color neighbors (not written in
@@ -202,10 +214,13 @@ impl<T: Real> SchwarzPreconditioner<T> {
                                     Parity::Odd,
                                 );
                                 flops += fl;
+                                rec.end(qdd_trace::Phase::DomainSolve);
                             }
+                            rec.end(qdd_trace::Phase::ColorSweep);
                             barrier.wait(&sense);
                         }
                     }
+                    rec.flush();
                     flops
                 }));
             }
@@ -330,11 +345,9 @@ mod tests {
 
         let mut prev = 1.0;
         for sweeps in [1, 2, 4, 8] {
-            let pre = SchwarzPreconditioner::new(
-                operator(dims, 0.4, 0.3, 51),
-                config(sweeps, 4, block),
-            )
-            .unwrap();
+            let pre =
+                SchwarzPreconditioner::new(operator(dims, 0.4, 0.3, 51), config(sweeps, 4, block))
+                    .unwrap();
             let mut stats = SolveStats::new();
             let u = pre.apply(&f, &mut stats);
             let q = preconditioner_quality(&op, &f, &u);
@@ -358,10 +371,8 @@ mod tests {
         add_cfg.additive = true;
         mult_cfg.additive = false;
 
-        let pre_m =
-            SchwarzPreconditioner::new(operator(dims, 0.4, 0.3, 54), mult_cfg).unwrap();
-        let pre_a =
-            SchwarzPreconditioner::new(operator(dims, 0.4, 0.3, 54), add_cfg).unwrap();
+        let pre_m = SchwarzPreconditioner::new(operator(dims, 0.4, 0.3, 54), mult_cfg).unwrap();
+        let pre_a = SchwarzPreconditioner::new(operator(dims, 0.4, 0.3, 54), add_cfg).unwrap();
         let mut stats = SolveStats::new();
         let qm = preconditioner_quality(&op, &f, &pre_m.apply(&f, &mut stats));
         let qa = preconditioner_quality(&op, &f, &pre_a.apply(&f, &mut stats));
@@ -375,18 +386,13 @@ mod tests {
         let mut rng = Rng64::new(55);
         let f = SpinorField::<f64>::random(dims, &mut rng);
         let pre =
-            SchwarzPreconditioner::new(operator(dims, 0.5, 0.2, 56), config(3, 4, block))
-                .unwrap();
+            SchwarzPreconditioner::new(operator(dims, 0.5, 0.2, 56), config(3, 4, block)).unwrap();
         let mut stats = SolveStats::new();
         let serial = pre.apply(&f, &mut stats);
         for workers in [1, 2, 3, 8] {
             let mut pstats = SolveStats::new();
             let parallel = pre.apply_parallel(&f, workers, &mut pstats);
-            assert_eq!(
-                serial.as_slice(),
-                parallel.as_slice(),
-                "workers={workers} diverged"
-            );
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "workers={workers} diverged");
             // Flop accounting identical too.
             assert!(
                 (stats.flops(Component::PreconditionerM)

@@ -77,12 +77,20 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
     }
 
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
+        stats.span_begin(qdd_trace::Phase::OperatorApply);
         self.op.apply(out, inp);
         stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
         stats.count_operator_application();
+        stats.span_end(qdd_trace::Phase::OperatorApply);
     }
 
-    fn apply_adjoint(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
+    fn apply_adjoint(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        stats: &mut SolveStats,
+    ) {
+        stats.span_begin(qdd_trace::Phase::OperatorApply);
         let basis = self.op.basis();
         let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
         self.op.apply(out, &g5in);
@@ -91,6 +99,7 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
         }
         stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
         stats.count_operator_application();
+        stats.span_end(qdd_trace::Phase::OperatorApply);
     }
 
     fn apply_flops(&self) -> f64 {
@@ -98,13 +107,19 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
     }
 
     fn dot(&self, a: &SpinorField<T>, b: &SpinorField<T>, stats: &mut SolveStats) -> Complex<T> {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
         stats.count_global_sum();
-        a.dot(b)
+        let d = a.dot(b);
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        d
     }
 
     fn norm_sqr(&self, a: &SpinorField<T>, stats: &mut SolveStats) -> T {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
         stats.count_global_sum();
-        a.norm_sqr()
+        let n = a.norm_sqr();
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        n
     }
 
     fn dots_batched(
@@ -113,8 +128,11 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
         w: &SpinorField<T>,
         stats: &mut SolveStats,
     ) -> Vec<Complex<T>> {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
         stats.count_global_sum();
-        vs.iter().map(|v| v.dot(w)).collect()
+        let ds = vs.iter().map(|v| v.dot(w)).collect();
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        ds
     }
 
     fn dot_and_norm(
@@ -123,7 +141,10 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
         b: &SpinorField<T>,
         stats: &mut SolveStats,
     ) -> (Complex<T>, T) {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
         stats.count_global_sum();
-        (a.dot(b), a.norm_sqr())
+        let dn = (a.dot(b), a.norm_sqr());
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        dn
     }
 }

@@ -39,9 +39,7 @@ impl<T: Real> DomainFields<T> {
         for site in 0..dims.volume() {
             data.push(op.diag().site(site).invert()?);
         }
-        Some(Self {
-            diag_inv: CloverField::from_fn(dims, |s| data[s]),
-        })
+        Some(Self { diag_inv: CloverField::from_fn(dims, |s| data[s]) })
     }
 
     #[inline]

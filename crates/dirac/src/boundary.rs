@@ -83,11 +83,7 @@ pub fn self_halo<T: Real>(op: &WilsonClover<T>, inp: &SpinorField<T>) -> HaloDat
 pub fn halo_bytes_per_exchange<T: Real>(op: &WilsonClover<T>, split: [bool; 4]) -> usize {
     let dims = *op.dims();
     let per_site = HalfSpinor::<T>::REALS * std::mem::size_of::<T>();
-    Dir::ALL
-        .iter()
-        .filter(|d| split[d.index()])
-        .map(|&d| 2 * dims.face_area(d) * per_site)
-        .sum()
+    Dir::ALL.iter().filter(|d| split[d.index()]).map(|&d| 2 * dims.face_area(d) * per_site).sum()
 }
 
 #[cfg(test)]

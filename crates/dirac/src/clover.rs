@@ -33,27 +33,17 @@ fn clover_leaves(
     // Leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
     let xmmu = step(x, mu, false);
     let xmmu_pnu = step(&xmmu, nu, true);
-    let l2 = u(x, nu)
-        .mul_adj(u(&xmmu_pnu, mu))
-        .mul_adj(u(&xmmu, nu))
-        .mul(u(&xmmu, mu));
+    let l2 = u(x, nu).mul_adj(u(&xmmu_pnu, mu)).mul_adj(u(&xmmu, nu)).mul(u(&xmmu, mu));
 
     // Leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
     let xmnu = step(x, nu, false);
     let xmmu_mnu = step(&xmmu, nu, false);
-    let l3 = u(&xmmu, mu)
-        .adjoint()
-        .mul_adj(u(&xmmu_mnu, nu))
-        .mul(u(&xmmu_mnu, mu))
-        .mul(u(&xmnu, nu));
+    let l3 =
+        u(&xmmu, mu).adjoint().mul_adj(u(&xmmu_mnu, nu)).mul(u(&xmmu_mnu, mu)).mul(u(&xmnu, nu));
 
     // Leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
     let xpmu_mnu = step(&xpmu, nu, false);
-    let l4 = u(&xmnu, nu)
-        .adjoint()
-        .mul(u(&xmnu, mu))
-        .mul(u(&xpmu_mnu, nu))
-        .mul_adj(u(x, mu));
+    let l4 = u(&xmnu, nu).adjoint().mul(u(&xmnu, mu)).mul(u(&xpmu_mnu, nu)).mul_adj(u(x, mu));
 
     l1.add(&l2).add(&l3).add(&l4)
 }
@@ -79,7 +69,11 @@ fn field_strength(
 /// Build the clover field `D_cl = csw * sum_{mu<nu} i sigma_munu F_munu`
 /// for every site. Construction is done in f64 and can be `cast()` down
 /// for the preconditioner.
-pub fn build_clover_field(gauge: &GaugeField<f64>, csw: f64, basis: &GammaBasis) -> CloverField<f64> {
+pub fn build_clover_field(
+    gauge: &GaugeField<f64>,
+    csw: f64,
+    basis: &GammaBasis,
+) -> CloverField<f64> {
     let dims = *gauge.dims();
     let idx = SiteIndexer::new(dims);
     CloverField::from_fn(dims, |site| {

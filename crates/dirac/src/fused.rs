@@ -69,6 +69,7 @@ impl<T: Real, const N: usize> FusedGauge<T, N> {
 /// 6 real diagonals and 15 complex off-diagonals (re/im split).
 pub struct FusedClover<T: Real, const N: usize> {
     /// `[parity][tile][chirality]` -> (diag[6], off_re_im[30]).
+    #[allow(clippy::type_complexity)]
     data: [Vec<[([VReal<T, N>; 6], [VReal<T, N>; 30]); 2]>; 2],
 }
 
@@ -202,10 +203,7 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
 
     /// Fetch a spinor tile with lanes permuted (and masked lanes zeroed).
     #[inline]
-    fn permuted_tile(
-        src: &FusedTile<T, N>,
-        pattern: &Pattern<N>,
-    ) -> FusedTile<T, N> {
+    fn permuted_tile(src: &FusedTile<T, N>, pattern: &Pattern<N>) -> FusedTile<T, N> {
         std::array::from_fn(|c| {
             let permuted = src[c].permute(&pattern.table);
             VReal::ZERO.masked_add(&pattern.mask, permuted)
@@ -726,8 +724,7 @@ mod tests {
         // Cross-check against the f64 scalar path at f32 accuracy.
         let fields = DomainFields::new(&op).unwrap();
         let schur = SchurOperator::new(&op, &fields, domain);
-        let mut block_in: Vec<Spinor<f64>> =
-            in_e.iter().map(|s| s.cast()).collect();
+        let mut block_in: Vec<Spinor<f64>> = in_e.iter().map(|s| s.cast()).collect();
         block_in.extend(in_o.iter().map(|s| s.cast::<f64>()));
         let mut expect = vec![Spinor::ZERO; 2 * n];
         schur.apply_block_full(&mut expect, &block_in);

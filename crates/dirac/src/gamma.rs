@@ -121,20 +121,14 @@ impl Gamma {
     /// (`+-1` or `+-i`). Used by the site-fused kernels.
     pub fn proj_rule(&self, plus: bool) -> [(usize, C64); 2] {
         let k = plus as usize;
-        [
-            (self.proj_src[0], self.proj_coef[0][k]),
-            (self.proj_src[1], self.proj_coef[1][k]),
-        ]
+        [(self.proj_src[0], self.proj_coef[0][k]), (self.proj_src[1], self.proj_coef[1][k])]
     }
 
     /// The reconstruction rule for spin rows 2 and 3:
     /// `psi_{2+s} = coef_s * h_{src_s}`.
     pub fn recon_rule(&self, plus: bool) -> [(usize, C64); 2] {
         let k = plus as usize;
-        [
-            (self.recon_src[0], self.recon_coef[0][k]),
-            (self.recon_src[1], self.recon_coef[1][k]),
-        ]
+        [(self.recon_src[0], self.recon_coef[0][k]), (self.recon_src[1], self.recon_coef[1][k])]
     }
 
     /// Apply the full matrix `(1 + sign*gamma)` naively (reference path).
@@ -240,7 +234,8 @@ impl GammaBasis {
 
         let gamma = [Gamma::derive(gx), Gamma::derive(gy), Gamma::derive(gz), Gamma::derive(gt)];
 
-        let gamma5 = mat_mul(&mat_mul(&gamma[0].mat, &gamma[1].mat), &mat_mul(&gamma[2].mat, &gamma[3].mat));
+        let gamma5 =
+            mat_mul(&mat_mul(&gamma[0].mat, &gamma[1].mat), &mat_mul(&gamma[2].mat, &gamma[3].mat));
 
         let mut sigma = [[[[C64::ZERO; 4]; 4]; 4]; 4];
         for mu in 0..4 {

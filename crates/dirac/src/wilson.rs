@@ -171,7 +171,11 @@ impl<T: Real> WilsonClover<T> {
         let u = self.gauge.link(x_idx, dir);
         let h = HalfSpinor([u.mul_vec(h.0[0]), u.mul_vec(h.0[1])]);
         let m_half = T::from_f64(-0.5);
-        gamma.reconstruct_add(false, &HalfSpinor([h.0[0].scale(m_half), h.0[1].scale(m_half)]), acc);
+        gamma.reconstruct_add(
+            false,
+            &HalfSpinor([h.0[0].scale(m_half), h.0[1].scale(m_half)]),
+            acc,
+        );
     }
 
     /// Backward hop where the link of the backward neighbor is applied.
@@ -219,7 +223,11 @@ impl<T: Real> WilsonClover<T> {
             *h
         };
         let m_half = T::from_f64(-0.5);
-        gamma.reconstruct_add(!forward, &HalfSpinor([h.0[0].scale(m_half), h.0[1].scale(m_half)]), acc);
+        gamma.reconstruct_add(
+            !forward,
+            &HalfSpinor([h.0[0].scale(m_half), h.0[1].scale(m_half)]),
+            acc,
+        );
     }
 
     /// `(A psi)(x)` for a single site, with periodic wrap-around (and
@@ -426,10 +434,7 @@ mod tests {
 
         let lhs = x.dot(&g5ag5y);
         let rhs = ax.dot(&y);
-        assert!(
-            (lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0),
-            "lhs={lhs:?} rhs={rhs:?}"
-        );
+        assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0), "lhs={lhs:?} rhs={rhs:?}");
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl<T: Real> Herm6<T> {
                     p = i;
                 }
             }
-            if !(best > 0.0) || !best.is_finite() {
+            if best <= 0.0 || !best.is_finite() {
                 return None;
             }
             if p != k {
@@ -349,9 +349,8 @@ mod tests {
     fn clover_site_apply_block_structure() {
         // A clover site with identity in block 0 and 2x identity in block 1
         // scales the chiral halves independently.
-        let site = CloverSite {
-            block: [Herm6::scaled_identity(1.0f64), Herm6::scaled_identity(2.0)],
-        };
+        let site =
+            CloverSite { block: [Herm6::scaled_identity(1.0f64), Herm6::scaled_identity(2.0)] };
         let mut rng = Rng64::new(9);
         let s = Spinor::random(&mut rng);
         let out = site.apply(&s);

@@ -199,21 +199,13 @@ impl<T: Real> GaugeField<T> {
     pub fn cast<U: Real>(&self) -> GaugeField<U> {
         GaugeField {
             dims: self.dims,
-            data: self
-                .data
-                .iter()
-                .map(|ls| std::array::from_fn(|d| ls[d].cast()))
-                .collect(),
+            data: self.data.iter().map(|ls| std::array::from_fn(|d| ls[d].cast())).collect(),
         }
     }
 
     /// Maximum unitarity violation over all links (sanity diagnostics).
     pub fn max_unitarity_error(&self) -> f64 {
-        self.data
-            .iter()
-            .flat_map(|ls| ls.iter())
-            .map(|u| u.unitarity_error())
-            .fold(0.0, f64::max)
+        self.data.iter().flat_map(|ls| ls.iter()).map(|u| u.unitarity_error()).fold(0.0, f64::max)
     }
 }
 
@@ -354,10 +346,7 @@ impl CloverFieldF16 {
     }
 
     pub fn decompress(&self) -> CloverField<f32> {
-        CloverField {
-            dims: self.dims,
-            data: (0..self.data.len()).map(|i| self.site(i)).collect(),
-        }
+        CloverField { dims: self.dims, data: (0..self.data.len()).map(|i| self.site(i)).collect() }
     }
 }
 

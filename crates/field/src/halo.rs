@@ -154,8 +154,7 @@ mod tests {
         assert_eq!(halo.face(Dir::T, false).len(), 4 * 4 * 2);
         // 12 real (6 complex) f32 components per site = 48 bytes.
         assert_eq!(halo.face(Dir::X, true).bytes(), 48 * 48);
-        let expect_total: usize =
-            Dir::ALL.iter().map(|&d| 2 * face_volume(&dims, d) * 48).sum();
+        let expect_total: usize = Dir::ALL.iter().map(|&d| 2 * face_volume(&dims, d) * 48).sum();
         assert_eq!(halo.total_bytes(), expect_total);
     }
 

@@ -21,4 +21,4 @@ pub use fields::{CloverField, GaugeField, GaugeFieldF16, SpinorField};
 pub use fused::{FusedField, VReal};
 pub use halo::{FaceBuffer, HaloData};
 pub use spinor::{HalfSpinor, Spinor};
-pub use su3::{C3, Su3};
+pub use su3::{Su3, C3};

@@ -261,17 +261,10 @@ impl<T: Real> Su3<T> {
         let n1 = r1.norm_sqr().sqrt();
         r1 = r1.scale(T::ONE / n1);
         // r2 = conj(r0 x r1)
-        let cross = |a: &C3<T>, b: &C3<T>, i: usize, j: usize| (a.0[i] * b.0[j] - a.0[j] * b.0[i]).conj();
-        let r2 = C3([
-            cross(&r0, &r1, 1, 2),
-            cross(&r0, &r1, 2, 0),
-            cross(&r0, &r1, 0, 1),
-        ]);
-        Su3([
-            [r0.0[0], r0.0[1], r0.0[2]],
-            [r1.0[0], r1.0[1], r1.0[2]],
-            [r2.0[0], r2.0[1], r2.0[2]],
-        ])
+        let cross =
+            |a: &C3<T>, b: &C3<T>, i: usize, j: usize| (a.0[i] * b.0[j] - a.0[j] * b.0[i]).conj();
+        let r2 = C3([cross(&r0, &r1, 1, 2), cross(&r0, &r1, 2, 0), cross(&r0, &r1, 0, 1)]);
+        Su3([[r0.0[0], r0.0[1], r0.0[2]], [r1.0[0], r1.0[1], r1.0[2]], [r2.0[0], r2.0[1], r2.0[2]]])
     }
 
     /// Random SU(3) element with tunable distance from the identity.

@@ -78,9 +78,8 @@ pub fn wilson_force(
     let m = gauge.link(idx.index(x), mu).mul(&v);
     // M_ah = -i (M - M^dag) / 2  (Hermitian part of -iM).
     let d = m.sub(&m.adjoint());
-    let m_ah = Su3(std::array::from_fn(|i| {
-        std::array::from_fn(|j| d.0[i][j].mul_neg_i().scale(0.5))
-    }));
+    let m_ah =
+        Su3(std::array::from_fn(|i| std::array::from_fn(|j| d.0[i][j].mul_neg_i().scale(0.5))));
     Su3Algebra::project(&m_ah).scale(-beta / 6.0)
 }
 

@@ -85,9 +85,7 @@ impl Su3Algebra {
 /// evolution needs (`U <- exp(i eps P) U`).
 pub fn exp_su3(p: &Su3Algebra, eps: f64) -> Su3<f64> {
     // X = i eps P (anti-Hermitian).
-    let x = Su3(std::array::from_fn(|i| {
-        std::array::from_fn(|j| p.0 .0[i][j].mul_i().scale(eps))
-    }));
+    let x = Su3(std::array::from_fn(|i| std::array::from_fn(|j| p.0 .0[i][j].mul_i().scale(eps))));
     let mut term = Su3::<f64>::IDENTITY;
     let mut acc = Su3::<f64>::IDENTITY;
     for k in 1..=18 {
@@ -120,8 +118,8 @@ mod tests {
         // <tr P^2> = sum_a <p_a^2> tr(T_a^2) = 8 * 1 * 1/2 = 4.
         let mut rng = Rng64::new(2);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| Su3Algebra::gaussian(&mut rng).kinetic()).sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| Su3Algebra::gaussian(&mut rng).kinetic()).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.05, "mean kinetic {mean}");
     }
 
@@ -164,8 +162,8 @@ mod tests {
         // U ~ 1 + i eps P.
         for i in 0..3 {
             for j in 0..3 {
-                let target = if i == j { C64::ONE } else { C64::ZERO }
-                    + p.0 .0[i][j].mul_i().scale(eps);
+                let target =
+                    if i == j { C64::ONE } else { C64::ZERO } + p.0 .0[i][j].mul_i().scale(eps);
                 assert!((u.0[i][j] - target).abs() < 1e-9);
             }
         }

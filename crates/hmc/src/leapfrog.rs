@@ -142,12 +142,7 @@ mod tests {
         let run = |steps: usize| {
             let (mut gauge, mut p) = setup(12);
             let h0 = hamiltonian(&gauge, &p, beta);
-            leapfrog_trajectory(
-                &mut gauge,
-                &mut p,
-                beta,
-                &LeapfrogConfig { steps, length: 0.5 },
-            );
+            leapfrog_trajectory(&mut gauge, &mut p, beta, &LeapfrogConfig { steps, length: 0.5 });
             (hamiltonian(&gauge, &p, beta) - h0).abs()
         };
         let coarse = run(5);
@@ -162,12 +157,7 @@ mod tests {
     #[test]
     fn links_stay_unitary_through_long_trajectories() {
         let (mut gauge, mut p) = setup(13);
-        leapfrog_trajectory(
-            &mut gauge,
-            &mut p,
-            6.0,
-            &LeapfrogConfig { steps: 50, length: 2.0 },
-        );
+        leapfrog_trajectory(&mut gauge, &mut p, 6.0, &LeapfrogConfig { steps: 50, length: 2.0 });
         assert!(gauge.max_unitarity_error() < 1e-10);
     }
 
@@ -175,8 +165,7 @@ mod tests {
     fn zero_momentum_free_field_is_stationary() {
         let dims = Dims::new(4, 4, 4, 4);
         let mut gauge = GaugeField::<f64>::identity(dims);
-        let mut p: MomentumField =
-            (0..dims.volume()).map(|_| [Su3Algebra::ZERO; 4]).collect();
+        let mut p: MomentumField = (0..dims.volume()).map(|_| [Su3Algebra::ZERO; 4]).collect();
         leapfrog_trajectory(&mut gauge, &mut p, 6.0, &LeapfrogConfig::default());
         assert!(gauge.max_unitarity_error() < 1e-12);
         assert!((crate::action::average_plaquette(&gauge) - 1.0).abs() < 1e-12);

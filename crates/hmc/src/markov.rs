@@ -129,25 +129,15 @@ mod tests {
 
     #[test]
     fn acceptance_is_high_with_fine_steps() {
-        let cfg = HmcConfig {
-            beta: 5.8,
-            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
-        };
+        let cfg = HmcConfig { beta: 5.8, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } };
         let mut hmc = Hmc::cold_start(small(), cfg, 1);
         hmc.run(12);
-        assert!(
-            hmc.stats.acceptance() > 0.75,
-            "acceptance {:.2}",
-            hmc.stats.acceptance()
-        );
+        assert!(hmc.stats.acceptance() > 0.75, "acceptance {:.2}", hmc.stats.acceptance());
     }
 
     #[test]
     fn creutz_equality_holds() {
-        let cfg = HmcConfig {
-            beta: 5.6,
-            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
-        };
+        let cfg = HmcConfig { beta: 5.6, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } };
         let mut hmc = Hmc::cold_start(small(), cfg, 2);
         hmc.run(40);
         let c = hmc.stats.creutz();
@@ -158,10 +148,7 @@ mod tests {
     fn plaquette_thermalizes_from_cold_start() {
         // Cold start: plaquette 1.0; thermalization pulls it down to the
         // equilibrium value for this beta.
-        let cfg = HmcConfig {
-            beta: 5.8,
-            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
-        };
+        let cfg = HmcConfig { beta: 5.8, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } };
         let mut hmc = Hmc::cold_start(small(), cfg, 3);
         let p_final = hmc.run(25);
         assert!(p_final < 0.85, "plaquette should drop from 1.0, got {p_final}");
@@ -186,10 +173,7 @@ mod tests {
 
     #[test]
     fn hot_and_cold_starts_converge_to_the_same_plaquette() {
-        let cfg = HmcConfig {
-            beta: 6.2,
-            leapfrog: LeapfrogConfig { steps: 40, length: 0.5 },
-        };
+        let cfg = HmcConfig { beta: 6.2, leapfrog: LeapfrogConfig { steps: 40, length: 0.5 } };
         let mut cold = Hmc::cold_start(small(), cfg, 5);
         let mut hot = Hmc::hot_start(small(), cfg, 6);
         cold.run(40);

@@ -71,10 +71,7 @@ impl Dims {
 
     /// Component-wise quotient (panics if not divisible).
     pub fn grid_over(&self, block: &Dims) -> Dims {
-        assert!(
-            self.divisible_by(block),
-            "lattice {self:?} not divisible by block {block:?}"
-        );
+        assert!(self.divisible_by(block), "lattice {self:?} not divisible by block {block:?}");
         Dims([
             self.0[0] / block.0[0],
             self.0[1] / block.0[1],

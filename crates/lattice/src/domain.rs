@@ -79,10 +79,7 @@ impl DomainGrid {
     /// equal halves and so that domain corners all carry the same site
     /// parity pattern.
     pub fn new(lattice: Dims, block: Dims) -> Self {
-        assert!(
-            lattice.divisible_by(&block),
-            "block {block} does not tile lattice {lattice}"
-        );
+        assert!(lattice.divisible_by(&block), "block {block} does not tile lattice {lattice}");
         assert!(
             block.0.iter().all(|&b| b % 2 == 0),
             "block extents must be even for checkerboarding, got {block}"
@@ -121,7 +118,7 @@ impl DomainGrid {
     /// Color of the domain at a grid coordinate.
     #[inline]
     pub fn color_of(&self, grid_coord: &Coord) -> DomainColor {
-        if grid_coord.parity_sum() % 2 == 0 {
+        if grid_coord.parity_sum().is_multiple_of(2) {
             DomainColor::Black
         } else {
             DomainColor::White
@@ -137,13 +134,7 @@ impl DomainGrid {
             grid_coord.0[2] * self.block.0[2],
             grid_coord.0[3] * self.block.0[3],
         ]);
-        Domain {
-            index,
-            grid_coord,
-            origin,
-            dims: self.block,
-            color: self.color_of(&grid_coord),
-        }
+        Domain { index, grid_coord, origin, dims: self.block, color: self.color_of(&grid_coord) }
     }
 
     /// Iterate over all domains in grid order.
@@ -267,10 +258,7 @@ mod tests {
     fn neighbor_wrap_detection() {
         let g = grid_4x();
         // Domain at grid (1, ...) moving +x wraps to grid (0, ...).
-        let d = g
-            .domains()
-            .find(|d| d.grid_coord == Coord::new(1, 0, 0, 0))
-            .unwrap();
+        let d = g.domains().find(|d| d.grid_coord == Coord::new(1, 0, 0, 0)).unwrap();
         let (n, wrapped) = g.neighbor(d.index, Dir::X, true);
         assert!(wrapped);
         assert_eq!(g.domain(n).grid_coord, Coord::new(0, 0, 0, 0));

@@ -15,7 +15,7 @@ use crate::dims::Dims;
 pub fn ndomain(local_volume: usize, domain_volume: usize) -> usize {
     assert!(domain_volume > 0);
     assert!(
-        local_volume % (2 * domain_volume) == 0,
+        local_volume.is_multiple_of(2 * domain_volume),
         "volume {local_volume} not an even multiple of domain volume {domain_volume}"
     );
     local_volume / (2 * domain_volume)
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn assignment_covers_all_domains_once() {
         let cores = core_assignment(97, 13);
-        let mut seen = vec![false; 97];
+        let mut seen = [false; 97];
         for c in &cores {
             for &d in c {
                 assert!(!seen[d]);

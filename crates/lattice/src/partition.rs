@@ -226,10 +226,7 @@ mod tests {
         assert_eq!(halo.face_sites[Dir::Z.index()], 16 * 16 * 8);
         assert_eq!(halo.face_sites[Dir::T.index()], 16 * 16 * 8);
         assert_eq!(halo.messages_per_exchange(), 4);
-        assert_eq!(
-            halo.bytes_per_exchange(),
-            2 * (16 * 16 * 8 * 48) * 2
-        );
+        assert_eq!(halo.bytes_per_exchange(), 2 * (16 * 16 * 8 * 48) * 2);
     }
 
     #[test]
@@ -239,8 +236,8 @@ mod tests {
         let split = NonUniformSplit::paper_example();
         assert_eq!(split.total_extent(), 128);
         let base = Dims::new(16, 16, 8, 0); // t filled per slice
-        // Slice loads: t=28 -> ndomain = 16*16*8*28/1024 = 56 -> load 56/60;
-        // t=16 -> 32 -> load 32/60.
+                                            // Slice loads: t=28 -> ndomain = 16*16*8*28/1024 = 56 -> load 56/60;
+                                            // t=16 -> 32 -> load 32/60.
         let avg = split.average_load(&base, 512, 60);
         let expect = (4.0 * (56.0 / 60.0) + 32.0 / 60.0) / 5.0;
         assert!((avg - expect).abs() < 1e-12);

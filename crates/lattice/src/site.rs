@@ -17,7 +17,7 @@ pub enum Parity {
 impl Parity {
     #[inline]
     pub fn of(c: &Coord) -> Parity {
-        if c.parity_sum() % 2 == 0 {
+        if c.parity_sum().is_multiple_of(2) {
             Parity::Even
         } else {
             Parity::Odd

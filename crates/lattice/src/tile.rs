@@ -99,7 +99,7 @@ impl TileLayout {
     #[inline]
     pub fn site_lane(&self, flavor: usize, x: usize, y: usize) -> (Parity, usize) {
         debug_assert!(x < self.block.0[0] && y < self.block.0[1]);
-        let parity = if (x + y + flavor) % 2 == 0 { Parity::Even } else { Parity::Odd };
+        let parity = if (x + y + flavor).is_multiple_of(2) { Parity::Even } else { Parity::Odd };
         (parity, x / 2 + self.half_x * y)
     }
 
@@ -229,8 +229,7 @@ mod tests {
             for c in idx.iter() {
                 let (p, tile, lane) = l.locate(&c);
                 assert_eq!(p, Parity::of(&c));
-                let flat =
-                    (p.index() * l.tiles_per_parity() + tile) * l.lanes() + lane;
+                let flat = (p.index() * l.tiles_per_parity() + tile) * l.lanes() + lane;
                 assert!(!seen[flat], "collision at {c:?}");
                 seen[flat] = true;
                 assert_eq!(l.coord(p, tile, lane), c);
@@ -276,7 +275,7 @@ mod tests {
                                     };
                                     let expect = match dir {
                                         Dir::X => wrapped,
-                                        Dir::Y => (x / 2),
+                                        Dir::Y => x / 2,
                                         _ => unreachable!(),
                                     };
                                     let _ = wrapped;
@@ -313,8 +312,7 @@ mod tests {
         let l = paper_layout();
         for flavor in 0..2 {
             for parity in [Parity::Even, Parity::Odd] {
-                for (dir, fwd) in
-                    [(Dir::X, true), (Dir::X, false), (Dir::Y, true), (Dir::Y, false)]
+                for (dir, fwd) in [(Dir::X, true), (Dir::X, false), (Dir::Y, true), (Dir::Y, false)]
                 {
                     let pat = l.xy_neighbor(flavor, parity, dir, fwd);
                     let mut slots: Vec<usize> = pat
@@ -338,8 +336,7 @@ mod tests {
         let l = paper_layout();
         for flavor in 0..2 {
             for parity in [Parity::Even, Parity::Odd] {
-                for (dir, fwd) in
-                    [(Dir::X, true), (Dir::X, false), (Dir::Y, true), (Dir::Y, false)]
+                for (dir, fwd) in [(Dir::X, true), (Dir::X, false), (Dir::Y, true), (Dir::Y, false)]
                 {
                     let pat = l.xy_neighbor(flavor, parity, dir, fwd);
                     let mut seen = vec![false; l.lanes()];

@@ -223,7 +223,8 @@ impl KernelModel {
             Precision::Single => 1.0,
             Precision::Half => 0.5,
         };
-        let l2_resident = profile.vector_bytes_per_site + matrix_scale * profile.matrix_bytes_per_site;
+        let l2_resident =
+            profile.vector_bytes_per_site + matrix_scale * profile.matrix_bytes_per_site;
         let l1_lines = l2_resident / 64.0;
         let l1_exposure = if profile.irregular {
             prefetch.l1_exposure().max(0.45)
@@ -283,7 +284,8 @@ pub fn dd_method_rate(
     prefetch: PrefetchMode,
     i_domain: usize,
 ) -> f64 {
-    let residual = KernelModel::evaluate(&KernelProfile::block_residual(), chip, precision, prefetch);
+    let residual =
+        KernelModel::evaluate(&KernelProfile::block_residual(), chip, precision, prefetch);
     let op = KernelModel::evaluate(&KernelProfile::schur_operator(), chip, precision, prefetch);
     let l1 = KernelModel::evaluate(&KernelProfile::block_level1(), chip, precision, prefetch);
     let pack = KernelModel::evaluate(&KernelProfile::pack_insert(), chip, precision, prefetch);

@@ -35,4 +35,3 @@ pub use network::NetworkModel;
 pub use onchip::OnChipModel;
 pub use overlap::{OverlapModel, OverlapPattern};
 pub use workload::{all_lattices, paper_block, rank_layout, DdParams, Lattice, NonDdParams};
-

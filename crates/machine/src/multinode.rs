@@ -9,9 +9,7 @@
 //! derived from the chip, kernel, network, and overlap models.
 
 use crate::chip::ChipSpec;
-use crate::kernel::{
-    dd_method_flops_per_site, dd_method_rate, Precision, PrefetchMode,
-};
+use crate::kernel::{dd_method_flops_per_site, dd_method_rate, Precision, PrefetchMode};
 use crate::network::NetworkModel;
 use crate::overlap::OverlapModel;
 use crate::workload::{paper_block, DdParams, NonDdParams};
@@ -72,6 +70,38 @@ pub struct SolveTimeBreakdown {
     pub global_sums: u64,
     /// MB sent per KNC over the full solve.
     pub comm_mb_per_knc: f64,
+}
+
+impl SolveTimeBreakdown {
+    /// Emit the model's *predicted* per-component times as complete spans
+    /// laid end to end on lane `tid` of `sink` — so a measured trace and
+    /// the machine-model prediction can sit side by side in the same
+    /// Chrome-trace timeline. `label` prefixes the span names (e.g. the
+    /// KNC count or scenario being predicted).
+    pub fn record_predicted_spans(&self, sink: &qdd_trace::TraceSink, tid: u32, label: &str) {
+        use qdd_trace::Phase;
+        let mut ts_ns = 0u64;
+        for (phase, t_s) in [
+            (Phase::OperatorApply, self.time_a),
+            (Phase::Precondition, self.time_m),
+            (Phase::GramSchmidt, self.time_gs),
+            (Phase::Other, self.time_other),
+        ] {
+            let dur_ns = (t_s * 1e9) as u64;
+            if dur_ns == 0 {
+                continue;
+            }
+            sink.complete_at(
+                phase,
+                tid,
+                ts_ns,
+                dur_ns,
+                Some(format!("predicted:{label}:{}", phase.component())),
+                &[("predicted_s", t_s), ("kncs", self.kncs as f64)],
+            );
+            ts_ns += dur_ns;
+        }
+    }
 }
 
 impl MultiNodeModel {
@@ -145,8 +175,7 @@ impl MultiNodeModel {
         let m_halo_t = self.halo_times(&local, layout, 48.0);
         let can_hide = cores <= ndom_color;
         let m_exposed_per_schwarz =
-            self.overlap
-                .exposed_s(&m_halo_t, m_compute_per_iter / dd.i_schwarz as f64, can_hide);
+            self.overlap.exposed_s(&m_halo_t, m_compute_per_iter / dd.i_schwarz as f64, can_hide);
         let t_m_iter = m_compute_per_iter + dd.i_schwarz as f64 * m_exposed_per_schwarz;
         let m_flops_iter = dd.i_schwarz as f64 * 2.0 * ndom_color as f64 * fd;
 
@@ -169,8 +198,8 @@ impl MultiNodeModel {
 
         let iters = dd.outer_iterations as f64;
         let time = [t_a_iter, t_m_iter, t_gs_iter, t_other_iter].map(|t| t * iters);
-        let flops = [a_flops_iter, m_flops_iter, gs_flops_iter, other_flops_iter]
-            .map(|f| f * iters);
+        let flops =
+            [a_flops_iter, m_flops_iter, gs_flops_iter, other_flops_iter].map(|f| f * iters);
         let total_time: f64 = time.iter().sum();
 
         let comm_per_iter = self.halo_bytes(&local, layout, 96.0)
@@ -223,9 +252,7 @@ impl MultiNodeModel {
         let halo_t = self.halo_times(&local, layout, halo_bytes_site);
         // Non-DD can use the classic interior/surface split; window is the
         // operator compute itself.
-        let exposed = self
-            .overlap
-            .exposed_s(&halo_t, 0.5 * a_compute, true);
+        let exposed = self.overlap.exposed_s(&halo_t, 0.5 * a_compute, true);
         let t_a_iter = a_compute + 2.0 * exposed;
 
         let l1_flops_iter = 10.0 * 96.0 * v;
@@ -254,18 +281,12 @@ impl MultiNodeModel {
                 0.0,
                 100.0 * t_l1_iter / (t_a_iter + t_l1_iter),
             ],
-            gflops_knc: [
-                a_flops_iter / t_a_iter / 1e9,
-                0.0,
-                0.0,
-                l1_flops_iter / t_l1_iter / 1e9,
-            ],
+            gflops_knc: [a_flops_iter / t_a_iter / 1e9, 0.0, 0.0, l1_flops_iter / t_l1_iter / 1e9],
             total_time_s: t_total,
             total_tflops: kncs as f64 * flops_total / t_total / 1e12,
             m_tflops: 0.0,
             global_sums: iters as u64 * 5,
-            comm_mb_per_knc: 2.0 * self.halo_bytes(&local, layout, halo_bytes_site) * iters
-                / 1e6,
+            comm_mb_per_knc: 2.0 * self.halo_bytes(&local, layout, halo_bytes_site) * iters / 1e6,
         }
     }
 
@@ -296,11 +317,7 @@ mod tests {
             let layout = rank_layout(&lat.dims, kncs).unwrap();
             let b = m.dd_solve(&lat.dims, &layout, &lat.dd);
             assert!(b.total_time_s < prev_time, "{kncs} KNCs not faster");
-            assert!(
-                (60.0..95.0).contains(&b.pct[1]),
-                "{kncs} KNCs: M share {:.1}%",
-                b.pct[1]
-            );
+            assert!((60.0..95.0).contains(&b.pct[1]), "{kncs} KNCs: M share {:.1}%", b.pct[1]);
             assert!(b.gflops_knc[1] <= prev_m_rate * 1.001);
             prev_time = b.total_time_s;
             prev_m_rate = b.gflops_knc[1];
@@ -315,22 +332,14 @@ mod tests {
         let m = model();
         let lat = lattice_48();
         let b24 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 24).unwrap(), &lat.dd);
-        assert!(
-            (20.0..60.0).contains(&b24.total_time_s),
-            "24 KNC time {}",
-            b24.total_time_s
-        );
+        assert!((20.0..60.0).contains(&b24.total_time_s), "24 KNC time {}", b24.total_time_s);
         assert!(
             (11_000.0..21_000.0).contains(&(b24.comm_mb_per_knc)),
             "24 KNC comm {} MB",
             b24.comm_mb_per_knc
         );
         let b128 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 128).unwrap(), &lat.dd);
-        assert!(
-            (6.0..18.0).contains(&b128.total_time_s),
-            "128 KNC time {}",
-            b128.total_time_s
-        );
+        assert!((6.0..18.0).contains(&b128.total_time_s), "128 KNC time {}", b128.total_time_s);
         assert!(
             (3_800.0..6_900.0).contains(&b128.comm_mb_per_knc),
             "128 KNC comm {} MB",
@@ -350,7 +359,9 @@ mod tests {
         let best_dd = lat
             .dd_knc_counts
             .iter()
-            .map(|&k| m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd).total_time_s)
+            .map(|&k| {
+                m.dd_solve(&lat.dims, &rank_layout(&lat.dims, k).unwrap(), &lat.dd).total_time_s
+            })
             .fold(f64::INFINITY, f64::min);
         let best_non = lat
             .non_dd_knc_counts
@@ -388,11 +399,7 @@ mod tests {
         let m = model();
         let lat = lattice_64();
         let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 1024).unwrap(), &lat.dd);
-        assert!(
-            (60.0..220.0).contains(&b.m_tflops),
-            "M total {} Tflop/s",
-            b.m_tflops
-        );
+        assert!((60.0..220.0).contains(&b.m_tflops), "M total {} Tflop/s", b.m_tflops);
         // Load 53% as in Table III.
         assert!((b.load - 32.0 / 60.0).abs() < 0.01);
     }
@@ -408,6 +415,34 @@ mod tests {
     }
 
     #[test]
+    fn predicted_spans_cover_the_total_time() {
+        let m = model();
+        let lat = lattice_48();
+        let b = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 24).unwrap(), &lat.dd);
+        let sink = qdd_trace::TraceSink::enabled();
+        b.record_predicted_spans(&sink, 1, "dd-24");
+        let events = sink.events();
+        assert_eq!(events.len(), 4, "A, M, GS and other each predicted");
+        let total_ns: u64 = events
+            .iter()
+            .map(|e| match e.kind {
+                qdd_trace::EventKind::Complete { dur_ns } => dur_ns,
+                _ => panic!("predicted spans must be complete events"),
+            })
+            .sum();
+        assert!((total_ns as f64 / 1e9 - b.total_time_s).abs() < 1e-6);
+        // Spans tile the timeline back to back.
+        let mut cursor = 0;
+        for e in &events {
+            assert_eq!(e.ts_ns, cursor);
+            assert_eq!(e.tid, 1);
+            if let qdd_trace::EventKind::Complete { dur_ns } = e.kind {
+                cursor += dur_ns;
+            }
+        }
+    }
+
+    #[test]
     fn knc_minutes_lower_on_fewer_nodes() {
         // Fig. 7: cost rises with node count; DD cheaper than non-DD.
         let m = model();
@@ -415,8 +450,7 @@ mod tests {
         let dd24 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 24).unwrap(), &lat.dd);
         let dd128 = m.dd_solve(&lat.dims, &rank_layout(&lat.dims, 128).unwrap(), &lat.dd);
         assert!(m.knc_minutes(&dd24) < m.knc_minutes(&dd128));
-        let non12 =
-            m.non_dd_solve(&lat.dims, &rank_layout(&lat.dims, 12).unwrap(), &lat.non_dd);
+        let non12 = m.non_dd_solve(&lat.dims, &rank_layout(&lat.dims, 12).unwrap(), &lat.non_dd);
         assert!(
             m.knc_minutes(&dd24) < 0.7 * m.knc_minutes(&non12),
             "DD {} vs non-DD {} KNC-minutes",

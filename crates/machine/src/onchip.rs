@@ -38,10 +38,8 @@ impl OnChipModel {
         assert!(cores >= 1);
         // Domains per color (Eq. (6)).
         let ndom_color = load::ndomain(lattice.volume(), block.volume());
-        let flops_per_domain =
-            dd_method_flops_per_site(self.i_domain) * block.volume() as f64;
-        let rate_core =
-            dd_method_rate(&self.chip, self.precision, self.prefetch, self.i_domain);
+        let flops_per_domain = dd_method_flops_per_site(self.i_domain) * block.volume() as f64;
+        let rate_core = dd_method_rate(&self.chip, self.precision, self.prefetch, self.i_domain);
         let t_domain_s = flops_per_domain / (rate_core * 1e9);
         let rounds = load::sweep_rounds(ndom_color, cores) as f64;
         // One half-sweep: rounds of domain solves + a barrier.
@@ -53,9 +51,7 @@ impl OnChipModel {
 
     /// The whole Fig. 5 series: Gflop/s for 1..=max_cores.
     pub fn scaling_series(&self, lattice: &Dims, block: &Dims, max_cores: usize) -> Vec<f64> {
-        (1..=max_cores)
-            .map(|c| self.preconditioner_gflops(lattice, block, c))
-            .collect()
+        (1..=max_cores).map(|c| self.preconditioner_gflops(lattice, block, c)).collect()
     }
 }
 

@@ -102,13 +102,7 @@ pub fn lattice_64() -> Lattice {
     Lattice {
         label: "64^3x128",
         dims: Dims::new(64, 64, 64, 128),
-        dd: DdParams {
-            max_basis: 5,
-            deflate: 0,
-            i_schwarz: 16,
-            i_domain: 5,
-            outer_iterations: 10,
-        },
+        dd: DdParams { max_basis: 5, deflate: 0, i_schwarz: 16, i_domain: 5, outer_iterations: 10 },
         non_dd: NonDdParams { iterations: 260, mixed_precision: true },
         dd_knc_counts: vec![64, 128, 256, 512, 1024],
         non_dd_knc_counts: vec![64, 128, 256],
@@ -123,13 +117,11 @@ pub fn all_lattices() -> Vec<Lattice> {
 /// Rank-grid layout for a KNC count on a given lattice (the uniform QDP++
 /// partitionings; local volumes stay divisible by the 8x4x4x4 block).
 pub fn rank_layout(dims: &Dims, kncs: usize) -> Option<Dims> {
-    let table: &[(usize, [usize; 4])] = match (dims[qdd_lattice::Dir::X], dims[qdd_lattice::Dir::T]) {
-        (32, 64) => &[
-            (8, [1, 1, 2, 4]),
-            (16, [1, 2, 2, 4]),
-            (32, [2, 2, 2, 4]),
-            (64, [2, 2, 4, 4]),
-        ],
+    let table: &[(usize, [usize; 4])] = match (dims[qdd_lattice::Dir::X], dims[qdd_lattice::Dir::T])
+    {
+        (32, 64) => {
+            &[(8, [1, 1, 2, 4]), (16, [1, 2, 2, 4]), (32, [2, 2, 2, 4]), (64, [2, 2, 4, 4])]
+        }
         (48, 64) => &[
             (12, [1, 1, 3, 4]),
             (24, [1, 2, 3, 4]),
@@ -149,10 +141,7 @@ pub fn rank_layout(dims: &Dims, kncs: usize) -> Option<Dims> {
         ],
         _ => return None,
     };
-    table
-        .iter()
-        .find(|(n, _)| *n == kncs)
-        .map(|(_, g)| Dims(*g))
+    table.iter().find(|(n, _)| *n == kncs).map(|(_, g)| Dims(*g))
 }
 
 /// The non-uniform 64^3x128 partitionings of Sec. IV-C2 (marked * in
@@ -175,12 +164,8 @@ mod tests {
     #[test]
     fn layouts_divide_lattices_and_blocks() {
         for lat in all_lattices() {
-            let counts: Vec<usize> = lat
-                .dd_knc_counts
-                .iter()
-                .chain(&lat.non_dd_knc_counts)
-                .copied()
-                .collect();
+            let counts: Vec<usize> =
+                lat.dd_knc_counts.iter().chain(&lat.non_dd_knc_counts).copied().collect();
             for kncs in counts {
                 let layout = rank_layout(&lat.dims, kncs)
                     .unwrap_or_else(|| panic!("{}: no layout for {kncs}", lat.label));

@@ -1,0 +1,393 @@
+//! Exporters: Chrome-trace JSON, JSONL event streams, and a Table
+//! III-style per-phase breakdown.
+//!
+//! All exporters take `&[(rank, events)]` streams — one entry per rank —
+//! so single-rank and SPMD runs share one code path. Rank maps to the
+//! Chrome-trace `pid`, the per-rank thread lane to `tid`.
+
+use crate::phase::Phase;
+use crate::recorder::{Event, EventKind};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+fn ts_us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1000.0
+}
+
+fn args_obj(ev: &Event) -> Value {
+    let mut map = Map::new();
+    map.insert("phase".to_string(), Value::from(ev.phase.key()));
+    map.insert("component".to_string(), Value::from(ev.phase.component()));
+    for (k, v) in &ev.args {
+        map.insert((*k).to_string(), Value::from(*v));
+    }
+    Value::Object(map)
+}
+
+fn event_name(ev: &Event) -> &str {
+    ev.name.as_deref().unwrap_or_else(|| ev.phase.label())
+}
+
+/// Shared fields of a Chrome-trace event record.
+fn chrome_base(ev: &Event, rank: u32, ph: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::from(event_name(ev)));
+    m.insert("cat".to_string(), Value::from(ev.phase.category()));
+    m.insert("ph".to_string(), Value::from(ph));
+    m.insert("ts".to_string(), Value::from(ts_us(ev.ts_ns)));
+    m.insert("pid".to_string(), Value::from(rank));
+    m.insert("tid".to_string(), Value::from(ev.tid));
+    m
+}
+
+/// Serialize streams to Chrome-trace JSON (the object form with a
+/// `traceEvents` array, accepted by `chrome://tracing` and Perfetto).
+/// Timestamps are microseconds.
+pub fn chrome_trace(streams: &[(u32, Vec<Event>)]) -> String {
+    let mut out: Vec<Value> = Vec::new();
+    for (rank, events) in streams {
+        let mut meta = Map::new();
+        meta.insert("name".to_string(), Value::from("process_name"));
+        meta.insert("ph".to_string(), Value::from("M"));
+        meta.insert("pid".to_string(), Value::from(*rank));
+        meta.insert("tid".to_string(), Value::from(0u32));
+        let mut meta_args = Map::new();
+        meta_args.insert("name".to_string(), Value::from(format!("rank {rank}")));
+        meta.insert("args".to_string(), Value::Object(meta_args));
+        out.push(Value::Object(meta));
+
+        for ev in events {
+            let v = match &ev.kind {
+                EventKind::Begin => {
+                    let mut m = chrome_base(ev, *rank, "B");
+                    m.insert("args".to_string(), args_obj(ev));
+                    Value::Object(m)
+                }
+                EventKind::End => {
+                    let mut m = chrome_base(ev, *rank, "E");
+                    m.insert("args".to_string(), args_obj(ev));
+                    Value::Object(m)
+                }
+                EventKind::Complete { dur_ns } => {
+                    let mut m = chrome_base(ev, *rank, "X");
+                    m.insert("dur".to_string(), Value::from(ts_us(*dur_ns)));
+                    m.insert("args".to_string(), args_obj(ev));
+                    Value::Object(m)
+                }
+                EventKind::Instant => {
+                    let mut m = chrome_base(ev, *rank, "i");
+                    m.insert("s".to_string(), Value::from("t"));
+                    m.insert("args".to_string(), args_obj(ev));
+                    Value::Object(m)
+                }
+                EventKind::Counter { value } => {
+                    let series = if ev.name.is_some() { event_name(ev) } else { ev.phase.key() };
+                    let mut args = Map::new();
+                    args.insert(series.to_string(), Value::from(*value));
+                    let mut m = Map::new();
+                    m.insert("name".to_string(), Value::from(event_name(ev)));
+                    m.insert("ph".to_string(), Value::from("C"));
+                    m.insert("ts".to_string(), Value::from(ts_us(ev.ts_ns)));
+                    m.insert("pid".to_string(), Value::from(*rank));
+                    m.insert("tid".to_string(), Value::from(ev.tid));
+                    m.insert("args".to_string(), Value::Object(args));
+                    Value::Object(m)
+                }
+            };
+            out.push(v);
+        }
+    }
+    let mut doc = Map::new();
+    doc.insert("traceEvents".to_string(), Value::Array(out));
+    doc.insert("displayTimeUnit".to_string(), Value::from("ms"));
+    serde_json::to_string(&Value::Object(doc)).expect("chrome trace serializes")
+}
+
+/// Serialize streams to JSONL: one self-describing JSON object per line.
+pub fn jsonl(streams: &[(u32, Vec<Event>)]) -> String {
+    let mut out = String::new();
+    for (rank, events) in streams {
+        for ev in events {
+            let mut map = Map::new();
+            map.insert("rank".to_string(), Value::from(*rank));
+            map.insert("tid".to_string(), Value::from(ev.tid));
+            map.insert("ts_ns".to_string(), Value::from(ev.ts_ns));
+            let kind = match &ev.kind {
+                EventKind::Begin => "begin",
+                EventKind::End => "end",
+                EventKind::Complete { .. } => "complete",
+                EventKind::Instant => "instant",
+                EventKind::Counter { .. } => "counter",
+            };
+            map.insert("kind".to_string(), Value::from(kind));
+            map.insert("phase".to_string(), Value::from(ev.phase.key()));
+            if let Some(n) = &ev.name {
+                map.insert("name".to_string(), Value::from(n.as_str()));
+            }
+            match &ev.kind {
+                EventKind::Complete { dur_ns } => {
+                    map.insert("dur_ns".to_string(), Value::from(*dur_ns));
+                }
+                EventKind::Counter { value } => {
+                    map.insert("value".to_string(), Value::from(*value));
+                }
+                _ => {}
+            }
+            if !ev.args.is_empty() {
+                let mut a = Map::new();
+                for (k, v) in &ev.args {
+                    a.insert((*k).to_string(), Value::from(*v));
+                }
+                map.insert("args".to_string(), Value::Object(a));
+            }
+            out.push_str(&serde_json::to_string(&Value::Object(map)).unwrap());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Accumulated time of one phase across a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotal {
+    /// Number of top-most spans of this phase.
+    pub count: u64,
+    /// Total inclusive nanoseconds of the top-most spans (spans of a
+    /// phase nested inside the same phase are not double-counted).
+    pub total_ns: u64,
+}
+
+/// Per-phase inclusive totals over all streams. Complete spans count as
+/// (begin, end) pairs. Counters and instants are ignored.
+pub fn phase_totals(streams: &[(u32, Vec<Event>)]) -> BTreeMap<Phase, PhaseTotal> {
+    let mut totals: BTreeMap<Phase, PhaseTotal> = BTreeMap::new();
+    for (_rank, events) in streams {
+        // Per-lane stack of (phase, begin_ts).
+        let mut stacks: BTreeMap<u32, Vec<(Phase, u64)>> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Begin => {
+                    stacks.entry(ev.tid).or_default().push((ev.phase, ev.ts_ns));
+                }
+                EventKind::End => {
+                    let stack = stacks.entry(ev.tid).or_default();
+                    if let Some((phase, t0)) = stack.pop() {
+                        if phase == ev.phase {
+                            // Count only if no ancestor has the same phase.
+                            let topmost = !stack.iter().any(|(p, _)| *p == phase);
+                            if topmost {
+                                let t = totals.entry(phase).or_default();
+                                t.count += 1;
+                                t.total_ns += ev.ts_ns.saturating_sub(t0);
+                            }
+                        }
+                    }
+                }
+                EventKind::Complete { dur_ns } => {
+                    let stack = stacks.entry(ev.tid).or_default();
+                    let topmost = !stack.iter().any(|(p, _)| *p == ev.phase);
+                    if topmost {
+                        let t = totals.entry(ev.phase).or_default();
+                        t.count += 1;
+                        t.total_ns += dur_ns;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    totals
+}
+
+fn wall_ns(streams: &[(u32, Vec<Event>)]) -> u64 {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for (_r, events) in streams {
+        for ev in events {
+            lo = lo.min(ev.ts_ns);
+            let end = match ev.kind {
+                EventKind::Complete { dur_ns } => ev.ts_ns + dur_ns,
+                _ => ev.ts_ns,
+            };
+            hi = hi.max(end);
+        }
+    }
+    hi.saturating_sub(lo.min(hi))
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render a Table III-style breakdown: one row per phase with count,
+/// inclusive time and share of wall clock, then the four-component
+/// summary (`A` / `M` / `GS` / global sums / other).
+pub fn breakdown_table(streams: &[(u32, Vec<Event>)]) -> String {
+    let totals = phase_totals(streams);
+    let wall = wall_ns(streams).max(1);
+    let ranks = streams.len().max(1);
+    // Per-rank wall: spans across ranks overlap in (simulated) time.
+    let denom = wall as f64 * ranks as f64;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "phase breakdown ({} rank{}, wall {} ms)\n",
+        ranks,
+        if ranks == 1 { "" } else { "s" },
+        fmt_ms(wall)
+    ));
+    out.push_str(&format!(
+        "  {:<16} {:>10} {:>12} {:>8}\n",
+        "phase", "count", "time [ms]", "share"
+    ));
+    let mut component_ns: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for phase in Phase::ALL {
+        if let Some(t) = totals.get(&phase) {
+            out.push_str(&format!(
+                "  {:<16} {:>10} {:>12} {:>7.1}%\n",
+                phase.label(),
+                t.count,
+                fmt_ms(t.total_ns),
+                100.0 * t.total_ns as f64 / denom
+            ));
+            // Component attribution uses only the *outermost* phase of
+            // each component: A = operator, M = precondition, GS, sum.
+            match phase {
+                Phase::OperatorApply
+                | Phase::Precondition
+                | Phase::GramSchmidt
+                | Phase::GlobalSum => {
+                    *component_ns.entry(phase.component()).or_default() += t.total_ns;
+                }
+                _ => {}
+            }
+        }
+    }
+    let attributed: u64 = component_ns.values().sum();
+    let other = (wall as f64 * ranks as f64 - attributed as f64).max(0.0) as u64;
+    out.push_str("  --\n");
+    for key in ["A", "M", "GS", "sum"] {
+        let ns = component_ns.get(key).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<16} {:>10} {:>12} {:>7.1}%\n",
+            format!("component {key}"),
+            "",
+            fmt_ms(ns),
+            100.0 * ns as f64 / denom
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<16} {:>10} {:>12} {:>7.1}%\n",
+        "component other",
+        "",
+        fmt_ms(other),
+        100.0 * other as f64 / denom
+    ));
+    out
+}
+
+/// Write both on-disk export formats for a recorded run: the Chrome-trace
+/// JSON at `path` (load in `chrome://tracing` or Perfetto) and the
+/// line-per-event JSONL at `path.jsonl`.
+pub fn write_trace_files(streams: &[(u32, Vec<Event>)], path: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(streams))?;
+    std::fs::write(format!("{path}.jsonl"), jsonl(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceSink;
+
+    fn synthetic_stream() -> (u32, Vec<Event>) {
+        let sink = TraceSink::for_rank(0);
+        // Explicit timestamps: 10 ms precondition containing two 3 ms
+        // domain solves, then a 5 ms operator application.
+        sink.record(Event {
+            phase: Phase::Precondition,
+            name: None,
+            tid: 0,
+            ts_ns: 0,
+            kind: EventKind::Begin,
+            args: vec![],
+        });
+        sink.complete_at(Phase::DomainSolve, 0, 1_000_000, 3_000_000, None, &[]);
+        sink.complete_at(Phase::DomainSolve, 0, 5_000_000, 3_000_000, None, &[]);
+        sink.record(Event {
+            phase: Phase::Precondition,
+            name: None,
+            tid: 0,
+            ts_ns: 10_000_000,
+            kind: EventKind::End,
+            args: vec![],
+        });
+        sink.complete_at(Phase::OperatorApply, 0, 10_000_000, 5_000_000, None, &[]);
+        sink.stream()
+    }
+
+    #[test]
+    fn totals_count_topmost_spans_only() {
+        let stream = synthetic_stream();
+        let totals = phase_totals(&[stream]);
+        assert_eq!(totals[&Phase::Precondition], PhaseTotal { count: 1, total_ns: 10_000_000 });
+        assert_eq!(totals[&Phase::DomainSolve], PhaseTotal { count: 2, total_ns: 6_000_000 });
+        assert_eq!(totals[&Phase::OperatorApply], PhaseTotal { count: 1, total_ns: 5_000_000 });
+    }
+
+    #[test]
+    fn nested_same_phase_not_double_counted() {
+        let sink = TraceSink::enabled();
+        for (ts, kind, phase) in [
+            (0, EventKind::Begin, Phase::OuterIteration),
+            (10, EventKind::Begin, Phase::OuterIteration),
+            (20, EventKind::End, Phase::OuterIteration),
+            (100, EventKind::End, Phase::OuterIteration),
+        ] {
+            sink.record(Event { phase, name: None, tid: 0, ts_ns: ts, kind, args: vec![] });
+        }
+        let totals = phase_totals(&[sink.stream()]);
+        assert_eq!(totals[&Phase::OuterIteration], PhaseTotal { count: 1, total_ns: 100 });
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let stream = synthetic_stream();
+        let s = chrome_trace(&[stream]);
+        let doc: serde_json::Value = serde_json::from_str(&s).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 1 metadata + 2 B/E + 3 X.
+        assert_eq!(events.len(), 6);
+        let x = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("operator A"))
+            .expect("operator A event present");
+        assert_eq!(x["ph"].as_str(), Some("X"));
+        assert_eq!(x["ts"].as_f64(), Some(10_000.0));
+        assert_eq!(x["dur"].as_f64(), Some(5_000.0));
+        assert_eq!(x["args"]["component"].as_str(), Some("A"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let stream = synthetic_stream();
+        let s = jsonl(&[stream]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["phase"].is_string());
+            assert!(v["ts_ns"].is_number());
+        }
+    }
+
+    #[test]
+    fn breakdown_reports_components() {
+        let stream = synthetic_stream();
+        let table = breakdown_table(&[stream]);
+        assert!(table.contains("precondition"), "{table}");
+        assert!(table.contains("component A"), "{table}");
+        assert!(table.contains("component M"), "{table}");
+        // Wall is 15 ms; M (precondition) is 10 ms -> 66.7%.
+        assert!(table.contains("66.7%"), "{table}");
+    }
+}

@@ -1,0 +1,35 @@
+//! `qdd-trace` — structured tracing and metrics for the solver stack.
+//!
+//! The paper's whole argument (Table II, Table III, Figs. 5–7) rests on
+//! attributing time to components: domain updates vs. boundary operators
+//! vs. halo exchange vs. global sums. This crate provides the
+//! observability substrate the rest of the workspace records into:
+//!
+//! 1. **Spans and events** ([`TraceSink`], [`Phase`]): a lightweight
+//!    begin/end span recorder keyed by a fixed phase taxonomy, with
+//!    nesting, per-thread buffers ([`ThreadRecorder`]) and negligible
+//!    overhead when disabled (a disabled sink is a `None` — every record
+//!    call is a single branch).
+//! 2. **Metrics** ([`MetricsRegistry`], [`Summary`]): counters, gauges
+//!    and min/mean/max summaries with per-rank scoping and a `merge`
+//!    for SPMD aggregation.
+//! 3. **Exporters** ([`export`]): Chrome-trace JSON (viewable in
+//!    `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), JSONL
+//!    event streams, and a human-readable per-phase breakdown table in
+//!    the style of the paper's Table III.
+//!
+//! The sink is threaded through `SolveStats` (in `qdd-util`), so every
+//! solver, the Schwarz preconditioner, and the simulated communication
+//! runtime record into the same timeline without any signature changes.
+
+pub mod export;
+pub mod metrics;
+pub mod phase;
+pub mod recorder;
+
+pub use export::{
+    breakdown_table, chrome_trace, jsonl, phase_totals, write_trace_files, PhaseTotal,
+};
+pub use metrics::{CommStats, MetricsRegistry, Summary};
+pub use phase::Phase;
+pub use recorder::{validate_balance, Event, EventKind, ThreadRecorder, TraceSink};

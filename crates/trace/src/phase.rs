@@ -1,0 +1,168 @@
+//! The phase taxonomy every span is keyed by.
+//!
+//! Phases are the trace-level refinement of the paper's four-component
+//! Table III taxonomy (`A`, `M`, `GS`, other): each phase maps onto one
+//! component via [`Phase::component`], but the spans resolve *where*
+//! inside a component the time goes (which Schwarz color, which halo
+//! direction, pack vs. wait).
+
+/// One phase of a solve, from the outer Krylov iteration down to a
+/// single halo message.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Phase {
+    /// A whole solve (outermost span, optional).
+    Solve,
+    /// One outer iteration of a baseline solver (BiCGstab, CGNR, GCR)
+    /// or one refinement cycle of Richardson.
+    OuterIteration,
+    /// One Arnoldi step of FGMRES-DR (preconditioner + operator + CGS).
+    ArnoldiStep,
+    /// Classical Gram-Schmidt orthogonalization (batched projections
+    /// plus normalization).
+    GramSchmidt,
+    /// One application of the preconditioner `M`.
+    Precondition,
+    /// One multiplicative Schwarz sweep (both colors).
+    SchwarzSweep,
+    /// All domain solves of one color within a sweep.
+    ColorSweep,
+    /// One per-domain block solve (MR on the even-odd Schur complement).
+    DomainSolve,
+    /// One application of the full Wilson-Clover operator `A`.
+    OperatorApply,
+    /// Packing spin-projected half-spinors into a face buffer.
+    HaloPack,
+    /// Handing a face buffer to the transport (per direction).
+    HaloSend,
+    /// Receiving a face buffer — blocking, so the span includes wait time.
+    HaloRecv,
+    /// Merging a received face back into the boundary accumulator.
+    HaloUnpack,
+    /// One global reduction (latency-bound all-reduce).
+    GlobalSum,
+    /// Per-iteration residual samples (counter events, not spans).
+    Residual,
+    /// Anything not covered above (BLAS-1 glue, restarts).
+    Other,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 16] = [
+        Phase::Solve,
+        Phase::OuterIteration,
+        Phase::ArnoldiStep,
+        Phase::GramSchmidt,
+        Phase::Precondition,
+        Phase::SchwarzSweep,
+        Phase::ColorSweep,
+        Phase::DomainSolve,
+        Phase::OperatorApply,
+        Phase::HaloPack,
+        Phase::HaloSend,
+        Phase::HaloRecv,
+        Phase::HaloUnpack,
+        Phase::GlobalSum,
+        Phase::Residual,
+        Phase::Other,
+    ];
+
+    /// Human-readable label (Chrome-trace event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Solve => "solve",
+            Phase::OuterIteration => "outer iteration",
+            Phase::ArnoldiStep => "Arnoldi step",
+            Phase::GramSchmidt => "Gram-Schmidt",
+            Phase::Precondition => "precondition",
+            Phase::SchwarzSweep => "Schwarz sweep",
+            Phase::ColorSweep => "color sweep",
+            Phase::DomainSolve => "domain solve",
+            Phase::OperatorApply => "operator A",
+            Phase::HaloPack => "halo pack",
+            Phase::HaloSend => "halo send",
+            Phase::HaloRecv => "halo recv",
+            Phase::HaloUnpack => "halo unpack",
+            Phase::GlobalSum => "global sum",
+            Phase::Residual => "residual",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Stable machine-readable key (JSONL `phase` field).
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::Solve => "solve",
+            Phase::OuterIteration => "outer_iteration",
+            Phase::ArnoldiStep => "arnoldi_step",
+            Phase::GramSchmidt => "gram_schmidt",
+            Phase::Precondition => "precondition",
+            Phase::SchwarzSweep => "schwarz_sweep",
+            Phase::ColorSweep => "color_sweep",
+            Phase::DomainSolve => "domain_solve",
+            Phase::OperatorApply => "operator_apply",
+            Phase::HaloPack => "halo_pack",
+            Phase::HaloSend => "halo_send",
+            Phase::HaloRecv => "halo_recv",
+            Phase::HaloUnpack => "halo_unpack",
+            Phase::GlobalSum => "global_sum",
+            Phase::Residual => "residual",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Chrome-trace category, used for filtering in the viewer.
+    pub fn category(self) -> &'static str {
+        match self {
+            Phase::Solve | Phase::OuterIteration | Phase::ArnoldiStep | Phase::Residual => "solver",
+            Phase::GramSchmidt | Phase::Other => "solver",
+            Phase::Precondition | Phase::SchwarzSweep | Phase::ColorSweep | Phase::DomainSolve => {
+                "schwarz"
+            }
+            Phase::OperatorApply => "operator",
+            Phase::HaloPack | Phase::HaloSend | Phase::HaloRecv | Phase::HaloUnpack => "halo",
+            Phase::GlobalSum => "reduction",
+        }
+    }
+
+    /// The paper's Table III component this phase is accounted to
+    /// (`A`, `M`, `GS`, `sum`, `other`).
+    pub fn component(self) -> &'static str {
+        match self {
+            Phase::OperatorApply => "A",
+            Phase::Precondition
+            | Phase::SchwarzSweep
+            | Phase::ColorSweep
+            | Phase::DomainSolve
+            | Phase::HaloPack
+            | Phase::HaloSend
+            | Phase::HaloRecv
+            | Phase::HaloUnpack => "M",
+            Phase::GramSchmidt => "GS",
+            Phase::GlobalSum => "sum",
+            _ => "other",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<&str> = Phase::ALL.iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn components_match_table_iii_taxonomy() {
+        assert_eq!(Phase::OperatorApply.component(), "A");
+        assert_eq!(Phase::DomainSolve.component(), "M");
+        assert_eq!(Phase::HaloSend.component(), "M");
+        assert_eq!(Phase::GramSchmidt.component(), "GS");
+        assert_eq!(Phase::GlobalSum.component(), "sum");
+        assert_eq!(Phase::ArnoldiStep.component(), "other");
+    }
+}

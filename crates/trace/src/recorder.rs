@@ -1,0 +1,406 @@
+//! The span/event recorder.
+//!
+//! A [`TraceSink`] is a cheaply clonable handle to a shared event store.
+//! The default sink is *disabled*: it holds no store, and every record
+//! call reduces to one branch on an `Option` — solvers can record
+//! unconditionally without measurable overhead. Enabling tracing means
+//! constructing the sink with [`TraceSink::for_rank`] and cloning the
+//! handle into whatever records (clones share the store and the time
+//! origin, so spans from different layers nest on one timeline).
+//!
+//! Threaded code (the parallel Schwarz sweep, the SPMD rank threads)
+//! records through a per-thread [`ThreadRecorder`]: events buffer in a
+//! thread-local `Vec` and flush into the shared store in one lock
+//! acquisition, so workers never contend per event.
+
+use crate::phase::Phase;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What kind of event a record is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Span start (Chrome-trace `B`).
+    Begin,
+    /// Span end (Chrome-trace `E`), matching the innermost open `Begin`
+    /// of the same phase on the same thread.
+    End,
+    /// A complete span with an explicit duration (Chrome-trace `X`) —
+    /// used for synthetic spans such as the machine model's predictions.
+    Complete { dur_ns: u64 },
+    /// A point event (Chrome-trace `i`).
+    Instant,
+    /// A sampled value (Chrome-trace `C`), e.g. the per-iteration
+    /// relative residual.
+    Counter { value: f64 },
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub phase: Phase,
+    /// Optional display-name override (defaults to the phase label).
+    pub name: Option<String>,
+    /// Thread lane within the rank (0 = the rank's main thread).
+    pub tid: u32,
+    /// Nanoseconds since the sink was created.
+    pub ts_ns: u64,
+    pub kind: EventKind,
+    /// Small numeric payload (iteration numbers, byte counts, ...).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+struct SinkInner {
+    rank: u32,
+    start: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+/// Handle to a (possibly disabled) trace event store.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceSink(disabled)"),
+            Some(i) => write!(f, "TraceSink(rank {})", i.rank),
+        }
+    }
+}
+
+impl TraceSink {
+    /// The no-op sink (also what `Default` gives you).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled sink for rank 0 (single-rank runs).
+    pub fn enabled() -> Self {
+        Self::for_rank(0)
+    }
+
+    /// An enabled sink whose events carry the given rank (Chrome `pid`).
+    pub fn for_rank(rank: u32) -> Self {
+        Self {
+            inner: Some(Arc::new(SinkInner {
+                rank,
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.inner.as_ref().map_or(0, |i| i.rank)
+    }
+
+    /// Append a fully-formed event (explicit timestamps; used by the
+    /// deterministic exporter tests and the machine-model predictions).
+    pub fn record(&self, ev: Event) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().unwrap().push(ev);
+        }
+    }
+
+    /// Open a span on the calling rank's main lane.
+    #[inline]
+    pub fn begin(&self, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.events.lock().unwrap().push(Event {
+                phase,
+                name: None,
+                tid: 0,
+                ts_ns,
+                kind: EventKind::Begin,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Close the innermost open span of `phase` on the main lane.
+    #[inline]
+    pub fn end(&self, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.events.lock().unwrap().push(Event {
+                phase,
+                name: None,
+                tid: 0,
+                ts_ns,
+                kind: EventKind::End,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Close the innermost open span of `phase`, attaching args to the end
+    /// event (e.g. bytes moved during the span).
+    #[inline]
+    pub fn end_with(&self, phase: Phase, args: &[(&'static str, f64)]) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.events.lock().unwrap().push(Event {
+                phase,
+                name: None,
+                tid: 0,
+                ts_ns,
+                kind: EventKind::End,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Record a sampled residual: counter event on the `Residual` lane.
+    #[inline]
+    pub fn residual(&self, iteration: u64, rel: f64) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.events.lock().unwrap().push(Event {
+                phase: Phase::Residual,
+                name: None,
+                tid: 0,
+                ts_ns,
+                kind: EventKind::Counter { value: rel },
+                args: vec![("iteration", iteration as f64)],
+            });
+        }
+    }
+
+    /// Record a generic counter sample.
+    #[inline]
+    pub fn counter(&self, phase: Phase, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.events.lock().unwrap().push(Event {
+                phase,
+                name: Some(name.to_string()),
+                tid: 0,
+                ts_ns,
+                kind: EventKind::Counter { value },
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Record a complete span with an explicit position and duration.
+    pub fn complete_at(
+        &self,
+        phase: Phase,
+        tid: u32,
+        ts_ns: u64,
+        dur_ns: u64,
+        name: Option<String>,
+        args: &[(&'static str, f64)],
+    ) {
+        self.record(Event {
+            phase,
+            name,
+            tid,
+            ts_ns,
+            kind: EventKind::Complete { dur_ns },
+            args: args.to_vec(),
+        });
+    }
+
+    /// A buffered recorder for one worker thread. `tid` 0 is the rank's
+    /// main lane; give workers distinct nonzero lanes.
+    pub fn thread(&self, tid: u32) -> ThreadRecorder {
+        ThreadRecorder { inner: self.inner.clone(), tid, buf: Vec::new() }
+    }
+
+    /// Snapshot of all recorded events, ordered by record time per lane.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.events.lock().unwrap().clone(),
+        }
+    }
+
+    /// `(rank, events)` — the exporter input for this sink.
+    pub fn stream(&self) -> (u32, Vec<Event>) {
+        (self.rank(), self.events())
+    }
+}
+
+/// Per-thread event buffer (see module docs). Flushes on drop.
+pub struct ThreadRecorder {
+    inner: Option<Arc<SinkInner>>,
+    tid: u32,
+    buf: Vec<Event>,
+}
+
+impl ThreadRecorder {
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    pub fn begin(&mut self, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            self.buf.push(Event {
+                phase,
+                name: None,
+                tid: self.tid,
+                ts_ns,
+                kind: EventKind::Begin,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    #[inline]
+    pub fn end(&mut self, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.start.elapsed().as_nanos() as u64;
+            self.buf.push(Event {
+                phase,
+                name: None,
+                tid: self.tid,
+                ts_ns,
+                kind: EventKind::End,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Push the buffered events into the shared store (one lock).
+    pub fn flush(&mut self) {
+        if let Some(inner) = &self.inner {
+            if !self.buf.is_empty() {
+                inner.events.lock().unwrap().append(&mut self.buf);
+            }
+        }
+    }
+}
+
+impl Drop for ThreadRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Check span balance: on every thread lane, each `End` must match the
+/// innermost open `Begin` of the same phase, and no span may stay open.
+/// Returns the maximum nesting depth observed.
+pub fn validate_balance(events: &[Event]) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+    let mut stacks: BTreeMap<u32, Vec<Phase>> = BTreeMap::new();
+    let mut max_depth = 0usize;
+    for ev in events {
+        match ev.kind {
+            EventKind::Begin => {
+                let stack = stacks.entry(ev.tid).or_default();
+                stack.push(ev.phase);
+                max_depth = max_depth.max(stack.len());
+            }
+            EventKind::End => {
+                let stack = stacks.entry(ev.tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == ev.phase => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "tid {}: end of {:?} closes open {:?}",
+                            ev.tid, ev.phase, open
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "tid {}: end of {:?} with no open span",
+                            ev.tid, ev.phase
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: {} span(s) left open: {:?}", stack.len(), stack));
+        }
+    }
+    Ok(max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        sink.begin(Phase::Solve);
+        sink.residual(1, 0.5);
+        sink.end(Phase::Solve);
+        assert!(!sink.is_enabled());
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let sink = TraceSink::for_rank(3);
+        let other = sink.clone();
+        sink.begin(Phase::Solve);
+        other.begin(Phase::OperatorApply);
+        other.end(Phase::OperatorApply);
+        sink.end(Phase::Solve);
+        let ev = sink.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(sink.rank(), 3);
+        assert_eq!(validate_balance(&ev), Ok(2));
+    }
+
+    #[test]
+    fn thread_recorders_buffer_then_flush() {
+        let sink = TraceSink::enabled();
+        {
+            let mut rec = sink.thread(7);
+            rec.begin(Phase::DomainSolve);
+            rec.end(Phase::DomainSolve);
+            assert!(sink.events().is_empty(), "buffered events must not be visible yet");
+        } // drop flushes
+        let ev = sink.events();
+        assert_eq!(ev.len(), 2);
+        assert!(ev.iter().all(|e| e.tid == 7));
+        assert_eq!(validate_balance(&ev), Ok(1));
+    }
+
+    #[test]
+    fn balance_detects_mismatched_and_dangling_spans() {
+        let sink = TraceSink::enabled();
+        sink.begin(Phase::Solve);
+        sink.end(Phase::OperatorApply);
+        assert!(validate_balance(&sink.events()).is_err());
+
+        let sink = TraceSink::enabled();
+        sink.begin(Phase::Solve);
+        assert!(validate_balance(&sink.events()).is_err());
+
+        let sink = TraceSink::enabled();
+        sink.end(Phase::Solve);
+        assert!(validate_balance(&sink.events()).is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_reported() {
+        let sink = TraceSink::enabled();
+        for p in [Phase::Solve, Phase::ArnoldiStep, Phase::Precondition, Phase::DomainSolve] {
+            sink.begin(p);
+        }
+        for p in [Phase::DomainSolve, Phase::Precondition, Phase::ArnoldiStep, Phase::Solve] {
+            sink.end(p);
+        }
+        assert_eq!(validate_balance(&sink.events()), Ok(4));
+    }
+}

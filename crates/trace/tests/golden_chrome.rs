@@ -1,0 +1,120 @@
+//! Golden-file test for the Chrome-trace exporter.
+//!
+//! The trace is built from explicit timestamps (never the wall clock),
+//! so the exporter output is bit-for-bit deterministic. Regenerate the
+//! golden file after an intentional format change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p qdd-trace --test golden_chrome
+//! ```
+
+use qdd_trace::{chrome_trace, jsonl, Event, EventKind, Phase, TraceSink};
+
+fn deterministic_streams() -> Vec<(u32, Vec<Event>)> {
+    let mut streams = Vec::new();
+    for rank in 0..2u32 {
+        let sink = TraceSink::for_rank(rank);
+        let base = 1_000 * rank as u64;
+        sink.record(Event {
+            phase: Phase::Solve,
+            name: None,
+            tid: 0,
+            ts_ns: base,
+            kind: EventKind::Begin,
+            args: vec![],
+        });
+        sink.record(Event {
+            phase: Phase::ArnoldiStep,
+            name: None,
+            tid: 0,
+            ts_ns: base + 2_000,
+            kind: EventKind::Begin,
+            args: vec![("iteration", 1.0)],
+        });
+        sink.complete_at(Phase::Precondition, 0, base + 3_000, 40_000, None, &[]);
+        sink.complete_at(
+            Phase::OperatorApply,
+            0,
+            base + 44_000,
+            10_000,
+            None,
+            &[("flops", 1536.0)],
+        );
+        sink.complete_at(Phase::GlobalSum, 0, base + 56_000, 2_000, None, &[]);
+        sink.record(Event {
+            phase: Phase::Residual,
+            name: None,
+            tid: 0,
+            ts_ns: base + 60_000,
+            kind: EventKind::Counter { value: 0.125 },
+            args: vec![("iteration", 1.0)],
+        });
+        sink.record(Event {
+            phase: Phase::ArnoldiStep,
+            name: None,
+            tid: 0,
+            ts_ns: base + 62_000,
+            kind: EventKind::End,
+            args: vec![],
+        });
+        // A worker lane with one domain solve.
+        sink.complete_at(Phase::DomainSolve, 1, base + 5_000, 30_000, None, &[("domain", 3.0)]);
+        // A predicted span, as the machine model emits them.
+        sink.complete_at(
+            Phase::OperatorApply,
+            9,
+            base,
+            25_000,
+            Some("predicted operator A".to_string()),
+            &[("kncs", 64.0), ("predicted", 1.0)],
+        );
+        sink.record(Event {
+            phase: Phase::Solve,
+            name: None,
+            tid: 0,
+            ts_ns: base + 70_000,
+            kind: EventKind::End,
+            args: vec![],
+        });
+        streams.push(sink.stream());
+    }
+    streams
+}
+
+fn check_golden(actual: &str, file: &str) {
+    let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e} (run with BLESS=1)"));
+    assert_eq!(actual.trim_end(), expected.trim_end(), "golden mismatch for {file}");
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let streams = deterministic_streams();
+    let out = chrome_trace(&streams);
+    // Structural validity first: parses, and every event has the
+    // mandatory Chrome-trace fields.
+    let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev["ph"].is_string());
+        assert!(ev["pid"].is_number());
+        assert!(ev["tid"].is_number());
+    }
+    check_golden(&out, "chrome_trace.json");
+}
+
+#[test]
+fn jsonl_matches_golden_file() {
+    let streams = deterministic_streams();
+    let out = jsonl(&streams);
+    for line in out.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v["kind"].is_string());
+    }
+    check_golden(&out, "events.jsonl");
+}

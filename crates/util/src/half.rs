@@ -102,7 +102,7 @@ impl F16 {
                 // Subnormal: normalize.
                 let lead = mant.leading_zeros() - 22; // zeros within the 10-bit field
                 let mant_norm = (mant << (lead + 1)) & 0x03FF;
-                let exp_f32 = (127 - 15 - lead) as u32;
+                let exp_f32 = 127 - 15 - lead;
                 sign | (exp_f32 << 23) | (mant_norm << 13)
             }
         } else if exp == 0x1F {

@@ -315,9 +315,7 @@ mod tests {
     }
 
     fn sort_by_abs(mut v: Vec<C64>) -> Vec<C64> {
-        v.sort_by(|a, b| {
-            (a.abs(), a.re, a.im).partial_cmp(&(b.abs(), b.re, b.im)).unwrap()
-        });
+        v.sort_by(|a, b| (a.abs(), a.re, a.im).partial_cmp(&(b.abs(), b.re, b.im)).unwrap());
         v
     }
 
@@ -414,9 +412,7 @@ mod tests {
         // (unitary similarity), and the result is upper Hessenberg.
         let mut rng = TestRng::new(47);
         for n in [2, 3, 5, 9] {
-            let a = CMat::from_fn(n, n, |_, _| {
-                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
-            });
+            let a = CMat::from_fn(n, n, |_, _| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5));
             let h = hessenberg_reduce(&a);
             assert!(h.is_upper_hessenberg(1e-12));
             let tr_a: C64 = (0..n).map(|i| a[(i, i)]).sum();
@@ -430,9 +426,7 @@ mod tests {
     fn eig_dense_residuals_on_general_matrix() {
         let mut rng = TestRng::new(48);
         for n in [2, 4, 7, 12] {
-            let a = CMat::from_fn(n, n, |_, _| {
-                Complex::new(rng.unit() - 0.5, rng.unit() - 0.5)
-            });
+            let a = CMat::from_fn(n, n, |_, _| Complex::new(rng.unit() - 0.5, rng.unit() - 0.5));
             let pairs = eig_dense(&a);
             assert_eq!(pairs.len(), n);
             for (theta, v) in &pairs {

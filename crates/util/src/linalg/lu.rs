@@ -147,12 +147,8 @@ mod tests {
             let lu = CLu::new(&a);
             assert!(!lu.is_singular());
             let x = lu.solve(&b);
-            let err: f64 = x
-                .iter()
-                .zip(&x_true)
-                .map(|(p, q)| (*p - *q).norm_sqr())
-                .sum::<f64>()
-                .sqrt();
+            let err: f64 =
+                x.iter().zip(&x_true).map(|(p, q)| (*p - *q).norm_sqr()).sum::<f64>().sqrt();
             assert!(err < 1e-9 * cnorm(&x_true).max(1.0), "n={n} err={err}");
         }
     }

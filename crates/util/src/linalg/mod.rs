@@ -12,7 +12,9 @@ mod givens;
 mod lu;
 mod qr;
 
-pub use eig::{eig_dense, eig_hessenberg, eig_upper_hessenberg_values, harmonic_ritz, hessenberg_reduce};
+pub use eig::{
+    eig_dense, eig_hessenberg, eig_upper_hessenberg_values, harmonic_ritz, hessenberg_reduce,
+};
 pub use givens::GivensRotation;
 pub use lu::CLu;
 pub use qr::{householder_qr, is_orthonormal, orthonormal_columns};
@@ -58,11 +60,7 @@ impl CMat {
     /// Build from a row-major slice of `(re, im)` pairs.
     pub fn from_rows(nrows: usize, ncols: usize, vals: &[(f64, f64)]) -> Self {
         assert_eq!(vals.len(), nrows * ncols);
-        Self {
-            nrows,
-            ncols,
-            data: vals.iter().map(|&(re, im)| Complex::new(re, im)).collect(),
-        }
+        Self { nrows, ncols, data: vals.iter().map(|&(re, im)| Complex::new(re, im)).collect() }
     }
 
     #[inline]

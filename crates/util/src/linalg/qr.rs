@@ -6,9 +6,9 @@
 //! stable at these sizes.
 
 use super::CMat;
-use crate::complex::C64;
 #[cfg(test)]
 use crate::complex::Complex;
+use crate::complex::C64;
 
 /// Economy-size Householder QR: `A (n x m, n >= m) = Q R` with `Q` having
 /// orthonormal columns (n x m) and `R` upper triangular (m x m).
@@ -141,11 +141,7 @@ mod tests {
         // Make column 2 a linear combination of columns 0 and 1.
         let c0 = a.col(0);
         let c1 = a.col(1);
-        let dep: Vec<C64> = c0
-            .iter()
-            .zip(&c1)
-            .map(|(x, y)| x.scale(2.0) - y.scale(0.5))
-            .collect();
+        let dep: Vec<C64> = c0.iter().zip(&c1).map(|(x, y)| x.scale(2.0) - y.scale(0.5)).collect();
         a.set_col(2, &dep);
         let q = orthonormal_columns(&a);
         assert_eq!(q.ncols(), 3);

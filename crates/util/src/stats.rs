@@ -6,8 +6,19 @@
 //! reports per-component flops, total network traffic, and the number of
 //! global sums. The solver stack records exactly these quantities into a
 //! [`SolveStats`] ledger, which the machine model later converts to time.
+//!
+//! The ledger also carries an optional [`TraceSink`]: when one is
+//! attached, the solvers and preconditioners emit per-phase spans and
+//! per-iteration residual samples through the same handle that already
+//! flows through every hot path. A detached sink (the default) costs a
+//! single branch per call.
 
+use qdd_trace::{Phase, TraceSink};
 use std::fmt;
+
+/// Simple running summary (count / mean / min / max) used by the
+/// benches; lives in `qdd-trace` so metrics registries can aggregate it.
+pub use qdd_trace::Summary;
 
 /// The component taxonomy of the paper's Table III.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -61,6 +72,8 @@ pub struct SolveStats {
     outer_iterations: u64,
     /// Total operator applications (A or block operators), for sanity checks.
     operator_applications: u64,
+    /// Optional structured-trace sink; detached by default.
+    sink: TraceSink,
 }
 
 impl SolveStats {
@@ -126,6 +139,35 @@ impl SolveStats {
         self.operator_applications
     }
 
+    /// Attach a trace sink; subsequent span/residual calls record into it.
+    pub fn attach_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
+    /// The attached trace sink (detached and inert by default).
+    #[inline]
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Open a phase span on the calling thread's main lane.
+    #[inline]
+    pub fn span_begin(&self, phase: Phase) {
+        self.sink.begin(phase);
+    }
+
+    /// Close the innermost span of `phase`.
+    #[inline]
+    pub fn span_end(&self, phase: Phase) {
+        self.sink.end(phase);
+    }
+
+    /// Record one outer-iteration residual sample.
+    #[inline]
+    pub fn trace_residual(&self, iteration: u64, rel: f64) {
+        self.sink.residual(iteration, rel);
+    }
+
     /// Merge another ledger into this one (e.g. across ranks).
     pub fn merge(&mut self, other: &SolveStats) {
         for i in 0..4 {
@@ -140,12 +182,7 @@ impl SolveStats {
     /// Fraction of total flops per component, in `Component::ALL` order.
     pub fn flop_fractions(&self) -> [f64; 4] {
         let total = self.total_flops().max(f64::MIN_POSITIVE);
-        [
-            self.flops[0] / total,
-            self.flops[1] / total,
-            self.flops[2] / total,
-            self.flops[3] / total,
-        ]
+        [self.flops[0] / total, self.flops[1] / total, self.flops[2] / total, self.flops[3] / total]
     }
 }
 
@@ -163,48 +200,6 @@ impl fmt::Display for SolveStats {
         }
         writeln!(f, "  global sums: {}", self.global_sums)?;
         write!(f, "  outer iterations: {}", self.outer_iterations)
-    }
-}
-
-/// Simple running summary (mean / min / max) used by the benches.
-#[derive(Clone, Debug, Default)]
-pub struct Summary {
-    n: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Summary {
-    pub fn new() -> Self {
-        Self { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
-    }
-
-    pub fn record(&mut self, x: f64) {
-        self.n += 1;
-        self.sum += x;
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.n
-    }
-
-    pub fn mean(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            self.sum / self.n as f64
-        }
-    }
-
-    pub fn min(&self) -> f64 {
-        self.min
-    }
-
-    pub fn max(&self) -> f64 {
-        self.max
     }
 }
 

@@ -36,10 +36,7 @@ fn main() {
     println!("sampling {n_configs} configurations ({separation} trajectories apart) ...");
     for i in 0..n_configs {
         hmc.run(separation);
-        println!(
-            "  config {i}: plaquette {:.4}",
-            hmc.stats.plaquette.last().unwrap()
-        );
+        println!("  config {i}: plaquette {:.4}", hmc.stats.plaquette.last().unwrap());
         ensemble.push(hmc.gauge.clone());
     }
 

@@ -73,11 +73,8 @@ fn main() {
     println!("\npion correlator and effective mass:");
     println!("{:>3} {:>14} {:>10}", "t", "C(t)", "m_eff(t)");
     for t in 0..lt / 2 {
-        let meff = if t + 1 < lt && corr[t + 1] > 0.0 {
-            (corr[t] / corr[t + 1]).ln()
-        } else {
-            f64::NAN
-        };
+        let meff =
+            if t + 1 < lt && corr[t + 1] > 0.0 { (corr[t] / corr[t + 1]).ln() } else { f64::NAN };
         println!("{:>3} {:>14.6e} {:>10.4}", t, corr[t], meff);
     }
 

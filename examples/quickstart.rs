@@ -39,14 +39,19 @@ fn main() {
     let mut stats = SolveStats::new();
     let (x, outcome) = solver.solve(&b, &mut stats);
 
-    println!("\nconverged: {} in {} outer iterations ({} restart cycles)",
-        outcome.converged, outcome.iterations, outcome.cycles);
+    println!(
+        "\nconverged: {} in {} outer iterations ({} restart cycles)",
+        outcome.converged, outcome.iterations, outcome.cycles
+    );
     println!("true relative residual: {:.2e}", outcome.relative_residual);
     println!("\n{stats}");
     let fr = stats.flop_fractions();
     println!(
         "\nflop split: A {:.0}%  M {:.0}%  GS {:.0}%  other {:.0}%  (paper: M dominates at 80-90%)",
-        100.0 * fr[0], 100.0 * fr[1], 100.0 * fr[2], 100.0 * fr[3]
+        100.0 * fr[0],
+        100.0 * fr[1],
+        100.0 * fr[2],
+        100.0 * fr[3]
     );
 
     // Verify independently.

@@ -59,7 +59,13 @@ fn main() {
         let t = Instant::now();
         let (_, out) = solver.solve(&b, &mut stats);
         assert!(out.converged);
-        report("DD (FGMRES-DR+SAP)", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
+        report(
+            "DD (FGMRES-DR+SAP)",
+            out.iterations,
+            &stats,
+            out.relative_residual,
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     let operator = op(dims, 90);
@@ -90,7 +96,13 @@ fn main() {
             &mut stats,
         );
         assert!(out.converged);
-        report("GCR+SAP (Luscher)", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
+        report(
+            "GCR+SAP (Luscher)",
+            out.iterations,
+            &stats,
+            out.relative_residual,
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     // Unpreconditioned FGMRES-DR.
@@ -101,7 +113,13 @@ fn main() {
         let t = Instant::now();
         let (_, out) = fgmres_dr(&sys, &b, &mut ident, &cfg, &mut stats);
         assert!(out.converged);
-        report("GMRES-DR(16,8)", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
+        report(
+            "GMRES-DR(16,8)",
+            out.iterations,
+            &stats,
+            out.relative_residual,
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     // BiCGstab (double).
@@ -115,7 +133,13 @@ fn main() {
             &mut stats,
         );
         assert!(out.converged);
-        report("BiCGstab (f64)", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
+        report(
+            "BiCGstab (f64)",
+            out.iterations,
+            &stats,
+            out.relative_residual,
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     // Mixed-precision Richardson/BiCGstab.
@@ -132,19 +156,21 @@ fn main() {
             &mut stats,
         );
         assert!(out.converged);
-        report("Richardson mixed", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
+        report(
+            "Richardson mixed",
+            out.iterations,
+            &stats,
+            out.relative_residual,
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     // CGNR — the "CG on normal equations" strawman.
     {
         let mut stats = SolveStats::new();
         let t = Instant::now();
-        let (_, out) = cgnr(
-            &sys,
-            &b,
-            &CgConfig { tolerance: tol, max_iterations: 100_000 },
-            &mut stats,
-        );
+        let (_, out) =
+            cgnr(&sys, &b, &CgConfig { tolerance: tol, max_iterations: 100_000 }, &mut stats);
         assert!(out.converged);
         report("CGNR", out.iterations, &stats, out.relative_residual, t.elapsed().as_secs_f64());
     }

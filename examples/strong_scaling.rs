@@ -39,12 +39,9 @@ fn main() {
         "\n{:>6} {:>10} {:>8} {:>14} {:>14} {:>10}",
         "ranks", "layout", "iters", "M comm MB/rk", "A comm MB/rk", "time [s]"
     );
-    for layout in [
-        Dims::new(1, 1, 1, 1),
-        Dims::new(1, 1, 1, 2),
-        Dims::new(2, 1, 1, 2),
-        Dims::new(2, 2, 1, 2),
-    ] {
+    for layout in
+        [Dims::new(1, 1, 1, 1), Dims::new(1, 1, 1, 2), Dims::new(2, 1, 1, 2), Dims::new(2, 2, 1, 2)]
+    {
         let grid = RankGrid::new(dims, layout);
         let lg = scatter_gauge(&gauge, &grid);
         let lc = scatter_clover(&clover, &grid);
@@ -55,7 +52,7 @@ fn main() {
             let r = ctx.rank();
             let op = WilsonClover::new(lg[r].clone(), lc[r].clone(), 0.15, phases);
             let mut stats = SolveStats::new();
-            let (_, out) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
+            let (_, out, _) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
             assert!(out.converged, "rank {r} did not converge");
             (out.iterations, stats)
         });

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full pre-merge verification: release build, tests, formatting, lints.
+# Run from the repository root: sh scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> verify OK"

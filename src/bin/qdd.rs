@@ -4,7 +4,7 @@
 //! qdd solve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--mass M] [--spread S]
 //!           [--ischwarz N] [--idomain N] [--basis M] [--deflate K]
 //!           [--tol T] [--solver dd|bicgstab|cgnr|richardson] [--workers N]
-//!           [--seed N] [--half]
+//!           [--seed N] [--half] [--trace PATH]
 //! qdd hmc   [--dims X,Y,Z,T] [--beta B] [--trajectories N] [--steps N]
 //!           [--length L] [--seed N]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
@@ -14,6 +14,7 @@
 //! Everything is deterministic for a fixed `--seed`.
 
 use lattice_qcd_dd::prelude::*;
+use lattice_qcd_dd::trace::{breakdown_table, write_trace_files, TraceSink};
 use qdd_hmc::{Hmc, HmcConfig, LeapfrogConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -102,6 +103,10 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let op = WilsonClover::new(gauge, clover, mass, BoundaryPhases::antiperiodic_t());
     let b = SpinorField::<f64>::random(dims, &mut rng);
     let mut stats = SolveStats::new();
+    let trace_path = args.flags.get("trace").cloned();
+    if trace_path.is_some() {
+        stats.attach_sink(TraceSink::enabled());
+    }
 
     let outcome = match solver_kind.as_str() {
         "dd" => {
@@ -176,6 +181,13 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         outcome.relative_residual
     );
     println!("{stats}");
+    if let Some(path) = &trace_path {
+        let streams = [stats.sink().stream()];
+        write_trace_files(&streams, path)
+            .map_err(|e| format!("could not write trace to {path}: {e}"))?;
+        println!("\ntrace written: {path} (chrome://tracing), {path}.jsonl");
+        println!("{}", breakdown_table(&streams));
+    }
     if outcome.converged {
         Ok(())
     } else {
@@ -226,9 +238,18 @@ fn cmd_info() {
     println!("lattice-qcd-dd: Rust reproduction of Heybrock et al., SC 2014");
     println!("(domain-decomposition Wilson-Clover solver for KNC clusters)\n");
     let chip = lattice_qcd_dd::machine::chip::ChipSpec::knc_7110p();
-    println!("modeled chip: {} cores @ {} GHz, {:.0} Gflop/s sp peak", chip.cores, chip.freq_ghz, chip.peak_sp_gflops());
+    println!(
+        "modeled chip: {} cores @ {} GHz, {:.0} Gflop/s sp peak",
+        chip.cores,
+        chip.freq_ghz,
+        chip.peak_sp_gflops()
+    );
     let (eff, bound) = lattice_qcd_dd::machine::kernel::wilson_clover_bound(&chip);
-    println!("Wilson-Clover compute bound: {:.1}% efficiency, {:.1} Gflop/s/core", 100.0 * eff, bound);
+    println!(
+        "Wilson-Clover compute bound: {:.1}% efficiency, {:.1} Gflop/s/core",
+        100.0 * eff,
+        bound
+    );
     println!("\nsubcommands: solve, hmc, model <table2|table3|fig5|fig6|fig7|bound>, info");
 }
 

@@ -31,6 +31,7 @@ pub use qdd_dirac as dirac;
 pub use qdd_field as field;
 pub use qdd_lattice as lattice;
 pub use qdd_machine as machine;
+pub use qdd_trace as trace;
 pub use qdd_util as util;
 
 /// The most common imports for applications.

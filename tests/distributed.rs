@@ -7,6 +7,7 @@ use lattice_qcd_dd::comm::{
     CommWorld, DistDdConfig, DistSystem,
 };
 use lattice_qcd_dd::prelude::*;
+use lattice_qcd_dd::trace::{chrome_trace, phase_totals, validate_balance, Phase, TraceSink};
 use qdd_util::stats::Component;
 
 fn setup(dims: Dims, seed: u64) -> (GaugeField<f64>, CloverField<f64>, SpinorField<f64>) {
@@ -63,7 +64,7 @@ fn eight_rank_dd_solve_matches_serial() {
         let r = ctx.rank();
         let op = WilsonClover::new(lg[r].clone(), lc[r].clone(), 0.2, phases);
         let mut stats = SolveStats::new();
-        let (x, out) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
+        let (x, out, _) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
         (x, out.converged, out.iterations)
     });
     for (_, conv, iters) in &results {
@@ -95,7 +96,7 @@ fn traffic_scales_with_surface_not_volume() {
             let r = ctx.rank();
             let op = WilsonClover::new(lg[r].clone(), lc[r].clone(), 0.2, phases);
             let mut stats = SolveStats::new();
-            let (_, out) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
+            let (_, out, _) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
             assert!(out.converged);
             (
                 out.iterations,
@@ -121,6 +122,126 @@ fn traffic_scales_with_surface_not_volume() {
 }
 
 #[test]
+fn halo_bytes_match_analytic_surface_prediction() {
+    // Every byte the runtime counts must be predictable from the local
+    // surface area: A applications exchange full f64 halos, each Schwarz
+    // preconditioner application exchanges `i_schwarz - 1/2` full f32
+    // halos (one masked half-face per half-sweep, last one skipped).
+    let dims = Dims::new(8, 8, 8, 8);
+    let (gauge, clover, b) = setup(dims, 2004);
+    let phases = BoundaryPhases::antiperiodic_t();
+    let cfg = dist_cfg();
+
+    let grid = RankGrid::new(dims, Dims::new(2, 1, 1, 2));
+    let lg = scatter_gauge(&gauge, &grid);
+    let lc = scatter_clover(&clover, &grid);
+    let lb = scatter_field(&b, &grid);
+    let local = *grid.local();
+    let world = CommWorld::new(grid.clone());
+    let results = run_spmd(&world, |ctx| {
+        let r = ctx.rank();
+        let op = WilsonClover::new(lg[r].clone(), lc[r].clone(), 0.2, phases);
+        let mut stats = SolveStats::new();
+        let (_, out, comm) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
+        assert!(out.converged);
+        (out.iterations, stats.operator_applications(), comm)
+    });
+
+    // Per-rank split surface: both x and t are split here.
+    let split_faces: f64 = [Dir::X, Dir::T].iter().map(|&d| 2.0 * local.face_area(d) as f64).sum();
+    let halo_f64 = split_faces * 12.0 * 8.0;
+    let halo_f32 = split_faces * 12.0 * 4.0;
+    for (iters, a_ops, comm) in &results {
+        // One preconditioner application per outer iteration.
+        let expect = *a_ops as f64 * halo_f64
+            + *iters as f64 * (cfg.schwarz.i_schwarz as f64 - 0.5) * halo_f32;
+        assert!(
+            (comm.bytes_sent - expect).abs() < 1e-6,
+            "bytes {} vs analytic {expect}",
+            comm.bytes_sent
+        );
+        // Per-direction counters tile the total, and unsplit directions
+        // stay at zero.
+        let by_dir: f64 = comm.bytes_by_dir.iter().flatten().sum();
+        assert!((by_dir - comm.bytes_sent).abs() < 1e-6);
+        assert_eq!(comm.bytes_by_dir[1], [0.0, 0.0]);
+        assert_eq!(comm.bytes_by_dir[2], [0.0, 0.0]);
+    }
+}
+
+#[test]
+fn distributed_solve_produces_balanced_per_rank_traces() {
+    // Full observability run: every rank records solver, Schwarz and comm
+    // spans into its own sink; the merged streams export to a valid
+    // Chrome trace and a per-phase breakdown that includes communication.
+    let dims = Dims::new(8, 8, 8, 8);
+    let (gauge, clover, b) = setup(dims, 2005);
+    let phases = BoundaryPhases::antiperiodic_t();
+    let cfg = dist_cfg();
+
+    let grid = RankGrid::new(dims, Dims::new(2, 1, 1, 1));
+    let lg = scatter_gauge(&gauge, &grid);
+    let lc = scatter_clover(&clover, &grid);
+    let lb = scatter_field(&b, &grid);
+    let world = CommWorld::new(grid.clone());
+    let results = run_spmd(&world, |ctx| {
+        let r = ctx.rank();
+        let sink = TraceSink::for_rank(r as u32);
+        ctx.attach_trace(sink.clone());
+        let op = WilsonClover::new(lg[r].clone(), lc[r].clone(), 0.2, phases);
+        let mut stats = SolveStats::new();
+        stats.attach_sink(sink.clone());
+        let (_, out, comm) = dd_solve_distributed(ctx, &op, &lb[r], &cfg, &mut stats);
+        assert!(out.converged);
+        (sink.stream(), comm)
+    });
+
+    let streams: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
+    for (rank, events) in &streams {
+        validate_balance(events).unwrap_or_else(|e| panic!("rank {rank}: unbalanced spans: {e}"));
+        for phase in [
+            Phase::Solve,
+            Phase::ArnoldiStep,
+            Phase::Precondition,
+            Phase::SchwarzSweep,
+            Phase::DomainSolve,
+            Phase::HaloPack,
+            Phase::HaloSend,
+            Phase::HaloRecv,
+            Phase::HaloUnpack,
+            Phase::GlobalSum,
+        ] {
+            assert!(events.iter().any(|e| e.phase == phase), "rank {rank}: no {phase:?} event");
+        }
+    }
+
+    // The Chrome export over all ranks is valid JSON with both pids.
+    let chrome = chrome_trace(&streams);
+    let v: serde_json::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let evs = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!evs.is_empty());
+    for rank in 0..streams.len() {
+        assert!(
+            evs.iter().any(|e| e["pid"].as_f64() == Some(rank as f64)),
+            "no events for pid {rank}"
+        );
+    }
+
+    // Per-phase time shares: the preconditioner dominates an operator-
+    // bound DD solve, and communication phases carry nonzero time.
+    let totals = phase_totals(&streams);
+    let pre = totals.get(&Phase::Precondition).expect("Precondition total");
+    assert!(pre.total_ns > 0);
+    for phase in [Phase::HaloSend, Phase::HaloRecv, Phase::GlobalSum] {
+        assert!(totals.get(&phase).is_some_and(|t| t.total_ns > 0), "{phase:?} has no time");
+    }
+
+    // Both ranks moved the same bytes (symmetric layout).
+    assert_eq!(results[0].1.bytes_sent, results[1].1.bytes_sent);
+    assert!(results[0].1.bytes_sent > 0.0);
+}
+
+#[test]
 fn distributed_gmres_without_preconditioner_matches_serial() {
     // The bare outer solver through the DistSystem plumbing.
     let dims = Dims::new(8, 8, 4, 8);
@@ -131,8 +252,7 @@ fn distributed_gmres_without_preconditioner_matches_serial() {
     let op_ref = WilsonClover::new(gauge.clone(), clover.clone(), 0.25, phases);
     let mut st = SolveStats::new();
     let mut ident = |r: &SpinorField<f64>, _: &mut SolveStats| r.clone();
-    let (x_ref, out_ref) =
-        fgmres_dr(&LocalSystem::new(&op_ref), &b, &mut ident, &cfg, &mut st);
+    let (x_ref, out_ref) = fgmres_dr(&LocalSystem::new(&op_ref), &b, &mut ident, &cfg, &mut st);
     assert!(out_ref.converged);
 
     let grid = RankGrid::new(dims, Dims::new(1, 2, 1, 2));

@@ -36,8 +36,8 @@ fn dd_recovers_manufactured_solution() {
     let mut b = SpinorField::zeros(dims);
     op.apply(&mut b, &x_true);
 
-    let solver = DdSolver::new(operator(dims, 0.5, 0.15, 1001), dd_config(Dims::new(4, 4, 4, 4)))
-        .unwrap();
+    let solver =
+        DdSolver::new(operator(dims, 0.5, 0.15, 1001), dd_config(Dims::new(4, 4, 4, 4))).unwrap();
     let mut stats = SolveStats::new();
     let (x, out) = solver.solve(&b, &mut stats);
     assert!(out.converged);
@@ -56,8 +56,12 @@ fn all_solvers_agree_on_the_same_problem() {
     let sys = LocalSystem::new(&op);
 
     let mut stats = SolveStats::new();
-    let (x_bi, out_bi) =
-        bicgstab(&sys, &b, &BiCgStabConfig { tolerance: 1e-10, max_iterations: 20_000 }, &mut stats);
+    let (x_bi, out_bi) = bicgstab(
+        &sys,
+        &b,
+        &BiCgStabConfig { tolerance: 1e-10, max_iterations: 20_000 },
+        &mut stats,
+    );
     assert!(out_bi.converged);
 
     let solver =

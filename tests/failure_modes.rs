@@ -139,8 +139,7 @@ fn zero_volume_protections() {
         qdd_lattice::DomainGrid::new(Dims::new(8, 8, 8, 8), Dims::new(3, 4, 4, 4))
     });
     assert!(result.is_err(), "odd block extent must be rejected");
-    let result = std::panic::catch_unwind(|| {
-        RankGrid::new(Dims::new(8, 8, 8, 8), Dims::new(3, 1, 1, 1))
-    });
+    let result =
+        std::panic::catch_unwind(|| RankGrid::new(Dims::new(8, 8, 8, 8), Dims::new(3, 1, 1, 1)));
     assert!(result.is_err(), "indivisible rank grid must be rejected");
 }

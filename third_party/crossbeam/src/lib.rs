@@ -1,0 +1,141 @@
+//! Offline stand-in for `crossbeam` (see `third_party/README.md`).
+//!
+//! Backed by `std::thread::scope` (thread lifetimes) and `std::sync::mpsc`
+//! (channels). API differences from the real crate that matter here:
+//!
+//! - `Scope::spawn` passes `()` to the closure instead of a nested
+//!   `&Scope`; every call site in this workspace writes `|_|` and never
+//!   re-spawns from inside a child, so this is invisible.
+//! - `scope` returns `Ok` or propagates the child panic on join (the
+//!   real crate returns `Err` with the payload; callers `.unwrap()`
+//!   immediately, so behavior on panic is equivalent: the panic
+//!   surfaces on the spawning thread).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Multi-producer sender (the real crossbeam sender is also `Clone`).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self { inner: self.inner.clone() }
+        }
+    }
+
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`, so
+    // `.expect()` works on channels of opaque payloads.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner.try_recv().map_err(|_| RecvError)
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+use std::marker::PhantomData;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives `()` where the real
+    /// crate passes a nested `&Scope`; all call sites here use `|_|`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(())), _marker: PhantomData }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        super::scope(|s| {
+            let (left, right) = sums.split_at_mut(1);
+            let h0 = s.spawn(|_| left[0] = data[..2].iter().sum());
+            let h1 = s.spawn(|_| right[0] = data[2..].iter().sum());
+            h0.join().unwrap();
+            h1.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(sums, [3, 7]);
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = super::channel::unbounded();
+        super::scope(|s| {
+            for w in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(w).unwrap());
+            }
+        })
+        .unwrap();
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, [0, 1, 2, 3]);
+    }
+}

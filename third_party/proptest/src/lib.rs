@@ -1,0 +1,218 @@
+//! Offline stand-in for `proptest` (see `third_party/README.md`).
+//!
+//! The workspace's property tests draw arguments exclusively from
+//! numeric range strategies (`0u64..100`, `1usize..=8`, `0.1f64..2.0`)
+//! and assert with `prop_assert!`. This stand-in runs each property
+//! `cases` times with a deterministic splitmix-style sampler, so test
+//! runs are reproducible and need no shrinking machinery: a failing
+//! sample prints its case index, which fully determines the inputs.
+
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) so each
+/// (case, argument) pair gets an independent, reproducible draw.
+pub fn mix(case: u64, arg_index: u64) -> u64 {
+    let mut z = case
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(arg_index.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A source of values for one property argument.
+pub trait Strategy {
+    type Value;
+    fn sample_with(&self, seed: u64) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample_with(&self, seed: u64) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + ((seed as u128 % span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_with(&self, seed: u64) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    lo + ((seed as u128 % span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample_with(&self, seed: u64) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 mantissa bits of uniformity is plenty here.
+                    let unit = (seed >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (self.end - self.start) * unit as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_with(&self, seed: u64) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let unit = (seed >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    lo + (hi - lo) * unit as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// Run each property `cases` times, mixing the case index into every
+/// argument draw. `$(#[$meta])*` carries the user-written `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let mut arg_index = 0u64;
+                    $(
+                        let $arg = $crate::Strategy::sample_with(
+                            &($strat),
+                            $crate::mix(case, arg_index),
+                        );
+                        arg_index += 1;
+                    )*
+                    let _ = arg_index;
+                    let run = || -> Result<(), String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(msg) = run() {
+                        panic!(
+                            "proptest case {case} failed: {msg}\n  args: {}",
+                            stringify!($($arg in $strat),*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Assert inside a property; failure reports the condition and message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {} ({a:?} vs {b:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{mix, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn int_ranges_stay_in_bounds(a in 3u64..17, b in 1usize..=8) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..=8).contains(&b));
+        }
+
+        #[test]
+        fn float_ranges_stay_in_bounds(x in 0.1f64..2.0) {
+            prop_assert!((0.1..2.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = 5u64..100;
+        assert_eq!(s.sample_with(mix(7, 0)), s.sample_with(mix(7, 0)));
+        // Different cases give different draws (for this seed pair).
+        assert_ne!(mix(1, 0), mix(2, 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for `serde` (see `third_party/README.md`).
+//!
+//! The real serde serializes through a visitor-based data model; this
+//! workspace only ever serializes to JSON, so the stand-in collapses the
+//! model to one step: [`Serialize`] renders a value into a [`Value`]
+//! tree, which `serde_json` then prints. The `derive` feature forwards
+//! to the `serde_derive` stand-in, which generates `Serialize` impls
+//! with the same external behavior as the real derive (struct → object,
+//! newtype → inner, tuple struct → array, unit enum variant → string).
+
+mod value;
+
+pub use value::{Map, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Serialize into a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        })*
+    };
+}
+
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(1.5f64.to_value(), Value::Number(1.5));
+        assert_eq!(7usize.to_value(), Value::Number(7.0));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+        assert_eq!([3usize; 2].to_value(), vec![3usize, 3].to_value());
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` by hand-parsing the item's token
+//! stream (no `syn`/`quote`). Supported shapes — exactly what this
+//! workspace derives on:
+//!
+//! - structs with named fields  → JSON object in field order
+//! - newtype structs            → the inner value
+//! - other tuple structs        → JSON array
+//! - enums with unit variants   → the variant name as a JSON string
+//!   (explicit discriminants like `X = 0` are allowed and ignored)
+//!
+//! Generics and data-carrying enum variants are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive(Serialize) stand-in does not support generics on {name}"));
+    }
+
+    match kind {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                Ok(struct_impl(&name, &fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_field_count(g.stream());
+                Ok(tuple_impl(&name, n))
+            }
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        _ => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = unit_variants(g.stream(), &name)?;
+                Ok(enum_impl(&name, &variants))
+            }
+            other => Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // #[...] or #![...]
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // pub(crate) etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a brace-group token stream into top-level comma-separated
+/// chunks. Delimiter groups are single tokens, but angle-bracket
+/// generics are bare puncts, so track `<`/`>` depth to avoid splitting
+/// inside `BTreeMap<String, f64>`.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                chunks.last_mut().unwrap().push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                chunks.last_mut().unwrap().push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new())
+            }
+            _ => chunks.last_mut().unwrap().push(t),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes_and_visibility(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn tuple_field_count(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn unit_variants(stream: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes_and_visibility(&chunk, &mut i);
+        let variant = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name in {name}, found {other:?}")),
+        };
+        i += 1;
+        match chunk.get(i) {
+            // `= discriminant` — allowed (the rest of the chunk is the expr).
+            None | Some(TokenTree::Punct(_)) => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "derive(Serialize) stand-in supports only unit variants; \
+                     {name}::{variant} carries data"
+                ))
+            }
+            other => return Err(format!("unexpected token after {name}::{variant}: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn struct_impl(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "m.insert(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    body.push_str("::serde::Value::Object(m)");
+    impl_block(name, &body)
+}
+
+fn tuple_impl(name: &str, n: usize) -> String {
+    let body = if n == 1 {
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> =
+            (0..n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    };
+    impl_block(name, &body)
+}
+
+fn enum_impl(name: &str, variants: &[String]) -> String {
+    let mut body = String::from("match self {\n");
+    for v in variants {
+        body.push_str(&format!("{name}::{v} => ::serde::Value::String(String::from({v:?})),\n"));
+    }
+    body.push('}');
+    impl_block(name, &body)
+}
+
+fn impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
