@@ -12,7 +12,7 @@
 //! the checkerboard phase alternates from rank to rank, and using local
 //! colors would put adjacent domains in the same half-sweep.
 
-use crate::runtime::{HaloScalar, RankCtx};
+use crate::runtime::{CommError, HaloScalar, RankCtx};
 use qdd_core::mr::MrConfig;
 use qdd_core::schwarz::{schwarz_block_update, SchwarzConfig};
 use qdd_dirac::block::{DomainFields, SchurOperator};
@@ -23,6 +23,7 @@ use qdd_field::halo::{face_index, HaloData};
 use qdd_field::spinor::HalfSpinor;
 use qdd_lattice::{Dir, DomainColor, DomainGrid, Parity, SiteIndexer};
 use qdd_util::stats::{Component, SolveStats};
+use std::cell::Cell;
 
 /// One rank's Schwarz preconditioner.
 pub struct DistSchwarz<'a, T: HaloScalar> {
@@ -37,6 +38,10 @@ pub struct DistSchwarz<'a, T: HaloScalar> {
     /// `k` of our face `o` (0 = backward, coord 0; 1 = forward, coord L-1)
     /// in direction `d`.
     face_color: [[Vec<DomainColor>; 2]; 4],
+    /// First communication fault, if any: a malformed partial-face
+    /// exchange leaves the previous (stale) halo entries in place and is
+    /// recorded here instead of aborting the rank thread.
+    fault: Cell<Option<CommError>>,
 }
 
 impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
@@ -76,21 +81,29 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
 
         // Face-site colors.
         let idx = SiteIndexer::new(local);
-        let face_color: [[Vec<DomainColor>; 2]; 4] = std::array::from_fn(|d| {
-            let dir = Dir::from_index(d);
-            std::array::from_fn(|o| {
+        let mut face_color: [[Vec<DomainColor>; 2]; 4] =
+            std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()));
+        for dir in Dir::ALL {
+            for o in 0..2 {
                 let fixed = if o == 1 { local[dir] - 1 } else { 0 };
                 let mut v = vec![DomainColor::Black; local.face_area(dir)];
                 for c in idx.iter().filter(|c| c[dir] == fixed) {
                     let (dom_idx, _) = grid.locate(&c);
                     v[face_index(&local, dir, &c)] = global_color(grid.domain(dom_idx).color);
                 }
-                v
-            })
-        });
+                face_color[dir.index()][o] = v;
+            }
+        }
 
         let fields = DomainFields::new(op)?;
-        Some(Self { ctx, op, fields, grid, cfg, colors, face_color })
+        Some(Self { ctx, op, fields, grid, cfg, colors, face_color, fault: Cell::new(None) })
+    }
+
+    /// The first communication fault seen by this rank's preconditioner,
+    /// if any. A solve whose preconditioner reports a fault must be
+    /// treated as unreliable (the serve layer maps it to `Degraded`).
+    pub fn comm_error(&self) -> Option<CommError> {
+        self.fault.get()
     }
 
     #[inline]
@@ -150,7 +163,18 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             // backward face; its site colors are the flip of our forward
             // face's colors at the same face positions.
             for (forward, own_face) in [(true, 1usize), (false, 0usize)] {
-                let data = self.ctx.recv_face::<T>(dir, forward);
+                let data = match self.ctx.recv_face::<T>(dir, forward) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        // Degrade: keep the stale halo entries for this
+                        // face, record the fault, and keep draining the
+                        // remaining faces so channels stay aligned.
+                        if self.fault.get().is_none() {
+                            self.fault.set(Some(e));
+                        }
+                        continue;
+                    }
+                };
                 let mask = &self.face_color[dir.index()][own_face];
                 let positions: Vec<usize> =
                     (0..local.face_area(dir)).filter(|&k| mask[k].flip() == color).collect();

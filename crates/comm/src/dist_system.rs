@@ -6,18 +6,25 @@
 //! reduction is accounted in the `SolveStats` ledger.
 
 use crate::exchange::exchange_halo;
-use crate::runtime::{HaloScalar, RankCtx};
+use crate::runtime::{CommError, HaloScalar, RankCtx};
 use qdd_core::system::SystemOps;
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
+use qdd_field::halo::HaloData;
 use qdd_lattice::Dims;
 use qdd_util::complex::{Complex, Real};
 use qdd_util::stats::{Component, SolveStats};
+use std::cell::Cell;
 
 /// One rank's view of the distributed system.
 pub struct DistSystem<'a, T: Real> {
     ctx: &'a RankCtx<'a>,
     op: &'a WilsonClover<T>,
+    /// First communication fault, if any. `SystemOps` has no error channel
+    /// (the solvers are oblivious to distribution), so a failed exchange
+    /// degrades to a zeroed halo and is recorded here for the caller to
+    /// inspect after the solve.
+    fault: Cell<Option<CommError>>,
 }
 
 impl<'a, T: HaloScalar> DistSystem<'a, T> {
@@ -27,7 +34,7 @@ impl<'a, T: HaloScalar> DistSystem<'a, T> {
             ctx.grid().local(),
             "operator must be built on the rank-local lattice"
         );
-        Self { ctx, op }
+        Self { ctx, op, fault: Cell::new(None) }
     }
 
     pub fn ctx(&self) -> &RankCtx<'a> {
@@ -38,8 +45,27 @@ impl<'a, T: HaloScalar> DistSystem<'a, T> {
         self.op
     }
 
+    /// The first communication fault seen by this rank's operator
+    /// applications, if any. A solve whose system reports a fault must be
+    /// treated as unreliable (the serve layer maps it to `Degraded`).
+    pub fn comm_error(&self) -> Option<CommError> {
+        self.fault.get()
+    }
+
     fn comm_bytes_per_apply(&self) -> f64 {
         crate::exchange::exchange_bytes(self.ctx, self.op)
+    }
+
+    fn exchange_or_degrade(&self, inp: &SpinorField<T>) -> HaloData<T> {
+        match exchange_halo(self.ctx, self.op, inp) {
+            Ok(h) => h,
+            Err(e) => {
+                if self.fault.get().is_none() {
+                    self.fault.set(Some(e));
+                }
+                HaloData::zeros(*self.op.dims())
+            }
+        }
     }
 }
 
@@ -49,7 +75,7 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
     }
 
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
-        let halo = exchange_halo(self.ctx, self.op, inp);
+        let halo = self.exchange_or_degrade(inp);
         self.op.apply_with_halo(out, inp, &halo);
         stats.add_flops(Component::OperatorA, self.op.apply_flops());
         stats.add_comm_bytes(Component::OperatorA, self.comm_bytes_per_apply());
@@ -64,7 +90,7 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
     ) {
         let basis = self.op.basis();
         let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
-        let halo = exchange_halo(self.ctx, self.op, &g5in);
+        let halo = self.exchange_or_degrade(&g5in);
         self.op.apply_with_halo(out, &g5in, &halo);
         for s in 0..out.len() {
             *out.site_mut(s) = basis.apply_gamma5(out.site(s));

@@ -4,7 +4,7 @@
 //! message per direction and orientation; fermion boundary phases are
 //! folded in at pack time by the rank sitting at the global edge.
 
-use crate::runtime::{HaloScalar, RankCtx};
+use crate::runtime::{CommError, HaloScalar, RankCtx};
 use qdd_dirac::boundary::{pack_for_backward_hop, pack_for_forward_hop};
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
@@ -17,11 +17,16 @@ use qdd_trace::Phase;
 /// Non-blocking in effect: all sends are posted before any receive
 /// (channels are unbounded), matching the paper's non-blocking MPI
 /// send/receive pairs issued by a dedicated core (Sec. III-E).
+///
+/// On a malformed face the exchange still drains every remaining receive
+/// (keeping the per-neighbor channels aligned for later exchanges), leaves
+/// the bad faces zeroed, and reports the first [`CommError`] so the caller
+/// can degrade the solve instead of aborting the rank.
 pub fn exchange_halo<T: HaloScalar>(
     ctx: &RankCtx<'_>,
     op: &WilsonClover<T>,
     inp: &SpinorField<T>,
-) -> HaloData<T> {
+) -> Result<HaloData<T>, CommError> {
     let trace = ctx.trace();
     // Post all sends.
     trace.begin(Phase::HaloPack);
@@ -38,19 +43,27 @@ pub fn exchange_halo<T: HaloScalar>(
         ctx.send_face(dir, true, bwd_payload.data);
     }
     trace.end(Phase::HaloPack);
-    // Collect receives.
+    // Collect receives; drain them all even after a fault.
     trace.begin(Phase::HaloUnpack);
     let mut halo = HaloData::zeros(*op.dims());
+    let mut fault: Option<CommError> = None;
     for dir in Dir::ALL {
-        // face(dir, true): from our forward neighbor.
-        let data = ctx.recv_face::<T>(dir, true);
-        *halo.face_mut(dir, true) = FaceBuffer { data };
-        // face(dir, false): from our backward neighbor.
-        let data = ctx.recv_face::<T>(dir, false);
-        *halo.face_mut(dir, false) = FaceBuffer { data };
+        // face(dir, true): from our forward neighbor; face(dir, false):
+        // from our backward neighbor.
+        for forward in [true, false] {
+            match ctx.recv_face::<T>(dir, forward) {
+                Ok(data) => *halo.face_mut(dir, forward) = FaceBuffer { data },
+                Err(e) => {
+                    fault.get_or_insert(e);
+                }
+            }
+        }
     }
     trace.end(Phase::HaloUnpack);
-    halo
+    match fault {
+        None => Ok(halo),
+        Some(e) => Err(e),
+    }
 }
 
 /// Bytes one full exchange moves over the network for this rank.
@@ -102,7 +115,7 @@ mod tests {
             let r = ctx.rank();
             let op =
                 WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
-            let halo = exchange_halo(ctx, &op, &local_in[r]);
+            let halo = exchange_halo(ctx, &op, &local_in[r]).unwrap();
             let mut out = SpinorField::zeros(*grid.local());
             op.apply_with_halo(&mut out, &local_in[r], &halo);
             out
@@ -159,7 +172,7 @@ mod tests {
                 0.2,
                 BoundaryPhases::periodic(),
             );
-            let _ = exchange_halo(ctx, &op, &local_in[r]);
+            let _ = exchange_halo(ctx, &op, &local_in[r]).unwrap();
             (
                 ctx.counters.bytes_sent.get(),
                 exchange_bytes(ctx, &op),

@@ -31,5 +31,5 @@ pub mod scatter;
 pub use dist_schwarz::DistSchwarz;
 pub use dist_solver::{dd_solve_distributed, DistDdConfig};
 pub use dist_system::DistSystem;
-pub use runtime::{run_spmd, CommCounters, CommWorld, RankCtx};
+pub use runtime::{run_spmd, CommCounters, CommError, CommWorld, RankCtx};
 pub use scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};

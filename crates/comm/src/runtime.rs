@@ -16,20 +16,54 @@ pub enum Payload {
     F64(Vec<HalfSpinor<f64>>),
 }
 
+impl Payload {
+    fn precision(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "f32",
+            Payload::F64(_) => "f64",
+        }
+    }
+}
+
+/// A communication failure a rank can recover from. The service layer
+/// maps these to degraded solve results; a malformed exchange must never
+/// abort the rank thread.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CommError {
+    /// A received payload carried the wrong scalar precision.
+    PrecisionMismatch { expected: &'static str, got: &'static str },
+    /// The peer rank hung up (channel disconnected).
+    Disconnected,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PrecisionMismatch { expected, got } => {
+                write!(f, "payload precision mismatch: expected {expected}, got {got}")
+            }
+            CommError::Disconnected => write!(f, "peer rank hung up"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
 /// Precision dispatch for payloads.
 pub trait HaloScalar: Real {
     fn wrap(data: Vec<HalfSpinor<Self>>) -> Payload;
-    fn unwrap(p: Payload) -> Vec<HalfSpinor<Self>>;
+    /// Typed unwrap: a mismatched payload is an error, not a panic.
+    fn try_unwrap(p: Payload) -> Result<Vec<HalfSpinor<Self>>, CommError>;
 }
 
 impl HaloScalar for f32 {
     fn wrap(data: Vec<HalfSpinor<f32>>) -> Payload {
         Payload::F32(data)
     }
-    fn unwrap(p: Payload) -> Vec<HalfSpinor<f32>> {
+    fn try_unwrap(p: Payload) -> Result<Vec<HalfSpinor<f32>>, CommError> {
         match p {
-            Payload::F32(d) => d,
-            Payload::F64(_) => panic!("payload precision mismatch: expected f32"),
+            Payload::F32(d) => Ok(d),
+            other => Err(CommError::PrecisionMismatch { expected: "f32", got: other.precision() }),
         }
     }
 }
@@ -38,10 +72,10 @@ impl HaloScalar for f64 {
     fn wrap(data: Vec<HalfSpinor<f64>>) -> Payload {
         Payload::F64(data)
     }
-    fn unwrap(p: Payload) -> Vec<HalfSpinor<f64>> {
+    fn try_unwrap(p: Payload) -> Result<Vec<HalfSpinor<f64>>, CommError> {
         match p {
-            Payload::F64(d) => d,
-            Payload::F32(_) => panic!("payload precision mismatch: expected f64"),
+            Payload::F64(d) => Ok(d),
+            other => Err(CommError::PrecisionMismatch { expected: "f64", got: other.precision() }),
         }
     }
 }
@@ -178,12 +212,19 @@ impl<'w> RankCtx<'w> {
     }
 
     /// Receive one face from the neighbor in `(dir, forward)` (blocking).
-    pub fn recv_face<T: HaloScalar>(&self, dir: Dir, forward: bool) -> Vec<HalfSpinor<T>> {
+    /// A payload of the wrong precision or a hung-up peer is reported as a
+    /// [`CommError`], never a panic: the serve path degrades such solves.
+    pub fn recv_face<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+    ) -> Result<Vec<HalfSpinor<T>>, CommError> {
         let trace = self.trace.borrow();
         trace.begin(Phase::HaloRecv);
-        let p = self.rx[dir.index()][forward as usize].recv().expect("peer rank hung up");
+        let p =
+            self.rx[dir.index()][forward as usize].recv().map_err(|_| CommError::Disconnected)?;
         trace.end_with(Phase::HaloRecv, &[("dir", dir.index() as f64)]);
-        T::unwrap(p)
+        T::try_unwrap(p)
     }
 
     /// Deterministic global sum of a small vector of reals.
@@ -239,12 +280,13 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
     let mut tx_slots: Vec<Vec<Option<Sender<Payload>>>> =
         (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
     for r in 0..n {
-        for d in 0..4 {
+        for dir in Dir::ALL {
+            let d = dir.index();
             for o in 0..2 {
                 let (s, rcv) = unbounded();
                 rx_slots[r][2 * d + o] = Some(rcv);
                 // Sender: the neighbor in (d, o); it sends via tx[d][!o].
-                let nb = grid.neighbor_rank(r, Dir::from_index(d), o == 1);
+                let nb = grid.neighbor_rank(r, dir, o == 1);
                 tx_slots[nb][2 * d + (1 - o)] = Some(s);
             }
         }
@@ -337,7 +379,7 @@ mod tests {
             let mut h = HalfSpinor::<f64>::ZERO;
             h.0[0].0[0] = qdd_util::complex::Complex::real(ctx.rank() as f64);
             ctx.send_face(Dir::X, true, vec![h]);
-            let got = ctx.recv_face::<f64>(Dir::X, false);
+            let got = ctx.recv_face::<f64>(Dir::X, false).unwrap();
             let expect = grid.neighbor_rank(ctx.rank(), Dir::X, false) as f64;
             assert_eq!(got[0].0[0].0[0].re, expect);
         });
@@ -349,14 +391,35 @@ mod tests {
         let counters = run_spmd(&world, |ctx| {
             // Y is unsplit: self-message, no bytes. X is split: bytes.
             ctx.send_face(Dir::Y, true, vec![HalfSpinor::<f32>::ZERO; 10]);
-            let _ = ctx.recv_face::<f32>(Dir::Y, false);
+            let _ = ctx.recv_face::<f32>(Dir::Y, false).unwrap();
             ctx.send_face(Dir::X, true, vec![HalfSpinor::<f32>::ZERO; 10]);
-            let _ = ctx.recv_face::<f32>(Dir::X, false);
+            let _ = ctx.recv_face::<f32>(Dir::X, false).unwrap();
             (ctx.counters.bytes_sent.get(), ctx.counters.messages_sent.get())
         });
         for (bytes, msgs) in counters {
             assert_eq!(bytes, 10.0 * 12.0 * 4.0);
             assert_eq!(msgs, 1);
+        }
+    }
+
+    #[test]
+    fn precision_mismatch_is_typed_error_not_panic() {
+        let world = world_2x1x1x2();
+        let errs = run_spmd(&world, |ctx| {
+            // Every rank sends f32 but receives as f64: each rank must get
+            // a typed error back and keep running (the SPMD scope would
+            // fail the test if any rank thread panicked).
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f32>::ZERO; 4]);
+            let err = ctx.recv_face::<f64>(Dir::X, false).unwrap_err();
+            // The rank thread is still healthy: a follow-up well-formed
+            // exchange goes through.
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 4]);
+            assert!(ctx.recv_face::<f64>(Dir::X, false).is_ok());
+            err
+        });
+        for err in errs {
+            assert_eq!(err, CommError::PrecisionMismatch { expected: "f64", got: "f32" });
+            assert!(err.to_string().contains("expected f64"));
         }
     }
 

@@ -39,6 +39,7 @@ pub use dd_solver::{DdSolver, DdSolverConfig, Precision};
 pub use fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
 pub use gcr::{gcr, GcrConfig};
 pub use mr::{mr_solve_schur, MrConfig};
+pub use pool::WorkspacePool;
 pub use richardson::{richardson_bicgstab, RichardsonConfig};
 pub use schwarz::{schwarz_block_update, SchwarzConfig, SchwarzPreconditioner};
 pub use system::{LocalSystem, SystemOps};

@@ -11,7 +11,9 @@
 //! own domains of one color in place while reading neighboring
 //! (other-color) sites.
 
+use qdd_field::fields::SpinorField;
 use qdd_field::spinor::Spinor;
+use qdd_lattice::Dims;
 use qdd_util::complex::Real;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -107,6 +109,73 @@ impl<T: Real> SharedSpinors<T> {
             let p = self.ptr.add(idx);
             std::ptr::write(p, std::ptr::read(p).add(v));
         }
+    }
+}
+
+/// A pool of reusable spinor-field workspaces for one lattice geometry.
+///
+/// Multi-RHS batches (and long-running solve services) churn through
+/// temporary fields — true-residual buffers, operator outputs — whose
+/// allocation cost and page-faulting would otherwise be paid per right-hand
+/// side. The pool hands out zeroed fields and takes them back, so steady
+/// state performs no allocation at all; [`WorkspacePool::allocations`]
+/// counts the fields ever allocated, which tests use to assert reuse.
+///
+/// Changing geometry drops the cached fields (they cannot be recycled);
+/// a single pool therefore serves a worker that migrates between lattice
+/// sizes, always holding workspaces for the current one only.
+pub struct WorkspacePool<T: Real> {
+    dims: Option<Dims>,
+    free: Vec<SpinorField<T>>,
+    allocations: usize,
+}
+
+impl<T: Real> WorkspacePool<T> {
+    pub fn new() -> Self {
+        Self { dims: None, free: Vec::new(), allocations: 0 }
+    }
+
+    /// A zeroed field of geometry `dims`, recycled if one is available.
+    pub fn acquire(&mut self, dims: Dims) -> SpinorField<T> {
+        if self.dims != Some(dims) {
+            self.free.clear();
+            self.dims = Some(dims);
+        }
+        match self.free.pop() {
+            Some(mut f) => {
+                f.set_zero();
+                f
+            }
+            None => {
+                self.allocations += 1;
+                SpinorField::zeros(dims)
+            }
+        }
+    }
+
+    /// Return a field for reuse. Fields of a stale geometry are dropped.
+    pub fn release(&mut self, f: SpinorField<T>) {
+        if self.dims == Some(*f.dims()) {
+            self.free.push(f);
+        }
+    }
+
+    /// Total fields ever allocated (not handed out from the free list).
+    #[inline]
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Fields currently parked in the free list.
+    #[inline]
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl<T: Real> Default for WorkspacePool<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -24,12 +24,20 @@ impl Dir {
     }
 
     pub fn from_index(i: usize) -> Dir {
+        Dir::try_from_index(i).unwrap_or_else(|| panic!("direction index {i} out of range"))
+    }
+
+    /// Checked counterpart of [`Dir::from_index`]: `None` for `i >= 4`.
+    /// Prefer this wherever the index comes from data rather than from a
+    /// `0..4` loop — e.g. at the communication boundary, where a corrupt
+    /// message must degrade into an error instead of aborting the rank.
+    pub fn try_from_index(i: usize) -> Option<Dir> {
         match i {
-            0 => Dir::X,
-            1 => Dir::Y,
-            2 => Dir::Z,
-            3 => Dir::T,
-            _ => panic!("direction index {i} out of range"),
+            0 => Some(Dir::X),
+            1 => Some(Dir::Y),
+            2 => Some(Dir::Z),
+            3 => Some(Dir::T),
+            _ => None,
         }
     }
 
@@ -48,6 +56,26 @@ impl fmt::Display for Dir {
         f.write_str(self.label())
     }
 }
+
+impl TryFrom<usize> for Dir {
+    type Error = DirIndexError;
+
+    fn try_from(i: usize) -> Result<Dir, DirIndexError> {
+        Dir::try_from_index(i).ok_or(DirIndexError(i))
+    }
+}
+
+/// A direction index outside `0..4`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DirIndexError(pub usize);
+
+impl fmt::Display for DirIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "direction index {} out of range (expected 0..4)", self.0)
+    }
+}
+
+impl std::error::Error for DirIndexError {}
 
 /// Lattice extents `(Lx, Ly, Lz, Lt)`.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
@@ -237,5 +265,22 @@ mod tests {
         for d in Dir::ALL {
             assert_eq!(Dir::from_index(d.index()), d);
         }
+    }
+
+    #[test]
+    fn dir_try_from_index_checked() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::try_from_index(d.index()), Some(d));
+            assert_eq!(Dir::try_from(d.index()), Ok(d));
+        }
+        assert_eq!(Dir::try_from_index(4), None);
+        assert_eq!(Dir::try_from(7), Err(DirIndexError(7)));
+        assert!(DirIndexError(7).to_string().contains("7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dir_from_index_panics_out_of_range() {
+        let _ = Dir::from_index(4);
     }
 }

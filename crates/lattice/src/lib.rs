@@ -14,7 +14,7 @@ pub mod partition;
 pub mod site;
 pub mod tile;
 
-pub use dims::{Coord, Dims, Dir};
+pub use dims::{Coord, Dims, Dir, DirIndexError};
 pub use domain::{Domain, DomainColor, DomainGrid};
 pub use load::{core_assignment, load_average, ndomain};
 pub use partition::{HaloSpec, NonUniformSplit, RankGrid};

@@ -1,0 +1,165 @@
+//! The setup cache: LRU over prepared DD solvers.
+//!
+//! `DdSolver::new` is the expensive part of a cold solve — clover
+//! inversion for every even site, f32/f16 conversion of the gauge and
+//! clover fields, domain coloring — and it depends only on the gauge
+//! configuration and the solver parameters, not on the right-hand side.
+//! Propagator production issues many right-hand sides against few
+//! configurations, so the service keeps the most recently used prepared
+//! solvers and rebuilds only on a genuine configuration (or parameter)
+//! change. Hit/miss/eviction counts are exported into the `qdd-trace`
+//! metrics registry by the service.
+
+use qdd_core::DdSolver;
+use std::sync::Arc;
+
+/// An LRU cache of prepared solvers keyed by a 64-bit setup key (see
+/// `request::setup_key`: config id + lattice geometry + precision policy +
+/// tolerance bits).
+pub struct SetupCache {
+    capacity: usize,
+    /// Most recently used at the back.
+    entries: Vec<(u64, Arc<DdSolver>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Whether a lookup was served from the cache.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CacheOutcome {
+    Hit,
+    Miss,
+}
+
+impl SetupCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self { capacity, entries: Vec::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Look up `key`, building (and inserting) the solver on a miss.
+    /// `build` returning `None` (singular clover block, unknown config)
+    /// is passed through and nothing is inserted.
+    pub fn get_or_build(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Option<DdSolver>,
+    ) -> (Option<Arc<DdSolver>>, CacheOutcome) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            // Refresh recency.
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            return (Some(self.entries.last().unwrap().1.clone()), CacheOutcome::Hit);
+        }
+        self.misses += 1;
+        let solver = match build() {
+            Some(s) => Arc::new(s),
+            None => return (None, CacheOutcome::Miss),
+        };
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((key, solver.clone()));
+        (Some(solver), CacheOutcome::Miss)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hits over lookups; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_core::{DdSolverConfig, FgmresConfig, MrConfig, SchwarzConfig};
+    use qdd_dirac::clover::build_clover_field;
+    use qdd_dirac::gamma::GammaBasis;
+    use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
+    use qdd_field::fields::GaugeField;
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+
+    fn solver(seed: u64) -> DdSolver {
+        let dims = Dims::new(4, 4, 4, 4);
+        let mut rng = Rng64::new(seed);
+        let g = GaugeField::random(dims, &mut rng, 0.4);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.2, &basis);
+        let op = WilsonClover::new(g, c, 0.3, BoundaryPhases::antiperiodic_t());
+        let cfg = DdSolverConfig {
+            fgmres: FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-8, max_iterations: 100 },
+            schwarz: SchwarzConfig {
+                block: Dims::new(2, 2, 2, 2),
+                i_schwarz: 2,
+                mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+                additive: false,
+            },
+            precision: qdd_core::Precision::Single,
+            workers: 1,
+        };
+        DdSolver::new(op, cfg).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = SetupCache::new(2);
+        let (a, o) = cache.get_or_build(1, || Some(solver(1)));
+        assert!(a.is_some());
+        assert_eq!(o, CacheOutcome::Miss);
+        let _ = cache.get_or_build(2, || Some(solver(2)));
+        // Touch 1 so 2 becomes the LRU entry.
+        let (_, o) = cache.get_or_build(1, || panic!("must be cached"));
+        assert_eq!(o, CacheOutcome::Hit);
+        let _ = cache.get_or_build(3, || Some(solver(3)));
+        assert_eq!(cache.evictions(), 1);
+        // 2 was evicted; 1 survived.
+        let (_, o) = cache.get_or_build(1, || panic!("must still be cached"));
+        assert_eq!(o, CacheOutcome::Hit);
+        let (_, o) = cache.get_or_build(2, || Some(solver(2)));
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+        assert!((cache.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn failed_build_is_not_cached() {
+        let mut cache = SetupCache::new(2);
+        let (s, o) = cache.get_or_build(9, || None);
+        assert!(s.is_none());
+        assert_eq!(o, CacheOutcome::Miss);
+        assert!(cache.is_empty());
+        // A later successful build goes through normally.
+        let (s, _) = cache.get_or_build(9, || Some(solver(9)));
+        assert!(s.is_some());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Latency sampling with quantiles.
+//!
+//! The `qdd-trace` [`Summary`](qdd_trace::Summary) keeps only
+//! min/mean/max; a latency SLO needs tail quantiles, so the service
+//! records full sample vectors (requests per run are few enough that this
+//! costs one `f64` each) and computes p50/p99 by rank on demand.
+
+use std::time::Duration;
+
+/// A vector of latency samples in milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+/// Condensed view for reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ms.push(d.as_secs_f64() * 1e3);
+    }
+
+    pub fn record_ms(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.samples_ms.len() as u64
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            0.0
+        } else {
+            self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+        }
+    }
+
+    pub fn max_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Rank-based quantile (nearest-rank, `q` in `[0, 1]`); 0 with no
+    /// samples.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_ms: self.mean_ms(),
+            p50_ms: self.quantile_ms(0.50),
+            p99_ms: self.quantile_ms(0.99),
+            max_ms: self.max_ms(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for ms in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            r.record_ms(ms);
+        }
+        assert_eq!(r.quantile_ms(0.5), 3.0);
+        assert_eq!(r.quantile_ms(0.99), 5.0);
+        assert_eq!(r.quantile_ms(0.0), 1.0);
+        assert_eq!(r.quantile_ms(1.0), 5.0);
+        let s = r.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean_ms, 3.0);
+        assert_eq!(s.max_ms, 5.0);
+    }
+
+    #[test]
+    fn merge_pools_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record_ms(1.0);
+        a.record(Duration::from_millis(9));
+        let mut b = LatencyRecorder::new();
+        b.record_ms(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile_ms(0.5), 5.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_all_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.quantile_ms(0.5), 0.0);
+        assert_eq!(r.summary().count, 0);
+    }
+}

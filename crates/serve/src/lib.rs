@@ -1,0 +1,42 @@
+//! `qdd-serve`: a batched multi-RHS solve service over the `qdd-core`
+//! domain-decomposition solvers.
+//!
+//! Propagator production in lattice QCD issues many right-hand sides
+//! against few gauge configurations. This crate turns the one-shot
+//! solver into a multi-tenant service shaped around that workload:
+//!
+//! * **Admission control** — a bounded queue ([`BoundedQueue`]) sheds
+//!   load with [`SubmitError::QueueFull`] instead of growing without
+//!   bound or blocking producers.
+//! * **Request batching** — queued requests that share a setup key
+//!   ([`setup_key`]: config id, geometry, precision policy, tolerance)
+//!   are coalesced into one multi-RHS batch through
+//!   `DdSolver::solve_batch`, amortizing Schwarz setup and reusing
+//!   pooled workspaces. Batched results are bitwise identical to
+//!   independent solves.
+//! * **Setup caching** — prepared solvers (clover inversion, precision
+//!   conversion, domain coloring) are kept in an LRU [`SetupCache`],
+//!   with hit/miss/eviction counters exported through `qdd-trace`.
+//! * **Graceful degradation** — each response carries an honest
+//!   [`ServeStatus`]: `Converged`, `Fallback` (plain BiCGstab rescued a
+//!   primary miss), or `Degraded` with a [`DegradeReason`]. Deadline
+//!   misses return the best iterate so far; nothing panics or hangs.
+//!
+//! Entry point: [`serve`] runs the worker pool around a client closure
+//! and returns a [`ServiceReport`] with queue-depth/batch-size metrics
+//! and p50/p99 latency.
+
+pub mod cache;
+pub mod latency;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheOutcome, SetupCache};
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use queue::{BoundedQueue, QueueFull};
+pub use request::{
+    setup_key, ConfigKey, ConfigSource, DegradeReason, ServeStatus, SolveRequest, SolveResponse,
+    SyntheticSource,
+};
+pub use service::{serve, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, Ticket};

@@ -1,0 +1,173 @@
+//! The admission queue: bounded, load-shedding, batch-draining.
+//!
+//! The vendored `crossbeam` stand-in only provides unbounded channels, so
+//! backpressure is implemented here directly on `Mutex` + `Condvar`. The
+//! queue never blocks a producer: a full queue rejects the item
+//! immediately (admission control by load-shedding), which the service
+//! surfaces as a `QueueFull` response instead of unbounded memory growth.
+//! Consumers block on [`BoundedQueue::pop_wait`] and additionally drain
+//! compatible items in one lock acquisition ([`BoundedQueue::drain_where`])
+//! — the primitive request batching is built on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Rejection from a full queue; carries the item back to the caller.
+pub struct QueueFull<T>(pub T);
+
+impl<T> std::fmt::Debug for QueueFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueueFull(..)")
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with load-shedding admission.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity,
+            not_empty: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `item`, or reject it immediately if the queue is full or
+    /// closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull<T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(QueueFull(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once the queue is closed
+    /// and drained. Also reports the queue depth *after* the pop (the
+    /// service's queue-depth sample point).
+    pub fn pop_wait(&self) -> Option<(T, usize)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some((item, s.items.len()));
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    /// Remove up to `max` queued items satisfying `pred`, preserving
+    /// arrival order, in one lock acquisition. Non-matching items stay
+    /// queued. Never blocks.
+    pub fn drain_where(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        let mut s = self.state.lock().unwrap();
+        let mut keep = VecDeque::with_capacity(s.items.len());
+        while let Some(item) = s.items.pop_front() {
+            if out.len() < max && pred(&item) {
+                out.push(item);
+            } else {
+                keep.push_back(item);
+            }
+        }
+        s.items = keep;
+        out
+    }
+
+    /// Close the queue: future pushes are rejected; consumers drain the
+    /// remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_load_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let QueueFull(rejected) = q.try_push(3).unwrap_err();
+        assert_eq!(rejected, 3);
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop_wait().unwrap(), (1, 1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert!(q.try_push(12).is_err(), "closed queue must reject");
+        assert_eq!(q.pop_wait().unwrap().0, 10);
+        assert_eq!(q.pop_wait().unwrap().0, 11);
+        assert!(q.pop_wait().is_none());
+    }
+
+    #[test]
+    fn drain_where_filters_in_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let evens = q.drain_where(2, |x| x % 2 == 0);
+        assert_eq!(evens, [0, 2]);
+        // 4 stayed queued (max reached), odds untouched, order kept.
+        assert_eq!(q.pop_wait().unwrap().0, 1);
+        assert_eq!(q.pop_wait().unwrap().0, 3);
+        assert_eq!(q.pop_wait().unwrap().0, 4);
+        assert_eq!(q.pop_wait().unwrap().0, 5);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = BoundedQueue::new(4);
+        crossbeam::scope(|s| {
+            let h = s.spawn(|_| q.pop_wait().map(|(v, _)| v));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.try_push(42).unwrap();
+            assert_eq!(h.join().unwrap(), Some(42));
+        })
+        .unwrap();
+    }
+}

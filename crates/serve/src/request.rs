@@ -1,0 +1,234 @@
+//! Request/response vocabulary of the solve service.
+//!
+//! A [`SolveRequest`] names a gauge configuration by key, carries the
+//! source (right-hand side) spinor, and states its quality-of-service
+//! terms: target residual, optional deadline, and the preconditioner
+//! precision policy. The service answers with a [`SolveResponse`] whose
+//! [`ServeStatus`] is honest about what was achieved — a deadline miss or
+//! an unconverged solve degrades to the best available solution instead of
+//! panicking or hanging.
+
+use qdd_core::Precision;
+use qdd_dirac::clover::build_clover_field;
+use qdd_dirac::gamma::GammaBasis;
+use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
+use qdd_field::fields::{GaugeField, SpinorField};
+use qdd_lattice::Dims;
+use qdd_util::rng::Rng64;
+use std::time::Duration;
+
+/// Identifier of a gauge configuration (e.g. ensemble member id). The
+/// service treats it as opaque; a [`ConfigSource`] resolves it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConfigKey(pub u64);
+
+/// Where gauge configurations come from. Implementations materialize the
+/// double-precision Wilson-Clover operator for a key; the service calls
+/// this only on a setup-cache miss.
+pub trait ConfigSource: Sync {
+    /// `None` if the key is unknown (the request is then degraded with
+    /// [`DegradeReason::SetupFailed`], not panicked on).
+    fn materialize(&self, key: ConfigKey) -> Option<WilsonClover<f64>>;
+}
+
+/// A deterministic synthetic ensemble: configuration `k` is a random
+/// gauge field seeded by `k`, so any rank/process regenerates identical
+/// fields (and the benchmark's cold path can replay the exact configs the
+/// service solved against).
+#[derive(Copy, Clone, Debug)]
+pub struct SyntheticSource {
+    pub dims: Dims,
+    /// Spread of the random gauge links (0 = free field).
+    pub spread: f64,
+    /// Quark mass parameter of the operator.
+    pub mass: f64,
+    /// Clover coefficient `c_sw`.
+    pub csw: f64,
+}
+
+impl SyntheticSource {
+    pub fn new(dims: Dims) -> Self {
+        Self { dims, spread: 0.5, mass: 0.2, csw: 1.5 }
+    }
+}
+
+impl ConfigSource for SyntheticSource {
+    fn materialize(&self, key: ConfigKey) -> Option<WilsonClover<f64>> {
+        let mut rng = Rng64::new(key.0 ^ 0x9e37_79b9_7f4a_7c15);
+        let gauge = GaugeField::<f64>::random(self.dims, &mut rng, self.spread);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, self.csw, &basis);
+        Some(WilsonClover::new(gauge, clover, self.mass, BoundaryPhases::antiperiodic_t()))
+    }
+}
+
+/// One solve request.
+pub struct SolveRequest {
+    pub config: ConfigKey,
+    /// Right-hand side (source) spinor.
+    pub source: SpinorField<f64>,
+    /// Target relative residual.
+    pub tolerance: f64,
+    /// Latency budget measured from submission; `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Preconditioner storage precision for this request.
+    pub precision: Precision,
+}
+
+impl SolveRequest {
+    /// A request with the service defaults: 1e-8 target, no deadline,
+    /// single-precision preconditioner storage.
+    pub fn new(config: ConfigKey, source: SpinorField<f64>) -> Self {
+        Self { config, source, tolerance: 1e-8, deadline: None, precision: Precision::Single }
+    }
+}
+
+/// Why a request was degraded.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DegradeReason {
+    /// The deadline had already passed when the request reached a worker;
+    /// the zero initial guess is returned untouched.
+    DeadlineBeforeSolve,
+    /// The primary solve ran out of deadline; its best iterate is
+    /// returned without attempting the fallback.
+    DeadlineExceeded,
+    /// Neither the primary DD solve nor the BiCGstab fallback reached the
+    /// target; the better of the two iterates is returned.
+    TargetMissed,
+    /// The configuration could not be materialized or its clover term is
+    /// singular; no solve was attempted.
+    SetupFailed,
+}
+
+impl DegradeReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::DeadlineBeforeSolve => "deadline-before-solve",
+            DegradeReason::DeadlineExceeded => "deadline-exceeded",
+            DegradeReason::TargetMissed => "target-missed",
+            DegradeReason::SetupFailed => "setup-failed",
+        }
+    }
+}
+
+/// What the service achieved for a request — the degradation ladder is
+/// `Converged` → `Fallback` → `Degraded`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ServeStatus {
+    /// The primary FGMRES-DR + Schwarz solve reached the target.
+    Converged,
+    /// The primary missed, but the plain BiCGstab fallback reached the
+    /// target.
+    Fallback,
+    /// Best-effort result; see the reason.
+    Degraded(DegradeReason),
+}
+
+impl ServeStatus {
+    /// True if the returned solution meets the requested tolerance.
+    pub fn meets_target(self) -> bool {
+        matches!(self, ServeStatus::Converged | ServeStatus::Fallback)
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeStatus::Converged => "converged",
+            ServeStatus::Fallback => "fallback",
+            ServeStatus::Degraded(_) => "degraded",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeStatus::Degraded(r) => write!(f, "degraded({})", r.label()),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The service's answer to one request.
+pub struct SolveResponse {
+    pub status: ServeStatus,
+    pub solution: SpinorField<f64>,
+    /// Relative residual actually achieved.
+    pub relative_residual: f64,
+    /// Outer iterations spent (primary plus fallback).
+    pub iterations: usize,
+    /// Time from submission to being picked up by a worker batch.
+    pub queue_wait: Duration,
+    /// Time from submission to completion.
+    pub latency: Duration,
+}
+
+/// The cache/batch key of a request: requests agreeing on all of these
+/// fields share one prepared solver and may be coalesced into one
+/// multi-RHS batch (identical code path ⇒ bitwise-identical results).
+pub fn setup_key(config: ConfigKey, dims: Dims, precision: Precision, tolerance: f64) -> u64 {
+    let precision_tag = match precision {
+        Precision::Single => 0u64,
+        Precision::HalfCompressed => 1u64,
+    };
+    fnv1a(
+        [config.0, precision_tag, tolerance.to_bits()]
+            .into_iter()
+            .chain(dims.0.iter().map(|&e| e as u64)),
+    )
+}
+
+/// FNV-1a over the little-endian bytes of the words.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_key_separates_every_field() {
+        let dims = Dims::new(8, 4, 4, 4);
+        let base = setup_key(ConfigKey(1), dims, Precision::Single, 1e-8);
+        assert_eq!(base, setup_key(ConfigKey(1), dims, Precision::Single, 1e-8));
+        assert_ne!(base, setup_key(ConfigKey(2), dims, Precision::Single, 1e-8));
+        assert_ne!(base, setup_key(ConfigKey(1), dims, Precision::HalfCompressed, 1e-8));
+        assert_ne!(base, setup_key(ConfigKey(1), dims, Precision::Single, 1e-6));
+        assert_ne!(base, setup_key(ConfigKey(1), Dims::new(4, 4, 4, 8), Precision::Single, 1e-8));
+    }
+
+    #[test]
+    fn synthetic_source_is_deterministic() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let src = SyntheticSource::new(dims);
+        let mut rng = Rng64::new(5);
+        let probe = SpinorField::<f64>::random(dims, &mut rng);
+        let apply = |key: u64| {
+            let op = src.materialize(ConfigKey(key)).unwrap();
+            let mut out = SpinorField::zeros(dims);
+            op.apply(&mut out, &probe);
+            out
+        };
+        // Same key ⇒ bitwise-identical operator; different key ⇒ not.
+        assert_eq!(apply(7).as_slice(), apply(7).as_slice());
+        assert_ne!(apply(7).as_slice(), apply(8).as_slice());
+    }
+
+    #[test]
+    fn status_ladder_labels() {
+        assert!(ServeStatus::Converged.meets_target());
+        assert!(ServeStatus::Fallback.meets_target());
+        assert!(!ServeStatus::Degraded(DegradeReason::TargetMissed).meets_target());
+        assert_eq!(
+            ServeStatus::Degraded(DegradeReason::DeadlineExceeded).to_string(),
+            "degraded(deadline-exceeded)"
+        );
+    }
+}

@@ -1,0 +1,582 @@
+//! The solve service: admission, batching, caching, degradation.
+//!
+//! Request lifecycle: [`ServiceHandle::submit`] admits a request into the
+//! bounded queue (or sheds it with `QueueFull`); a worker pops it and
+//! coalesces every queued request sharing its setup key into one
+//! multi-RHS batch; the batch resolves its prepared solver through the
+//! LRU setup cache (building it under a `ServeSetup` span on a miss) and
+//! runs through `DdSolver::solve_batch` with a worker-local workspace
+//! pool. Per request, the degradation ladder is:
+//!
+//! 1. primary FGMRES-DR + Schwarz (status `Converged`),
+//! 2. plain BiCGstab fallback if the primary misses the target and the
+//!    deadline still has budget (status `Fallback`),
+//! 3. otherwise the best iterate so far with a `Degraded` status naming
+//!    the reason — a request is answered in every case; nothing panics or
+//!    hangs.
+//!
+//! Queue depth, batch size, cache hits and latency are recorded both as
+//! counter events on the attached [`TraceSink`] (visible in the
+//! Chrome-trace export) and in the returned [`ServiceReport`] metrics.
+
+use crate::cache::{CacheOutcome, SetupCache};
+use crate::latency::LatencyRecorder;
+use crate::queue::BoundedQueue;
+use crate::request::{
+    setup_key, ConfigSource, DegradeReason, ServeStatus, SolveRequest, SolveResponse,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qdd_core::{bicgstab, BiCgStabConfig, DdSolver, DdSolverConfig, LocalSystem, WorkspacePool};
+use qdd_field::fields::SpinorField;
+use qdd_trace::{MetricsRegistry, Phase, ThreadRecorder, TraceSink};
+use qdd_util::stats::SolveStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Service tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ServiceConfig {
+    /// Admission-queue bound; a full queue sheds load (`QueueFull`).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum right-hand sides coalesced into one batch.
+    pub max_batch: usize,
+    /// Prepared solvers kept in the LRU setup cache.
+    pub cache_capacity: usize,
+    /// Solver template; each request overrides the outer tolerance and
+    /// preconditioner precision with its own.
+    pub solver: DdSolverConfig,
+    /// Iteration cap of the BiCGstab fallback stage.
+    pub fallback_max_iterations: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            workers: 1,
+            max_batch: 8,
+            cache_capacity: 4,
+            solver: DdSolverConfig::default(),
+            fallback_max_iterations: 4000,
+        }
+    }
+}
+
+/// A queued request plus its bookkeeping.
+struct Pending {
+    request: SolveRequest,
+    key: u64,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: Sender<SolveResponse>,
+}
+
+/// Per-request bookkeeping kept after the source is moved into the batch.
+struct Meta {
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: Sender<SolveResponse>,
+}
+
+/// Why a submission was not admitted.
+pub enum SubmitError {
+    /// Load shed: the queue is at capacity (or the service is shutting
+    /// down). The request is handed back for the caller to retry.
+    QueueFull(SolveRequest),
+}
+
+impl std::fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("QueueFull(..)"),
+        }
+    }
+}
+
+/// Claim check for a submitted request.
+pub struct Ticket {
+    rx: Receiver<SolveResponse>,
+}
+
+impl Ticket {
+    /// Block until the service answers. Every admitted request is
+    /// answered (degraded at worst), including during shutdown drain.
+    pub fn wait(self) -> SolveResponse {
+        self.rx.recv().expect("serve worker dropped a request reply")
+    }
+}
+
+/// Client-side handle; valid inside the [`serve`] closure.
+pub struct ServiceHandle<'s> {
+    queue: &'s BoundedQueue<Pending>,
+    sink: TraceSink,
+    rejected: AtomicU64,
+}
+
+impl ServiceHandle<'_> {
+    /// Admit a request, or shed it if the queue is full. Never blocks.
+    pub fn submit(&self, request: SolveRequest) -> Result<Ticket, SubmitError> {
+        let key =
+            setup_key(request.config, *request.source.dims(), request.precision, request.tolerance);
+        let submitted = Instant::now();
+        let deadline = request.deadline.map(|d| submitted + d);
+        let (tx, rx) = unbounded();
+        let pending = Pending { request, key, submitted, deadline, reply: tx };
+        match self.queue.try_push(pending) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(crate::queue::QueueFull(p)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.sink.counter(Phase::ServeBatch, "serve.rejected", 1.0);
+                Err(SubmitError::QueueFull(p.request))
+            }
+        }
+    }
+
+    /// Requests shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated result of one [`serve`] run.
+pub struct ServiceReport {
+    /// Service metrics (`serve.*` keys) for aggregation/export.
+    pub metrics: MetricsRegistry,
+    /// End-to-end latency samples (submission → response).
+    pub latency: LatencyRecorder,
+    /// Queue-wait samples (submission → worker pickup).
+    pub queue_wait: LatencyRecorder,
+    /// Requests answered (all admitted requests are).
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_rate: f64,
+}
+
+/// What one worker hands back at shutdown.
+struct WorkerOutput {
+    metrics: MetricsRegistry,
+    latency: LatencyRecorder,
+    queue_wait: LatencyRecorder,
+    completed: u64,
+}
+
+/// Run the solve service: spawn the worker pool, hand the client closure
+/// a submission handle, and — once the closure returns — drain the queue,
+/// shut the workers down and aggregate the [`ServiceReport`].
+pub fn serve<R: Send>(
+    cfg: &ServiceConfig,
+    source: &dyn ConfigSource,
+    sink: &TraceSink,
+    client: impl FnOnce(&ServiceHandle<'_>) -> R + Send,
+) -> (R, ServiceReport) {
+    let queue = BoundedQueue::new(cfg.queue_capacity);
+    let cache = Mutex::new(SetupCache::new(cfg.cache_capacity));
+    let handle = ServiceHandle { queue: &queue, sink: sink.clone(), rejected: AtomicU64::new(0) };
+
+    let mut outputs: Vec<WorkerOutput> = Vec::new();
+    let mut result: Option<R> = None;
+    crossbeam::scope(|s| {
+        let queue = &queue;
+        let cache = &cache;
+        let mut workers = Vec::new();
+        for wid in 0..cfg.workers.max(1) {
+            workers.push(s.spawn(move |_| worker_loop(wid, cfg, source, queue, cache, sink)));
+        }
+        result = Some(client(&handle));
+        queue.close();
+        for w in workers {
+            outputs.push(w.join().expect("serve worker panicked"));
+        }
+    })
+    .expect("serve scope failed");
+
+    let mut report = ServiceReport {
+        metrics: MetricsRegistry::new(),
+        latency: LatencyRecorder::new(),
+        queue_wait: LatencyRecorder::new(),
+        completed: 0,
+        rejected: handle.rejected(),
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
+    };
+    for out in &outputs {
+        report.metrics.merge(&out.metrics);
+        report.latency.merge(&out.latency);
+        report.queue_wait.merge(&out.queue_wait);
+        report.completed += out.completed;
+    }
+    let cache = cache.into_inner().unwrap();
+    report.cache_hits = cache.hits();
+    report.cache_misses = cache.misses();
+    report.cache_hit_rate = cache.hit_rate();
+    report.metrics.add("serve.cache.hits", cache.hits() as f64);
+    report.metrics.add("serve.cache.misses", cache.misses() as f64);
+    report.metrics.add("serve.cache.evictions", cache.evictions() as f64);
+    report.metrics.add("serve.rejected", report.rejected as f64);
+    let lat = report.latency.summary();
+    report.metrics.set_gauge("serve.latency.p50_ms", lat.p50_ms);
+    report.metrics.set_gauge("serve.latency.p99_ms", lat.p99_ms);
+    (result.expect("client closure ran"), report)
+}
+
+fn worker_loop(
+    wid: usize,
+    cfg: &ServiceConfig,
+    source: &dyn ConfigSource,
+    queue: &BoundedQueue<Pending>,
+    cache: &Mutex<SetupCache>,
+    sink: &TraceSink,
+) -> WorkerOutput {
+    let mut metrics = MetricsRegistry::new();
+    let mut latency = LatencyRecorder::new();
+    let mut queue_wait = LatencyRecorder::new();
+    let mut completed = 0u64;
+    // Spans from this worker land on their own trace lane (the shared
+    // begin/end lane 0 would interleave unbalanced across workers);
+    // counter samples go through the shared sink.
+    let mut lane = sink.thread(wid as u32 + 1);
+    let mut pool = WorkspacePool::<f64>::new();
+
+    while let Some((first, depth)) = queue.pop_wait() {
+        let key = first.key;
+        let mut batch = vec![first];
+        if cfg.max_batch > 1 {
+            batch.extend(queue.drain_where(cfg.max_batch - 1, |p| p.key == key));
+        }
+        metrics.observe("serve.queue.depth", depth as f64);
+        metrics.observe("serve.batch.size", batch.len() as f64);
+        metrics.add("serve.batches", 1.0);
+        sink.counter(Phase::ServeBatch, "serve.queue_depth", depth as f64);
+        sink.counter(Phase::ServeBatch, "serve.batch_size", batch.len() as f64);
+
+        lane.begin(Phase::ServeBatch);
+        run_batch(
+            batch,
+            cfg,
+            source,
+            cache,
+            sink,
+            &mut lane,
+            &mut pool,
+            &mut metrics,
+            &mut latency,
+            &mut queue_wait,
+            &mut completed,
+        );
+        lane.end(Phase::ServeBatch);
+        lane.flush();
+    }
+    WorkerOutput { metrics, latency, queue_wait, completed }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    batch: Vec<Pending>,
+    cfg: &ServiceConfig,
+    source: &dyn ConfigSource,
+    cache: &Mutex<SetupCache>,
+    sink: &TraceSink,
+    lane: &mut ThreadRecorder,
+    pool: &mut WorkspacePool<f64>,
+    metrics: &mut MetricsRegistry,
+    latency: &mut LatencyRecorder,
+    queue_wait: &mut LatencyRecorder,
+    completed: &mut u64,
+) {
+    let picked_up = Instant::now();
+    let key = batch[0].key;
+    let config = batch[0].request.config;
+    let tolerance = batch[0].request.tolerance;
+    let precision = batch[0].request.precision;
+
+    let mut respond = |m: Meta,
+                       status: ServeStatus,
+                       solution: SpinorField<f64>,
+                       residual: f64,
+                       iterations: usize,
+                       metrics: &mut MetricsRegistry| {
+        let wait = picked_up.saturating_duration_since(m.submitted);
+        let total = m.submitted.elapsed();
+        queue_wait.record(wait);
+        latency.record(total);
+        *completed += 1;
+        metrics.add("serve.requests", 1.0);
+        metrics.add(&format!("serve.status.{}", status.label()), 1.0);
+        sink.counter(Phase::ServeBatch, "serve.latency_ms", total.as_secs_f64() * 1e3);
+        // A dropped ticket is the client's prerogative; ignore it.
+        let _ = m.reply.send(SolveResponse {
+            status,
+            solution,
+            relative_residual: residual,
+            iterations,
+            queue_wait: wait,
+            latency: total,
+        });
+    };
+
+    // Split bookkeeping from the sources. Requests whose deadline already
+    // passed are answered immediately with the untouched zero initial
+    // guess instead of being solved.
+    let mut metas: Vec<Meta> = Vec::with_capacity(batch.len());
+    let mut sources: Vec<SpinorField<f64>> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let Pending { request, submitted, deadline, reply, .. } = p;
+        let meta = Meta { submitted, deadline, reply };
+        if deadline.is_some_and(|d| picked_up > d) {
+            let zero = SpinorField::zeros(*request.source.dims());
+            let status = ServeStatus::Degraded(DegradeReason::DeadlineBeforeSolve);
+            respond(meta, status, zero, 1.0, 0, metrics);
+        } else {
+            metas.push(meta);
+            sources.push(request.source);
+        }
+    }
+    if metas.is_empty() {
+        return;
+    }
+
+    // Resolve the prepared solver through the setup cache. Misses build
+    // under a ServeSetup span; the cache lock serializes duplicate
+    // builds of the same key across workers.
+    let mut solver_cfg = cfg.solver;
+    solver_cfg.fgmres.tolerance = tolerance;
+    solver_cfg.precision = precision;
+    let (solver, cache_outcome) = {
+        let mut guard = cache.lock().unwrap();
+        guard.get_or_build(key, || {
+            lane.begin(Phase::ServeSetup);
+            let t0 = Instant::now();
+            let solver = source.materialize(config).and_then(|op| DdSolver::new(op, solver_cfg));
+            lane.end(Phase::ServeSetup);
+            metrics.observe("serve.setup_ms", t0.elapsed().as_secs_f64() * 1e3);
+            solver
+        })
+    };
+    sink.counter(
+        Phase::ServeSetup,
+        "serve.cache_hit",
+        (cache_outcome == CacheOutcome::Hit) as u64 as f64,
+    );
+    let Some(solver) = solver else {
+        for (m, f) in metas.into_iter().zip(sources) {
+            let zero = SpinorField::zeros(*f.dims());
+            let status = ServeStatus::Degraded(DegradeReason::SetupFailed);
+            respond(m, status, zero, 1.0, 0, metrics);
+        }
+        return;
+    };
+
+    // Primary multi-RHS solve. The attached sink makes the inner solver
+    // phases visible in the same trace.
+    let mut stats = SolveStats::new();
+    stats.attach_sink(sink.clone());
+    let results = solver.solve_batch(&sources, pool, &mut stats);
+
+    let fallback_cfg = BiCgStabConfig { tolerance, max_iterations: cfg.fallback_max_iterations };
+    for ((m, f), (x, out)) in metas.into_iter().zip(&sources).zip(results) {
+        if out.converged {
+            respond(m, ServeStatus::Converged, x, out.relative_residual, out.iterations, metrics);
+            continue;
+        }
+        if m.deadline.is_some_and(|d| Instant::now() > d) {
+            let status = ServeStatus::Degraded(DegradeReason::DeadlineExceeded);
+            respond(m, status, x, out.relative_residual, out.iterations, metrics);
+            continue;
+        }
+        // Fallback rung: plain BiCGstab against the same operator.
+        lane.begin(Phase::ServeFallback);
+        metrics.add("serve.fallbacks", 1.0);
+        let (xb, ob) = bicgstab(&LocalSystem::new(solver.op()), f, &fallback_cfg, &mut stats);
+        lane.end(Phase::ServeFallback);
+        let iterations = out.iterations + ob.iterations;
+        if ob.converged {
+            respond(m, ServeStatus::Fallback, xb, ob.relative_residual, iterations, metrics);
+        } else if ob.relative_residual < out.relative_residual {
+            let status = ServeStatus::Degraded(DegradeReason::TargetMissed);
+            respond(m, status, xb, ob.relative_residual, iterations, metrics);
+        } else {
+            let status = ServeStatus::Degraded(DegradeReason::TargetMissed);
+            respond(m, status, x, out.relative_residual, iterations, metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ConfigKey, SyntheticSource};
+    use qdd_core::{FgmresConfig, MrConfig, Precision, SchwarzConfig};
+    use qdd_lattice::Dims;
+    use qdd_util::rng::Rng64;
+    use std::time::Duration;
+
+    fn test_solver_cfg() -> DdSolverConfig {
+        DdSolverConfig {
+            fgmres: FgmresConfig { max_basis: 12, deflate: 4, tolerance: 1e-8, max_iterations: 60 },
+            schwarz: SchwarzConfig {
+                block: Dims::new(4, 4, 4, 4),
+                i_schwarz: 4,
+                mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+                additive: false,
+            },
+            precision: Precision::Single,
+            workers: 1,
+        }
+    }
+
+    fn service_cfg() -> ServiceConfig {
+        ServiceConfig { solver: test_solver_cfg(), ..ServiceConfig::default() }
+    }
+
+    fn dims() -> Dims {
+        Dims::new(8, 4, 4, 4)
+    }
+
+    fn sources_for(n: u64) -> Vec<SpinorField<f64>> {
+        (0..n)
+            .map(|i| {
+                let mut rng = Rng64::new(100 + i);
+                SpinorField::random(dims(), &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_config_requests_converge_with_one_setup() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (responses, report) = serve(&cfg, &source, &sink, |h| {
+            let tickets: Vec<Ticket> = sources_for(4)
+                .into_iter()
+                .map(|s| h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap())
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        assert_eq!(responses.len(), 4);
+        for r in &responses {
+            assert_eq!(r.status, ServeStatus::Converged);
+            assert!(r.relative_residual <= 1e-8);
+            assert!(r.latency >= r.queue_wait);
+        }
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.rejected, 0);
+        // One gauge configuration ⇒ exactly one setup-cache miss.
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.latency.count(), 4);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_instead_of_hanging() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (response, _report) = serve(&cfg, &source, &sink, |h| {
+            let mut req = SolveRequest::new(ConfigKey(1), sources_for(1).pop().unwrap());
+            req.deadline = Some(Duration::ZERO);
+            let ticket = h.submit(req).unwrap();
+            // Let the deadline expire before a worker picks the request up.
+            std::thread::sleep(Duration::from_millis(5));
+            ticket.wait()
+        });
+        assert_eq!(response.status, ServeStatus::Degraded(DegradeReason::DeadlineBeforeSolve));
+        assert_eq!(response.iterations, 0);
+        assert_eq!(response.solution.norm(), 0.0);
+    }
+
+    #[test]
+    fn hopeless_target_walks_the_full_ladder() {
+        // An unreachable tolerance with tiny iteration caps: the primary
+        // misses, the fallback misses, and the service still answers with
+        // an honest TargetMissed instead of hanging or panicking.
+        let mut cfg = service_cfg();
+        cfg.solver.fgmres.max_iterations = 2;
+        cfg.fallback_max_iterations = 2;
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (response, report) = serve(&cfg, &source, &sink, |h| {
+            let mut req = SolveRequest::new(ConfigKey(1), sources_for(1).pop().unwrap());
+            req.tolerance = 1e-300;
+            h.submit(req).unwrap().wait()
+        });
+        assert_eq!(response.status, ServeStatus::Degraded(DegradeReason::TargetMissed));
+        assert!(!response.status.meets_target());
+        assert!(response.relative_residual > 0.0);
+        assert!(report.metrics.counters().get("serve.fallbacks").is_some());
+    }
+
+    #[test]
+    fn fallback_rescues_a_starved_primary() {
+        // Primary capped to a single outer iteration (misses 1e-8); the
+        // BiCGstab fallback has the budget to finish the job.
+        let mut cfg = service_cfg();
+        cfg.solver.fgmres.max_iterations = 1;
+        cfg.solver.fgmres.max_basis = 2;
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (response, _report) = serve(&cfg, &source, &sink, |h| {
+            h.submit(SolveRequest::new(ConfigKey(1), sources_for(1).pop().unwrap())).unwrap().wait()
+        });
+        assert_eq!(response.status, ServeStatus::Fallback);
+        assert!(response.relative_residual <= 1e-8);
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_queue_full() {
+        let mut cfg = service_cfg();
+        cfg.queue_capacity = 1;
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let ((), report) = serve(&cfg, &source, &sink, |h| {
+            // 64 back-to-back submissions cannot all fit through a
+            // depth-1 queue while each solve takes milliseconds.
+            let mut tickets = Vec::new();
+            let mut shed = 0u64;
+            for s in sources_for(64) {
+                match h.submit(SolveRequest::new(ConfigKey(1), s)) {
+                    Ok(t) => tickets.push(t),
+                    Err(SubmitError::QueueFull(_req)) => shed += 1,
+                }
+            }
+            assert!(shed > 0, "a depth-1 queue must shed some of 64 instant submissions");
+            assert_eq!(h.rejected(), shed);
+            for t in tickets {
+                assert!(t.wait().status.meets_target());
+            }
+        });
+        assert!(report.rejected > 0);
+        assert_eq!(report.completed + report.rejected, 64);
+    }
+
+    #[test]
+    fn trace_has_serve_spans_and_counters() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let ((), _report) = serve(&cfg, &source, &sink, |h| {
+            let tickets: Vec<Ticket> = sources_for(2)
+                .into_iter()
+                .map(|s| h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap())
+                .collect();
+            for t in tickets {
+                t.wait();
+            }
+        });
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| e.phase == Phase::ServeBatch),
+            "missing ServeBatch span/counter"
+        );
+        assert!(
+            events.iter().any(|e| e.phase == Phase::ServeSetup),
+            "missing ServeSetup span/counter"
+        );
+    }
+}

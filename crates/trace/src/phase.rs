@@ -42,12 +42,21 @@ pub enum Phase {
     GlobalSum,
     /// Per-iteration residual samples (counter events, not spans).
     Residual,
+    /// Building a prepared operator for the solve service on a setup-cache
+    /// miss (clover inversion, precision conversion, domain coloring).
+    ServeSetup,
+    /// One multi-RHS batch dispatched by the solve service; queue-depth
+    /// and batch-size counters ride on this phase.
+    ServeBatch,
+    /// The solve service's degradation ladder: a fallback solve after the
+    /// primary DD attempt missed its target or deadline.
+    ServeFallback,
     /// Anything not covered above (BLAS-1 glue, restarts).
     Other,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 19] = [
         Phase::Solve,
         Phase::OuterIteration,
         Phase::ArnoldiStep,
@@ -63,6 +72,9 @@ impl Phase {
         Phase::HaloUnpack,
         Phase::GlobalSum,
         Phase::Residual,
+        Phase::ServeSetup,
+        Phase::ServeBatch,
+        Phase::ServeFallback,
         Phase::Other,
     ];
 
@@ -84,6 +96,9 @@ impl Phase {
             Phase::HaloUnpack => "halo unpack",
             Phase::GlobalSum => "global sum",
             Phase::Residual => "residual",
+            Phase::ServeSetup => "serve setup",
+            Phase::ServeBatch => "serve batch",
+            Phase::ServeFallback => "serve fallback",
             Phase::Other => "other",
         }
     }
@@ -106,6 +121,9 @@ impl Phase {
             Phase::HaloUnpack => "halo_unpack",
             Phase::GlobalSum => "global_sum",
             Phase::Residual => "residual",
+            Phase::ServeSetup => "serve_setup",
+            Phase::ServeBatch => "serve_batch",
+            Phase::ServeFallback => "serve_fallback",
             Phase::Other => "other",
         }
     }
@@ -121,6 +139,7 @@ impl Phase {
             Phase::OperatorApply => "operator",
             Phase::HaloPack | Phase::HaloSend | Phase::HaloRecv | Phase::HaloUnpack => "halo",
             Phase::GlobalSum => "reduction",
+            Phase::ServeSetup | Phase::ServeBatch | Phase::ServeFallback => "serve",
         }
     }
 

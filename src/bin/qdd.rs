@@ -7,6 +7,9 @@
 //!           [--seed N] [--half] [--trace PATH]
 //! qdd hmc   [--dims X,Y,Z,T] [--beta B] [--trajectories N] [--steps N]
 //!           [--length L] [--seed N]
+//! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
+//!           [--tol T] [--deadline-ms D] [--workers N] [--max-batch B]
+//!           [--queue N] [--cache N] [--seed N] [--half] [--trace PATH]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
 //! qdd info
 //! ```
@@ -14,6 +17,10 @@
 //! Everything is deterministic for a fixed `--seed`.
 
 use lattice_qcd_dd::prelude::*;
+use lattice_qcd_dd::serve::{
+    serve, ConfigKey, ServeStatus, ServiceConfig, SolveRequest, SubmitError, SyntheticSource,
+    Ticket,
+};
 use lattice_qcd_dd::trace::{breakdown_table, write_trace_files, TraceSink};
 use qdd_hmc::{Hmc, HmcConfig, LeapfrogConfig};
 use std::collections::HashMap;
@@ -195,6 +202,106 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
+    let block = args.dims("block", Dims::new(4, 4, 4, 4))?;
+    let requests: usize = args.get("requests", 8)?;
+    let configs: u64 = args.get("configs", 2)?;
+    let tol: f64 = args.get("tol", 1e-8)?;
+    let deadline_ms: u64 = args.get("deadline-ms", 0)?;
+    let seed: u64 = args.get("seed", 1)?;
+    if !dims.divisible_by(&block) {
+        return Err(format!("block {block} does not tile lattice {dims}"));
+    }
+    if configs == 0 {
+        return Err("--configs must be positive".into());
+    }
+
+    let mut svc = ServiceConfig {
+        queue_capacity: args.get("queue", 64)?,
+        workers: args.get("workers", 1)?,
+        max_batch: args.get("max-batch", 8)?,
+        cache_capacity: args.get("cache", 4)?,
+        ..ServiceConfig::default()
+    };
+    svc.solver.schwarz.block = block;
+    svc.solver.fgmres.tolerance = tol;
+    let precision = if args.has("half") { Precision::HalfCompressed } else { Precision::Single };
+    svc.solver.precision = precision;
+
+    let trace_path = args.flags.get("trace").cloned();
+    let sink = if trace_path.is_some() { TraceSink::enabled() } else { TraceSink::disabled() };
+    let source = SyntheticSource::new(dims);
+    println!(
+        "serving {requests} requests over {configs} synthetic configuration(s) on {dims} \
+         ({} worker(s), batch <= {}, queue {}, cache {}) ...",
+        svc.workers, svc.max_batch, svc.queue_capacity, svc.cache_capacity
+    );
+
+    let t0 = std::time::Instant::now();
+    let ((responses, shed), report) = serve(&svc, &source, &sink, |h| {
+        let mut rng = Rng64::new(seed);
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..requests {
+            let b = SpinorField::<f64>::random(dims, &mut rng);
+            let mut req = SolveRequest::new(ConfigKey(i as u64 % configs), b);
+            req.tolerance = tol;
+            req.precision = precision;
+            if deadline_ms > 0 {
+                req.deadline = Some(std::time::Duration::from_millis(deadline_ms));
+            }
+            match h.submit(req) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull(_)) => shed += 1,
+            }
+        }
+        (tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>(), shed)
+    });
+    let wall = t0.elapsed();
+
+    let count =
+        |pred: fn(&ServeStatus) -> bool| responses.iter().filter(|r| pred(&r.status)).count();
+    println!("\n{:>12}  {}", "converged", count(|s| matches!(s, ServeStatus::Converged)));
+    println!("{:>12}  {}", "fallback", count(|s| matches!(s, ServeStatus::Fallback)));
+    println!("{:>12}  {}", "degraded", count(|s| matches!(s, ServeStatus::Degraded(_))));
+    println!("{:>12}  {shed}", "shed");
+    let lat = report.latency.summary();
+    println!(
+        "\ncache: {} hit(s) / {} miss(es) ({:.0}% hit rate)",
+        report.cache_hits,
+        report.cache_misses,
+        100.0 * report.cache_hit_rate
+    );
+    println!(
+        "latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms; queue wait p50 {:.1} ms",
+        lat.p50_ms,
+        lat.p99_ms,
+        lat.max_ms,
+        report.queue_wait.quantile_ms(0.5)
+    );
+    println!(
+        "throughput: {:.2} solves/s ({} answered in {:.2} s)",
+        report.completed as f64 / wall.as_secs_f64(),
+        report.completed,
+        wall.as_secs_f64()
+    );
+
+    if let Some(path) = &trace_path {
+        let streams = [sink.stream()];
+        write_trace_files(&streams, path)
+            .map_err(|e| format!("could not write trace to {path}: {e}"))?;
+        println!("\ntrace written: {path} (chrome://tracing), {path}.jsonl");
+        println!("{}", breakdown_table(&streams));
+    }
+    let failed = responses.iter().filter(|r| !r.status.meets_target()).count();
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failed} request(s) did not reach the target"))
+    }
+}
+
 fn cmd_hmc(args: &Args) -> Result<(), String> {
     let dims = args.dims("dims", Dims::new(4, 4, 4, 8))?;
     let beta: f64 = args.get("beta", 5.9)?;
@@ -250,13 +357,14 @@ fn cmd_info() {
         100.0 * eff,
         bound
     );
-    println!("\nsubcommands: solve, hmc, model <table2|table3|fig5|fig6|fig7|bound>, info");
+    println!("\nsubcommands: solve, serve, hmc, model <table2|table3|fig5|fig6|fig7|bound>, info");
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(|s| s.as_str()) {
         Some("solve") => Args::parse(&argv[1..]).and_then(|a| cmd_solve(&a)),
+        Some("serve") => Args::parse(&argv[1..]).and_then(|a| cmd_serve(&a)),
         Some("hmc") => Args::parse(&argv[1..]).and_then(|a| cmd_hmc(&a)),
         Some("model") => match argv.get(1) {
             Some(w) => cmd_model(w),

@@ -24,6 +24,7 @@
 //! | `qdd-core` | MR, Schwarz, FGMRES-DR, BiCGstab, Richardson, CGNR; worker pool |
 //! | `qdd-comm` | SPMD rank runtime, halo exchange, distributed solvers |
 //! | `qdd-machine` | KNC chip/kernel/network/overlap models; Table II/III, Figs. 5-7 generators |
+//! | `qdd-serve` | batched multi-RHS solve service: admission control, setup cache, degradation ladder |
 
 pub use qdd_comm as comm;
 pub use qdd_core as core_solver;
@@ -31,6 +32,7 @@ pub use qdd_dirac as dirac;
 pub use qdd_field as field;
 pub use qdd_lattice as lattice;
 pub use qdd_machine as machine;
+pub use qdd_serve as serve;
 pub use qdd_trace as trace;
 pub use qdd_util as util;
 
