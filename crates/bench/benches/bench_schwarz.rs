@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdd_bench::{test_operator, test_source};
 use qdd_core::mr::MrConfig;
+use qdd_core::pool::WorkerPool;
 use qdd_core::schwarz::{SchwarzConfig, SchwarzPreconditioner};
 use qdd_lattice::Dims;
 use qdd_util::stats::SolveStats;
@@ -36,9 +37,10 @@ fn bench_schwarz(c: &mut Criterion) {
         })
     });
     group.bench_function("multiplicative_4workers", |b| {
+        let pool = WorkerPool::new(4);
         b.iter(|| {
             let mut stats = SolveStats::new();
-            black_box(pre.apply_parallel(black_box(&f), 4, &mut stats));
+            black_box(pre.apply_parallel(black_box(&f), &pool, &mut stats));
         })
     });
     group.bench_function("additive_serial", |b| {

@@ -31,6 +31,7 @@ fn bench_solvers(c: &mut Criterion) {
         },
         precision: Precision::Single,
         workers: 1,
+        fused_outer: true,
     };
     let solver = DdSolver::new(test_operator(dims, spread, mass, 31), dd_cfg).unwrap();
     let op = test_operator(dims, spread, mass, 31);

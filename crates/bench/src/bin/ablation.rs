@@ -42,6 +42,7 @@ fn base_config() -> DdSolverConfig {
         },
         precision: Precision::Single,
         workers: 1,
+        fused_outer: true,
     }
 }
 

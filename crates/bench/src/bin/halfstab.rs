@@ -34,6 +34,7 @@ fn main() {
         },
         precision,
         workers: 1,
+        fused_outer: true,
     };
     let f = test_source(dims, 202);
 

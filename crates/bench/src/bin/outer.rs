@@ -1,0 +1,176 @@
+//! Outer hot-path benchmark: scalar site-loop `WilsonClover::apply` vs the
+//! full-lattice fused SoA operator, threaded over xy tiles by the
+//! persistent worker pool. This measures the matvec that dominates the
+//! outer FGMRES iteration (Sec. III-B) and backs the repo's claim that the
+//! fused outer path is a real speedup, not just a layout change.
+//!
+//! Both precisions are measured: f64 is the outer double-precision Krylov
+//! matvec; f32 is the precision the mixed-precision solver (and the paper's
+//! KNC kernels, Sec. III-A) actually run the hot path in.
+//!
+//! Run: `cargo run -p qdd-bench --bin outer --release [-- --smoke]`
+//! Writes `results/BENCH_outer.json`.
+
+use qdd_bench::{test_operator, test_source};
+use qdd_core::pool::WorkerPool;
+use qdd_dirac::fused_full::build_full_operator;
+use qdd_dirac::wilson::WilsonClover;
+use qdd_field::fields::SpinorField;
+use qdd_lattice::Dims;
+use qdd_util::complex::Real;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Point {
+    kernel: &'static str,
+    workers: usize,
+    seconds: f64,
+    gflops: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// Best-of-`reps` wall time (min is the standard noise-robust estimator
+/// on a shared host).
+fn best_of(reps: usize, f: &mut dyn FnMut()) -> f64 {
+    f(); // warm up outside the timed region
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_precision<T: Real>(
+    series: &str,
+    op: &WilsonClover<T>,
+    src: &SpinorField<T>,
+    reps: usize,
+    report: &mut qdd_bench::Report,
+) -> (f64, f64) {
+    let dims = *op.dims();
+    let fused = build_full_operator::<T>(op).expect("even extents admit a fused operator");
+    let flops = op.apply_flops();
+
+    // Correctness cross-check before timing anything: the fused operator
+    // must agree with the scalar site loop site-for-site.
+    let mut expect = SpinorField::zeros(dims);
+    op.apply(&mut expect, src);
+    {
+        let pool = WorkerPool::new(4);
+        let mut got = SpinorField::zeros(dims);
+        fused.apply(&mut got, src, &pool);
+        let tol = if std::mem::size_of::<T>() == 4 { 1e-6 } else { 1e-20 };
+        let worst = (0..dims.volume())
+            .map(|s| got.site(s).sub(*expect.site(s)).norm_sqr().to_f64())
+            .fold(0.0f64, f64::max);
+        assert!(worst < tol, "{series}: fused disagrees with scalar: |diff|^2 = {worst}");
+    }
+
+    let mut out = SpinorField::zeros(dims);
+    let t_scalar = best_of(reps, &mut || {
+        op.apply(&mut out, src);
+        std::hint::black_box(&out);
+    });
+    println!(
+        "{:>6} {:>8} {:>8} {:>10.1} {:>9.2} {:>9.2}",
+        series,
+        "scalar",
+        1,
+        1e3 * t_scalar,
+        flops / t_scalar / 1e9,
+        1.0
+    );
+    report.push(
+        series,
+        Point {
+            kernel: "scalar",
+            workers: 1,
+            seconds: t_scalar,
+            gflops: flops / t_scalar / 1e9,
+            speedup_vs_scalar: 1.0,
+        },
+    );
+
+    let mut best_fused = f64::INFINITY;
+    for workers in [1usize, 2, 3, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        let t = best_of(reps, &mut || {
+            fused.apply(&mut out, src, &pool);
+            std::hint::black_box(&out);
+        });
+        if workers == 4 {
+            best_fused = t;
+        }
+        println!(
+            "{:>6} {:>8} {:>8} {:>10.1} {:>9.2} {:>9.2}",
+            series,
+            "fused",
+            workers,
+            1e3 * t,
+            flops / t / 1e9,
+            t_scalar / t
+        );
+        report.push(
+            series,
+            Point {
+                kernel: "fused",
+                workers,
+                seconds: t,
+                gflops: flops / t / 1e9,
+                speedup_vs_scalar: t_scalar / t,
+            },
+        );
+    }
+    (t_scalar, best_fused)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (dims, reps) =
+        if smoke { (Dims::new(8, 8, 8, 8), 3) } else { (Dims::new(16, 16, 16, 16), 10) };
+
+    let op = test_operator(dims, 0.5, 0.2, 701);
+    let src = test_source(dims, 702);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("Outer matvec: scalar site loop vs fused SoA kernel (threaded)");
+    println!(
+        "lattice {dims}, {} flop per apply, {hw} hardware threads, best of {reps}\n",
+        op.apply_flops()
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>9} {:>9}",
+        "series", "kernel", "workers", "time [ms]", "Gflop/s", "speedup"
+    );
+
+    let mut report = qdd_bench::Report::new("BENCH_outer");
+    report
+        .param("dims", format!("{dims}"))
+        .param("reps", reps)
+        .param("smoke", smoke)
+        .param("flops_per_apply", op.apply_flops())
+        .meta("hardware_threads", hw)
+        .meta("baseline", "scalar WilsonClover::apply, single thread, same precision")
+        .meta("timer", "best-of-reps wall time");
+
+    let (t64_scalar, t64_fused) = bench_precision("f64", &op, &src, reps, &mut report);
+    let op32: WilsonClover<f32> = op.cast();
+    let src32: SpinorField<f32> = src.cast();
+    let (t32_scalar, t32_fused) = bench_precision("f32", &op32, &src32, reps, &mut report);
+
+    println!(
+        "\nfused @4 workers vs scalar: {:.2}x (f64), {:.2}x (f32 — the precision the",
+        t64_scalar / t64_fused,
+        t32_scalar / t32_fused
+    );
+    println!("mixed-precision solver and Schwarz preconditioner run the hot path in).");
+    println!("The f64 kernel is memory-bandwidth-bound at this volume; f32 halves the");
+    println!("streamed bytes and doubles the SIMD lanes, which is where the fused");
+    println!("layout's headroom shows. Extra workers add strong scaling on multi-core");
+    println!("hosts; on a single-core host the pool time-slices.");
+    report.write();
+    println!("\nwrote results/BENCH_outer.json");
+}

@@ -67,6 +67,7 @@ fn main() {
         },
         precision: Precision::HalfCompressed,
         workers: 1,
+        fused_outer: true,
     };
     // Heavy quark on a smooth field: the operator is well conditioned,
     // so the solve is short and per-request setup (gauge materialization,

@@ -95,7 +95,16 @@ mod tests {
         // Single-rank reference.
         let solver = DdSolver::new(
             WilsonClover::new(gauge.clone(), clover.clone(), 0.2, phases),
-            DdSolverConfig { fgmres, schwarz, precision: Precision::Single, workers: 1 },
+            // Scalar outer path: this test compares iteration counts
+            // against the distributed solver, which applies the operator
+            // with the scalar site loop and plain left-to-right sums.
+            DdSolverConfig {
+                fgmres,
+                schwarz,
+                precision: Precision::Single,
+                workers: 1,
+                fused_outer: false,
+            },
         )
         .unwrap();
         let mut st = SolveStats::new();

@@ -3,9 +3,25 @@
 //! The MR block solver works on domain-local vectors (`&[Spinor<T>]`)
 //! rather than whole-lattice fields; these are its "BLAS-level-1-type
 //! linear algebra (local dot-products only)" (paper Table I, line 9).
+//!
+//! The `det_*`/`par_*` family is the deterministic blocked variant used by
+//! the outer solver: the vector is cut into fixed [`DET_BLOCK_SITES`]-site
+//! blocks, each block is summed sequentially, and the per-block partials
+//! are merged in a fixed binary-tree order. Because the block boundaries
+//! and the merge tree never depend on the worker count, the result is
+//! **bitwise identical** for any number of workers — the invariant behind
+//! `parallel_matches_serial_bitwise` and `qdd-serve`'s reproducible
+//! answers. (It is *not* bitwise equal to the plain serial [`dot`], which
+//! sums the whole slice left to right.)
 
+use crate::pool::{blocked_ranges, SharedCells, WorkerPool};
 use qdd_field::spinor::Spinor;
 use qdd_util::complex::{Complex, Real};
+
+/// Sites per reduction block of the deterministic blocked BLAS. Fixed
+/// (never derived from the worker count) so partial-sum boundaries are
+/// reproducible on any pool.
+pub const DET_BLOCK_SITES: usize = 512;
 
 /// Hermitian inner product `<a, b>` over a block vector.
 pub fn dot<T: Real>(a: &[Spinor<T>], b: &[Spinor<T>]) -> Complex<T> {
@@ -55,6 +71,136 @@ pub fn level1_flops(len: usize) -> f64 {
     96.0 * len as f64
 }
 
+#[inline]
+fn det_blocks(len: usize) -> usize {
+    len.div_ceil(DET_BLOCK_SITES).max(1)
+}
+
+/// Merge per-block partials pairwise in a fixed binary tree. The tree
+/// shape depends only on the block count, so the rounding is independent
+/// of how the blocks were computed.
+fn tree_merge<V: Copy>(mut v: Vec<V>, add: impl Fn(V, V) -> V) -> V {
+    debug_assert!(!v.is_empty());
+    while v.len() > 1 {
+        v = v.chunks(2).map(|c| if c.len() == 2 { add(c[0], c[1]) } else { c[0] }).collect();
+    }
+    v[0]
+}
+
+#[inline]
+fn block_dot<T: Real>(a: &[Spinor<T>], b: &[Spinor<T>]) -> Complex<T> {
+    let mut acc = Complex::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.dot(*y);
+    }
+    acc
+}
+
+#[inline]
+fn block_norm_sqr<T: Real>(a: &[Spinor<T>]) -> T {
+    let mut acc = T::ZERO;
+    for x in a {
+        acc += x.norm_sqr();
+    }
+    acc
+}
+
+/// Deterministic blocked `<a, b>`: the serial reference for [`par_dot`].
+pub fn det_dot<T: Real>(a: &[Spinor<T>], b: &[Spinor<T>]) -> Complex<T> {
+    debug_assert_eq!(a.len(), b.len());
+    let partials: Vec<Complex<T>> = (0..det_blocks(a.len()))
+        .map(|blk| {
+            let lo = blk * DET_BLOCK_SITES;
+            let hi = (lo + DET_BLOCK_SITES).min(a.len());
+            block_dot(&a[lo..hi], &b[lo..hi])
+        })
+        .collect();
+    tree_merge(partials, |x, y| x + y)
+}
+
+/// Deterministic blocked squared 2-norm: serial reference for
+/// [`par_norm_sqr`].
+pub fn det_norm_sqr<T: Real>(a: &[Spinor<T>]) -> T {
+    let partials: Vec<T> = (0..det_blocks(a.len()))
+        .map(|blk| {
+            let lo = blk * DET_BLOCK_SITES;
+            let hi = (lo + DET_BLOCK_SITES).min(a.len());
+            block_norm_sqr(&a[lo..hi])
+        })
+        .collect();
+    tree_merge(partials, |x, y| x + y)
+}
+
+/// `<a, b>` computed over the pool: per-block partials in parallel, fixed
+/// tree merge. Bitwise equal to [`det_dot`] for any worker count.
+pub fn par_dot<T: Real>(pool: &WorkerPool, a: &[Spinor<T>], b: &[Spinor<T>]) -> Complex<T> {
+    debug_assert_eq!(a.len(), b.len());
+    let nblocks = det_blocks(a.len());
+    let workers = pool.workers();
+    if workers == 1 || nblocks < 2 * workers {
+        return det_dot(a, b);
+    }
+    let mut partials = vec![Complex::ZERO; nblocks];
+    {
+        let cells = SharedCells::new(&mut partials);
+        let ranges = blocked_ranges(nblocks, workers);
+        pool.run(&|w| {
+            for blk in ranges[w].clone() {
+                let lo = blk * DET_BLOCK_SITES;
+                let hi = (lo + DET_BLOCK_SITES).min(a.len());
+                unsafe { cells.write(blk, block_dot(&a[lo..hi], &b[lo..hi])) };
+            }
+        });
+    }
+    tree_merge(partials, |x, y| x + y)
+}
+
+/// Squared 2-norm over the pool; bitwise equal to [`det_norm_sqr`] for
+/// any worker count.
+pub fn par_norm_sqr<T: Real>(pool: &WorkerPool, a: &[Spinor<T>]) -> T {
+    let nblocks = det_blocks(a.len());
+    let workers = pool.workers();
+    if workers == 1 || nblocks < 2 * workers {
+        return det_norm_sqr(a);
+    }
+    let mut partials = vec![T::ZERO; nblocks];
+    {
+        let cells = SharedCells::new(&mut partials);
+        let ranges = blocked_ranges(nblocks, workers);
+        pool.run(&|w| {
+            for blk in ranges[w].clone() {
+                let lo = blk * DET_BLOCK_SITES;
+                let hi = (lo + DET_BLOCK_SITES).min(a.len());
+                unsafe { cells.write(blk, block_norm_sqr(&a[lo..hi])) };
+            }
+        });
+    }
+    tree_merge(partials, |x, y| x + y)
+}
+
+/// `y += alpha * x` over the pool. Elementwise, so any partition gives
+/// the same bits; workers take contiguous site ranges.
+pub fn par_axpy<T: Real>(
+    pool: &WorkerPool,
+    y: &mut [Spinor<T>],
+    alpha: Complex<T>,
+    x: &[Spinor<T>],
+) {
+    debug_assert_eq!(y.len(), x.len());
+    let workers = pool.workers();
+    if workers == 1 || y.len() < 2 * DET_BLOCK_SITES {
+        axpy(y, alpha, x);
+        return;
+    }
+    let ranges = blocked_ranges(y.len(), workers);
+    let cells = SharedCells::new(y);
+    pool.run(&|w| {
+        let r = ranges[w].clone();
+        let ys = unsafe { cells.slice_mut(r.clone()) };
+        axpy(ys, alpha, &x[r]);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +241,59 @@ mod tests {
     #[test]
     fn flop_accounting() {
         assert_eq!(level1_flops(10), 960.0);
+    }
+
+    #[test]
+    fn blocked_reductions_bitwise_independent_of_workers() {
+        // Enough sites for several reduction blocks and uneven tails.
+        for n in [100, DET_BLOCK_SITES, 3 * DET_BLOCK_SITES + 17, 8 * DET_BLOCK_SITES] {
+            let a = v(10, n);
+            let b = v(11, n);
+            let d_ref = det_dot(&a, &b);
+            let n_ref = det_norm_sqr(&a);
+            for workers in [1, 2, 3, 8] {
+                let pool = WorkerPool::new(workers);
+                let d = par_dot(&pool, &a, &b);
+                assert_eq!(d.re.to_bits(), d_ref.re.to_bits(), "dot re n={n} w={workers}");
+                assert_eq!(d.im.to_bits(), d_ref.im.to_bits(), "dot im n={n} w={workers}");
+                let s = par_norm_sqr(&pool, &a);
+                assert_eq!(s.to_bits(), n_ref.to_bits(), "norm n={n} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_axpy_bitwise_matches_serial() {
+        let n = 3 * DET_BLOCK_SITES + 5;
+        let x = v(20, n);
+        let alpha = Complex::new(0.37, -1.21);
+        let mut expect = v(21, n);
+        axpy(&mut expect, alpha, &x);
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut y = v(21, n);
+            par_axpy(&pool, &mut y, alpha, &x);
+            for (i, (a, b)) in y.iter().zip(&expect).enumerate() {
+                for k in 0..12 {
+                    assert_eq!(
+                        a.component(k).re.to_bits(),
+                        b.component(k).re.to_bits(),
+                        "site {i} comp {k} w={workers}"
+                    );
+                    assert_eq!(a.component(k).im.to_bits(), b.component(k).im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dot_agrees_with_serial_to_rounding() {
+        let n = 5 * DET_BLOCK_SITES;
+        let a = v(30, n);
+        let b = v(31, n);
+        let serial = dot(&a, &b);
+        let blocked = det_dot(&a, &b);
+        assert!((serial.re - blocked.re).abs() < 1e-9 * serial.re.abs().max(1.0));
+        assert!((serial.im - blocked.im).abs() < 1e-9);
     }
 }

@@ -5,13 +5,15 @@
 //! This is the top-level API a user of the library calls; everything in
 //! Table I is wired together here.
 
-use crate::fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
-use crate::pool::WorkspacePool;
+use crate::fgmres_dr::{fgmres_dr_with_workspace, FgmresConfig, SolveOutcome};
+use crate::pool::{resolve_workers, WorkerPool, WorkspacePool};
 use crate::schwarz::{SchwarzConfig, SchwarzPreconditioner};
-use crate::system::LocalSystem;
+use crate::system::{FusedSystem, LocalSystem};
+use qdd_dirac::fused_full::{build_full_operator, FullOperator};
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
 use qdd_util::stats::SolveStats;
+use std::sync::Mutex;
 
 /// Storage precision of the preconditioner's constant data (gauge links
 /// and clover matrices). Iteration vectors are always f32 in the
@@ -31,9 +33,18 @@ pub struct DdSolverConfig {
     pub fgmres: FgmresConfig,
     pub schwarz: SchwarzConfig,
     pub precision: Precision,
-    /// Worker threads for the Schwarz sweeps (1 = serial). Mirrors the
-    /// number of KNC cores in the paper's on-chip experiments.
+    /// Worker threads for the Schwarz sweeps and the outer hot path
+    /// (1 = serial). Mirrors the number of KNC cores in the paper's
+    /// on-chip experiments. The `QDD_WORKERS` environment variable
+    /// overrides this at solver construction.
     pub workers: usize,
+    /// Run the outer solver on the fused full-lattice SIMD operator and
+    /// the deterministic blocked BLAS (bitwise independent of the worker
+    /// count). `false` restores the scalar site-loop operator with plain
+    /// left-to-right reductions — useful as a cross-check baseline, and
+    /// required when a trajectory must stay bitwise comparable to older
+    /// scalar runs.
+    pub fused_outer: bool,
 }
 
 impl Default for DdSolverConfig {
@@ -43,6 +54,7 @@ impl Default for DdSolverConfig {
             schwarz: SchwarzConfig::default(),
             precision: Precision::Single,
             workers: 1,
+            fused_outer: true,
         }
     }
 }
@@ -54,6 +66,22 @@ pub struct DdSolver {
     op: WilsonClover<f64>,
     pre: SchwarzPreconditioner<f32>,
     cfg: DdSolverConfig,
+    /// Persistent worker pool shared by the Schwarz sweeps, the fused
+    /// operator, and the blocked BLAS. Workers park between jobs, so a
+    /// serial solve pays nothing for its existence.
+    pool: WorkerPool,
+    /// Full-lattice fused operator for the outer f64 matvec (`None` when
+    /// the geometry does not admit the xy-tile layout, or when
+    /// `fused_outer` is off).
+    fused: Option<Box<dyn FullOperator<f64>>>,
+    /// Same, in f32, for the mixed-precision outer loop.
+    fused32: Option<Box<dyn FullOperator<f32>>>,
+    /// Workspace fields for the outer solver (Krylov basis, residuals,
+    /// operator outputs). Warmed by the first solve; later solves of the
+    /// same geometry allocate only their returned solution vector.
+    ws: Mutex<WorkspacePool<f64>>,
+    /// f32 workspaces for the mixed-precision inner solves.
+    ws32: Mutex<WorkspacePool<f32>>,
 }
 
 impl DdSolver {
@@ -70,7 +98,19 @@ impl DdSolver {
             }
         };
         let pre = SchwarzPreconditioner::new(op32, cfg.schwarz)?;
-        Some(Self { op, pre, cfg })
+        let pool = WorkerPool::new(resolve_workers(cfg.workers));
+        let fused = if cfg.fused_outer { build_full_operator(&op) } else { None };
+        let fused32 = if cfg.fused_outer { build_full_operator(pre.op()) } else { None };
+        Some(Self {
+            op,
+            pre,
+            cfg,
+            pool,
+            fused,
+            fused32,
+            ws: Mutex::new(WorkspacePool::new()),
+            ws32: Mutex::new(WorkspacePool::new()),
+        })
     }
 
     #[inline]
@@ -130,8 +170,25 @@ impl DdSolver {
 
         let inner_cfg = FgmresConfig { tolerance: inner_tolerance, ..self.cfg.fgmres };
         let op32 = self.pre.op();
-        let sys32 = crate::system::LocalSystem::new(op32);
-        let mut r = f.clone();
+        let sys32_local;
+        let sys32_fused;
+        let sys32: &dyn crate::system::SystemOps<f32> = if self.cfg.fused_outer {
+            sys32_fused = FusedSystem::new(op32, self.fused32.as_deref(), &self.pool);
+            &sys32_fused
+        } else {
+            sys32_local = LocalSystem::new(op32);
+            &sys32_local
+        };
+        // Hoisted workspaces: the refinement loop reuses one residual, one
+        // operator output, and one cast buffer per precision for all
+        // cycles, so steady state allocates nothing.
+        let ws = &mut *self.ws.lock().unwrap();
+        let ws32 = &mut *self.ws32.lock().unwrap();
+        let mut r = ws.acquire(dims);
+        r.copy_from(f);
+        let mut ax = ws.acquire(dims);
+        let mut d = ws.acquire(dims);
+        let mut r32 = ws32.acquire(dims);
         // Each f32 inner solve gains a factor inner_tolerance; cap the
         // outer refinements generously.
         for _ in 0..60 {
@@ -144,26 +201,27 @@ impl DdSolver {
             outcome.cycles += 1;
             stats.span_begin(qdd_trace::Phase::OuterIteration);
             // Inner f32 DD solve: A32 d = r.
-            let r32: SpinorField<f32> = r.cast();
+            r32.cast_assign(&r);
             let pre = &self.pre;
-            let workers = self.cfg.workers;
+            let pool = &self.pool;
             let mut precond = |v: &SpinorField<f32>, st: &mut SolveStats| -> SpinorField<f32> {
-                if workers > 1 {
-                    pre.apply_parallel(v, workers, st)
+                if pool.workers() > 1 {
+                    pre.apply_parallel(v, pool, st)
                 } else {
                     pre.apply(v, st)
                 }
             };
-            let (d32, inner_out) = fgmres_dr(&sys32, &r32, &mut precond, &inner_cfg, stats);
+            let (d32, inner_out) =
+                fgmres_dr_with_workspace(sys32, &r32, &mut precond, &inner_cfg, ws32, stats);
             outcome.iterations += inner_out.iterations;
             // Rescale the inner trajectory by the cycle-start residual so
             // the outer history has one entry per inner iteration
             // (`history.len() == iterations + 1`).
             outcome.history.extend(inner_out.history[1..].iter().map(|h| h * rel));
-            let d: SpinorField<f64> = d32.cast();
+            d.cast_assign(&d32);
+            ws32.release(d32);
             x.axpy(qdd_util::complex::Complex::ONE, &d);
             // True f64 residual.
-            let mut ax = SpinorField::zeros(dims);
             self.op.apply(&mut ax, &x);
             stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
             stats.count_operator_application();
@@ -172,9 +230,14 @@ impl DdSolver {
             stats.span_end(qdd_trace::Phase::OuterIteration);
         }
         outcome.relative_residual = r.norm() / f_norm;
+        ws.release(r);
+        ws.release(ax);
+        ws.release(d);
+        ws32.release(r32);
         stats.count_global_sum();
         outcome.converged = outcome.relative_residual < tol;
         stats.span_end(qdd_trace::Phase::Solve);
+        self.emit_par_counters(stats);
         (x, outcome)
     }
 
@@ -185,17 +248,45 @@ impl DdSolver {
         stats: &mut SolveStats,
     ) -> (SpinorField<f64>, SolveOutcome) {
         let pre = &self.pre;
-        let workers = self.cfg.workers;
+        let pool = &self.pool;
         let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
             let r32: SpinorField<f32> = r.cast();
-            let u32 = if workers > 1 {
-                pre.apply_parallel(&r32, workers, st)
+            let u32 = if pool.workers() > 1 {
+                pre.apply_parallel(&r32, pool, st)
             } else {
                 pre.apply(&r32, st)
             };
             u32.cast()
         };
-        fgmres_dr(&LocalSystem::new(&self.op), f, &mut precond, &self.cfg.fgmres, stats)
+        let ws = &mut *self.ws.lock().unwrap();
+        let out = if self.cfg.fused_outer {
+            let sys = FusedSystem::new(&self.op, self.fused.as_deref(), pool);
+            fgmres_dr_with_workspace(&sys, f, &mut precond, &self.cfg.fgmres, ws, stats)
+        } else {
+            let sys = LocalSystem::new(&self.op);
+            fgmres_dr_with_workspace(&sys, f, &mut precond, &self.cfg.fgmres, ws, stats)
+        };
+        self.emit_par_counters(stats);
+        out
+    }
+
+    /// Fields ever allocated by the outer solver's f64 workspace pool —
+    /// tests assert this stays flat across repeated solves.
+    pub fn outer_workspace_allocations(&self) -> usize {
+        self.ws.lock().unwrap().allocations()
+    }
+
+    /// Record the worker-pool utilization counters (`par.*`) on the
+    /// trace sink. No-op when tracing is disabled.
+    fn emit_par_counters(&self, stats: &SolveStats) {
+        let sink = stats.sink();
+        sink.counter(qdd_trace::Phase::PoolJob, "par.workers", self.pool.workers() as f64);
+        sink.counter(qdd_trace::Phase::PoolJob, "par.jobs", self.pool.jobs_dispatched() as f64);
+        sink.counter(
+            qdd_trace::Phase::PoolJob,
+            "par.fused_outer",
+            if self.fused.is_some() || self.fused32.is_some() { 1.0 } else { 0.0 },
+        );
     }
 
     /// Solve `A x_j = f_j` for a batch of right-hand sides against this
@@ -282,6 +373,7 @@ mod tests {
             },
             precision: Precision::Single,
             workers: 1,
+            fused_outer: true,
         }
     }
 

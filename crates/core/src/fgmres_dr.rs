@@ -13,6 +13,7 @@
 //! the projection coefficients into one reduction, so each Arnoldi step
 //! costs two global sums (projections + normalization).
 
+use crate::pool::WorkspacePool;
 use crate::system::SystemOps;
 use qdd_field::fields::SpinorField;
 use qdd_util::complex::{Complex, Real, C64};
@@ -65,11 +66,31 @@ pub struct SolveOutcome {
 /// `precond` maps a residual-like vector to an approximate `A^{-1}`
 /// application; pass the identity closure for unpreconditioned GMRES.
 /// Returns the solution and the outcome record.
-pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
+///
+/// Convenience wrapper around [`fgmres_dr_with_workspace`] with a
+/// throwaway workspace pool; repeated solves should hold a pool and call
+/// the workspace variant so steady-state iterations allocate nothing.
+pub fn fgmres_dr<T: Real, S: SystemOps<T> + ?Sized>(
     sys: &S,
     f: &SpinorField<T>,
     precond: &mut dyn FnMut(&SpinorField<T>, &mut SolveStats) -> SpinorField<T>,
     cfg: &FgmresConfig,
+    stats: &mut SolveStats,
+) -> (SpinorField<T>, SolveOutcome) {
+    let mut ws = WorkspacePool::new();
+    fgmres_dr_with_workspace(sys, f, precond, cfg, &mut ws, stats)
+}
+
+/// [`fgmres_dr`] drawing every temporary field — Krylov basis vectors,
+/// residuals, operator outputs — from `ws` and returning them to it
+/// before exiting. After the first solve warms the pool, later solves of
+/// the same geometry allocate only the returned solution vector.
+pub fn fgmres_dr_with_workspace<T: Real, S: SystemOps<T> + ?Sized>(
+    sys: &S,
+    f: &SpinorField<T>,
+    precond: &mut dyn FnMut(&SpinorField<T>, &mut SolveStats) -> SpinorField<T>,
+    cfg: &FgmresConfig,
+    ws: &mut WorkspacePool<T>,
     stats: &mut SolveStats,
 ) -> (SpinorField<T>, SolveOutcome) {
     let dims = *f.dims();
@@ -106,17 +127,23 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
     let mut start_col = 0usize;
 
     // Initial residual (x = 0): r = f.
-    let mut r = f.clone();
+    let mut r = ws.acquire(dims);
+    r.copy_from(f);
     let mut beta = f_norm;
 
     'outer: loop {
         outcome.cycles += 1;
         if start_col == 0 {
-            v.clear();
-            z.clear();
+            for b in v.drain(..) {
+                ws.release(b);
+            }
+            for b in z.drain(..) {
+                ws.release(b);
+            }
             hbar = CMat::zeros(m + 1, m);
             c = vec![C64::ZERO; m + 1];
-            let mut v0 = r.clone();
+            let mut v0 = ws.acquire(dims);
+            v0.copy_from(&r);
             v0.scale(Complex::real(T::from_f64(1.0 / beta)));
             stats.add_flops(Component::Other, 0.5 * l1_flops);
             v.push(v0);
@@ -133,7 +160,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
             let zj = precond(&v[j], stats);
             stats.span_end(qdd_trace::Phase::Precondition);
             // w = A z_j
-            let mut w = SpinorField::zeros(dims);
+            let mut w = ws.acquire(dims);
             sys.apply(&mut w, &zj, stats);
             z.push(zj);
 
@@ -156,7 +183,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
                 v.push(vn);
             } else {
                 // Lucky breakdown: exact solution in the current space.
-                v.push(SpinorField::zeros(dims));
+                v.push(ws.acquire(dims));
             }
 
             outcome.iterations += 1;
@@ -191,7 +218,7 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
                 let deflated = if k == 0 {
                     None
                 } else {
-                    deflated_restart(&mut v, &mut z, &mut hbar, &mut c, &c_res, m, k, stats)
+                    deflated_restart(&mut v, &mut z, &mut hbar, &mut c, &c_res, m, k, ws, stats)
                 };
                 match deflated {
                     Some(kk) => start_col = kk,
@@ -200,10 +227,11 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
                         // degenerated): recompute the true residual so the
                         // next cycle starts from the current iterate, not
                         // the stale initial one.
-                        let mut ax = SpinorField::zeros(dims);
+                        let mut ax = ws.acquire(dims);
                         sys.apply(&mut ax, &x, stats);
-                        r = f.clone();
+                        r.copy_from(f);
                         r.sub_assign(&ax);
+                        ws.release(ax);
                         beta = sys.norm_sqr(&r, stats).to_f64().sqrt();
                         stats.add_flops(Component::Other, 2.0 * l1_flops);
                         start_col = 0;
@@ -215,12 +243,22 @@ pub fn fgmres_dr<T: Real, S: SystemOps<T>>(
     }
 
     // True final residual.
-    let mut ax = SpinorField::zeros(dims);
+    let mut ax = ws.acquire(dims);
     sys.apply(&mut ax, &x, stats);
-    let mut rr = f.clone();
+    let mut rr = ws.acquire(dims);
+    rr.copy_from(f);
     rr.sub_assign(&ax);
     outcome.relative_residual = sys.norm_sqr(&rr, stats).to_f64().sqrt() / f_norm;
     outcome.converged = outcome.relative_residual < cfg.tolerance * 10.0;
+    ws.release(ax);
+    ws.release(rr);
+    ws.release(r);
+    for b in v.drain(..) {
+        ws.release(b);
+    }
+    for b in z.drain(..) {
+        ws.release(b);
+    }
     stats.span_end(qdd_trace::Phase::Solve);
     (x, outcome)
 }
@@ -283,6 +321,7 @@ fn deflated_restart<T: Real>(
     c_res: &[C64],
     m: usize,
     k: usize,
+    ws: &mut WorkspacePool<T>,
     stats: &mut SolveStats,
 ) -> Option<usize> {
     let dims = *v[0].dims();
@@ -315,7 +354,7 @@ fn deflated_restart<T: Real>(
     // New bases: V' = V_{m+1} Phat, Z' = Z_m P.
     let mut new_v: Vec<SpinorField<T>> = Vec::with_capacity(kp1);
     for jj in 0..kp1 {
-        let mut acc = SpinorField::zeros(dims);
+        let mut acc = ws.acquire(dims);
         for (row, vrow) in v.iter().enumerate().take(m + 1) {
             let coef = phat[(row, jj)];
             if coef.abs() > 0.0 {
@@ -326,7 +365,7 @@ fn deflated_restart<T: Real>(
     }
     let mut new_z: Vec<SpinorField<T>> = Vec::with_capacity(kk);
     for jj in 0..kk {
-        let mut acc = SpinorField::zeros(dims);
+        let mut acc = ws.acquire(dims);
         for (row, zrow) in z.iter().enumerate().take(m) {
             let coef = p[(row, jj)];
             if coef.abs() > 0.0 {
@@ -357,6 +396,12 @@ fn deflated_restart<T: Real>(
         *nc = acc;
     }
 
+    for b in v.drain(..) {
+        ws.release(b);
+    }
+    for b in z.drain(..) {
+        ws.release(b);
+    }
     *v = new_v;
     *z = new_z;
     *hbar = new_h;

@@ -36,10 +36,10 @@ pub mod system;
 pub use bicgstab::{bicgstab, BiCgStabConfig};
 pub use cg::{cgnr, CgConfig};
 pub use dd_solver::{DdSolver, DdSolverConfig, Precision};
-pub use fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
+pub use fgmres_dr::{fgmres_dr, fgmres_dr_with_workspace, FgmresConfig, SolveOutcome};
 pub use gcr::{gcr, GcrConfig};
 pub use mr::{mr_solve_schur, MrConfig};
-pub use pool::WorkspacePool;
+pub use pool::{resolve_workers, SharedCells, WorkerPool, WorkspacePool};
 pub use richardson::{richardson_bicgstab, RichardsonConfig};
 pub use schwarz::{schwarz_block_update, SchwarzConfig, SchwarzPreconditioner};
-pub use system::{LocalSystem, SystemOps};
+pub use system::{FusedSystem, LocalSystem, SystemOps};

@@ -16,7 +16,8 @@ use qdd_field::spinor::Spinor;
 use qdd_lattice::Dims;
 use qdd_util::complex::Real;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A sense-reversing spinning barrier for a fixed number of participants.
 pub struct SpinBarrier {
@@ -179,6 +180,225 @@ impl<T: Real> Default for WorkspacePool<T> {
     }
 }
 
+/// A raw window onto a mutable slice that pool workers write disjointly
+/// (per-worker partial sums, per-block output ranges). The generic sibling
+/// of [`SharedSpinors`].
+///
+/// # Safety contract
+/// Concurrent users must write disjoint index sets and must not read an
+/// index another thread may write within the same job.
+pub struct SharedCells<V> {
+    ptr: *mut V,
+    len: usize,
+}
+
+unsafe impl<V: Send> Send for SharedCells<V> {}
+unsafe impl<V: Send> Sync for SharedCells<V> {}
+
+impl<V> SharedCells<V> {
+    pub fn new(data: &mut [V]) -> Self {
+        Self { ptr: data.as_mut_ptr(), len: data.len() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Overwrite one cell.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and owned by the calling worker for the
+    /// duration of the job.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, v: V) {
+        debug_assert!(idx < self.len);
+        unsafe { std::ptr::write(self.ptr.add(idx), v) }
+    }
+
+    /// A mutable sub-slice.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every range any other
+    /// worker touches for the duration of the job.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [V] {
+        debug_assert!(range.end <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+/// The number of workers a pool should actually use: the `QDD_WORKERS`
+/// environment variable overrides the configured count when set to a
+/// positive integer; otherwise the configured value (clamped to >= 1).
+pub fn resolve_workers(configured: usize) -> usize {
+    match std::env::var("QDD_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => configured.max(1),
+    }
+}
+
+/// A job dispatched to the pool, with its lifetime erased. Sound because
+/// [`WorkerPool::run`] does not return until every worker has finished the
+/// job, so the erased borrow never outlives the real one.
+#[derive(Copy, Clone)]
+struct JobRef(&'static (dyn Fn(usize) + Sync));
+
+struct PoolState {
+    job: Option<JobRef>,
+    /// Bumped once per dispatched job; workers use it to detect new work.
+    generation: u64,
+    /// Helper threads still inside the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new job (or shutdown) is posted.
+    go: Condvar,
+    /// Signalled when the last helper finishes a job.
+    done: Condvar,
+}
+
+/// A persistent team of workers, created once and reused across Schwarz
+/// sweeps, fused operator applications, and blocked reductions.
+///
+/// The paper's execution model keeps one thread per core alive for the
+/// whole solve (Sec. III-C); respawning an OS thread team per
+/// preconditioner sweep — as the previous `crossbeam::scope` path did —
+/// costs more than a domain solve. The pool spawns `workers - 1` helper
+/// threads up front (none at all for a single worker) and parks them on a
+/// condvar between jobs. [`WorkerPool::run`] hands every worker, including
+/// the calling thread as worker 0, the same closure of `worker_id`, and
+/// returns only when all of them are done — a fork/join barrier per job.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    jobs: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` workers (clamped to >= 1). With one worker no
+    /// threads are spawned and `run` degenerates to a plain call.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { job: None, generation: 0, active: 0, shutdown: false }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qdd-worker-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles, workers, jobs: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total jobs dispatched over the pool's lifetime (the `par.jobs`
+    /// metric).
+    #[inline]
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Execute `job(worker_id)` on every worker, `worker_id` in
+    /// `0..workers`. The calling thread runs worker 0; the call returns
+    /// once all workers have finished (fork/join semantics). Jobs must not
+    /// dispatch nested jobs on the same pool.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        if self.workers == 1 {
+            job(0);
+            return;
+        }
+        // Erase the borrow for the helper threads; `run` blocks until they
+        // are all done with it (see JobRef).
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.active == 0, "nested WorkerPool::run");
+            st.job = Some(JobRef(erased));
+            st.generation += 1;
+            st.active = self.workers - 1;
+            self.shared.go.notify_all();
+        }
+        job(0);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+}
+
+impl qdd_dirac::fused_full::ParallelRunner for WorkerPool {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        WorkerPool::run(self, job)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, wid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break st.job.expect("job posted with generation bump");
+                }
+                st = shared.go.wait(st).unwrap();
+            }
+        };
+        (job.0)(wid);
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
 /// Blocked assignment of `n` work items to `workers` workers (the paper's
 /// domain-to-core mapping, see `qdd-lattice::load::core_assignment`).
 pub fn blocked_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
@@ -268,6 +488,73 @@ mod tests {
         for (i, s) in data.iter().enumerate() {
             assert_eq!(s.component(0).re, i as f64);
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_every_worker() {
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let hits: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+            for _ in 0..25 {
+                pool.run(&|w| {
+                    hits[w].fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 25, "worker {w} of {workers}");
+            }
+            assert_eq!(pool.jobs_dispatched(), 25);
+        }
+    }
+
+    #[test]
+    fn worker_pool_joins_on_run_return() {
+        // Every worker's side effect must be visible when `run` returns.
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 64];
+        for round in 1..=10u64 {
+            let ranges = blocked_ranges(data.len(), 4);
+            let ptr = SharedCells::new(&mut data);
+            pool.run(&|w| {
+                for i in ranges[w].clone() {
+                    unsafe { ptr.write(i, round) };
+                }
+            });
+            assert!(data.iter().all(|&v| v == round), "round {round}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_supports_barriers_inside_jobs() {
+        let workers = 4;
+        let pool = WorkerPool::new(workers);
+        let barrier = SpinBarrier::new(workers);
+        let phase_sum = AtomicU64::new(0);
+        pool.run(&|_| {
+            let sense = Cell::new(false);
+            for round in 0..20u64 {
+                phase_sum.fetch_add(1, Ordering::SeqCst);
+                barrier.wait(&sense);
+                let seen = phase_sum.load(Ordering::SeqCst);
+                assert!(seen >= (round + 1) * workers as u64);
+                barrier.wait(&sense);
+            }
+        });
+        assert_eq!(phase_sum.load(Ordering::SeqCst), 20 * workers as u64);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_env_then_config() {
+        // Serialized by being a single test; QDD_WORKERS is not set by the
+        // harness.
+        std::env::remove_var("QDD_WORKERS");
+        assert_eq!(resolve_workers(3), 3);
+        assert_eq!(resolve_workers(0), 1);
+        std::env::set_var("QDD_WORKERS", "7");
+        assert_eq!(resolve_workers(3), 7);
+        std::env::set_var("QDD_WORKERS", "not-a-number");
+        assert_eq!(resolve_workers(2), 2);
+        std::env::remove_var("QDD_WORKERS");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! solver expects.
 
 use crate::mr::{mr_solve_schur, MrConfig};
-use crate::pool::{blocked_ranges, SharedSpinors, SpinBarrier};
+use crate::pool::{blocked_ranges, SharedSpinors, SpinBarrier, WorkerPool};
 use qdd_dirac::block::{DomainFields, SchurOperator};
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
@@ -21,6 +21,7 @@ use qdd_lattice::{Dims, DomainColor, DomainGrid, Parity};
 use qdd_util::complex::Real;
 use qdd_util::stats::{Component, SolveStats};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schwarz parameters (paper defaults: 8x4x4x4 blocks, ISchwarz = 16,
 /// Idomain = 5).
@@ -140,21 +141,29 @@ impl<T: Real> SchwarzPreconditioner<T> {
         u
     }
 
-    /// Apply the preconditioner with the paper's threading model: `workers`
-    /// workers process same-color domains concurrently, separated by
-    /// barriers between half-sweeps.
+    /// Apply the preconditioner with the paper's threading model: the
+    /// pool's workers process same-color domains concurrently, separated
+    /// by barriers between half-sweeps. The pool is persistent — one job
+    /// is dispatched per application instead of respawning a thread team
+    /// per sweep.
     ///
     /// Produces bit-identical results to [`Self::apply`] for the
     /// multiplicative method (each site receives exactly one update per
-    /// half-sweep, computed from data no concurrent worker writes).
+    /// half-sweep, computed from data no concurrent worker writes). The
+    /// additive method has no race-free parallel schedule here (every
+    /// domain update reads the same input state but writes overlap-free
+    /// only under the two-coloring), so it falls back to the serial path
+    /// rather than panicking.
     pub fn apply_parallel(
         &self,
         f: &SpinorField<T>,
-        workers: usize,
+        pool: &WorkerPool,
         stats: &mut SolveStats,
     ) -> SpinorField<T> {
-        assert!(workers > 0);
-        assert!(!self.cfg.additive, "parallel path implements the multiplicative method");
+        if self.cfg.additive {
+            return self.apply(f, stats);
+        }
+        let workers = pool.workers();
         // The data-race-freedom argument of `SharedSpinors` requires that
         // no two adjacent domains share a color. On a periodic domain grid
         // that holds iff every extent is even or 1 (an odd extent > 1 makes
@@ -172,65 +181,58 @@ impl<T: Real> SchwarzPreconditioner<T> {
         let mut u = SpinorField::zeros(*f.dims());
         let shared = SharedSpinors::new(u.as_mut_slice());
         let barrier = SpinBarrier::new(workers);
-        let mut worker_flops = vec![0.0f64; workers];
+        let worker_flops: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
         // Workers record into per-thread lanes (tid = worker + 1; lane 0 is
         // the rank's main thread) and flush once at the end of the sweep.
+        // Worker 0 runs on the calling thread but still records on lane 1:
+        // the main lane stays free of preconditioner-internal events.
         let sink = stats.sink().clone();
 
-        crossbeam::scope(|s| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let barrier = &barrier;
-                let this = &self;
-                let f_ref = f;
-                let sink = &sink;
-                handles.push(s.spawn(move |_| {
-                    let sense = Cell::new(false);
-                    let mut rec = sink.thread(w as u32 + 1);
-                    let mut flops = 0.0;
-                    for _ in 0..this.cfg.i_schwarz {
-                        for color in DomainColor::ALL {
-                            rec.begin(qdd_trace::Phase::ColorSweep);
-                            let list = &this.colors[color as usize];
-                            let range = blocked_ranges(list.len(), workers)[w].clone();
-                            for &dom_idx in &list[range] {
-                                rec.begin(qdd_trace::Phase::DomainSolve);
-                                // SAFETY: reads touch the domain (owned by
-                                // this worker in this epoch) and its
-                                // opposite-color neighbors (not written in
-                                // this epoch); writes touch only the owned
-                                // domain. See `SharedSpinors` contract.
-                                let fetch = |i: usize| unsafe { shared.read(i) };
-                                let (schur, z_e, z_o, fl) =
-                                    this.block_update(dom_idx, f_ref, fetch);
-                                schur.scatter_add_cb_with(
-                                    |g, v| unsafe { shared.add(g, v) },
-                                    &z_e,
-                                    Parity::Even,
-                                );
-                                schur.scatter_add_cb_with(
-                                    |g, v| unsafe { shared.add(g, v) },
-                                    &z_o,
-                                    Parity::Odd,
-                                );
-                                flops += fl;
-                                rec.end(qdd_trace::Phase::DomainSolve);
-                            }
-                            rec.end(qdd_trace::Phase::ColorSweep);
-                            barrier.wait(&sense);
-                        }
+        pool.run(&|w| {
+            let sense = Cell::new(false);
+            let mut rec = sink.thread(w as u32 + 1);
+            rec.begin(qdd_trace::Phase::PoolJob);
+            let mut flops = 0.0;
+            for _ in 0..self.cfg.i_schwarz {
+                for color in DomainColor::ALL {
+                    rec.begin(qdd_trace::Phase::ColorSweep);
+                    let list = &self.colors[color as usize];
+                    let range = blocked_ranges(list.len(), workers)[w].clone();
+                    for &dom_idx in &list[range] {
+                        rec.begin(qdd_trace::Phase::DomainSolve);
+                        // SAFETY: reads touch the domain (owned by
+                        // this worker in this epoch) and its
+                        // opposite-color neighbors (not written in
+                        // this epoch); writes touch only the owned
+                        // domain. See `SharedSpinors` contract.
+                        let fetch = |i: usize| unsafe { shared.read(i) };
+                        let (schur, z_e, z_o, fl) = self.block_update(dom_idx, f, fetch);
+                        schur.scatter_add_cb_with(
+                            |g, v| unsafe { shared.add(g, v) },
+                            &z_e,
+                            Parity::Even,
+                        );
+                        schur.scatter_add_cb_with(
+                            |g, v| unsafe { shared.add(g, v) },
+                            &z_o,
+                            Parity::Odd,
+                        );
+                        flops += fl;
+                        rec.end(qdd_trace::Phase::DomainSolve);
                     }
-                    rec.flush();
-                    flops
-                }));
+                    rec.end(qdd_trace::Phase::ColorSweep);
+                    barrier.wait(&sense);
+                }
             }
-            for (w, h) in handles.into_iter().enumerate() {
-                worker_flops[w] = h.join().unwrap();
-            }
-        })
-        .unwrap();
+            rec.end(qdd_trace::Phase::PoolJob);
+            rec.flush();
+            worker_flops[w].store(flops.to_bits(), Ordering::Relaxed);
+        });
 
-        stats.add_flops(Component::PreconditionerM, worker_flops.iter().sum());
+        stats.add_flops(
+            Component::PreconditionerM,
+            worker_flops.iter().map(|b| f64::from_bits(b.load(Ordering::Relaxed))).sum(),
+        );
         u
     }
 
@@ -390,8 +392,9 @@ mod tests {
         let mut stats = SolveStats::new();
         let serial = pre.apply(&f, &mut stats);
         for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
             let mut pstats = SolveStats::new();
-            let parallel = pre.apply_parallel(&f, workers, &mut pstats);
+            let parallel = pre.apply_parallel(&f, &pool, &mut pstats);
             assert_eq!(serial.as_slice(), parallel.as_slice(), "workers={workers} diverged");
             // Flop accounting identical too.
             assert!(
@@ -400,7 +403,29 @@ mod tests {
                 .abs()
                     < 1.0
             );
+            assert_eq!(pool.jobs_dispatched(), 1, "one pool job per application");
         }
+    }
+
+    #[test]
+    fn additive_parallel_falls_back_to_serial() {
+        // Regression: the parallel entry point used to panic on additive
+        // configs; it must now produce the serial result bitwise.
+        let dims = Dims::new(8, 8, 4, 4);
+        let block = Dims::new(4, 4, 2, 2);
+        let mut cfg = config(3, 4, block);
+        cfg.additive = true;
+        let pre = SchwarzPreconditioner::new(operator(dims, 0.5, 0.2, 60), cfg).unwrap();
+        let mut rng = Rng64::new(61);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let mut stats = SolveStats::new();
+        let serial = pre.apply(&f, &mut stats);
+        let pool = WorkerPool::new(4);
+        let mut pstats = SolveStats::new();
+        let parallel = pre.apply_parallel(&f, &pool, &mut pstats);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+        // The fallback never dispatches a pool job.
+        assert_eq!(pool.jobs_dispatched(), 0);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! all-reduces and the operator exchanges halos). Global-sum accounting
 //! lives in the implementations — the solver just calls `dot`.
 
+use crate::blas;
+use crate::pool::WorkerPool;
+use qdd_dirac::fused_full::FullOperator;
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_lattice::Dims;
@@ -144,6 +147,128 @@ impl<T: Real> SystemOps<T> for LocalSystem<'_, T> {
         stats.span_begin(qdd_trace::Phase::GlobalSum);
         stats.count_global_sum();
         let dn = (a.dot(b), a.norm_sqr());
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        dn
+    }
+}
+
+/// Single-rank system running the parallel fused outer hot path: the
+/// operator is the full-lattice SIMD kernel (when the geometry admits
+/// one) threaded over a persistent [`WorkerPool`], and every reduction
+/// uses the deterministic blocked BLAS — so solve trajectories are
+/// bitwise independent of the worker count.
+///
+/// When `fused` is `None` (odd extent or unsupported lane count) the
+/// operator falls back to the scalar path but the reductions stay
+/// blocked, keeping the trajectory shape consistent across geometries.
+pub struct FusedSystem<'a, T: Real> {
+    op: &'a WilsonClover<T>,
+    fused: Option<&'a dyn FullOperator<T>>,
+    pool: &'a WorkerPool,
+}
+
+impl<'a, T: Real> FusedSystem<'a, T> {
+    pub fn new(
+        op: &'a WilsonClover<T>,
+        fused: Option<&'a dyn FullOperator<T>>,
+        pool: &'a WorkerPool,
+    ) -> Self {
+        if let Some(f) = fused {
+            assert_eq!(f.dims(), *op.dims(), "fused operator geometry mismatch");
+        }
+        Self { op, fused, pool }
+    }
+
+    /// Whether applications run the fused SIMD kernel (vs. scalar).
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
+    }
+
+    #[inline]
+    fn apply_inner(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>) {
+        match self.fused {
+            Some(f) => f.apply(out, inp, self.pool),
+            None => self.op.apply(out, inp),
+        }
+    }
+}
+
+impl<T: Real> SystemOps<T> for FusedSystem<'_, T> {
+    fn local_dims(&self) -> Dims {
+        *self.op.dims()
+    }
+
+    fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
+        stats.span_begin(qdd_trace::Phase::OperatorApply);
+        self.apply_inner(out, inp);
+        stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
+        stats.count_operator_application();
+        stats.span_end(qdd_trace::Phase::OperatorApply);
+    }
+
+    fn apply_adjoint(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        stats: &mut SolveStats,
+    ) {
+        stats.span_begin(qdd_trace::Phase::OperatorApply);
+        let basis = self.op.basis();
+        let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
+        self.apply_inner(out, &g5in);
+        for s in 0..out.len() {
+            *out.site_mut(s) = basis.apply_gamma5(out.site(s));
+        }
+        stats.add_flops(qdd_util::stats::Component::OperatorA, self.op.apply_flops());
+        stats.count_operator_application();
+        stats.span_end(qdd_trace::Phase::OperatorApply);
+    }
+
+    fn apply_flops(&self) -> f64 {
+        self.op.apply_flops()
+    }
+
+    fn dot(&self, a: &SpinorField<T>, b: &SpinorField<T>, stats: &mut SolveStats) -> Complex<T> {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
+        stats.count_global_sum();
+        let d = blas::par_dot(self.pool, a.as_slice(), b.as_slice());
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        d
+    }
+
+    fn norm_sqr(&self, a: &SpinorField<T>, stats: &mut SolveStats) -> T {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
+        stats.count_global_sum();
+        let n = blas::par_norm_sqr(self.pool, a.as_slice());
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        n
+    }
+
+    fn dots_batched(
+        &self,
+        vs: &[SpinorField<T>],
+        w: &SpinorField<T>,
+        stats: &mut SolveStats,
+    ) -> Vec<Complex<T>> {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
+        stats.count_global_sum();
+        let ds = vs.iter().map(|v| blas::par_dot(self.pool, v.as_slice(), w.as_slice())).collect();
+        stats.span_end(qdd_trace::Phase::GlobalSum);
+        ds
+    }
+
+    fn dot_and_norm(
+        &self,
+        a: &SpinorField<T>,
+        b: &SpinorField<T>,
+        stats: &mut SolveStats,
+    ) -> (Complex<T>, T) {
+        stats.span_begin(qdd_trace::Phase::GlobalSum);
+        stats.count_global_sum();
+        let dn = (
+            blas::par_dot(self.pool, a.as_slice(), b.as_slice()),
+            blas::par_norm_sqr(self.pool, a.as_slice()),
+        );
         stats.span_end(qdd_trace::Phase::GlobalSum);
         dn
     }

@@ -8,6 +8,7 @@ use qdd_core::cg::{cgnr, CgConfig};
 use qdd_core::fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
 use qdd_core::gcr::{gcr, GcrConfig};
 use qdd_core::mr::MrConfig;
+use qdd_core::pool::WorkerPool;
 use qdd_core::richardson::{richardson_bicgstab, RichardsonConfig};
 use qdd_core::schwarz::{SchwarzConfig, SchwarzPreconditioner};
 use qdd_core::system::LocalSystem;
@@ -204,7 +205,8 @@ fn schwarz_preconditioned_solve_traces_nested_phases() {
 
     // Parallel preconditioner: worker lanes carry the domain solves.
     let mut pstats = traced_stats();
-    let _ = pre.apply_parallel(&f.cast(), 2, &mut pstats);
+    let pool = WorkerPool::new(2);
+    let _ = pre.apply_parallel(&f.cast(), &pool, &mut pstats);
     let pevents = pstats.sink().events();
     validate_balance(&pevents).expect("parallel spans unbalanced");
     for tid in [1, 2] {

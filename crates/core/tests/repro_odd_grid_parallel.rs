@@ -4,6 +4,7 @@
 //! the preconditioner must refuse loudly instead of racing.
 
 use qdd_core::mr::MrConfig;
+use qdd_core::pool::WorkerPool;
 use qdd_core::schwarz::{SchwarzConfig, SchwarzPreconditioner};
 use qdd_dirac::clover::build_clover_field;
 use qdd_dirac::gamma::GammaBasis;
@@ -37,7 +38,8 @@ fn odd_grid_preconditioner() -> (SchwarzPreconditioner<f64>, SpinorField<f64>) {
 fn parallel_refuses_odd_domain_grid() {
     let (pre, f) = odd_grid_preconditioner();
     let mut stats = SolveStats::new();
-    let _ = pre.apply_parallel(&f, 4, &mut stats);
+    let pool = WorkerPool::new(4);
+    let _ = pre.apply_parallel(&f, &pool, &mut stats);
 }
 
 #[test]

@@ -60,7 +60,7 @@ impl<T: Real, const N: usize> FusedGauge<T, N> {
     }
 
     #[inline]
-    fn tile(&self, parity: Parity, tile: usize, dir: Dir) -> &GaugeTile<T, N> {
+    pub(crate) fn tile(&self, parity: Parity, tile: usize, dir: Dir) -> &GaugeTile<T, N> {
         &self.data[parity.index()][tile][dir.index()]
     }
 }
@@ -70,7 +70,7 @@ impl<T: Real, const N: usize> FusedGauge<T, N> {
 pub struct FusedClover<T: Real, const N: usize> {
     /// `[parity][tile][chirality]` -> (diag[6], off_re_im[30]).
     #[allow(clippy::type_complexity)]
-    data: [Vec<[([VReal<T, N>; 6], [VReal<T, N>; 30]); 2]>; 2],
+    pub(crate) data: [Vec<[([VReal<T, N>; 6], [VReal<T, N>; 30]); 2]>; 2],
 }
 
 impl<T: Real, const N: usize> FusedClover<T, N> {
@@ -123,7 +123,7 @@ pub struct FusedKernel<T: Real, const N: usize> {
 }
 
 #[inline]
-fn xy_idx(flavor: usize, parity: Parity, dir: usize, fwd: usize) -> usize {
+pub(crate) fn xy_idx(flavor: usize, parity: Parity, dir: usize, fwd: usize) -> usize {
     ((flavor * 2 + parity.index()) * 2 + dir) * 2 + fwd
 }
 
@@ -162,7 +162,7 @@ fn acc_scaled<T: Real, const N: usize>(dst: &mut VReal<T, N>, src: VReal<T, N>, 
     *dst = dst.fma(src, VReal::splat(s));
 }
 
-type Half<T, const N: usize> = [[VReal<T, N>; 2]; 6]; // 6 complex (2 spin x 3 color), [re, im]
+pub(crate) type Half<T, const N: usize> = [[VReal<T, N>; 2]; 6]; // 6 complex (2 spin x 3 color), [re, im]
 
 impl<T: Real, const N: usize> FusedKernel<T, N> {
     pub fn new(block: Dims) -> Self {
@@ -212,7 +212,7 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
 
     /// Project `(1 + sign*gamma_mu)` on a (possibly permuted) tile.
     #[inline]
-    fn project(&self, dir: Dir, plus: bool, tile: &FusedTile<T, N>) -> Half<T, N> {
+    pub(crate) fn project(&self, dir: Dir, plus: bool, tile: &FusedTile<T, N>) -> Half<T, N> {
         let rule = self.basis.gamma[dir.index()].proj_rule(plus);
         let mut h: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
         for s in 0..2 {
@@ -230,7 +230,7 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
 
     /// `out = U * h` (color multiply of both spin components).
     #[inline]
-    fn su3_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+    pub(crate) fn su3_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
         let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
         for s in 0..2 {
             for i in 0..3 {
@@ -252,7 +252,7 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
 
     /// `out = U^dag * h`.
     #[inline]
-    fn su3_adj_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+    pub(crate) fn su3_adj_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
         let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
         for s in 0..2 {
             for i in 0..3 {
@@ -272,9 +272,132 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
         out
     }
 
+    /// One color row of `U h` (or `U^dag h` when `ADJ`) for spin `s`:
+    /// the three-term FMA chain of [`Self::su3_mul`] for a single output
+    /// component, returned in registers.
+    #[inline(always)]
+    fn su3_row<const ADJ: bool>(
+        g: &GaugeTile<T, N>,
+        h: &Half<T, N>,
+        s: usize,
+        i: usize,
+    ) -> (VReal<T, N>, VReal<T, N>) {
+        let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
+        for c in 0..3 {
+            let (u_re, u_im) = if ADJ {
+                (g[2 * (3 * c + i)], g[2 * (3 * c + i) + 1])
+            } else {
+                (g[2 * (3 * i + c)], g[2 * (3 * i + c) + 1])
+            };
+            let h_re = h[3 * s + c][0];
+            let h_im = h[3 * s + c][1];
+            if ADJ {
+                acc_re = acc_re.fma(u_re, h_re).fma(u_im, h_im);
+                acc_im = acc_im.fma(u_re, h_im).fms(u_im, h_re);
+            } else {
+                acc_re = acc_re.fma(u_re, h_re).fms(u_im, h_im);
+                acc_im = acc_im.fma(u_re, h_im).fma(u_im, h_re);
+            }
+        }
+        (acc_re, acc_im)
+    }
+
+    /// Accumulate one reconstructed component pair: the direct row `k`
+    /// (scaled by -1/2) and its partner row `kr` (scaled by `coef`, which
+    /// already carries the -1/2).
+    #[inline(always)]
+    fn recon_pair(
+        acc: &mut FusedTile<T, N>,
+        k: usize,
+        kr: usize,
+        coef: C64,
+        re: VReal<T, N>,
+        im: VReal<T, N>,
+    ) {
+        let m_half = T::from_f64(-0.5);
+        acc_scaled(&mut acc[2 * k], re, m_half);
+        acc_scaled(&mut acc[2 * k + 1], im, m_half);
+        if coef.im == 0.0 {
+            acc_scaled(&mut acc[2 * kr], re, T::from_f64(coef.re));
+            acc_scaled(&mut acc[2 * kr + 1], im, T::from_f64(coef.re));
+        } else {
+            acc_scaled(&mut acc[2 * kr], im, T::from_f64(-coef.im));
+            acc_scaled(&mut acc[2 * kr + 1], re, T::from_f64(coef.im));
+        }
+    }
+
+    /// Fused color-multiply + reconstruct: `acc += -1/2 recon(U h)` (or
+    /// `U^dag h` when `adj`) without materializing the intermediate
+    /// half-spinor — each `U h` component is computed in registers and
+    /// consumed by both rows it feeds. Performs the exact FMA sequences of
+    /// [`Self::su3_mul`]/[`Self::su3_adj_mul`] followed by
+    /// [`Self::reconstruct_acc`], so results are bitwise identical.
+    #[inline]
+    pub(crate) fn su3_recon_acc(
+        &self,
+        dir: Dir,
+        plus: bool,
+        adj: bool,
+        g: &GaugeTile<T, N>,
+        h: &Half<T, N>,
+        acc: &mut FusedTile<T, N>,
+    ) {
+        let rule = self.basis.gamma[dir.index()].recon_rule(plus);
+        // rule maps output rows 2+s to source spin rule[s].0; the two
+        // source spins are a permutation of {0, 1}, so iterating the rule
+        // covers every `U h` component exactly once.
+        for (s_out, &(sp, coef)) in rule.iter().enumerate() {
+            let coef = coef.scale(-0.5);
+            for i in 0..3 {
+                let (re, im) = if adj {
+                    Self::su3_row::<true>(g, h, sp, i)
+                } else {
+                    Self::su3_row::<false>(g, h, sp, i)
+                };
+                Self::recon_pair(acc, 3 * sp + i, 3 * (2 + s_out) + i, coef, re, im);
+            }
+        }
+    }
+
+    /// Reconstruct-and-accumulate with the half-spinor read through a lane
+    /// permutation (and optional per-lane sign): the backward-hop epilogue
+    /// of the full-lattice kernel, where `U^dag h` is computed in source
+    /// lane order and permuted on consumption instead of materialized.
+    #[inline]
+    pub(crate) fn reconstruct_acc_permuted(
+        &self,
+        dir: Dir,
+        plus: bool,
+        h: &Half<T, N>,
+        table: &[usize; N],
+        sign: Option<&VReal<T, N>>,
+        acc: &mut FusedTile<T, N>,
+    ) {
+        let rule = self.basis.gamma[dir.index()].recon_rule(plus);
+        for (s_out, &(sp, coef)) in rule.iter().enumerate() {
+            let coef = coef.scale(-0.5);
+            for i in 0..3 {
+                let k = 3 * sp + i;
+                let mut re = h[k][0].permute(table);
+                let mut im = h[k][1].permute(table);
+                if let Some(s) = sign {
+                    re = re.mul(*s);
+                    im = im.mul(*s);
+                }
+                Self::recon_pair(acc, k, 3 * (2 + s_out) + i, coef, re, im);
+            }
+        }
+    }
+
     /// Reconstruct-and-accumulate `acc += -1/2 * recon(h)`.
     #[inline]
-    fn reconstruct_acc(&self, dir: Dir, plus: bool, h: &Half<T, N>, acc: &mut FusedTile<T, N>) {
+    pub(crate) fn reconstruct_acc(
+        &self,
+        dir: Dir,
+        plus: bool,
+        h: &Half<T, N>,
+        acc: &mut FusedTile<T, N>,
+    ) {
         let m_half = T::from_f64(-0.5);
         // Rows 0, 1 directly.
         for k in 0..6 {

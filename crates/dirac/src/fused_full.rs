@@ -1,0 +1,627 @@
+//! The site-fused SIMD operator extended from Dirichlet domain interiors
+//! (paper Sec. III-A, [`crate::fused`]) to the **full local lattice** with
+//! wrapping boundaries and boundary phases, so the outer Krylov matvec
+//! runs the same lane kernel as the Schwarz blocks.
+//!
+//! Key observations that make the full-lattice kernel mask-free:
+//!
+//! - An x/y hop that wraps lands on an `Internal` lane of the wrapped
+//!   coordinate: the coordinate delta is odd either way, so the parity
+//!   flip is identical and the permutation table simply encodes the
+//!   wrapped source lane. No lanes are lost — unlike the Dirichlet block
+//!   kernel's 2/16 (x) and 4/16 (y) masked lanes, the full-lattice hop
+//!   runs at 100% SIMD efficiency. A per-lane sign vector is only needed
+//!   when the boundary phase of that direction is not `+1`.
+//! - A z/t hop that wraps lands on a whole tile: with even extents the
+//!   wrapped tile's flavor equals the unwrapped neighbor relation (for
+//!   even `bz`, `(0 + t) % 2 == (bz + t) % 2`), so lanes line up with
+//!   zero shuffles and the boundary phase is a whole-tile scalar
+//!   (anti-periodic time is `-1` on the wrapping hop only).
+//!
+//! Both require every lattice extent to be even; [`build_full_operator`]
+//! returns `None` otherwise and callers keep the scalar path.
+
+use crate::fused::{xy_idx, FusedClover, FusedGauge, FusedKernel, Half};
+use crate::wilson::WilsonClover;
+use qdd_field::fields::SpinorField;
+use qdd_field::fused::{FusedField, FusedTile, VReal};
+use qdd_field::spinor::Spinor;
+use qdd_lattice::{Coord, Dims, Dir, Domain, DomainColor, Parity, SiteIndexer, TileLayout};
+use qdd_util::complex::{Complex, Real};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a kernel spreads its tiles over workers. Implemented by the solver
+/// layer's persistent worker pool; [`SerialRunner`] is the trivial
+/// single-worker fallback. Implementations must invoke `job(w)` exactly
+/// once for every `w in 0..workers()` and return only when all calls have
+/// finished (fork/join semantics).
+pub trait ParallelRunner: Sync {
+    fn workers(&self) -> usize;
+    fn run(&self, job: &(dyn Fn(usize) + Sync));
+}
+
+/// Runs every job inline on the calling thread.
+pub struct SerialRunner;
+
+impl ParallelRunner for SerialRunner {
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        job(0);
+    }
+}
+
+/// The lane-count-erased interface of the full-lattice fused operator:
+/// `out = A inp` over the whole local lattice, threaded over tiles by a
+/// [`ParallelRunner`]. The result is bitwise independent of the worker
+/// count (tiles write disjoint sites and each tile's accumulation order
+/// is fixed).
+pub trait FullOperator<T: Real>: Send + Sync {
+    fn dims(&self) -> Dims;
+    /// SIMD lanes per tile (`nx * ny / 2`).
+    fn lanes(&self) -> usize;
+    fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner);
+}
+
+/// Build the fused full-lattice operator for `op`, dispatching on the
+/// xy-cross-section lane count. Returns `None` when an extent is odd or
+/// the lane count has no compiled kernel; callers then keep the scalar
+/// [`WilsonClover::apply`] path.
+pub fn build_full_operator<T: Real>(op: &WilsonClover<T>) -> Option<Box<dyn FullOperator<T>>> {
+    let dims = *op.dims();
+    if dims.0.iter().any(|&e| e % 2 != 0) {
+        return None;
+    }
+    let lanes = dims.0[0] * dims.0[1] / 2;
+    Some(match lanes {
+        2 => Box::new(FusedFullOperator::<T, 2>::new(op)),
+        4 => Box::new(FusedFullOperator::<T, 4>::new(op)),
+        8 => Box::new(FusedFullOperator::<T, 8>::new(op)),
+        16 => Box::new(FusedFullOperator::<T, 16>::new(op)),
+        32 => Box::new(FusedFullOperator::<T, 32>::new(op)),
+        64 => Box::new(FusedFullOperator::<T, 64>::new(op)),
+        128 => Box::new(FusedFullOperator::<T, 128>::new(op)),
+        _ => return None,
+    })
+}
+
+/// Lane permutation for one (flavor, dest-parity, x/y dir, orientation)
+/// on the full lattice: every lane is internal; `sign` carries per-lane
+/// boundary phases and is only present when the phase is not `+1`.
+struct WrapPattern<T: Real, const N: usize> {
+    table: [usize; N],
+    sign: Option<VReal<T, N>>,
+}
+
+/// A raw window onto the output sites / scratch tiles that workers write
+/// disjointly (each tile owns its sites). Private sibling of the solver
+/// layer's shared-slice helpers; the tile partition guarantees
+/// disjointness.
+struct SharedMut<V> {
+    ptr: *mut V,
+    len: usize,
+}
+
+unsafe impl<V: Send> Send for SharedMut<V> {}
+unsafe impl<V: Send> Sync for SharedMut<V> {}
+
+impl<V> SharedMut<V> {
+    fn new(data: &mut [V]) -> Self {
+        Self { ptr: data.as_mut_ptr(), len: data.len() }
+    }
+
+    /// # Safety
+    /// `idx` in bounds and owned by the calling worker for the job.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, idx: usize) -> &mut V {
+        debug_assert!(idx < self.len);
+        unsafe { &mut *self.ptr.add(idx) }
+    }
+}
+
+/// The contiguous range of tiles worker `w` of `workers` owns.
+#[inline]
+fn tile_range(n: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
+    let rounds = if n == 0 { 0 } else { n.div_ceil(workers) };
+    (w * rounds).min(n)..((w + 1) * rounds).min(n)
+}
+
+/// Sense-reversing barrier separating the gather and compute phases
+/// *inside* one pool job, so an apply costs a single dispatch instead of
+/// two. Yields while waiting — workers may be oversubscribed on few cores.
+struct JobBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl JobBarrier {
+    fn new(total: usize) -> Self {
+        Self { arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0), total }
+    }
+
+    fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen + 1, Ordering::Release);
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// The fused Wilson-Clover operator over the full local lattice for one
+/// compiled lane count `N`.
+pub struct FusedFullOperator<T: Real, const N: usize> {
+    dims: Dims,
+    layout: TileLayout,
+    kernel: FusedKernel<T, N>,
+    gauge: FusedGauge<T, N>,
+    clover: FusedClover<T, N>,
+    /// `[flavor][dest parity][dir(x,y)][fwd]` wrap-aware lane tables.
+    xy: Vec<WrapPattern<T, N>>,
+    /// Whole-tile boundary phase applied to wrapping z/t hops, if not +1.
+    zt_phase: [Option<T>; 4],
+    /// `[parity][tile * N + lane] -> lattice site`, precomputed so
+    /// gather/scatter never pays per-site coordinate arithmetic.
+    site_map: [Vec<u32>; 2],
+    /// Gathered input in fused layout, reused across applications.
+    scratch: Mutex<FusedField<T, N>>,
+}
+
+impl<T: Real, const N: usize> FusedFullOperator<T, N> {
+    pub fn new(op: &WilsonClover<T>) -> Self {
+        let dims = *op.dims();
+        assert!(dims.0.iter().all(|&e| e % 2 == 0), "full fused operator needs even extents");
+        let layout = TileLayout::new(dims);
+        assert_eq!(layout.lanes(), N, "lane count mismatch");
+        // Gauge/clover gathers and the kernel treat the whole lattice as
+        // one block at the origin.
+        let whole = Domain {
+            index: 0,
+            grid_coord: Coord([0; 4]),
+            origin: Coord([0; 4]),
+            dims,
+            color: DomainColor::Black,
+        };
+        let kernel = FusedKernel::new(dims);
+        let gauge = FusedGauge::gather(op, &whole);
+        let clover = FusedClover::gather(op, &whole);
+
+        let (nx, ny) = (dims[Dir::X], dims[Dir::Y]);
+        let mut xy = Vec::with_capacity(16);
+        for flavor in 0..2 {
+            for to in [Parity::Even, Parity::Odd] {
+                for dir in [Dir::X, Dir::Y] {
+                    for fwd in [false, true] {
+                        let phase = op.phases().of(dir);
+                        let mut table = [0usize; N];
+                        let mut sign = [1.0f64; N];
+                        let mut any_wrap = false;
+                        for (l, entry) in table.iter_mut().enumerate() {
+                            let (x, y) = layout.lane_site(flavor, to, l);
+                            let (c, extent) = match dir {
+                                Dir::X => (x, nx),
+                                _ => (y, ny),
+                            };
+                            let (nc, wrapped) = if fwd {
+                                if c + 1 == extent {
+                                    (0, true)
+                                } else {
+                                    (c + 1, false)
+                                }
+                            } else if c == 0 {
+                                (extent - 1, true)
+                            } else {
+                                (c - 1, false)
+                            };
+                            let (sx, sy) = match dir {
+                                Dir::X => (nc, y),
+                                _ => (x, nc),
+                            };
+                            let (p2, src) = layout.site_lane(flavor, sx, sy);
+                            debug_assert_eq!(p2, to.flip(), "xy wrap must flip parity");
+                            *entry = src;
+                            if wrapped {
+                                any_wrap = true;
+                                sign[l] = phase;
+                            }
+                        }
+                        let sign = (any_wrap && phase != 1.0)
+                            .then(|| VReal::from_fn(|l| T::from_f64(sign[l])));
+                        xy.push(WrapPattern { table, sign });
+                    }
+                }
+            }
+        }
+
+        let zt_phase = [Dir::X, Dir::Y, Dir::Z, Dir::T].map(|d| {
+            let p = op.phases().of(d);
+            (p != 1.0).then(|| T::from_f64(p))
+        });
+
+        let idx = SiteIndexer::new(dims);
+        let tiles = layout.tiles_per_parity();
+        let mut site_map = [vec![0u32; tiles * N], vec![0u32; tiles * N]];
+        for p in [Parity::Even, Parity::Odd] {
+            for tile in 0..tiles {
+                for lane in 0..N {
+                    let c = layout.coord(p, tile, lane);
+                    site_map[p.index()][tile * N + lane] = idx.index(&c) as u32;
+                }
+            }
+        }
+
+        let scratch = Mutex::new(FusedField::zeros(dims));
+        Self { dims, layout, kernel, gauge, clover, xy, zt_phase, site_map, scratch }
+    }
+
+    /// Gather the AOS input sites of one tile into fused layout: one
+    /// sequential pass over the tile's sites (the map is stride-2 in x, so
+    /// reads stay in consecutive cache lines), transposing each site's 24
+    /// reals into the component vectors. `site_map` entries are lattice
+    /// sites by construction, so the unchecked reads are in bounds.
+    #[inline]
+    fn gather_tile(&self, src: &[Spinor<T>], dst: &mut FusedTile<T, N>, p: Parity, tile: usize) {
+        let map = &self.site_map[p.index()][tile * N..(tile + 1) * N];
+        debug_assert!(map.iter().all(|&s| (s as usize) < src.len()));
+        for (l, &site) in map.iter().enumerate() {
+            let s = unsafe { src.get_unchecked(site as usize) };
+            for k in 0..12 {
+                let z = s.component(k);
+                dst[2 * k].0[l] = z.re;
+                dst[2 * k + 1].0[l] = z.im;
+            }
+        }
+    }
+
+    /// Scatter one computed tile back to the AOS output sites.
+    ///
+    /// # Safety
+    /// The tile must be owned by the calling worker (tiles partition the
+    /// site set, so the per-tile partition guarantees this).
+    #[inline]
+    unsafe fn scatter_tile(
+        &self,
+        acc: &FusedTile<T, N>,
+        out: &SharedMut<Spinor<T>>,
+        p: Parity,
+        tile: usize,
+    ) {
+        let map = &self.site_map[p.index()][tile * N..(tile + 1) * N];
+        for (l, &site) in map.iter().enumerate() {
+            let s = unsafe { out.get_mut(site as usize) };
+            for k in 0..12 {
+                s.set_component(k, Complex::new(acc[2 * k].0[l], acc[2 * k + 1].0[l]));
+            }
+        }
+    }
+
+    /// The clover + mass diagonal of one tile (per-tile sibling of
+    /// [`FusedKernel::apply_diag`]).
+    fn diag_tile(&self, src: &FusedTile<T, N>, p: Parity, tile: usize) -> FusedTile<T, N> {
+        use qdd_field::clover::LOWER_PAIRS;
+        let mut dst: FusedTile<T, N> = [VReal::ZERO; 24];
+        for ch in 0..2 {
+            let (diag, off) = &self.clover.data[p.index()][tile][ch];
+            for i in 0..6 {
+                let k = 6 * ch + i;
+                dst[2 * k] = src[2 * k].mul(diag[i]);
+                dst[2 * k + 1] = src[2 * k + 1].mul(diag[i]);
+            }
+            for (kk, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+                let o_re = off[2 * kk];
+                let o_im = off[2 * kk + 1];
+                let gi = 6 * ch + i;
+                let gj = 6 * ch + j;
+                let (sj_re, sj_im) = (src[2 * gj], src[2 * gj + 1]);
+                dst[2 * gi] = dst[2 * gi].fma(o_re, sj_re).fms(o_im, sj_im);
+                dst[2 * gi + 1] = dst[2 * gi + 1].fma(o_re, sj_im).fma(o_im, sj_re);
+                let (si_re, si_im) = (src[2 * gi], src[2 * gi + 1]);
+                dst[2 * gj] = dst[2 * gj].fma(o_re, si_re).fma(o_im, si_im);
+                dst[2 * gj + 1] = dst[2 * gj + 1].fma(o_re, si_im).fms(o_im, si_re);
+            }
+        }
+        dst
+    }
+
+    /// One output tile of `A inp = (diag - 1/2 Dw) inp` with wrapping
+    /// boundaries: diagonal plus all eight hops, in a fixed order.
+    fn compute_tile(&self, inp: &FusedField<T, N>, tile: usize, to: Parity) -> FusedTile<T, N> {
+        let from = to.flip();
+        let flavor = self.layout.flavor(tile);
+        let (tz, tt) = self.layout.tile_coords(tile);
+        let (bz, bt) = (self.dims[Dir::Z], self.dims[Dir::T]);
+
+        let mut acc = self.diag_tile(inp.tile(to, tile), to, tile);
+
+        // x/y hops: in-register lane permutations within the same tile,
+        // wrap included in the table — no masks, all lanes live. The
+        // permutation is lane-wise-linear-commuting, so it runs *after*
+        // the spin projection (12 vectors instead of 24) and, for the
+        // backward hop, after the color multiply too — the link lives at
+        // the source site, so projecting and multiplying in source lane
+        // order then permuting the half-spinor result avoids permuting
+        // the 18-vector gauge tile altogether.
+        for (di, dir) in [Dir::X, Dir::Y].into_iter().enumerate() {
+            for (fi, fwd) in [false, true].into_iter().enumerate() {
+                let pat = &self.xy[xy_idx(flavor, to, di, fi)];
+                if fwd {
+                    // (1 - gamma) U(x) psi(x+mu)
+                    let h = self.kernel.project(dir, false, inp.tile(from, tile));
+                    let hp = permute_half(&h, &pat.table, pat.sign.as_ref());
+                    self.kernel.su3_recon_acc(
+                        dir,
+                        false,
+                        false,
+                        self.gauge.tile(to, tile, dir),
+                        &hp,
+                        &mut acc,
+                    );
+                } else {
+                    // (1 + gamma) U^dag(x-mu) psi(x-mu), in source order;
+                    // the permutation (and boundary sign) is applied as
+                    // `U^dag h` is consumed by the reconstruction.
+                    let h = self.kernel.project(dir, true, inp.tile(from, tile));
+                    let uh = FusedKernel::su3_adj_mul(self.gauge.tile(from, tile, dir), &h);
+                    self.kernel.reconstruct_acc_permuted(
+                        dir,
+                        true,
+                        &uh,
+                        &pat.table,
+                        pat.sign.as_ref(),
+                        &mut acc,
+                    );
+                }
+            }
+        }
+
+        // z/t hops: tile-to-tile with no shuffles; a wrapping hop picks
+        // the opposite-edge tile and scales by the boundary phase.
+        for (dir, coord, extent) in [(Dir::Z, tz, bz), (Dir::T, tt, bt)] {
+            let phase = self.zt_phase[dir.index()];
+            // Forward.
+            let (nc, wrapped) = if coord + 1 == extent { (0, true) } else { (coord + 1, false) };
+            let ntile = match dir {
+                Dir::Z => self.layout.tile_of(nc, tt),
+                _ => self.layout.tile_of(tz, nc),
+            };
+            let mut h = self.kernel.project(dir, false, inp.tile(from, ntile));
+            if wrapped {
+                if let Some(p) = phase {
+                    scale_half(&mut h, p);
+                }
+            }
+            self.kernel.su3_recon_acc(
+                dir,
+                false,
+                false,
+                self.gauge.tile(to, tile, dir),
+                &h,
+                &mut acc,
+            );
+            // Backward.
+            let (pc, wrapped) = if coord == 0 { (extent - 1, true) } else { (coord - 1, false) };
+            let ptile = match dir {
+                Dir::Z => self.layout.tile_of(pc, tt),
+                _ => self.layout.tile_of(tz, pc),
+            };
+            let mut h = self.kernel.project(dir, true, inp.tile(from, ptile));
+            if wrapped {
+                if let Some(p) = phase {
+                    scale_half(&mut h, p);
+                }
+            }
+            self.kernel.su3_recon_acc(
+                dir,
+                true,
+                true,
+                self.gauge.tile(from, ptile, dir),
+                &h,
+                &mut acc,
+            );
+        }
+
+        acc
+    }
+}
+
+/// Permute a half-spinor into destination lane order, applying per-lane
+/// boundary phases when present. Spin projection and the color multiply
+/// are lane-wise, so permuting their 12-vector result is equivalent to
+/// (and cheaper than) permuting the 24-vector source tile.
+#[inline]
+fn permute_half<T: Real, const N: usize>(
+    h: &Half<T, N>,
+    table: &[usize; N],
+    sign: Option<&VReal<T, N>>,
+) -> Half<T, N> {
+    let mut out: Half<T, N> =
+        std::array::from_fn(|k| [h[k][0].permute(table), h[k][1].permute(table)]);
+    if let Some(s) = sign {
+        for c in &mut out {
+            c[0] = c[0].mul(*s);
+            c[1] = c[1].mul(*s);
+        }
+    }
+    out
+}
+
+#[inline]
+fn scale_half<T: Real, const N: usize>(h: &mut Half<T, N>, s: T) {
+    for c in h.iter_mut() {
+        c[0] = c[0].scale(s);
+        c[1] = c[1].scale(s);
+    }
+}
+
+impl<T: Real, const N: usize> FullOperator<T> for FusedFullOperator<T, N> {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn lanes(&self) -> usize {
+        N
+    }
+
+    fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner) {
+        assert_eq!(*inp.dims(), self.dims, "input geometry mismatch");
+        assert_eq!(*out.dims(), self.dims, "output geometry mismatch");
+        let tiles = self.layout.tiles_per_parity();
+        let workers = runner.workers().max(1);
+        let mut guard = self.scratch.lock().unwrap();
+
+        // One dispatch, two phases separated by an internal barrier:
+        // gather the AOS input into fused layout (disjoint tile writes),
+        // then compute each output tile (diag + 8 hops, fixed order) and
+        // scatter straight to the AOS output — tiles own disjoint sites,
+        // so the result is bitwise independent of the worker count.
+        //
+        // The scratch field is written through raw tile pointers before
+        // the barrier and only read (through the same pointers) after it,
+        // so the phases never alias a write with a read.
+        struct ScratchPtr<T: Real, const N: usize>(*mut FusedField<T, N>);
+        unsafe impl<T: Real, const N: usize> Send for ScratchPtr<T, N> {}
+        unsafe impl<T: Real, const N: usize> Sync for ScratchPtr<T, N> {}
+        impl<T: Real, const N: usize> ScratchPtr<T, N> {
+            /// # Safety
+            /// No write to the field may be concurrent with the returned
+            /// borrow (here: all writes happen before the phase barrier).
+            #[inline]
+            unsafe fn get(&self) -> &FusedField<T, N> {
+                unsafe { &*self.0 }
+            }
+        }
+        let scratch = ScratchPtr::<T, N>(&mut *guard);
+        let (even, odd) = unsafe { (*scratch.0).parity_slices_mut() };
+        let se = SharedMut::new(even);
+        let so = SharedMut::new(odd);
+        let src = inp.as_slice();
+        let shared_out = SharedMut::new(out.as_mut_slice());
+        let barrier = JobBarrier::new(workers);
+        runner.run(&|w| {
+            for tile in tile_range(tiles, workers, w) {
+                self.gather_tile(src, unsafe { se.get_mut(tile) }, Parity::Even, tile);
+                self.gather_tile(src, unsafe { so.get_mut(tile) }, Parity::Odd, tile);
+            }
+            barrier.wait();
+            let fused: &FusedField<T, N> = unsafe { scratch.get() };
+            for tile in tile_range(tiles, workers, w) {
+                for p in [Parity::Even, Parity::Odd] {
+                    let acc = self.compute_tile(fused, tile, p);
+                    unsafe { self.scatter_tile(&acc, &shared_out, p, tile) };
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clover::build_clover_field;
+    use crate::gamma::GammaBasis;
+    use crate::wilson::BoundaryPhases;
+    use qdd_field::fields::GaugeField;
+    use qdd_util::rng::Rng64;
+
+    fn operator(dims: Dims, phases: BoundaryPhases, seed: u64) -> WilsonClover<f64> {
+        let mut rng = Rng64::new(seed);
+        let g = GaugeField::random(dims, &mut rng, 0.7);
+        let basis = GammaBasis::degrand_rossi();
+        let c = build_clover_field(&g, 1.6, &basis);
+        WilsonClover::new(g, c, 0.2, phases)
+    }
+
+    fn check_matches_scalar(dims: Dims, phases: BoundaryPhases, seed: u64) {
+        let op = operator(dims, phases, seed);
+        let fused = build_full_operator(&op).expect("even extents must build");
+        assert_eq!(fused.lanes(), dims.0[0] * dims.0[1] / 2);
+        let mut rng = Rng64::new(seed ^ 0x5eed);
+        let inp = SpinorField::<f64>::random(dims, &mut rng);
+        let mut expect = SpinorField::zeros(dims);
+        op.apply(&mut expect, &inp);
+        let mut got = SpinorField::zeros(dims);
+        fused.apply(&mut got, &inp, &SerialRunner);
+        for site in 0..inp.len() {
+            let d = got.site(site).sub(*expect.site(site));
+            assert!(d.norm_sqr() < 1e-20, "dims {dims} seed {seed} site {site}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn full_fused_matches_scalar_periodic() {
+        for (dims, seed) in [
+            (Dims::new(4, 4, 4, 4), 11),
+            (Dims::new(8, 4, 4, 4), 12),
+            (Dims::new(4, 4, 2, 6), 13),
+            (Dims::new(2, 2, 2, 2), 14),
+        ] {
+            check_matches_scalar(dims, BoundaryPhases::periodic(), seed);
+        }
+    }
+
+    #[test]
+    fn full_fused_matches_scalar_antiperiodic_t() {
+        // The t-wrap hop carries the -1 phase; short t extents make every
+        // tile touch the wrap.
+        for (dims, seed) in
+            [(Dims::new(4, 4, 4, 4), 21), (Dims::new(4, 4, 2, 2), 22), (Dims::new(8, 4, 2, 6), 23)]
+        {
+            check_matches_scalar(dims, BoundaryPhases::antiperiodic_t(), seed);
+        }
+    }
+
+    #[test]
+    fn full_fused_matches_scalar_many_gauge_fields() {
+        // Property sweep: random gauge fields on the paper-shaped lattice
+        // exercise odd/even tile edges in every direction.
+        for seed in 31..39 {
+            check_matches_scalar(Dims::new(8, 4, 4, 4), BoundaryPhases::antiperiodic_t(), seed);
+        }
+    }
+
+    #[test]
+    fn odd_extent_returns_none() {
+        for dims in [Dims::new(3, 4, 4, 4), Dims::new(4, 4, 3, 4), Dims::new(4, 4, 4, 5)] {
+            let op = operator(Dims::new(4, 4, 4, 4), BoundaryPhases::periodic(), 41);
+            // Build a small op of the odd geometry directly; WilsonClover
+            // itself has no evenness requirement.
+            let mut rng = Rng64::new(42);
+            let g = GaugeField::random(dims, &mut rng, 0.5);
+            let basis = GammaBasis::degrand_rossi();
+            let c = build_clover_field(&g, 1.6, &basis);
+            let odd_op = WilsonClover::new(g, c, 0.2, BoundaryPhases::periodic());
+            assert!(build_full_operator(&odd_op).is_none(), "dims {dims} must fall back");
+            drop(op);
+        }
+    }
+
+    #[test]
+    fn f32_full_fused_matches_scalar_at_f32_accuracy() {
+        let dims = Dims::new(4, 4, 4, 4);
+        let op = operator(dims, BoundaryPhases::antiperiodic_t(), 51);
+        let op32: WilsonClover<f32> = op.cast();
+        let fused = build_full_operator(&op32).unwrap();
+        let mut rng = Rng64::new(52);
+        let inp32 = SpinorField::<f32>::random(dims, &mut rng);
+        let mut expect = SpinorField::zeros(dims);
+        op32.apply(&mut expect, &inp32);
+        let mut got = SpinorField::zeros(dims);
+        fused.apply(&mut got, &inp32, &SerialRunner);
+        for site in 0..inp32.len() {
+            let d = got.site(site).sub(*expect.site(site));
+            assert!(d.norm_sqr() < 1e-8, "site {site}: {}", d.norm_sqr());
+        }
+    }
+}

@@ -31,11 +31,13 @@ pub mod block;
 pub mod boundary;
 pub mod clover;
 pub mod fused;
+pub mod fused_full;
 pub mod gamma;
 pub mod wilson;
 
 pub use block::{DomainFields, SchurOperator};
 pub use clover::build_clover_field;
 pub use fused::{FusedClover, FusedGauge, FusedKernel, FusedSchur};
+pub use fused_full::{build_full_operator, FullOperator, ParallelRunner, SerialRunner};
 pub use gamma::{Gamma, GammaBasis};
 pub use wilson::{BoundaryPhases, WilsonClover, DW_FLOPS_PER_SITE, TOTAL_FLOPS_PER_SITE};

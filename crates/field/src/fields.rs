@@ -143,6 +143,15 @@ impl<T: Real> SpinorField<T> {
         SpinorField { dims: self.dims, data: self.data.iter().map(|s| s.cast()).collect() }
     }
 
+    /// Convert `src` into this field in place (no allocation); geometries
+    /// must match.
+    pub fn cast_assign<U: Real>(&mut self, src: &SpinorField<U>) {
+        assert_eq!(self.dims, *src.dims(), "cast_assign geometry mismatch");
+        for (a, b) in self.data.iter_mut().zip(&src.data) {
+            *a = b.cast();
+        }
+    }
+
     /// Flop cost of one axpy on this field (8 flop per complex component).
     pub fn axpy_flops(&self) -> f64 {
         8.0 * 12.0 * self.len() as f64

@@ -76,10 +76,14 @@ impl<T: Real, const N: usize> VReal<T, N> {
         VReal(std::array::from_fn(|i| (-a.0[i]).mul_add(b.0[i], self.0[i])))
     }
 
-    /// In-register permutation: `out[i] = self[table[i]]`.
+    /// In-register permutation: `out[i] = self[table[i]]`. `N` is always a
+    /// power of two (xy cross-sections), so entries are reduced mod `N` —
+    /// a branch-free mask instead of a per-lane bounds check, which keeps
+    /// the gather loop vectorizable.
     #[inline(always)]
     pub fn permute(self, table: &[usize; N]) -> Self {
-        VReal(std::array::from_fn(|i| self.0[table[i]]))
+        debug_assert!(N.is_power_of_two());
+        VReal(std::array::from_fn(|i| self.0[table[i] & (N - 1)]))
     }
 
     /// Masked accumulate: add `o` only in lanes where `mask` is true — the
@@ -146,6 +150,14 @@ impl<T: Real, const N: usize> FusedField<T, N> {
     #[inline]
     pub fn tile_mut(&mut self, parity: Parity, tile: usize) -> &mut FusedTile<T, N> {
         &mut self.data[parity.index()][tile]
+    }
+
+    /// Both parities' tile storage as disjoint mutable slices (even, odd),
+    /// for callers that fill tiles of both parities concurrently.
+    #[inline]
+    pub fn parity_slices_mut(&mut self) -> (&mut [FusedTile<T, N>], &mut [FusedTile<T, N>]) {
+        let [even, odd] = &mut self.data;
+        (even.as_mut_slice(), odd.as_mut_slice())
     }
 
     /// Gather from an AOS spinor field over the same block.

@@ -125,6 +125,7 @@ mod tests {
             },
             precision: qdd_core::Precision::Single,
             workers: 1,
+            fused_outer: true,
         };
         DdSolver::new(op, cfg).unwrap()
     }

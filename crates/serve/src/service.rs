@@ -428,6 +428,7 @@ mod tests {
             },
             precision: Precision::Single,
             workers: 1,
+            fused_outer: true,
         }
     }
 

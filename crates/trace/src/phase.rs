@@ -51,12 +51,16 @@ pub enum Phase {
     /// The solve service's degradation ladder: a fallback solve after the
     /// primary DD attempt missed its target or deadline.
     ServeFallback,
+    /// One worker's share of a job dispatched on the persistent worker
+    /// pool (Schwarz sweeps, fused operator tiles, blocked reductions);
+    /// `par.*` counters ride on this phase.
+    PoolJob,
     /// Anything not covered above (BLAS-1 glue, restarts).
     Other,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 19] = [
+    pub const ALL: [Phase; 20] = [
         Phase::Solve,
         Phase::OuterIteration,
         Phase::ArnoldiStep,
@@ -75,6 +79,7 @@ impl Phase {
         Phase::ServeSetup,
         Phase::ServeBatch,
         Phase::ServeFallback,
+        Phase::PoolJob,
         Phase::Other,
     ];
 
@@ -99,6 +104,7 @@ impl Phase {
             Phase::ServeSetup => "serve setup",
             Phase::ServeBatch => "serve batch",
             Phase::ServeFallback => "serve fallback",
+            Phase::PoolJob => "pool job",
             Phase::Other => "other",
         }
     }
@@ -124,6 +130,7 @@ impl Phase {
             Phase::ServeSetup => "serve_setup",
             Phase::ServeBatch => "serve_batch",
             Phase::ServeFallback => "serve_fallback",
+            Phase::PoolJob => "pool_job",
             Phase::Other => "other",
         }
     }
@@ -140,6 +147,7 @@ impl Phase {
             Phase::HaloPack | Phase::HaloSend | Phase::HaloRecv | Phase::HaloUnpack => "halo",
             Phase::GlobalSum => "reduction",
             Phase::ServeSetup | Phase::ServeBatch | Phase::ServeFallback => "serve",
+            Phase::PoolJob => "pool",
         }
     }
 

@@ -52,6 +52,7 @@ fn main() {
         },
         precision: Precision::Single,
         workers: 1,
+        fused_outer: true,
     };
     let basis = GammaBasis::degrand_rossi();
     let mut rng = Rng64::new(999);

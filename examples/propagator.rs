@@ -33,6 +33,7 @@ fn main() {
         },
         precision: Precision::Single,
         workers: 4,
+        fused_outer: true,
     };
     let solver = DdSolver::new(op, config).expect("solver setup");
     let indexer = solver.op().indexer();

@@ -30,7 +30,8 @@ fn main() {
             additive: false,
         },
         precision: Precision::Single,
-        workers: 4, // Schwarz sweeps on 4 worker threads (paper: 60 cores)
+        workers: 4,        // Schwarz sweeps on 4 worker threads (paper: 60 cores)
+        fused_outer: true, // outer matvec on the full-lattice SIMD kernel
     };
     let solver = DdSolver::new(op, config).expect("clover blocks invertible");
 

@@ -53,6 +53,7 @@ fn main() {
             },
             precision: Precision::Single,
             workers: 1,
+            fused_outer: true,
         };
         let solver = DdSolver::new(op(dims, 90), cfg).unwrap();
         let mut stats = SolveStats::new();

@@ -11,6 +11,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The worker-count determinism guarantee is the contract qdd-serve's
+# bitwise-identical-answers invariant rests on; run its tests explicitly
+# (release: the fused/solve sweeps are slow unoptimized) so a failure is
+# called out by name even though the suite above also covers them.
+echo "==> determinism + fused-operator property tests (release)"
+cargo test --release -q -p qdd-core --test fused_outer_determinism
+cargo test --release -q -p qdd-dirac --test fused_full_property
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -4,7 +4,7 @@
 //! qdd solve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--mass M] [--spread S]
 //!           [--ischwarz N] [--idomain N] [--basis M] [--deflate K]
 //!           [--tol T] [--solver dd|bicgstab|cgnr|richardson] [--workers N]
-//!           [--seed N] [--half] [--trace PATH]
+//!           [--scalar-outer] [--seed N] [--half] [--trace PATH]
 //! qdd hmc   [--dims X,Y,Z,T] [--beta B] [--trajectories N] [--steps N]
 //!           [--length L] [--seed N]
 //! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
@@ -140,6 +140,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                     Precision::Single
                 },
                 workers,
+                fused_outer: !args.has("scalar-outer"),
             };
             let solver = DdSolver::new(op, cfg).ok_or("singular clover block")?;
             let (_, out) = if args.has("mixed") {

@@ -46,6 +46,7 @@ fn eight_rank_dd_solve_matches_serial() {
             schwarz: dist_cfg().schwarz,
             precision: Precision::Single,
             workers: 1,
+            fused_outer: true,
         },
     )
     .unwrap();

@@ -24,6 +24,7 @@ fn dd_config(block: Dims) -> DdSolverConfig {
         },
         precision: Precision::Single,
         workers: 1,
+        fused_outer: true,
     }
 }
 

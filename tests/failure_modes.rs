@@ -31,6 +31,7 @@ fn singular_clover_blocks_are_detected_at_setup() {
         },
         precision: Precision::Single,
         workers: 1,
+        fused_outer: true,
     };
     assert!(DdSolver::new(op, cfg).is_none());
 }
