@@ -127,9 +127,21 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
     ) {
         let local = *self.op.dims();
         let trace = self.ctx.trace();
+        // A rank hiccup makes this rank sit out the exchange: it sends
+        // skip markers instead of its updated boundary (peers keep their
+        // stale halo entries for us) but still drains its own receives so
+        // the channel streams stay aligned. Under flexible outer solves
+        // a stale preconditioner boundary only costs iterations, never
+        // correctness.
+        let hiccup = self.ctx.take_hiccup();
         // Post sends.
         trace.begin(qdd_trace::Phase::HaloPack);
         for dir in Dir::ALL {
+            if hiccup {
+                self.ctx.send_skip(dir, false);
+                self.ctx.send_skip(dir, true);
+                continue;
+            }
             let sign_fwd =
                 if self.ctx.at_global_backward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
             let sign_bwd =
@@ -163,12 +175,21 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             // backward face; its site colors are the flip of our forward
             // face's colors at the same face positions.
             for (forward, own_face) in [(true, 1usize), (false, 0usize)] {
-                let data = match self.ctx.recv_face::<T>(dir, forward) {
-                    Ok(d) => d,
+                let data = match self.ctx.recv_face_retrying::<T>(
+                    dir,
+                    forward,
+                    crate::exchange::MAX_ATTEMPTS,
+                ) {
+                    Ok(Some(d)) => d,
+                    // Peer hiccup: it skipped this exchange. Keep the
+                    // stale halo entries; benign under a flexible outer
+                    // solver, so no fault is recorded.
+                    Ok(None) => continue,
                     Err(e) => {
-                        // Degrade: keep the stale halo entries for this
-                        // face, record the fault, and keep draining the
-                        // remaining faces so channels stay aligned.
+                        // Retry budget exhausted: keep the stale halo
+                        // entries for this face, record the fault, and
+                        // keep draining the remaining faces so channels
+                        // stay aligned.
                         if self.fault.get().is_none() {
                             self.fault.set(Some(e));
                         }
@@ -190,17 +211,22 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             }
         }
         trace.end(qdd_trace::Phase::HaloUnpack);
-        // Account traffic to the preconditioner.
-        let bytes: f64 = Dir::ALL
-            .iter()
-            .filter(|d| self.ctx.is_split(**d))
-            .map(|&d| {
-                let n_fwd = self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
-                let n_bwd = self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
-                ((n_fwd + n_bwd) * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
-            })
-            .sum();
-        stats.add_comm_bytes(Component::PreconditionerM, bytes);
+        // Account traffic to the preconditioner (a hiccuping rank sent
+        // nothing).
+        if !hiccup {
+            let bytes: f64 = Dir::ALL
+                .iter()
+                .filter(|d| self.ctx.is_split(**d))
+                .map(|&d| {
+                    let n_fwd =
+                        self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
+                    let n_bwd =
+                        self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
+                    ((n_fwd + n_bwd) * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
+                })
+                .sum();
+            stats.add_comm_bytes(Component::PreconditionerM, bytes);
+        }
     }
 
     /// Apply the preconditioner: `u ~= A^-1 f` on this rank's sub-volume,

@@ -4,10 +4,11 @@
 
 use crate::dist_schwarz::DistSchwarz;
 use crate::dist_system::DistSystem;
-use crate::runtime::RankCtx;
+use crate::runtime::{CommError, RankCtx};
 use qdd_core::dd_solver::Precision;
-use qdd_core::fgmres_dr::{fgmres_dr, FgmresConfig, SolveOutcome};
+use qdd_core::fgmres_dr::{fgmres_dr, Breakdown, FgmresConfig, SolveOutcome};
 use qdd_core::schwarz::SchwarzConfig;
+use qdd_core::system::SystemOps;
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
 use qdd_trace::CommStats;
@@ -55,6 +56,154 @@ pub fn dd_solve_distributed(
     let (x, out) = fgmres_dr(&sys, f, &mut precond, &cfg.fgmres, stats);
     let comm = ctx.counters.snapshot().since(&before);
     (x, out, comm)
+}
+
+/// What a self-healing distributed solve did on top of the plain one.
+#[derive(Clone, Debug)]
+pub struct ResilientOutcome {
+    /// Aggregated solver outcome: `converged` and `relative_residual` are
+    /// with respect to the *original* right-hand side; `iterations` and
+    /// `cycles` sum over all rounds; `breakdown` is the last unrecovered
+    /// breakdown (`None` when the final round ended healthy).
+    pub outcome: SolveOutcome,
+    /// Restart rounds taken after the first solve (0 = nothing went wrong).
+    pub restarts: u32,
+    /// Every breakdown the restart ladder recovered from (or died on), in
+    /// order of occurrence.
+    pub breakdowns: Vec<Breakdown>,
+    /// Rounds whose correction was discarded because it made the true
+    /// residual worse or non-finite (rollback to the previous checkpoint).
+    pub rollbacks: u32,
+    /// True if *any* rank saw a communication fault during the solve
+    /// (collectively agreed, so every rank reports the same value). The
+    /// serve layer maps this to a degraded status even on convergence.
+    pub comm_faulted: bool,
+    /// This rank's first communication fault, if any (rank-local detail
+    /// behind `comm_faulted`).
+    pub local_comm_error: Option<CommError>,
+}
+
+/// Self-healing wrapper around [`dd_solve_distributed`]: runs the solve,
+/// and when it ends in a detected breakdown (non-finite residual,
+/// divergence) instead of convergence, restarts from the best surviving
+/// iterate — solving the *residual correction* system `A e = f - A x` —
+/// up to `max_restarts` times. A round whose correction made things worse
+/// is rolled back (the checkpoint `x` is kept; the correction discarded).
+///
+/// SPMD-safe by construction: every accept/rollback/stop decision derives
+/// from `SolveOutcome` fields and norms computed via deterministic
+/// all-reduces, so all ranks take identical branches; the final
+/// `comm_faulted` flag is agreed through one explicit collective.
+pub fn dd_solve_resilient(
+    ctx: &RankCtx<'_>,
+    op: &WilsonClover<f64>,
+    f: &SpinorField<f64>,
+    cfg: &DistDdConfig,
+    max_restarts: u32,
+    stats: &mut SolveStats,
+) -> (SpinorField<f64>, ResilientOutcome, CommStats) {
+    let before = ctx.counters.snapshot();
+    let op32 = match cfg.precision {
+        Precision::Single => op.cast::<f32>(),
+        Precision::HalfCompressed => {
+            let g16 = GaugeFieldF16::compress(&op.gauge().cast()).decompress();
+            let c16 = CloverFieldF16::compress(&op.clover().cast()).decompress();
+            WilsonClover::new(g16, c16, op.mass() as f32, *op.phases())
+        }
+    };
+    let pre =
+        DistSchwarz::new(ctx, &op32, cfg.schwarz).expect("singular clover block in preconditioner");
+    let sys = DistSystem::new(ctx, op);
+    let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
+        let r32: SpinorField<f32> = r.cast();
+        pre.apply(&r32, st).cast()
+    };
+
+    let f_norm = sys.norm_sqr(f, stats).sqrt();
+    let mut res = ResilientOutcome {
+        outcome: SolveOutcome {
+            converged: f_norm == 0.0,
+            iterations: 0,
+            cycles: 0,
+            relative_residual: if f_norm == 0.0 { 0.0 } else { 1.0 },
+            history: Vec::new(),
+            breakdown: None,
+        },
+        restarts: 0,
+        breakdowns: Vec::new(),
+        rollbacks: 0,
+        comm_faulted: false,
+        local_comm_error: None,
+    };
+    // Checkpoint: the accepted solution so far, with its true relative
+    // residual (vs. `f`). Rollback = refusing a round's correction.
+    let mut x = SpinorField::<f64>::zeros(*f.dims());
+    let mut best_rel = res.outcome.relative_residual;
+
+    let mut round = 0u32;
+    while best_rel > cfg.fgmres.tolerance && round <= max_restarts {
+        // Residual correction system: g = f - A x (first round: g = f).
+        let g = if round == 0 {
+            f.clone()
+        } else {
+            let mut ax = SpinorField::zeros(*f.dims());
+            sys.apply(&mut ax, &x, stats);
+            let mut g = f.clone();
+            g.sub_assign(&ax);
+            g
+        };
+        let g_norm = sys.norm_sqr(&g, stats).sqrt();
+        if !g_norm.is_finite() || g_norm <= 0.0 {
+            break;
+        }
+        // The inner tolerance is relative to ||g||; convert the outer
+        // target (relative to ||f||) into this round's frame.
+        let mut round_cfg = cfg.fgmres;
+        round_cfg.tolerance = (cfg.fgmres.tolerance * f_norm / g_norm).min(0.99);
+        let (e, out) = fgmres_dr(&sys, &g, &mut precond, &round_cfg, stats);
+        res.outcome.iterations += out.iterations;
+        res.outcome.cycles += out.cycles;
+        res.outcome.history.extend(out.history.iter().copied());
+        if let Some(b) = out.breakdown {
+            res.breakdowns.push(b);
+        }
+        // out.relative_residual is the honest, recomputed residual of the
+        // correction solve (vs. ||g||); rebase to the original system.
+        let cand_rel = out.relative_residual * g_norm / f_norm;
+        if cand_rel.is_finite() && cand_rel < best_rel {
+            // Accept: the round made progress (even a broken-down round
+            // leaves its iterate at the last healthy cycle boundary, so
+            // partial progress survives the breakdown).
+            x.axpy(qdd_util::complex::Complex::real(1.0), &e);
+            best_rel = cand_rel;
+        } else {
+            // Rollback: keep the checkpoint, discard the correction.
+            res.rollbacks += 1;
+        }
+        res.outcome.breakdown = out.breakdown;
+        if out.breakdown.is_none() && !out.converged && cand_rel > cfg.fgmres.tolerance {
+            // The solver ran out of iterations without misbehaving:
+            // restarting would just repeat the same stall. Stop honestly.
+            break;
+        }
+        round += 1;
+    }
+    res.restarts = round.saturating_sub(1);
+    res.outcome.relative_residual = best_rel;
+    res.outcome.converged = best_rel <= cfg.fgmres.tolerance;
+    if res.outcome.converged {
+        res.outcome.breakdown = None;
+    }
+
+    // Collective agreement on "did anything fault anywhere": every rank
+    // must report the same flag (SPMD discipline), while the local error
+    // detail stays rank-local.
+    res.local_comm_error = sys.comm_error().or_else(|| pre.comm_error());
+    let any = ctx.all_sum(&[res.local_comm_error.is_some() as u64 as f64]);
+    res.comm_faulted = any[0] > 0.0;
+
+    let comm = ctx.counters.snapshot().since(&before);
+    (x, res, comm)
 }
 
 #[cfg(test)]

@@ -56,14 +56,22 @@ impl<'a, T: HaloScalar> DistSystem<'a, T> {
         crate::exchange::exchange_bytes(self.ctx, self.op)
     }
 
+    /// Halo exchange with an *explicit* degradation policy: faces that
+    /// survive the retry budget are used as delivered; each exhausted
+    /// face stays zeroed in the partial halo, is counted under
+    /// `fault.zero_fills`, and the first typed error is recorded for the
+    /// caller. The old behavior — silently zeroing the whole halo on the
+    /// first error — is gone.
     fn exchange_or_degrade(&self, inp: &SpinorField<T>) -> HaloData<T> {
         match exchange_halo(self.ctx, self.op, inp) {
             Ok(h) => h,
-            Err(e) => {
+            Err(fail) => {
                 if self.fault.get().is_none() {
-                    self.fault.set(Some(e));
+                    self.fault.set(Some(fail.first()));
                 }
-                HaloData::zeros(*self.op.dims())
+                let zf = &self.ctx.counters.faults.zero_fills;
+                zf.set(zf.get() + fail.faults.len() as u64);
+                fail.partial
             }
         }
     }

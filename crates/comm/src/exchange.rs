@@ -12,21 +12,69 @@ use qdd_field::halo::{FaceBuffer, HaloData};
 use qdd_lattice::Dir;
 use qdd_trace::Phase;
 
+/// Delivery attempts per face before an exchange gives up on it: the
+/// first try plus three retransmissions with modeled backoff.
+pub const MAX_ATTEMPTS: u32 = 4;
+
+/// One face that could not be delivered within the retry budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultedFace {
+    pub dir: Dir,
+    pub forward: bool,
+    pub error: CommError,
+}
+
+/// A halo exchange that lost at least one face. Carries *all* faulted
+/// directions — not just the first — plus the partial halo with every
+/// successfully delivered face in place and the faulted ones zeroed, so
+/// the caller can choose its degradation policy explicitly instead of
+/// silently inheriting a zero fill.
+pub struct ExchangeFailure<T: HaloScalar> {
+    pub faults: Vec<FaultedFace>,
+    pub partial: HaloData<T>,
+}
+
+impl<T: HaloScalar> ExchangeFailure<T> {
+    /// The first fault, for callers that track a single representative
+    /// error.
+    pub fn first(&self) -> CommError {
+        self.faults[0].error
+    }
+}
+
+impl<T: HaloScalar> std::fmt::Debug for ExchangeFailure<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExchangeFailure").field("faults", &self.faults).finish_non_exhaustive()
+    }
+}
+
+impl<T: HaloScalar> std::fmt::Display for ExchangeFailure<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "halo exchange lost {} face(s):", self.faults.len())?;
+        for ff in &self.faults {
+            let o = if ff.forward { "fwd" } else { "bwd" };
+            write!(f, " [{} {}: {}]", ff.dir, o, ff.error)?;
+        }
+        Ok(())
+    }
+}
+
 /// Exchange all faces of `inp` and assemble this rank's halo.
 ///
 /// Non-blocking in effect: all sends are posted before any receive
 /// (channels are unbounded), matching the paper's non-blocking MPI
 /// send/receive pairs issued by a dedicated core (Sec. III-E).
 ///
-/// On a malformed face the exchange still drains every remaining receive
-/// (keeping the per-neighbor channels aligned for later exchanges), leaves
-/// the bad faces zeroed, and reports the first [`CommError`] so the caller
-/// can degrade the solve instead of aborting the rank.
+/// Lost or corrupted faces are retried up to [`MAX_ATTEMPTS`] deliveries
+/// each. On exhaustion the exchange still drains every remaining receive
+/// (keeping the per-neighbor channels aligned for later exchanges) and
+/// returns an [`ExchangeFailure`] naming every faulted face alongside the
+/// partial halo, so the caller decides — explicitly — how to degrade.
 pub fn exchange_halo<T: HaloScalar>(
     ctx: &RankCtx<'_>,
     op: &WilsonClover<T>,
     inp: &SpinorField<T>,
-) -> Result<HaloData<T>, CommError> {
+) -> Result<HaloData<T>, Box<ExchangeFailure<T>>> {
     let trace = ctx.trace();
     // Post all sends.
     trace.begin(Phase::HaloPack);
@@ -46,23 +94,31 @@ pub fn exchange_halo<T: HaloScalar>(
     // Collect receives; drain them all even after a fault.
     trace.begin(Phase::HaloUnpack);
     let mut halo = HaloData::zeros(*op.dims());
-    let mut fault: Option<CommError> = None;
+    let mut faults: Vec<FaultedFace> = Vec::new();
     for dir in Dir::ALL {
         // face(dir, true): from our forward neighbor; face(dir, false):
         // from our backward neighbor.
         for forward in [true, false] {
-            match ctx.recv_face::<T>(dir, forward) {
-                Ok(data) => *halo.face_mut(dir, forward) = FaceBuffer { data },
-                Err(e) => {
-                    fault.get_or_insert(e);
+            match ctx.recv_face_retrying::<T>(dir, forward, MAX_ATTEMPTS) {
+                Ok(Some(data)) => *halo.face_mut(dir, forward) = FaceBuffer { data },
+                // A hiccup marker in the full-operator exchange (the
+                // peer skipped): no data will ever come for this face.
+                Ok(None) => {
+                    faults.push(FaultedFace {
+                        dir,
+                        forward,
+                        error: CommError::Timeout { dir, attempts: 0 },
+                    });
                 }
+                Err(error) => faults.push(FaultedFace { dir, forward, error }),
             }
         }
     }
     trace.end(Phase::HaloUnpack);
-    match fault {
-        None => Ok(halo),
-        Some(e) => Err(e),
+    if faults.is_empty() {
+        Ok(halo)
+    } else {
+        Err(Box::new(ExchangeFailure { faults, partial: halo }))
     }
 }
 

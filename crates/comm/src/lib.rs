@@ -29,7 +29,8 @@ pub mod runtime;
 pub mod scatter;
 
 pub use dist_schwarz::DistSchwarz;
-pub use dist_solver::{dd_solve_distributed, DistDdConfig};
+pub use dist_solver::{dd_solve_distributed, dd_solve_resilient, DistDdConfig, ResilientOutcome};
 pub use dist_system::DistSystem;
-pub use runtime::{run_spmd, CommCounters, CommError, CommWorld, RankCtx};
+pub use exchange::{exchange_halo, ExchangeFailure, FaultedFace, MAX_ATTEMPTS};
+pub use runtime::{run_spmd, CommCounters, CommError, CommWorld, FaultCounters, RankCtx};
 pub use scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};

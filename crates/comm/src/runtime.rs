@@ -3,14 +3,16 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use qdd_faults::{FaultPlan, RecvFault};
 use qdd_field::spinor::HalfSpinor;
 use qdd_lattice::{Dir, RankGrid};
-use qdd_trace::{CommStats, Phase, TraceSink};
+use qdd_trace::{CommStats, FaultStats, Phase, TraceSink};
 use qdd_util::complex::Real;
 use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
 
 /// Message payload: one face worth of half-spinors, in either precision.
+#[derive(Clone)]
 pub enum Payload {
     F32(Vec<HalfSpinor<f32>>),
     F64(Vec<HalfSpinor<f64>>),
@@ -25,6 +27,103 @@ impl Payload {
     }
 }
 
+/// One face message as it travels the (simulated) wire: the payload plus
+/// an end-to-end checksum. The checksum is `None` when the sender had no
+/// fault plan attached — the clean fast path pays nothing for the fault
+/// machinery.
+#[derive(Clone)]
+pub struct Envelope {
+    payload: Payload,
+    checksum: Option<u64>,
+}
+
+/// What actually goes down a channel.
+enum Msg {
+    Face(Envelope),
+    /// Hiccup marker: the sender skipped this exchange entirely. Sent so
+    /// every posted receive still has a matching message (a silent skip
+    /// would misalign the channel stream and deadlock the receiver).
+    Skip,
+}
+
+/// A message the injector withheld or damaged, parked until the bounded
+/// retry asks for its "retransmission".
+struct Stashed {
+    seq: u64,
+    attempt: u32,
+    env: Envelope,
+}
+
+/// FNV-1a over the bit patterns of every real component of the payload.
+/// Bit-exact, order-sensitive, and cheap — one multiply per real.
+fn checksum_payload(p: &Payload) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    match p {
+        Payload::F32(v) => {
+            for hs in v {
+                for c3 in &hs.0 {
+                    for z in &c3.0 {
+                        h = (h ^ z.re.to_bits() as u64).wrapping_mul(PRIME);
+                        h = (h ^ z.im.to_bits() as u64).wrapping_mul(PRIME);
+                    }
+                }
+            }
+        }
+        Payload::F64(v) => {
+            for hs in v {
+                for c3 in &hs.0 {
+                    for z in &c3.0 {
+                        h = (h ^ z.re.to_bits()).wrapping_mul(PRIME);
+                        h = (h ^ z.im.to_bits()).wrapping_mul(PRIME);
+                    }
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Flip 1-3 seeded bits somewhere in the payload (no-op on empty faces).
+fn corrupt_payload(p: &mut Payload, rng: &mut qdd_util::rng::Rng64) {
+    let flips = 1 + rng.below(3);
+    for _ in 0..flips {
+        match p {
+            Payload::F32(v) => {
+                if v.is_empty() {
+                    return;
+                }
+                let i = rng.below(v.len());
+                let hs = &mut v[i];
+                let c = rng.below(6);
+                let z = &mut hs.0[c / 3].0[c % 3];
+                let bit = 1u32 << rng.below(32);
+                if rng.below(2) == 0 {
+                    z.re = f32::from_bits(z.re.to_bits() ^ bit);
+                } else {
+                    z.im = f32::from_bits(z.im.to_bits() ^ bit);
+                }
+            }
+            Payload::F64(v) => {
+                if v.is_empty() {
+                    return;
+                }
+                let i = rng.below(v.len());
+                let hs = &mut v[i];
+                let c = rng.below(6);
+                let z = &mut hs.0[c / 3].0[c % 3];
+                let bit = 1u64 << rng.below(64);
+                if rng.below(2) == 0 {
+                    z.re = f64::from_bits(z.re.to_bits() ^ bit);
+                } else {
+                    z.im = f64::from_bits(z.im.to_bits() ^ bit);
+                }
+            }
+        }
+    }
+}
+
 /// A communication failure a rank can recover from. The service layer
 /// maps these to degraded solve results; a malformed exchange must never
 /// abort the rank thread.
@@ -34,6 +133,20 @@ pub enum CommError {
     PrecisionMismatch { expected: &'static str, got: &'static str },
     /// The peer rank hung up (channel disconnected).
     Disconnected,
+    /// The face from `(dir, forward)` failed its checksum: the payload
+    /// was damaged in flight. A retry fetches the retransmission.
+    Corrupt { dir: Dir, forward: bool },
+    /// The face in `dir` never arrived within the delivery attempt(s):
+    /// `attempts` is the total number of attempts made so far.
+    Timeout { dir: Dir, attempts: u32 },
+}
+
+impl CommError {
+    /// True if a retry can plausibly fix this (lost or damaged message);
+    /// false for structural errors (wrong precision, dead peer).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CommError::Corrupt { .. } | CommError::Timeout { .. })
+    }
 }
 
 impl std::fmt::Display for CommError {
@@ -43,6 +156,13 @@ impl std::fmt::Display for CommError {
                 write!(f, "payload precision mismatch: expected {expected}, got {got}")
             }
             CommError::Disconnected => write!(f, "peer rank hung up"),
+            CommError::Corrupt { dir, forward } => {
+                let o = if *forward { "fwd" } else { "bwd" };
+                write!(f, "face checksum mismatch ({dir} {o}): payload corrupted in flight")
+            }
+            CommError::Timeout { dir, attempts } => {
+                write!(f, "face receive in {dir} timed out after {attempts} attempt(s)")
+            }
         }
     }
 }
@@ -116,6 +236,38 @@ impl Collective {
     }
 }
 
+/// Per-rank fault-handling counters (Cell-based mirror of
+/// [`FaultStats`]; each context lives on one thread).
+#[derive(Default)]
+pub struct FaultCounters {
+    pub retries: Cell<u64>,
+    pub timeouts: Cell<u64>,
+    pub corruptions: Cell<u64>,
+    pub delays: Cell<u64>,
+    pub delay_us: Cell<f64>,
+    pub hiccups: Cell<u64>,
+    pub zero_fills: Cell<u64>,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            retries: self.retries.get(),
+            timeouts: self.timeouts.get(),
+            corruptions: self.corruptions.get(),
+            delays: self.delays.get(),
+            delay_us: self.delay_us.get(),
+            hiccups: self.hiccups.get(),
+            zero_fills: self.zero_fills.get(),
+        }
+    }
+
+    #[inline]
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
 /// Per-rank communication counters.
 #[derive(Default)]
 pub struct CommCounters {
@@ -127,6 +279,8 @@ pub struct CommCounters {
     pub messages_sent: Cell<u64>,
     /// Number of collective reductions participated in.
     pub reductions: Cell<u64>,
+    /// Fault injection and recovery activity.
+    pub faults: FaultCounters,
 }
 
 impl CommCounters {
@@ -139,6 +293,7 @@ impl CommCounters {
             }),
             messages_sent: self.messages_sent.get(),
             reductions: self.reductions.get(),
+            faults: self.faults.snapshot(),
         }
     }
 }
@@ -149,15 +304,26 @@ pub struct RankCtx<'w> {
     rank: usize,
     grid: &'w RankGrid,
     /// `rx[d][o]` receives from `neighbor(rank, d, o == 1)`.
-    rx: [[Receiver<Payload>; 2]; 4],
+    rx: [[Receiver<Msg>; 2]; 4],
     /// `tx[d][o]` sends to `neighbor(rank, d, o == 1)`.
-    tx: [[Sender<Payload>; 2]; 4],
+    tx: [[Sender<Msg>; 2]; 4],
     collective: &'w Collective,
     pub counters: CommCounters,
     /// Trace sink for the rank's communication spans (disabled by
     /// default). `RefCell` because contexts are handed to rank bodies by
     /// shared reference; each context lives on exactly one thread.
     trace: RefCell<TraceSink>,
+    /// Fault schedule for this rank (`None` = perfect fabric). Attached
+    /// by [`CommWorld::with_faults`] or [`RankCtx::attach_faults`].
+    faults: RefCell<Option<FaultPlan>>,
+    /// Face messages received per channel, the injector's coordinate.
+    recv_seq: [[Cell<u64>; 2]; 4],
+    /// Collective reductions performed, for collective straggler faults.
+    coll_seq: Cell<u64>,
+    /// Schwarz exchange rounds, the hiccup decision coordinate.
+    hiccup_seq: Cell<u64>,
+    /// Per-channel parking spot for a withheld genuine message.
+    stash: [[RefCell<Option<Stashed>>; 2]; 4],
 }
 
 impl<'w> RankCtx<'w> {
@@ -193,6 +359,19 @@ impl<'w> RankCtx<'w> {
         self.trace.borrow().clone()
     }
 
+    /// Attach a fault schedule: subsequent sends checksum their payload
+    /// and subsequent receives run through the injector. An inert plan
+    /// (zero rates, no events) is dropped so the clean path stays
+    /// bitwise identical to a context without a plan.
+    pub fn attach_faults(&self, plan: FaultPlan) {
+        *self.faults.borrow_mut() = if plan.is_inert() { None } else { Some(plan) };
+    }
+
+    /// True if a (non-inert) fault plan is attached.
+    pub fn faults_active(&self) -> bool {
+        self.faults.borrow().is_some()
+    }
+
     /// Send one face to the neighbor in `(dir, forward)`. Traffic is
     /// counted only when the neighbor is a different rank.
     pub fn send_face<T: HaloScalar>(&self, dir: Dir, forward: bool, data: Vec<HalfSpinor<T>>) {
@@ -207,29 +386,209 @@ impl<'w> RankCtx<'w> {
         }
         let trace = self.trace.borrow();
         trace.begin(Phase::HaloSend);
-        self.tx[dir.index()][forward as usize].send(T::wrap(data)).expect("peer rank hung up");
+        let payload = T::wrap(data);
+        let checksum = self.faults.borrow().as_ref().map(|_| checksum_payload(&payload));
+        self.tx[dir.index()][forward as usize]
+            .send(Msg::Face(Envelope { payload, checksum }))
+            .expect("peer rank hung up");
         trace.end_with(Phase::HaloSend, &[("bytes", sent), ("dir", dir.index() as f64)]);
     }
 
+    /// Send a hiccup marker instead of a face: the receiver learns this
+    /// exchange was skipped (and keeps its stale halo) without the
+    /// channel stream going out of step. No traffic is counted — the
+    /// modeled rank sent nothing.
+    pub fn send_skip(&self, dir: Dir, forward: bool) {
+        self.tx[dir.index()][forward as usize].send(Msg::Skip).expect("peer rank hung up");
+    }
+
+    /// One delivery attempt on `(dir, forward)`: take the stashed
+    /// withheld message if one is parked, otherwise block on the channel.
+    /// Runs the injector when a plan is attached and verifies the
+    /// checksum of whatever would be delivered. `Ok(None)` means the
+    /// peer skipped this exchange (hiccup marker).
+    fn recv_attempt(&self, dir: Dir, forward: bool) -> Result<Option<Payload>, CommError> {
+        let d = dir.index();
+        let o = forward as usize;
+        let stashed = self.stash[d][o].borrow_mut().take();
+        let (seq, attempt, env) = match stashed {
+            Some(s) => (s.seq, s.attempt, s.env),
+            None => {
+                let trace = self.trace.borrow();
+                trace.begin(Phase::HaloRecv);
+                let msg = self.rx[d][o].recv().map_err(|_| CommError::Disconnected)?;
+                trace.end_with(Phase::HaloRecv, &[("dir", d as f64)]);
+                match msg {
+                    Msg::Skip => return Ok(None),
+                    Msg::Face(env) => {
+                        let seq = self.recv_seq[d][o].get();
+                        self.recv_seq[d][o].set(seq + 1);
+                        (seq, 0, env)
+                    }
+                }
+            }
+        };
+        let plan = self.faults.borrow();
+        if let Some(plan) = plan.as_ref() {
+            match plan.recv_fault(self.rank, dir, forward, seq, attempt) {
+                RecvFault::Lose => {
+                    // The message "never arrived": park the genuine
+                    // envelope as the future retransmission and time out.
+                    *self.stash[d][o].borrow_mut() =
+                        Some(Stashed { seq, attempt: attempt + 1, env });
+                    return Err(CommError::Timeout { dir, attempts: attempt + 1 });
+                }
+                RecvFault::Corrupt => {
+                    let mut damaged = env.payload.clone();
+                    let mut rng = plan.corruption_rng(self.rank, dir, forward, seq, attempt);
+                    corrupt_payload(&mut damaged, &mut rng);
+                    let detected = env.checksum.is_some_and(|ck| checksum_payload(&damaged) != ck);
+                    if detected {
+                        FaultCounters::bump(&self.counters.faults.corruptions);
+                        *self.stash[d][o].borrow_mut() =
+                            Some(Stashed { seq, attempt: attempt + 1, env });
+                        return Err(CommError::Corrupt { dir, forward });
+                    }
+                    // No checksum on the envelope (or a hash collision):
+                    // the damage goes undetected and the damaged payload
+                    // is delivered — exactly the silent poisoning the
+                    // checksum exists to prevent.
+                    return Ok(Some(damaged));
+                }
+                RecvFault::None => {
+                    if attempt == 0 {
+                        if let Some(us) = plan.delay_fault(self.rank, dir, forward, seq) {
+                            FaultCounters::bump(&self.counters.faults.delays);
+                            let cell = &self.counters.faults.delay_us;
+                            cell.set(cell.get() + us);
+                        }
+                    }
+                }
+            }
+            // Verify deliveries even when the injector let them pass:
+            // detection must come from the checksum, not from knowing
+            // the injection decision.
+            if let Some(ck) = env.checksum {
+                if checksum_payload(&env.payload) != ck {
+                    FaultCounters::bump(&self.counters.faults.corruptions);
+                    return Err(CommError::Corrupt { dir, forward });
+                }
+            }
+        }
+        Ok(Some(env.payload))
+    }
+
     /// Receive one face from the neighbor in `(dir, forward)` (blocking).
-    /// A payload of the wrong precision or a hung-up peer is reported as a
-    /// [`CommError`], never a panic: the serve path degrades such solves.
+    /// A payload of the wrong precision, a hung-up peer, or an injected
+    /// fault is reported as a [`CommError`], never a panic: callers
+    /// retry ([`recv_face_retrying`](Self::recv_face_retrying)) or
+    /// degrade the solve. A hiccup marker surfaces as a zero-attempt
+    /// timeout here; exchanges that expect skips use
+    /// [`recv_face_or_skip`](Self::recv_face_or_skip).
     pub fn recv_face<T: HaloScalar>(
         &self,
         dir: Dir,
         forward: bool,
     ) -> Result<Vec<HalfSpinor<T>>, CommError> {
-        let trace = self.trace.borrow();
-        trace.begin(Phase::HaloRecv);
-        let p =
-            self.rx[dir.index()][forward as usize].recv().map_err(|_| CommError::Disconnected)?;
-        trace.end_with(Phase::HaloRecv, &[("dir", dir.index() as f64)]);
-        T::try_unwrap(p)
+        match self.recv_attempt(dir, forward)? {
+            Some(p) => T::try_unwrap(p),
+            None => Err(CommError::Timeout { dir, attempts: 0 }),
+        }
+    }
+
+    /// Like [`recv_face`](Self::recv_face) but distinguishing a peer
+    /// hiccup (`Ok(None)`: the sender skipped the exchange, keep stale
+    /// data) from a delivery fault (`Err`).
+    pub fn recv_face_or_skip<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+    ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
+        match self.recv_attempt(dir, forward)? {
+            Some(p) => T::try_unwrap(p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Receive with bounded retry: up to `max_attempts` delivery
+    /// attempts, counting each repeat as a retry (with modeled backoff
+    /// latency) under `fault.*`. On budget exhaustion the withheld
+    /// message is abandoned — the channel stream has already advanced
+    /// past it, so keeping it would desynchronize later exchanges — a
+    /// timeout is counted, and the last error is returned.
+    pub fn recv_face_retrying<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+        max_attempts: u32,
+    ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
+        debug_assert!(max_attempts >= 1);
+        /// Modeled backoff before a retransmission attempt, microseconds.
+        const BACKOFF_US: f64 = 50.0;
+        let mut last = CommError::Timeout { dir, attempts: 0 };
+        for attempt in 0..max_attempts {
+            match self.recv_face_or_skip::<T>(dir, forward) {
+                Ok(x) => return Ok(x),
+                Err(e) if e.is_retryable() && attempt + 1 < max_attempts => {
+                    let trace = self.trace.borrow();
+                    trace.begin(Phase::Fault);
+                    FaultCounters::bump(&self.counters.faults.retries);
+                    let backoff = BACKOFF_US * (attempt + 1) as f64;
+                    let cell = &self.counters.faults.delay_us;
+                    cell.set(cell.get() + backoff);
+                    trace.end_with(
+                        Phase::Fault,
+                        &[("dir", dir.index() as f64), ("attempt", (attempt + 1) as f64)],
+                    );
+                    last = e;
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        // Budget exhausted on a retryable fault.
+                        self.stash[dir.index()][forward as usize].borrow_mut().take();
+                        FaultCounters::bump(&self.counters.faults.timeouts);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Hiccup decision for the next Schwarz exchange round: true = this
+    /// rank skips the round (callers send [`send_skip`](Self::send_skip)
+    /// markers instead of faces). Consumes one hiccup sequence number
+    /// only when a plan is attached, so clean runs are unaffected.
+    pub fn take_hiccup(&self) -> bool {
+        let plan = self.faults.borrow();
+        match plan.as_ref() {
+            Some(plan) => {
+                let seq = self.hiccup_seq.get();
+                self.hiccup_seq.set(seq + 1);
+                let hic = plan.hiccup_fault(self.rank, seq);
+                if hic {
+                    FaultCounters::bump(&self.counters.faults.hiccups);
+                }
+                hic
+            }
+            None => false,
+        }
     }
 
     /// Deterministic global sum of a small vector of reals.
     pub fn all_sum(&self, vals: &[f64]) -> Vec<f64> {
         self.counters.reductions.set(self.counters.reductions.get() + 1);
+        if let Some(plan) = self.faults.borrow().as_ref() {
+            // Only stragglers are modeled for collectives: the barrier
+            // cannot lose a contribution without deadlocking the world.
+            let seq = self.coll_seq.get();
+            self.coll_seq.set(seq + 1);
+            if let Some(us) = plan.collective_delay(self.rank, seq) {
+                FaultCounters::bump(&self.counters.faults.delays);
+                let cell = &self.counters.faults.delay_us;
+                cell.set(cell.get() + us);
+            }
+        }
         let trace = self.trace.borrow();
         trace.begin(Phase::GlobalSum);
         let out = self.collective.all_sum(self.rank, vals);
@@ -251,16 +610,30 @@ impl<'w> RankCtx<'w> {
 /// every rank.
 pub struct CommWorld {
     grid: RankGrid,
+    /// Fault schedule attached to every rank context at spawn (so senders
+    /// and receivers agree on whether envelopes carry checksums).
+    faults: Option<FaultPlan>,
 }
 
 impl CommWorld {
     pub fn new(grid: RankGrid) -> Self {
-        Self { grid }
+        Self { grid, faults: None }
+    }
+
+    /// A world whose fabric misbehaves according to `plan`. An inert plan
+    /// (zero rates, no events) is equivalent to [`CommWorld::new`].
+    pub fn with_faults(grid: RankGrid, plan: FaultPlan) -> Self {
+        Self { grid, faults: (!plan.is_inert()).then_some(plan) }
     }
 
     #[inline]
     pub fn grid(&self) -> &RankGrid {
         &self.grid
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 }
 
@@ -275,9 +648,9 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
     // Wire channels: for each (receiver rank, dir, orientation) one channel;
     // the sender is neighbor(receiver, dir, o), who addresses it through
     // its own tx[d][!o].
-    let mut rx_slots: Vec<Vec<Option<Receiver<Payload>>>> =
+    let mut rx_slots: Vec<Vec<Option<Receiver<Msg>>>> =
         (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
-    let mut tx_slots: Vec<Vec<Option<Sender<Payload>>>> =
+    let mut tx_slots: Vec<Vec<Option<Sender<Msg>>>> =
         (0..n).map(|_| (0..8).map(|_| None).collect()).collect();
     for r in 0..n {
         for dir in Dir::ALL {
@@ -295,10 +668,10 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
     let mut ctxs: Vec<RankCtx<'_>> = Vec::with_capacity(n);
     for (r, (rx_row, tx_row)) in rx_slots.into_iter().zip(tx_slots).enumerate() {
         let mut rx_iter = rx_row.into_iter();
-        let rx: [[Receiver<Payload>; 2]; 4] =
+        let rx: [[Receiver<Msg>; 2]; 4] =
             std::array::from_fn(|_| std::array::from_fn(|_| rx_iter.next().unwrap().unwrap()));
         let mut tx_iter = tx_row.into_iter();
-        let tx: [[Sender<Payload>; 2]; 4] =
+        let tx: [[Sender<Msg>; 2]; 4] =
             std::array::from_fn(|_| std::array::from_fn(|_| tx_iter.next().unwrap().unwrap()));
         ctxs.push(RankCtx {
             rank: r,
@@ -308,6 +681,11 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
             collective: &collective,
             counters: CommCounters::default(),
             trace: RefCell::new(TraceSink::disabled()),
+            faults: RefCell::new(world.faults.clone()),
+            recv_seq: std::array::from_fn(|_| std::array::from_fn(|_| Cell::new(0))),
+            coll_seq: Cell::new(0),
+            hiccup_seq: Cell::new(0),
+            stash: std::array::from_fn(|_| std::array::from_fn(|_| RefCell::new(None))),
         });
     }
 

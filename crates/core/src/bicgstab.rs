@@ -6,7 +6,7 @@
 //! exactly the communication profile that makes the non-DD solver stall
 //! in the strong-scaling limit (Sec. IV-C2).
 
-use crate::fgmres_dr::SolveOutcome;
+use crate::fgmres_dr::{Breakdown, SolveOutcome};
 use crate::system::SystemOps;
 use qdd_field::fields::SpinorField;
 use qdd_util::complex::{Complex, Real};
@@ -23,6 +23,14 @@ impl Default for BiCgStabConfig {
     fn default() -> Self {
         Self { tolerance: 1e-10, max_iterations: 50_000 }
     }
+}
+
+/// Unsafe to divide by: underflowed below `f64::MIN_POSITIVE`, or NaN.
+/// The negated comparison is deliberate — it is the one test that covers
+/// both cases (any comparison with NaN is false).
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn degenerate(x: f64) -> bool {
+    !(x >= f64::MIN_POSITIVE)
 }
 
 /// Solve `A x = f` from `x0 = 0` by BiCGstab. Returns the solution and
@@ -44,6 +52,7 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         cycles: 1,
         relative_residual: 1.0,
         history: vec![1.0],
+        breakdown: None,
     };
 
     stats.span_begin(qdd_trace::Phase::Solve);
@@ -76,9 +85,14 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         stats.span_begin(qdd_trace::Phase::OuterIteration);
         let rho = sys.dot(&r_hat, &r, stats);
         stats.add_flops(Component::Other, l1);
-        if rho.abs().to_f64() == 0.0 {
+        let rho_abs = rho.abs().to_f64();
+        // Underflowed-or-NaN rho: dividing by it poisons beta and every
+        // later update.
+        if degenerate(rho_abs) {
+            outcome.breakdown =
+                Some(if rho_abs.is_nan() { Breakdown::NonFinite } else { Breakdown::RhoUnderflow });
             stats.span_end(qdd_trace::Phase::OuterIteration);
-            break; // breakdown
+            break;
         }
         if first {
             p.copy_from(&r);
@@ -93,11 +107,21 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         sys.apply(&mut v, &p, stats);
         let rhv = sys.dot(&r_hat, &v, stats);
         stats.add_flops(Component::Other, l1);
-        if rhv.abs().to_f64() == 0.0 {
+        let rhv_abs = rhv.abs().to_f64();
+        if degenerate(rhv_abs) {
+            outcome.breakdown =
+                Some(if rhv_abs.is_nan() { Breakdown::NonFinite } else { Breakdown::RhoUnderflow });
             stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
         alpha = rho / rhv;
+        if !alpha.abs().to_f64().is_finite() {
+            // Caught *before* alpha touches x or s: the returned iterate
+            // stays the last good one and its residual stays honest.
+            outcome.breakdown = Some(Breakdown::NonFinite);
+            stats.span_end(qdd_trace::Phase::OuterIteration);
+            break;
+        }
         // s = r - alpha v
         s.copy_from(&r);
         s.axpy(-alpha, &v);
@@ -106,8 +130,12 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
         // omega = <t, s> / <t, t>  (two dots, batched into one reduction)
         let (ts, tt) = sys.dot_and_norm(&t, &s, stats);
         stats.add_flops(Component::Other, 2.0 * l1);
-        if tt.to_f64() == 0.0 {
-            // s is already the exact correction direction's residual.
+        let tt_f = tt.to_f64();
+        if degenerate(tt_f) {
+            // t vanished (or went non-finite): omega is undefined. Take
+            // the half-step x += alpha p, whose residual is s. When that
+            // already converged this is the classic lucky breakdown;
+            // otherwise report the stall honestly instead of dividing.
             x.axpy(alpha, &p);
             r.copy_from(&s);
             outcome.iterations += 1;
@@ -115,10 +143,22 @@ pub fn bicgstab<T: Real, S: SystemOps<T>>(
             let rel = (rn / f_norm_sqr).sqrt();
             outcome.history.push(rel);
             stats.trace_residual(outcome.iterations as u64, rel);
+            if rn.is_nan() || rn > tol_sqr {
+                outcome.breakdown = Some(if tt_f.is_nan() {
+                    Breakdown::NonFinite
+                } else {
+                    Breakdown::OmegaUnderflow
+                });
+            }
             stats.span_end(qdd_trace::Phase::OuterIteration);
             break;
         }
         omega = ts.scale(T::ONE / tt);
+        if !omega.abs().to_f64().is_finite() {
+            outcome.breakdown = Some(Breakdown::NonFinite);
+            stats.span_end(qdd_trace::Phase::OuterIteration);
+            break;
+        }
         // x += alpha p + omega s
         x.axpy(alpha, &p);
         x.axpy(omega, &s);

@@ -58,6 +58,7 @@ pub fn cgnr<T: Real, S: SystemOps<T>>(
         cycles: 1,
         relative_residual: 1.0,
         history: vec![1.0],
+        breakdown: None,
     };
     stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm_sqr = sys.norm_sqr(f, stats).to_f64();

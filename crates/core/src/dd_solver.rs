@@ -154,6 +154,7 @@ impl DdSolver {
             cycles: 0,
             relative_residual: 1.0,
             history: vec![1.0],
+            breakdown: None,
         };
         stats.span_begin(qdd_trace::Phase::Solve);
         let f_norm = f.norm();

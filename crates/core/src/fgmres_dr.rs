@@ -40,6 +40,46 @@ impl Default for FgmresConfig {
     }
 }
 
+/// Why a solver abandoned its recurrence before reaching the tolerance
+/// or the iteration cap. A breakdown is *detected* — the solver returns
+/// `converged = false` with the honest residual of its last trustworthy
+/// iterate instead of pushing NaNs into the solution — so callers (the
+/// resilient distributed driver, the serve fallback ladder) can restart
+/// or degrade deliberately.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Breakdown {
+    /// A residual estimate or recurrence scalar went NaN/Inf (typically
+    /// corrupted halo data poisoning an inner product).
+    NonFinite,
+    /// The residual estimate grew ≥10× above the best seen — the Krylov
+    /// relation no longer describes the actual system being applied.
+    Diverged,
+    /// BiCGstab pivot `rho = <r_hat, r>` (or `<r_hat, v>`) underflowed:
+    /// the shadow residual became orthogonal to the recurrence.
+    RhoUnderflow,
+    /// BiCGstab stabilizer `<t, t>` underflowed without convergence, so
+    /// `omega` is undefined.
+    OmegaUnderflow,
+}
+
+impl Breakdown {
+    /// Stable key for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Breakdown::NonFinite => "non_finite",
+            Breakdown::Diverged => "diverged",
+            Breakdown::RhoUnderflow => "rho_underflow",
+            Breakdown::OmegaUnderflow => "omega_underflow",
+        }
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What a solve did.
 #[derive(Clone, Debug)]
 pub struct SolveOutcome {
@@ -59,6 +99,9 @@ pub struct SolveOutcome {
     /// for GMRES, recurrence residuals elsewhere); only
     /// `relative_residual` is recomputed as a true residual.
     pub history: Vec<f64>,
+    /// `Some` when the solver stopped on a detected breakdown rather than
+    /// convergence or the iteration cap. Always `None` on healthy solves.
+    pub breakdown: Option<Breakdown>,
 }
 
 /// Solve `A x = f` by FGMRES-DR with the given (flexible) preconditioner.
@@ -108,6 +151,7 @@ pub fn fgmres_dr_with_workspace<T: Real, S: SystemOps<T> + ?Sized>(
         cycles: 0,
         relative_residual: 1.0,
         history: vec![1.0],
+        breakdown: None,
     };
     let mut x = SpinorField::<T>::zeros(dims);
     if f_norm == 0.0 {
@@ -130,6 +174,8 @@ pub fn fgmres_dr_with_workspace<T: Real, S: SystemOps<T> + ?Sized>(
     let mut r = ws.acquire(dims);
     r.copy_from(f);
     let mut beta = f_norm;
+    // Best residual estimate seen, for the divergence guard below.
+    let mut best_rel = 1.0f64;
 
     'outer: loop {
         outcome.cycles += 1;
@@ -197,6 +243,27 @@ pub fn fgmres_dr_with_workspace<T: Real, S: SystemOps<T> + ?Sized>(
             outcome.history.push(rel);
             stats.trace_residual(outcome.iterations as u64, rel);
             stats.span_end(qdd_trace::Phase::ArnoldiStep);
+
+            // Self-healing guards. Both are pure comparisons on the
+            // estimate, so healthy trajectories are untouched; both leave
+            // `x` at the last cycle boundary (the rollback checkpoint)
+            // instead of applying this cycle's untrustworthy `y`. All
+            // inputs to `rel` come out of collective reductions, so in an
+            // SPMD solve every rank takes the same branch.
+            if !rel.is_finite() {
+                // Corrupted data poisoned an inner product: the cycle's
+                // small least-squares problem is garbage.
+                outcome.breakdown = Some(Breakdown::NonFinite);
+                break 'outer;
+            }
+            if rel > 10.0 * best_rel {
+                // The Arnoldi relation no longer describes the operator
+                // actually being applied (e.g. a halo went stale or was
+                // zero-filled mid-cycle).
+                outcome.breakdown = Some(Breakdown::Diverged);
+                break 'outer;
+            }
+            best_rel = best_rel.min(rel);
 
             let done =
                 rel < cfg.tolerance || outcome.iterations >= cfg.max_iterations || h_next == 0.0;

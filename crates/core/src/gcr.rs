@@ -48,6 +48,7 @@ pub fn gcr<T: Real, S: SystemOps<T>>(
         cycles: 0,
         relative_residual: 1.0,
         history: vec![1.0],
+        breakdown: None,
     };
 
     stats.span_begin(qdd_trace::Phase::Solve);

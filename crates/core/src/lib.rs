@@ -36,7 +36,7 @@ pub mod system;
 pub use bicgstab::{bicgstab, BiCgStabConfig};
 pub use cg::{cgnr, CgConfig};
 pub use dd_solver::{DdSolver, DdSolverConfig, Precision};
-pub use fgmres_dr::{fgmres_dr, fgmres_dr_with_workspace, FgmresConfig, SolveOutcome};
+pub use fgmres_dr::{fgmres_dr, fgmres_dr_with_workspace, Breakdown, FgmresConfig, SolveOutcome};
 pub use gcr::{gcr, GcrConfig};
 pub use mr::{mr_solve_schur, MrConfig};
 pub use pool::{resolve_workers, SharedCells, WorkerPool, WorkspacePool};

@@ -55,6 +55,7 @@ pub fn richardson_bicgstab<S64: SystemOps<f64>, S32: SystemOps<f32>>(
         cycles: 0,
         relative_residual: 1.0,
         history: vec![1.0],
+        breakdown: None,
     };
     stats.span_begin(qdd_trace::Phase::Solve);
     let f_norm = sys.norm_sqr(f, stats).to_f64().sqrt();

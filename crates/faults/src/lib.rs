@@ -1,0 +1,417 @@
+//! Deterministic fault injection for the simulated multi-node runtime.
+//!
+//! The paper's communication structure (Sec. III-E, V-VI) was designed for
+//! a network where links flake, ranks straggle, and payloads occasionally
+//! arrive damaged — QPACE 2 (arXiv:1502.04025) runs the same algorithm on
+//! a custom torus where these are day-to-day operational concerns. The
+//! comm runtime injects four fault classes at the `send_face` /
+//! `recv_face` / `all_sum` boundary, all driven by a [`FaultPlan`]:
+//!
+//! - **loss** — a face message never arrives; the receiver times out and
+//!   the exchange retries (bounded), surfacing
+//!   `CommError::Timeout` when the retry budget is exhausted.
+//! - **corruption** — seeded bit flips in the face payload; the checksum
+//!   carried by every envelope detects them (`CommError::Corrupt`) and the
+//!   exchange requests a retransmission.
+//! - **delay / stragglers** — a face arrives late; the added latency is
+//!   accounted in `CommCounters::fault_delay_us` and the machine model's
+//!   multinode cost.
+//! - **hiccup** — a rank skips one Schwarz half-sweep exchange entirely;
+//!   peers keep their stale halo entries for that exchange.
+//!
+//! Every decision is a pure hash of `(seed, rank, channel, sequence
+//! number, attempt, class)` — never of wall-clock time or thread
+//! scheduling — so a fault schedule is bitwise reproducible across runs
+//! and across `QDD_WORKERS` settings, and two ranks never have to agree
+//! on shared RNG state.
+
+use qdd_lattice::Dir;
+use qdd_util::rng::Rng64;
+
+/// The four injected fault classes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Message loss: the receive times out.
+    Loss,
+    /// Payload corruption: seeded bit flips, caught by the checksum.
+    Corrupt,
+    /// Straggler: the face arrives late by [`FaultPlan::delay_us`].
+    Delay,
+    /// Rank hiccup: one Schwarz exchange is skipped entirely.
+    Hiccup,
+}
+
+impl FaultClass {
+    /// Domain-separation tag mixed into the decision hash.
+    fn tag(self) -> u64 {
+        match self {
+            FaultClass::Loss => 0x10c5,
+            FaultClass::Corrupt => 0xc0de,
+            FaultClass::Delay => 0xde1a,
+            FaultClass::Hiccup => 0x41cc,
+        }
+    }
+}
+
+/// Per-class injection probabilities, sampled independently per message
+/// (and per retry attempt, so a retransmission can fail again).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultRates {
+    pub loss: f64,
+    pub corrupt: f64,
+    pub delay: f64,
+    pub hiccup: f64,
+}
+
+impl FaultRates {
+    pub const NONE: FaultRates = FaultRates { loss: 0.0, corrupt: 0.0, delay: 0.0, hiccup: 0.0 };
+
+    /// True if every class is disabled (the plan is then a no-op).
+    pub fn all_zero(&self) -> bool {
+        self.loss == 0.0 && self.corrupt == 0.0 && self.delay == 0.0 && self.hiccup == 0.0
+    }
+}
+
+/// A scheduled one-shot fault: fires on one rank's channel at an exact
+/// message sequence number, persisting across `attempts` consecutive
+/// delivery attempts (so a retry budget can be exhausted on purpose).
+#[derive(Copy, Clone, Debug)]
+pub struct FaultEvent {
+    pub rank: usize,
+    pub class: FaultClass,
+    /// Channel the event fires on; `None` matches every direction.
+    pub dir: Option<Dir>,
+    /// Orientation the event fires on; `None` matches both.
+    pub forward: Option<bool>,
+    /// Message sequence number (per channel, counted from 0) to hit.
+    pub at_seq: u64,
+    /// Number of consecutive attempts the fault persists for. `u32::MAX`
+    /// makes it permanent (every retry fails too).
+    pub attempts: u32,
+}
+
+impl FaultEvent {
+    fn matches(&self, rank: usize, dir: Dir, forward: bool, seq: u64, attempt: u32) -> bool {
+        self.rank == rank
+            && self.dir.is_none_or(|d| d == dir)
+            && self.forward.is_none_or(|f| f == forward)
+            && self.at_seq == seq
+            && attempt < self.attempts
+    }
+}
+
+/// A complete seeded fault schedule: rates + one-shot events + the
+/// modeled straggler latency. Cloned into every rank; decisions are pure
+/// functions of the plan and the call coordinates.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    events: Vec<FaultEvent>,
+    /// Latency added per delayed message, microseconds (modeled, not
+    /// slept: wall-clock sleeps would make traces timing-dependent).
+    pub delay_us: f64,
+}
+
+/// What the injector decided for one delivery attempt of one message.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RecvFault {
+    /// Deliver untouched.
+    None,
+    /// Pretend the message never arrived (receiver times out).
+    Lose,
+    /// Flip bits in the payload before delivery.
+    Corrupt,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        Self { seed, rates, events: Vec::new(), delay_us: 250.0 }
+    }
+
+    /// A plan that never fires (rates zero, no events).
+    pub fn none() -> Self {
+        Self::new(0, FaultRates::NONE)
+    }
+
+    /// Schedule a one-shot event on top of the rate-driven faults.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// True if no fault can ever fire: injection short-circuits entirely,
+    /// keeping the fault-free hot path bitwise identical to a build
+    /// without the fault layer.
+    pub fn is_inert(&self) -> bool {
+        self.rates.all_zero() && self.events.is_empty()
+    }
+
+    /// Uniform [0, 1) draw for one decision coordinate.
+    fn draw(
+        &self,
+        rank: usize,
+        class: FaultClass,
+        dir: Dir,
+        forward: bool,
+        seq: u64,
+        attempt: u32,
+    ) -> f64 {
+        let h = decision_hash(
+            self.seed,
+            rank as u64,
+            class.tag(),
+            dir.index() as u64,
+            forward as u64,
+            seq,
+            attempt as u64,
+        );
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn event_fires(
+        &self,
+        rank: usize,
+        class: FaultClass,
+        dir: Dir,
+        forward: bool,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        self.events.iter().any(|e| e.class == class && e.matches(rank, dir, forward, seq, attempt))
+    }
+
+    /// Decide the fate of delivery attempt `attempt` of message `seq` on
+    /// the receiving rank's `(dir, forward)` channel. Loss shadows
+    /// corruption when both fire (a lost message cannot also be damaged).
+    pub fn recv_fault(
+        &self,
+        rank: usize,
+        dir: Dir,
+        forward: bool,
+        seq: u64,
+        attempt: u32,
+    ) -> RecvFault {
+        if self.event_fires(rank, FaultClass::Loss, dir, forward, seq, attempt)
+            || self.draw(rank, FaultClass::Loss, dir, forward, seq, attempt) < self.rates.loss
+        {
+            return RecvFault::Lose;
+        }
+        if self.event_fires(rank, FaultClass::Corrupt, dir, forward, seq, attempt)
+            || self.draw(rank, FaultClass::Corrupt, dir, forward, seq, attempt) < self.rates.corrupt
+        {
+            return RecvFault::Corrupt;
+        }
+        RecvFault::None
+    }
+
+    /// Straggler decision for message `seq` on `(dir, forward)`: `Some`
+    /// with the modeled extra latency in microseconds if the face arrives
+    /// late. Sampled once per message (not per attempt).
+    pub fn delay_fault(&self, rank: usize, dir: Dir, forward: bool, seq: u64) -> Option<f64> {
+        if self.event_fires(rank, FaultClass::Delay, dir, forward, seq, 0)
+            || self.draw(rank, FaultClass::Delay, dir, forward, seq, 0) < self.rates.delay
+        {
+            Some(self.delay_us)
+        } else {
+            None
+        }
+    }
+
+    /// Straggler decision for a rank's `seq`-th collective reduction.
+    /// Only delay is modeled for collectives: the barrier-based all-sum
+    /// cannot lose or corrupt a contribution without deadlocking the
+    /// world, which mirrors real MPI, where a failed allreduce takes the
+    /// whole communicator down rather than one rank.
+    pub fn collective_delay(&self, rank: usize, seq: u64) -> Option<f64> {
+        let h = decision_hash(self.seed, rank as u64, 0xa115, 0, 0, seq, 0);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (u < self.rates.delay).then_some(self.delay_us)
+    }
+
+    /// Hiccup decision for a rank's `exchange`-th Schwarz half-sweep
+    /// exchange: true = skip it entirely (peers keep stale halos).
+    pub fn hiccup_fault(&self, rank: usize, exchange: u64) -> bool {
+        self.event_fires(rank, FaultClass::Hiccup, Dir::X, false, exchange, 0)
+            || self.draw(rank, FaultClass::Hiccup, Dir::X, false, exchange, 0) < self.rates.hiccup
+    }
+
+    /// Seeded generator for the bit flips of one corruption decision:
+    /// the same message corrupts the same bits every run.
+    pub fn corruption_rng(
+        &self,
+        rank: usize,
+        dir: Dir,
+        forward: bool,
+        seq: u64,
+        attempt: u32,
+    ) -> Rng64 {
+        Rng64::new(decision_hash(
+            self.seed,
+            rank as u64,
+            0xb17f_11b5,
+            dir.index() as u64,
+            forward as u64,
+            seq,
+            attempt as u64,
+        ))
+    }
+}
+
+/// SplitMix64-style avalanche over the decision coordinates. Every
+/// coordinate is mixed through a full diffusion round so neighboring
+/// sequence numbers (or ranks) decorrelate completely.
+fn decision_hash(
+    seed: u64,
+    rank: u64,
+    tag: u64,
+    dir: u64,
+    fwd: u64,
+    seq: u64,
+    attempt: u64,
+) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [rank, tag, dir, fwd, seq, attempt] {
+        h = h.wrapping_add(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rates: FaultRates) -> FaultPlan {
+        FaultPlan::new(42, rates)
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = plan(FaultRates { loss: 0.3, corrupt: 0.3, delay: 0.3, hiccup: 0.3 });
+        let q = p.clone();
+        for seq in 0..200 {
+            for dir in Dir::ALL {
+                for fwd in [false, true] {
+                    assert_eq!(
+                        p.recv_fault(1, dir, fwd, seq, 0),
+                        q.recv_fault(1, dir, fwd, seq, 0)
+                    );
+                    assert_eq!(p.delay_fault(1, dir, fwd, seq), q.delay_fault(1, dir, fwd, seq));
+                }
+            }
+            assert_eq!(p.hiccup_fault(0, seq), q.hiccup_fault(0, seq));
+        }
+    }
+
+    #[test]
+    fn rates_are_respected_statistically() {
+        let p = plan(FaultRates { loss: 0.1, corrupt: 0.1, delay: 0.0, hiccup: 0.0 });
+        let n = 20_000;
+        let mut lost = 0;
+        let mut corrupt = 0;
+        for seq in 0..n {
+            match p.recv_fault(0, Dir::X, true, seq, 0) {
+                RecvFault::Lose => lost += 1,
+                RecvFault::Corrupt => corrupt += 1,
+                RecvFault::None => {}
+            }
+        }
+        let lf = lost as f64 / n as f64;
+        // Corruption is shadowed by loss: effective rate (1 - 0.1) * 0.1.
+        let cf = corrupt as f64 / n as f64;
+        assert!((lf - 0.1).abs() < 0.01, "loss rate {lf}");
+        assert!((cf - 0.09).abs() < 0.01, "corrupt rate {cf}");
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let p = plan(FaultRates::NONE);
+        assert!(p.is_inert());
+        for seq in 0..1000 {
+            assert_eq!(p.recv_fault(3, Dir::T, false, seq, 0), RecvFault::None);
+            assert!(p.delay_fault(3, Dir::T, false, seq).is_none());
+            assert!(!p.hiccup_fault(3, seq));
+        }
+    }
+
+    #[test]
+    fn ranks_and_channels_decorrelate() {
+        // The same sequence number must not fault on every rank at once
+        // (that would be a correlated outage, not link noise).
+        let p = plan(FaultRates { loss: 0.5, corrupt: 0.0, delay: 0.0, hiccup: 0.0 });
+        let mut agree = 0;
+        let n = 4096;
+        for seq in 0..n {
+            let a = p.recv_fault(0, Dir::X, true, seq, 0) == RecvFault::Lose;
+            let b = p.recv_fault(1, Dir::X, true, seq, 0) == RecvFault::Lose;
+            if a == b {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "rank agreement {frac} (want ~0.5 at p=0.5)");
+    }
+
+    #[test]
+    fn retry_attempts_resample() {
+        // At 50% loss, a message lost on attempt 0 must often get through
+        // on attempt 1 — per-attempt sampling, not a sticky verdict.
+        let p = plan(FaultRates { loss: 0.5, corrupt: 0.0, delay: 0.0, hiccup: 0.0 });
+        let mut recovered = 0;
+        let mut lost_first = 0;
+        for seq in 0..4096 {
+            if p.recv_fault(0, Dir::Z, true, seq, 0) == RecvFault::Lose {
+                lost_first += 1;
+                if p.recv_fault(0, Dir::Z, true, seq, 1) == RecvFault::None {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(lost_first > 1500);
+        let frac = recovered as f64 / lost_first as f64;
+        assert!((frac - 0.5).abs() < 0.1, "retry recovery {frac}");
+    }
+
+    #[test]
+    fn scheduled_event_fires_exactly_once_and_persists_attempts() {
+        let p = plan(FaultRates::NONE).with_event(FaultEvent {
+            rank: 2,
+            class: FaultClass::Loss,
+            dir: Some(Dir::Y),
+            forward: Some(true),
+            at_seq: 7,
+            attempts: 3,
+        });
+        assert!(!p.is_inert());
+        // Fires on the scheduled coordinates, for 3 attempts.
+        for attempt in 0..3 {
+            assert_eq!(p.recv_fault(2, Dir::Y, true, 7, attempt), RecvFault::Lose);
+        }
+        assert_eq!(p.recv_fault(2, Dir::Y, true, 7, 3), RecvFault::None);
+        // Not on other ranks, channels, or sequence numbers.
+        assert_eq!(p.recv_fault(1, Dir::Y, true, 7, 0), RecvFault::None);
+        assert_eq!(p.recv_fault(2, Dir::Y, false, 7, 0), RecvFault::None);
+        assert_eq!(p.recv_fault(2, Dir::Y, true, 8, 0), RecvFault::None);
+    }
+
+    #[test]
+    fn corruption_rng_is_stable_per_coordinate() {
+        let p = plan(FaultRates { loss: 0.0, corrupt: 1.0, delay: 0.0, hiccup: 0.0 });
+        let mut a = p.corruption_rng(0, Dir::X, true, 5, 0);
+        let mut b = p.corruption_rng(0, Dir::X, true, 5, 0);
+        let mut c = p.corruption_rng(0, Dir::X, true, 6, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

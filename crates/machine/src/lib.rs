@@ -31,7 +31,7 @@ pub mod workload;
 pub use chip::ChipSpec;
 pub use kernel::{KernelModel, KernelProfile, Precision, PrefetchMode};
 pub use multinode::{ModelKnobs, MultiNodeModel, SolveTimeBreakdown};
-pub use network::NetworkModel;
+pub use network::{FaultModel, NetworkModel};
 pub use onchip::OnChipModel;
 pub use overlap::{OverlapModel, OverlapPattern};
 pub use workload::{all_lattices, paper_block, rank_layout, DdParams, Lattice, NonDdParams};

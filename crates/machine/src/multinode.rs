@@ -116,6 +116,17 @@ impl MultiNodeModel {
         }
     }
 
+    /// The same machine seen through a faulty fabric: every halo
+    /// transfer and reduction is priced on the degraded network (see
+    /// [`FaultModel::degrade`](crate::network::FaultModel::degrade));
+    /// compute is untouched. With `FaultModel::NONE` this is the
+    /// identity.
+    pub fn with_faults(&self, fault: &crate::network::FaultModel) -> Self {
+        let mut m = *self;
+        m.net = fault.degrade(&self.net);
+        m
+    }
+
     /// Streaming chip rate for the f64 whole-lattice operator (Gflop/s).
     fn full_operator_rate_gflops(&self) -> f64 {
         // f64 traffic per site: in/out spinors ~2.5 x 192 B (imperfect

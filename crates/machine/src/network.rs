@@ -62,6 +62,57 @@ impl NetworkModel {
     }
 }
 
+/// A lossy, twitchy fabric: the machine-model mirror of the runtime's
+/// `FaultPlan`. Rates are per *message* (point-to-point) or per
+/// *collective hop*; recovery is retransmission, so faults cost time,
+/// never correctness.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct FaultModel {
+    /// Probability a message is lost and must be retransmitted.
+    pub loss_rate: f64,
+    /// Probability a message arrives damaged (checksum-detected) and must
+    /// be retransmitted.
+    pub corrupt_rate: f64,
+    /// Probability a message is delayed by a straggler event.
+    pub delay_rate: f64,
+    /// Added latency of one straggler event, microseconds.
+    pub delay_us: f64,
+}
+
+impl FaultModel {
+    /// A perfect fabric (identity under [`degrade`](Self::degrade)).
+    pub const NONE: FaultModel =
+        FaultModel { loss_rate: 0.0, corrupt_rate: 0.0, delay_rate: 0.0, delay_us: 0.0 };
+
+    /// Expected deliveries per successfully received message: with
+    /// per-attempt failure probability `p = loss + corrupt`, the attempt
+    /// count is geometric with mean `1/(1-p)`.
+    pub fn retransmission_factor(&self) -> f64 {
+        let p = (self.loss_rate + self.corrupt_rate).min(0.99);
+        1.0 / (1.0 - p)
+    }
+
+    /// Expected straggler latency added per message, microseconds.
+    pub fn expected_delay_us(&self) -> f64 {
+        self.delay_rate * self.delay_us
+    }
+
+    /// The *effective* network a solver sees through this fault model:
+    /// retransmissions multiply both the per-message latency and the
+    /// bytes moved (bandwidth divides), stragglers add expected latency
+    /// per message and per reduction hop. `FaultModel::NONE` returns the
+    /// input unchanged.
+    pub fn degrade(&self, net: &NetworkModel) -> NetworkModel {
+        let f = self.retransmission_factor();
+        NetworkModel {
+            link_bw_gbs: net.link_bw_gbs / f,
+            latency_us: f * net.latency_us + self.expected_delay_us(),
+            half_bw_bytes: net.half_bw_bytes,
+            reduction_hop_us: net.reduction_hop_us + self.expected_delay_us(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +165,44 @@ mod tests {
     fn zero_bytes_costs_nothing() {
         let n = NetworkModel::stampede_fdr();
         assert_eq!(n.transfer_time_s(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn no_faults_degrade_to_identity() {
+        let n = NetworkModel::stampede_fdr();
+        let d = FaultModel::NONE.degrade(&n);
+        assert_eq!(d.link_bw_gbs, n.link_bw_gbs);
+        assert_eq!(d.latency_us, n.latency_us);
+        assert_eq!(d.reduction_hop_us, n.reduction_hop_us);
+    }
+
+    #[test]
+    fn faults_slow_every_path_monotonically() {
+        let n = NetworkModel::stampede_fdr();
+        let bytes = 1024.0 * 1024.0;
+        let mut prev_t = n.transfer_time_s(bytes, 8.0);
+        let mut prev_r = n.allreduce_time_s(64);
+        for loss in [0.01, 0.05, 0.2] {
+            let f = FaultModel {
+                loss_rate: loss,
+                corrupt_rate: 0.01,
+                delay_rate: 0.02,
+                delay_us: 250.0,
+            };
+            let d = f.degrade(&n);
+            let t = d.transfer_time_s(bytes, 8.0);
+            let r = d.allreduce_time_s(64);
+            assert!(t > prev_t, "loss {loss}: transfer {t} not slower than {prev_t}");
+            assert!(r >= prev_r);
+            prev_t = t;
+            prev_r = r;
+        }
+    }
+
+    #[test]
+    fn retransmission_factor_is_geometric() {
+        let f = FaultModel { loss_rate: 0.1, corrupt_rate: 0.1, delay_rate: 0.0, delay_us: 0.0 };
+        assert!((f.retransmission_factor() - 1.25).abs() < 1e-12);
+        assert_eq!(FaultModel::NONE.retransmission_factor(), 1.0);
     }
 }

@@ -381,6 +381,14 @@ fn run_batch(
 
     let fallback_cfg = BiCgStabConfig { tolerance, max_iterations: cfg.fallback_max_iterations };
     for ((m, f), (x, out)) in metas.into_iter().zip(&sources).zip(results) {
+        // A detected solver breakdown (non-finite residual, divergence,
+        // recurrence underflow) rides the normal degradation ladder —
+        // `converged` is false, so the fallback rung runs — but is
+        // counted separately so operators can tell "slow" from "broken".
+        if let Some(b) = out.breakdown {
+            metrics.add("serve.breakdowns", 1.0);
+            metrics.add(&format!("serve.breakdown.{}", b.label()), 1.0);
+        }
         if out.converged {
             respond(m, ServeStatus::Converged, x, out.relative_residual, out.iterations, metrics);
             continue;

@@ -30,6 +30,6 @@ pub mod recorder;
 pub use export::{
     breakdown_table, chrome_trace, jsonl, phase_totals, write_trace_files, PhaseTotal,
 };
-pub use metrics::{CommStats, MetricsRegistry, Summary};
+pub use metrics::{CommStats, FaultStats, MetricsRegistry, Summary};
 pub use phase::Phase;
 pub use recorder::{validate_balance, Event, EventKind, ThreadRecorder, TraceSink};

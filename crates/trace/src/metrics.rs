@@ -144,6 +144,68 @@ impl MetricsRegistry {
     }
 }
 
+/// Fault-handling counters of one rank's comm runtime: what the injector
+/// did and what the recovery machinery spent. All counts add under merge
+/// (each rank sees its own faults).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize)]
+pub struct FaultStats {
+    /// Failed delivery attempts that were retried.
+    pub retries: u64,
+    /// Exchanges that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Corrupted faces detected by checksum mismatch.
+    pub corruptions: u64,
+    /// Straggler-delayed messages (injected delays, not backoff).
+    pub delays: u64,
+    /// Modeled latency added by delays and retry backoff, microseconds.
+    pub delay_us: f64,
+    /// Schwarz exchanges this rank skipped entirely (hiccups).
+    pub hiccups: u64,
+    /// Halo faces zero-filled by the degrade policy after a fault.
+    pub zero_fills: u64,
+}
+
+impl FaultStats {
+    /// True if no fault activity was recorded at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.corruptions += other.corruptions;
+        self.delays += other.delays;
+        self.delay_us += other.delay_us;
+        self.hiccups += other.hiccups;
+        self.zero_fills += other.zero_fills;
+    }
+
+    /// The change from `earlier` to `self` (both from the same rank).
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            retries: self.retries - earlier.retries,
+            timeouts: self.timeouts - earlier.timeouts,
+            corruptions: self.corruptions - earlier.corruptions,
+            delays: self.delays - earlier.delays,
+            delay_us: self.delay_us - earlier.delay_us,
+            hiccups: self.hiccups - earlier.hiccups,
+            zero_fills: self.zero_fills - earlier.zero_fills,
+        }
+    }
+
+    /// Fold into a metrics registry under `fault.*` keys.
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        reg.add("fault.retries", self.retries as f64);
+        reg.add("fault.timeouts", self.timeouts as f64);
+        reg.add("fault.corruptions", self.corruptions as f64);
+        reg.add("fault.delays", self.delays as f64);
+        reg.add("fault.delay_us", self.delay_us);
+        reg.add("fault.hiccups", self.hiccups as f64);
+        reg.add("fault.zero_fills", self.zero_fills as f64);
+    }
+}
+
 /// Snapshot of one rank's communication counters (see `qdd-comm`'s
 /// `CommCounters`): total and per-direction traffic, message and
 /// reduction counts. Lives here so solver outcomes can carry it without
@@ -159,6 +221,8 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Number of global reductions participated in.
     pub reductions: u64,
+    /// Fault injection and recovery activity (all zero on a clean fabric).
+    pub faults: FaultStats,
 }
 
 impl CommStats {
@@ -174,6 +238,7 @@ impl CommStats {
         // Reductions are collective: every rank participates in the same
         // ones, so aggregation takes the max, not the sum.
         self.reductions = self.reductions.max(other.reductions);
+        self.faults.merge(&other.faults);
     }
 
     /// The change from `earlier` to `self` (both from the same rank).
@@ -183,6 +248,7 @@ impl CommStats {
             bytes_by_dir: self.bytes_by_dir,
             messages_sent: self.messages_sent - earlier.messages_sent,
             reductions: self.reductions - earlier.reductions,
+            faults: self.faults.since(&earlier.faults),
         };
         for dim in 0..4 {
             for o in 0..2 {
@@ -192,8 +258,11 @@ impl CommStats {
         d
     }
 
-    /// Fold into a metrics registry under `comm.*` keys.
+    /// Fold into a metrics registry under `comm.*` (and `fault.*`) keys.
     pub fn export(&self, reg: &mut MetricsRegistry) {
+        if !self.faults.is_clean() {
+            self.faults.export(reg);
+        }
         reg.add("comm.bytes_sent", self.bytes_sent);
         reg.add("comm.messages_sent", self.messages_sent as f64);
         reg.set_gauge("comm.reductions", self.reductions as f64);
@@ -280,13 +349,19 @@ mod tests {
             bytes_by_dir: [[0.0, 100.0], [0.0; 2], [0.0; 2], [0.0; 2]],
             messages_sent: 2,
             reductions: 1,
+            faults: FaultStats { retries: 1, ..FaultStats::default() },
         };
         let mut later = earlier.clone();
         later.bytes_sent += 50.0;
         later.bytes_by_dir[3][0] += 50.0;
         later.messages_sent += 1;
         later.reductions += 4;
+        later.faults.retries += 2;
+        later.faults.timeouts += 1;
         let d = later.since(&earlier);
+        assert_eq!(d.faults.retries, 2);
+        assert_eq!(d.faults.timeouts, 1);
+        assert!(!d.faults.is_clean());
         assert_eq!(d.bytes_sent, 50.0);
         assert_eq!(d.bytes_by_dir[3][0], 50.0);
         assert_eq!(d.bytes_by_dir[0][1], 0.0);

@@ -55,12 +55,16 @@ pub enum Phase {
     /// pool (Schwarz sweeps, fused operator tiles, blocked reductions);
     /// `par.*` counters ride on this phase.
     PoolJob,
+    /// Fault handling in the comm runtime: a failed delivery attempt
+    /// being retried, a corrupted face detected, an exhausted retry
+    /// budget; `fault.*` counters ride on this phase.
+    Fault,
     /// Anything not covered above (BLAS-1 glue, restarts).
     Other,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 20] = [
+    pub const ALL: [Phase; 21] = [
         Phase::Solve,
         Phase::OuterIteration,
         Phase::ArnoldiStep,
@@ -80,6 +84,7 @@ impl Phase {
         Phase::ServeBatch,
         Phase::ServeFallback,
         Phase::PoolJob,
+        Phase::Fault,
         Phase::Other,
     ];
 
@@ -105,6 +110,7 @@ impl Phase {
             Phase::ServeBatch => "serve batch",
             Phase::ServeFallback => "serve fallback",
             Phase::PoolJob => "pool job",
+            Phase::Fault => "fault",
             Phase::Other => "other",
         }
     }
@@ -131,6 +137,7 @@ impl Phase {
             Phase::ServeBatch => "serve_batch",
             Phase::ServeFallback => "serve_fallback",
             Phase::PoolJob => "pool_job",
+            Phase::Fault => "fault",
             Phase::Other => "other",
         }
     }
@@ -148,6 +155,7 @@ impl Phase {
             Phase::GlobalSum => "reduction",
             Phase::ServeSetup | Phase::ServeBatch | Phase::ServeFallback => "serve",
             Phase::PoolJob => "pool",
+            Phase::Fault => "fault",
         }
     }
 

@@ -19,6 +19,12 @@ echo "==> determinism + fused-operator property tests (release)"
 cargo test --release -q -p qdd-core --test fused_outer_determinism
 cargo test --release -q -p qdd-dirac --test fused_full_property
 
+# Chaos smoke: seeded fault injection must recover (retries > 0, converged)
+# and the zero-rate run must be bitwise identical to a fault-free world —
+# both asserted inside the binary.
+echo "==> chaos smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin chaos -- --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

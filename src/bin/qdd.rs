@@ -10,11 +10,17 @@
 //! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
 //!           [--tol T] [--deadline-ms D] [--workers N] [--max-batch B]
 //!           [--queue N] [--cache N] [--seed N] [--half] [--trace PATH]
+//! qdd chaos [--dims X,Y,Z,T] [--block X,Y,Z,T] [--ranks X,Y,Z,T]
+//!           [--loss P] [--corrupt P] [--delay P] [--hiccup P]
+//!           [--fault-seed N] [--restarts N] [--mass M] [--spread S]
+//!           [--tol T] [--seed N]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
 //! qdd info
 //! ```
 //!
-//! Everything is deterministic for a fixed `--seed`.
+//! Everything is deterministic for a fixed `--seed`; `qdd chaos` is
+//! additionally deterministic in its fault schedule for a fixed
+//! `--fault-seed` (default: the `QDD_FAULT_SEED` environment variable).
 
 use lattice_qcd_dd::prelude::*;
 use lattice_qcd_dd::serve::{
@@ -303,6 +309,137 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use lattice_qcd_dd::comm::{
+        dd_solve_resilient, gather_field, run_spmd, scatter_clover, scatter_field, scatter_gauge,
+        CommWorld, DistDdConfig,
+    };
+    use lattice_qcd_dd::faults::{FaultPlan, FaultRates};
+
+    let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
+    let block = args.dims("block", Dims::new(4, 4, 4, 4))?;
+    let ranks = args.dims("ranks", Dims::new(1, 1, 1, 2))?;
+    let mass: f64 = args.get("mass", 0.1)?;
+    let spread: f64 = args.get("spread", 0.45)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let tol: f64 = args.get("tol", 1e-9)?;
+    let max_restarts: u32 = args.get("restarts", 2)?;
+    let fault_seed_default =
+        std::env::var("QDD_FAULT_SEED").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
+    let fault_seed: u64 = args.get("fault-seed", fault_seed_default)?;
+    let rates = FaultRates {
+        loss: args.get("loss", 0.01)?,
+        corrupt: args.get("corrupt", 0.01)?,
+        delay: args.get("delay", 0.01)?,
+        hiccup: args.get("hiccup", 0.005)?,
+    };
+
+    if !dims.divisible_by(&ranks) {
+        return Err(format!("rank grid {ranks} does not tile lattice {dims}"));
+    }
+    let grid = RankGrid::new(dims, ranks);
+    let local = *grid.local();
+    if !local.divisible_by(&block) {
+        return Err(format!("block {block} does not tile the rank-local lattice {local}"));
+    }
+    if block.0.iter().any(|b| b % 2 != 0) {
+        return Err(format!("block extents must be even, got {block}"));
+    }
+
+    println!(
+        "chaos solve on {dims} over {} rank(s) {ranks}; faults: loss {:.3} corrupt {:.3} \
+         delay {:.3} hiccup {:.3} (fault seed {fault_seed})",
+        grid.num_ranks(),
+        rates.loss,
+        rates.corrupt,
+        rates.delay,
+        rates.hiccup,
+    );
+    let mut rng = Rng64::new(seed);
+    let gauge = GaugeField::<f64>::random(dims, &mut rng, spread);
+    let basis = GammaBasis::degrand_rossi();
+    let clover = build_clover_field(&gauge, 1.5, &basis);
+    let b = SpinorField::<f64>::random(dims, &mut rng);
+    let phases = BoundaryPhases::antiperiodic_t();
+
+    let local_gauge = scatter_gauge(&gauge, &grid);
+    let local_clover = scatter_clover(&clover, &grid);
+    let b_local = scatter_field(&b, &grid);
+    let cfg = DistDdConfig {
+        fgmres: FgmresConfig {
+            max_basis: args.get("basis", 10)?,
+            deflate: args.get("deflate", 4)?,
+            tolerance: tol,
+            max_iterations: args.get("max-iterations", 300)?,
+        },
+        schwarz: SchwarzConfig {
+            block,
+            i_schwarz: args.get("ischwarz", 4)?,
+            mr: MrConfig {
+                iterations: args.get("idomain", 4)?,
+                tolerance: 0.0,
+                f16_vectors: false,
+            },
+            additive: false,
+        },
+        precision: if args.has("half") { Precision::HalfCompressed } else { Precision::Single },
+    };
+
+    let world = CommWorld::with_faults(grid.clone(), FaultPlan::new(fault_seed, rates));
+    let results = run_spmd(&world, |ctx| {
+        let r = ctx.rank();
+        let op = WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), mass, phases);
+        let mut stats = SolveStats::new();
+        let (x, out, comm) =
+            dd_solve_resilient(ctx, &op, &b_local[r], &cfg, max_restarts, &mut stats);
+        (x, out, comm)
+    });
+
+    let (_, out0, _) = &results[0];
+    println!(
+        "\n{}: {} iterations, relative residual {:.2e}, {} restart(s), {} rollback(s)",
+        if out0.outcome.converged { "converged" } else { "NOT converged" },
+        out0.outcome.iterations,
+        out0.outcome.relative_residual,
+        out0.restarts,
+        out0.rollbacks,
+    );
+    if let Some(b) = out0.outcome.breakdown {
+        println!("unrecovered breakdown: {b}");
+    }
+    if out0.comm_faulted {
+        println!("communication faults exhausted retries on at least one rank (degraded faces)");
+    }
+    println!(
+        "\n{:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "rank", "retries", "timeout", "corrupt", "delays", "hiccups", "zerofills", "delay_us"
+    );
+    for (r, (_, _, comm)) in results.iter().enumerate() {
+        let f = &comm.faults;
+        println!(
+            "{r:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10.0}",
+            f.retries, f.timeouts, f.corruptions, f.delays, f.hiccups, f.zero_fills, f.delay_us
+        );
+    }
+
+    // Ground-truth check: the recovered solution must actually solve the
+    // fault-free system.
+    let locals: Vec<SpinorField<f64>> = results.iter().map(|r| r.0.clone()).collect();
+    let x = gather_field(&locals, &grid);
+    let op = WilsonClover::new(gauge, clover, mass, phases);
+    let mut ax = SpinorField::zeros(dims);
+    op.apply(&mut ax, &x);
+    ax.sub_assign(&b);
+    let true_rel = ax.norm() / b.norm();
+    println!("\ntrue residual against the fault-free operator: {true_rel:.2e}");
+
+    if out0.outcome.converged && true_rel <= 10.0 * tol {
+        Ok(())
+    } else {
+        Err("chaos solve did not reach the target".into())
+    }
+}
+
 fn cmd_hmc(args: &Args) -> Result<(), String> {
     let dims = args.dims("dims", Dims::new(4, 4, 4, 8))?;
     let beta: f64 = args.get("beta", 5.9)?;
@@ -358,7 +495,9 @@ fn cmd_info() {
         100.0 * eff,
         bound
     );
-    println!("\nsubcommands: solve, serve, hmc, model <table2|table3|fig5|fig6|fig7|bound>, info");
+    println!(
+        "\nsubcommands: solve, serve, hmc, chaos, model <table2|table3|fig5|fig6|fig7|bound>, info"
+    );
 }
 
 fn main() -> ExitCode {
@@ -367,6 +506,7 @@ fn main() -> ExitCode {
         Some("solve") => Args::parse(&argv[1..]).and_then(|a| cmd_solve(&a)),
         Some("serve") => Args::parse(&argv[1..]).and_then(|a| cmd_serve(&a)),
         Some("hmc") => Args::parse(&argv[1..]).and_then(|a| cmd_hmc(&a)),
+        Some("chaos") => Args::parse(&argv[1..]).and_then(|a| cmd_chaos(&a)),
         Some("model") => match argv.get(1) {
             Some(w) => cmd_model(w),
             None => Err("model needs a target".into()),

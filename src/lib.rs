@@ -23,12 +23,14 @@
 //! | `qdd-dirac` | gamma algebra, Wilson-Clover operator, Schur complement, fused SIMD kernels |
 //! | `qdd-core` | MR, Schwarz, FGMRES-DR, BiCGstab, Richardson, CGNR; worker pool |
 //! | `qdd-comm` | SPMD rank runtime, halo exchange, distributed solvers |
+//! | `qdd-faults` | deterministic seeded fault injection: loss, corruption, stragglers, hiccups |
 //! | `qdd-machine` | KNC chip/kernel/network/overlap models; Table II/III, Figs. 5-7 generators |
 //! | `qdd-serve` | batched multi-RHS solve service: admission control, setup cache, degradation ladder |
 
 pub use qdd_comm as comm;
 pub use qdd_core as core_solver;
 pub use qdd_dirac as dirac;
+pub use qdd_faults as faults;
 pub use qdd_field as field;
 pub use qdd_lattice as lattice;
 pub use qdd_machine as machine;

@@ -134,6 +134,120 @@ fn mr_handles_exactly_singular_rhs_direction() {
 }
 
 #[test]
+fn bicgstab_rho_underflow_is_a_flagged_breakdown_not_a_lie() {
+    // A right-hand side scaled into the subnormal range makes the very
+    // first rho = <r0, r0> underflow below f64::MIN_POSITIVE: BiCGstab
+    // must stop, report converged = false, set the breakdown flag, and
+    // return an honest residual — not divide by the underflowed rho and
+    // emit Inf/NaN iterates.
+    use lattice_qcd_dd::core_solver::fgmres_dr::Breakdown;
+    let dims = Dims::new(4, 4, 4, 4);
+    let op = operator(dims, 0.5, 0.2, 3007);
+    let mut rng = Rng64::new(3008);
+    let mut b = SpinorField::<f64>::random(dims, &mut rng);
+    let scale = 1e-160 / b.norm();
+    for s in 0..b.len() {
+        *b.site_mut(s) = b.site(s).scale(scale);
+    }
+    assert!(b.norm_sqr() > 0.0, "rhs must be nonzero for the test to bite");
+    assert!(b.norm_sqr() < f64::MIN_POSITIVE, "rhs norm^2 must underflow");
+    let sys = LocalSystem::new(&op);
+    let mut stats = SolveStats::new();
+    let (x, out) =
+        bicgstab(&sys, &b, &BiCgStabConfig { tolerance: 1e-12, max_iterations: 100 }, &mut stats);
+    assert!(!out.converged);
+    assert_eq!(out.breakdown, Some(Breakdown::RhoUnderflow));
+    // The iterate is untouched (still the zero initial guess) and finite.
+    assert!(x.norm().is_finite());
+    assert!(out.relative_residual.is_finite());
+}
+
+#[test]
+fn bicgstab_nan_from_the_operator_is_flagged_not_propagated() {
+    // An operator that starts emitting NaNs mid-solve (a poisoned halo, a
+    // corrupted field) must surface as a NonFinite breakdown with
+    // converged = false — never as a quiet NaN solution.
+    use lattice_qcd_dd::core_solver::fgmres_dr::Breakdown;
+    use lattice_qcd_dd::core_solver::system::SystemOps;
+    use std::cell::Cell;
+
+    struct PoisonedSystem<'a> {
+        inner: LocalSystem<'a, f64>,
+        applies: Cell<usize>,
+        poison_after: usize,
+    }
+    impl SystemOps<f64> for PoisonedSystem<'_> {
+        fn local_dims(&self) -> Dims {
+            self.inner.local_dims()
+        }
+        fn apply(&self, out: &mut SpinorField<f64>, inp: &SpinorField<f64>, st: &mut SolveStats) {
+            self.inner.apply(out, inp, st);
+            let n = self.applies.get() + 1;
+            self.applies.set(n);
+            if n > self.poison_after {
+                out.site_mut(0).0[0].0[0] = Complex::new(f64::NAN, 0.0);
+            }
+        }
+        fn apply_adjoint(
+            &self,
+            out: &mut SpinorField<f64>,
+            inp: &SpinorField<f64>,
+            st: &mut SolveStats,
+        ) {
+            self.inner.apply_adjoint(out, inp, st);
+        }
+        fn apply_flops(&self) -> f64 {
+            self.inner.apply_flops()
+        }
+        fn dot(&self, a: &SpinorField<f64>, b: &SpinorField<f64>, st: &mut SolveStats) -> C64 {
+            self.inner.dot(a, b, st)
+        }
+        fn norm_sqr(&self, a: &SpinorField<f64>, st: &mut SolveStats) -> f64 {
+            self.inner.norm_sqr(a, st)
+        }
+        fn dots_batched(
+            &self,
+            vs: &[SpinorField<f64>],
+            w: &SpinorField<f64>,
+            st: &mut SolveStats,
+        ) -> Vec<C64> {
+            self.inner.dots_batched(vs, w, st)
+        }
+        fn dot_and_norm(
+            &self,
+            a: &SpinorField<f64>,
+            b: &SpinorField<f64>,
+            st: &mut SolveStats,
+        ) -> (C64, f64) {
+            self.inner.dot_and_norm(a, b, st)
+        }
+    }
+
+    let dims = Dims::new(4, 4, 4, 4);
+    let op = operator(dims, 0.5, 0.2, 3009);
+    let mut rng = Rng64::new(3010);
+    let b = SpinorField::<f64>::random(dims, &mut rng);
+    let sys =
+        PoisonedSystem { inner: LocalSystem::new(&op), applies: Cell::new(0), poison_after: 4 };
+    let mut stats = SolveStats::new();
+    let (_, out) =
+        bicgstab(&sys, &b, &BiCgStabConfig { tolerance: 1e-12, max_iterations: 200 }, &mut stats);
+    assert!(!out.converged);
+    assert_eq!(out.breakdown, Some(Breakdown::NonFinite));
+
+    // FGMRES-DR over the same poisoned system: the residual guard must
+    // trip (NonFinite or Diverged, depending on where the NaN lands in
+    // the least-squares machinery) instead of iterating on garbage.
+    let sys =
+        PoisonedSystem { inner: LocalSystem::new(&op), applies: Cell::new(0), poison_after: 4 };
+    let cfg = FgmresConfig { max_basis: 8, deflate: 2, tolerance: 1e-12, max_iterations: 50 };
+    let mut ident = |r: &SpinorField<f64>, _: &mut SolveStats| r.clone();
+    let (_, out) = fgmres_dr(&sys, &b, &mut ident, &cfg, &mut stats);
+    assert!(!out.converged);
+    assert!(out.breakdown.is_some(), "poisoned FGMRES must flag a breakdown");
+}
+
+#[test]
 fn zero_volume_protections() {
     // Geometry constructors reject impossible shapes loudly.
     let result = std::panic::catch_unwind(|| {
