@@ -28,6 +28,7 @@ fn bench_solvers(c: &mut Criterion) {
             i_schwarz: 5,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::Single,
         workers: 1,

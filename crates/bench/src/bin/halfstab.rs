@@ -31,6 +31,7 @@ fn main() {
             i_schwarz: 6,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision,
         workers: 1,

@@ -32,6 +32,7 @@ fn main() {
         i_schwarz: 8,
         mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
         additive: false,
+        overlap: true,
     };
     let op = test_operator(dims, 0.5, 0.2, 301).cast::<f32>();
     let pre = SchwarzPreconditioner::new(op, cfg).unwrap();

@@ -64,6 +64,7 @@ fn main() {
             i_schwarz: 2,
             mr: MrConfig { iterations: 2, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::HalfCompressed,
         workers: 1,

@@ -8,22 +8,63 @@
 //! reduction by roughly `Idomain` block iterations that Sec. II-D argues
 //! for.
 //!
+//! Communication hiding (Fig. 4b/4c): each half-sweep is executed as a
+//! staged schedule — t-boundary domains first, then the remaining x/y/z
+//! boundary domains, then the interior in two halves. As each stage
+//! finishes, the faces its domains own are packed (color-masked, straight
+//! from the shared iterate) and sent while the next stage computes: the t
+//! full-face first, the x/y/z faces in two halves. Receives are drained
+//! lazily — right before the *dependent* half-sweep — instead of as a bulk
+//! barrier after the sends. The schedule changes only when data moves,
+//! never any arithmetic: results stay bitwise identical to the serial
+//! preconditioner for every worker count and overlap setting.
+//!
 //! Domain colors must be *global*: with an odd number of domains per rank
 //! the checkerboard phase alternates from rank to rank, and using local
 //! colors would put adjacent domains in the same half-sweep.
 
-use crate::runtime::{CommError, HaloScalar, RankCtx};
+use crate::runtime::{CommError, FacePart, HaloScalar, RankCtx};
 use qdd_core::mr::MrConfig;
-use qdd_core::schwarz::{schwarz_block_update, SchwarzConfig};
+use qdd_core::pool::{
+    blocked_ranges, resolve_workers, LeaderOnly, SharedCells, SharedSpinors, SpinBarrier,
+    WorkerPool,
+};
+use qdd_core::schwarz::{
+    plan_color_schedule, schwarz_block_update, ColorSchedule, FaceHalf, SchwarzConfig, SendSlot,
+};
 use qdd_dirac::block::{DomainFields, SchurOperator};
-use qdd_dirac::boundary::{pack_for_backward_hop, pack_for_forward_hop};
+use qdd_dirac::boundary::{pack_sites_for_backward_hop_with, pack_sites_for_forward_hop_with};
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_field::halo::{face_index, HaloData};
-use qdd_field::spinor::HalfSpinor;
+use qdd_field::spinor::{HalfSpinor, Spinor};
 use qdd_lattice::{Dir, DomainColor, DomainGrid, Parity, SiteIndexer};
 use qdd_util::stats::{Component, SolveStats};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The wire header a [`FaceHalf`] travels under: halves declare themselves
+/// part 0 or 1 of 2, full faces part 0 of 1. Receivers assert the header
+/// against the part they expect, so a schedule bug surfaces as a panic at
+/// the receive, never as silently misplaced boundary data.
+fn part_of(half: FaceHalf) -> FacePart {
+    match half {
+        FaceHalf::Full => FacePart::FULL,
+        FaceHalf::First => FacePart { index: 0, of: 2 },
+        FaceHalf::Second => FacePart { index: 1, of: 2 },
+    }
+}
+
+/// One deferred receive: a face part some peer sent eagerly during its own
+/// compute, drained right before the half-sweep that reads it.
+struct RecvSlot {
+    dir: Dir,
+    forward: bool,
+    half: FaceHalf,
+    /// The color whose boundary the peer sent (ours to merge at the
+    /// positions where *our* face color is `color.flip()`).
+    color: DomainColor,
+}
 
 /// One rank's Schwarz preconditioner.
 pub struct DistSchwarz<'a, T: HaloScalar> {
@@ -32,12 +73,24 @@ pub struct DistSchwarz<'a, T: HaloScalar> {
     fields: DomainFields<T>,
     grid: DomainGrid,
     cfg: SchwarzConfig,
-    /// Domain indices per *global* color.
-    colors: [Vec<usize>; 2],
-    /// `face_color[d][o][k]`: global color of the domain owning face site
-    /// `k` of our face `o` (0 = backward, coord 0; 1 = forward, coord L-1)
-    /// in direction `d`.
-    face_color: [[Vec<DomainColor>; 2]; 4],
+    /// `face_sites[d][o][c]`: local site indices on our face `o`
+    /// (0 = backward, coord 0; 1 = forward, coord L-1) of direction `d`
+    /// owned by global-color-`c` domains, in ascending face-position
+    /// order. Senders pack exactly these sites — no full-face staging
+    /// buffer, no post-pack filtering.
+    face_sites: [[[Vec<usize>; 2]; 2]; 4],
+    /// `face_positions[d][o][c]`: the matching face-buffer positions, same
+    /// order. Receivers merge an incoming color-`c'` part at
+    /// `face_positions[d][o][c'.flip()]` — the checkerboard flips across
+    /// the rank boundary, so both sides derive identical lists.
+    face_positions: [[[Vec<usize>; 2]; 2]; 4],
+    /// The Fig. 4 stage schedule per color (degenerates to one stage with
+    /// a trailing bulk exchange when `cfg.overlap` is off or nothing is
+    /// split).
+    schedules: [ColorSchedule; 2],
+    /// Worker team for the staged half-sweeps (size from `QDD_WORKERS`,
+    /// default 1).
+    pool: WorkerPool,
     /// First communication fault, if any: a malformed partial-face
     /// exchange leaves the previous (stale) halo entries in place and is
     /// recorded here instead of aborting the rank thread.
@@ -79,24 +132,55 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             colors[global_color(dom.color) as usize].push(dom.index);
         }
 
-        // Face-site colors.
+        // Color-masked face lists: for every face, the sites (for packing)
+        // and face positions (for merging) of each color, ascending in
+        // face position so sender and receiver agree on the half split.
         let idx = SiteIndexer::new(local);
-        let mut face_color: [[Vec<DomainColor>; 2]; 4] =
-            std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()));
+        let mut face_sites: [[[Vec<usize>; 2]; 2]; 4] =
+            std::array::from_fn(|_| std::array::from_fn(|_| std::array::from_fn(|_| Vec::new())));
+        let mut face_positions = face_sites.clone();
         for dir in Dir::ALL {
             for o in 0..2 {
                 let fixed = if o == 1 { local[dir] - 1 } else { 0 };
-                let mut v = vec![DomainColor::Black; local.face_area(dir)];
-                for c in idx.iter().filter(|c| c[dir] == fixed) {
-                    let (dom_idx, _) = grid.locate(&c);
-                    v[face_index(&local, dir, &c)] = global_color(grid.domain(dom_idx).color);
+                let mut entries: Vec<(usize, usize, DomainColor)> = idx
+                    .iter()
+                    .filter(|c| c[dir] == fixed)
+                    .map(|c| {
+                        let (dom_idx, _) = grid.locate(&c);
+                        (
+                            face_index(&local, dir, &c),
+                            idx.index(&c),
+                            global_color(grid.domain(dom_idx).color),
+                        )
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.0);
+                for (k, s, col) in entries {
+                    face_positions[dir.index()][o][col as usize].push(k);
+                    face_sites[dir.index()][o][col as usize].push(s);
                 }
-                face_color[dir.index()][o] = v;
             }
         }
 
+        let split = ctx.split_dirs();
+        let schedules = [
+            plan_color_schedule(&grid, split, &colors[0], cfg.overlap),
+            plan_color_schedule(&grid, split, &colors[1], cfg.overlap),
+        ];
+
         let fields = DomainFields::new(op)?;
-        Some(Self { ctx, op, fields, grid, cfg, colors, face_color, fault: Cell::new(None) })
+        Some(Self {
+            ctx,
+            op,
+            fields,
+            grid,
+            cfg,
+            face_sites,
+            face_positions,
+            schedules,
+            pool: WorkerPool::new(resolve_workers(1)),
+            fault: Cell::new(None),
+        })
     }
 
     /// The first communication fault seen by this rank's preconditioner,
@@ -116,155 +200,320 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
         &self.cfg
     }
 
-    /// Exchange the boundary data of the just-updated `color`: masked
-    /// subsets of every face, merged into the halo.
-    fn exchange_color(
+    /// Post one send wave of the just-updated `color`: both orientations
+    /// of every slot's direction, packed color-masked straight from the
+    /// current iterate (read through `fetch` — the shared field while
+    /// other workers compute the next stage). Returns the payload bytes
+    /// sent. A hiccuping rank sends one skip marker per channel per round
+    /// instead (peers keep their stale halo entries for us) and counts
+    /// nothing.
+    fn post_wave<F: Fn(usize) -> Spinor<T>>(
         &self,
-        u: &SpinorField<T>,
-        halo: &mut HaloData<T>,
+        wave: &[SendSlot],
         color: DomainColor,
-        stats: &mut SolveStats,
-    ) {
-        let local = *self.op.dims();
+        fetch: &F,
+        hiccup: bool,
+        skip_sent: &mut [[bool; 2]; 4],
+    ) -> f64 {
         let trace = self.ctx.trace();
-        // A rank hiccup makes this rank sit out the exchange: it sends
-        // skip markers instead of its updated boundary (peers keep their
-        // stale halo entries for us) but still drains its own receives so
-        // the channel streams stay aligned. Under flexible outer solves
-        // a stale preconditioner boundary only costs iterations, never
-        // correctness.
-        let hiccup = self.ctx.take_hiccup();
-        // Post sends.
-        trace.begin(qdd_trace::Phase::HaloPack);
-        for dir in Dir::ALL {
-            if hiccup {
-                self.ctx.send_skip(dir, false);
-                self.ctx.send_skip(dir, true);
+        let mut sent = 0.0f64;
+        for slot in wave {
+            let dir = slot.dir;
+            debug_assert!(self.ctx.is_split(dir), "schedule planned a send in an unsplit dir");
+            for o in 0..2 {
+                if hiccup {
+                    if !skip_sent[dir.index()][o] {
+                        self.ctx.send_skip(dir, o == 1);
+                        skip_sent[dir.index()][o] = true;
+                    }
+                    continue;
+                }
+                let sign = if o == 0 {
+                    // Backward face: packed for the forward hops of our
+                    // backward neighbor's sites.
+                    if self.ctx.at_global_backward_edge(dir) {
+                        self.op.phases().of(dir)
+                    } else {
+                        1.0
+                    }
+                } else if self.ctx.at_global_forward_edge(dir) {
+                    self.op.phases().of(dir)
+                } else {
+                    1.0
+                };
+                let sites = &self.face_sites[dir.index()][o][color as usize];
+                let range = slot.half.range(sites.len());
+                trace.begin(qdd_trace::Phase::HaloPack);
+                let data = if o == 0 {
+                    pack_sites_for_forward_hop_with(self.op, fetch, dir, sign, &sites[range])
+                } else {
+                    pack_sites_for_backward_hop_with(self.op, fetch, dir, sign, &sites[range])
+                };
+                trace.end(qdd_trace::Phase::HaloPack);
+                sent += (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+                self.ctx.send_face_part(dir, o == 1, part_of(slot.half), data);
+            }
+        }
+        sent
+    }
+
+    /// Drain every deferred receive of the previous half-sweep into the
+    /// halo. Returns the payload bytes actually delivered (skips and
+    /// faulted faces contribute nothing — received traffic is counted
+    /// independently of sent traffic, because a hiccuping rank skips its
+    /// sends but still receives and merges its peers' faces).
+    fn drain_pending(&self, pending: &mut Vec<RecvSlot>, halo: &mut HaloData<T>) -> f64 {
+        if pending.is_empty() {
+            return 0.0;
+        }
+        let trace = self.ctx.trace();
+        trace.begin(qdd_trace::Phase::HaloUnpack);
+        let mut got = 0.0f64;
+        // A peer that hiccuped this round sent one skip marker on the
+        // channel instead of its parts; once seen, expect nothing further
+        // from that channel this round.
+        let mut peer_skipped = [[false; 2]; 4];
+        for slot in pending.drain(..) {
+            let o = slot.forward as usize;
+            if peer_skipped[slot.dir.index()][o] {
                 continue;
             }
-            let sign_fwd =
-                if self.ctx.at_global_backward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
-            let sign_bwd =
-                if self.ctx.at_global_forward_edge(dir) { self.op.phases().of(dir) } else { 1.0 };
-            // Backward face (o = 0), masked by the updated color.
-            let full = pack_for_forward_hop(self.op, u, dir, sign_fwd);
-            let masked: Vec<HalfSpinor<T>> = full
-                .data
-                .iter()
-                .zip(&self.face_color[dir.index()][0])
-                .filter(|(_, c)| **c == color)
-                .map(|(h, _)| *h)
-                .collect();
-            self.ctx.send_face(dir, false, masked);
-            // Forward face (o = 1).
-            let full = pack_for_backward_hop(self.op, u, dir, sign_bwd);
-            let masked: Vec<HalfSpinor<T>> = full
-                .data
-                .iter()
-                .zip(&self.face_color[dir.index()][1])
-                .filter(|(_, c)| **c == color)
-                .map(|(h, _)| *h)
-                .collect();
-            self.ctx.send_face(dir, true, masked);
-        }
-        trace.end(qdd_trace::Phase::HaloPack);
-        // Receive and merge.
-        trace.begin(qdd_trace::Phase::HaloUnpack);
-        for dir in Dir::ALL {
-            // halo.face(dir, true) entries mirror the *forward* neighbor's
-            // backward face; its site colors are the flip of our forward
-            // face's colors at the same face positions.
-            for (forward, own_face) in [(true, 1usize), (false, 0usize)] {
-                let data = match self.ctx.recv_face_retrying::<T>(
-                    dir,
-                    forward,
-                    crate::exchange::MAX_ATTEMPTS,
-                ) {
-                    Ok(Some(d)) => d,
-                    // Peer hiccup: it skipped this exchange. Keep the
-                    // stale halo entries; benign under a flexible outer
-                    // solver, so no fault is recorded.
-                    Ok(None) => continue,
-                    Err(e) => {
-                        // Retry budget exhausted: keep the stale halo
-                        // entries for this face, record the fault, and
-                        // keep draining the remaining faces so channels
-                        // stay aligned.
-                        if self.fault.get().is_none() {
-                            self.fault.set(Some(e));
-                        }
-                        continue;
+            match self.ctx.recv_face_part_retrying::<T>(
+                slot.dir,
+                slot.forward,
+                part_of(slot.half),
+                crate::exchange::MAX_ATTEMPTS,
+            ) {
+                Ok(Some(data)) => {
+                    // halo.face(dir, true) entries mirror the *forward*
+                    // neighbor's backward face; its site colors are the
+                    // flip of our same-face colors at the same positions.
+                    let positions =
+                        &self.face_positions[slot.dir.index()][o][slot.color.flip() as usize];
+                    let range = slot.half.range(positions.len());
+                    assert_eq!(
+                        data.len(),
+                        range.len(),
+                        "partial-face exchange misaligned ({}, fwd={})",
+                        slot.dir,
+                        slot.forward
+                    );
+                    got += (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+                    let buf = halo.face_mut(slot.dir, slot.forward);
+                    for (h, &k) in data.into_iter().zip(&positions[range]) {
+                        buf.data[k] = h;
                     }
-                };
-                let mask = &self.face_color[dir.index()][own_face];
-                let positions: Vec<usize> =
-                    (0..local.face_area(dir)).filter(|&k| mask[k].flip() == color).collect();
-                assert_eq!(
-                    data.len(),
-                    positions.len(),
-                    "partial-face exchange misaligned ({dir}, fwd={forward})"
-                );
-                let buf = halo.face_mut(dir, forward);
-                for (h, &k) in data.into_iter().zip(&positions) {
-                    buf.data[k] = h;
+                }
+                // Peer hiccup: it skipped this exchange. Keep the stale
+                // halo entries; benign under a flexible outer solver, so
+                // no fault is recorded.
+                Ok(None) => peer_skipped[slot.dir.index()][o] = true,
+                Err(e) => {
+                    // Retry budget exhausted: keep the stale halo entries
+                    // for this part, record the fault, and keep draining
+                    // the remaining parts so channels stay aligned.
+                    if self.fault.get().is_none() {
+                        self.fault.set(Some(e));
+                    }
                 }
             }
         }
         trace.end(qdd_trace::Phase::HaloUnpack);
-        // Account traffic to the preconditioner (a hiccuping rank sent
-        // nothing).
-        if !hiccup {
-            let bytes: f64 = Dir::ALL
-                .iter()
-                .filter(|d| self.ctx.is_split(**d))
-                .map(|&d| {
-                    let n_fwd =
-                        self.face_color[d.index()][0].iter().filter(|c| **c == color).count();
-                    let n_bwd =
-                        self.face_color[d.index()][1].iter().filter(|c| **c == color).count();
-                    ((n_fwd + n_bwd) * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
-                })
-                .sum();
-            stats.add_comm_bytes(Component::PreconditionerM, bytes);
-        }
+        got
     }
 
     /// Apply the preconditioner: `u ~= A^-1 f` on this rank's sub-volume,
     /// collaborating with all other ranks.
+    ///
+    /// Executes the Fig. 4 schedule: per half-sweep, the leader (worker 0,
+    /// the rank thread — the only one allowed to touch the `!Sync` comm
+    /// context) first drains the receives deferred from the previous
+    /// half-sweep, then the team computes the boundary-first stages with
+    /// the leader posting each finished stage's send wave while the next
+    /// stage runs. Bitwise identical to the serial
+    /// [`SchwarzPreconditioner`](qdd_core::schwarz::SchwarzPreconditioner)
+    /// for every worker count and overlap setting: face sites belong
+    /// exclusively to boundary domains (finished before their face is
+    /// packed), same-color domains are never adjacent (so intra-color
+    /// reordering changes no update), and a color-`C'` half-sweep reads
+    /// only color-`C` halo entries (exactly the freshly merged ones).
     pub fn apply(&self, f: &SpinorField<T>, stats: &mut SolveStats) -> SpinorField<T> {
         let local = *self.op.dims();
         assert_eq!(*f.dims(), local);
         let mut u = SpinorField::<T>::zeros(local);
         let mut halo_u = HaloData::<T>::zeros(local);
-        let mut flops = 0.0;
 
-        for sweep in 0..self.cfg.i_schwarz {
-            stats.span_begin(qdd_trace::Phase::SchwarzSweep);
-            for color in DomainColor::ALL {
-                stats.span_begin(qdd_trace::Phase::ColorSweep);
-                for &dom_idx in &self.colors[color as usize] {
-                    stats.span_begin(qdd_trace::Phase::DomainSolve);
-                    let schur =
-                        SchurOperator::new(self.op, &self.fields, self.grid.domain(dom_idx));
-                    let au =
-                        |g: usize| self.op.apply_site_with_halo_fetch(g, |i| *u.site(i), &halo_u);
-                    let (z_e, z_o, fl) = schwarz_block_update(&schur, &self.cfg.mr, f, au);
-                    schur.scatter_add_cb(&mut u, &z_e, Parity::Even);
-                    schur.scatter_add_cb(&mut u, &z_o, Parity::Odd);
-                    stats.span_end(qdd_trace::Phase::DomainSolve);
-                    flops += fl;
+        let workers = self.pool.workers();
+        let split = self.ctx.split_dirs();
+        let rounds = 2 * self.cfg.i_schwarz;
+        let shared = SharedSpinors::new(u.as_mut_slice());
+        // The halo is epoch-shared: the leader writes it while everyone
+        // else waits at the round barrier; all workers read it during the
+        // compute stages.
+        let halo_slot = std::slice::from_mut(&mut halo_u);
+        let halo_cell = SharedCells::new(halo_slot);
+        let barrier = SpinBarrier::new(workers);
+        let worker_flops: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let sink = stats.sink().clone();
+        // `self` holds the `!Sync` comm context; only the leader (worker
+        // 0 = this thread) dereferences it inside the job.
+        let leader = LeaderOnly::new(self);
+        let ledger_cells = (Cell::new(0.0f64), Cell::new(0.0f64));
+        let ledger = LeaderOnly::new(&ledger_cells);
+        let op = self.op;
+        let fields = &self.fields;
+        let grid = &self.grid;
+        let mr = &self.cfg.mr;
+        let schedules = &self.schedules;
+
+        self.pool.run(&|w| {
+            let sense = Cell::new(false);
+            let mut rec = sink.thread(w as u32 + 1);
+            rec.begin(qdd_trace::Phase::PoolJob);
+            let mut flops = 0.0;
+            // Receives deferred from the previous half-sweep (leader-only
+            // state; empty on every other worker).
+            let mut pending: Vec<RecvSlot> = Vec::new();
+            for round in 0..rounds {
+                let color = DomainColor::ALL[round % 2];
+                let last = round + 1 == rounds;
+                let sched = &schedules[color as usize];
+                if w == 0 {
+                    if round % 2 == 0 {
+                        sink.begin(qdd_trace::Phase::SchwarzSweep);
+                    }
+                    // SAFETY (LeaderOnly): worker 0 runs on the thread
+                    // that built the wrappers. SAFETY (SharedCells): no
+                    // reader before the barrier below.
+                    let this = unsafe { leader.get() };
+                    let halo = &mut unsafe { halo_cell.slice_mut(0..1) }[0];
+                    let got = this.drain_pending(&mut pending, halo);
+                    let l = unsafe { ledger.get() };
+                    l.1.set(l.1.get() + got);
                 }
-                // Boundary data of the updated color feeds the next
-                // half-sweep; the very last exchange is not needed.
-                let last = sweep + 1 == self.cfg.i_schwarz && color == DomainColor::White;
-                if !last {
-                    self.exchange_color(&u, &mut halo_u, color, stats);
+                barrier.wait(&sense);
+                rec.begin(qdd_trace::Phase::ColorSweep);
+                // One hiccup decision per exchange round, taken before the
+                // first wave so every wave of the round skips together.
+                let hiccup = if w == 0 && !last {
+                    // SAFETY: leader-only, see above.
+                    unsafe { leader.get() }.ctx.take_hiccup()
+                } else {
+                    false
+                };
+                let mut skip_sent = [[false; 2]; 4];
+                for (si, stage) in sched.stages.iter().enumerate() {
+                    if w == 0 && si > 0 && !last {
+                        // The previous stage's faces are final (their
+                        // owning domains finished behind the last
+                        // barrier): pack and send them while this stage
+                        // computes. SAFETY (fetch): face sites belong to
+                        // completed boundary stages; this stage writes
+                        // only its own domains' sites.
+                        let this = unsafe { leader.get() };
+                        let sent = this.post_wave(
+                            &sched.sends_after[si - 1],
+                            color,
+                            &|i: usize| unsafe { shared.read(i) },
+                            hiccup,
+                            &mut skip_sent,
+                        );
+                        let l = unsafe { ledger.get() };
+                        l.0.set(l.0.get() + sent);
+                    }
+                    let range = blocked_ranges(stage.len(), workers)[w].clone();
+                    for &dom_idx in &stage[range] {
+                        rec.begin(qdd_trace::Phase::DomainSolve);
+                        // SAFETY (SharedSpinors): reads touch the domain
+                        // (owned by this worker in this epoch) and its
+                        // opposite-color neighbors (not written in this
+                        // epoch); writes touch only the owned domain.
+                        // SAFETY (SharedCells): no halo writer after the
+                        // round barrier.
+                        let fetch = |i: usize| unsafe { shared.read(i) };
+                        let halo = unsafe { halo_cell.get(0) };
+                        let schur = SchurOperator::new(op, fields, grid.domain(dom_idx));
+                        let au =
+                            |g: usize| op.apply_site_with_halo_fetch_split(g, fetch, halo, split);
+                        let (z_e, z_o, fl) = schwarz_block_update(&schur, mr, f, au);
+                        schur.scatter_add_cb_with(
+                            |g, v| unsafe { shared.add(g, v) },
+                            &z_e,
+                            Parity::Even,
+                        );
+                        schur.scatter_add_cb_with(
+                            |g, v| unsafe { shared.add(g, v) },
+                            &z_o,
+                            Parity::Odd,
+                        );
+                        flops += fl;
+                        rec.end(qdd_trace::Phase::DomainSolve);
+                    }
+                    barrier.wait(&sense);
                 }
-                stats.span_end(qdd_trace::Phase::ColorSweep);
+                rec.end(qdd_trace::Phase::ColorSweep);
+                if w == 0 {
+                    if !last {
+                        // SAFETY: leader-only, see above.
+                        let this = unsafe { leader.get() };
+                        let sent = this.post_wave(
+                            sched.sends_after.last().map_or(&[][..], |v| v),
+                            color,
+                            &|i: usize| unsafe { shared.read(i) },
+                            hiccup,
+                            &mut skip_sent,
+                        );
+                        let l = unsafe { ledger.get() };
+                        l.0.set(l.0.get() + sent);
+                        for wave in &sched.sends_after {
+                            for slot in wave {
+                                for forward in [true, false] {
+                                    pending.push(RecvSlot {
+                                        dir: slot.dir,
+                                        forward,
+                                        half: slot.half,
+                                        color,
+                                    });
+                                }
+                            }
+                        }
+                        if sched.stages.len() == 1 {
+                            // Degenerate schedule (overlap off or nothing
+                            // split): the legacy bulk exchange — drain
+                            // right here, exposing the full wait. SAFETY
+                            // (SharedCells): every other worker is parked
+                            // at the next round's barrier, no reader.
+                            let halo = &mut unsafe { halo_cell.slice_mut(0..1) }[0];
+                            let got = this.drain_pending(&mut pending, halo);
+                            l.1.set(l.1.get() + got);
+                        }
+                    }
+                    if round % 2 == 1 {
+                        sink.end(qdd_trace::Phase::SchwarzSweep);
+                    }
+                }
             }
-            stats.span_end(qdd_trace::Phase::SchwarzSweep);
-        }
-        stats.add_flops(Component::PreconditionerM, flops);
+            rec.end(qdd_trace::Phase::PoolJob);
+            rec.flush();
+            worker_flops[w].store(flops.to_bits(), Ordering::Relaxed);
+        });
+
+        stats.add_flops(
+            Component::PreconditionerM,
+            worker_flops.iter().map(|b| f64::from_bits(b.load(Ordering::Relaxed))).sum(),
+        );
+        stats.add_comm_bytes(Component::PreconditionerM, ledger_cells.0.get());
+        stats.add_comm_recv_bytes(Component::PreconditionerM, ledger_cells.1.get());
+        // Unsplit directions never pack, send, or merge anything: their
+        // halo faces must still be all zero (the split-aware operator
+        // wraps those hops through the local field instead).
+        debug_assert!(Dir::ALL.into_iter().filter(|&d| !self.ctx.is_split(d)).all(|d| {
+            [false, true].into_iter().all(|fw| {
+                halo_u.face(d, fw).data.iter().all(|h| {
+                    h.0.iter().all(|v| v.0.iter().all(|z| z.re == T::ZERO && z.im == T::ZERO))
+                })
+            })
+        }));
         u
     }
 
@@ -293,6 +542,7 @@ mod tests {
             i_schwarz: sweeps,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         }
     }
 
@@ -330,7 +580,11 @@ mod tests {
             let pre = DistSchwarz::new(ctx, &op, schwarz_cfg(block, sweeps)).unwrap();
             let mut stats = SolveStats::new();
             let u = pre.apply(&f_local[r], &mut stats);
-            (u, stats.comm_bytes(Component::PreconditionerM))
+            (
+                u,
+                stats.comm_bytes(Component::PreconditionerM),
+                stats.comm_recv_bytes(Component::PreconditionerM),
+            )
         });
         let locals: Vec<SpinorField<f64>> = results.iter().map(|r| r.0.clone()).collect();
         let got = gather_field(&locals, &grid);
@@ -339,9 +593,15 @@ mod tests {
             expect.as_slice(),
             "distributed Schwarz diverged from serial (ranks {rank_dims})"
         );
-        results
-            .iter()
-            .for_each(|(_, bytes)| assert!(*bytes > 0.0, "no preconditioner traffic counted"));
+        // Per-rank send/recv can be asymmetric (e.g. one domain per rank:
+        // a Black rank sends in Black rounds but receives only in White
+        // rounds) — but every byte sent is received by some rank.
+        let total_sent: f64 = results.iter().map(|r| r.1).sum();
+        let total_received: f64 = results.iter().map(|r| r.2).sum();
+        for (_, sent, _) in &results {
+            assert!(*sent > 0.0, "no preconditioner traffic counted");
+        }
+        assert_eq!(total_sent, total_received, "sent and received world totals must balance");
     }
 
     #[test]
@@ -393,15 +653,135 @@ mod tests {
                 DistSchwarz::new(ctx, &op, schwarz_cfg(Dims::new(4, 4, 4, 4), sweeps)).unwrap();
             let mut stats = SolveStats::new();
             let _ = pre.apply(&f_local[r], &mut stats);
-            stats.comm_bytes(Component::PreconditionerM)
+            (
+                stats.comm_bytes(Component::PreconditionerM),
+                ctx.counters.bytes_sent.get(),
+                ctx.counters.bytes_received.get(),
+            )
         });
         // Full halo of the split (x) direction: 2 faces x 8*8*8 sites x
         // 96 bytes; per full iteration one such exchange; the final
         // half-exchange is skipped.
         let full_halo = 2.0 * 512.0 * 96.0;
         let expect = full_halo * sweeps as f64 - full_halo / 2.0;
-        for bytes in results {
+        for (bytes, wire_sent, wire_received) in results {
             assert!((bytes - expect).abs() < 1e-9, "bytes {bytes} vs expected {expect}");
+            // The ledger agrees with the physical channel counters, and
+            // every sent byte arrived somewhere.
+            assert_eq!(wire_sent, expect, "wire bytes disagree with the ledger");
+            assert_eq!(wire_received, expect, "received bytes disagree with sent bytes");
         }
+    }
+
+    #[test]
+    fn overlap_off_is_bitwise_identical_and_counts_the_same_traffic() {
+        // `--no-overlap` escape hatch: the degenerate one-stage schedule
+        // (bulk exchange after each half-sweep) must produce the same
+        // bits and the same byte totals — overlap changes only when data
+        // moves.
+        let global_dims = Dims::new(8, 8, 8, 8);
+        let rank_dims = Dims::new(2, 1, 1, 2);
+        let grid = RankGrid::new(global_dims, rank_dims);
+        let mut rng = Rng64::new(33);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.6);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.5, &basis);
+        let phases = BoundaryPhases::antiperiodic_t();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+
+        let run = |overlap: bool| {
+            let mut cfg = schwarz_cfg(Dims::new(4, 4, 4, 4), 3);
+            cfg.overlap = overlap;
+            let world = CommWorld::new(grid.clone());
+            run_spmd(&world, |ctx| {
+                let r = ctx.rank();
+                let op =
+                    WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
+                let pre = DistSchwarz::new(ctx, &op, cfg).unwrap();
+                let mut stats = SolveStats::new();
+                let u = pre.apply(&f_local[r], &mut stats);
+                (
+                    u,
+                    stats.comm_bytes(Component::PreconditionerM),
+                    stats.comm_recv_bytes(Component::PreconditionerM),
+                )
+            })
+        };
+        let with = run(true);
+        let without = run(false);
+        for (a, b) in with.iter().zip(&without) {
+            assert_eq!(a.0.as_slice(), b.0.as_slice(), "overlap changed the result");
+            assert_eq!(a.1, b.1, "overlap changed sent-byte accounting");
+            assert_eq!(a.2, b.2, "overlap changed received-byte accounting");
+        }
+    }
+
+    #[test]
+    fn hiccup_skips_sends_but_still_counts_received_traffic() {
+        // A rank hiccup makes the rank sit out one exchange round: its
+        // sends are skip markers (zero bytes) but it still receives and
+        // merges its peers' faces — send and receive traffic must be
+        // counted independently, not skipped together.
+        use qdd_faults::{FaultClass, FaultPlan};
+        let global_dims = Dims::new(8, 8, 8, 8);
+        let rank_dims = Dims::new(2, 1, 1, 1);
+        let grid = RankGrid::new(global_dims, rank_dims);
+        let mut rng = Rng64::new(34);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.3, &basis);
+        let phases = BoundaryPhases::periodic();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+
+        let sweeps = 2; // 3 exchange rounds
+        let run = |plan: FaultPlan| {
+            let world = CommWorld::with_faults(grid.clone(), plan);
+            run_spmd(&world, |ctx| {
+                let r = ctx.rank();
+                let op =
+                    WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
+                let pre =
+                    DistSchwarz::new(ctx, &op, schwarz_cfg(Dims::new(4, 4, 4, 4), sweeps)).unwrap();
+                let mut stats = SolveStats::new();
+                let _ = pre.apply(&f_local[r], &mut stats);
+                (
+                    stats.comm_bytes(Component::PreconditionerM),
+                    stats.comm_recv_bytes(Component::PreconditionerM),
+                    ctx.counters.faults.hiccups.get(),
+                )
+            })
+        };
+        let clean = run(FaultPlan::none());
+        // Rank 0 hiccups on its first exchange round (hiccup decisions
+        // are consumed once per round, in round order).
+        let plan = FaultPlan::none().with_event(qdd_faults::FaultEvent {
+            rank: 0,
+            class: FaultClass::Hiccup,
+            dir: None,
+            forward: None,
+            at_seq: 0,
+            attempts: 1,
+        });
+        let faulted = run(plan);
+
+        let (clean_sent, clean_recv, _) = clean[0];
+        assert_eq!(clean_sent, clean_recv, "clean symmetric run must balance");
+        // Rank 0: sat out one of three rounds — sent one round less, but
+        // received everything its (non-hiccuping) peer sent.
+        let (sent0, recv0, hiccups0) = faulted[0];
+        assert_eq!(hiccups0, 1, "the injected hiccup must fire exactly once");
+        assert_eq!(recv0, clean_recv, "received traffic must be counted despite the hiccup");
+        assert_eq!(sent0, clean_sent * 2.0 / 3.0, "one of three rounds sent nothing");
+        // Rank 1: sent everything, received one round less (the skip).
+        let (sent1, recv1, hiccups1) = faulted[1];
+        assert_eq!(hiccups1, 0);
+        assert_eq!(sent1, clean_sent);
+        assert_eq!(recv1, clean_recv * 2.0 / 3.0);
     }
 }

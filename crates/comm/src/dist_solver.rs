@@ -239,6 +239,7 @@ mod tests {
             i_schwarz: 4,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         };
 
         // Single-rank reference.
@@ -336,6 +337,7 @@ mod tests {
             i_schwarz: 8,
             mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         };
         let cfg = DistDdConfig { fgmres, schwarz, precision: Precision::Single };
 

@@ -61,17 +61,25 @@ impl<'a, T: HaloScalar> DistSystem<'a, T> {
     /// face stays zeroed in the partial halo, is counted under
     /// `fault.zero_fills`, and the first typed error is recorded for the
     /// caller. The old behavior — silently zeroing the whole halo on the
-    /// first error — is gone.
-    fn exchange_or_degrade(&self, inp: &SpinorField<T>) -> HaloData<T> {
+    /// first error — is gone. Returns the halo together with the bytes
+    /// actually received (full exchange minus undelivered faces).
+    fn exchange_or_degrade(&self, inp: &SpinorField<T>) -> (HaloData<T>, f64) {
+        let full = self.comm_bytes_per_apply();
         match exchange_halo(self.ctx, self.op, inp) {
-            Ok(h) => h,
+            Ok(h) => (h, full),
             Err(fail) => {
                 if self.fault.get().is_none() {
                     self.fault.set(Some(fail.first()));
                 }
                 let zf = &self.ctx.counters.faults.zero_fills;
                 zf.set(zf.get() + fail.faults.len() as u64);
-                fail.partial
+                let per_site = (12 * std::mem::size_of::<T>()) as f64;
+                let lost: f64 = fail
+                    .faults
+                    .iter()
+                    .map(|f| self.op.dims().face_area(f.dir) as f64 * per_site)
+                    .sum();
+                (fail.partial, full - lost)
             }
         }
     }
@@ -83,10 +91,11 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
     }
 
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, stats: &mut SolveStats) {
-        let halo = self.exchange_or_degrade(inp);
-        self.op.apply_with_halo(out, inp, &halo);
+        let (halo, received) = self.exchange_or_degrade(inp);
+        self.op.apply_with_halo_split(out, inp, &halo, self.ctx.split_dirs());
         stats.add_flops(Component::OperatorA, self.op.apply_flops());
         stats.add_comm_bytes(Component::OperatorA, self.comm_bytes_per_apply());
+        stats.add_comm_recv_bytes(Component::OperatorA, received);
         stats.count_operator_application();
     }
 
@@ -98,13 +107,14 @@ impl<T: HaloScalar> SystemOps<T> for DistSystem<'_, T> {
     ) {
         let basis = self.op.basis();
         let g5in = SpinorField::from_fn(*inp.dims(), |s| basis.apply_gamma5(inp.site(s)));
-        let halo = self.exchange_or_degrade(&g5in);
-        self.op.apply_with_halo(out, &g5in, &halo);
+        let (halo, received) = self.exchange_or_degrade(&g5in);
+        self.op.apply_with_halo_split(out, &g5in, &halo, self.ctx.split_dirs());
         for s in 0..out.len() {
             *out.site_mut(s) = basis.apply_gamma5(out.site(s));
         }
         stats.add_flops(Component::OperatorA, self.op.apply_flops());
         stats.add_comm_bytes(Component::OperatorA, self.comm_bytes_per_apply());
+        stats.add_comm_recv_bytes(Component::OperatorA, received);
         stats.count_operator_application();
     }
 

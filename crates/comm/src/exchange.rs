@@ -59,7 +59,11 @@ impl<T: HaloScalar> std::fmt::Display for ExchangeFailure<T> {
     }
 }
 
-/// Exchange all faces of `inp` and assemble this rank's halo.
+/// Exchange the *split-direction* faces of `inp` and assemble this
+/// rank's halo. Faces of unsplit directions are left zeroed and never
+/// sent: consumers must apply the operator with the split-aware halo
+/// path (`apply_with_halo_split`), which wraps unsplit hops through the
+/// local field directly.
 ///
 /// Non-blocking in effect: all sends are posted before any receive
 /// (channels are unbounded), matching the paper's non-blocking MPI
@@ -76,9 +80,11 @@ pub fn exchange_halo<T: HaloScalar>(
     inp: &SpinorField<T>,
 ) -> Result<HaloData<T>, Box<ExchangeFailure<T>>> {
     let trace = ctx.trace();
-    // Post all sends.
+    // Post all sends. Unsplit directions stay entirely local: packing
+    // and self-looping a face there is pure copy overhead — the caller's
+    // split-aware apply wraps those hops through the local field instead.
     trace.begin(Phase::HaloPack);
-    for dir in Dir::ALL {
+    for dir in Dir::ALL.into_iter().filter(|&d| ctx.is_split(d)) {
         let sign_fwd = if ctx.at_global_backward_edge(dir) { op.phases().of(dir) } else { 1.0 };
         let sign_bwd = if ctx.at_global_forward_edge(dir) { op.phases().of(dir) } else { 1.0 };
         // Our backward face, projected for the forward hops of our
@@ -95,7 +101,7 @@ pub fn exchange_halo<T: HaloScalar>(
     trace.begin(Phase::HaloUnpack);
     let mut halo = HaloData::zeros(*op.dims());
     let mut faults: Vec<FaultedFace> = Vec::new();
-    for dir in Dir::ALL {
+    for dir in Dir::ALL.into_iter().filter(|&d| ctx.is_split(d)) {
         // face(dir, true): from our forward neighbor; face(dir, false):
         // from our backward neighbor.
         for forward in [true, false] {
@@ -172,8 +178,18 @@ mod tests {
             let op =
                 WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
             let halo = exchange_halo(ctx, &op, &local_in[r]).unwrap();
+            // Unsplit-direction faces must come back untouched (all zero):
+            // nothing was packed or self-looped for them.
+            for dir in Dir::ALL.into_iter().filter(|&d| !ctx.is_split(d)) {
+                for forward in [false, true] {
+                    assert!(halo.face(dir, forward).data.iter().all(|h| h
+                        .0
+                        .iter()
+                        .all(|v| v.0.iter().all(|z| z.re == 0.0 && z.im == 0.0))));
+                }
+            }
             let mut out = SpinorField::zeros(*grid.local());
-            op.apply_with_halo(&mut out, &local_in[r], &halo);
+            op.apply_with_halo_split(&mut out, &local_in[r], &halo, ctx.split_dirs());
             out
         });
         let got = gather_field(&local_out, &grid);

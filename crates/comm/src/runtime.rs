@@ -27,6 +27,25 @@ impl Payload {
     }
 }
 
+/// Which slice of a face an envelope carries: part `index` of `of`
+/// equal-rank slices, in ascending face-index order. Whole faces travel
+/// as [`FacePart::FULL`]; the Fig. 4 overlap schedule ships x/y/z faces
+/// as two halves so each can leave as soon as its owning domains finish.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FacePart {
+    pub index: u8,
+    pub of: u8,
+}
+
+impl FacePart {
+    /// The whole face in one message.
+    pub const FULL: FacePart = FacePart { index: 0, of: 1 };
+}
+
+/// A delivered face payload with its part header; `None` marks a peer
+/// hiccup skip (keep stale halo data).
+pub type ReceivedPart<T> = Option<(Vec<HalfSpinor<T>>, FacePart)>;
+
 /// One face message as it travels the (simulated) wire: the payload plus
 /// an end-to-end checksum. The checksum is `None` when the sender had no
 /// fault plan attached — the clean fast path pays nothing for the fault
@@ -35,6 +54,7 @@ impl Payload {
 pub struct Envelope {
     payload: Payload,
     checksum: Option<u64>,
+    part: FacePart,
 }
 
 /// What actually goes down a channel.
@@ -83,6 +103,14 @@ fn checksum_payload(p: &Payload) -> u64 {
         }
     }
     h
+}
+
+/// Payload size on the wire, bytes.
+fn payload_bytes(p: &Payload) -> f64 {
+    match p {
+        Payload::F32(v) => (v.len() * HalfSpinor::<f32>::REALS * std::mem::size_of::<f32>()) as f64,
+        Payload::F64(v) => (v.len() * HalfSpinor::<f64>::REALS * std::mem::size_of::<f64>()) as f64,
+    }
 }
 
 /// Flip 1-3 seeded bits somewhere in the payload (no-op on empty faces).
@@ -273,12 +301,20 @@ impl FaultCounters {
 pub struct CommCounters {
     /// Bytes actually sent over the (simulated) network.
     pub bytes_sent: Cell<f64>,
+    /// Bytes that arrived off the (simulated) network. Counted at
+    /// physical arrival, so a stashed retransmission is not re-counted
+    /// and a hiccuping rank (which sends nothing) still accounts what it
+    /// received and merged.
+    pub bytes_received: Cell<f64>,
     /// Bytes per `[dimension][orientation]` (0 = backward, 1 = forward).
     pub bytes_by_dir: [[Cell<f64>; 2]; 4],
     /// Number of point-to-point messages sent.
     pub messages_sent: Cell<u64>,
     /// Number of collective reductions participated in.
     pub reductions: Cell<u64>,
+    /// Wall-clock seconds spent blocked in face receives: the measured
+    /// *exposed* communication time of this rank.
+    pub recv_wait_s: Cell<f64>,
     /// Fault injection and recovery activity.
     pub faults: FaultCounters,
 }
@@ -288,11 +324,13 @@ impl CommCounters {
     pub fn snapshot(&self) -> CommStats {
         CommStats {
             bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
             bytes_by_dir: std::array::from_fn(|d| {
                 std::array::from_fn(|o| self.bytes_by_dir[d][o].get())
             }),
             messages_sent: self.messages_sent.get(),
             reductions: self.reductions.get(),
+            recv_wait_s: self.recv_wait_s.get(),
             faults: self.faults.snapshot(),
         }
     }
@@ -348,6 +386,12 @@ impl<'w> RankCtx<'w> {
         self.grid.is_split(dir)
     }
 
+    /// Split mask over all four directions, indexed by `Dir::index()`.
+    #[inline]
+    pub fn split_dirs(&self) -> [bool; 4] {
+        std::array::from_fn(|d| self.grid.is_split(Dir::ALL[d]))
+    }
+
     /// Attach a trace sink: subsequent sends, receives and collectives
     /// record `HaloSend` / `HaloRecv` / `GlobalSum` spans into it.
     pub fn attach_trace(&self, sink: TraceSink) {
@@ -375,6 +419,19 @@ impl<'w> RankCtx<'w> {
     /// Send one face to the neighbor in `(dir, forward)`. Traffic is
     /// counted only when the neighbor is a different rank.
     pub fn send_face<T: HaloScalar>(&self, dir: Dir, forward: bool, data: Vec<HalfSpinor<T>>) {
+        self.send_face_part(dir, forward, FacePart::FULL, data);
+    }
+
+    /// Send one labelled slice of a face (the Fig. 4 split-face path).
+    /// The part header travels with the envelope so the receiver can
+    /// verify the schedule stayed in step.
+    pub fn send_face_part<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+        part: FacePart,
+        data: Vec<HalfSpinor<T>>,
+    ) {
         let mut sent = 0.0;
         if self.is_split(dir) {
             let bytes = (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
@@ -389,7 +446,7 @@ impl<'w> RankCtx<'w> {
         let payload = T::wrap(data);
         let checksum = self.faults.borrow().as_ref().map(|_| checksum_payload(&payload));
         self.tx[dir.index()][forward as usize]
-            .send(Msg::Face(Envelope { payload, checksum }))
+            .send(Msg::Face(Envelope { payload, checksum, part }))
             .expect("peer rank hung up");
         trace.end_with(Phase::HaloSend, &[("bytes", sent), ("dir", dir.index() as f64)]);
     }
@@ -407,7 +464,11 @@ impl<'w> RankCtx<'w> {
     /// Runs the injector when a plan is attached and verifies the
     /// checksum of whatever would be delivered. `Ok(None)` means the
     /// peer skipped this exchange (hiccup marker).
-    fn recv_attempt(&self, dir: Dir, forward: bool) -> Result<Option<Payload>, CommError> {
+    fn recv_attempt(
+        &self,
+        dir: Dir,
+        forward: bool,
+    ) -> Result<Option<(Payload, FacePart)>, CommError> {
         let d = dir.index();
         let o = forward as usize;
         let stashed = self.stash[d][o].borrow_mut().take();
@@ -416,11 +477,22 @@ impl<'w> RankCtx<'w> {
             None => {
                 let trace = self.trace.borrow();
                 trace.begin(Phase::HaloRecv);
+                let t0 = std::time::Instant::now();
                 let msg = self.rx[d][o].recv().map_err(|_| CommError::Disconnected)?;
+                let waited = &self.counters.recv_wait_s;
+                waited.set(waited.get() + t0.elapsed().as_secs_f64());
                 trace.end_with(Phase::HaloRecv, &[("dir", d as f64)]);
                 match msg {
                     Msg::Skip => return Ok(None),
                     Msg::Face(env) => {
+                        // Received traffic is accounted here, at physical
+                        // arrival: independent of whether *we* sent
+                        // anything this round, and never re-counted when
+                        // a stashed retransmission is redelivered.
+                        if self.is_split(dir) {
+                            let got = &self.counters.bytes_received;
+                            got.set(got.get() + payload_bytes(&env.payload));
+                        }
                         let seq = self.recv_seq[d][o].get();
                         self.recv_seq[d][o].set(seq + 1);
                         (seq, 0, env)
@@ -453,7 +525,7 @@ impl<'w> RankCtx<'w> {
                     // the damage goes undetected and the damaged payload
                     // is delivered — exactly the silent poisoning the
                     // checksum exists to prevent.
-                    return Ok(Some(damaged));
+                    return Ok(Some((damaged, env.part)));
                 }
                 RecvFault::None => {
                     if attempt == 0 {
@@ -475,7 +547,7 @@ impl<'w> RankCtx<'w> {
                 }
             }
         }
-        Ok(Some(env.payload))
+        Ok(Some((env.payload, env.part)))
     }
 
     /// Receive one face from the neighbor in `(dir, forward)` (blocking).
@@ -491,23 +563,33 @@ impl<'w> RankCtx<'w> {
         forward: bool,
     ) -> Result<Vec<HalfSpinor<T>>, CommError> {
         match self.recv_attempt(dir, forward)? {
-            Some(p) => T::try_unwrap(p),
+            Some((p, _)) => T::try_unwrap(p),
             None => Err(CommError::Timeout { dir, attempts: 0 }),
         }
     }
 
     /// Like [`recv_face`](Self::recv_face) but distinguishing a peer
     /// hiccup (`Ok(None)`: the sender skipped the exchange, keep stale
-    /// data) from a delivery fault (`Err`).
+    /// data) from a delivery fault (`Err`). Returns the part header
+    /// alongside the data so split-face schedules can check step.
+    pub fn recv_part_or_skip<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+    ) -> Result<ReceivedPart<T>, CommError> {
+        match self.recv_attempt(dir, forward)? {
+            Some((p, part)) => T::try_unwrap(p).map(|d| Some((d, part))),
+            None => Ok(None),
+        }
+    }
+
+    /// [`recv_part_or_skip`](Self::recv_part_or_skip) without the header.
     pub fn recv_face_or_skip<T: HaloScalar>(
         &self,
         dir: Dir,
         forward: bool,
     ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
-        match self.recv_attempt(dir, forward)? {
-            Some(p) => T::try_unwrap(p).map(Some),
-            None => Ok(None),
-        }
+        Ok(self.recv_part_or_skip::<T>(dir, forward)?.map(|(d, _)| d))
     }
 
     /// Receive with bounded retry: up to `max_attempts` delivery
@@ -522,13 +604,31 @@ impl<'w> RankCtx<'w> {
         forward: bool,
         max_attempts: u32,
     ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
+        self.recv_face_part_retrying(dir, forward, FacePart::FULL, max_attempts)
+    }
+
+    /// [`recv_face_retrying`](Self::recv_face_retrying) for one labelled
+    /// slice of a face. The delivered part header must equal `expect`: a
+    /// mismatch is a schedule bug on our side, not a fabric fault, so it
+    /// panics instead of degrading.
+    pub fn recv_face_part_retrying<T: HaloScalar>(
+        &self,
+        dir: Dir,
+        forward: bool,
+        expect: FacePart,
+        max_attempts: u32,
+    ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
         debug_assert!(max_attempts >= 1);
         /// Modeled backoff before a retransmission attempt, microseconds.
         const BACKOFF_US: f64 = 50.0;
         let mut last = CommError::Timeout { dir, attempts: 0 };
         for attempt in 0..max_attempts {
-            match self.recv_face_or_skip::<T>(dir, forward) {
-                Ok(x) => return Ok(x),
+            match self.recv_part_or_skip::<T>(dir, forward) {
+                Ok(Some((data, part))) => {
+                    assert_eq!(part, expect, "split-face schedule out of step in {dir}");
+                    return Ok(Some(data));
+                }
+                Ok(None) => return Ok(None),
                 Err(e) if e.is_retryable() && attempt + 1 < max_attempts => {
                     let trace = self.trace.borrow();
                     trace.begin(Phase::Fault);
@@ -777,6 +877,36 @@ mod tests {
         for (bytes, msgs) in counters {
             assert_eq!(bytes, 10.0 * 12.0 * 4.0);
             assert_eq!(msgs, 1);
+        }
+    }
+
+    #[test]
+    fn split_face_parts_roundtrip_with_receive_accounting() {
+        let world = world_2x1x1x2();
+        let rows = run_spmd(&world, |ctx| {
+            assert_eq!(ctx.split_dirs(), [true, false, false, true]);
+            let half = vec![HalfSpinor::<f64>::ZERO; 5];
+            ctx.send_face_part(Dir::X, true, FacePart { index: 0, of: 2 }, half.clone());
+            ctx.send_face_part(Dir::X, true, FacePart { index: 1, of: 2 }, half);
+            let a = ctx
+                .recv_face_part_retrying::<f64>(Dir::X, false, FacePart { index: 0, of: 2 }, 1)
+                .unwrap()
+                .unwrap();
+            let b = ctx
+                .recv_face_part_retrying::<f64>(Dir::X, false, FacePart { index: 1, of: 2 }, 1)
+                .unwrap()
+                .unwrap();
+            assert_eq!(a.len() + b.len(), 10);
+            (
+                ctx.counters.bytes_sent.get(),
+                ctx.counters.bytes_received.get(),
+                ctx.counters.messages_sent.get(),
+            )
+        });
+        for (sent, got, msgs) in rows {
+            assert_eq!(sent, 10.0 * 12.0 * 8.0);
+            assert_eq!(got, sent, "every sent byte arrives somewhere");
+            assert_eq!(msgs, 2);
         }
     }
 

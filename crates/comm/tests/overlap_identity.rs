@@ -1,0 +1,88 @@
+//! Bitwise-identity property sweep for the Fig. 4 overlapped Schwarz
+//! schedule: communication hiding may change only *when data moves*,
+//! never any arithmetic. The distributed preconditioner must reproduce
+//! the serial one bit-for-bit for every combination of overlap on/off,
+//! worker count, and rank geometry.
+//!
+//! One `#[test]` function on purpose: `QDD_WORKERS` is process-global
+//! state, so the sweep must run serially.
+
+use qdd_comm::dist_schwarz::DistSchwarz;
+use qdd_comm::runtime::{run_spmd, CommWorld};
+use qdd_comm::scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};
+use qdd_core::mr::MrConfig;
+use qdd_core::schwarz::{SchwarzConfig, SchwarzPreconditioner};
+use qdd_dirac::clover::build_clover_field;
+use qdd_dirac::gamma::GammaBasis;
+use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
+use qdd_field::fields::{GaugeField, SpinorField};
+use qdd_lattice::{Dims, RankGrid};
+use qdd_util::rng::Rng64;
+use qdd_util::stats::SolveStats;
+
+#[test]
+fn overlap_workers_and_geometry_never_change_the_bits() {
+    let global_dims = Dims::new(8, 8, 8, 8);
+    let block = Dims::new(4, 4, 4, 4);
+    let mut rng = Rng64::new(41);
+    let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.6);
+    let basis = GammaBasis::degrand_rossi();
+    let clover = build_clover_field(&gauge, 1.5, &basis);
+    let phases = BoundaryPhases::antiperiodic_t();
+    let mass = 0.2;
+    let f = SpinorField::<f64>::random(global_dims, &mut rng);
+
+    let cfg = |overlap: bool| SchwarzConfig {
+        block,
+        i_schwarz: 2,
+        mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+        additive: false,
+        overlap,
+    };
+
+    // Serial reference, computed once. The serial preconditioner ignores
+    // `overlap` (there is nothing to hide on one rank).
+    let pre = SchwarzPreconditioner::new(
+        WilsonClover::new(gauge.clone(), clover.clone(), mass, phases),
+        cfg(true),
+    )
+    .unwrap();
+    let mut st = SolveStats::new();
+    let expect = pre.apply(&f, &mut st);
+
+    let saved = std::env::var("QDD_WORKERS").ok();
+    for rank_dims in [Dims::new(1, 1, 1, 2), Dims::new(2, 2, 1, 1), Dims::new(2, 2, 2, 2)] {
+        let grid = RankGrid::new(global_dims, rank_dims);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+        for workers in [1usize, 2, 4] {
+            std::env::set_var("QDD_WORKERS", workers.to_string());
+            for overlap in [true, false] {
+                let world = CommWorld::new(grid.clone());
+                let locals = run_spmd(&world, |ctx| {
+                    let r = ctx.rank();
+                    let op = WilsonClover::new(
+                        local_gauge[r].clone(),
+                        local_clover[r].clone(),
+                        mass,
+                        phases,
+                    );
+                    let pre = DistSchwarz::new(ctx, &op, cfg(overlap)).unwrap();
+                    let mut stats = SolveStats::new();
+                    pre.apply(&f_local[r], &mut stats)
+                });
+                let got = gather_field(&locals, &grid);
+                assert_eq!(
+                    got.as_slice(),
+                    expect.as_slice(),
+                    "bits changed: ranks {rank_dims}, workers {workers}, overlap {overlap}"
+                );
+            }
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("QDD_WORKERS", v),
+        None => std::env::remove_var("QDD_WORKERS"),
+    }
+}

@@ -25,6 +25,7 @@ fn dist_schwarz_single_domain_direction() {
         i_schwarz: 2,
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
+        overlap: true,
     };
     let grid = RankGrid::new(global_dims, rank_dims);
     let mut rng = Rng64::new(31);

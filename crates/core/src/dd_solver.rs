@@ -371,6 +371,7 @@ mod tests {
                 i_schwarz,
                 mr: MrConfig { iterations: i_domain, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
             precision: Precision::Single,
             workers: 1,

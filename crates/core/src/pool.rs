@@ -43,8 +43,18 @@ impl SpinBarrier {
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {
+            // Spin briefly (the common case: half-sweep intervals are
+            // short), then start yielding so an oversubscribed host — many
+            // simulated ranks each running a worker team — still makes
+            // progress instead of burning whole schedule quanta.
+            let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
-                std::hint::spin_loop();
+                if spins < 10_000 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
             }
             false
         }
@@ -231,6 +241,56 @@ impl<V> SharedCells<V> {
     pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [V] {
         debug_assert!(range.end <= self.len);
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// A shared read-only reference to one cell.
+    ///
+    /// # Safety
+    /// No thread may write `idx` (via [`Self::write`] or
+    /// [`Self::slice_mut`]) while the returned reference is live — writer
+    /// and reader epochs must be separated by a barrier.
+    #[inline]
+    pub unsafe fn get(&self, idx: usize) -> &V {
+        debug_assert!(idx < self.len);
+        unsafe { &*self.ptr.add(idx) }
+    }
+}
+
+/// A reference laundered for capture by a `Sync` pool job while the
+/// pointee stays confined to the team's leader — worker 0, which
+/// [`WorkerPool::run`] executes on the calling thread itself.
+///
+/// The distributed Schwarz sweep needs this: its per-rank communication
+/// context is `Cell`/`RefCell`-based (deliberately `!Sync` — one context
+/// per rank thread), yet the sweep body runs as a pool job. Wrapping the
+/// reference asserts the discipline "only worker 0, i.e. the thread that
+/// owns the context, ever dereferences it", which keeps the single-thread
+/// invariant of the pointee intact.
+///
+/// # Safety contract
+/// [`LeaderOnly::get`] may only be called from the thread that created
+/// the wrapper (worker 0 of the job it was built for).
+pub struct LeaderOnly<'a, V: ?Sized> {
+    ptr: *const V,
+    _life: std::marker::PhantomData<&'a V>,
+}
+
+unsafe impl<V: ?Sized> Send for LeaderOnly<'_, V> {}
+unsafe impl<V: ?Sized> Sync for LeaderOnly<'_, V> {}
+
+impl<'a, V: ?Sized> LeaderOnly<'a, V> {
+    pub fn new(v: &'a V) -> Self {
+        Self { ptr: v, _life: std::marker::PhantomData }
+    }
+
+    /// The wrapped reference.
+    ///
+    /// # Safety
+    /// Must be called from the thread that constructed the wrapper (the
+    /// pool job's worker 0).
+    #[inline]
+    pub unsafe fn get(&self) -> &'a V {
+        unsafe { &*self.ptr }
     }
 }
 
@@ -541,6 +601,37 @@ mod tests {
             }
         });
         assert_eq!(phase_sum.load(Ordering::SeqCst), 20 * workers as u64);
+    }
+
+    #[test]
+    fn leader_only_and_epoch_reads_roundtrip() {
+        // Leader (worker 0) mutates in one epoch; everyone reads in the
+        // next, separated by a barrier — the EpochShared pattern used by
+        // the distributed Schwarz halo.
+        let workers = 4;
+        let pool = WorkerPool::new(workers);
+        let mut slot = vec![0u64];
+        let shared = SharedCells::new(&mut slot);
+        let barrier = SpinBarrier::new(workers);
+        let probe = std::cell::Cell::new(0u64);
+        let leader_state = LeaderOnly::new(&probe);
+        let seen: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        pool.run(&|w| {
+            let sense = Cell::new(false);
+            if w == 0 {
+                // SAFETY: worker 0 runs on the constructing thread.
+                unsafe { leader_state.get() }.set(7);
+                // SAFETY: no reader before the barrier.
+                unsafe { shared.write(0, 42) };
+            }
+            barrier.wait(&sense);
+            // SAFETY: no writer after the barrier.
+            seen[w].store(unsafe { *shared.get(0) }, Ordering::SeqCst);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::SeqCst), 42);
+        }
+        assert_eq!(probe.get(), 7);
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct SchwarzConfig {
     pub mr: MrConfig,
     /// Use the additive instead of the multiplicative method.
     pub additive: bool,
+    /// Execute the Fig. 4b/4c communication-hiding schedule in the
+    /// distributed sweep: boundary domains first, faces sent eagerly
+    /// (t full, x/y/z in halves), receives drained before the dependent
+    /// half-sweep. Ignored by the single-rank preconditioner. Overlap
+    /// changes only *when* data moves, never the result.
+    pub overlap: bool,
 }
 
 impl Default for SchwarzConfig {
@@ -44,7 +50,122 @@ impl Default for SchwarzConfig {
             i_schwarz: 16,
             mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         }
+    }
+}
+
+/// Which part of a face a send wave covers. Halves split the *masked*
+/// (color-filtered) face-position list at `n.div_ceil(2)`; sender and
+/// receiver derive the same split from their respective face masks, which
+/// the global checkerboard keeps aligned across the rank boundary.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaceHalf {
+    Full,
+    First,
+    Second,
+}
+
+impl FaceHalf {
+    /// Sub-range of an `n`-entry masked face list this part covers.
+    #[inline]
+    pub fn range(self, n: usize) -> std::ops::Range<usize> {
+        let mid = n.div_ceil(2);
+        match self {
+            FaceHalf::Full => 0..n,
+            FaceHalf::First => 0..mid,
+            FaceHalf::Second => mid..n,
+        }
+    }
+}
+
+/// One face send scheduled after a compute stage (both orientations of
+/// `dir` are sent).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SendSlot {
+    pub dir: qdd_lattice::Dir,
+    pub half: FaceHalf,
+}
+
+/// The executed Fig. 4 schedule for one color half-sweep: compute stages
+/// (each a barrier epoch of domain solves) and the send wave posted at the
+/// *start* of the following stage, so packing and sending interleave with
+/// the next stage's domain solves.
+///
+/// Safety of the staging (the bitwise-identity argument): face sites
+/// belong exclusively to boundary domains, all of which are solved in the
+/// boundary stages; interior stages write only non-face sites; and
+/// same-color domains are never adjacent, so reordering domains within a
+/// half-sweep cannot change any update.
+#[derive(Clone, Debug)]
+pub struct ColorSchedule {
+    /// Domain indices per stage; their disjoint union is the color's
+    /// domain list (order within a stage follows the input list).
+    pub stages: Vec<Vec<usize>>,
+    /// `sends_after[i]` is posted once stage `i` has completed (during
+    /// stage `i + 1` when one exists). Same length as `stages`.
+    pub sends_after: Vec<Vec<SendSlot>>,
+}
+
+impl ColorSchedule {
+    /// Total domains across all stages.
+    pub fn num_domains(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Plan one color's Fig. 4b schedule over the local domain grid.
+///
+/// With `overlap` (and at least one split direction): stage 0 holds the
+/// t-boundary domains (their faces — the t full-face send — go out first,
+/// Fig. 4b), stage 1 the remaining x/y/z-boundary domains (first halves of
+/// the x/y/z faces follow), stages 2 and 3 split the interior so the
+/// second halves ride behind roughly half the remaining compute (Fig. 4c).
+/// Without `overlap` (or with nothing split) the schedule degenerates to
+/// one stage with every send posted after it — the legacy bulk exchange.
+pub fn plan_color_schedule(
+    grid: &DomainGrid,
+    split: [bool; 4],
+    color_domains: &[usize],
+    overlap: bool,
+) -> ColorSchedule {
+    use qdd_lattice::Dir;
+    let split_dirs: Vec<Dir> = Dir::ALL.into_iter().filter(|d| split[d.index()]).collect();
+    if !overlap || split_dirs.is_empty() {
+        let sends = split_dirs.iter().map(|&dir| SendSlot { dir, half: FaceHalf::Full }).collect();
+        return ColorSchedule { stages: vec![color_domains.to_vec()], sends_after: vec![sends] };
+    }
+    let boundary_in = |idx: usize, d: Dir| {
+        let c = grid.domain(idx).grid_coord[d];
+        split[d.index()] && (c == 0 || c == grid.grid()[d] - 1)
+    };
+    let mut t_boundary = Vec::new();
+    let mut xyz_boundary = Vec::new();
+    let mut interior = Vec::new();
+    for &idx in color_domains {
+        if boundary_in(idx, Dir::T) {
+            t_boundary.push(idx);
+        } else if [Dir::X, Dir::Y, Dir::Z].iter().any(|&d| boundary_in(idx, d)) {
+            xyz_boundary.push(idx);
+        } else {
+            interior.push(idx);
+        }
+    }
+    let mid = interior.len().div_ceil(2);
+    let interior_tail = interior.split_off(mid);
+    let xyz_split: Vec<Dir> = split_dirs.iter().copied().filter(|&d| d != Dir::T).collect();
+    let wave_t: Vec<SendSlot> = split_dirs
+        .iter()
+        .filter(|&&d| d == Dir::T)
+        .map(|&dir| SendSlot { dir, half: FaceHalf::Full })
+        .collect();
+    let wave_first: Vec<SendSlot> =
+        xyz_split.iter().map(|&dir| SendSlot { dir, half: FaceHalf::First }).collect();
+    let wave_second: Vec<SendSlot> =
+        xyz_split.iter().map(|&dir| SendSlot { dir, half: FaceHalf::Second }).collect();
+    ColorSchedule {
+        stages: vec![t_boundary, xyz_boundary, interior, interior_tail],
+        sends_after: vec![wave_t, wave_first, wave_second, Vec::new()],
     }
 }
 
@@ -334,6 +455,79 @@ mod tests {
             i_schwarz,
             mr: MrConfig { iterations: i_domain, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
+        }
+    }
+
+    #[test]
+    fn color_schedule_partitions_and_orders_boundary_first() {
+        use qdd_lattice::{Dir, DomainColor};
+        // 16x8x8x16 local lattice, 4^4 blocks: grid 4x2x2x4 — interior
+        // domains exist in x and t.
+        let grid = DomainGrid::new(Dims::new(16, 8, 8, 16), Dims::new(4, 4, 4, 4));
+        let split = [true, false, false, true];
+        let color_domains = grid.domains_of_color(DomainColor::Black);
+        let sched = plan_color_schedule(&grid, split, &color_domains, true);
+        assert_eq!(sched.stages.len(), 4);
+        assert_eq!(sched.sends_after.len(), 4);
+        // Disjoint union of the stages = the color list.
+        let mut seen: Vec<usize> = sched.stages.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut expect = color_domains.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+        // Stage 0 is exactly the t-boundary domains.
+        for &idx in &sched.stages[0] {
+            let c = grid.domain(idx).grid_coord[Dir::T];
+            assert!(c == 0 || c == grid.grid()[Dir::T] - 1);
+        }
+        // Stage 1 domains touch a split x/y/z face but not the t face.
+        for &idx in &sched.stages[1] {
+            let d = grid.domain(idx);
+            let cx = d.grid_coord[Dir::X];
+            assert!(cx == 0 || cx == grid.grid()[Dir::X] - 1);
+        }
+        // Interior domains are split across the last two stages.
+        assert!(!sched.stages[2].is_empty());
+        assert!(sched.stages[2].len() >= sched.stages[3].len());
+        // Send waves: t full after stage 0, x halves after stages 1 and 2.
+        assert_eq!(sched.sends_after[0], vec![SendSlot { dir: Dir::T, half: FaceHalf::Full }]);
+        assert_eq!(sched.sends_after[1], vec![SendSlot { dir: Dir::X, half: FaceHalf::First }]);
+        assert_eq!(sched.sends_after[2], vec![SendSlot { dir: Dir::X, half: FaceHalf::Second }]);
+        assert!(sched.sends_after[3].is_empty());
+    }
+
+    #[test]
+    fn color_schedule_degenerates_without_overlap_or_split() {
+        use qdd_lattice::{Dir, DomainColor};
+        let grid = DomainGrid::new(Dims::new(8, 8, 8, 8), Dims::new(4, 4, 4, 4));
+        let color_domains = grid.domains_of_color(DomainColor::White);
+        // No overlap: one stage, all sends after it.
+        let sched = plan_color_schedule(&grid, [true, true, false, false], &color_domains, false);
+        assert_eq!(sched.stages, vec![color_domains.clone()]);
+        assert_eq!(
+            sched.sends_after,
+            vec![vec![
+                SendSlot { dir: Dir::X, half: FaceHalf::Full },
+                SendSlot { dir: Dir::Y, half: FaceHalf::Full },
+            ]]
+        );
+        // Nothing split: no sends at all, single stage.
+        let sched = plan_color_schedule(&grid, [false; 4], &color_domains, true);
+        assert_eq!(sched.stages, vec![color_domains.clone()]);
+        assert_eq!(sched.sends_after, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn face_half_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 256] {
+            let first = FaceHalf::First.range(n);
+            let second = FaceHalf::Second.range(n);
+            assert_eq!(first.end, second.start);
+            assert_eq!(FaceHalf::Full.range(n), 0..n);
+            assert_eq!(first.len() + second.len(), n);
+            // The first half is never smaller than the second (div_ceil).
+            assert!(first.len() >= second.len());
         }
     }
 

@@ -34,6 +34,7 @@ fn config(workers: usize) -> DdSolverConfig {
             i_schwarz: 4,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::Single,
         workers,

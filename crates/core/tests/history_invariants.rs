@@ -171,6 +171,7 @@ fn schwarz_preconditioned_solve_traces_nested_phases() {
             i_schwarz: 4,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
     )
     .unwrap();

@@ -27,6 +27,7 @@ fn odd_grid_preconditioner() -> (SchwarzPreconditioner<f64>, SpinorField<f64>) {
         i_schwarz: 3,
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
+        overlap: true,
     };
     let pre = SchwarzPreconditioner::new(op, cfg).unwrap();
     let f = SpinorField::<f64>::random(dims, &mut rng);

@@ -62,6 +62,72 @@ pub fn pack_for_backward_hop<T: Real>(
     buf
 }
 
+/// Pack only the listed backward-face sites for a forward hop, reading
+/// the input through `fetch` (the distributed Schwarz sweep reads the
+/// shared iterate through a raw pointer). Output order follows `sites`.
+///
+/// This is the masked-pack primitive: callers with a color- (or half-)
+/// masked face pass the precomputed site list and pay exactly one
+/// projection per shipped half-spinor — no full-face buffer, no filter
+/// pass. Values are bitwise identical to
+/// [`pack_for_forward_hop`]-then-filter.
+pub fn pack_sites_for_forward_hop_with<T: Real, F: Fn(usize) -> qdd_field::spinor::Spinor<T>>(
+    op: &WilsonClover<T>,
+    fetch: F,
+    dir: Dir,
+    sign: f64,
+    sites: &[usize],
+) -> Vec<HalfSpinor<T>> {
+    let gamma = &op.basis().gamma[dir.index()];
+    let s = T::from_f64(sign);
+    sites.iter().map(|&site| gamma.project(false, &fetch(site)).scale(s)).collect()
+}
+
+/// [`pack_sites_for_forward_hop_with`] reading a field directly.
+pub fn pack_sites_for_forward_hop<T: Real>(
+    op: &WilsonClover<T>,
+    inp: &SpinorField<T>,
+    dir: Dir,
+    sign: f64,
+    sites: &[usize],
+) -> Vec<HalfSpinor<T>> {
+    pack_sites_for_forward_hop_with(op, |i| *inp.site(i), dir, sign, sites)
+}
+
+/// Pack only the listed forward-face sites for a backward hop (link
+/// applied on our side), reading the input through `fetch`. Output order
+/// follows `sites`. Bitwise identical to
+/// [`pack_for_backward_hop`]-then-filter.
+pub fn pack_sites_for_backward_hop_with<T: Real, F: Fn(usize) -> qdd_field::spinor::Spinor<T>>(
+    op: &WilsonClover<T>,
+    fetch: F,
+    dir: Dir,
+    sign: f64,
+    sites: &[usize],
+) -> Vec<HalfSpinor<T>> {
+    let gamma = &op.basis().gamma[dir.index()];
+    let s = T::from_f64(sign);
+    sites
+        .iter()
+        .map(|&site| {
+            let h = gamma.project(true, &fetch(site));
+            let u = op.gauge().link(site, dir);
+            HalfSpinor([u.adj_mul_vec(h.0[0]), u.adj_mul_vec(h.0[1])]).scale(s)
+        })
+        .collect()
+}
+
+/// [`pack_sites_for_backward_hop_with`] reading a field directly.
+pub fn pack_sites_for_backward_hop<T: Real>(
+    op: &WilsonClover<T>,
+    inp: &SpinorField<T>,
+    dir: Dir,
+    sign: f64,
+    sites: &[usize],
+) -> Vec<HalfSpinor<T>> {
+    pack_sites_for_backward_hop_with(op, |i| *inp.site(i), dir, sign, sites)
+}
+
 /// Build the halo of a single periodic rank from its own field (the
 /// single-node case, and the reference for multi-rank tests). Hops through
 /// any face wrap the global lattice, so every face carries the phase.
@@ -145,6 +211,53 @@ mod tests {
         for (a, b) in plus.data.iter().zip(&minus.data) {
             let sum = a.add(*b);
             assert!(sum.0[0].norm_sqr() + sum.0[1].norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn masked_pack_matches_full_pack_filter_bitwise() {
+        use qdd_field::halo::face_index;
+        use qdd_lattice::SiteIndexer;
+        let op = op(BoundaryPhases::antiperiodic_t());
+        let dims = *op.dims();
+        let idx = SiteIndexer::new(dims);
+        let mut rng = Rng64::new(81);
+        let inp = SpinorField::<f64>::random(dims, &mut rng);
+        for dir in Dir::ALL {
+            for (fixed, backward_face) in [(0usize, true), (dims[dir] - 1, false)] {
+                // Every other face position, in face-index order — the
+                // shape of a color mask.
+                let mut pairs: Vec<(usize, usize)> = idx
+                    .iter()
+                    .filter(|c| c[dir] == fixed)
+                    .map(|c| (face_index(&dims, dir, &c), idx.index(&c)))
+                    .filter(|(k, _)| k % 2 == 0)
+                    .collect();
+                pairs.sort_unstable();
+                let positions: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+                let sites: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+                let sign = -1.0;
+                let (full, masked) = if backward_face {
+                    (
+                        pack_for_forward_hop(&op, &inp, dir, sign),
+                        pack_sites_for_forward_hop(&op, &inp, dir, sign, &sites),
+                    )
+                } else {
+                    (
+                        pack_for_backward_hop(&op, &inp, dir, sign),
+                        pack_sites_for_backward_hop(&op, &inp, dir, sign, &sites),
+                    )
+                };
+                assert_eq!(masked.len(), positions.len());
+                for (h, &k) in masked.iter().zip(&positions) {
+                    for v in 0..2 {
+                        for c in 0..3 {
+                            assert_eq!(h.0[v].0[c].re, full.data[k].0[v].0[c].re);
+                            assert_eq!(h.0[v].0[c].im, full.data[k].0[v].0[c].im);
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -318,6 +318,48 @@ impl<T: Real> WilsonClover<T> {
         acc
     }
 
+    /// Like [`Self::apply_site_with_halo_fetch`] but aware of which
+    /// directions actually cross a rank boundary: wrap-around hops in
+    /// *unsplit* directions read the local field directly (the periodic
+    /// single-rank code path, boundary phase applied here), so the halo is
+    /// only consulted — and only needs to be filled — for split
+    /// directions. This is what lets the exchange skip self-loop channels
+    /// entirely.
+    ///
+    /// Bitwise identical to routing every wrap through a self-packed halo:
+    /// the packer folds the boundary phase in before the link multiply
+    /// while this path scales after projection, and the two orders agree
+    /// exactly because fermion boundary phases are ±1 (negation commutes
+    /// bitwise with the link multiply).
+    #[inline]
+    pub fn apply_site_with_halo_fetch_split<F: Fn(usize) -> Spinor<T>>(
+        &self,
+        site: usize,
+        fetch: F,
+        halo: &HaloData<T>,
+        split: [bool; 4],
+    ) -> Spinor<T> {
+        let idx = &self.indexer;
+        let x = idx.coord(site);
+        let center = fetch(site);
+        let mut acc = self.diag.site(site).apply(&center);
+        for dir in Dir::ALL {
+            let (fwd_idx, fwd_wrap) = idx.neighbor_index(&x, dir, true);
+            if fwd_wrap && split[dir.index()] {
+                self.hop_accumulate_halo(&mut acc, site, dir, true, halo.at(dir, true, &x));
+            } else {
+                self.hop_accumulate_fwd(&mut acc, site, dir, &fetch(fwd_idx), fwd_wrap);
+            }
+            let (bwd_idx, bwd_wrap) = idx.neighbor_index(&x, dir, false);
+            if bwd_wrap && split[dir.index()] {
+                self.hop_accumulate_halo(&mut acc, site, dir, false, halo.at(dir, false, &x));
+            } else {
+                self.hop_accumulate_bwd(&mut acc, bwd_idx, dir, &fetch(bwd_idx), bwd_wrap);
+            }
+        }
+        acc
+    }
+
     /// Apply the full operator on a single rank (periodic wrap-around with
     /// boundary phases).
     pub fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>) {
@@ -340,6 +382,26 @@ impl<T: Real> WilsonClover<T> {
         assert_eq!(*inp.dims(), self.dims);
         for site in 0..self.dims.volume() {
             *out.site_mut(site) = self.apply_site_with_halo(site, inp, halo);
+        }
+    }
+
+    /// Apply with halo data for the *split* directions only: hops that
+    /// cross the local boundary in an unsplit direction wrap around
+    /// locally (phase applied here), so the exchange never has to fill —
+    /// or even allocate meaningfully — those halo faces. See
+    /// [`Self::apply_site_with_halo_fetch_split`] for the bitwise
+    /// equivalence argument.
+    pub fn apply_with_halo_split(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        halo: &HaloData<T>,
+        split: [bool; 4],
+    ) {
+        assert_eq!(*inp.dims(), self.dims);
+        for site in 0..self.dims.volume() {
+            *out.site_mut(site) =
+                self.apply_site_with_halo_fetch_split(site, |i| *inp.site(i), halo, split);
         }
     }
 
@@ -390,6 +452,49 @@ mod tests {
         for site in 0..dims().volume() {
             let d = out.site(site).sub(s0.scale(0.3));
             assert!(d.norm_sqr() < 1e-20, "site {site}: {}", d.norm_sqr());
+        }
+    }
+
+    #[test]
+    fn split_aware_halo_apply_matches_periodic_apply_bitwise() {
+        // With nothing split, every wrap hop takes the direct local path:
+        // the result must be the plain periodic apply, bit for bit. With
+        // everything split (halo from self_halo), it must match too —
+        // the ±1-phase commutation argument of the split-aware path.
+        for phases in [BoundaryPhases::periodic(), BoundaryPhases::antiperiodic_t()] {
+            let op = {
+                let mut rng = Rng64::new(91);
+                let g = GaugeField::random(dims(), &mut rng, 0.8);
+                let basis = GammaBasis::degrand_rossi();
+                let c = build_clover_field(&g, 1.4, &basis);
+                WilsonClover::new(g, c, 0.15, phases)
+            };
+            let mut rng = Rng64::new(92);
+            let inp = SpinorField::<f64>::random(dims(), &mut rng);
+            let mut direct = SpinorField::zeros(dims());
+            op.apply(&mut direct, &inp);
+
+            let empty = qdd_field::halo::HaloData::zeros(dims());
+            let mut none_split = SpinorField::zeros(dims());
+            op.apply_with_halo_split(&mut none_split, &inp, &empty, [false; 4]);
+            assert_eq!(none_split.as_slice(), direct.as_slice(), "unsplit path diverged");
+
+            let halo = crate::boundary::self_halo(&op, &inp);
+            let mut all_split = SpinorField::zeros(dims());
+            op.apply_with_halo_split(&mut all_split, &inp, &halo, [true; 4]);
+            assert_eq!(all_split.as_slice(), direct.as_slice(), "split path diverged");
+
+            // Mixed: split in x and t only, halo faces for y/z left zero
+            // and never read.
+            let mut mixed = SpinorField::zeros(dims());
+            let mut partial = qdd_field::halo::HaloData::zeros(dims());
+            for dir in [Dir::X, Dir::T] {
+                for fwd in [false, true] {
+                    *partial.face_mut(dir, fwd) = halo.face(dir, fwd).clone();
+                }
+            }
+            op.apply_with_halo_split(&mut mixed, &inp, &partial, [true, false, false, true]);
+            assert_eq!(mixed.as_slice(), direct.as_slice(), "mixed path diverged");
         }
     }
 

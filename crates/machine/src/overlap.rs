@@ -71,9 +71,68 @@ impl OverlapModel {
     }
 }
 
+/// Prediction and execution of one communication-hiding schedule, joined
+/// in a single record: the model's exposed time for the phase next to the
+/// time a real run actually spent blocked in receives.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct OverlapValidation {
+    /// Wall-clock seconds the execution spent blocked waiting for faces
+    /// (the runtime's `recv_wait_s`, summed over the phase).
+    pub measured_exposed_s: f64,
+    /// The model's exposed time for the same traffic and compute window.
+    pub predicted_exposed_s: f64,
+    /// `measured / predicted`. When the model predicts *fully hidden*
+    /// (zero exposed), a measurement that is also negligible — under 1%
+    /// of the total communication time — validates the prediction and
+    /// pins the ratio to 1.0; a substantial measured exposure against a
+    /// zero prediction is flagged as infinite.
+    pub ratio: f64,
+}
+
+impl OverlapModel {
+    /// Join a measured execution against this model's prediction.
+    pub fn validate(
+        &self,
+        comm_per_dir: &[f64; 4],
+        compute_s: f64,
+        can_hide: bool,
+        measured_exposed_s: f64,
+    ) -> OverlapValidation {
+        let total: f64 = comm_per_dir.iter().sum();
+        let predicted = self.exposed_s(comm_per_dir, compute_s, can_hide);
+        let ratio = if predicted > 0.0 {
+            measured_exposed_s / predicted
+        } else if measured_exposed_s <= f64::EPSILON
+            || (total > 0.0 && measured_exposed_s / total < 0.01)
+        {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        OverlapValidation { measured_exposed_s, predicted_exposed_s: predicted, ratio }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validation_joins_measurement_and_prediction() {
+        let m = OverlapModel::paper_dd();
+        // Comm too large to hide: prediction is positive, ratio meaningful.
+        let comm = [2e-3, 2e-3, 2e-3, 5e-3];
+        let v = m.validate(&comm, 1e-3, true, 6e-3);
+        assert!(v.predicted_exposed_s > 0.0);
+        assert!((v.ratio - v.measured_exposed_s / v.predicted_exposed_s).abs() < 1e-15);
+        // Fully hidden on both sides: ratio pinned to 1.
+        let v = m.validate(&[1e-6; 4], 1.0, true, 0.0);
+        assert_eq!(v.predicted_exposed_s, 0.0);
+        assert_eq!(v.ratio, 1.0);
+        // Model says hidden but execution exposed: infinite ratio flags it.
+        let v = m.validate(&[1e-6; 4], 1.0, true, 5e-3);
+        assert!(v.ratio.is_infinite());
+    }
 
     #[test]
     fn no_hiding_when_one_domain_per_core() {

@@ -122,6 +122,7 @@ mod tests {
                 i_schwarz: 2,
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
             precision: qdd_core::Precision::Single,
             workers: 1,

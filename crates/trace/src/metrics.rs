@@ -214,6 +214,10 @@ impl FaultStats {
 pub struct CommStats {
     /// Total payload bytes handed to the transport.
     pub bytes_sent: f64,
+    /// Total payload bytes that arrived off the transport. Counted at
+    /// physical arrival, independently of `bytes_sent` — a rank that
+    /// hiccups (sends nothing) still receives and merges peer faces.
+    pub bytes_received: f64,
     /// Bytes per (dimension, direction): `[dim][0]` = backward,
     /// `[dim][1]` = forward, dims ordered x, y, z, t.
     pub bytes_by_dir: [[f64; 2]; 4],
@@ -221,6 +225,9 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Number of global reductions participated in.
     pub reductions: u64,
+    /// Wall-clock seconds spent blocked in face receives — the measured
+    /// *exposed* communication time (Fig. 4: overlap hides the rest).
+    pub recv_wait_s: f64,
     /// Fault injection and recovery activity (all zero on a clean fabric).
     pub faults: FaultStats,
 }
@@ -229,12 +236,14 @@ impl CommStats {
     /// Aggregate another rank's snapshot into this one.
     pub fn merge(&mut self, other: &CommStats) {
         self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
         for d in 0..4 {
             for o in 0..2 {
                 self.bytes_by_dir[d][o] += other.bytes_by_dir[d][o];
             }
         }
         self.messages_sent += other.messages_sent;
+        self.recv_wait_s += other.recv_wait_s;
         // Reductions are collective: every rank participates in the same
         // ones, so aggregation takes the max, not the sum.
         self.reductions = self.reductions.max(other.reductions);
@@ -245,9 +254,11 @@ impl CommStats {
     pub fn since(&self, earlier: &CommStats) -> CommStats {
         let mut d = CommStats {
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
             bytes_by_dir: self.bytes_by_dir,
             messages_sent: self.messages_sent - earlier.messages_sent,
             reductions: self.reductions - earlier.reductions,
+            recv_wait_s: self.recv_wait_s - earlier.recv_wait_s,
             faults: self.faults.since(&earlier.faults),
         };
         for dim in 0..4 {
@@ -264,7 +275,9 @@ impl CommStats {
             self.faults.export(reg);
         }
         reg.add("comm.bytes_sent", self.bytes_sent);
+        reg.add("comm.bytes_received", self.bytes_received);
         reg.add("comm.messages_sent", self.messages_sent as f64);
+        reg.add("comm.recv_wait_s", self.recv_wait_s);
         reg.set_gauge("comm.reductions", self.reductions as f64);
         const DIM: [&str; 4] = ["x", "y", "z", "t"];
         const DIR: [&str; 2] = ["bwd", "fwd"];
@@ -346,19 +359,25 @@ mod tests {
     fn comm_stats_delta_and_merge() {
         let earlier = CommStats {
             bytes_sent: 100.0,
+            bytes_received: 80.0,
             bytes_by_dir: [[0.0, 100.0], [0.0; 2], [0.0; 2], [0.0; 2]],
             messages_sent: 2,
             reductions: 1,
+            recv_wait_s: 0.25,
             faults: FaultStats { retries: 1, ..FaultStats::default() },
         };
         let mut later = earlier.clone();
         later.bytes_sent += 50.0;
+        later.bytes_received += 30.0;
+        later.recv_wait_s += 0.5;
         later.bytes_by_dir[3][0] += 50.0;
         later.messages_sent += 1;
         later.reductions += 4;
         later.faults.retries += 2;
         later.faults.timeouts += 1;
         let d = later.since(&earlier);
+        assert_eq!(d.bytes_received, 30.0);
+        assert_eq!(d.recv_wait_s, 0.5);
         assert_eq!(d.faults.retries, 2);
         assert_eq!(d.faults.timeouts, 1);
         assert!(!d.faults.is_clean());

@@ -66,6 +66,10 @@ pub struct SolveStats {
     flops: [f64; 4],
     /// Bytes sent over the (simulated) network, per component.
     comm_bytes: [f64; 4],
+    /// Bytes received off the network, per component. Tracked separately
+    /// from sends: a rank that skips an exchange (hiccup) still receives
+    /// and merges its peers' faces.
+    comm_recv_bytes: [f64; 4],
     /// Number of global reductions (each one is a latency-bound all-reduce).
     global_sums: u64,
     /// Outer-solver iterations.
@@ -89,6 +93,11 @@ impl SolveStats {
     #[inline]
     pub fn add_comm_bytes(&mut self, c: Component, bytes: f64) {
         self.comm_bytes[c.index()] += bytes;
+    }
+
+    #[inline]
+    pub fn add_comm_recv_bytes(&mut self, c: Component, bytes: f64) {
+        self.comm_recv_bytes[c.index()] += bytes;
     }
 
     #[inline]
@@ -125,6 +134,14 @@ impl SolveStats {
 
     pub fn total_comm_bytes(&self) -> f64 {
         self.comm_bytes.iter().sum()
+    }
+
+    pub fn comm_recv_bytes(&self, c: Component) -> f64 {
+        self.comm_recv_bytes[c.index()]
+    }
+
+    pub fn total_comm_recv_bytes(&self) -> f64 {
+        self.comm_recv_bytes.iter().sum()
     }
 
     pub fn global_sums(&self) -> u64 {
@@ -173,6 +190,7 @@ impl SolveStats {
         for i in 0..4 {
             self.flops[i] += other.flops[i];
             self.comm_bytes[i] += other.comm_bytes[i];
+            self.comm_recv_bytes[i] += other.comm_recv_bytes[i];
         }
         self.global_sums += other.global_sums;
         self.outer_iterations = self.outer_iterations.max(other.outer_iterations);
@@ -214,11 +232,13 @@ mod tests {
         s.add_flops(Component::PreconditionerM, 300.0);
         s.add_flops(Component::OperatorA, 50.0);
         s.add_comm_bytes(Component::PreconditionerM, 1024.0);
+        s.add_comm_recv_bytes(Component::PreconditionerM, 512.0);
         s.count_global_sum();
         s.count_global_sums(4);
         assert_eq!(s.flops(Component::OperatorA), 150.0);
         assert_eq!(s.total_flops(), 450.0);
         assert_eq!(s.total_comm_bytes(), 1024.0);
+        assert_eq!(s.total_comm_recv_bytes(), 512.0);
         assert_eq!(s.global_sums(), 5);
     }
 

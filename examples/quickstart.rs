@@ -28,6 +28,7 @@ fn main() {
             i_schwarz: 6,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::Single,
         workers: 4,        // Schwarz sweeps on 4 worker threads (paper: 60 cores)

@@ -50,6 +50,7 @@ fn main() {
                 i_schwarz: 6,
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
             precision: Precision::Single,
             workers: 1,
@@ -81,6 +82,7 @@ fn main() {
                 i_schwarz: 6,
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
         )
         .unwrap();

@@ -25,6 +25,12 @@ cargo test --release -q -p qdd-dirac --test fused_full_property
 echo "==> chaos smoke benchmark (release)"
 cargo run -p qdd-bench --release --bin chaos -- --smoke
 
+# Overlap smoke: the Fig. 4 staged schedule must be bitwise identical to
+# the bulk exchange (asserted inside the binary) and reports measured
+# exposed communication for both schedules.
+echo "==> overlap smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin overlap -- --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

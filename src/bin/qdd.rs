@@ -4,7 +4,7 @@
 //! qdd solve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--mass M] [--spread S]
 //!           [--ischwarz N] [--idomain N] [--basis M] [--deflate K]
 //!           [--tol T] [--solver dd|bicgstab|cgnr|richardson] [--workers N]
-//!           [--scalar-outer] [--seed N] [--half] [--trace PATH]
+//!           [--scalar-outer] [--seed N] [--half] [--no-overlap] [--trace PATH]
 //! qdd hmc   [--dims X,Y,Z,T] [--beta B] [--trajectories N] [--steps N]
 //!           [--length L] [--seed N]
 //! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
@@ -13,7 +13,7 @@
 //! qdd chaos [--dims X,Y,Z,T] [--block X,Y,Z,T] [--ranks X,Y,Z,T]
 //!           [--loss P] [--corrupt P] [--delay P] [--hiccup P]
 //!           [--fault-seed N] [--restarts N] [--mass M] [--spread S]
-//!           [--tol T] [--seed N]
+//!           [--tol T] [--seed N] [--no-overlap]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
 //! qdd info
 //! ```
@@ -139,6 +139,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                         f16_vectors: args.has("f16-spinors"),
                     },
                     additive: args.has("additive"),
+                    overlap: !args.has("no-overlap"),
                 },
                 precision: if args.has("half") {
                     Precision::HalfCompressed
@@ -381,6 +382,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                 f16_vectors: false,
             },
             additive: false,
+            overlap: !args.has("no-overlap"),
         },
         precision: if args.has("half") { Precision::HalfCompressed } else { Precision::Single },
     };

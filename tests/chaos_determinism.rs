@@ -46,6 +46,7 @@ fn problem(dims: Dims, ranks: Dims, tolerance: f64) -> Problem {
                 i_schwarz: 4,
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
             precision: Precision::Single,
         },

@@ -21,6 +21,7 @@ fn dd_config(block: Dims) -> DdSolverConfig {
             i_schwarz: 5,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::Single,
         workers: 1,

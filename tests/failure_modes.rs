@@ -28,6 +28,7 @@ fn singular_clover_blocks_are_detected_at_setup() {
             i_schwarz: 2,
             mr: MrConfig { iterations: 2, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
         precision: Precision::Single,
         workers: 1,
@@ -124,6 +125,7 @@ fn mr_handles_exactly_singular_rhs_direction() {
             i_schwarz: 2,
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
+            overlap: true,
         },
     )
     .unwrap();

@@ -136,6 +136,7 @@ proptest! {
                 i_schwarz: 3,
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
+                overlap: true,
             },
         ).unwrap();
         let mut rng = Rng64::new(seed ^ 0x3333);
