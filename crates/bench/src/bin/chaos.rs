@@ -28,6 +28,7 @@ use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
 use qdd_faults::{FaultPlan, FaultRates};
 use qdd_field::fields::{GaugeField, SpinorField};
 use qdd_lattice::{Dims, RankGrid};
+use qdd_trace::{FlightRecorder, TraceId};
 use qdd_util::rng::Rng64;
 use qdd_util::stats::SolveStats;
 use serde::Serialize;
@@ -48,6 +49,7 @@ struct ChaosPoint {
     hiccups: u64,
     zero_fills: u64,
     comm_faulted: bool,
+    flight_fault_events: usize,
     wall_ms: f64,
 }
 
@@ -66,6 +68,7 @@ fn run_at_rate(
     b_local: &[SpinorField<f64>],
     cfg: &DistDdConfig,
     mass: f64,
+    flight: &FlightRecorder,
 ) -> RunResult {
     let rates = FaultRates { loss: rate, corrupt: rate, delay: rate, hiccup: 0.5 * rate };
     let world = CommWorld::with_faults(grid.clone(), FaultPlan::new(fault_seed, rates));
@@ -73,6 +76,11 @@ fn run_at_rate(
     let t0 = std::time::Instant::now();
     let results = run_spmd(&world, |ctx| {
         let r = ctx.rank();
+        // SPMD rank r records into flight lane r under a per-rank trace
+        // derived from the fault seed, so dumped fault events can be
+        // matched back to the rank's trace id.
+        ctx.attach_flight(flight.lane(r as u32));
+        ctx.set_trace_id(TraceId::derive(fault_seed, r as u64));
         let op = WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), mass, phases);
         let mut stats = SolveStats::new();
         dd_solve_resilient(ctx, &op, &b_local[r], cfg, 2, &mut stats)
@@ -85,6 +93,8 @@ fn run_at_rate(
     for (_, _, comm) in &results {
         agg.merge(&comm.faults);
     }
+    let flight_fault_events =
+        flight.snapshot().iter().filter(|e| e.code.starts_with("fault.")).count();
     RunResult {
         x,
         point: ChaosPoint {
@@ -102,6 +112,7 @@ fn run_at_rate(
             hiccups: agg.hiccups,
             zero_fills: agg.zero_fills,
             comm_faulted: out.comm_faulted,
+            flight_fault_events,
             wall_ms,
         },
     }
@@ -185,10 +196,44 @@ fn main() {
         "wall_ms"
     );
     let mut all_ok = true;
+    std::fs::create_dir_all("results").ok();
     for &rate in rates {
-        let mut run =
-            run_at_rate(rate, fault_seed, &grid, &local_gauge, &local_clover, &b_local, &cfg, mass);
+        // Fresh recorder per rate so each dump holds exactly one run's
+        // fault history; the last nonzero-rate dump survives as the
+        // `results/FLIGHT_chaos.jsonl` artifact.
+        let flight = FlightRecorder::with_capacity(256);
+        flight.set_auto_dump_path("results/FLIGHT_chaos.jsonl");
+        let mut run = run_at_rate(
+            rate,
+            fault_seed,
+            &grid,
+            &local_gauge,
+            &local_clover,
+            &b_local,
+            &cfg,
+            mass,
+            &flight,
+        );
         run.point.true_residual = true_residual(&run.x);
+        let injected =
+            run.point.retries + run.point.corruptions + run.point.delays + run.point.hiccups;
+        if injected > 0 {
+            // Fault-verdict auto-dump: injected faults must surface as
+            // flight events whose trace ids match the per-rank traces
+            // assigned at attach time.
+            flight.dump("fault-verdict").expect("flight dump must write its artifact");
+            assert!(run.point.flight_fault_events > 0, "faults injected but none recorded");
+            let n_ranks = grid.num_ranks();
+            assert!(
+                flight
+                    .snapshot()
+                    .iter()
+                    .filter(|e| e.code.starts_with("fault."))
+                    .all(|e| (0..n_ranks).any(|r| e.lane == r as u32
+                        && e.trace == TraceId::derive(fault_seed, r as u64).0)),
+                "fault flight events must carry the trace id of their rank's lane"
+            );
+        }
         if rate == 0.0 {
             // A zero-rate plan is inert and must be dropped at attach:
             // the run is required to be bitwise identical to the

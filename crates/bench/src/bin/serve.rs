@@ -52,6 +52,14 @@ struct ServedPoint {
     iterations: usize,
 }
 
+#[derive(Serialize)]
+struct ModelPoint {
+    phase: String,
+    measured_s: f64,
+    predicted_s: f64,
+    ratio: f64,
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let dims = if smoke { Dims::new(8, 4, 4, 4) } else { Dims::new(8, 8, 8, 8) };
@@ -126,6 +134,7 @@ fn main() {
         cache_capacity: 2,
         solver: solver_cfg,
         fallback_max_iterations: 10_000,
+        ..ServiceConfig::default()
     };
     let sink = TraceSink::disabled();
     let t_served = Instant::now();
@@ -158,6 +167,18 @@ fn main() {
         );
     }
     println!("bitwise agreement: {} served solutions == cold one-shot solutions\n", n_rhs);
+
+    // Telemetry acceptance: every answered request left a complete
+    // admission → solve → completion timeline, and the model join priced
+    // at least the Dirac apply and halo exchange phases.
+    assert_eq!(report.timelines.len(), n_rhs, "one timeline per request");
+    assert!(
+        report.timelines.iter().all(qdd_serve::RequestTimeline::is_complete),
+        "every timeline must span admission to completion"
+    );
+    for key in ["dirac_apply", "halo_exchange"] {
+        assert!(report.model.get(key).is_some(), "model join missing {key}");
+    }
 
     let speedup = cold_wall / served_wall;
     let lat = report.latency.summary();
@@ -201,6 +222,20 @@ fn main() {
                 ms: r.latency.as_secs_f64() * 1e3,
                 queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
                 iterations: r.iterations,
+            },
+        );
+    }
+    for t in &report.timelines {
+        out.push("request_timelines", t.clone());
+    }
+    for (key, e) in report.model.entries() {
+        out.push(
+            "model_join",
+            ModelPoint {
+                phase: key.to_string(),
+                measured_s: e.measured_s,
+                predicted_s: e.predicted_s,
+                ratio: e.ratio(),
             },
         );
     }

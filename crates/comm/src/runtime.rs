@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use qdd_faults::{FaultPlan, RecvFault};
 use qdd_field::spinor::HalfSpinor;
 use qdd_lattice::{Dir, RankGrid};
-use qdd_trace::{CommStats, FaultStats, Phase, TraceSink};
+use qdd_trace::{CommStats, FaultStats, FlightLane, Phase, TraceSink};
 use qdd_util::complex::Real;
 use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
@@ -301,10 +301,13 @@ impl FaultCounters {
 pub struct CommCounters {
     /// Bytes actually sent over the (simulated) network.
     pub bytes_sent: Cell<f64>,
-    /// Bytes that arrived off the (simulated) network. Counted at
-    /// physical arrival, so a stashed retransmission is not re-counted
-    /// and a hiccuping rank (which sends nothing) still accounts what it
-    /// received and merged.
+    /// Bytes successfully *delivered* off the (simulated) network.
+    /// Counted exactly once, at delivery — not at physical arrival — so
+    /// a message that is stashed and redelivered across retry attempts
+    /// is never double-counted, and a message abandoned when the retry
+    /// budget runs out is never counted at all (its bytes reached the
+    /// NIC but never the solver). A hiccuping rank (which sends nothing)
+    /// still accounts what it received and merged.
     pub bytes_received: Cell<f64>,
     /// Bytes per `[dimension][orientation]` (0 = backward, 1 = forward).
     pub bytes_by_dir: [[Cell<f64>; 2]; 4],
@@ -362,6 +365,9 @@ pub struct RankCtx<'w> {
     hiccup_seq: Cell<u64>,
     /// Per-channel parking spot for a withheld genuine message.
     stash: [[RefCell<Option<Stashed>>; 2]; 4],
+    /// Flight-recorder lane for this rank's fault/comm events (disabled
+    /// by default; attach via [`RankCtx::attach_flight`]).
+    flight: RefCell<FlightLane>,
 }
 
 impl<'w> RankCtx<'w> {
@@ -414,6 +420,18 @@ impl<'w> RankCtx<'w> {
     /// True if a (non-inert) fault plan is attached.
     pub fn faults_active(&self) -> bool {
         self.faults.borrow().is_some()
+    }
+
+    /// Attach a flight-recorder lane: subsequent fault events (losses,
+    /// detected corruptions, retries, exhausted budgets, hiccups) record
+    /// into its ring, tagged with the lane's current trace id.
+    pub fn attach_flight(&self, lane: FlightLane) {
+        *self.flight.borrow_mut() = lane;
+    }
+
+    /// Tag subsequent flight events with `id` (a per-solve trace id).
+    pub fn set_trace_id(&self, id: qdd_trace::TraceId) {
+        self.flight.borrow().set_trace(id);
     }
 
     /// Send one face to the neighbor in `(dir, forward)`. Traffic is
@@ -485,19 +503,21 @@ impl<'w> RankCtx<'w> {
                 match msg {
                     Msg::Skip => return Ok(None),
                     Msg::Face(env) => {
-                        // Received traffic is accounted here, at physical
-                        // arrival: independent of whether *we* sent
-                        // anything this round, and never re-counted when
-                        // a stashed retransmission is redelivered.
-                        if self.is_split(dir) {
-                            let got = &self.counters.bytes_received;
-                            got.set(got.get() + payload_bytes(&env.payload));
-                        }
                         let seq = self.recv_seq[d][o].get();
                         self.recv_seq[d][o].set(seq + 1);
                         (seq, 0, env)
                     }
                 }
+            }
+        };
+        // Delivered traffic is accounted at the successful-return points
+        // below — exactly once per message, however many delivery
+        // attempts the injector forced, and never for a message whose
+        // retry budget runs out before it is delivered.
+        let delivered = |payload: &Payload| {
+            if self.is_split(dir) {
+                let got = &self.counters.bytes_received;
+                got.set(got.get() + payload_bytes(payload));
             }
         };
         let plan = self.faults.borrow();
@@ -506,6 +526,12 @@ impl<'w> RankCtx<'w> {
                 RecvFault::Lose => {
                     // The message "never arrived": park the genuine
                     // envelope as the future retransmission and time out.
+                    self.flight.borrow().record(
+                        Phase::Fault,
+                        "fault.lose",
+                        d as f64,
+                        attempt as f64,
+                    );
                     *self.stash[d][o].borrow_mut() =
                         Some(Stashed { seq, attempt: attempt + 1, env });
                     return Err(CommError::Timeout { dir, attempts: attempt + 1 });
@@ -517,6 +543,12 @@ impl<'w> RankCtx<'w> {
                     let detected = env.checksum.is_some_and(|ck| checksum_payload(&damaged) != ck);
                     if detected {
                         FaultCounters::bump(&self.counters.faults.corruptions);
+                        self.flight.borrow().record(
+                            Phase::Fault,
+                            "fault.corrupt",
+                            d as f64,
+                            attempt as f64,
+                        );
                         *self.stash[d][o].borrow_mut() =
                             Some(Stashed { seq, attempt: attempt + 1, env });
                         return Err(CommError::Corrupt { dir, forward });
@@ -525,6 +557,7 @@ impl<'w> RankCtx<'w> {
                     // the damage goes undetected and the damaged payload
                     // is delivered — exactly the silent poisoning the
                     // checksum exists to prevent.
+                    delivered(&damaged);
                     return Ok(Some((damaged, env.part)));
                 }
                 RecvFault::None => {
@@ -533,6 +566,7 @@ impl<'w> RankCtx<'w> {
                             FaultCounters::bump(&self.counters.faults.delays);
                             let cell = &self.counters.faults.delay_us;
                             cell.set(cell.get() + us);
+                            self.flight.borrow().record(Phase::Fault, "fault.delay", d as f64, us);
                         }
                     }
                 }
@@ -547,6 +581,7 @@ impl<'w> RankCtx<'w> {
                 }
             }
         }
+        delivered(&env.payload);
         Ok(Some((env.payload, env.part)))
     }
 
@@ -636,6 +671,12 @@ impl<'w> RankCtx<'w> {
                     let backoff = BACKOFF_US * (attempt + 1) as f64;
                     let cell = &self.counters.faults.delay_us;
                     cell.set(cell.get() + backoff);
+                    self.flight.borrow().record(
+                        Phase::Fault,
+                        "fault.retry",
+                        dir.index() as f64,
+                        (attempt + 1) as f64,
+                    );
                     trace.end_with(
                         Phase::Fault,
                         &[("dir", dir.index() as f64), ("attempt", (attempt + 1) as f64)],
@@ -644,9 +685,17 @@ impl<'w> RankCtx<'w> {
                 }
                 Err(e) => {
                     if e.is_retryable() {
-                        // Budget exhausted on a retryable fault.
+                        // Budget exhausted on a retryable fault: the
+                        // stashed message is abandoned undelivered (its
+                        // bytes were never counted as received).
                         self.stash[dir.index()][forward as usize].borrow_mut().take();
                         FaultCounters::bump(&self.counters.faults.timeouts);
+                        self.flight.borrow().record(
+                            Phase::Fault,
+                            "fault.timeout",
+                            dir.index() as f64,
+                            max_attempts as f64,
+                        );
                     }
                     return Err(e);
                 }
@@ -668,6 +717,7 @@ impl<'w> RankCtx<'w> {
                 let hic = plan.hiccup_fault(self.rank, seq);
                 if hic {
                     FaultCounters::bump(&self.counters.faults.hiccups);
+                    self.flight.borrow().record(Phase::Fault, "fault.hiccup", seq as f64, 0.0);
                 }
                 hic
             }
@@ -786,6 +836,7 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
             coll_seq: Cell::new(0),
             hiccup_seq: Cell::new(0),
             stash: std::array::from_fn(|_| std::array::from_fn(|_| RefCell::new(None))),
+            flight: RefCell::new(FlightLane::disabled()),
         });
     }
 
@@ -908,6 +959,142 @@ mod tests {
             assert_eq!(got, sent, "every sent byte arrives somewhere");
             assert_eq!(msgs, 2);
         }
+    }
+
+    #[test]
+    fn retried_delivery_counts_received_bytes_once() {
+        use qdd_faults::{FaultClass, FaultEvent, FaultRates};
+        // Rank 0's backward-x receive loses the first delivery attempt;
+        // the retransmission (attempt 1) goes through. The delivered
+        // bytes must be counted exactly once, not per attempt.
+        let plan = FaultPlan::new(1, FaultRates::NONE).with_event(FaultEvent {
+            rank: 0,
+            class: FaultClass::Loss,
+            dir: Some(Dir::X),
+            forward: Some(false),
+            at_seq: 0,
+            attempts: 1,
+        });
+        let world = CommWorld::with_faults(
+            RankGrid::new(Dims::new(8, 4, 4, 4), Dims::new(2, 1, 1, 1)),
+            plan,
+        );
+        let face_bytes = 6.0 * 12.0 * 8.0;
+        let rows = run_spmd(&world, |ctx| {
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 6]);
+            let got = ctx.recv_face_retrying::<f64>(Dir::X, false, 4).unwrap().unwrap();
+            assert_eq!(got.len(), 6);
+            (ctx.rank(), ctx.counters.bytes_received.get(), ctx.counters.faults.snapshot().retries)
+        });
+        for (rank, got, retries) in rows {
+            assert_eq!(got, face_bytes, "rank {rank}: one delivery, one accounting");
+            assert_eq!(retries, u64::from(rank == 0));
+        }
+    }
+
+    #[test]
+    fn abandoned_message_is_never_counted_as_received() {
+        use qdd_faults::{FaultClass, FaultEvent, FaultRates};
+        // A permanent loss on rank 0's backward-x channel exhausts the
+        // retry budget: the message physically reached the rank but was
+        // never delivered to the solver, so it must not appear in
+        // `bytes_received` (the ledger the model join consumes).
+        let plan = FaultPlan::new(1, FaultRates::NONE).with_event(FaultEvent {
+            rank: 0,
+            class: FaultClass::Loss,
+            dir: Some(Dir::X),
+            forward: Some(false),
+            at_seq: 0,
+            attempts: u32::MAX,
+        });
+        let world = CommWorld::with_faults(
+            RankGrid::new(Dims::new(8, 4, 4, 4), Dims::new(2, 1, 1, 1)),
+            plan,
+        );
+        let face_bytes = 6.0 * 12.0 * 8.0;
+        let rows = run_spmd(&world, |ctx| {
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 6]);
+            let res = ctx.recv_face_retrying::<f64>(Dir::X, false, 2);
+            (ctx.rank(), res.is_err(), ctx.counters.snapshot())
+        });
+        for (rank, failed, stats) in rows {
+            if rank == 0 {
+                assert!(failed, "rank 0's receive must exhaust its budget");
+                assert_eq!(stats.bytes_received, 0.0, "abandoned bytes must not be counted");
+                assert_eq!(stats.faults.timeouts, 1);
+            } else {
+                assert!(!failed);
+                assert_eq!(stats.bytes_received, face_bytes);
+            }
+            assert_eq!(stats.bytes_sent, face_bytes, "sends are accounted at the sender");
+        }
+    }
+
+    #[test]
+    fn flight_lane_records_fault_events_with_trace_ids() {
+        use qdd_faults::{FaultClass, FaultEvent, FaultRates};
+        use qdd_trace::{FlightRecorder, TraceId};
+        let plan = FaultPlan::new(1, FaultRates::NONE).with_event(FaultEvent {
+            rank: 0,
+            class: FaultClass::Loss,
+            dir: Some(Dir::X),
+            forward: Some(false),
+            at_seq: 0,
+            attempts: 1,
+        });
+        let world = CommWorld::with_faults(
+            RankGrid::new(Dims::new(8, 4, 4, 4), Dims::new(2, 1, 1, 1)),
+            plan,
+        );
+        let recorder = FlightRecorder::enabled();
+        let rec = &recorder;
+        run_spmd(&world, |ctx| {
+            ctx.attach_flight(rec.lane(ctx.rank() as u32));
+            ctx.set_trace_id(TraceId::derive(9, ctx.rank() as u64));
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 6]);
+            let _ = ctx.recv_face_retrying::<f64>(Dir::X, false, 4).unwrap();
+        });
+        let events = recorder.snapshot();
+        let codes: Vec<&str> = events.iter().map(|e| e.code).collect();
+        assert_eq!(codes, ["fault.lose", "fault.retry"], "lose then retry, rank 0 only");
+        for e in &events {
+            assert_eq!(e.lane, 0);
+            assert_eq!(e.trace, TraceId::derive(9, 0).0);
+        }
+    }
+
+    #[test]
+    fn same_seed_chaos_produces_identical_flight_sequences() {
+        use qdd_faults::FaultRates;
+        use qdd_trace::{FlightRecorder, TraceId};
+        // Two runs with the same fault seed must leave bitwise-identical
+        // flight recordings: fault decisions are pure hashes, delays are
+        // modeled (not slept), and lane seq counters are the only clock.
+        let run = || {
+            let rates = FaultRates { loss: 0.2, corrupt: 0.1, delay: 0.1, hiccup: 0.0 };
+            let world = CommWorld::with_faults(
+                RankGrid::new(Dims::new(8, 4, 4, 4), Dims::new(2, 1, 1, 1)),
+                FaultPlan::new(42, rates),
+            );
+            let recorder = FlightRecorder::enabled();
+            let rec = &recorder;
+            run_spmd(&world, |ctx| {
+                ctx.attach_flight(rec.lane(ctx.rank() as u32));
+                ctx.set_trace_id(TraceId::derive(42, ctx.rank() as u64));
+                for _ in 0..20 {
+                    ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 6]);
+                    let _ = ctx.recv_face_retrying::<f64>(Dir::X, false, 8).unwrap();
+                }
+            });
+            recorder.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            a.iter().any(|e| e.code.starts_with("fault.")),
+            "the fault rates must actually inject something"
+        );
+        assert_eq!(a, b, "same seed, same flight recording");
     }
 
     #[test]

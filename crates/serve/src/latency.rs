@@ -2,15 +2,20 @@
 //!
 //! The `qdd-trace` [`Summary`](qdd_trace::Summary) keeps only
 //! min/mean/max; a latency SLO needs tail quantiles, so the service
-//! records full sample vectors (requests per run are few enough that this
-//! costs one `f64` each) and computes p50/p99 by rank on demand.
+//! records into a [`LogHistogram`]: constant memory regardless of
+//! request volume, p50/p99/p999 within the histogram's pinned 2 %
+//! relative-error contract, and a deterministic bucket-count merge
+//! (the old full-sample-vector recorder pooled and re-sorted samples,
+//! which scaled with request count and made cross-worker merges
+//! allocation-heavy).
 
+use qdd_trace::LogHistogram;
 use std::time::Duration;
 
-/// A vector of latency samples in milliseconds.
+/// A latency distribution in milliseconds, bucketed log-linearly.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyRecorder {
-    samples_ms: Vec<f64>,
+    hist: LogHistogram,
 }
 
 /// Condensed view for reports.
@@ -24,48 +29,49 @@ pub struct LatencySummary {
 }
 
 impl LatencyRecorder {
+    /// Quantiles are within this relative error of the exact
+    /// nearest-rank sample quantile (min/max/mean stay exact).
+    pub const QUANTILE_RELATIVE_ERROR: f64 = LogHistogram::RELATIVE_ERROR;
+
     pub fn new() -> Self {
         Self::default()
     }
 
     pub fn record(&mut self, d: Duration) {
-        self.samples_ms.push(d.as_secs_f64() * 1e3);
+        self.hist.record(d.as_secs_f64() * 1e3);
     }
 
     pub fn record_ms(&mut self, ms: f64) {
-        self.samples_ms.push(ms);
+        self.hist.record(ms);
     }
 
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_ms.extend_from_slice(&other.samples_ms);
+        self.hist.merge(&other.hist);
     }
 
     pub fn count(&self) -> u64 {
-        self.samples_ms.len() as u64
+        self.hist.count()
     }
 
     pub fn mean_ms(&self) -> f64 {
-        if self.samples_ms.is_empty() {
-            0.0
-        } else {
-            self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
-        }
+        self.hist.mean()
     }
 
     pub fn max_ms(&self) -> f64 {
-        self.samples_ms.iter().copied().fold(0.0, f64::max)
+        self.hist.max()
     }
 
-    /// Rank-based quantile (nearest-rank, `q` in `[0, 1]`); 0 with no
-    /// samples.
+    /// Nearest-rank quantile (`q` in `[0, 1]`); 0 with no samples.
+    /// Within [`QUANTILE_RELATIVE_ERROR`](Self::QUANTILE_RELATIVE_ERROR)
+    /// of the exact sample quantile, exact at the extremes.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        if self.samples_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-        sorted[rank - 1]
+        self.hist.quantile(q.clamp(0.0, 1.0))
+    }
+
+    /// The underlying histogram (for registry export and bucket-level
+    /// determinism checks).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 
     pub fn summary(&self) -> LatencySummary {
@@ -83,14 +89,20 @@ impl LatencyRecorder {
 mod tests {
     use super::*;
 
+    /// |approx - exact| within the recorder's pinned relative error.
+    fn close(approx: f64, exact: f64) -> bool {
+        (approx - exact).abs() <= LatencyRecorder::QUANTILE_RELATIVE_ERROR * exact
+    }
+
     #[test]
-    fn quantiles_by_nearest_rank() {
+    fn quantiles_by_nearest_rank_within_error_bound() {
         let mut r = LatencyRecorder::new();
         for ms in [5.0, 1.0, 3.0, 2.0, 4.0] {
             r.record_ms(ms);
         }
-        assert_eq!(r.quantile_ms(0.5), 3.0);
-        assert_eq!(r.quantile_ms(0.99), 5.0);
+        assert!(close(r.quantile_ms(0.5), 3.0), "p50 {}", r.quantile_ms(0.5));
+        assert!(close(r.quantile_ms(0.99), 5.0), "p99 {}", r.quantile_ms(0.99));
+        // Extremes are exact, not just bounded.
         assert_eq!(r.quantile_ms(0.0), 1.0);
         assert_eq!(r.quantile_ms(1.0), 5.0);
         let s = r.summary();
@@ -100,7 +112,36 @@ mod tests {
     }
 
     #[test]
-    fn merge_pools_samples() {
+    fn quantile_error_bound_holds_on_a_heavy_tail() {
+        // A lognormal-ish tail: mostly-fast requests with rare slow ones,
+        // the regime p99 monitoring exists for. Every probed quantile must
+        // stay within the pinned relative error of the exact nearest-rank
+        // value computed from the raw samples.
+        let mut r = LatencyRecorder::new();
+        let mut samples = Vec::new();
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let ms = 2.0 * (1.0 / (1.0 - u * 0.9999)).powf(1.5);
+            r.record_ms(ms);
+            samples.push(ms);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let approx = r.quantile_ms(q);
+            assert!(close(approx, exact), "q={q}: {approx} vs exact {exact}");
+        }
+        assert_eq!(r.count(), 5_000);
+        assert_eq!(r.max_ms(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_pools_distributions() {
         let mut a = LatencyRecorder::new();
         a.record_ms(1.0);
         a.record(Duration::from_millis(9));
@@ -108,7 +149,15 @@ mod tests {
         b.record_ms(5.0);
         a.merge(&b);
         assert_eq!(a.count(), 3);
-        assert_eq!(a.quantile_ms(0.5), 5.0);
+        assert!(close(a.quantile_ms(0.5), 5.0));
+        // Merge order does not change the merged buckets.
+        let mut a2 = LatencyRecorder::new();
+        a2.record_ms(5.0);
+        let mut b2 = LatencyRecorder::new();
+        b2.record_ms(1.0);
+        b2.record(Duration::from_millis(9));
+        a2.merge(&b2);
+        assert_eq!(a.histogram().bucket_snapshot(), a2.histogram().bucket_snapshot());
     }
 
     #[test]
@@ -116,5 +165,6 @@ mod tests {
         let r = LatencyRecorder::new();
         assert_eq!(r.quantile_ms(0.5), 0.0);
         assert_eq!(r.summary().count, 0);
+        assert_eq!(r.max_ms(), 0.0);
     }
 }

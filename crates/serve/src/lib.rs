@@ -31,6 +31,7 @@ pub mod latency;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{CacheOutcome, SetupCache};
 pub use latency::{LatencyRecorder, LatencySummary};
@@ -39,4 +40,8 @@ pub use request::{
     setup_key, ConfigKey, ConfigSource, DegradeReason, ServeStatus, SolveRequest, SolveResponse,
     SyntheticSource,
 };
-pub use service::{serve, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, Ticket};
+pub use service::{
+    serve, serve_with_flight, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, Ticket,
+    STRAGGLER_RATIO,
+};
+pub use telemetry::{join_against_model, RequestTimeline};

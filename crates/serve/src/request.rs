@@ -14,6 +14,7 @@ use qdd_dirac::gamma::GammaBasis;
 use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
 use qdd_field::fields::{GaugeField, SpinorField};
 use qdd_lattice::Dims;
+use qdd_trace::{RequestId, TraceId};
 use qdd_util::rng::Rng64;
 use std::time::Duration;
 
@@ -150,6 +151,11 @@ impl std::fmt::Display for ServeStatus {
 
 /// The service's answer to one request.
 pub struct SolveResponse {
+    /// The id assigned at admission (monotonic per service run).
+    pub request_id: RequestId,
+    /// The trace id every span/flight event of this request carries;
+    /// look it up in the flight dump or the per-request timeline.
+    pub trace_id: TraceId,
     pub status: ServeStatus,
     pub solution: SpinorField<f64>,
     /// Relative residual actually achieved.

@@ -18,6 +18,18 @@
 //! Queue depth, batch size, cache hits and latency are recorded both as
 //! counter events on the attached [`TraceSink`] (visible in the
 //! Chrome-trace export) and in the returned [`ServiceReport`] metrics.
+//!
+//! **Telemetry.** Every admitted request is stamped with a
+//! [`RequestId`]/[`TraceId`] pair at admission; the ids ride through
+//! coalescing, the setup cache, the batched solve and the fallback
+//! ladder, come back on the [`SolveResponse`], and key the per-request
+//! [`RequestTimeline`]s in the report. Workers record wait-free into
+//! per-worker [`ShardedMetrics`] shards (merged in lane order at
+//! shutdown, so worker count never changes the merged result), feed the
+//! measured phase times into the `model.err.*` join, and — when a
+//! [`FlightRecorder`] is attached via [`serve_with_flight`] — leave a
+//! ring-buffer breadcrumb trail that is auto-dumped on load shed, solver
+//! breakdown, or worker-lane straggling.
 
 use crate::cache::{CacheOutcome, SetupCache};
 use crate::latency::LatencyRecorder;
@@ -25,10 +37,14 @@ use crate::queue::BoundedQueue;
 use crate::request::{
     setup_key, ConfigSource, DegradeReason, ServeStatus, SolveRequest, SolveResponse,
 };
+use crate::telemetry::{join_against_model, RequestTimeline};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qdd_core::{bicgstab, BiCgStabConfig, DdSolver, DdSolverConfig, LocalSystem, WorkspacePool};
 use qdd_field::fields::SpinorField;
-use qdd_trace::{MetricsRegistry, Phase, ThreadRecorder, TraceSink};
+use qdd_trace::{
+    FlightLane, FlightRecorder, MetricsRegistry, ModelJoin, Phase, RequestId, ShardedMetrics,
+    ThreadRecorder, TraceId, TraceSink,
+};
 use qdd_util::stats::SolveStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -50,6 +66,9 @@ pub struct ServiceConfig {
     pub solver: DdSolverConfig,
     /// Iteration cap of the BiCGstab fallback stage.
     pub fallback_max_iterations: usize,
+    /// Seed the per-request [`TraceId`]s are derived from; two runs with
+    /// the same seed and admission order assign identical trace ids.
+    pub trace_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -61,14 +80,22 @@ impl Default for ServiceConfig {
             cache_capacity: 4,
             solver: DdSolverConfig::default(),
             fallback_max_iterations: 4000,
+            trace_seed: 0x5e7e_5e7e_5e7e_5e7e,
         }
     }
 }
+
+/// A worker's busy time must exceed the worker mean by this factor
+/// before the lane-imbalance anomaly trips (and auto-dumps the flight
+/// recorder): the signature of one straggling lane, paper Sec. VI.
+pub const STRAGGLER_RATIO: f64 = 4.0;
 
 /// A queued request plus its bookkeeping.
 struct Pending {
     request: SolveRequest,
     key: u64,
+    id: RequestId,
+    trace: TraceId,
     submitted: Instant,
     deadline: Option<Instant>,
     reply: Sender<SolveResponse>,
@@ -76,6 +103,8 @@ struct Pending {
 
 /// Per-request bookkeeping kept after the source is moved into the batch.
 struct Meta {
+    id: RequestId,
+    trace: TraceId,
     submitted: Instant,
     deadline: Option<Instant>,
     reply: Sender<SolveResponse>,
@@ -114,21 +143,38 @@ pub struct ServiceHandle<'s> {
     queue: &'s BoundedQueue<Pending>,
     sink: TraceSink,
     rejected: AtomicU64,
+    next_request: AtomicU64,
+    trace_seed: u64,
+    flight: FlightRecorder,
+    /// Flight lane 0: the admission path.
+    flight_lane: FlightLane,
 }
 
 impl ServiceHandle<'_> {
     /// Admit a request, or shed it if the queue is full. Never blocks.
+    /// Either way the request gets a [`RequestId`]/[`TraceId`] pair here;
+    /// a shed request's ids appear only in the flight recorder.
     pub fn submit(&self, request: SolveRequest) -> Result<Ticket, SubmitError> {
         let key =
             setup_key(request.config, *request.source.dims(), request.precision, request.tolerance);
+        let n = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let id = RequestId(n);
+        let trace = TraceId::derive(self.trace_seed, n);
+        self.flight_lane.set_trace(trace);
+        self.flight_lane.record(Phase::ServeBatch, "req.admit", n as f64, key as f64);
         let submitted = Instant::now();
         let deadline = request.deadline.map(|d| submitted + d);
         let (tx, rx) = unbounded();
-        let pending = Pending { request, key, submitted, deadline, reply: tx };
+        let pending = Pending { request, key, id, trace, submitted, deadline, reply: tx };
         match self.queue.try_push(pending) {
             Ok(()) => Ok(Ticket { rx }),
             Err(crate::queue::QueueFull(p)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.flight_lane.record(Phase::ServeBatch, "req.shed", n as f64, 0.0);
+                // The first shed of a run snapshots the flight rings:
+                // the breadcrumbs leading up to the overload.
+                if self.rejected.fetch_add(1, Ordering::Relaxed) == 0 {
+                    self.flight.dump("shed");
+                }
                 self.sink.counter(Phase::ServeBatch, "serve.rejected", 1.0);
                 Err(SubmitError::QueueFull(p.request))
             }
@@ -139,16 +185,25 @@ impl ServiceHandle<'_> {
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
     }
+
+    /// Requests assigned an id so far (admitted plus shed).
+    pub fn submitted(&self) -> u64 {
+        self.next_request.load(Ordering::Relaxed)
+    }
 }
 
 /// Aggregated result of one [`serve`] run.
 pub struct ServiceReport {
-    /// Service metrics (`serve.*` keys) for aggregation/export.
+    /// Service metrics (`serve.*`, `model.err.*` keys) for export.
     pub metrics: MetricsRegistry,
     /// End-to-end latency samples (submission → response).
     pub latency: LatencyRecorder,
     /// Queue-wait samples (submission → worker pickup).
     pub queue_wait: LatencyRecorder,
+    /// One timeline per answered request, in request-id order.
+    pub timelines: Vec<RequestTimeline>,
+    /// Measured-vs-predicted join over every solved batch.
+    pub model: ModelJoin,
     /// Requests answered (all admitted requests are).
     pub completed: u64,
     /// Requests shed at admission.
@@ -158,35 +213,67 @@ pub struct ServiceReport {
     pub cache_hit_rate: f64,
 }
 
-/// What one worker hands back at shutdown.
+/// What one worker hands back at shutdown (its metrics shard lives in
+/// the service's [`ShardedMetrics`] and is folded separately).
 struct WorkerOutput {
-    metrics: MetricsRegistry,
     latency: LatencyRecorder,
     queue_wait: LatencyRecorder,
+    timelines: Vec<RequestTimeline>,
+    model: ModelJoin,
     completed: u64,
+    /// Seconds this worker spent processing batches (straggler signal).
+    busy_s: f64,
 }
 
-/// Run the solve service: spawn the worker pool, hand the client closure
-/// a submission handle, and — once the closure returns — drain the queue,
-/// shut the workers down and aggregate the [`ServiceReport`].
+/// [`serve_with_flight`] without a flight recorder attached.
 pub fn serve<R: Send>(
     cfg: &ServiceConfig,
     source: &dyn ConfigSource,
     sink: &TraceSink,
     client: impl FnOnce(&ServiceHandle<'_>) -> R + Send,
 ) -> (R, ServiceReport) {
+    serve_with_flight(cfg, source, sink, &FlightRecorder::disabled(), client)
+}
+
+/// Run the solve service: spawn the worker pool, hand the client closure
+/// a submission handle, and — once the closure returns — drain the queue,
+/// shut the workers down and aggregate the [`ServiceReport`]. Flight
+/// lane 0 is the admission path; worker `w` records on lane `w + 1`.
+pub fn serve_with_flight<R: Send>(
+    cfg: &ServiceConfig,
+    source: &dyn ConfigSource,
+    sink: &TraceSink,
+    flight: &FlightRecorder,
+    client: impl FnOnce(&ServiceHandle<'_>) -> R + Send,
+) -> (R, ServiceReport) {
     let queue = BoundedQueue::new(cfg.queue_capacity);
     let cache = Mutex::new(SetupCache::new(cfg.cache_capacity));
-    let handle = ServiceHandle { queue: &queue, sink: sink.clone(), rejected: AtomicU64::new(0) };
+    let handle = ServiceHandle {
+        queue: &queue,
+        sink: sink.clone(),
+        rejected: AtomicU64::new(0),
+        next_request: AtomicU64::new(0),
+        trace_seed: cfg.trace_seed,
+        flight: flight.clone(),
+        flight_lane: flight.lane(0),
+    };
 
+    // One private metrics shard per worker: hot-path recording is a plain
+    // `&mut` write (wait-free by ownership), and the fold below merges the
+    // shards in ascending lane order, so the merged registry is identical
+    // for every worker count.
+    let nworkers = cfg.workers.max(1);
+    let mut shards = ShardedMetrics::new(nworkers);
     let mut outputs: Vec<WorkerOutput> = Vec::new();
     let mut result: Option<R> = None;
     crossbeam::scope(|s| {
         let queue = &queue;
         let cache = &cache;
         let mut workers = Vec::new();
-        for wid in 0..cfg.workers.max(1) {
-            workers.push(s.spawn(move |_| worker_loop(wid, cfg, source, queue, cache, sink)));
+        for (wid, shard) in shards.shards_mut().iter_mut().enumerate() {
+            workers.push(
+                s.spawn(move |_| worker_loop(wid, cfg, source, queue, cache, sink, flight, shard)),
+            );
         }
         result = Some(client(&handle));
         queue.close();
@@ -200,18 +287,40 @@ pub fn serve<R: Send>(
         metrics: MetricsRegistry::new(),
         latency: LatencyRecorder::new(),
         queue_wait: LatencyRecorder::new(),
+        timelines: Vec::new(),
+        model: ModelJoin::new(),
         completed: 0,
         rejected: handle.rejected(),
         cache_hits: 0,
         cache_misses: 0,
         cache_hit_rate: 0.0,
     };
-    for out in &outputs {
-        report.metrics.merge(&out.metrics);
+    shards.fold(&mut report.metrics);
+    let busy: Vec<f64> = outputs.iter().map(|o| o.busy_s).collect();
+    for out in outputs {
         report.latency.merge(&out.latency);
         report.queue_wait.merge(&out.queue_wait);
+        report.model.merge(&out.model);
         report.completed += out.completed;
+        report.timelines.extend(out.timelines);
     }
+    report.timelines.sort_by_key(|t| t.request.0);
+    report.model.export(&mut report.metrics);
+
+    // Straggler anomaly: one worker lane far busier than the mean is the
+    // service-level analogue of the paper's per-core load imbalance
+    // (Sec. VI); trip the flight recorder so the dump shows what the
+    // straggling lane was chewing on.
+    if busy.len() > 1 {
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        report.metrics.set_gauge("serve.worker.imbalance", imbalance);
+        if imbalance > STRAGGLER_RATIO {
+            flight.dump("straggler");
+        }
+    }
+
     let cache = cache.into_inner().unwrap();
     report.cache_hits = cache.hits();
     report.cache_misses = cache.misses();
@@ -226,6 +335,7 @@ pub fn serve<R: Send>(
     (result.expect("client closure ran"), report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     wid: usize,
     cfg: &ServiceConfig,
@@ -233,18 +343,27 @@ fn worker_loop(
     queue: &BoundedQueue<Pending>,
     cache: &Mutex<SetupCache>,
     sink: &TraceSink,
+    flight: &FlightRecorder,
+    metrics: &mut MetricsRegistry,
 ) -> WorkerOutput {
-    let mut metrics = MetricsRegistry::new();
-    let mut latency = LatencyRecorder::new();
-    let mut queue_wait = LatencyRecorder::new();
-    let mut completed = 0u64;
+    let mut out = WorkerOutput {
+        latency: LatencyRecorder::new(),
+        queue_wait: LatencyRecorder::new(),
+        timelines: Vec::new(),
+        model: ModelJoin::new(),
+        completed: 0,
+        busy_s: 0.0,
+    };
     // Spans from this worker land on their own trace lane (the shared
     // begin/end lane 0 would interleave unbalanced across workers);
-    // counter samples go through the shared sink.
+    // counter samples go through the shared sink. Flight events go on
+    // lane `wid + 1` (lane 0 is admission).
     let mut lane = sink.thread(wid as u32 + 1);
+    let flane = flight.lane(wid as u32 + 1);
     let mut pool = WorkspacePool::<f64>::new();
 
     while let Some((first, depth)) = queue.pop_wait() {
+        let t0 = Instant::now();
         let key = first.key;
         let mut batch = vec![first];
         if cfg.max_batch > 1 {
@@ -255,25 +374,80 @@ fn worker_loop(
         metrics.add("serve.batches", 1.0);
         sink.counter(Phase::ServeBatch, "serve.queue_depth", depth as f64);
         sink.counter(Phase::ServeBatch, "serve.batch_size", batch.len() as f64);
+        flane.set_trace(batch[0].trace);
+        flane.record(Phase::ServeBatch, "batch.start", depth as f64, batch.len() as f64);
 
         lane.begin(Phase::ServeBatch);
         run_batch(
-            batch,
-            cfg,
-            source,
-            cache,
-            sink,
-            &mut lane,
-            &mut pool,
-            &mut metrics,
-            &mut latency,
-            &mut queue_wait,
-            &mut completed,
+            batch, cfg, source, cache, sink, &mut lane, flight, &flane, &mut pool, metrics,
+            &mut out,
         );
         lane.end(Phase::ServeBatch);
         lane.flush();
+        out.busy_s += t0.elapsed().as_secs_f64();
     }
-    WorkerOutput { metrics, latency, queue_wait, completed }
+    out
+}
+
+/// Answer one request: record latency/status metrics, the `serve.*`
+/// histograms, the flight breadcrumb, and the request's timeline, then
+/// send the response.
+#[allow(clippy::too_many_arguments)]
+fn respond(
+    out: &mut WorkerOutput,
+    metrics: &mut MetricsRegistry,
+    sink: &TraceSink,
+    flane: &FlightLane,
+    picked_up: Instant,
+    m: Meta,
+    status: ServeStatus,
+    solution: SpinorField<f64>,
+    residual: f64,
+    iterations: usize,
+) {
+    let wait = picked_up.saturating_duration_since(m.submitted);
+    let total = m.submitted.elapsed();
+    let wait_ms = wait.as_secs_f64() * 1e3;
+    let total_ms = total.as_secs_f64() * 1e3;
+    out.queue_wait.record(wait);
+    out.latency.record(total);
+    out.completed += 1;
+    metrics.add("serve.requests", 1.0);
+    metrics.add(&format!("serve.status.{}", status.label()), 1.0);
+    // Histograms: iterations is a deterministic distribution (identical
+    // across reruns and worker counts); latency is wall-clock.
+    metrics.record_hist("serve.iterations", iterations as f64);
+    metrics.record_hist("serve.latency_ms", total_ms);
+    sink.counter(Phase::ServeBatch, "serve.latency_ms", total_ms);
+    flane.set_trace(m.trace);
+    flane.record(Phase::ServeBatch, "req.done", m.id.0 as f64, total_ms);
+    let terminal = match status {
+        ServeStatus::Converged => "solved",
+        ServeStatus::Fallback => "fallback",
+        ServeStatus::Degraded(_) => "degraded",
+    };
+    out.timelines.push(RequestTimeline {
+        request: m.id,
+        trace: m.trace,
+        status,
+        stages: vec![
+            ("admitted", 0.0),
+            ("coalesced", wait_ms),
+            (terminal, total_ms),
+            ("done", total_ms),
+        ],
+    });
+    // A dropped ticket is the client's prerogative; ignore it.
+    let _ = m.reply.send(SolveResponse {
+        request_id: m.id,
+        trace_id: m.trace,
+        status,
+        solution,
+        relative_residual: residual,
+        iterations,
+        queue_wait: wait,
+        latency: total,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -284,11 +458,11 @@ fn run_batch(
     cache: &Mutex<SetupCache>,
     sink: &TraceSink,
     lane: &mut ThreadRecorder,
+    flight: &FlightRecorder,
+    flane: &FlightLane,
     pool: &mut WorkspacePool<f64>,
     metrics: &mut MetricsRegistry,
-    latency: &mut LatencyRecorder,
-    queue_wait: &mut LatencyRecorder,
-    completed: &mut u64,
+    out: &mut WorkerOutput,
 ) {
     let picked_up = Instant::now();
     let key = batch[0].key;
@@ -296,43 +470,18 @@ fn run_batch(
     let tolerance = batch[0].request.tolerance;
     let precision = batch[0].request.precision;
 
-    let mut respond = |m: Meta,
-                       status: ServeStatus,
-                       solution: SpinorField<f64>,
-                       residual: f64,
-                       iterations: usize,
-                       metrics: &mut MetricsRegistry| {
-        let wait = picked_up.saturating_duration_since(m.submitted);
-        let total = m.submitted.elapsed();
-        queue_wait.record(wait);
-        latency.record(total);
-        *completed += 1;
-        metrics.add("serve.requests", 1.0);
-        metrics.add(&format!("serve.status.{}", status.label()), 1.0);
-        sink.counter(Phase::ServeBatch, "serve.latency_ms", total.as_secs_f64() * 1e3);
-        // A dropped ticket is the client's prerogative; ignore it.
-        let _ = m.reply.send(SolveResponse {
-            status,
-            solution,
-            relative_residual: residual,
-            iterations,
-            queue_wait: wait,
-            latency: total,
-        });
-    };
-
     // Split bookkeeping from the sources. Requests whose deadline already
     // passed are answered immediately with the untouched zero initial
     // guess instead of being solved.
     let mut metas: Vec<Meta> = Vec::with_capacity(batch.len());
     let mut sources: Vec<SpinorField<f64>> = Vec::with_capacity(batch.len());
     for p in batch {
-        let Pending { request, submitted, deadline, reply, .. } = p;
-        let meta = Meta { submitted, deadline, reply };
+        let Pending { request, id, trace, submitted, deadline, reply, .. } = p;
+        let meta = Meta { id, trace, submitted, deadline, reply };
         if deadline.is_some_and(|d| picked_up > d) {
             let zero = SpinorField::zeros(*request.source.dims());
             let status = ServeStatus::Degraded(DegradeReason::DeadlineBeforeSolve);
-            respond(meta, status, zero, 1.0, 0, metrics);
+            respond(out, metrics, sink, flane, picked_up, meta, status, zero, 1.0, 0);
         } else {
             metas.push(meta);
             sources.push(request.source);
@@ -359,59 +508,112 @@ fn run_batch(
             solver
         })
     };
-    sink.counter(
-        Phase::ServeSetup,
-        "serve.cache_hit",
-        (cache_outcome == CacheOutcome::Hit) as u64 as f64,
-    );
+    let hit = cache_outcome == CacheOutcome::Hit;
+    sink.counter(Phase::ServeSetup, "serve.cache_hit", hit as u64 as f64);
+    flane.record(Phase::ServeSetup, if hit { "setup.hit" } else { "setup.miss" }, key as f64, 0.0);
     let Some(solver) = solver else {
         for (m, f) in metas.into_iter().zip(sources) {
             let zero = SpinorField::zeros(*f.dims());
             let status = ServeStatus::Degraded(DegradeReason::SetupFailed);
-            respond(m, status, zero, 1.0, 0, metrics);
+            respond(out, metrics, sink, flane, picked_up, m, status, zero, 1.0, 0);
         }
         return;
     };
 
     // Primary multi-RHS solve. The attached sink makes the inner solver
-    // phases visible in the same trace.
+    // phases visible in the same trace; phase timing feeds the model
+    // join (bookkeeping only — numerics are untouched either way).
     let mut stats = SolveStats::new();
     stats.attach_sink(sink.clone());
+    stats.enable_phase_timing();
     let results = solver.solve_batch(&sources, pool, &mut stats);
+    out.model.merge(&join_against_model(&stats, precision, cfg.solver.schwarz.mr.iterations, 1));
 
     let fallback_cfg = BiCgStabConfig { tolerance, max_iterations: cfg.fallback_max_iterations };
-    for ((m, f), (x, out)) in metas.into_iter().zip(&sources).zip(results) {
+    for ((m, f), (x, r)) in metas.into_iter().zip(&sources).zip(results) {
         // A detected solver breakdown (non-finite residual, divergence,
         // recurrence underflow) rides the normal degradation ladder —
         // `converged` is false, so the fallback rung runs — but is
-        // counted separately so operators can tell "slow" from "broken".
-        if let Some(b) = out.breakdown {
+        // counted separately so operators can tell "slow" from "broken",
+        // and the flight rings are snapshotted with the breakdown fresh.
+        if let Some(b) = r.breakdown {
             metrics.add("serve.breakdowns", 1.0);
             metrics.add(&format!("serve.breakdown.{}", b.label()), 1.0);
+            flane.set_trace(m.trace);
+            flane.record(Phase::ServeBatch, "solver.breakdown", m.id.0 as f64, 0.0);
+            flight.dump("breakdown");
         }
-        if out.converged {
-            respond(m, ServeStatus::Converged, x, out.relative_residual, out.iterations, metrics);
+        if r.converged {
+            let s = ServeStatus::Converged;
+            respond(
+                out,
+                metrics,
+                sink,
+                flane,
+                picked_up,
+                m,
+                s,
+                x,
+                r.relative_residual,
+                r.iterations,
+            );
             continue;
         }
         if m.deadline.is_some_and(|d| Instant::now() > d) {
-            let status = ServeStatus::Degraded(DegradeReason::DeadlineExceeded);
-            respond(m, status, x, out.relative_residual, out.iterations, metrics);
+            let s = ServeStatus::Degraded(DegradeReason::DeadlineExceeded);
+            respond(
+                out,
+                metrics,
+                sink,
+                flane,
+                picked_up,
+                m,
+                s,
+                x,
+                r.relative_residual,
+                r.iterations,
+            );
             continue;
         }
         // Fallback rung: plain BiCGstab against the same operator.
         lane.begin(Phase::ServeFallback);
         metrics.add("serve.fallbacks", 1.0);
+        flane.set_trace(m.trace);
+        flane.record(Phase::ServeFallback, "req.fallback", m.id.0 as f64, 0.0);
         let (xb, ob) = bicgstab(&LocalSystem::new(solver.op()), f, &fallback_cfg, &mut stats);
         lane.end(Phase::ServeFallback);
-        let iterations = out.iterations + ob.iterations;
+        let iterations = r.iterations + ob.iterations;
         if ob.converged {
-            respond(m, ServeStatus::Fallback, xb, ob.relative_residual, iterations, metrics);
-        } else if ob.relative_residual < out.relative_residual {
-            let status = ServeStatus::Degraded(DegradeReason::TargetMissed);
-            respond(m, status, xb, ob.relative_residual, iterations, metrics);
+            let s = ServeStatus::Fallback;
+            respond(
+                out,
+                metrics,
+                sink,
+                flane,
+                picked_up,
+                m,
+                s,
+                xb,
+                ob.relative_residual,
+                iterations,
+            );
+        } else if ob.relative_residual < r.relative_residual {
+            let s = ServeStatus::Degraded(DegradeReason::TargetMissed);
+            respond(
+                out,
+                metrics,
+                sink,
+                flane,
+                picked_up,
+                m,
+                s,
+                xb,
+                ob.relative_residual,
+                iterations,
+            );
         } else {
-            let status = ServeStatus::Degraded(DegradeReason::TargetMissed);
-            respond(m, status, x, out.relative_residual, iterations, metrics);
+            let s = ServeStatus::Degraded(DegradeReason::TargetMissed);
+            respond(out, metrics, sink, flane, picked_up, m, s, x, r.relative_residual, iterations);
         }
     }
 }
@@ -563,6 +765,107 @@ mod tests {
         });
         assert!(report.rejected > 0);
         assert_eq!(report.completed + report.rejected, 64);
+    }
+
+    #[test]
+    fn requests_carry_ids_timelines_and_model_join() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (responses, report) = serve(&cfg, &source, &sink, |h| {
+            let tickets: Vec<Ticket> = sources_for(3)
+                .into_iter()
+                .map(|s| h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap())
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        // Ids are the admission order; traces derive from the seed.
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.request_id.0, i as u64);
+            assert_eq!(r.trace_id, qdd_trace::TraceId::derive(cfg.trace_seed, i as u64));
+        }
+        // One complete timeline per request, in request order, with the
+        // trace id matching the response's.
+        assert_eq!(report.timelines.len(), 3);
+        for (i, t) in report.timelines.iter().enumerate() {
+            assert_eq!(t.request.0, i as u64);
+            assert_eq!(t.trace, responses[i].trace_id);
+            assert!(t.is_complete(), "incomplete timeline: {:?}", t.stages);
+            assert_eq!(t.status, ServeStatus::Converged);
+        }
+        // The model join priced all four phases and exported gauges.
+        for key in ["dirac_apply", "schwarz_sweep", "halo_exchange", "global_sums"] {
+            let g = report.metrics.gauge(&format!("model.err.{key}"));
+            assert!(g.is_some_and(f64::is_finite), "model.err.{key} missing/non-finite: {g:?}");
+        }
+        assert!(
+            report.model.get("dirac_apply").unwrap().measured_s > 0.0,
+            "operator spans should have accumulated measured time"
+        );
+        // Histograms: the iteration distribution counts every request.
+        let iters = report.metrics.histogram("serve.iterations").expect("iterations histogram");
+        assert_eq!(iters.count(), 3);
+        assert_eq!(report.metrics.histogram("serve.latency_ms").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn flight_recorder_sees_admission_and_completion_with_matching_traces() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let flight = qdd_trace::FlightRecorder::with_capacity(64);
+        let (response, _report) = serve_with_flight(&cfg, &source, &sink, &flight, |h| {
+            h.submit(SolveRequest::new(ConfigKey(1), sources_for(1).pop().unwrap())).unwrap().wait()
+        });
+        let events = flight.snapshot();
+        let admit = events.iter().find(|e| e.code == "req.admit").expect("req.admit event");
+        let done = events.iter().find(|e| e.code == "req.done").expect("req.done event");
+        assert_eq!(admit.lane, 0, "admission records on lane 0");
+        assert!(done.lane >= 1, "completion records on a worker lane");
+        assert_eq!(admit.trace, response.trace_id.0);
+        assert_eq!(done.trace, response.trace_id.0);
+        assert!(events.iter().any(|e| e.code == "batch.start"));
+        assert!(events.iter().any(|e| e.code == "setup.miss"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_merged_iteration_histogram() {
+        // The deterministic distributions (iteration counts, request
+        // tallies) must come out bucket-identical for any worker count:
+        // shards merge in lane order and batching is bitwise-stable.
+        let source = SyntheticSource::new(dims());
+        let run = |workers: usize, solver_workers: usize| {
+            let mut cfg = ServiceConfig { workers, ..service_cfg() };
+            cfg.solver.workers = solver_workers;
+            let sink = TraceSink::disabled();
+            let ((), report) = serve(&cfg, &source, &sink, |h| {
+                let tickets: Vec<Ticket> = sources_for(6)
+                    .into_iter()
+                    .map(|s| h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap())
+                    .collect();
+                for t in tickets {
+                    t.wait();
+                }
+            });
+            report
+        };
+        let one = run(1, 1);
+        let four = run(4, 1);
+        let pooled = run(2, 2);
+        let snap =
+            |r: &ServiceReport| r.metrics.histogram("serve.iterations").unwrap().bucket_snapshot();
+        assert_eq!(
+            snap(&one),
+            snap(&four),
+            "iteration histogram must be serve-worker-count independent"
+        );
+        assert_eq!(
+            snap(&one),
+            snap(&pooled),
+            "iteration histogram must be solver-pool-width independent"
+        );
+        assert_eq!(one.completed, four.completed);
+        assert_eq!(one.timelines.len(), four.timelines.len());
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Per-request timelines and the serve-side model join.
+//!
+//! Every admitted request gets a [`qdd_trace::RequestId`] and a derived
+//! [`qdd_trace::TraceId`] at admission; the worker that answers it emits
+//! a [`RequestTimeline`] — the request's life as `(stage, ms)` pairs
+//! measured from admission. Alongside, [`join_against_model`] prices the
+//! batch's measured phase times against the `qdd-machine` KNC model,
+//! producing the `model.err.*` gauges (the Fig. 4 overlap validation
+//! generalized to every phase of Table III).
+
+use crate::request::ServeStatus;
+use qdd_machine::kernel::{dd_method_rate, wilson_clover_bound};
+use qdd_machine::{ChipSpec, NetworkModel, Precision as ModelPrecision, PrefetchMode};
+use qdd_trace::model::keys;
+use qdd_trace::{ModelJoin, Phase, RequestId, TraceId};
+use qdd_util::stats::{Component, SolveStats};
+use serde::{Map, Serialize, Value};
+
+/// One request's life, as elapsed milliseconds since admission.
+///
+/// Stage order is always `admitted` (0) → `coalesced` (picked off the
+/// queue into a batch) → a terminal solve stage (`solved`, `fallback`,
+/// or `degraded`) → `done`. A timeline with both endpoints present is
+/// *complete*: the request was admitted and answered.
+#[derive(Clone, Debug)]
+pub struct RequestTimeline {
+    pub request: RequestId,
+    pub trace: TraceId,
+    pub status: ServeStatus,
+    /// `(stage, ms since admission)` in event order.
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+impl RequestTimeline {
+    /// True when the timeline spans admission to completion.
+    pub fn is_complete(&self) -> bool {
+        self.stages.first().is_some_and(|s| s.0 == "admitted")
+            && self.stages.last().is_some_and(|s| s.0 == "done")
+    }
+
+    /// Milliseconds from admission to the answer (0 if incomplete).
+    pub fn total_ms(&self) -> f64 {
+        self.stages.last().map_or(0.0, |s| s.1)
+    }
+}
+
+impl Serialize for RequestTimeline {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("request".to_string(), Value::from(self.request.0));
+        m.insert("trace".to_string(), Value::String(self.trace.to_string()));
+        m.insert("status".to_string(), Value::String(self.status.to_string()));
+        let stages = self
+            .stages
+            .iter()
+            .map(|&(stage, ms)| {
+                Value::Array(vec![Value::String(stage.to_string()), Value::from(ms)])
+            })
+            .collect();
+        m.insert("stages".to_string(), Value::Array(stages));
+        Value::Object(m)
+    }
+}
+
+/// Join a solve's measured phase seconds (requires
+/// [`SolveStats::enable_phase_timing`]) against the machine model's
+/// prices for the same work, one entry per `model.err.*` key:
+///
+/// * `dirac_apply` — operator-`A` flops at the Wilson-Clover issue bound,
+/// * `schwarz_sweep` — preconditioner flops at the composite DD rate,
+/// * `halo_exchange` — received halo bytes through the network model
+///   (zero for a single-process run: nothing crosses a wire),
+/// * `global_sums` — reduction count times the allreduce latency (zero
+///   at one rank).
+///
+/// The measured side is host wall-clock and the predicted side is the
+/// paper's KNC — the ratio is a *model-validation* signal, not an SLO.
+pub fn join_against_model(
+    stats: &SolveStats,
+    precision: qdd_core::Precision,
+    i_domain: usize,
+    ranks: usize,
+) -> ModelJoin {
+    let chip = ChipSpec::knc_7110p();
+    let net = NetworkModel::stampede_fdr();
+    let cores = chip.cores as f64;
+    let model_precision = match precision {
+        qdd_core::Precision::Single => ModelPrecision::Single,
+        qdd_core::Precision::HalfCompressed => ModelPrecision::Half,
+    };
+
+    let mut join = ModelJoin::new();
+    let (_eff, op_gflops) = wilson_clover_bound(&chip);
+    join.record(
+        keys::DIRAC_APPLY,
+        stats.phase_seconds(Phase::OperatorApply),
+        stats.flops(Component::OperatorA) / (op_gflops * cores * 1e9),
+    );
+    let dd_gflops = dd_method_rate(&chip, model_precision, PrefetchMode::L1L2, i_domain.max(1));
+    join.record(
+        keys::SCHWARZ_SWEEP,
+        stats.phase_seconds(Phase::Precondition),
+        stats.flops(Component::PreconditionerM) / (dd_gflops * cores * 1e9),
+    );
+    // Eight directed faces per halo exchange, one exchange per operator
+    // application; bytes are what the ledger saw received.
+    let messages = stats.operator_applications() as f64 * 8.0;
+    join.record(
+        keys::HALO_EXCHANGE,
+        stats.phase_seconds(Phase::HaloRecv),
+        net.transfer_time_s(stats.total_comm_recv_bytes(), messages),
+    );
+    join.record(
+        keys::GLOBAL_SUMS,
+        stats.phase_seconds(Phase::GlobalSum),
+        stats.global_sums() as f64 * net.allreduce_time_s(ranks),
+    );
+    join
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DegradeReason;
+
+    #[test]
+    fn timeline_completeness_and_serialization() {
+        let t = RequestTimeline {
+            request: RequestId(3),
+            trace: TraceId::derive(7, 3),
+            status: ServeStatus::Converged,
+            stages: vec![("admitted", 0.0), ("coalesced", 1.5), ("solved", 10.0), ("done", 10.0)],
+        };
+        assert!(t.is_complete());
+        assert_eq!(t.total_ms(), 10.0);
+        let v = t.to_value();
+        assert_eq!(v["request"].as_u64(), Some(3));
+        assert_eq!(v["status"].as_str(), Some("converged"));
+        assert_eq!(v["trace"].as_str(), Some(TraceId::derive(7, 3).to_string().as_str()));
+        assert_eq!(v["stages"].as_array().unwrap().len(), 4);
+
+        let partial = RequestTimeline {
+            request: RequestId(4),
+            trace: TraceId::derive(7, 4),
+            status: ServeStatus::Degraded(DegradeReason::SetupFailed),
+            stages: vec![("admitted", 0.0)],
+        };
+        assert!(!partial.is_complete());
+    }
+
+    #[test]
+    fn model_join_prices_all_four_phases() {
+        let mut stats = SolveStats::new();
+        stats.enable_phase_timing();
+        stats.add_flops(Component::OperatorA, 1e9);
+        stats.add_flops(Component::PreconditionerM, 4e9);
+        stats.count_global_sums(10);
+        stats.count_operator_application();
+        let join = join_against_model(&stats, qdd_core::Precision::Single, 4, 1);
+        for key in [keys::DIRAC_APPLY, keys::SCHWARZ_SWEEP, keys::HALO_EXCHANGE, keys::GLOBAL_SUMS]
+        {
+            assert!(join.get(key).is_some(), "missing join entry {key}");
+        }
+        // Compute phases have real predictions; nothing crosses a wire
+        // at one rank, so the network phases price to zero.
+        assert!(join.get(keys::DIRAC_APPLY).unwrap().predicted_s > 0.0);
+        assert!(join.get(keys::SCHWARZ_SWEEP).unwrap().predicted_s > 0.0);
+        assert_eq!(join.get(keys::HALO_EXCHANGE).unwrap().predicted_s, 0.0);
+        assert_eq!(join.get(keys::GLOBAL_SUMS).unwrap().predicted_s, 0.0);
+        // Measured 0 vs a real prediction is a finite (near-zero) ratio.
+        assert!(join.get(keys::DIRAC_APPLY).unwrap().ratio().is_finite());
+    }
+}

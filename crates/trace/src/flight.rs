@@ -1,0 +1,374 @@
+//! Flight recorder: always-on per-lane ring buffers of recent
+//! span/fault/comm events, plus the request/trace identity types that
+//! tie those events to one `qdd-serve` request or one chaos solve.
+//!
+//! Full tracing ([`TraceSink`](crate::TraceSink)) records everything and
+//! is therefore opt-in; the flight recorder is the inverse trade: it
+//! keeps only the last [`FlightRecorder::capacity`] events per lane, so
+//! it can stay attached in production and be dumped *after* something
+//! went wrong — a solver breakdown, a shed request, a fault verdict, or
+//! a straggler anomaly. Recording is cheap by construction:
+//!
+//! - a detached lane is a single branch;
+//! - an attached lane pushes into a ring it owns — the per-lane mutex is
+//!   only ever contended by a dump, never by another recording thread;
+//! - the "clock" is a per-lane sequence number, not wall time, so event
+//!   sequences are bitwise reproducible for seeded runs (and comparable
+//!   across `QDD_WORKERS` settings), which wall-clock stamps never are.
+//!
+//! Dumps are JSONL, one event per line, ordered by `(lane, seq)`.
+
+use crate::phase::Phase;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one `qdd-serve` request, assigned at admission
+/// (monotonically increasing per service run).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Identity of one end-to-end trace: every span, flight event, and
+/// timeline stage of one request (or one chaos-run rank) carries it.
+/// Zero means "no trace context".
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Derive a trace id from a seed and an index (SplitMix64 round):
+    /// deterministic, collision-resistant, never zero.
+    pub fn derive(seed: u64, n: u64) -> TraceId {
+        let mut h = seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        TraceId(h | 1)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One ring-buffer entry. Deliberately wall-clock free: `seq` is the
+/// lane-local cheap clock, `trace` the [`TraceId`] current on the lane,
+/// `code` a stable event name (`fault.retry`, `req.shed`, ...), and
+/// `a`/`b` two event-specific operands (direction and attempt, request
+/// id and status, ...).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FlightEvent {
+    pub lane: u32,
+    pub seq: u64,
+    pub trace: u64,
+    pub phase: Phase,
+    pub code: &'static str,
+    pub a: f64,
+    pub b: f64,
+}
+
+impl FlightEvent {
+    fn to_jsonl(self) -> String {
+        format!(
+            "{{\"lane\":{},\"seq\":{},\"trace\":\"{:016x}\",\"phase\":\"{}\",\"code\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.lane,
+            self.seq,
+            self.trace,
+            self.phase.key(),
+            self.code,
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct LaneInner {
+    lane: u32,
+    /// (ring of the most recent events, next sequence number, dropped count).
+    ring: Mutex<(std::collections::VecDeque<FlightEvent>, u64, u64)>,
+}
+
+struct RecorderInner {
+    capacity: usize,
+    lanes: Mutex<Vec<Arc<LaneInner>>>,
+    /// Where automatic dumps go; `None` keeps dumps in memory only
+    /// (retrievable via [`FlightRecorder::snapshot`]).
+    auto_path: Mutex<Option<String>>,
+    dumps: AtomicU64,
+}
+
+/// Handle to a flight recorder; clones share the same rings. The
+/// default (disabled) recorder costs one branch per record call.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl FlightRecorder {
+    /// Default per-lane ring capacity: enough to hold the fault and
+    /// request activity of several batches, small enough (~8 KiB per
+    /// lane) to stay always-on.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A recorder that records nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled recorder with the given per-lane ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(RecorderInner {
+                capacity: capacity.max(1),
+                lanes: Mutex::new(Vec::new()),
+                auto_path: Mutex::new(None),
+                dumps: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// An enabled recorder with the default capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Set the file automatic dumps are written to (JSONL, overwritten
+    /// per dump so the file always holds the most recent post-mortem).
+    pub fn set_auto_dump_path(&self, path: &str) {
+        if let Some(inner) = &self.inner {
+            *inner.auto_path.lock().unwrap() = Some(path.to_string());
+        }
+    }
+
+    /// Open (and register) a recording lane. Lane ids follow the trace
+    /// sink convention: 0 = main thread, worker `w` uses `w + 1`, SPMD
+    /// rank `r` uses `r`.
+    pub fn lane(&self, lane: u32) -> FlightLane {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return FlightLane::disabled(),
+        };
+        let lane_inner = Arc::new(LaneInner {
+            lane,
+            ring: Mutex::new((std::collections::VecDeque::with_capacity(inner.capacity), 0, 0)),
+        });
+        inner.lanes.lock().unwrap().push(lane_inner.clone());
+        FlightLane { inner: Some(lane_inner), capacity: inner.capacity, trace: AtomicU64::new(0) }
+    }
+
+    /// All retained events, ordered by `(lane, seq)` — a deterministic
+    /// order for seeded runs, independent of dump timing relative to
+    /// other lanes' progress only if those lanes have quiesced.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return Vec::new(),
+        };
+        let lanes = inner.lanes.lock().unwrap();
+        let mut events: Vec<FlightEvent> = Vec::new();
+        for lane in lanes.iter() {
+            let ring = lane.ring.lock().unwrap();
+            events.extend(ring.0.iter().copied());
+        }
+        events.sort_by_key(|e| (e.lane, e.seq));
+        events
+    }
+
+    /// Total events dropped from rings (overwritten by newer ones).
+    pub fn dropped(&self) -> u64 {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return 0,
+        };
+        inner.lanes.lock().unwrap().iter().map(|l| l.ring.lock().unwrap().2).sum()
+    }
+
+    /// Number of dumps triggered so far.
+    pub fn dumps(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.dumps.load(Ordering::Relaxed))
+    }
+
+    /// Render the current rings as JSONL, preceded by a header line
+    /// naming the dump reason.
+    pub fn to_jsonl(&self, reason: &str) -> String {
+        let mut out = format!(
+            "{{\"flight_dump\":\"{reason}\",\"lanes\":{},\"dropped\":{}}}\n",
+            self.inner.as_ref().map_or(0, |i| i.lanes.lock().unwrap().len()),
+            self.dropped()
+        );
+        for e in self.snapshot() {
+            out.push_str(&e.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Trigger a dump: bump the dump counter and, if an auto-dump path
+    /// is configured, write the JSONL there (best effort). Returns the
+    /// path written, if any. Called on breakdown, shed, fault verdict,
+    /// straggler anomaly, or on demand from the CLI.
+    pub fn dump(&self, reason: &str) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        inner.dumps.fetch_add(1, Ordering::Relaxed);
+        let path = inner.auto_path.lock().unwrap().clone()?;
+        match std::fs::write(&path, self.to_jsonl(reason)) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
+}
+
+/// One lane of a flight recorder. Owned by a single recording thread;
+/// cheap to record into (uncontended mutex), carries the lane's current
+/// [`TraceId`] so events don't have to.
+#[derive(Default)]
+pub struct FlightLane {
+    inner: Option<Arc<LaneInner>>,
+    capacity: usize,
+    trace: AtomicU64,
+}
+
+impl Clone for FlightLane {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            capacity: self.capacity,
+            trace: AtomicU64::new(self.trace.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl FlightLane {
+    /// A lane that records nothing (one branch per call).
+    pub fn disabled() -> Self {
+        Self { inner: None, capacity: 0, trace: AtomicU64::new(0) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Set the trace id subsequent events are attributed to.
+    pub fn set_trace(&self, id: TraceId) {
+        self.trace.store(id.0, Ordering::Relaxed);
+    }
+
+    pub fn trace(&self) -> TraceId {
+        TraceId(self.trace.load(Ordering::Relaxed))
+    }
+
+    /// Record one event (drops the oldest if the ring is full).
+    #[inline]
+    pub fn record(&self, phase: Phase, code: &'static str, a: f64, b: f64) {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return,
+        };
+        let mut ring = inner.ring.lock().unwrap();
+        let seq = ring.1;
+        ring.1 += 1;
+        if ring.0.len() == self.capacity {
+            ring.0.pop_front();
+            ring.2 += 1;
+        }
+        ring.0.push_back(FlightEvent {
+            lane: inner.lane,
+            seq,
+            trace: self.trace.load(Ordering::Relaxed),
+            phase,
+            code,
+            a,
+            b,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_lane_records_nothing() {
+        let rec = FlightRecorder::disabled();
+        let lane = rec.lane(0);
+        assert!(!rec.is_enabled());
+        assert!(!lane.is_enabled());
+        lane.record(Phase::Fault, "fault.retry", 1.0, 2.0);
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.dump("test"), None);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let rec = FlightRecorder::with_capacity(4);
+        let lane = rec.lane(3);
+        for i in 0..10 {
+            lane.record(Phase::Fault, "e", i as f64, 0.0);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        // The last four, in sequence order, on the right lane.
+        assert_eq!(events[0].seq, 6);
+        assert_eq!(events[3].seq, 9);
+        assert!(events.iter().all(|e| e.lane == 3));
+    }
+
+    #[test]
+    fn trace_ids_tag_events() {
+        let rec = FlightRecorder::enabled();
+        let lane = rec.lane(0);
+        let t = TraceId::derive(7, 42);
+        assert_ne!(t.0, 0);
+        assert_eq!(t, TraceId::derive(7, 42));
+        assert_ne!(t, TraceId::derive(7, 43));
+        lane.record(Phase::Fault, "before", 0.0, 0.0);
+        lane.set_trace(t);
+        lane.record(Phase::Fault, "after", 0.0, 0.0);
+        let events = rec.snapshot();
+        assert_eq!(events[0].trace, 0);
+        assert_eq!(events[1].trace, t.0);
+    }
+
+    #[test]
+    fn snapshot_orders_by_lane_then_seq() {
+        let rec = FlightRecorder::enabled();
+        let l1 = rec.lane(1);
+        let l0 = rec.lane(0);
+        l1.record(Phase::Fault, "b", 0.0, 0.0);
+        l0.record(Phase::Fault, "a", 0.0, 0.0);
+        l1.record(Phase::Fault, "c", 0.0, 0.0);
+        let codes: Vec<&str> = rec.snapshot().iter().map(|e| e.code).collect();
+        assert_eq!(codes, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dump_writes_jsonl_with_reason_header() {
+        let rec = FlightRecorder::enabled();
+        let lane = rec.lane(0);
+        lane.set_trace(TraceId::derive(1, 1));
+        lane.record(Phase::Fault, "fault.retry", 2.0, 1.0);
+        let dir = std::env::temp_dir().join(format!("qdd-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.jsonl");
+        rec.set_auto_dump_path(path.to_str().unwrap());
+        let written = rec.dump("breakdown").expect("dump path returned");
+        let text = std::fs::read_to_string(&written).unwrap();
+        assert!(text.starts_with("{\"flight_dump\":\"breakdown\""));
+        assert!(text.contains("\"code\":\"fault.retry\""));
+        assert!(text.contains(&format!("{}", TraceId::derive(1, 1))));
+        assert_eq!(rec.dumps(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,322 @@
+//! Log-linear histograms with bounded relative error and deterministic
+//! SPMD merge.
+//!
+//! A [`LogHistogram`] buckets positive samples by their floating-point
+//! exponent plus the top [`SUBBUCKET_BITS`] mantissa bits — 32 linear
+//! sub-buckets per octave. Bucket boundaries are pure functions of the
+//! sample's bit pattern, so two ranks always agree on which bucket a
+//! value lands in, and merging is a u64 add per bucket: associative,
+//! commutative, and bitwise rank-order independent (unlike pooled-sample
+//! percentile schemes, whose sort order and memory footprint both depend
+//! on the merge).
+//!
+//! Quantiles are nearest-rank over the cumulative bucket counts; the
+//! returned value is the bucket midpoint, clamped to the exactly-tracked
+//! `[min, max]`. The relative half-width of a bucket is at most
+//! `1/(2 * SUBBUCKETS)` ≈ 1.6 %, which [`LogHistogram::RELATIVE_ERROR`]
+//! rounds up to a pinned 2 % contract (see the error-bound test).
+
+use serde::{Map, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Mantissa bits used for the linear split of each octave.
+pub const SUBBUCKET_BITS: u32 = 5;
+/// Linear sub-buckets per power of two.
+pub const SUBBUCKETS: u32 = 1 << SUBBUCKET_BITS;
+
+/// Sparse log-linear histogram. Samples `<= 0` (and non-finite ones)
+/// are folded into a dedicated underflow bucket whose representative
+/// value is zero.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    /// Bucket id -> count; id = exponent * SUBBUCKETS + sub-bucket.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples that were zero, negative, or not finite.
+    underflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Bucket id of a finite positive value: unbiased binary exponent times
+/// [`SUBBUCKETS`] plus the top mantissa bits. Monotone in `v`.
+fn bucket_id(v: f64) -> i32 {
+    let bits = v.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> (52 - SUBBUCKET_BITS)) & (SUBBUCKETS as u64 - 1)) as i32;
+    exponent * SUBBUCKETS as i32 + sub
+}
+
+/// Midpoint of a bucket: `2^e * (1 + (sub + 0.5) / SUBBUCKETS)`.
+fn bucket_mid(id: i32) -> f64 {
+    let e = id.div_euclid(SUBBUCKETS as i32);
+    let sub = id.rem_euclid(SUBBUCKETS as i32);
+    (2f64).powi(e) * (1.0 + (sub as f64 + 0.5) / SUBBUCKETS as f64)
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Pinned bound on the relative error of [`quantile`](Self::quantile)
+    /// versus the exact nearest-rank sample quantile. The structural
+    /// bound is `1/(2 * SUBBUCKETS)` ≈ 1.6 %; 2 % is the contract.
+    pub const RELATIVE_ERROR: f64 = 0.02;
+
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() && v > 0.0 {
+            *self.buckets.entry(bucket_id(v)).or_insert(0) += 1;
+        } else {
+            self.underflow += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum of all recorded samples (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum of all recorded samples (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`; 0 if empty. Within
+    /// [`RELATIVE_ERROR`](Self::RELATIVE_ERROR) of the exact sample
+    /// quantile, exact at the extremes (clamped to min/max).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1).min(self.count);
+        // The extreme ranks are the tracked extremes themselves: the
+        // nearest-rank sample at rank `count` IS the maximum, at rank 1
+        // the minimum — no bucket resolution involved.
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min.max(0.0).min(self.max);
+        }
+        if rank == 1 {
+            return self.min;
+        }
+        for (&id, &n) in &self.buckets {
+            seen += n;
+            if rank <= seen {
+                return bucket_mid(id).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram (u64 bucket adds: rank-order independent
+    /// up to float rounding of `sum`).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&id, &n) in &other.buckets {
+            *self.buckets.entry(id).or_insert(0) += n;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The sparse `(bucket id, count)` pairs in ascending bucket order,
+    /// with the underflow bucket (if occupied) reported as id
+    /// `i32::MIN`. Two histograms with equal snapshots held identical
+    /// sample distributions up to bucket resolution.
+    pub fn bucket_snapshot(&self) -> Vec<(i32, u64)> {
+        let mut v = Vec::with_capacity(self.buckets.len() + 1);
+        if self.underflow > 0 {
+            v.push((i32::MIN, self.underflow));
+        }
+        v.extend(self.buckets.iter().map(|(&id, &n)| (id, n)));
+        v
+    }
+}
+
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("count".to_string(), Value::from(self.count));
+        m.insert("sum".to_string(), Value::from(self.sum));
+        m.insert("min".to_string(), Value::from(self.min()));
+        m.insert("max".to_string(), Value::from(self.max()));
+        m.insert("p50".to_string(), Value::from(self.quantile(0.50)));
+        m.insert("p99".to_string(), Value::from(self.quantile(0.99)));
+        m.insert("p999".to_string(), Value::from(self.quantile(0.999)));
+        let buckets = self
+            .bucket_snapshot()
+            .into_iter()
+            .map(|(id, n)| Value::Array(vec![Value::from(id as f64), Value::from(n)]))
+            .collect();
+        m.insert("buckets".to_string(), Value::Array(buckets));
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile for reference.
+    fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(f64::total_cmp);
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1).min(samples.len());
+        samples[rank - 1]
+    }
+
+    #[test]
+    fn bucket_id_is_monotone_and_log_linear() {
+        assert_eq!(bucket_id(1.0), 0);
+        assert_eq!(bucket_id(2.0), SUBBUCKETS as i32);
+        assert_eq!(bucket_id(0.5), -(SUBBUCKETS as i32));
+        let mut prev = bucket_id(1e-9);
+        let mut v = 1e-9;
+        while v < 1e9 {
+            v *= 1.01;
+            let id = bucket_id(v);
+            assert!(id >= prev, "bucket ids must be monotone in the value");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        // Log-uniform samples over six decades: the histogram quantile
+        // must stay within the pinned relative-error contract of the
+        // exact nearest-rank quantile at every probed q.
+        let mut h = LogHistogram::new();
+        let mut samples = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let v = 10f64.powf(-3.0 + 6.0 * u);
+            h.record(v);
+            samples.push(v);
+        }
+        for q in [0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&mut samples, q);
+            let approx = h.quantile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= LogHistogram::RELATIVE_ERROR, "q={q}: {approx} vs {exact} rel={rel}");
+        }
+        // Extremes are exact, not just bounded.
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_is_rank_order_independent() {
+        // Three "ranks" with disjoint sample sets: every merge order must
+        // produce identical bucket snapshots and quantiles.
+        let mut parts = Vec::new();
+        for r in 0..3u64 {
+            let mut h = LogHistogram::new();
+            for i in 0..100 {
+                h.record(0.1 + (r * 100 + i) as f64 * 0.37);
+            }
+            parts.push(h);
+        }
+        let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
+        let merged: Vec<LogHistogram> = orders
+            .iter()
+            .map(|ord| {
+                let mut m = LogHistogram::new();
+                for &i in ord {
+                    m.merge(&parts[i]);
+                }
+                m
+            })
+            .collect();
+        for m in &merged[1..] {
+            assert_eq!(m.bucket_snapshot(), merged[0].bucket_snapshot());
+            assert_eq!(m.count(), merged[0].count());
+            assert_eq!(m.quantile(0.5), merged[0].quantile(0.5));
+            assert_eq!(m.quantile(0.99), merged[0].quantile(0.99));
+            assert_eq!(m.min(), merged[0].min());
+            assert_eq!(m.max(), merged[0].max());
+        }
+    }
+
+    #[test]
+    fn underflow_and_empty_are_well_defined() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(h.count(), 3);
+        // Rank 1 and 2 land in the underflow bucket (representative:
+        // clamped exact min, floored at zero), rank 3 in the 2.0 bucket.
+        assert_eq!(h.quantile(0.34), 0.0);
+        let p = h.quantile(1.0);
+        assert_eq!(p, 2.0);
+    }
+
+    #[test]
+    fn serializes_with_quantiles_and_buckets() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let v = h.to_value();
+        assert_eq!(v["count"].as_u64(), Some(100));
+        assert!(v["p50"].as_f64().unwrap() > 40.0);
+        assert!(v["p99"].as_f64().unwrap() > 90.0);
+        assert!(v["buckets"].as_array().unwrap().len() > 3);
+    }
+}

@@ -10,10 +10,20 @@
 //!    nesting, per-thread buffers ([`ThreadRecorder`]) and negligible
 //!    overhead when disabled (a disabled sink is a `None` — every record
 //!    call is a single branch).
-//! 2. **Metrics** ([`MetricsRegistry`], [`Summary`]): counters, gauges
-//!    and min/mean/max summaries with per-rank scoping and a `merge`
-//!    for SPMD aggregation.
-//! 3. **Exporters** ([`export`]): Chrome-trace JSON (viewable in
+//! 2. **Metrics** ([`MetricsRegistry`], [`Summary`], [`LogHistogram`],
+//!    [`ShardedMetrics`]): counters, gauges, min/mean/max summaries and
+//!    log-linear histograms with per-rank scoping and a deterministic
+//!    `merge` for SPMD aggregation; sharded registries keep hot-path
+//!    recording wait-free.
+//! 3. **Flight recorder** ([`FlightRecorder`]): always-on per-lane ring
+//!    buffers of recent span/fault/comm events with a sequence-number
+//!    clock, dumped on breakdown/shed/fault-verdict/straggler anomaly or
+//!    on demand — post-mortems without full-trace overhead. Request
+//!    identity ([`RequestId`], [`TraceId`]) lives here too.
+//! 4. **Model joins** ([`ModelJoin`]): accumulated measured-vs-predicted
+//!    phase times exported as `model.err.*` gauges, generalizing the
+//!    Fig. 4 overlap validation to every modeled phase.
+//! 5. **Exporters** ([`export`]): Chrome-trace JSON (viewable in
 //!    `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), JSONL
 //!    event streams, and a human-readable per-phase breakdown table in
 //!    the style of the paper's Table III.
@@ -23,13 +33,19 @@
 //! runtime record into the same timeline without any signature changes.
 
 pub mod export;
+pub mod flight;
+pub mod histogram;
 pub mod metrics;
+pub mod model;
 pub mod phase;
 pub mod recorder;
 
 pub use export::{
     breakdown_table, chrome_trace, jsonl, phase_totals, write_trace_files, PhaseTotal,
 };
-pub use metrics::{CommStats, FaultStats, MetricsRegistry, Summary};
+pub use flight::{FlightEvent, FlightLane, FlightRecorder, RequestId, TraceId};
+pub use histogram::LogHistogram;
+pub use metrics::{CommStats, FaultStats, MetricsRegistry, ShardedMetrics, Summary};
+pub use model::{ModelErr, ModelJoin};
 pub use phase::Phase;
 pub use recorder::{validate_balance, Event, EventKind, ThreadRecorder, TraceSink};

@@ -5,9 +5,16 @@
 //! write into; [`MetricsRegistry`] is the superset representation those
 //! ledgers (and the comm counters) export into for aggregation and
 //! reporting. Merge semantics: counters add, gauges take the maximum,
-//! summaries combine — all three are associative and commutative up to
-//! floating-point rounding, so the SPMD reduction order does not matter.
+//! summaries combine, histogram buckets add — all associative and
+//! commutative up to floating-point rounding (bucket counts exactly), so
+//! the SPMD reduction order does not matter.
+//!
+//! Hot paths never touch a shared registry: [`ShardedMetrics`] hands
+//! each lane (worker, rank) a private registry to record into —
+//! wait-free by ownership, no atomics or locks per increment — and folds
+//! the shards in fixed lane order at a phase boundary.
 
+use crate::histogram::LogHistogram;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -71,7 +78,8 @@ impl Summary {
     }
 }
 
-/// Per-rank (or merged) metrics: counters add, gauges max, summaries merge.
+/// Per-rank (or merged) metrics: counters add, gauges max, summaries
+/// merge, histogram buckets add.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct MetricsRegistry {
     /// The rank these metrics describe; `None` after merging across ranks.
@@ -79,6 +87,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     summaries: BTreeMap<String, Summary>,
+    histograms: BTreeMap<String, LogHistogram>,
 }
 
 impl MetricsRegistry {
@@ -105,6 +114,11 @@ impl MetricsRegistry {
         self.summaries.entry(name.to_string()).or_default().record(value);
     }
 
+    /// Record a sample into a named log-linear histogram.
+    pub fn record_hist(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
     pub fn counter(&self, name: &str) -> f64 {
         self.counters.get(name).copied().unwrap_or(0.0)
     }
@@ -117,8 +131,16 @@ impl MetricsRegistry {
         self.summaries.get(name)
     }
 
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
     pub fn counters(&self) -> &BTreeMap<String, f64> {
         &self.counters
+    }
+
+    pub fn histograms(&self) -> &BTreeMap<String, LogHistogram> {
+        &self.histograms
     }
 
     /// Merge another rank's registry into this one. Associative and
@@ -137,10 +159,55 @@ impl MetricsRegistry {
         for (k, s) in &other.summaries {
             self.summaries.entry(k.clone()).or_default().merge(s);
         }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
     }
 
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::to_value(self).expect("metrics registry serializes")
+    }
+}
+
+/// Wait-free hot-path metric recording: one private [`MetricsRegistry`]
+/// per lane. A lane's increments touch only memory that lane owns — no
+/// atomics, locks, or false sharing on the record path — and
+/// [`ShardedMetrics::fold`] merges the shards in ascending lane order at
+/// a phase boundary, so the reduction is deterministic for a fixed lane
+/// count (and, because bucket/counter merges are associative and
+/// commutative, value-identical for any).
+#[derive(Clone, Debug)]
+pub struct ShardedMetrics {
+    shards: Vec<MetricsRegistry>,
+}
+
+impl ShardedMetrics {
+    pub fn new(lanes: usize) -> Self {
+        Self { shards: vec![MetricsRegistry::new(); lanes.max(1)] }
+    }
+
+    pub fn lanes(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The mutable registry of one lane. Callers split `&mut self` so
+    /// each worker sees exactly its own shard (e.g. via
+    /// `shards_mut().par-chunks` or by moving shards into workers).
+    pub fn shard_mut(&mut self, lane: usize) -> &mut MetricsRegistry {
+        &mut self.shards[lane]
+    }
+
+    /// All shards, for handing one `&mut` slot to each worker.
+    pub fn shards_mut(&mut self) -> &mut [MetricsRegistry] {
+        &mut self.shards
+    }
+
+    /// Fold every shard into `target` in ascending lane order (the
+    /// phase-boundary merge).
+    pub fn fold(&self, target: &mut MetricsRegistry) {
+        for shard in &self.shards {
+            target.merge(shard);
+        }
     }
 }
 
@@ -214,9 +281,12 @@ impl FaultStats {
 pub struct CommStats {
     /// Total payload bytes handed to the transport.
     pub bytes_sent: f64,
-    /// Total payload bytes that arrived off the transport. Counted at
-    /// physical arrival, independently of `bytes_sent` — a rank that
-    /// hiccups (sends nothing) still receives and merges peer faces.
+    /// Total payload bytes successfully delivered off the transport.
+    /// Counted exactly once per message at delivery — retried deliveries
+    /// are not re-counted, and a message abandoned when its retry budget
+    /// runs out is not counted at all. Independent of `bytes_sent`: a
+    /// rank that hiccups (sends nothing) still receives and merges peer
+    /// faces.
     pub bytes_received: f64,
     /// Bytes per (dimension, direction): `[dim][0]` = backward,
     /// `[dim][1]` = forward, dims ordered x, y, z, t.
@@ -391,6 +461,43 @@ mod tests {
         total.merge(&d);
         assert_eq!(total.bytes_sent, 100.0);
         assert_eq!(total.reductions, 4, "reductions are collective: max, not sum");
+    }
+
+    #[test]
+    fn registry_histograms_merge_bucket_exact() {
+        let mut a = MetricsRegistry::for_rank(0);
+        let mut b = MetricsRegistry::for_rank(1);
+        for i in 0..50 {
+            a.record_hist("latency_ms", 1.0 + i as f64);
+            b.record_hist("latency_ms", 100.0 + i as f64);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let (hab, hba) = (ab.histogram("latency_ms").unwrap(), ba.histogram("latency_ms").unwrap());
+        assert_eq!(hab.bucket_snapshot(), hba.bucket_snapshot());
+        assert_eq!(hab.count(), 100);
+        assert_eq!(hab.quantile(0.5), hba.quantile(0.5));
+        // Histograms serialize along with the rest of the registry.
+        let v = ab.to_json();
+        assert_eq!(v["histograms"]["latency_ms"]["count"].as_u64(), Some(100));
+    }
+
+    #[test]
+    fn sharded_metrics_fold_in_lane_order() {
+        let mut shards = ShardedMetrics::new(4);
+        for (lane, shard) in shards.shards_mut().iter_mut().enumerate() {
+            shard.add("par.jobs", (lane + 1) as f64);
+            shard.record_hist("par.block_ms", 0.5 * (lane + 1) as f64);
+        }
+        let mut total = MetricsRegistry::new();
+        shards.fold(&mut total);
+        assert_eq!(total.counter("par.jobs"), 10.0);
+        let h = total.histogram("par.block_ms").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 2.0);
     }
 
     #[test]

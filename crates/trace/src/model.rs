@@ -1,0 +1,154 @@
+//! Measured-vs-predicted joins: the generalization of the overlap
+//! validation (Fig. 4) to every phase the machine model prices.
+//!
+//! A [`ModelJoin`] holds one `(measured, predicted)` pair per phase key
+//! and exports them as `model.err.*` gauges — the continuous signal a
+//! model-driven autotuner consumes. The ratio semantics follow the
+//! overlap join in `qdd-machine`: a phase both sides agree is free
+//! (predicted ≈ 0 and measured ≈ 0) validates at ratio 1.0; substantial
+//! measurement against a zero prediction is flagged infinite.
+
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+
+/// Canonical phase keys for the four joins every solve can report
+/// (Table III taxonomy): use these so dashboards see stable names.
+pub mod keys {
+    pub const DIRAC_APPLY: &str = "dirac_apply";
+    pub const SCHWARZ_SWEEP: &str = "schwarz_sweep";
+    pub const HALO_EXCHANGE: &str = "halo_exchange";
+    pub const GLOBAL_SUMS: &str = "global_sums";
+}
+
+/// One phase's measured-vs-predicted record.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ModelErr {
+    /// Wall-clock seconds the execution spent in the phase.
+    pub measured_s: f64,
+    /// The machine model's prediction for the same work.
+    pub predicted_s: f64,
+}
+
+impl ModelErr {
+    /// `measured / predicted`, with the overlap join's pinning: a phase
+    /// both sides agree is negligible (under [`ModelJoin::FLOOR_S`])
+    /// validates to 1.0. Substantial measured time against a ~zero
+    /// prediction divides by the floor instead of zero, flagging
+    /// unmodeled time as a very large — but finite and JSON-safe —
+    /// ratio (the overlap join's `INFINITY`, made serializable).
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_s > ModelJoin::FLOOR_S {
+            self.measured_s / self.predicted_s
+        } else if self.measured_s <= ModelJoin::FLOOR_S {
+            1.0
+        } else {
+            self.measured_s / ModelJoin::FLOOR_S
+        }
+    }
+}
+
+/// Accumulating join of measured phase times against machine-model
+/// predictions. Merges add both sides, so the join can be built up
+/// per batch / per rank and reduced like any other metric.
+#[derive(Clone, Debug, Default)]
+pub struct ModelJoin {
+    entries: BTreeMap<String, ModelErr>,
+}
+
+impl ModelJoin {
+    /// Measurements at or below this are treated as "negligible" when
+    /// the model predicts a free phase (clock granularity, not signal).
+    pub const FLOOR_S: f64 = 1e-6;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate one observation for `key` (seconds on both sides).
+    pub fn record(&mut self, key: &str, measured_s: f64, predicted_s: f64) {
+        let e = self
+            .entries
+            .entry(key.to_string())
+            .or_insert(ModelErr { measured_s: 0.0, predicted_s: 0.0 });
+        e.measured_s += measured_s;
+        e.predicted_s += predicted_s;
+    }
+
+    pub fn get(&self, key: &str) -> Option<ModelErr> {
+        self.entries.get(key).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = (&str, ModelErr)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another join (both sides add per key).
+    pub fn merge(&mut self, other: &ModelJoin) {
+        for (k, v) in &other.entries {
+            self.record(k, v.measured_s, v.predicted_s);
+        }
+    }
+
+    /// Export as gauges: `model.err.<key>` is the measured/predicted
+    /// ratio, with the raw sides alongside as
+    /// `model.measured_s.<key>` / `model.predicted_s.<key>`.
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        for (k, e) in &self.entries {
+            reg.set_gauge(&format!("model.err.{k}"), e.ratio());
+            reg.set_gauge(&format!("model.measured_s.{k}"), e.measured_s);
+            reg.set_gauge(&format!("model.predicted_s.{k}"), e.predicted_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_follows_overlap_join_semantics() {
+        let meaningful = ModelErr { measured_s: 3.0, predicted_s: 2.0 };
+        assert!((meaningful.ratio() - 1.5).abs() < 1e-15);
+        let both_free = ModelErr { measured_s: 0.0, predicted_s: 0.0 };
+        assert_eq!(both_free.ratio(), 1.0);
+        let negligible = ModelErr { measured_s: ModelJoin::FLOOR_S / 2.0, predicted_s: 0.0 };
+        assert_eq!(negligible.ratio(), 1.0);
+        // Unmodeled time: huge but finite (serializable) ratio.
+        let unmodeled = ModelErr { measured_s: 0.5, predicted_s: 0.0 };
+        assert!(unmodeled.ratio().is_finite());
+        assert!(unmodeled.ratio() > 1e4);
+    }
+
+    #[test]
+    fn join_accumulates_and_merges() {
+        let mut a = ModelJoin::new();
+        a.record(keys::DIRAC_APPLY, 1.0, 2.0);
+        a.record(keys::DIRAC_APPLY, 1.0, 0.0);
+        let mut b = ModelJoin::new();
+        b.record(keys::DIRAC_APPLY, 2.0, 2.0);
+        b.record(keys::HALO_EXCHANGE, 0.0, 0.0);
+        a.merge(&b);
+        let d = a.get(keys::DIRAC_APPLY).unwrap();
+        assert_eq!(d.measured_s, 4.0);
+        assert_eq!(d.predicted_s, 4.0);
+        assert_eq!(a.get(keys::HALO_EXCHANGE).unwrap().ratio(), 1.0);
+        assert!(a.get(keys::GLOBAL_SUMS).is_none());
+    }
+
+    #[test]
+    fn export_emits_model_err_gauges() {
+        let mut j = ModelJoin::new();
+        j.record(keys::SCHWARZ_SWEEP, 4.0, 2.0);
+        j.record(keys::GLOBAL_SUMS, 0.0, 0.0);
+        let mut reg = MetricsRegistry::new();
+        j.export(&mut reg);
+        assert_eq!(reg.gauge("model.err.schwarz_sweep"), Some(2.0));
+        assert_eq!(reg.gauge("model.err.global_sums"), Some(1.0));
+        assert_eq!(reg.gauge("model.measured_s.schwarz_sweep"), Some(4.0));
+        assert_eq!(reg.gauge("model.predicted_s.schwarz_sweep"), Some(2.0));
+    }
+}

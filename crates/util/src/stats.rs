@@ -14,7 +14,9 @@
 //! single branch per call.
 
 use qdd_trace::{Phase, TraceSink};
+use std::cell::Cell;
 use std::fmt;
+use std::time::Instant;
 
 /// Simple running summary (count / mean / min / max) used by the
 /// benches; lives in `qdd-trace` so metrics registries can aggregate it.
@@ -78,6 +80,65 @@ pub struct SolveStats {
     operator_applications: u64,
     /// Optional structured-trace sink; detached by default.
     sink: TraceSink,
+    /// Opt-in wall-clock timing of the model-priced phases; off by
+    /// default (one extra branch per span call).
+    timing: PhaseTiming,
+}
+
+/// Wall-clock accumulator for the four phases the machine model prices
+/// (the `model.err.*` join keys): operator `A` applications, the Schwarz
+/// preconditioner, halo receives (wait included), and global sums.
+///
+/// Interior mutability (`Cell`) keeps the `&self` span API; per-phase
+/// nesting depths make re-entrant spans count wall time once. Timing is
+/// bookkeeping only — it never touches solver numerics, so enabling it
+/// cannot change results bitwise.
+#[derive(Clone, Debug, Default)]
+struct PhaseTiming {
+    enabled: bool,
+    depth: [Cell<u32>; 4],
+    start: [Cell<Option<Instant>>; 4],
+    seconds: [Cell<f64>; 4],
+}
+
+/// Slot of a phase in the timing accumulator; `None` for untimed phases.
+#[inline]
+fn timed_slot(phase: Phase) -> Option<usize> {
+    match phase {
+        Phase::OperatorApply => Some(0),
+        Phase::Precondition => Some(1),
+        Phase::HaloRecv => Some(2),
+        Phase::GlobalSum => Some(3),
+        _ => None,
+    }
+}
+
+impl PhaseTiming {
+    #[inline]
+    fn begin(&self, phase: Phase) {
+        if let Some(i) = timed_slot(phase) {
+            let d = self.depth[i].get();
+            self.depth[i].set(d + 1);
+            if d == 0 {
+                self.start[i].set(Some(Instant::now()));
+            }
+        }
+    }
+
+    #[inline]
+    fn end(&self, phase: Phase) {
+        if let Some(i) = timed_slot(phase) {
+            let d = self.depth[i].get();
+            if d > 0 {
+                self.depth[i].set(d - 1);
+                if d == 1 {
+                    if let Some(t0) = self.start[i].take() {
+                        self.seconds[i].set(self.seconds[i].get() + t0.elapsed().as_secs_f64());
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl SolveStats {
@@ -167,16 +228,40 @@ impl SolveStats {
         &self.sink
     }
 
+    /// Turn on wall-clock timing of the model-priced phases (operator
+    /// apply, precondition, halo recv, global sum). Subsequent
+    /// [`span_begin`](Self::span_begin)/[`span_end`](Self::span_end)
+    /// pairs accumulate into [`phase_seconds`](Self::phase_seconds).
+    pub fn enable_phase_timing(&mut self) {
+        self.timing.enabled = true;
+    }
+
+    pub fn phase_timing_enabled(&self) -> bool {
+        self.timing.enabled
+    }
+
+    /// Accumulated wall-clock seconds spent in `phase` (0 unless timing
+    /// is enabled and the phase is one of the four timed ones).
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        timed_slot(phase).map_or(0.0, |i| self.timing.seconds[i].get())
+    }
+
     /// Open a phase span on the calling thread's main lane.
     #[inline]
     pub fn span_begin(&self, phase: Phase) {
         self.sink.begin(phase);
+        if self.timing.enabled {
+            self.timing.begin(phase);
+        }
     }
 
     /// Close the innermost span of `phase`.
     #[inline]
     pub fn span_end(&self, phase: Phase) {
         self.sink.end(phase);
+        if self.timing.enabled {
+            self.timing.end(phase);
+        }
     }
 
     /// Record one outer-iteration residual sample.
@@ -195,6 +280,11 @@ impl SolveStats {
         self.global_sums += other.global_sums;
         self.outer_iterations = self.outer_iterations.max(other.outer_iterations);
         self.operator_applications += other.operator_applications;
+        self.timing.enabled |= other.timing.enabled;
+        for i in 0..4 {
+            self.timing.seconds[i]
+                .set(self.timing.seconds[i].get() + other.timing.seconds[i].get());
+        }
     }
 
     /// Fraction of total flops per component, in `Component::ALL` order.
@@ -269,6 +359,38 @@ mod tests {
         assert_eq!(a.global_sums(), 6);
         // Iterations are a max, not a sum: all ranks iterate together.
         assert_eq!(a.outer_iterations(), 1);
+    }
+
+    #[test]
+    fn phase_timing_is_opt_in_and_reentrant() {
+        // Disabled (default): spans accumulate nothing.
+        let s = SolveStats::new();
+        s.span_begin(Phase::OperatorApply);
+        s.span_end(Phase::OperatorApply);
+        assert_eq!(s.phase_seconds(Phase::OperatorApply), 0.0);
+
+        let mut s = SolveStats::new();
+        s.enable_phase_timing();
+        assert!(s.phase_timing_enabled());
+        // Re-entrant spans count outermost wall time once: the nested
+        // begin/end must not double the accumulated seconds.
+        s.span_begin(Phase::GlobalSum);
+        s.span_begin(Phase::GlobalSum);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.span_end(Phase::GlobalSum);
+        s.span_end(Phase::GlobalSum);
+        let once = s.phase_seconds(Phase::GlobalSum);
+        assert!(once >= 0.002, "nested span under-measured: {once}");
+        assert!(once < 1.0, "nested span wildly over-measured: {once}");
+        // Untracked phases stay zero even when enabled.
+        s.span_begin(Phase::GramSchmidt);
+        s.span_end(Phase::GramSchmidt);
+        assert_eq!(s.phase_seconds(Phase::GramSchmidt), 0.0);
+        // Merge adds per-phase seconds.
+        let mut t = SolveStats::new();
+        t.merge(&s);
+        assert_eq!(t.phase_seconds(Phase::GlobalSum), once);
+        assert!(t.phase_timing_enabled());
     }
 
     #[test]

@@ -31,6 +31,23 @@ cargo run -p qdd-bench --release --bin chaos -- --smoke
 echo "==> overlap smoke benchmark (release)"
 cargo run -p qdd-bench --release --bin overlap -- --smoke
 
+# Serve smoke: bitwise cold-vs-served agreement plus the telemetry
+# acceptance asserts (complete per-request timelines, model join).
+echo "==> serve smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin serve -- --smoke
+
+# Telemetry guard: instrumented solves must be bitwise identical to bare
+# ones (overhead is gated in full runs, reported in smoke).
+echo "==> telemetry overhead guard (release, smoke)"
+cargo run -p qdd-bench --release --bin telemetry -- --smoke
+
+# Bench gate: the deterministic fields of the fresh smoke reports above
+# (iterations, fault counters, trace ids, timeline shapes) must match the
+# committed baselines in results/baselines/. On drift it points at
+# results/FLIGHT_chaos.jsonl for the post-mortem.
+echo "==> bench gate vs committed baselines"
+python3 scripts/bench_gate.py
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -10,10 +10,11 @@
 //! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
 //!           [--tol T] [--deadline-ms D] [--workers N] [--max-batch B]
 //!           [--queue N] [--cache N] [--seed N] [--half] [--trace PATH]
+//!           [--flight-dump PATH] [--timelines]
 //! qdd chaos [--dims X,Y,Z,T] [--block X,Y,Z,T] [--ranks X,Y,Z,T]
 //!           [--loss P] [--corrupt P] [--delay P] [--hiccup P]
 //!           [--fault-seed N] [--restarts N] [--mass M] [--spread S]
-//!           [--tol T] [--seed N] [--no-overlap]
+//!           [--tol T] [--seed N] [--no-overlap] [--flight-dump PATH]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
 //! qdd info
 //! ```
@@ -24,10 +25,10 @@
 
 use lattice_qcd_dd::prelude::*;
 use lattice_qcd_dd::serve::{
-    serve, ConfigKey, ServeStatus, ServiceConfig, SolveRequest, SubmitError, SyntheticSource,
-    Ticket,
+    serve_with_flight, ConfigKey, ServeStatus, ServiceConfig, SolveRequest, SubmitError,
+    SyntheticSource, Ticket,
 };
-use lattice_qcd_dd::trace::{breakdown_table, write_trace_files, TraceSink};
+use lattice_qcd_dd::trace::{breakdown_table, write_trace_files, FlightRecorder, TraceSink};
 use qdd_hmc::{Hmc, HmcConfig, LeapfrogConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -239,6 +240,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     let trace_path = args.flags.get("trace").cloned();
     let sink = if trace_path.is_some() { TraceSink::enabled() } else { TraceSink::disabled() };
+    let flight_path = args.flags.get("flight-dump").cloned();
+    let flight = if flight_path.is_some() {
+        FlightRecorder::with_capacity(256)
+    } else {
+        FlightRecorder::disabled()
+    };
+    if let Some(p) = &flight_path {
+        if let Some(dir) = std::path::Path::new(p).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        flight.set_auto_dump_path(p);
+    }
     let source = SyntheticSource::new(dims);
     println!(
         "serving {requests} requests over {configs} synthetic configuration(s) on {dims} \
@@ -247,7 +260,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     );
 
     let t0 = std::time::Instant::now();
-    let ((responses, shed), report) = serve(&svc, &source, &sink, |h| {
+    let ((responses, shed), report) = serve_with_flight(&svc, &source, &sink, &flight, |h| {
         let mut rng = Rng64::new(seed);
         let mut tickets: Vec<Ticket> = Vec::new();
         let mut shed = 0u64;
@@ -295,12 +308,43 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         wall.as_secs_f64()
     );
 
+    // Model-validation join: measured wall time vs the KNC machine
+    // model's price per phase (ratio 1 = the model nailed it).
+    if !report.model.is_empty() {
+        println!(
+            "\n{:>14}  {:>11} {:>11} {:>9}",
+            "model join", "measured_s", "predicted_s", "ratio"
+        );
+        for (key, e) in report.model.entries() {
+            println!(
+                "{key:>14}  {:>11.3e} {:>11.3e} {:>9.3}",
+                e.measured_s,
+                e.predicted_s,
+                e.ratio()
+            );
+        }
+    }
+
+    if args.has("timelines") {
+        println!("\nper-request timelines (ms since admission):");
+        for t in &report.timelines {
+            let stages: Vec<String> =
+                t.stages.iter().map(|(s, ms)| format!("{s}@{ms:.2}")).collect();
+            println!("  {} trace {}  {}", t.request, t.trace, stages.join(" -> "));
+        }
+    }
+
     if let Some(path) = &trace_path {
         let streams = [sink.stream()];
         write_trace_files(&streams, path)
             .map_err(|e| format!("could not write trace to {path}: {e}"))?;
         println!("\ntrace written: {path} (chrome://tracing), {path}.jsonl");
         println!("{}", breakdown_table(&streams));
+    }
+    if flight_path.is_some() {
+        if let Some(p) = flight.dump("on-demand") {
+            println!("flight dump written: {p} ({} event(s))", flight.snapshot().len());
+        }
     }
     let failed = responses.iter().filter(|r| !r.status.meets_target()).count();
     if failed == 0 {
@@ -387,9 +431,28 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         precision: if args.has("half") { Precision::HalfCompressed } else { Precision::Single },
     };
 
+    // Flight recorder: each rank records on its own lane under a trace
+    // id derived from the fault seed, so a dump correlates injected
+    // faults with the rank/attempt they hit.
+    let flight_path = args.flags.get("flight-dump").cloned();
+    let flight = if flight_path.is_some() {
+        FlightRecorder::with_capacity(256)
+    } else {
+        FlightRecorder::disabled()
+    };
+    if let Some(p) = &flight_path {
+        if let Some(dir) = std::path::Path::new(p).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        flight.set_auto_dump_path(p);
+    }
+
     let world = CommWorld::with_faults(grid.clone(), FaultPlan::new(fault_seed, rates));
+    let flight_ref = &flight;
     let results = run_spmd(&world, |ctx| {
         let r = ctx.rank();
+        ctx.attach_flight(flight_ref.lane(r as u32));
+        ctx.set_trace_id(lattice_qcd_dd::trace::TraceId::derive(fault_seed, r as u64));
         let op = WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), mass, phases);
         let mut stats = SolveStats::new();
         let (x, out, comm) =
@@ -422,6 +485,18 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             "{r:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10.0}",
             f.retries, f.timeouts, f.corruptions, f.delays, f.hiccups, f.zero_fills, f.delay_us
         );
+    }
+
+    // Fault verdict: any injected-fault activity auto-dumps the flight
+    // rings — the black box lands next to the run that tripped it.
+    let fault_activity = results.iter().any(|(_, _, c)| {
+        let f = &c.faults;
+        f.retries + f.timeouts + f.corruptions + f.delays + f.hiccups > 0
+    });
+    if fault_activity {
+        if let Some(p) = flight.dump("fault-verdict") {
+            println!("\nflight dump written: {p} ({} event(s))", flight.snapshot().len());
+        }
     }
 
     // Ground-truth check: the recovered solution must actually solve the
