@@ -1,0 +1,246 @@
+//! Predict → measure → correct: turning `model.err.*` ratios into
+//! per-component scale factors the search applies before ranking.
+//!
+//! The machine model prices a solve in the Table III taxonomy
+//! (`dirac_apply`, `schwarz_sweep`, `halo_exchange`, `global_sums`). A
+//! measured run — live [`SolveStats`] phase timings or a bench JSON with
+//! a `model_join` series — yields measured/predicted ratios per key;
+//! [`Calibration`] stores them (clamped) and rescales the model's
+//! per-component times so the *next* ranking reflects the machine the
+//! measurements came from rather than the data-sheet constants.
+
+use qdd_machine::kernel::{dd_method_rate, wilson_clover_bound};
+use qdd_machine::{MachineBackend, Precision, PrefetchMode};
+use qdd_trace::model::keys;
+use qdd_trace::{ModelJoin, Phase};
+use qdd_util::stats::{Component, SolveStats};
+use std::collections::BTreeMap;
+
+/// Per-component multiplicative corrections (measured / predicted).
+/// Identity (all 1.0) means "trust the data-sheet model".
+#[derive(Clone, Debug, Default)]
+pub struct Calibration {
+    scales: BTreeMap<String, f64>,
+}
+
+impl Calibration {
+    /// Ratios outside this band are clamped: a measured/predicted ratio
+    /// of 10^4 means "unmodeled effect", not "scale the model by 10^4".
+    pub const CLAMP: (f64, f64) = (1e-2, 1e2);
+
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// The correction for a key (1.0 when unmeasured).
+    pub fn scale(&self, key: &str) -> f64 {
+        self.scales.get(key).copied().unwrap_or(1.0)
+    }
+
+    /// Set one correction explicitly (clamped).
+    pub fn set(&mut self, key: &str, ratio: f64) {
+        let clamped = ratio.clamp(Self::CLAMP.0, Self::CLAMP.1);
+        self.scales.insert(key.to_string(), clamped);
+    }
+
+    /// Learn corrections from a measured-vs-predicted join: one scale
+    /// per key whose predicted side is meaningful (above the join's
+    /// floor). Keys the model prices at ~zero carry no signal about the
+    /// model's *rate* constants and are skipped.
+    pub fn from_join(join: &ModelJoin) -> Self {
+        let mut c = Self::identity();
+        for (key, err) in join.entries() {
+            if err.predicted_s > ModelJoin::FLOOR_S && err.measured_s > ModelJoin::FLOOR_S {
+                c.set(key, err.ratio());
+            }
+        }
+        c
+    }
+
+    /// Learn corrections from a bench report JSON (the workspace
+    /// schema): finds a `model_join` series whose points carry `phase`,
+    /// `measured_s`, `predicted_s` — the shape `BENCH_serve.json` and
+    /// `BENCH_telemetry.json` emit — accumulates them into a join and
+    /// calibrates from it. Returns `None` when the text does not parse
+    /// or carries no such series.
+    pub fn from_bench_json(text: &str) -> Option<Self> {
+        let root = serde_json::from_str(text).ok()?;
+        let series = root.get("series")?.as_array()?;
+        let mut join = ModelJoin::new();
+        for s in series {
+            if s.get("label").and_then(|l| l.as_str()) != Some("model_join") {
+                continue;
+            }
+            for p in s.get("points")?.as_array()? {
+                let (Some(phase), Some(measured), Some(predicted)) = (
+                    p.get("phase").and_then(|v| v.as_str()),
+                    p.get("measured_s").and_then(|v| v.as_f64()),
+                    p.get("predicted_s").and_then(|v| v.as_f64()),
+                ) else {
+                    continue;
+                };
+                join.record(phase, measured, predicted);
+            }
+        }
+        if join.is_empty() {
+            return None;
+        }
+        Some(Self::from_join(&join))
+    }
+
+    /// Apply this calibration to a predicted component time.
+    pub fn corrected(&self, key: &str, predicted_s: f64) -> f64 {
+        predicted_s * self.scale(key)
+    }
+}
+
+/// Price a solve's measured phase times against *any* backend's model —
+/// the backend-routed generalization of the serve-side
+/// `join_against_model` (which hard-coded the KNC chip and network).
+///
+/// Keys and semantics match `qdd_trace::model::keys`: operator-A flops
+/// at the backend's Wilson-Clover issue bound, preconditioner flops at
+/// its composite DD rate, received halo bytes through its network, and
+/// reduction count times its allreduce latency.
+pub fn join_against_backend(
+    stats: &SolveStats,
+    backend: &dyn MachineBackend,
+    precision: Precision,
+    prefetch: PrefetchMode,
+    i_domain: usize,
+    ranks: usize,
+) -> ModelJoin {
+    let chip = backend.chip();
+    let net = backend.network();
+    let cores = chip.cores as f64;
+
+    let mut join = ModelJoin::new();
+    let (_eff, op_gflops) = wilson_clover_bound(&chip);
+    join.record(
+        keys::DIRAC_APPLY,
+        stats.phase_seconds(Phase::OperatorApply),
+        stats.flops(Component::OperatorA) / (op_gflops * cores * 1e9),
+    );
+    let dd_gflops = dd_method_rate(&chip, precision, prefetch, i_domain.max(1));
+    join.record(
+        keys::SCHWARZ_SWEEP,
+        stats.phase_seconds(Phase::Precondition),
+        stats.flops(Component::PreconditionerM) / (dd_gflops * cores * 1e9),
+    );
+    // Eight directed faces per halo exchange, one exchange per operator
+    // application; bytes are what the ledger saw received.
+    let messages = stats.operator_applications() as f64 * 8.0;
+    join.record(
+        keys::HALO_EXCHANGE,
+        stats.phase_seconds(Phase::HaloRecv),
+        net.transfer_time_s(stats.total_comm_recv_bytes(), messages),
+    );
+    join.record(
+        keys::GLOBAL_SUMS,
+        stats.phase_seconds(Phase::GlobalSum),
+        stats.global_sums() as f64 * net.allreduce_time_s(ranks),
+    );
+    join
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_machine::BackendKind;
+
+    #[test]
+    fn identity_leaves_predictions_alone() {
+        let c = Calibration::identity();
+        assert!(c.is_identity());
+        assert_eq!(c.scale(keys::DIRAC_APPLY), 1.0);
+        assert_eq!(c.corrected(keys::SCHWARZ_SWEEP, 2.5), 2.5);
+    }
+
+    #[test]
+    fn from_join_learns_meaningful_ratios_only() {
+        let mut join = ModelJoin::new();
+        join.record(keys::DIRAC_APPLY, 3.0, 2.0); // ratio 1.5
+        join.record(keys::HALO_EXCHANGE, 0.0, 0.0); // both free: no signal
+        join.record(keys::GLOBAL_SUMS, 0.5, 0.0); // unmodeled: no rate signal
+        let c = Calibration::from_join(&join);
+        assert!((c.scale(keys::DIRAC_APPLY) - 1.5).abs() < 1e-12);
+        assert_eq!(c.scale(keys::HALO_EXCHANGE), 1.0);
+        assert_eq!(c.scale(keys::GLOBAL_SUMS), 1.0);
+        assert!(!c.is_identity());
+    }
+
+    #[test]
+    fn ratios_are_clamped() {
+        let mut c = Calibration::identity();
+        c.set(keys::DIRAC_APPLY, 1e9);
+        c.set(keys::SCHWARZ_SWEEP, 0.0);
+        assert_eq!(c.scale(keys::DIRAC_APPLY), Calibration::CLAMP.1);
+        assert_eq!(c.scale(keys::SCHWARZ_SWEEP), Calibration::CLAMP.0);
+    }
+
+    #[test]
+    fn parses_the_bench_report_schema() {
+        let text = r#"{
+            "name": "serve",
+            "params": {},
+            "series": [
+                {"label": "latency", "points": [{"p50": 1.0}]},
+                {"label": "model_join", "points": [
+                    {"phase": "dirac_apply", "measured_s": 4.0, "predicted_s": 2.0, "ratio": 2.0},
+                    {"phase": "schwarz_sweep", "measured_s": 1.0, "predicted_s": 2.0, "ratio": 0.5}
+                ]}
+            ],
+            "metadata": {}
+        }"#;
+        let c = Calibration::from_bench_json(text).expect("parses");
+        assert!((c.scale(keys::DIRAC_APPLY) - 2.0).abs() < 1e-12);
+        assert!((c.scale(keys::SCHWARZ_SWEEP) - 0.5).abs() < 1e-12);
+        assert!(Calibration::from_bench_json("{").is_none());
+        assert!(Calibration::from_bench_json(r#"{"series": []}"#).is_none());
+    }
+
+    #[test]
+    fn backend_join_prices_all_four_phases() {
+        let mut stats = SolveStats::new();
+        stats.enable_phase_timing();
+        stats.add_flops(Component::OperatorA, 1e9);
+        stats.add_flops(Component::PreconditionerM, 4e9);
+        stats.count_global_sums(10);
+        stats.count_operator_application();
+        for kind in BackendKind::ALL {
+            let b = kind.instance();
+            let join =
+                join_against_backend(&stats, b, Precision::Single, b.default_prefetch(), 4, 1);
+            assert!(join.get(keys::DIRAC_APPLY).unwrap().predicted_s > 0.0, "{kind}");
+            assert!(join.get(keys::SCHWARZ_SWEEP).unwrap().predicted_s > 0.0, "{kind}");
+            // Nothing crosses a wire at one rank.
+            assert_eq!(join.get(keys::HALO_EXCHANGE).unwrap().predicted_s, 0.0);
+            assert_eq!(join.get(keys::GLOBAL_SUMS).unwrap().predicted_s, 0.0);
+        }
+        // The KNL prices compute cheaper than the KNC (faster chip).
+        let knc = join_against_backend(
+            &stats,
+            BackendKind::Knc7110p.instance(),
+            Precision::Single,
+            PrefetchMode::L1L2,
+            4,
+            1,
+        );
+        let knl = join_against_backend(
+            &stats,
+            BackendKind::KnlFlat.instance(),
+            Precision::Single,
+            PrefetchMode::None,
+            4,
+            1,
+        );
+        assert!(
+            knl.get(keys::DIRAC_APPLY).unwrap().predicted_s
+                < knc.get(keys::DIRAC_APPLY).unwrap().predicted_s
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Model-driven parameter autotuning over trait-based machine backends.
+//!
+//! The paper hand-tunes its solver (8x4x4x4 blocks, half-precision
+//! operator storage, L1+L2 software prefetch, `Is=16`, `Id=5`) for one
+//! machine — the Stampede KNC. This crate closes the loop the ROADMAP
+//! asks for: given any [`qdd_machine::MachineBackend`] (KNC 7110P, or
+//! the KNL 7250 in MCDRAM flat/cache mode), the [`Autotuner`] searches
+//! block geometry × precision × prefetch mode × `i_schwarz`/`i_domain`,
+//! scores every candidate with the backend's Table III composition
+//! under the Eq. 6 load-balance and Fig. 4 `cores <= ndomain/2` hiding
+//! constraints, and returns a bitwise-reproducible ranked [`TunePlan`].
+//!
+//! The loop is predict → measure → correct:
+//!
+//! 1. **predict** — rank candidates from the data-sheet model,
+//! 2. **measure** — run a solve with phase timing and join it against
+//!    the backend ([`join_against_backend`]), or load a bench JSON that
+//!    already carries a `model_join` series,
+//! 3. **correct** — [`Calibration`] turns the `model.err.*` ratios into
+//!    per-component scale factors and the tuner re-ranks with them.
+//!
+//! Everything is deterministic: the candidate enumeration is canonical,
+//! the seeded evaluation shuffle cannot leak into results (scoring is
+//! pure), ranking uses `f64::total_cmp` plus a canonical tie-break, and
+//! the plan carries an FNV-1a fingerprint so reruns can prove bitwise
+//! identity.
+
+pub mod calibrate;
+pub mod params;
+pub mod search;
+
+pub use calibrate::{join_against_backend, Calibration};
+pub use params::{fnv1a, fnv1a_u64, Rejection, TunePlan, TuneProblem, TunedParams};
+pub use search::{Autotuner, IterationModel, SearchSpace};

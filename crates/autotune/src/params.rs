@@ -1,0 +1,209 @@
+//! The autotuner's vocabulary: the problem being tuned, one tuned
+//! operating point, and the ranked plan the search returns.
+
+use qdd_lattice::Dims;
+use qdd_machine::{BackendKind, Precision, PrefetchMode};
+use serde::Serialize;
+
+/// What the tuner is optimizing *for*: a lattice, its rank layout, the
+/// outer-solver shape, and how many cores per node actually participate.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct TuneProblem {
+    /// Global lattice extents.
+    pub dims: Dims,
+    /// Rank grid (volume = node count); `1x1x1x1` for a single host.
+    pub layout: Dims,
+    /// FGMRES basis size (fixed by memory, not searched).
+    pub max_basis: usize,
+    /// Deflation space size (fixed alongside the basis).
+    pub deflate: usize,
+    /// Outer iterations observed (or expected) at the *reference*
+    /// operating point `i_schwarz = 16, i_domain = 5` — the anchor of
+    /// the iteration-response law.
+    pub base_outer: usize,
+    /// Cores per node that run domain solves; `None` uses the backend
+    /// chip's core count (the co-processor case). The serve path passes
+    /// its worker count here.
+    pub cores: Option<usize>,
+}
+
+impl TuneProblem {
+    /// The paper's 48^3x64 strong-scaling workload on `kncs` nodes.
+    pub fn paper_48(kncs: usize) -> Option<Self> {
+        let lat = qdd_machine::workload::lattice_48();
+        let layout = qdd_machine::rank_layout(&lat.dims, kncs)?;
+        Some(Self {
+            dims: lat.dims,
+            layout,
+            max_basis: lat.dd.max_basis,
+            deflate: lat.dd.deflate,
+            base_outer: lat.dd.outer_iterations,
+            cores: None,
+        })
+    }
+
+    /// A single-host problem (the serve path): one rank, `workers`
+    /// cores, modest Krylov space.
+    pub fn single_node(dims: Dims, workers: usize, base_outer: usize) -> Self {
+        Self {
+            dims,
+            layout: Dims::new(1, 1, 1, 1),
+            max_basis: 16,
+            deflate: 4,
+            base_outer: base_outer.max(1),
+            cores: Some(workers.max(1)),
+        }
+    }
+
+    /// Local (per-rank) lattice extents.
+    pub fn local(&self) -> Dims {
+        self.dims.grid_over(&self.layout)
+    }
+
+    /// Is this a distributed problem (halo traffic exists)?
+    pub fn distributed(&self) -> bool {
+        self.layout.volume() > 1
+    }
+}
+
+/// One scored operating point: the tunables plus what the model says
+/// they cost. Ordering fields (`predicted_total_s` first, then the
+/// canonical key) make ranked plans bitwise reproducible.
+#[derive(Copy, Clone, Debug, Serialize)]
+pub struct TunedParams {
+    pub backend: BackendKind,
+    /// Schwarz block geometry.
+    pub block: Dims,
+    /// Gauge/clover storage precision in the preconditioner.
+    pub precision: Precision,
+    pub prefetch: PrefetchMode,
+    pub i_schwarz: usize,
+    pub i_domain: usize,
+    /// Outer iterations the response law predicts at this strength.
+    pub outer_iterations: usize,
+    /// Model-predicted time to solution, seconds, after calibration.
+    pub predicted_total_s: f64,
+    /// The uncalibrated prediction (equal when calibration is identity).
+    pub raw_total_s: f64,
+    /// Predicted preconditioner rate, Gflop/s per node.
+    pub predicted_m_gflops: f64,
+    /// Eq. 7 load average at this geometry.
+    pub load: f64,
+    /// Whether the Fig. 4 hiding condition `cores <= ndomain/2` holds.
+    pub can_hide: bool,
+}
+
+impl TunedParams {
+    /// Canonical tie-break key: deterministic total order over the
+    /// tunables, independent of score.
+    pub fn key(&self) -> (usize, [usize; 4], u8, u8, usize, usize) {
+        let precision = match self.precision {
+            Precision::Single => 0u8,
+            Precision::Half => 1,
+        };
+        let prefetch = match self.prefetch {
+            PrefetchMode::None => 0u8,
+            PrefetchMode::L1 => 1,
+            PrefetchMode::L1L2 => 2,
+        };
+        (self.block.volume(), self.block.0, precision, prefetch, self.i_schwarz, self.i_domain)
+    }
+
+    /// One-line rendering for tables and logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}x{}x{}x{} {} {} Is={} Id={} outer={} load={:.0}% {:.3}s",
+            self.block.0[0],
+            self.block.0[1],
+            self.block.0[2],
+            self.block.0[3],
+            match self.precision {
+                Precision::Single => "f32",
+                Precision::Half => "f16",
+            },
+            match self.prefetch {
+                PrefetchMode::None => "pf:none",
+                PrefetchMode::L1 => "pf:l1",
+                PrefetchMode::L1L2 => "pf:l1l2",
+            },
+            self.i_schwarz,
+            self.i_domain,
+            self.outer_iterations,
+            100.0 * self.load,
+            self.predicted_total_s,
+        )
+    }
+}
+
+/// Why a candidate was excluded from the ranked plan.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Rejection {
+    /// The paper block (or candidate) does not tile the local lattice an
+    /// even number of times.
+    Geometry,
+    /// `DdParams` failed typed validation.
+    Invalid,
+    /// Eq. 6 load average below the tuner's floor.
+    Load,
+    /// Fig. 4 hiding impossible: more cores than `ndomain/2` on a
+    /// distributed problem.
+    Hiding,
+}
+
+/// The search's answer: candidates ranked best-first, the scored
+/// hand-set default for comparison, and bookkeeping that makes the run
+/// auditable and reproducible.
+#[derive(Clone, Debug, Serialize)]
+pub struct TunePlan {
+    pub backend: BackendKind,
+    pub problem: TuneProblem,
+    /// Feasible candidates, best (lowest predicted time) first.
+    pub ranked: Vec<TunedParams>,
+    /// The backend's hand-set default operating point, scored the same
+    /// way (`None` when the paper block does not fit the problem).
+    pub default_params: Option<TunedParams>,
+    pub evaluated: usize,
+    pub rejected_load: usize,
+    pub rejected_hiding: usize,
+    pub rejected_invalid: usize,
+    /// Seed of the (order-shuffling) evaluation permutation.
+    pub seed: u64,
+    /// FNV-1a over every ranked candidate's tunables and score bits:
+    /// two runs agree iff their plans are bitwise identical.
+    pub fingerprint: u64,
+}
+
+impl TunePlan {
+    /// The winner, if any candidate was feasible.
+    pub fn best(&self) -> Option<&TunedParams> {
+        self.ranked.first()
+    }
+
+    /// Model-predicted speedup of the winner over the scored default
+    /// (>1 means the tuner found a better operating point).
+    pub fn speedup_over_default(&self) -> Option<f64> {
+        let best = self.best()?;
+        let default = self.default_params.as_ref()?;
+        Some(default.predicted_total_s / best.predicted_total_s)
+    }
+}
+
+/// FNV-1a 64-bit, the workspace's deterministic fingerprint hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Extend an FNV-1a state with a u64 (little-endian).
+pub fn fnv1a_u64(state: u64, v: u64) -> u64 {
+    let mut h = state;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

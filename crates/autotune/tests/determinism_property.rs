@@ -1,0 +1,108 @@
+//! Property tests: the autotuner is bitwise deterministic.
+//!
+//! The ranked plan must be a pure function of (backend, problem,
+//! search space) — the evaluation-order shuffle seed, the process
+//! environment (`QDD_WORKERS`), and rerun count must not move a single
+//! bit of the fingerprint or of any ranked candidate. This is the
+//! contract that lets `qdd-serve` cache plans by shape and lets the
+//! bench gate pin the plan fingerprint across hosts.
+
+use proptest::prelude::*;
+use qdd_autotune::{Autotuner, TuneProblem};
+use qdd_lattice::Dims;
+use qdd_machine::BackendKind;
+
+fn backend(idx: usize) -> BackendKind {
+    BackendKind::ALL[idx % BackendKind::ALL.len()]
+}
+
+/// Assert two plans are bitwise identical: fingerprint, ranking order,
+/// and the full f64 bit pattern of every candidate's predicted times.
+fn assert_plans_identical(
+    a: &qdd_autotune::TunePlan,
+    b: &qdd_autotune::TunePlan,
+) -> Result<(), String> {
+    prop_assert_eq!(a.fingerprint, b.fingerprint);
+    prop_assert_eq!(a.evaluated, b.evaluated);
+    prop_assert_eq!(a.ranked.len(), b.ranked.len());
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        prop_assert_eq!(x.key(), y.key());
+        prop_assert_eq!(x.predicted_total_s.to_bits(), y.predicted_total_s.to_bits());
+        prop_assert_eq!(x.raw_total_s.to_bits(), y.raw_total_s.to_bits());
+        prop_assert_eq!(x.outer_iterations, y.outer_iterations);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rerunning the same search — with *different* shuffle seeds — must
+    /// produce bitwise-identical plans: scoring is pure, so evaluation
+    /// order cannot leak into the ranking.
+    #[test]
+    fn plan_is_bitwise_identical_across_reruns_and_seeds(
+        backend_idx in 0usize..3,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        ext_x in 1usize..4,
+        ext_t in 1usize..4,
+        workers in 1usize..9,
+        base_outer in 20usize..300,
+    ) {
+        let dims = Dims::new(8 * ext_x, 8, 8, 8 * ext_t);
+        let problem = TuneProblem::single_node(dims, workers, base_outer);
+        let kind = backend(backend_idx);
+        let a = Autotuner::new(kind).with_seed(seed_a).tune(&problem);
+        let b = Autotuner::new(kind).with_seed(seed_b).tune(&problem);
+        assert_plans_identical(&a, &b)?;
+    }
+
+    /// The distributed paper problem is just as reproducible, and the
+    /// tuned best never prices above the hand-set default.
+    #[test]
+    fn paper_problem_plan_is_reproducible_and_beats_default(
+        backend_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let problem = TuneProblem::paper_48(64).unwrap();
+        let kind = backend(backend_idx);
+        let a = Autotuner::new(kind).tune(&problem);
+        let b = Autotuner::new(kind).with_seed(seed).tune(&problem);
+        assert_plans_identical(&a, &b)?;
+        let best = a.best().expect("paper problem is feasible");
+        let default = a.default_params.expect("paper default is feasible");
+        prop_assert!(best.predicted_total_s <= default.predicted_total_s);
+    }
+}
+
+/// `QDD_WORKERS` steers the *runtime* worker pool; the tuner prices the
+/// problem's explicit core/domain counts and must never read the
+/// environment. (Plain `#[test]` — env mutation stays in one test so
+/// parallel test threads cannot race on it.)
+#[test]
+fn qdd_workers_env_cannot_leak_into_the_plan() {
+    let problem = TuneProblem::paper_48(64).unwrap();
+    let local = TuneProblem::single_node(Dims::new(16, 8, 8, 8), 4, 60);
+    let saved = std::env::var("QDD_WORKERS").ok();
+    let mut prints = Vec::new();
+    for setting in [None, Some("1"), Some("7"), Some("61")] {
+        match setting {
+            Some(v) => std::env::set_var("QDD_WORKERS", v),
+            None => std::env::remove_var("QDD_WORKERS"),
+        }
+        for kind in BackendKind::ALL {
+            let dist = Autotuner::new(kind).tune(&problem);
+            let near = Autotuner::new(kind).tune(&local);
+            prints.push((dist.fingerprint, near.fingerprint));
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("QDD_WORKERS", v),
+        None => std::env::remove_var("QDD_WORKERS"),
+    }
+    let rounds = prints.chunks(BackendKind::ALL.len()).collect::<Vec<_>>();
+    for round in &rounds[1..] {
+        assert_eq!(*round, rounds[0], "QDD_WORKERS changed the tuned plan");
+    }
+}

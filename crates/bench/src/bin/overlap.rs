@@ -23,8 +23,7 @@ use qdd_dirac::gamma::GammaBasis;
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_lattice::{Dims, RankGrid};
-use qdd_machine::network::NetworkModel;
-use qdd_machine::overlap::OverlapModel;
+use qdd_machine::{BackendKind, MachineBackend};
 use qdd_util::rng::Rng64;
 use qdd_util::stats::{Component, SolveStats};
 use serde::Serialize;
@@ -96,6 +95,13 @@ fn run_mode(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Overlap validation and the wire-time footnote price against the
+    // active machine backend (default: the paper's KNC, whose overlap
+    // and network models reproduce the historical hard-coded numbers).
+    let backend = std::env::args()
+        .find_map(|a| a.strip_prefix("--backend=").map(str::to_string))
+        .map(|s| BackendKind::parse(&s).unwrap_or_else(|| panic!("unknown backend {s}")))
+        .unwrap_or(BackendKind::Knc7110p);
     // t-split only; local domain grid (2,2,2,4): 16 t-boundary domains
     // whose faces go out early, 16 interior domains that hide the wires.
     let (global, rank_dims, i_schwarz, reps) = if smoke {
@@ -138,13 +144,13 @@ fn main() {
     // overlap model then predicts how much of that cost the Fig. 4
     // schedule hides given the measured per-round compute window.
     let local = *grid.local();
-    let net = NetworkModel::stampede_fdr();
-    let model = OverlapModel::paper_dd();
+    let machine: &dyn MachineBackend = backend.instance();
+    let net = machine.network();
     let rounds = 2 * i_schwarz;
     let exchange_rounds = (rounds - 1) as f64;
     let comm_per_dir = [0.0, 0.0, 0.0, without.exposed_s];
     let compute_round_s = (with.wall_s - with.exposed_s) / rounds as f64;
-    let validation = model.validate(&comm_per_dir, compute_round_s, true, with.exposed_s);
+    let validation = machine.validate_overlap(&comm_per_dir, compute_round_s, true, with.exposed_s);
     // Stampede wire-time footnote: what the same masked t-faces would cost
     // per apply on the paper's FDR fabric.
     let face_bytes = (local.face_area(qdd_lattice::Dir::T) / 2 * 12 * 4) as f64;
@@ -174,6 +180,7 @@ fn main() {
         .param("i_schwarz", i_schwarz)
         .param("reps", reps)
         .param("smoke", smoke)
+        .param("backend", backend.label())
         .meta("paper", "Fig. 4b/4c: t full-face early, x/y/z in halves, receives drained lazily")
         .meta("hiding_wins", with.exposed_s < without.exposed_s)
         .meta("measured_exposed_s", with.exposed_s)

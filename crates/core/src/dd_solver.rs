@@ -59,6 +59,22 @@ impl Default for DdSolverConfig {
     }
 }
 
+impl DdSolverConfig {
+    /// Apply a tuned operating point from the autotuner: the Schwarz
+    /// geometry and sweep counts plus the preconditioner storage
+    /// precision (model `Single` → f32, `Half` → f16-compressed gauge
+    /// and clover). The tuned outer-iteration count is a model forecast,
+    /// not a budget, so `fgmres.max_iterations` is left alone.
+    pub fn with_tuned(mut self, tuned: &qdd_autotune::TunedParams) -> Self {
+        self.schwarz = self.schwarz.with_tuned(tuned);
+        self.precision = match tuned.precision {
+            qdd_machine::Precision::Single => Precision::Single,
+            qdd_machine::Precision::Half => Precision::HalfCompressed,
+        };
+        self
+    }
+}
+
 pub use crate::fgmres_dr::SolveOutcome as Outcome;
 
 /// The assembled solver.
@@ -377,6 +393,43 @@ mod tests {
             workers: 1,
             fused_outer: true,
         }
+    }
+
+    #[test]
+    fn with_tuned_applies_the_tuned_operating_point() {
+        let tuned = qdd_autotune::TunedParams {
+            backend: qdd_machine::BackendKind::KnlFlat,
+            block: Dims::new(4, 4, 2, 2),
+            precision: qdd_machine::Precision::Half,
+            prefetch: qdd_machine::PrefetchMode::None,
+            i_schwarz: 8,
+            i_domain: 6,
+            outer_iterations: 250,
+            predicted_total_s: 1.0,
+            raw_total_s: 1.0,
+            predicted_m_gflops: 100.0,
+            load: 0.9,
+            can_hide: true,
+        };
+        let cfg = DdSolverConfig::default().with_tuned(&tuned);
+        assert_eq!(cfg.schwarz.block, Dims::new(4, 4, 2, 2));
+        assert_eq!(cfg.schwarz.i_schwarz, 8);
+        assert_eq!(cfg.schwarz.mr.iterations, 6);
+        assert_eq!(cfg.precision, Precision::HalfCompressed);
+        // The forecasted outer count is a prediction, not a budget.
+        assert_eq!(cfg.fgmres.max_iterations, DdSolverConfig::default().fgmres.max_iterations);
+
+        // A tuned solver builds and converges on a matching lattice.
+        let dims = Dims::new(8, 8, 4, 4);
+        let op = operator(dims, 0.5, 0.2, 107);
+        let mut full = config(Dims::new(4, 4, 2, 2), 4, 4).with_tuned(&tuned);
+        full.fgmres.tolerance = 1e-8;
+        let solver = DdSolver::new(op, full).unwrap();
+        let mut rng = Rng64::new(108);
+        let f = SpinorField::<f64>::random(dims, &mut rng);
+        let mut stats = SolveStats::new();
+        let (_, out) = solver.solve(&f, &mut stats);
+        assert!(out.converged, "tuned config must still converge: {}", out.relative_residual);
     }
 
     #[test]

@@ -55,6 +55,19 @@ impl Default for SchwarzConfig {
     }
 }
 
+impl SchwarzConfig {
+    /// Apply a tuned operating point from `qdd-autotune`: block geometry,
+    /// `ISchwarz`, and the MR iteration count (`Idomain`). The tuned
+    /// prefetch mode has no software analogue in this implementation
+    /// (codegen decides prefetching here), so it is ignored.
+    pub fn with_tuned(mut self, tuned: &qdd_autotune::TunedParams) -> Self {
+        self.block = tuned.block;
+        self.i_schwarz = tuned.i_schwarz;
+        self.mr.iterations = tuned.i_domain;
+        self
+    }
+}
+
 /// Which part of a face a send wave covers. Halves split the *masked*
 /// (color-filtered) face-position list at `n.div_ceil(2)`; sender and
 /// receiver derive the same split from their respective face masks, which

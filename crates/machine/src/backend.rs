@@ -1,0 +1,300 @@
+//! Trait-based machine backends: one interface, many chips.
+//!
+//! Everything downstream of the kernel model — on-chip scaling, the
+//! multi-node composition, model joins, the autotuner — used to be
+//! hard-wired to the KNC 7110P. [`MachineBackend`] bundles a chip, its
+//! network, its overlap pattern, and its composition knobs behind one
+//! trait so the same prediction pipeline runs on the paper's KNC and on
+//! the follow-on KNL (arXiv:1712.01505: dual VPUs, MCDRAM flat/cache,
+//! no software prefetching). Backends are stateless statics addressed by
+//! the `Copy` enum [`BackendKind`], which travels through configs and
+//! serialized plans as a plain label.
+
+use crate::chip::{ChipSpec, McdramMode};
+use crate::kernel::{
+    dd_method_rate, mr_iteration_rate, wilson_clover_bound, KernelModel, KernelProfile, Precision,
+    PrefetchMode,
+};
+use crate::multinode::{ModelKnobs, MultiNodeModel};
+use crate::network::NetworkModel;
+use crate::onchip::OnChipModel;
+use crate::overlap::{OverlapModel, OverlapValidation};
+use serde::Serialize;
+
+/// A complete machine description behind one trait: chip + network +
+/// overlap pattern + composition knobs, plus the derived models. The
+/// provided methods are the one true way to build kernel/on-chip/
+/// multi-node models for a backend — call sites stay chip-agnostic.
+pub trait MachineBackend: Send + Sync {
+    fn kind(&self) -> BackendKind;
+    fn chip(&self) -> ChipSpec;
+    fn network(&self) -> NetworkModel;
+    fn overlap(&self) -> OverlapModel;
+    fn knobs(&self) -> ModelKnobs;
+    /// The hand-set default operating point (the paper's choice on KNC).
+    fn default_precision(&self) -> Precision {
+        Precision::Half
+    }
+    fn default_prefetch(&self) -> PrefetchMode;
+
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Software-prefetch modes worth distinguishing on this chip.
+    fn prefetch_modes(&self) -> &'static [PrefetchMode] {
+        PrefetchMode::modes_for(&self.chip())
+    }
+
+    /// Single-kernel model on this backend's chip.
+    fn kernel(
+        &self,
+        profile: &KernelProfile,
+        precision: Precision,
+        prefetch: PrefetchMode,
+    ) -> KernelModel {
+        KernelModel::evaluate(profile, &self.chip(), precision, prefetch)
+    }
+
+    /// Table II left column: the MR-iteration composite rate (Gflop/s).
+    fn mr_iteration_rate(&self, precision: Precision, prefetch: PrefetchMode) -> f64 {
+        mr_iteration_rate(&self.chip(), precision, prefetch)
+    }
+
+    /// Table II right column: the whole-DD-method composite rate.
+    fn dd_method_rate(&self, precision: Precision, prefetch: PrefetchMode, i_domain: usize) -> f64 {
+        dd_method_rate(&self.chip(), precision, prefetch, i_domain)
+    }
+
+    /// Sec. IV-B1 issue-efficiency bound `(efficiency, Gflop/s/core)`.
+    fn wilson_clover_bound(&self) -> (f64, f64) {
+        wilson_clover_bound(&self.chip())
+    }
+
+    /// Fig. 5 on-chip scaling model at an operating point.
+    fn onchip(&self, precision: Precision, prefetch: PrefetchMode, i_domain: usize) -> OnChipModel {
+        OnChipModel {
+            chip: self.chip(),
+            precision,
+            prefetch,
+            i_domain,
+            barrier_us: self.knobs().barrier_us,
+        }
+    }
+
+    /// Fig. 6 / Table III multi-node composition at an operating point.
+    fn multinode(&self, precision: Precision, prefetch: PrefetchMode) -> MultiNodeModel {
+        MultiNodeModel {
+            chip: self.chip(),
+            net: self.network(),
+            overlap: self.overlap(),
+            knobs: self.knobs(),
+            m_precision: precision,
+            prefetch,
+        }
+    }
+
+    /// The multi-node model at this backend's default operating point.
+    fn multinode_default(&self) -> MultiNodeModel {
+        self.multinode(self.default_precision(), self.default_prefetch())
+    }
+
+    /// Join a measured communication-hiding execution against *this
+    /// backend's* overlap model (Fig. 4 validation, per backend).
+    fn validate_overlap(
+        &self,
+        comm_per_dir: &[f64; 4],
+        compute_s: f64,
+        can_hide: bool,
+        measured_exposed_s: f64,
+    ) -> OverlapValidation {
+        self.overlap().validate(comm_per_dir, compute_s, can_hide, measured_exposed_s)
+    }
+}
+
+/// Addressable backend label: `Copy`, serializable, and resolvable to a
+/// static [`MachineBackend`] instance. This is what configs, caches, and
+/// JSON plans carry.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum BackendKind {
+    /// The paper's Stampede KNC 7110P over FDR InfiniBand.
+    Knc7110p,
+    /// KNL 7250, MCDRAM as flat addressable memory, Omni-Path fabric.
+    KnlFlat,
+    /// KNL 7250, MCDRAM as a direct-mapped cache.
+    KnlCache,
+}
+
+impl BackendKind {
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Knc7110p, BackendKind::KnlFlat, BackendKind::KnlCache];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Knc7110p => "knc-7110p",
+            BackendKind::KnlFlat => "knl-7250-flat",
+            BackendKind::KnlCache => "knl-7250-cache",
+        }
+    }
+
+    /// Parse a CLI/config label (accepts the short aliases too).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "knc-7110p" | "knc" => Some(BackendKind::Knc7110p),
+            "knl-7250-flat" | "knl-flat" | "knl" => Some(BackendKind::KnlFlat),
+            "knl-7250-cache" | "knl-cache" => Some(BackendKind::KnlCache),
+            _ => None,
+        }
+    }
+
+    /// The static backend instance this label names.
+    pub fn instance(self) -> &'static dyn MachineBackend {
+        match self {
+            BackendKind::Knc7110p => &KNC_BACKEND,
+            BackendKind::KnlFlat => &KNL_FLAT_BACKEND,
+            BackendKind::KnlCache => &KNL_CACHE_BACKEND,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The paper's testbed: KNC 7110P, FDR IB through the host proxy,
+/// Fig. 4 overlap, paper composition knobs, (half, L1+L2) sweet spot.
+struct KncBackend;
+
+static KNC_BACKEND: KncBackend = KncBackend;
+
+impl MachineBackend for KncBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Knc7110p
+    }
+    fn chip(&self) -> ChipSpec {
+        ChipSpec::knc_7110p()
+    }
+    fn network(&self) -> NetworkModel {
+        NetworkModel::stampede_fdr()
+    }
+    fn overlap(&self) -> OverlapModel {
+        OverlapModel::paper_dd()
+    }
+    fn knobs(&self) -> ModelKnobs {
+        ModelKnobs::default()
+    }
+    fn default_prefetch(&self) -> PrefetchMode {
+        PrefetchMode::L1L2
+    }
+}
+
+/// The KNL follow-on machine: self-hosted 7250, Omni-Path (no host
+/// proxy), same Fig. 4 overlap pattern. MCDRAM streams well enough that
+/// the whole-lattice operator achieves a higher fraction of peak
+/// bandwidth than KNC's GDDR, and the native fabric drops the barrier
+/// cost; software prefetch modes collapse (see
+/// [`PrefetchMode::effects_on`]).
+struct KnlBackend {
+    mcdram: McdramMode,
+}
+
+static KNL_FLAT_BACKEND: KnlBackend = KnlBackend { mcdram: McdramMode::Flat };
+static KNL_CACHE_BACKEND: KnlBackend = KnlBackend { mcdram: McdramMode::Cache };
+
+impl MachineBackend for KnlBackend {
+    fn kind(&self) -> BackendKind {
+        match self.mcdram {
+            McdramMode::Flat => BackendKind::KnlFlat,
+            McdramMode::Cache => BackendKind::KnlCache,
+        }
+    }
+    fn chip(&self) -> ChipSpec {
+        ChipSpec::knl_7250(self.mcdram)
+    }
+    fn network(&self) -> NetworkModel {
+        NetworkModel::opa_100()
+    }
+    fn overlap(&self) -> OverlapModel {
+        OverlapModel::paper_dd()
+    }
+    fn knobs(&self) -> ModelKnobs {
+        ModelKnobs { stream_bw_efficiency: 0.52, level1_flop_per_byte: 0.38, barrier_us: 1.0 }
+    }
+    fn default_prefetch(&self) -> PrefetchMode {
+        PrefetchMode::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{lattice_48, rank_layout};
+
+    #[test]
+    fn knc_backend_reproduces_hardwired_model_bitwise() {
+        // The refactor must not move a single KNC number: the backend's
+        // multinode model at the default operating point is the old
+        // `MultiNodeModel::paper_setup()`, bit for bit.
+        let b = BackendKind::Knc7110p.instance();
+        let lat = lattice_48();
+        let layout = rank_layout(&lat.dims, 64).unwrap();
+        let via_backend = b.multinode_default().dd_solve(&lat.dims, &layout, &lat.dd);
+        let direct = MultiNodeModel::paper_setup().dd_solve(&lat.dims, &layout, &lat.dd);
+        assert_eq!(via_backend.total_time_s.to_bits(), direct.total_time_s.to_bits());
+        assert_eq!(via_backend.time_m.to_bits(), direct.time_m.to_bits());
+        assert_eq!(via_backend.time_a.to_bits(), direct.time_a.to_bits());
+        assert_eq!(via_backend.comm_mb_per_knc.to_bits(), direct.comm_mb_per_knc.to_bits());
+        // And the Table II composites match the free functions.
+        for pf in PrefetchMode::ALL {
+            for prec in [Precision::Single, Precision::Half] {
+                assert_eq!(
+                    b.mr_iteration_rate(prec, pf).to_bits(),
+                    mr_iteration_rate(&ChipSpec::knc_7110p(), prec, pf).to_bits()
+                );
+                assert_eq!(
+                    b.dd_method_rate(prec, pf, 5).to_bits(),
+                    dd_method_rate(&ChipSpec::knc_7110p(), prec, pf, 5).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.instance().kind(), kind);
+            assert_eq!(kind.instance().name(), kind.label());
+        }
+        assert_eq!(BackendKind::parse("knc"), Some(BackendKind::Knc7110p));
+        assert_eq!(BackendKind::parse("knl"), Some(BackendKind::KnlFlat));
+        assert_eq!(BackendKind::parse("mips"), None);
+    }
+
+    #[test]
+    fn knl_prefetch_modes_collapse() {
+        assert_eq!(BackendKind::Knc7110p.instance().prefetch_modes(), &PrefetchMode::ALL);
+        for kind in [BackendKind::KnlFlat, BackendKind::KnlCache] {
+            assert_eq!(kind.instance().prefetch_modes(), &[PrefetchMode::None]);
+            // All software prefetch modes price identically on KNL.
+            let b = kind.instance();
+            let none = b.mr_iteration_rate(Precision::Half, PrefetchMode::None);
+            for pf in PrefetchMode::ALL {
+                assert_eq!(b.mr_iteration_rate(Precision::Half, pf).to_bits(), none.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn knl_outruns_knc_at_each_operating_point() {
+        let knc = BackendKind::Knc7110p.instance();
+        let knl = BackendKind::KnlFlat.instance();
+        for prec in [Precision::Single, Precision::Half] {
+            let knc_best = knc.mr_iteration_rate(prec, PrefetchMode::L1L2);
+            let knl_rate = knl.mr_iteration_rate(prec, PrefetchMode::None);
+            assert!(knl_rate > knc_best, "{prec:?}: knl {knl_rate} !> knc {knc_best}");
+        }
+    }
+}

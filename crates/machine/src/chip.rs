@@ -1,6 +1,18 @@
-//! Chip specification: the KNC of Sec. II-A.
+//! Chip specifications: the KNC of Sec. II-A and the KNL of the
+//! follow-on work (Kanamori & Matsufuru, arXiv:1712.01505; QPACE 2).
 
 use serde::Serialize;
+
+/// MCDRAM operating mode of a Knights Landing part (arXiv:1712.01505,
+/// Sec. 2): *flat* exposes the on-package memory as addressable storage
+/// at full streaming bandwidth; *cache* runs it as a direct-mapped
+/// last-level cache — convenient, but conflict misses cost effective
+/// bandwidth and add latency on the miss path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize)]
+pub enum McdramMode {
+    Flat,
+    Cache,
+}
 
 /// Parameters of a many-core co-processor.
 #[derive(Copy, Clone, Debug, Serialize)]
@@ -9,19 +21,28 @@ pub struct ChipSpec {
     pub cores: usize,
     /// Clock in GHz.
     pub freq_ghz: f64,
-    /// Single-precision SIMD lanes (16 on KNC).
+    /// Single-precision SIMD lanes (16 on KNC and on KNL's AVX-512).
     pub simd_f32: usize,
+    /// Vector pipelines per core (KNC: 1; KNL: 2).
+    pub vpus: usize,
     /// L1 data cache per core, kB.
     pub l1_kb: f64,
     /// L2 cache partition per core, kB.
     pub l2_per_core_kb: f64,
     /// Streaming memory bandwidth, GB/s.
     pub mem_bw_gbs: f64,
+    /// Achievable streaming bandwidth of a single core, GB/s (a few
+    /// cores saturate the bus long before `cores * per_core` does).
+    pub per_core_bw_gbs: f64,
     /// Cycles lost on an L1 miss that hits L2 (in-order core, no OoO to
     /// hide it).
     pub l1_miss_penalty_cycles: f64,
     /// Additional cycles lost on an L2 miss (beyond bandwidth).
     pub l2_miss_penalty_cycles: f64,
+    /// Out-of-order core with hardware prefetchers: software prefetching
+    /// is moot (KNL), as opposed to the in-order KNC where it is the
+    /// difference between the Table II columns.
+    pub hw_prefetch: bool,
 }
 
 impl ChipSpec {
@@ -31,22 +52,52 @@ impl ChipSpec {
             cores: 60,
             freq_ghz: 1.1,
             simd_f32: 16,
+            vpus: 1,
             l1_kb: 32.0,
             l2_per_core_kb: 512.0,
             mem_bw_gbs: 150.0,
+            // (150 / 12 cores to saturate).min(6 GB/s single-core cap).
+            per_core_bw_gbs: 6.0,
             l1_miss_penalty_cycles: 24.0,
             l2_miss_penalty_cycles: 250.0,
+            hw_prefetch: false,
         }
     }
 
-    /// Peak single-precision Gflop/s of the whole chip (FMA).
+    /// A KNL 7250-class part (68 cores @ 1.4 GHz, dual VPUs per core,
+    /// AVX-512) with MCDRAM in the given mode. Flat mode streams at the
+    /// full ~450 GB/s; cache mode loses bandwidth to conflict misses and
+    /// pays extra latency when the direct-mapped cache misses to DDR.
+    pub fn knl_7250(mcdram: McdramMode) -> Self {
+        let (mem_bw_gbs, per_core_bw_gbs, l2_miss_penalty_cycles) = match mcdram {
+            McdramMode::Flat => (450.0, 12.0, 170.0),
+            McdramMode::Cache => (380.0, 9.5, 230.0),
+        };
+        Self {
+            cores: 68,
+            freq_ghz: 1.4,
+            simd_f32: 16,
+            vpus: 2,
+            l1_kb: 32.0,
+            // 1 MB L2 shared by a 2-core tile.
+            l2_per_core_kb: 512.0,
+            mem_bw_gbs,
+            per_core_bw_gbs,
+            // Out of order: most of the L2-hit latency is hidden.
+            l1_miss_penalty_cycles: 17.0,
+            l2_miss_penalty_cycles,
+            hw_prefetch: true,
+        }
+    }
+
+    /// Peak single-precision Gflop/s of the whole chip (FMA, all VPUs).
     pub fn peak_sp_gflops(&self) -> f64 {
-        self.cores as f64 * self.freq_ghz * self.simd_f32 as f64 * 2.0
+        self.cores as f64 * self.peak_sp_gflops_per_core()
     }
 
     /// Peak single-precision Gflop/s of one core.
     pub fn peak_sp_gflops_per_core(&self) -> f64 {
-        self.freq_ghz * self.simd_f32 as f64 * 2.0
+        self.freq_ghz * (self.simd_f32 * self.vpus) as f64 * 2.0
     }
 
     /// Peak double-precision Gflop/s of the whole chip.
@@ -70,5 +121,27 @@ mod tests {
         assert!((1000.0..1150.0).contains(&dp), "dp peak {dp}");
         // Per-core single precision peak ~35 Gflop/s.
         assert!((chip.peak_sp_gflops_per_core() - 35.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knl_peaks_match_followon() {
+        // KNL 7250: ~6 Tflop/s single, ~3 double (arXiv:1712.01505).
+        let flat = ChipSpec::knl_7250(McdramMode::Flat);
+        assert!((5500.0..6500.0).contains(&flat.peak_sp_gflops()));
+        assert!((2750.0..3250.0).contains(&flat.peak_dp_gflops()));
+        // Peaks are mode-independent; only the memory system differs.
+        let cache = ChipSpec::knl_7250(McdramMode::Cache);
+        assert_eq!(flat.peak_sp_gflops(), cache.peak_sp_gflops());
+        assert!(cache.mem_bw_gbs < flat.mem_bw_gbs);
+        assert!(cache.per_core_bw_gbs < flat.per_core_bw_gbs);
+        assert!(cache.l2_miss_penalty_cycles > flat.l2_miss_penalty_cycles);
+    }
+
+    #[test]
+    fn dual_vpu_doubles_peak() {
+        let mut knl = ChipSpec::knl_7250(McdramMode::Flat);
+        let dual = knl.peak_sp_gflops();
+        knl.vpus = 1;
+        assert_eq!(dual, 2.0 * knl.peak_sp_gflops());
     }
 }

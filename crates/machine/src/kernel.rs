@@ -62,6 +62,32 @@ impl PrefetchMode {
             PrefetchMode::L1L2 => "L1+L2 prefetches",
         }
     }
+
+    /// `(l1_exposure, stream_factor)` of this mode *on a given chip*. On
+    /// the in-order KNC these are the software-prefetch attenuations
+    /// above; an out-of-order chip with hardware prefetchers (KNL) hides
+    /// most latency regardless of software prefetching, so every mode
+    /// collapses to the same small residual exposure and unit streaming
+    /// factor — the "no software prefetching" kernel profile of the KNL
+    /// follow-on work.
+    pub fn effects_on(self, chip: &ChipSpec) -> (f64, f64) {
+        if chip.hw_prefetch {
+            (0.15, 1.0)
+        } else {
+            (self.l1_exposure(), self.stream_factor())
+        }
+    }
+
+    /// The software-prefetch modes worth searching on a chip: all three
+    /// on the in-order KNC, only `None` where hardware prefetchers make
+    /// the knob moot.
+    pub fn modes_for(chip: &ChipSpec) -> &'static [PrefetchMode] {
+        if chip.hw_prefetch {
+            &[PrefetchMode::None]
+        } else {
+            &PrefetchMode::ALL
+        }
+    }
 }
 
 /// Instruction-mix and traffic description of one kernel.
@@ -214,8 +240,9 @@ impl KernelModel {
         prefetch: PrefetchMode,
     ) -> KernelModel {
         let eff = issue_efficiency(profile);
-        let flops_per_cycle = 2.0 * chip.simd_f32 as f64 * eff;
+        let flops_per_cycle = 2.0 * (chip.simd_f32 * chip.vpus) as f64 * eff;
         let compute_cycles = profile.flops_per_site / flops_per_cycle;
+        let (l1_exposure_base, stream_factor) = prefetch.effects_on(chip);
 
         // Bytes that live in L2: iteration vectors plus operator matrices
         // (halved when stored in f16).
@@ -226,23 +253,20 @@ impl KernelModel {
         let l2_resident =
             profile.vector_bytes_per_site + matrix_scale * profile.matrix_bytes_per_site;
         let l1_lines = l2_resident / 64.0;
-        let l1_exposure = if profile.irregular {
-            prefetch.l1_exposure().max(0.45)
-        } else {
-            prefetch.l1_exposure()
-        };
+        let l1_exposure =
+            if profile.irregular { l1_exposure_base.max(0.45) } else { l1_exposure_base };
         let l1_stall = l1_lines * chip.l1_miss_penalty_cycles * l1_exposure;
 
         // Streamed-from-memory bytes: limited by achievable per-core
         // bandwidth, scaled by how well prefetching overlaps it. Irregular
         // (domain-strided) access patterns defeat the hardware stream
         // detector and cut the achievable bandwidth.
-        let mut per_core_bw_gbs = (chip.mem_bw_gbs / 12.0).min(6.0); // few cores saturate the bus
+        let mut per_core_bw_gbs = chip.per_core_bw_gbs;
         if profile.irregular {
             per_core_bw_gbs /= 2.5;
         }
-        let stream_cycles = profile.stream_bytes_per_site * chip.freq_ghz / per_core_bw_gbs
-            * prefetch.stream_factor();
+        let stream_cycles =
+            profile.stream_bytes_per_site * chip.freq_ghz / per_core_bw_gbs * stream_factor;
 
         let cycles = compute_cycles + l1_stall + stream_cycles;
         KernelModel {
@@ -322,10 +346,20 @@ pub fn dd_method_flops_per_site(i_domain: usize) -> f64 {
     op + i_domain as f64 * (op + 0.5 * l1) + op + 2.0 * pack
 }
 
+/// Fraction of SIMD lanes the site-fused vectorization can fill for a
+/// Schwarz block geometry: the kernels vectorize over xy-tiles of the
+/// block (Sec. III-C's site-fused layout), so a block whose xy footprint
+/// is smaller than the vector width leaves lanes masked off. The paper
+/// block (8x4x4x4) fills all 16 lanes — factor exactly 1.0 — which is
+/// why the Table II rates carry no explicit block dependence.
+pub fn simd_fill_factor(chip: &ChipSpec, block: &qdd_lattice::Dims) -> f64 {
+    (((block.0[0] * block.0[1]) as f64) / chip.simd_f32 as f64).min(1.0)
+}
+
 /// The paper's theoretical bound reproduction (Sec. IV-B1).
 pub fn wilson_clover_bound(chip: &ChipSpec) -> (f64, f64) {
     let eff = issue_efficiency(&KernelProfile::schur_operator());
-    let flops_per_cycle = 2.0 * chip.simd_f32 as f64 * eff;
+    let flops_per_cycle = 2.0 * (chip.simd_f32 * chip.vpus) as f64 * eff;
     (eff, flops_per_cycle * chip.freq_ghz)
 }
 
@@ -404,6 +438,16 @@ mod tests {
                 "DD {prec:?} {pf:?}: model {dd:.1} vs paper {dd_paper}"
             );
         }
+    }
+
+    #[test]
+    fn simd_fill_full_for_paper_block_partial_for_slivers() {
+        use qdd_lattice::Dims;
+        let chip = chip();
+        assert_eq!(simd_fill_factor(&chip, &Dims::new(8, 4, 4, 4)), 1.0);
+        assert_eq!(simd_fill_factor(&chip, &Dims::new(4, 4, 4, 4)), 1.0);
+        assert_eq!(simd_fill_factor(&chip, &Dims::new(2, 2, 2, 2)), 0.25);
+        assert_eq!(simd_fill_factor(&chip, &Dims::new(2, 4, 8, 8)), 0.5);
     }
 
     #[test]

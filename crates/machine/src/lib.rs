@@ -6,6 +6,9 @@
 //! descriptions (flop counts, working sets, message sizes, iteration
 //! counts) and produces time and rate estimates from first principles:
 //!
+//! - [`backend`]: trait-based machine backends — the KNC 7110P testbed
+//!   and the KNL 7250 follow-on (MCDRAM flat/cache, dual VPUs) behind
+//!   one [`MachineBackend`] interface.
 //! - [`chip`]: the chip specification (cores, SIMD width, cache sizes,
 //!   bandwidth) with the KNC 7110P defaults of Sec. II-A / IV-A.
 //! - [`kernel`]: the instruction-mix pipeline model of Sec. IV-B1 —
@@ -20,6 +23,7 @@
 //! - [`workload`]: the paper's three production lattices and solver
 //!   parameter sets as workload descriptions.
 
+pub mod backend;
 pub mod chip;
 pub mod kernel;
 pub mod multinode;
@@ -28,10 +32,13 @@ pub mod onchip;
 pub mod overlap;
 pub mod workload;
 
-pub use chip::ChipSpec;
+pub use backend::{BackendKind, MachineBackend};
+pub use chip::{ChipSpec, McdramMode};
 pub use kernel::{KernelModel, KernelProfile, Precision, PrefetchMode};
 pub use multinode::{ModelKnobs, MultiNodeModel, SolveTimeBreakdown};
 pub use network::{FaultModel, NetworkModel};
 pub use onchip::OnChipModel;
 pub use overlap::{OverlapModel, OverlapPattern};
-pub use workload::{all_lattices, paper_block, rank_layout, DdParams, Lattice, NonDdParams};
+pub use workload::{
+    all_lattices, paper_block, rank_layout, DdParams, DdParamsError, Lattice, NonDdParams,
+};

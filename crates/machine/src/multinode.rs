@@ -162,12 +162,26 @@ impl MultiNodeModel {
             .sum()
     }
 
-    /// The DD solver breakdown (Table III upper sections).
+    /// The DD solver breakdown (Table III upper sections) with the
+    /// paper's 8x4x4x4 Schwarz block.
     pub fn dd_solve(&self, dims: &Dims, layout: &Dims, dd: &DdParams) -> SolveTimeBreakdown {
+        self.dd_solve_with_block(dims, layout, dd, &paper_block())
+    }
+
+    /// The DD solver breakdown for an arbitrary Schwarz block geometry
+    /// (the autotuner's search axis; `dd_solve` pins the paper block).
+    /// The block must tile the local lattice an even number of times so
+    /// the red/black domain coloring exists.
+    pub fn dd_solve_with_block(
+        &self,
+        dims: &Dims,
+        layout: &Dims,
+        dd: &DdParams,
+        block: &Dims,
+    ) -> SolveTimeBreakdown {
         let kncs = layout.volume();
         let local = dims.grid_over(layout);
         let v = local.volume() as f64;
-        let block = paper_block();
         let vb = block.volume() as f64;
         let cores = self.chip.cores;
 
@@ -175,7 +189,10 @@ impl MultiNodeModel {
         let ndom_color = load::ndomain(local.volume(), block.volume());
         let load_avg = load::load_average(ndom_color, cores);
         let fd = dd_method_flops_per_site(dd.i_domain) * vb;
-        let rate_core = dd_method_rate(&self.chip, self.m_precision, self.prefetch, dd.i_domain);
+        // Blocks with an xy footprint under the vector width leave SIMD
+        // lanes masked (factor 1.0 for the paper block — bitwise no-op).
+        let rate_core = dd_method_rate(&self.chip, self.m_precision, self.prefetch, dd.i_domain)
+            * crate::kernel::simd_fill_factor(&self.chip, block);
         let t_domain = fd / (rate_core * 1e9);
         let rounds = load::sweep_rounds(ndom_color, cores) as f64;
         let t_half_sweep = rounds * t_domain + self.knobs.barrier_us * 1e-6;

@@ -32,6 +32,19 @@ impl NetworkModel {
         }
     }
 
+    /// Intel Omni-Path 100 as on the KNL follow-on machines
+    /// (arXiv:1712.01505: Oakforest-PACS): ~12.5 GB/s links, no host
+    /// proxy so per-message latency drops, and the higher message rate
+    /// halves the size at which bandwidth saturates.
+    pub fn opa_100() -> Self {
+        Self {
+            link_bw_gbs: 12.5,
+            latency_us: 10.0,
+            half_bw_bytes: 128.0 * 1024.0,
+            reduction_hop_us: 20.0,
+        }
+    }
+
     /// Effective bandwidth for a given message size (GB/s). Latency is
     /// accounted separately, so the size dependence is floored at 4 kB to
     /// avoid double counting for tiny messages.

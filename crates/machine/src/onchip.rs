@@ -39,7 +39,10 @@ impl OnChipModel {
         // Domains per color (Eq. (6)).
         let ndom_color = load::ndomain(lattice.volume(), block.volume());
         let flops_per_domain = dd_method_flops_per_site(self.i_domain) * block.volume() as f64;
-        let rate_core = dd_method_rate(&self.chip, self.precision, self.prefetch, self.i_domain);
+        // Small-footprint blocks mask SIMD lanes off (1.0 for the paper
+        // block, keeping Fig. 5 bitwise).
+        let rate_core = dd_method_rate(&self.chip, self.precision, self.prefetch, self.i_domain)
+            * crate::kernel::simd_fill_factor(&self.chip, block);
         let t_domain_s = flops_per_domain / (rate_core * 1e9);
         let rounds = load::sweep_rounds(ndom_color, cores) as f64;
         // One half-sweep: rounds of domain solves + a barrier.

@@ -11,9 +11,10 @@
 
 use qdd_lattice::{Dims, NonUniformSplit};
 use serde::Serialize;
+use std::fmt;
 
 /// DD-solver parameters (paper notation: m = max basis, k = deflation).
-#[derive(Copy, Clone, Debug, Serialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct DdParams {
     pub max_basis: usize,
     pub deflate: usize,
@@ -21,6 +22,101 @@ pub struct DdParams {
     pub i_domain: usize,
     /// Outer (FGMRES) iterations to reach eps = 1e-10.
     pub outer_iterations: usize,
+}
+
+/// Why a [`DdParams`] (or a block/core pairing) is rejected instead of
+/// silently producing nonsense predictions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DdParamsError {
+    /// `i_domain == 0`: the block solver would run zero MR iterations —
+    /// the preconditioner degenerates to the residual copy.
+    ZeroIDomain,
+    /// `i_schwarz == 0`: the Schwarz sweep never runs.
+    ZeroISchwarz,
+    /// `outer_iterations == 0`: nothing to predict.
+    ZeroOuterIterations,
+    /// `max_basis == 0`: FGMRES needs at least one Krylov vector.
+    ZeroBasis,
+    /// Deflation space at least as large as the basis leaves no room for
+    /// new directions.
+    DeflateExceedsBasis { deflate: usize, max_basis: usize },
+    /// Eq. 6 per-core balance violated: fewer domains per color than
+    /// cores means idle cores in every half-sweep round.
+    Unbalanced { ndomain_color: usize, cores: usize },
+}
+
+impl fmt::Display for DdParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdParamsError::ZeroIDomain => write!(f, "i_domain must be >= 1"),
+            DdParamsError::ZeroISchwarz => write!(f, "i_schwarz must be >= 1"),
+            DdParamsError::ZeroOuterIterations => write!(f, "outer_iterations must be >= 1"),
+            DdParamsError::ZeroBasis => write!(f, "max_basis must be >= 1"),
+            DdParamsError::DeflateExceedsBasis { deflate, max_basis } => {
+                write!(f, "deflate ({deflate}) must be smaller than max_basis ({max_basis})")
+            }
+            DdParamsError::Unbalanced { ndomain_color, cores } => write!(
+                f,
+                "Eq. 6 imbalance: {ndomain_color} domains per color over {cores} cores \
+                 leaves cores idle every half-sweep"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DdParamsError {}
+
+impl DdParams {
+    /// Validated construction: every field checked, typed error on
+    /// rejection. The struct keeps public fields for literal paper
+    /// parameter sets; anything derived or user-supplied should come
+    /// through here.
+    pub fn new(
+        max_basis: usize,
+        deflate: usize,
+        i_schwarz: usize,
+        i_domain: usize,
+        outer_iterations: usize,
+    ) -> Result<Self, DdParamsError> {
+        let p = Self { max_basis, deflate, i_schwarz, i_domain, outer_iterations };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Check the parameter set in isolation (no lattice context).
+    pub fn validate(&self) -> Result<(), DdParamsError> {
+        if self.i_domain == 0 {
+            return Err(DdParamsError::ZeroIDomain);
+        }
+        if self.i_schwarz == 0 {
+            return Err(DdParamsError::ZeroISchwarz);
+        }
+        if self.outer_iterations == 0 {
+            return Err(DdParamsError::ZeroOuterIterations);
+        }
+        if self.max_basis == 0 {
+            return Err(DdParamsError::ZeroBasis);
+        }
+        if self.deflate >= self.max_basis {
+            return Err(DdParamsError::DeflateExceedsBasis {
+                deflate: self.deflate,
+                max_basis: self.max_basis,
+            });
+        }
+        Ok(())
+    }
+
+    /// The Eq. 6 per-core balance check: with fewer domains per color
+    /// than cores, some cores idle through every half-sweep round and the
+    /// load average `n / (cores * ceil(n / cores))` collapses below
+    /// `n / cores`. Callers with a concrete (lattice, block, cores)
+    /// triple should reject such pairings up front.
+    pub fn check_balance(ndomain_color: usize, cores: usize) -> Result<(), DdParamsError> {
+        if ndomain_color < cores {
+            return Err(DdParamsError::Unbalanced { ndomain_color, cores });
+        }
+        Ok(())
+    }
 }
 
 /// Non-DD baseline parameters.
@@ -59,13 +155,7 @@ pub fn lattice_32() -> Lattice {
     Lattice {
         label: "32^3x64",
         dims: Dims::new(32, 32, 32, 64),
-        dd: DdParams {
-            max_basis: 8,
-            deflate: 4,
-            i_schwarz: 16,
-            i_domain: 4,
-            outer_iterations: 120,
-        },
+        dd: DdParams::new(8, 4, 16, 4, 120).expect("paper parameters validate"),
         non_dd: NonDdParams { iterations: 2600, mixed_precision: false },
         dd_knc_counts: vec![8, 16, 32, 64],
         non_dd_knc_counts: vec![8, 16, 32, 64],
@@ -80,13 +170,7 @@ pub fn lattice_48() -> Lattice {
     Lattice {
         label: "48^3x64",
         dims: Dims::new(48, 48, 48, 64),
-        dd: DdParams {
-            max_basis: 16,
-            deflate: 6,
-            i_schwarz: 16,
-            i_domain: 5,
-            outer_iterations: 198,
-        },
+        dd: DdParams::new(16, 6, 16, 5, 198).expect("paper parameters validate"),
         non_dd: NonDdParams { iterations: 4700, mixed_precision: false },
         dd_knc_counts: vec![24, 32, 64, 128],
         non_dd_knc_counts: vec![12, 24, 36, 72, 144],
@@ -102,7 +186,7 @@ pub fn lattice_64() -> Lattice {
     Lattice {
         label: "64^3x128",
         dims: Dims::new(64, 64, 64, 128),
-        dd: DdParams { max_basis: 5, deflate: 0, i_schwarz: 16, i_domain: 5, outer_iterations: 10 },
+        dd: DdParams::new(5, 0, 16, 5, 10).expect("paper parameters validate"),
         non_dd: NonDdParams { iterations: 260, mixed_precision: true },
         dd_knc_counts: vec![64, 128, 256, 512, 1024],
         non_dd_knc_counts: vec![64, 128, 256],
@@ -200,6 +284,36 @@ mod tests {
             let n = qdd_lattice::load::ndomain(local.volume(), paper_block().volume());
             assert_eq!(n, expect, "{kncs} KNCs");
         }
+    }
+
+    #[test]
+    fn dd_params_validation_rejects_degenerate_inputs() {
+        assert!(DdParams::new(16, 6, 16, 5, 198).is_ok());
+        assert_eq!(DdParams::new(16, 6, 16, 0, 198), Err(DdParamsError::ZeroIDomain));
+        assert_eq!(DdParams::new(16, 6, 0, 5, 198), Err(DdParamsError::ZeroISchwarz));
+        assert_eq!(DdParams::new(16, 6, 16, 5, 0), Err(DdParamsError::ZeroOuterIterations));
+        assert_eq!(DdParams::new(0, 0, 16, 5, 198), Err(DdParamsError::ZeroBasis));
+        assert_eq!(
+            DdParams::new(8, 8, 16, 5, 198),
+            Err(DdParamsError::DeflateExceedsBasis { deflate: 8, max_basis: 8 })
+        );
+        // All three paper parameter sets validate (construction would
+        // have panicked otherwise, but keep the intent explicit).
+        for lat in all_lattices() {
+            assert!(lat.dd.validate().is_ok(), "{}", lat.label);
+        }
+    }
+
+    #[test]
+    fn balance_check_matches_eq6() {
+        assert!(DdParams::check_balance(108, 60).is_ok());
+        assert!(DdParams::check_balance(60, 60).is_ok());
+        assert_eq!(
+            DdParams::check_balance(54, 60),
+            Err(DdParamsError::Unbalanced { ndomain_color: 54, cores: 60 })
+        );
+        let err = DdParamsError::Unbalanced { ndomain_color: 54, cores: 60 };
+        assert!(err.to_string().contains("Eq. 6"));
     }
 
     #[test]

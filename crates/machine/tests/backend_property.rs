@@ -1,0 +1,132 @@
+//! Property tests for the trait-based machine backends.
+//!
+//! * MCDRAM **cache mode never outruns flat mode** — the direct-mapped
+//!   cache only loses bandwidth (conflict misses) and adds latency, so
+//!   every composite rate must order cache ≤ flat at every operating
+//!   point.
+//! * **Dual VPUs double peak** — the KNL's second vector unit exactly
+//!   doubles per-core and whole-chip peak (all factors are powers of
+//!   two, so the doubling is bitwise).
+//! * The **KNC backend reproduces the historical hard-coded model
+//!   bitwise** at every operating point: the trait indirection must not
+//!   move a single Table II rate or Table III solve-time bit.
+
+use proptest::prelude::*;
+use qdd_machine::kernel::{dd_method_rate, mr_iteration_rate};
+use qdd_machine::workload::lattice_48;
+use qdd_machine::{
+    rank_layout, BackendKind, ChipSpec, DdParams, MachineBackend, McdramMode, ModelKnobs,
+    MultiNodeModel, NetworkModel, OverlapModel, Precision, PrefetchMode,
+};
+
+fn precisions() -> [Precision; 2] {
+    [Precision::Single, Precision::Half]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MCDRAM cache mode prices at or below flat mode for every
+    /// precision x prefetch x `Id`: conflict misses and the DDR-miss
+    /// penalty can only slow the chip down.
+    #[test]
+    fn knl_cache_mode_never_outruns_flat(i_domain in 1usize..12) {
+        let flat = BackendKind::KnlFlat.instance();
+        let cache = BackendKind::KnlCache.instance();
+        for prec in precisions() {
+            for pf in PrefetchMode::ALL {
+                let f = flat.dd_method_rate(prec, pf, i_domain);
+                let c = cache.dd_method_rate(prec, pf, i_domain);
+                prop_assert!(c <= f, "{prec:?} {pf:?} Id={i_domain}: cache {c} > flat {f}");
+                let fm = flat.mr_iteration_rate(prec, pf);
+                let cm = cache.mr_iteration_rate(prec, pf);
+                prop_assert!(cm <= fm, "{prec:?} {pf:?}: MR cache {cm} > flat {fm}");
+            }
+        }
+    }
+
+    /// The second VPU exactly doubles peak flop rate — per core and for
+    /// the whole chip — for any core count and clock. Power-of-two
+    /// scaling is exact in f64, so the comparison is bitwise.
+    #[test]
+    fn dual_vpu_exactly_doubles_peak(
+        cores in 1usize..100,
+        freq_centi_ghz in 50u32..300,
+        cache_mode in 0u8..2,
+    ) {
+        let mode = if cache_mode == 1 { McdramMode::Cache } else { McdramMode::Flat };
+        let mut chip = ChipSpec::knl_7250(mode);
+        chip.cores = cores;
+        chip.freq_ghz = freq_centi_ghz as f64 / 100.0;
+        let mut single = chip;
+        single.vpus = 1;
+        chip.vpus = 2;
+        prop_assert_eq!(
+            chip.peak_sp_gflops_per_core().to_bits(),
+            (2.0 * single.peak_sp_gflops_per_core()).to_bits()
+        );
+        prop_assert_eq!(
+            chip.peak_sp_gflops().to_bits(),
+            (2.0 * single.peak_sp_gflops()).to_bits()
+        );
+        prop_assert_eq!(
+            chip.peak_dp_gflops().to_bits(),
+            (2.0 * single.peak_dp_gflops()).to_bits()
+        );
+    }
+
+    /// Routing the KNC through the `MachineBackend` trait reproduces the
+    /// historical free-function Table II rates bitwise at every
+    /// operating point.
+    #[test]
+    fn knc_backend_matches_free_functions_bitwise(i_domain in 1usize..12) {
+        let b = BackendKind::Knc7110p.instance();
+        let chip = ChipSpec::knc_7110p();
+        for prec in precisions() {
+            for pf in PrefetchMode::ALL {
+                prop_assert_eq!(
+                    b.mr_iteration_rate(prec, pf).to_bits(),
+                    mr_iteration_rate(&chip, prec, pf).to_bits()
+                );
+                prop_assert_eq!(
+                    b.dd_method_rate(prec, pf, i_domain).to_bits(),
+                    dd_method_rate(&chip, prec, pf, i_domain).to_bits()
+                );
+            }
+        }
+    }
+
+    /// The backend-built multi-node model reproduces a hand-assembled
+    /// KNC `MultiNodeModel` bitwise — Table III solve times included —
+    /// across node counts and operating points.
+    #[test]
+    fn knc_multinode_solve_times_survive_the_trait_bitwise(
+        nodes_pow in 4u32..9,            // 16..256 co-processors
+        prec_idx in 0usize..2,
+        pf_idx in 0usize..3,
+    ) {
+        let lat = lattice_48();
+        let nodes = 1usize << nodes_pow;
+        let Some(layout) = rank_layout(&lat.dims, nodes) else {
+            return Ok(());
+        };
+        let prec = precisions()[prec_idx];
+        let pf = PrefetchMode::ALL[pf_idx];
+        let b = BackendKind::Knc7110p.instance();
+        let direct = MultiNodeModel {
+            chip: ChipSpec::knc_7110p(),
+            net: NetworkModel::stampede_fdr(),
+            overlap: OverlapModel::paper_dd(),
+            knobs: ModelKnobs::default(),
+            m_precision: prec,
+            prefetch: pf,
+        };
+        let dd: DdParams = lat.dd;
+        let via = b.multinode(prec, pf).dd_solve(&lat.dims, &layout, &dd);
+        let want = direct.dd_solve(&lat.dims, &layout, &dd);
+        prop_assert_eq!(via.total_time_s.to_bits(), want.total_time_s.to_bits());
+        prop_assert_eq!(via.time_m.to_bits(), want.time_m.to_bits());
+        prop_assert_eq!(via.time_a.to_bits(), want.time_a.to_bits());
+        prop_assert_eq!(via.comm_mb_per_knc.to_bits(), want.comm_mb_per_knc.to_bits());
+    }
+}

@@ -10,6 +10,7 @@
 //! change. Hit/miss/eviction counts are exported into the `qdd-trace`
 //! metrics registry by the service.
 
+use qdd_autotune::TunedParams;
 use qdd_core::DdSolver;
 use std::sync::Arc;
 
@@ -97,6 +98,73 @@ impl SetupCache {
     }
 }
 
+/// An LRU cache of autotuned operating points keyed by problem *shape*
+/// (lattice dims + backend + precision + worker count — see
+/// `service::tune_key`). The model search is cheap next to a solver
+/// build, but it is per shape, not per request: the service tunes once
+/// and serves the cached plan thereafter. Infeasible shapes (no
+/// candidate passes the constraints) cache `None` so the search does
+/// not rerun every batch.
+pub struct TuneCache {
+    capacity: usize,
+    /// Most recently used at the back.
+    entries: Vec<(u64, Option<TunedParams>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl TuneCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self { capacity, entries: Vec::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Look up `key`, running the tuner on a miss. Unlike the setup
+    /// cache, a `None` outcome *is* cached — "nothing feasible" is a
+    /// deterministic property of the shape.
+    pub fn get_or_tune(
+        &mut self,
+        key: u64,
+        tune: impl FnOnce() -> Option<TunedParams>,
+    ) -> (Option<TunedParams>, CacheOutcome) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            return (self.entries.last().unwrap().1, CacheOutcome::Hit);
+        }
+        self.misses += 1;
+        let tuned = tune();
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((key, tuned));
+        (tuned, CacheOutcome::Miss)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +218,34 @@ mod tests {
         assert_eq!(o, CacheOutcome::Miss);
         assert_eq!((cache.hits(), cache.misses()), (2, 4));
         assert!((cache.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tune_cache_caches_feasible_and_infeasible_shapes() {
+        let mut cache = TuneCache::new(2);
+        let tuned = || {
+            qdd_autotune::Autotuner::new(qdd_machine::BackendKind::Knc7110p)
+                .tune(&qdd_autotune::TuneProblem::single_node(Dims::new(8, 8, 8, 8), 1, 24))
+                .best()
+                .copied()
+        };
+        let (t, o) = cache.get_or_tune(1, tuned);
+        assert!(t.is_some());
+        assert_eq!(o, CacheOutcome::Miss);
+        let (t2, o) = cache.get_or_tune(1, || panic!("must be cached"));
+        assert_eq!(o, CacheOutcome::Hit);
+        assert_eq!(t.unwrap().key(), t2.unwrap().key());
+        // "Nothing feasible" is cached, not recomputed per lookup.
+        let (none, o) = cache.get_or_tune(2, || None);
+        assert!(none.is_none());
+        assert_eq!(o, CacheOutcome::Miss);
+        let (none, o) = cache.get_or_tune(2, || panic!("infeasible result must be cached"));
+        assert!(none.is_none());
+        assert_eq!(o, CacheOutcome::Hit);
+        // LRU eviction mirrors the setup cache.
+        let _ = cache.get_or_tune(3, || None);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * **Setup caching** — prepared solvers (clover inversion, precision
 //!   conversion, domain coloring) are kept in an LRU [`SetupCache`],
 //!   with hit/miss/eviction counters exported through `qdd-trace`.
+//! * **Autotuning** — with `ServiceConfig::autotune` on, the
+//!   `qdd-autotune` model search picks the Schwarz operating point
+//!   (block geometry, `ISchwarz`, `Idomain`) for each request shape on
+//!   the configured machine backend; tuned plans are cached in an LRU
+//!   [`TuneCache`] beside the setup cache (`serve.tune.*` metrics), so
+//!   tuning runs once per shape and is served thereafter.
 //! * **Graceful degradation** — each response carries an honest
 //!   [`ServeStatus`]: `Converged`, `Fallback` (plain BiCGstab rescued a
 //!   primary miss), or `Degraded` with a [`DegradeReason`]. Deadline
@@ -33,7 +39,7 @@ pub mod request;
 pub mod service;
 pub mod telemetry;
 
-pub use cache::{CacheOutcome, SetupCache};
+pub use cache::{CacheOutcome, SetupCache, TuneCache};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use queue::{BoundedQueue, QueueFull};
 pub use request::{

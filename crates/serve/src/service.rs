@@ -31,7 +31,7 @@
 //! ring-buffer breadcrumb trail that is auto-dumped on load shed, solver
 //! breakdown, or worker-lane straggling.
 
-use crate::cache::{CacheOutcome, SetupCache};
+use crate::cache::{CacheOutcome, SetupCache, TuneCache};
 use crate::latency::LatencyRecorder;
 use crate::queue::BoundedQueue;
 use crate::request::{
@@ -39,8 +39,11 @@ use crate::request::{
 };
 use crate::telemetry::{join_against_model, RequestTimeline};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use qdd_autotune::{fnv1a_u64, Autotuner, TuneProblem};
 use qdd_core::{bicgstab, BiCgStabConfig, DdSolver, DdSolverConfig, LocalSystem, WorkspacePool};
 use qdd_field::fields::SpinorField;
+use qdd_lattice::Dims;
+use qdd_machine::BackendKind;
 use qdd_trace::{
     FlightLane, FlightRecorder, MetricsRegistry, ModelJoin, Phase, RequestId, ShardedMetrics,
     ThreadRecorder, TraceId, TraceSink,
@@ -69,6 +72,15 @@ pub struct ServiceConfig {
     /// Seed the per-request [`TraceId`]s are derived from; two runs with
     /// the same seed and admission order assign identical trace ids.
     pub trace_seed: u64,
+    /// Autotune the Schwarz operating point (block geometry, `ISchwarz`,
+    /// `Idomain`) per request *shape* before building solvers. Tuned
+    /// plans are cached in an LRU alongside the setup cache: tuning runs
+    /// once per shape and is served thereafter (`serve.tune.*` metrics).
+    pub autotune: bool,
+    /// Machine backend the tuner searches and the `model.err.*` join
+    /// prices against. The default (KNC 7110P) reproduces the historical
+    /// hard-coded pricing bitwise.
+    pub backend: BackendKind,
 }
 
 impl Default for ServiceConfig {
@@ -81,8 +93,29 @@ impl Default for ServiceConfig {
             solver: DdSolverConfig::default(),
             fallback_max_iterations: 4000,
             trace_seed: 0x5e7e_5e7e_5e7e_5e7e,
+            autotune: false,
+            backend: BackendKind::Knc7110p,
         }
     }
+}
+
+/// Tune-cache key: the problem *shape* — lattice dims, backend,
+/// preconditioner precision, worker count. Requests that share a shape
+/// share a tuned plan regardless of gauge configuration or tolerance.
+fn tune_key(
+    dims: &Dims,
+    backend: BackendKind,
+    precision: qdd_core::Precision,
+    workers: usize,
+) -> u64 {
+    let mut h = qdd_autotune::fnv1a(&[
+        backend as u8,
+        matches!(precision, qdd_core::Precision::HalfCompressed) as u8,
+    ]);
+    for &e in &dims.0 {
+        h = fnv1a_u64(h, e as u64);
+    }
+    fnv1a_u64(h, workers as u64)
 }
 
 /// A worker's busy time must exceed the worker mean by this factor
@@ -211,6 +244,9 @@ pub struct ServiceReport {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_hit_rate: f64,
+    /// Tune-cache traffic (both zero unless `ServiceConfig::autotune`).
+    pub tune_hits: u64,
+    pub tune_misses: u64,
 }
 
 /// What one worker hands back at shutdown (its metrics shard lives in
@@ -248,6 +284,7 @@ pub fn serve_with_flight<R: Send>(
 ) -> (R, ServiceReport) {
     let queue = BoundedQueue::new(cfg.queue_capacity);
     let cache = Mutex::new(SetupCache::new(cfg.cache_capacity));
+    let tunes = Mutex::new(TuneCache::new(cfg.cache_capacity));
     let handle = ServiceHandle {
         queue: &queue,
         sink: sink.clone(),
@@ -269,11 +306,12 @@ pub fn serve_with_flight<R: Send>(
     crossbeam::scope(|s| {
         let queue = &queue;
         let cache = &cache;
+        let tunes = &tunes;
         let mut workers = Vec::new();
         for (wid, shard) in shards.shards_mut().iter_mut().enumerate() {
-            workers.push(
-                s.spawn(move |_| worker_loop(wid, cfg, source, queue, cache, sink, flight, shard)),
-            );
+            workers.push(s.spawn(move |_| {
+                worker_loop(wid, cfg, source, queue, cache, tunes, sink, flight, shard)
+            }));
         }
         result = Some(client(&handle));
         queue.close();
@@ -294,6 +332,8 @@ pub fn serve_with_flight<R: Send>(
         cache_hits: 0,
         cache_misses: 0,
         cache_hit_rate: 0.0,
+        tune_hits: 0,
+        tune_misses: 0,
     };
     shards.fold(&mut report.metrics);
     let busy: Vec<f64> = outputs.iter().map(|o| o.busy_s).collect();
@@ -328,6 +368,12 @@ pub fn serve_with_flight<R: Send>(
     report.metrics.add("serve.cache.hits", cache.hits() as f64);
     report.metrics.add("serve.cache.misses", cache.misses() as f64);
     report.metrics.add("serve.cache.evictions", cache.evictions() as f64);
+    let tunes = tunes.into_inner().unwrap();
+    report.tune_hits = tunes.hits();
+    report.tune_misses = tunes.misses();
+    report.metrics.add("serve.tune.hits", tunes.hits() as f64);
+    report.metrics.add("serve.tune.misses", tunes.misses() as f64);
+    report.metrics.add("serve.tune.evictions", tunes.evictions() as f64);
     report.metrics.add("serve.rejected", report.rejected as f64);
     let lat = report.latency.summary();
     report.metrics.set_gauge("serve.latency.p50_ms", lat.p50_ms);
@@ -342,6 +388,7 @@ fn worker_loop(
     source: &dyn ConfigSource,
     queue: &BoundedQueue<Pending>,
     cache: &Mutex<SetupCache>,
+    tunes: &Mutex<TuneCache>,
     sink: &TraceSink,
     flight: &FlightRecorder,
     metrics: &mut MetricsRegistry,
@@ -379,7 +426,7 @@ fn worker_loop(
 
         lane.begin(Phase::ServeBatch);
         run_batch(
-            batch, cfg, source, cache, sink, &mut lane, flight, &flane, &mut pool, metrics,
+            batch, cfg, source, cache, tunes, sink, &mut lane, flight, &flane, &mut pool, metrics,
             &mut out,
         );
         lane.end(Phase::ServeBatch);
@@ -456,6 +503,7 @@ fn run_batch(
     cfg: &ServiceConfig,
     source: &dyn ConfigSource,
     cache: &Mutex<SetupCache>,
+    tunes: &Mutex<TuneCache>,
     sink: &TraceSink,
     lane: &mut ThreadRecorder,
     flight: &FlightRecorder,
@@ -497,6 +545,45 @@ fn run_batch(
     let mut solver_cfg = cfg.solver;
     solver_cfg.fgmres.tolerance = tolerance;
     solver_cfg.precision = precision;
+
+    // Autotune the Schwarz operating point for this request shape. The
+    // search space is restricted to the request's precision contract;
+    // the tune cache makes this a once-per-shape model search (a shape
+    // with no feasible candidate keeps the hand-set configuration).
+    if cfg.autotune {
+        let dims = *sources[0].dims();
+        let workers = qdd_core::resolve_workers(solver_cfg.workers);
+        let tkey = tune_key(&dims, cfg.backend, precision, workers);
+        let (tuned, outcome) = {
+            let mut guard = tunes.lock().unwrap();
+            guard.get_or_tune(tkey, || {
+                let t0 = Instant::now();
+                let mut tuner = Autotuner::new(cfg.backend);
+                tuner.space.precisions = vec![match precision {
+                    qdd_core::Precision::Single => qdd_machine::Precision::Single,
+                    qdd_core::Precision::HalfCompressed => qdd_machine::Precision::Half,
+                }];
+                let problem =
+                    TuneProblem::single_node(dims, workers, solver_cfg.fgmres.max_iterations);
+                let best = tuner.tune(&problem).best().copied();
+                metrics.observe("serve.tune_ms", t0.elapsed().as_secs_f64() * 1e3);
+                best
+            })
+        };
+        let hit = outcome == CacheOutcome::Hit;
+        flane.record(
+            Phase::ServeSetup,
+            if hit { "tune.hit" } else { "tune.miss" },
+            tkey as f64,
+            tuned.is_some() as u64 as f64,
+        );
+        if let Some(t) = tuned {
+            solver_cfg = solver_cfg.with_tuned(&t);
+            // The request's precision contract wins (the search was
+            // already restricted to it; this is belt and braces).
+            solver_cfg.precision = precision;
+        }
+    }
     let (solver, cache_outcome) = {
         let mut guard = cache.lock().unwrap();
         guard.get_or_build(key, || {
@@ -527,7 +614,13 @@ fn run_batch(
     stats.attach_sink(sink.clone());
     stats.enable_phase_timing();
     let results = solver.solve_batch(&sources, pool, &mut stats);
-    out.model.merge(&join_against_model(&stats, precision, cfg.solver.schwarz.mr.iterations, 1));
+    out.model.merge(&join_against_model(
+        &stats,
+        cfg.backend,
+        precision,
+        solver_cfg.schwarz.mr.iterations,
+        1,
+    ));
 
     let fallback_cfg = BiCgStabConfig { tolerance, max_iterations: cfg.fallback_max_iterations };
     for ((m, f), (x, r)) in metas.into_iter().zip(&sources).zip(results) {
@@ -683,6 +776,49 @@ mod tests {
         // One gauge configuration ⇒ exactly one setup-cache miss.
         assert_eq!(report.cache_misses, 1);
         assert_eq!(report.latency.count(), 4);
+    }
+
+    #[test]
+    fn autotuned_service_tunes_once_per_shape_and_still_converges() {
+        let mut cfg = service_cfg();
+        cfg.autotune = true;
+        cfg.backend = BackendKind::KnlFlat;
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::enabled();
+        let (responses, report) = serve(&cfg, &source, &sink, |h| {
+            let tickets: Vec<Ticket> = sources_for(4)
+                .into_iter()
+                .map(|s| h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap())
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        for r in &responses {
+            assert!(r.status.meets_target(), "tuned solver must still hit the target");
+        }
+        // One request shape ⇒ the model search ran exactly once; every
+        // later batch of the same shape was served from the tune cache.
+        assert_eq!(report.tune_misses, 1);
+        assert_eq!(
+            report.metrics.counters().get("serve.tune.misses").copied(),
+            Some(1.0),
+            "tune traffic must be exported as serve.tune.* metrics"
+        );
+        // Tuning happens before the setup build, so the tuned solver is
+        // still built (and cached) once.
+        assert_eq!(report.cache_misses, 1);
+    }
+
+    #[test]
+    fn untuned_service_reports_zero_tune_traffic() {
+        let cfg = service_cfg();
+        let source = SyntheticSource::new(dims());
+        let sink = TraceSink::disabled();
+        let ((), report) = serve(&cfg, &source, &sink, |h| {
+            for s in sources_for(2) {
+                h.submit(SolveRequest::new(ConfigKey(1), s)).unwrap().wait();
+            }
+        });
+        assert_eq!((report.tune_hits, report.tune_misses), (0, 0));
     }
 
     #[test]

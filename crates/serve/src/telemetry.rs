@@ -9,11 +9,9 @@
 //! generalized to every phase of Table III).
 
 use crate::request::ServeStatus;
-use qdd_machine::kernel::{dd_method_rate, wilson_clover_bound};
-use qdd_machine::{ChipSpec, NetworkModel, Precision as ModelPrecision, PrefetchMode};
-use qdd_trace::model::keys;
-use qdd_trace::{ModelJoin, Phase, RequestId, TraceId};
-use qdd_util::stats::{Component, SolveStats};
+use qdd_machine::{BackendKind, Precision as ModelPrecision};
+use qdd_trace::{ModelJoin, RequestId, TraceId};
+use qdd_util::stats::SolveStats;
 use serde::{Map, Serialize, Value};
 
 /// One request's life, as elapsed milliseconds since admission.
@@ -63,8 +61,8 @@ impl Serialize for RequestTimeline {
 }
 
 /// Join a solve's measured phase seconds (requires
-/// [`SolveStats::enable_phase_timing`]) against the machine model's
-/// prices for the same work, one entry per `model.err.*` key:
+/// [`SolveStats::enable_phase_timing`]) against the active machine
+/// backend's prices for the same work, one entry per `model.err.*` key:
 ///
 /// * `dirac_apply` — operator-`A` flops at the Wilson-Clover issue bound,
 /// * `schwarz_sweep` — preconditioner flops at the composite DD rate,
@@ -74,48 +72,31 @@ impl Serialize for RequestTimeline {
 ///   at one rank).
 ///
 /// The measured side is host wall-clock and the predicted side is the
-/// paper's KNC — the ratio is a *model-validation* signal, not an SLO.
+/// chosen backend (`ServiceConfig::backend`; the KNC by default, which
+/// reproduces the historical hard-coded pricing bitwise) — the ratio is
+/// a *model-validation* signal, not an SLO. This delegates to
+/// [`qdd_autotune::join_against_backend`] with the backend's default
+/// prefetch profile.
 pub fn join_against_model(
     stats: &SolveStats,
+    backend: BackendKind,
     precision: qdd_core::Precision,
     i_domain: usize,
     ranks: usize,
 ) -> ModelJoin {
-    let chip = ChipSpec::knc_7110p();
-    let net = NetworkModel::stampede_fdr();
-    let cores = chip.cores as f64;
     let model_precision = match precision {
         qdd_core::Precision::Single => ModelPrecision::Single,
         qdd_core::Precision::HalfCompressed => ModelPrecision::Half,
     };
-
-    let mut join = ModelJoin::new();
-    let (_eff, op_gflops) = wilson_clover_bound(&chip);
-    join.record(
-        keys::DIRAC_APPLY,
-        stats.phase_seconds(Phase::OperatorApply),
-        stats.flops(Component::OperatorA) / (op_gflops * cores * 1e9),
-    );
-    let dd_gflops = dd_method_rate(&chip, model_precision, PrefetchMode::L1L2, i_domain.max(1));
-    join.record(
-        keys::SCHWARZ_SWEEP,
-        stats.phase_seconds(Phase::Precondition),
-        stats.flops(Component::PreconditionerM) / (dd_gflops * cores * 1e9),
-    );
-    // Eight directed faces per halo exchange, one exchange per operator
-    // application; bytes are what the ledger saw received.
-    let messages = stats.operator_applications() as f64 * 8.0;
-    join.record(
-        keys::HALO_EXCHANGE,
-        stats.phase_seconds(Phase::HaloRecv),
-        net.transfer_time_s(stats.total_comm_recv_bytes(), messages),
-    );
-    join.record(
-        keys::GLOBAL_SUMS,
-        stats.phase_seconds(Phase::GlobalSum),
-        stats.global_sums() as f64 * net.allreduce_time_s(ranks),
-    );
-    join
+    let b = backend.instance();
+    qdd_autotune::join_against_backend(
+        stats,
+        b,
+        model_precision,
+        b.default_prefetch(),
+        i_domain,
+        ranks,
+    )
 }
 
 #[cfg(test)]
@@ -150,13 +131,16 @@ mod tests {
 
     #[test]
     fn model_join_prices_all_four_phases() {
+        use qdd_trace::model::keys;
+        use qdd_util::stats::Component;
         let mut stats = SolveStats::new();
         stats.enable_phase_timing();
         stats.add_flops(Component::OperatorA, 1e9);
         stats.add_flops(Component::PreconditionerM, 4e9);
         stats.count_global_sums(10);
         stats.count_operator_application();
-        let join = join_against_model(&stats, qdd_core::Precision::Single, 4, 1);
+        let join =
+            join_against_model(&stats, BackendKind::Knc7110p, qdd_core::Precision::Single, 4, 1);
         for key in [keys::DIRAC_APPLY, keys::SCHWARZ_SWEEP, keys::HALO_EXCHANGE, keys::GLOBAL_SUMS]
         {
             assert!(join.get(key).is_some(), "missing join entry {key}");

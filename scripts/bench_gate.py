@@ -51,6 +51,34 @@ def timeline_shape(point):
 # "metas" follows the same shape for the report's meta map. Params are
 # always compared exactly: they are the benchmark configuration.
 GATES = {
+    "autotune": {
+        # The tuned plan is pure model output: every tunable, the plan
+        # fingerprint, and the predicted seconds must reproduce bitwise
+        # across hosts. The measured predict->measure->correct series
+        # (model_join, calibrated_knc) is wall clock and not gated.
+        "series": {
+            "tuned_vs_default": {
+                "exact": [
+                    "backend",
+                    "block",
+                    "precision",
+                    "prefetch",
+                    "i_schwarz",
+                    "i_domain",
+                    "outer_iterations",
+                    "fingerprint",
+                    "evaluated",
+                    "ranked",
+                ],
+                "rel": {
+                    "predicted_total_s": 1e-9,
+                    "default_predicted_total_s": 1e-9,
+                    "speedup_over_default": 1e-9,
+                },
+            }
+        },
+        "metas": {"exact": ["plans_bitwise_identical"]},
+    },
     "chaos": {
         "series": {
             "convergence_vs_fault_rate": {
@@ -138,7 +166,10 @@ def compare_report(name, fresh, base, gate):
                     )
     for field in gate.get("metas", {}).get("exact", []):
         compare_values(
-            f"metas.{field}", fresh.get("metas", {}).get(field), base.get("metas", {}).get(field), failures
+            f"metadata.{field}",
+            fresh.get("metadata", {}).get(field),
+            base.get("metadata", {}).get(field),
+            failures,
         )
     return failures
 

@@ -41,6 +41,12 @@ cargo run -p qdd-bench --release --bin serve -- --smoke
 echo "==> telemetry overhead guard (release, smoke)"
 cargo run -p qdd-bench --release --bin telemetry -- --smoke
 
+# Autotune smoke: the model search must beat the hand-set default on
+# every backend and produce a bitwise-reproducible plan (both asserted
+# inside the binary; the plan fingerprints are pinned by the gate).
+echo "==> autotune smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin autotune -- --smoke
+
 # Bench gate: the deterministic fields of the fresh smoke reports above
 # (iterations, fault counters, trace ids, timeline shapes) must match the
 # committed baselines in results/baselines/. On drift it points at

@@ -10,11 +10,16 @@
 //! qdd serve [--dims X,Y,Z,T] [--block X,Y,Z,T] [--requests N] [--configs K]
 //!           [--tol T] [--deadline-ms D] [--workers N] [--max-batch B]
 //!           [--queue N] [--cache N] [--seed N] [--half] [--trace PATH]
-//!           [--flight-dump PATH] [--timelines]
+//!           [--flight-dump PATH] [--timelines] [--autotune]
+//!           [--backend knc|knl-flat|knl-cache]
 //! qdd chaos [--dims X,Y,Z,T] [--block X,Y,Z,T] [--ranks X,Y,Z,T]
 //!           [--loss P] [--corrupt P] [--delay P] [--hiccup P]
 //!           [--fault-seed N] [--restarts N] [--mass M] [--spread S]
 //!           [--tol T] [--seed N] [--no-overlap] [--flight-dump PATH]
+//! qdd tune  [--backend knc|knl-flat|knl-cache|all] [--nodes N]
+//!           [--dims X,Y,Z,T] [--layout X,Y,Z,T] [--cores N]
+//!           [--basis M] [--deflate K] [--base-outer N] [--top N]
+//!           [--seed N] [--calibrate PATH] [--json PATH]
 //! qdd model table2|table3|fig5|fig6|fig7|bound
 //! qdd info
 //! ```
@@ -237,6 +242,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     svc.solver.fgmres.tolerance = tol;
     let precision = if args.has("half") { Precision::HalfCompressed } else { Precision::Single };
     svc.solver.precision = precision;
+    svc.autotune = args.has("autotune");
+    if let Some(b) = args.flags.get("backend") {
+        svc.backend = lattice_qcd_dd::machine::BackendKind::parse(b)
+            .ok_or_else(|| format!("unknown backend '{b}' (knc|knl-flat|knl-cache)"))?;
+    }
 
     let trace_path = args.flags.get("trace").cloned();
     let sink = if trace_path.is_some() { TraceSink::enabled() } else { TraceSink::disabled() };
@@ -294,6 +304,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.cache_misses,
         100.0 * report.cache_hit_rate
     );
+    if svc.autotune {
+        println!(
+            "tune cache [{}]: {} hit(s) / {} miss(es)",
+            svc.backend, report.tune_hits, report.tune_misses
+        );
+    }
     println!(
         "latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms; queue wait p50 {:.1} ms",
         lat.p50_ms,
@@ -517,6 +533,110 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    use lattice_qcd_dd::autotune::{Autotuner, Calibration, TuneProblem};
+    use lattice_qcd_dd::machine::BackendKind;
+
+    // Which backends to search. "all" ranks the same problem on every
+    // modeled machine side by side.
+    let backend_s: String = args.get("backend", "knc".to_string())?;
+    let kinds: Vec<BackendKind> = if backend_s == "all" {
+        BackendKind::ALL.to_vec()
+    } else {
+        vec![BackendKind::parse(&backend_s)
+            .ok_or_else(|| format!("unknown backend '{backend_s}' (knc|knl-flat|knl-cache|all)"))?]
+    };
+
+    // The problem: either the paper's 48^3x64 strong-scaling workload on
+    // --nodes co-processors, or a custom --dims/--layout/--cores shape.
+    let problem = if args.flags.contains_key("dims") {
+        let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
+        let layout = args.dims("layout", Dims::new(1, 1, 1, 1))?;
+        if !dims.divisible_by(&layout) {
+            return Err(format!("layout {layout} does not tile lattice {dims}"));
+        }
+        let cores: usize = args.get("cores", 0)?;
+        TuneProblem {
+            dims,
+            layout,
+            max_basis: args.get("basis", 16)?,
+            deflate: args.get("deflate", 4)?,
+            base_outer: args.get("base-outer", 100)?,
+            cores: if cores == 0 { None } else { Some(cores) },
+        }
+    } else {
+        let nodes: usize = args.get("nodes", 64)?;
+        TuneProblem::paper_48(nodes)
+            .ok_or_else(|| format!("no rank layout tiles the paper lattice over {nodes} nodes"))?
+    };
+
+    // Optional predict -> measure -> correct: calibrate from a bench
+    // report that carries a model_join series (BENCH_serve.json,
+    // BENCH_telemetry.json, BENCH_autotune.json).
+    let calibration = match args.flags.get("calibrate") {
+        None => Calibration::identity(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+            Calibration::from_bench_json(&text)
+                .ok_or_else(|| format!("{path} carries no model_join series"))?
+        }
+    };
+
+    let top: usize = args.get("top", 5)?;
+    println!(
+        "tuning {} on ranks {} (local {}){}",
+        problem.dims,
+        problem.layout,
+        problem.local(),
+        if calibration.is_identity() { "" } else { " [calibrated]" }
+    );
+
+    let mut json_plans = Vec::new();
+    for kind in kinds {
+        let mut tuner = Autotuner::new(kind).with_calibration(calibration.clone());
+        if let Some(seed) = args.flags.get("seed") {
+            tuner = tuner.with_seed(seed.parse().map_err(|e| format!("--seed: {e}"))?);
+        }
+        let plan = tuner.tune(&problem);
+        println!(
+            "\n{kind}: {} candidate(s) ranked of {} evaluated \
+             (rejected: {} load, {} hiding, {} invalid; fingerprint {:016x})",
+            plan.ranked.len(),
+            plan.evaluated,
+            plan.rejected_load,
+            plan.rejected_hiding,
+            plan.rejected_invalid,
+            plan.fingerprint,
+        );
+        match &plan.default_params {
+            Some(d) => println!("  default  {}", d.describe()),
+            None => println!("  default  (paper point infeasible on this problem)"),
+        }
+        for (i, p) in plan.ranked.iter().take(top).enumerate() {
+            println!("  #{:<6} {}", i + 1, p.describe());
+        }
+        if let Some(s) = plan.speedup_over_default() {
+            println!("  model-predicted speedup over default: {s:.3}x");
+        }
+        if plan.ranked.is_empty() {
+            println!("  no feasible operating point (constraints reject every candidate)");
+        }
+        json_plans.push(plan);
+    }
+
+    if let Some(path) = args.flags.get("json") {
+        let text = serde_json::to_string_pretty(&json_plans)
+            .map_err(|e| format!("serialize plans: {e}"))?;
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(path, text).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("\nplans written: {path}");
+    }
+    Ok(())
+}
+
 fn cmd_hmc(args: &Args) -> Result<(), String> {
     let dims = args.dims("dims", Dims::new(4, 4, 4, 8))?;
     let beta: f64 = args.get("beta", 5.9)?;
@@ -573,7 +693,8 @@ fn cmd_info() {
         bound
     );
     println!(
-        "\nsubcommands: solve, serve, hmc, chaos, model <table2|table3|fig5|fig6|fig7|bound>, info"
+        "\nsubcommands: solve, serve, hmc, chaos, tune, \
+         model <table2|table3|fig5|fig6|fig7|bound>, info"
     );
 }
 
@@ -583,6 +704,7 @@ fn main() -> ExitCode {
         Some("solve") => Args::parse(&argv[1..]).and_then(|a| cmd_solve(&a)),
         Some("serve") => Args::parse(&argv[1..]).and_then(|a| cmd_serve(&a)),
         Some("hmc") => Args::parse(&argv[1..]).and_then(|a| cmd_hmc(&a)),
+        Some("tune") => Args::parse(&argv[1..]).and_then(|a| cmd_tune(&a)),
         Some("chaos") => Args::parse(&argv[1..]).and_then(|a| cmd_chaos(&a)),
         Some("model") => match argv.get(1) {
             Some(w) => cmd_model(w),

@@ -24,9 +24,11 @@
 //! | `qdd-core` | MR, Schwarz, FGMRES-DR, BiCGstab, Richardson, CGNR; worker pool |
 //! | `qdd-comm` | SPMD rank runtime, halo exchange, distributed solvers |
 //! | `qdd-faults` | deterministic seeded fault injection: loss, corruption, stragglers, hiccups |
-//! | `qdd-machine` | KNC chip/kernel/network/overlap models; Table II/III, Figs. 5-7 generators |
-//! | `qdd-serve` | batched multi-RHS solve service: admission control, setup cache, degradation ladder |
+//! | `qdd-machine` | trait-based machine backends (KNC 7110P, KNL 7250 flat/cache); chip/kernel/network/overlap models; Table II/III, Figs. 5-7 generators |
+//! | `qdd-autotune` | deterministic model-driven parameter search (block × precision × prefetch × `Is`/`Id`) with predict → measure → correct calibration |
+//! | `qdd-serve` | batched multi-RHS solve service: admission control, setup cache, tuned-parameter cache, degradation ladder |
 
+pub use qdd_autotune as autotune;
 pub use qdd_comm as comm;
 pub use qdd_core as core_solver;
 pub use qdd_dirac as dirac;
