@@ -29,10 +29,12 @@ fn bench_solvers(c: &mut Criterion) {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     };
     let solver = DdSolver::new(test_operator(dims, spread, mass, 31), dd_cfg).unwrap();
     let op = test_operator(dims, spread, mass, 31);

@@ -164,10 +164,12 @@ fn main() {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     };
     let i_domain = cfg.schwarz.mr.iterations;
     let op = test_operator(dims, 0.45, 0.1, 11);

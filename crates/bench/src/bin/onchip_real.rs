@@ -33,6 +33,7 @@ fn main() {
         mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
         additive: false,
         overlap: true,
+        ..Default::default()
     };
     let op = test_operator(dims, 0.5, 0.2, 301).cast::<f32>();
     let pre = SchwarzPreconditioner::new(op, cfg).unwrap();

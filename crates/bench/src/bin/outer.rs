@@ -4,18 +4,23 @@
 //! outer FGMRES iteration (Sec. III-B) and backs the repo's claim that the
 //! fused outer path is a real speedup, not just a layout change.
 //!
-//! Both precisions are measured: f64 is the outer double-precision Krylov
-//! matvec; f32 is the precision the mixed-precision solver (and the paper's
-//! KNC kernels, Sec. III-A) actually run the hot path in.
+//! Three storage precisions are measured (select with `--storage`):
+//! - `f64`: the outer double-precision Krylov matvec;
+//! - `f32`: the precision the mixed-precision solver (and the paper's KNC
+//!   kernels, Sec. III-A) actually run the hot path in;
+//! - `f16`: f32 compute with the gauge/clover constants pre-rounded to
+//!   f16 and *stored* as genuine f16, up-converted lane-wise inside the
+//!   SU(3) multiply (paper Sec. II-A) — the memory-wall configuration.
 //!
-//! Run: `cargo run -p qdd-bench --bin outer --release [-- --smoke]`
+//! Run: `cargo run -p qdd-bench --bin outer --release [-- --smoke]
+//!       [--storage {f64,f32,f16}]`
 //! Writes `results/BENCH_outer.json`.
 
 use qdd_bench::{test_operator, test_source};
 use qdd_core::pool::WorkerPool;
-use qdd_dirac::fused_full::build_full_operator;
+use qdd_dirac::fused_full::{build_full_operator_tuned, FusedTuning, StoragePrecision};
 use qdd_dirac::wilson::WilsonClover;
-use qdd_field::fields::SpinorField;
+use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
 use qdd_lattice::Dims;
 use qdd_util::complex::Real;
 use serde::Serialize;
@@ -25,6 +30,7 @@ use std::time::Instant;
 struct Point {
     kernel: &'static str,
     workers: usize,
+    bytes_per_site: usize,
     seconds: f64,
     gflops: f64,
     speedup_vs_scalar: f64,
@@ -47,15 +53,21 @@ fn bench_precision<T: Real>(
     series: &str,
     op: &WilsonClover<T>,
     src: &SpinorField<T>,
+    storage: StoragePrecision,
     reps: usize,
     report: &mut qdd_bench::Report,
 ) -> (f64, f64) {
     let dims = *op.dims();
-    let fused = build_full_operator::<T>(op).expect("even extents admit a fused operator");
+    let tuning = FusedTuning { storage, ..FusedTuning::default() };
+    let fused =
+        build_full_operator_tuned::<T>(op, tuning).expect("even extents admit a fused operator");
     let flops = op.apply_flops();
+    let bytes = fused.streamed_bytes_per_site();
 
     // Correctness cross-check before timing anything: the fused operator
-    // must agree with the scalar site loop site-for-site.
+    // must agree with the scalar site loop site-for-site (for the f16
+    // series the scalar reference applies the same pre-rounded operator,
+    // so the tolerance is the f32 one).
     let mut expect = SpinorField::zeros(dims);
     op.apply(&mut expect, src);
     {
@@ -75,10 +87,11 @@ fn bench_precision<T: Real>(
         std::hint::black_box(&out);
     });
     println!(
-        "{:>6} {:>8} {:>8} {:>10.1} {:>9.2} {:>9.2}",
+        "{:>6} {:>8} {:>8} {:>7} {:>10.1} {:>9.2} {:>9.2}",
         series,
         "scalar",
         1,
+        bytes,
         1e3 * t_scalar,
         flops / t_scalar / 1e9,
         1.0
@@ -88,6 +101,7 @@ fn bench_precision<T: Real>(
         Point {
             kernel: "scalar",
             workers: 1,
+            bytes_per_site: bytes,
             seconds: t_scalar,
             gflops: flops / t_scalar / 1e9,
             speedup_vs_scalar: 1.0,
@@ -105,10 +119,11 @@ fn bench_precision<T: Real>(
             best_fused = t;
         }
         println!(
-            "{:>6} {:>8} {:>8} {:>10.1} {:>9.2} {:>9.2}",
+            "{:>6} {:>8} {:>8} {:>7} {:>10.1} {:>9.2} {:>9.2}",
             series,
             "fused",
             workers,
+            bytes,
             1e3 * t,
             flops / t / 1e9,
             t_scalar / t
@@ -118,6 +133,7 @@ fn bench_precision<T: Real>(
             Point {
                 kernel: "fused",
                 workers,
+                bytes_per_site: bytes,
                 seconds: t,
                 gflops: flops / t / 1e9,
                 speedup_vs_scalar: t_scalar / t,
@@ -127,8 +143,32 @@ fn bench_precision<T: Real>(
     (t_scalar, best_fused)
 }
 
+/// Pre-round the f32 operator's gauge/clover constants through f16, the
+/// same construction `DdSolver` uses for `Precision::HalfCompressed`:
+/// the returned operator's constants are exactly f16-representable, so
+/// `StoragePrecision::Half` stores them losslessly.
+fn pre_rounded_f16(op: &WilsonClover<f64>) -> WilsonClover<f32> {
+    let g16 = GaugeFieldF16::compress(&op.gauge().cast()).decompress();
+    let c16 = CloverFieldF16::compress(&op.clover().cast()).decompress();
+    WilsonClover::new(g16, c16, op.mass() as f32, *op.phases())
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let storage_sel = args
+        .iter()
+        .position(|a| a == "--storage")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "f64,f32,f16".to_string());
+    let selected: Vec<&str> = storage_sel.split(',').collect();
+    for s in &selected {
+        assert!(
+            matches!(*s, "f64" | "f32" | "f16"),
+            "unknown --storage {s:?}: expected a comma list of f64, f32, f16"
+        );
+    }
     let (dims, reps) =
         if smoke { (Dims::new(8, 8, 8, 8), 3) } else { (Dims::new(16, 16, 16, 16), 10) };
 
@@ -142,8 +182,8 @@ fn main() {
         op.apply_flops()
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>10} {:>9} {:>9}",
-        "series", "kernel", "workers", "time [ms]", "Gflop/s", "speedup"
+        "{:>6} {:>8} {:>8} {:>7} {:>10} {:>9} {:>9}",
+        "series", "kernel", "workers", "B/site", "time [ms]", "Gflop/s", "speedup"
     );
 
     let mut report = qdd_bench::Report::new("BENCH_outer");
@@ -151,26 +191,43 @@ fn main() {
         .param("dims", format!("{dims}"))
         .param("reps", reps)
         .param("smoke", smoke)
+        .param("storage", storage_sel.clone())
         .param("flops_per_apply", op.apply_flops())
         .meta("hardware_threads", hw)
         .meta("baseline", "scalar WilsonClover::apply, single thread, same precision")
+        .meta(
+            "f16_series",
+            "f32 compute, gauge/clover pre-rounded to f16 and stored as f16 \
+             (lane-wise up-conversion in the SU(3) multiply)",
+        )
         .meta("timer", "best-of-reps wall time");
 
-    let (t64_scalar, t64_fused) = bench_precision("f64", &op, &src, reps, &mut report);
+    let mut summary: Vec<(&str, f64, f64)> = Vec::new();
     let op32: WilsonClover<f32> = op.cast();
     let src32: SpinorField<f32> = src.cast();
-    let (t32_scalar, t32_fused) = bench_precision("f32", &op32, &src32, reps, &mut report);
+    for s in &selected {
+        let (t_scalar, t_fused) = match *s {
+            "f64" => bench_precision("f64", &op, &src, StoragePrecision::Native, reps, &mut report),
+            "f32" => {
+                bench_precision("f32", &op32, &src32, StoragePrecision::Native, reps, &mut report)
+            }
+            _ => {
+                let op16 = pre_rounded_f16(&op);
+                bench_precision("f16", &op16, &src32, StoragePrecision::Half, reps, &mut report)
+            }
+        };
+        summary.push((s, t_scalar, t_fused));
+    }
 
-    println!(
-        "\nfused @4 workers vs scalar: {:.2}x (f64), {:.2}x (f32 — the precision the",
-        t64_scalar / t64_fused,
-        t32_scalar / t32_fused
-    );
-    println!("mixed-precision solver and Schwarz preconditioner run the hot path in).");
-    println!("The f64 kernel is memory-bandwidth-bound at this volume; f32 halves the");
-    println!("streamed bytes and doubles the SIMD lanes, which is where the fused");
-    println!("layout's headroom shows. Extra workers add strong scaling on multi-core");
-    println!("hosts; on a single-core host the pool time-slices.");
+    println!();
+    for (label, t_scalar, t_fused) in &summary {
+        println!("{label:>6}: fused @4 workers vs scalar {:.2}x", t_scalar / t_fused);
+    }
+    println!("\nThe f64 kernel is memory-bandwidth-bound at this volume; f32 halves the");
+    println!("streamed bytes and doubles the SIMD lanes, and the f16 storage series");
+    println!("cuts the constant stream in half again (504 vs 768 B/site) at identical");
+    println!("compute precision. Extra workers add strong scaling on multi-core hosts;");
+    println!("on a single-core host the pool time-slices.");
     report.write();
     println!("\nwrote results/BENCH_outer.json");
 }

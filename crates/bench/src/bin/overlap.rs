@@ -116,6 +116,7 @@ fn main() {
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
         overlap: true,
+        ..Default::default()
     };
     let grid = RankGrid::new(global, rank_dims);
     let mut rng = Rng64::new(401);

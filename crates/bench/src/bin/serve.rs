@@ -73,10 +73,12 @@ fn main() {
             mr: MrConfig { iterations: 2, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::HalfCompressed,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     };
     // Heavy quark on a smooth field: the operator is well conditioned,
     // so the solve is short and per-request setup (gauge materialization,

@@ -37,7 +37,7 @@ use qdd_dirac::boundary::{pack_sites_for_backward_hop_with, pack_sites_for_forwa
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_field::halo::{face_index, HaloData};
-use qdd_field::spinor::{HalfSpinor, Spinor};
+use qdd_field::spinor::{HalfSpinor, HalfSpinorF16, Spinor};
 use qdd_lattice::{Dir, DomainColor, DomainGrid, Parity, SiteIndexer};
 use qdd_util::stats::{Component, SolveStats};
 use std::cell::Cell;
@@ -250,8 +250,18 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                     pack_sites_for_backward_hop_with(self.op, fetch, dir, sign, &sites[range])
                 };
                 trace.end(qdd_trace::Phase::HaloPack);
-                sent += (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
-                self.ctx.send_face_part(dir, o == 1, part_of(slot.half), data);
+                if self.cfg.f16_faces {
+                    // f16 envelope: round the packed boundary half-spinors
+                    // to f16 and ship 24 bytes per site instead of the
+                    // full-width 12 reals (half the f32 halo traffic).
+                    let packed: Vec<HalfSpinorF16> =
+                        data.iter().map(HalfSpinorF16::compress).collect();
+                    sent += (packed.len() * HalfSpinorF16::WIRE_BYTES) as f64;
+                    self.ctx.send_face_part_f16(dir, o == 1, part_of(slot.half), packed);
+                } else {
+                    sent += (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+                    self.ctx.send_face_part(dir, o == 1, part_of(slot.half), data);
+                }
             }
         }
         sent
@@ -278,13 +288,44 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
             if peer_skipped[slot.dir.index()][o] {
                 continue;
             }
-            match self.ctx.recv_face_part_retrying::<T>(
-                slot.dir,
-                slot.forward,
-                part_of(slot.half),
-                crate::exchange::MAX_ATTEMPTS,
-            ) {
-                Ok(Some(data)) => {
+            // f16 envelopes are up-converted at the merge; either way the
+            // halo holds compute-precision half-spinors and the received
+            // ledger counts the wire bytes of the format that traveled.
+            let received = if self.cfg.f16_faces {
+                self.ctx
+                    .recv_face_part_retrying_f16(
+                        slot.dir,
+                        slot.forward,
+                        part_of(slot.half),
+                        crate::exchange::MAX_ATTEMPTS,
+                    )
+                    .map(|opt| {
+                        opt.map(|packed| {
+                            let bytes = (packed.len() * HalfSpinorF16::WIRE_BYTES) as f64;
+                            let data: Vec<HalfSpinor<T>> =
+                                packed.iter().map(HalfSpinorF16::decompress).collect();
+                            (data, bytes)
+                        })
+                    })
+            } else {
+                self.ctx
+                    .recv_face_part_retrying::<T>(
+                        slot.dir,
+                        slot.forward,
+                        part_of(slot.half),
+                        crate::exchange::MAX_ATTEMPTS,
+                    )
+                    .map(|opt| {
+                        opt.map(|data| {
+                            let bytes =
+                                (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>())
+                                    as f64;
+                            (data, bytes)
+                        })
+                    })
+            };
+            match received {
+                Ok(Some((data, bytes))) => {
                     // halo.face(dir, true) entries mirror the *forward*
                     // neighbor's backward face; its site colors are the
                     // flip of our same-face colors at the same positions.
@@ -298,7 +339,7 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                         slot.dir,
                         slot.forward
                     );
-                    got += (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+                    got += bytes;
                     let buf = halo.face_mut(slot.dir, slot.forward);
                     for (h, &k) in data.into_iter().zip(&positions[range]) {
                         buf.data[k] = h;
@@ -543,6 +584,7 @@ mod tests {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         }
     }
 
@@ -625,6 +667,61 @@ mod tests {
     #[test]
     fn matches_serial_16ranks() {
         check_dist_schwarz(Dims::new(2, 2, 2, 2), Dims::new(4, 4, 4, 4), 2);
+    }
+
+    #[test]
+    fn f16_faces_halve_traffic_and_stay_within_rounding() {
+        // The f16 halo envelope (24 bytes/site vs f32's 48) must halve
+        // both sides of the traffic ledger exactly, while the result stays
+        // a small f16-rounding perturbation of the f32-face run.
+        let global_dims = Dims::new(8, 8, 8, 8);
+        let grid = RankGrid::new(global_dims, Dims::new(2, 1, 1, 1));
+        let mut rng = Rng64::new(35);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.4, &basis);
+        let phases = BoundaryPhases::antiperiodic_t();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+
+        let run = |f16_faces: bool| {
+            let mut cfg = schwarz_cfg(Dims::new(4, 4, 4, 4), 3);
+            cfg.f16_faces = f16_faces;
+            let world = CommWorld::new(grid.clone());
+            run_spmd(&world, |ctx| {
+                let r = ctx.rank();
+                let op = WilsonClover::new(
+                    local_gauge[r].cast::<f32>(),
+                    local_clover[r].cast::<f32>(),
+                    0.2f32,
+                    phases,
+                );
+                let pre = DistSchwarz::new(ctx, &op, cfg).unwrap();
+                let mut stats = SolveStats::new();
+                let u = pre.apply(&f_local[r].cast(), &mut stats);
+                (
+                    u,
+                    stats.comm_bytes(Component::PreconditionerM),
+                    stats.comm_recv_bytes(Component::PreconditionerM),
+                    ctx.counters.bytes_sent.get(),
+                )
+            })
+        };
+        let wide = run(false);
+        let packed = run(true);
+        for (a, b) in wide.iter().zip(&packed) {
+            assert!(a.1 > 0.0, "no preconditioner traffic counted");
+            assert_eq!(b.1, a.1 / 2.0, "f16 faces must halve the sent ledger");
+            assert_eq!(b.2, a.2 / 2.0, "f16 faces must halve the received ledger");
+            assert_eq!(b.3, a.3 / 2.0, "f16 faces must halve the wire counters");
+            let mut diff = a.0.clone();
+            diff.sub_assign(&b.0);
+            let rel = diff.norm() / a.0.norm();
+            assert!(rel > 0.0, "f16 faces must actually round something");
+            assert!(rel < 1e-2, "f16-face result drifted too far: rel {rel}");
+        }
     }
 
     #[test]

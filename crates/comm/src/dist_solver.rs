@@ -240,6 +240,7 @@ mod tests {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         };
 
         // Single-rank reference.
@@ -254,6 +255,7 @@ mod tests {
                 precision: Precision::Single,
                 workers: 1,
                 fused_outer: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -312,6 +314,73 @@ mod tests {
     }
 
     #[test]
+    fn f16_face_solve_converges_to_the_same_tolerance() {
+        // Switching the preconditioner's halo envelopes to f16 perturbs
+        // only the preconditioner (the flexible outer solver tolerates
+        // that): the solve must still converge to the same residual
+        // tolerance, while the preconditioner's traffic ledger halves
+        // exactly.
+        let global_dims = Dims::new(8, 8, 4, 8);
+        let grid = RankGrid::new(global_dims, Dims::new(2, 1, 1, 1));
+        let mut rng = Rng64::new(43);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.4, &basis);
+        let phases = BoundaryPhases::antiperiodic_t();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+
+        let fgmres =
+            FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-9, max_iterations: 300 };
+        let run = |f16_faces: bool| {
+            let schwarz = SchwarzConfig {
+                block: Dims::new(4, 4, 4, 4),
+                i_schwarz: 4,
+                mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+                additive: false,
+                overlap: true,
+                f16_faces,
+            };
+            let cfg = DistDdConfig { fgmres, schwarz, precision: Precision::Single };
+            let world = CommWorld::new(grid.clone());
+            run_spmd(&world, |ctx| {
+                let r = ctx.rank();
+                let op =
+                    WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
+                let mut stats = SolveStats::new();
+                let (x, out, _) = dd_solve_distributed(ctx, &op, &f_local[r], &cfg, &mut stats);
+                (x, out, stats.comm_bytes(Component::PreconditionerM))
+            })
+        };
+        let wide = run(false);
+        let packed = run(true);
+        for ((_, out_w, _), (_, out_p, _)) in wide.iter().zip(&packed) {
+            assert!(out_w.converged);
+            assert!(
+                out_p.converged,
+                "f16-face solve failed to reach the tolerance: residual {}",
+                out_p.relative_residual
+            );
+            assert!(out_p.relative_residual <= fgmres.tolerance);
+        }
+        // Bytes per preconditioner application halve; iteration counts may
+        // differ slightly, so compare per-application traffic.
+        let per_apply_w = wide[0].2 / wide[0].1.iterations as f64;
+        let per_apply_p = packed[0].2 / packed[0].1.iterations as f64;
+        assert_eq!(per_apply_p, per_apply_w / 2.0, "f16 faces must halve preconditioner bytes");
+        // Both runs solve the same f64 outer system to the same tolerance;
+        // the solutions agree to that tolerance (not bitwise — the
+        // preconditioner differs).
+        let x_w = gather_field(&wide.iter().map(|r| r.0.clone()).collect::<Vec<_>>(), &grid);
+        let x_p = gather_field(&packed.iter().map(|r| r.0.clone()).collect::<Vec<_>>(), &grid);
+        let mut diff = x_w.clone();
+        diff.sub_assign(&x_p);
+        assert!(diff.norm() < 1e-6 * x_w.norm());
+    }
+
+    #[test]
     fn dd_vs_bicgstab_communication_ratio() {
         // The core claim (Table III last column): per solve, DD moves far
         // fewer bytes than BiCGstab. Measure both on the same distributed
@@ -338,6 +407,7 @@ mod tests {
             mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         };
         let cfg = DistDdConfig { fgmres, schwarz, precision: Precision::Single };
 

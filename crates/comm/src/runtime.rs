@@ -4,16 +4,18 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use qdd_faults::{FaultPlan, RecvFault};
-use qdd_field::spinor::HalfSpinor;
+use qdd_field::spinor::{HalfSpinor, HalfSpinorF16};
 use qdd_lattice::{Dir, RankGrid};
 use qdd_trace::{CommStats, FaultStats, FlightLane, Phase, TraceSink};
 use qdd_util::complex::Real;
 use std::cell::{Cell, RefCell};
 use std::sync::Barrier;
 
-/// Message payload: one face worth of half-spinors, in either precision.
+/// Message payload: one face worth of half-spinors, in either compute
+/// precision or packed to f16 on the wire.
 #[derive(Clone)]
 pub enum Payload {
+    F16(Vec<HalfSpinorF16>),
     F32(Vec<HalfSpinor<f32>>),
     F64(Vec<HalfSpinor<f64>>),
 }
@@ -21,8 +23,16 @@ pub enum Payload {
 impl Payload {
     fn precision(&self) -> &'static str {
         match self {
+            Payload::F16(_) => "f16",
             Payload::F32(_) => "f32",
             Payload::F64(_) => "f64",
+        }
+    }
+
+    fn try_unwrap_f16(self) -> Result<Vec<HalfSpinorF16>, CommError> {
+        match self {
+            Payload::F16(d) => Ok(d),
+            other => Err(CommError::PrecisionMismatch { expected: "f16", got: other.precision() }),
         }
     }
 }
@@ -81,6 +91,16 @@ fn checksum_payload(p: &Payload) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
     match p {
+        Payload::F16(v) => {
+            for hs in v {
+                for row in &hs.0 {
+                    for z in row {
+                        h = (h ^ z.re.0 as u64).wrapping_mul(PRIME);
+                        h = (h ^ z.im.0 as u64).wrapping_mul(PRIME);
+                    }
+                }
+            }
+        }
         Payload::F32(v) => {
             for hs in v {
                 for c3 in &hs.0 {
@@ -108,6 +128,7 @@ fn checksum_payload(p: &Payload) -> u64 {
 /// Payload size on the wire, bytes.
 fn payload_bytes(p: &Payload) -> f64 {
     match p {
+        Payload::F16(v) => (v.len() * HalfSpinorF16::WIRE_BYTES) as f64,
         Payload::F32(v) => (v.len() * HalfSpinor::<f32>::REALS * std::mem::size_of::<f32>()) as f64,
         Payload::F64(v) => (v.len() * HalfSpinor::<f64>::REALS * std::mem::size_of::<f64>()) as f64,
     }
@@ -118,6 +139,21 @@ fn corrupt_payload(p: &mut Payload, rng: &mut qdd_util::rng::Rng64) {
     let flips = 1 + rng.below(3);
     for _ in 0..flips {
         match p {
+            Payload::F16(v) => {
+                if v.is_empty() {
+                    return;
+                }
+                let i = rng.below(v.len());
+                let hs = &mut v[i];
+                let c = rng.below(6);
+                let z = &mut hs.0[c / 3][c % 3];
+                let bit = 1u16 << rng.below(16);
+                if rng.below(2) == 0 {
+                    z.re.0 ^= bit;
+                } else {
+                    z.im.0 ^= bit;
+                }
+            }
             Payload::F32(v) => {
                 if v.is_empty() {
                     return;
@@ -450,9 +486,26 @@ impl<'w> RankCtx<'w> {
         part: FacePart,
         data: Vec<HalfSpinor<T>>,
     ) {
+        self.send_payload(dir, forward, part, T::wrap(data));
+    }
+
+    /// Send one labelled face slice packed to f16 on the wire — half the
+    /// bytes of the f32 envelope. The receiver must drain it with
+    /// [`recv_face_part_retrying_f16`](Self::recv_face_part_retrying_f16).
+    pub fn send_face_part_f16(
+        &self,
+        dir: Dir,
+        forward: bool,
+        part: FacePart,
+        data: Vec<HalfSpinorF16>,
+    ) {
+        self.send_payload(dir, forward, part, Payload::F16(data));
+    }
+
+    fn send_payload(&self, dir: Dir, forward: bool, part: FacePart, payload: Payload) {
         let mut sent = 0.0;
         if self.is_split(dir) {
-            let bytes = (data.len() * HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64;
+            let bytes = payload_bytes(&payload);
             self.counters.bytes_sent.set(self.counters.bytes_sent.get() + bytes);
             let by_dir = &self.counters.bytes_by_dir[dir.index()][forward as usize];
             by_dir.set(by_dir.get() + bytes);
@@ -461,7 +514,6 @@ impl<'w> RankCtx<'w> {
         }
         let trace = self.trace.borrow();
         trace.begin(Phase::HaloSend);
-        let payload = T::wrap(data);
         let checksum = self.faults.borrow().as_ref().map(|_| checksum_payload(&payload));
         self.tx[dir.index()][forward as usize]
             .send(Msg::Face(Envelope { payload, checksum, part }))
@@ -653,15 +705,44 @@ impl<'w> RankCtx<'w> {
         expect: FacePart,
         max_attempts: u32,
     ) -> Result<Option<Vec<HalfSpinor<T>>>, CommError> {
+        match self.recv_payload_part_retrying(dir, forward, expect, max_attempts)? {
+            Some(p) => T::try_unwrap(p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// [`recv_face_part_retrying`](Self::recv_face_part_retrying) for an
+    /// f16-packed face slice (the wire format of
+    /// [`send_face_part_f16`](Self::send_face_part_f16)).
+    pub fn recv_face_part_retrying_f16(
+        &self,
+        dir: Dir,
+        forward: bool,
+        expect: FacePart,
+        max_attempts: u32,
+    ) -> Result<Option<Vec<HalfSpinorF16>>, CommError> {
+        match self.recv_payload_part_retrying(dir, forward, expect, max_attempts)? {
+            Some(p) => p.try_unwrap_f16().map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn recv_payload_part_retrying(
+        &self,
+        dir: Dir,
+        forward: bool,
+        expect: FacePart,
+        max_attempts: u32,
+    ) -> Result<Option<Payload>, CommError> {
         debug_assert!(max_attempts >= 1);
         /// Modeled backoff before a retransmission attempt, microseconds.
         const BACKOFF_US: f64 = 50.0;
         let mut last = CommError::Timeout { dir, attempts: 0 };
         for attempt in 0..max_attempts {
-            match self.recv_part_or_skip::<T>(dir, forward) {
-                Ok(Some((data, part))) => {
+            match self.recv_attempt(dir, forward) {
+                Ok(Some((payload, part))) => {
                     assert_eq!(part, expect, "split-face schedule out of step in {dir}");
-                    return Ok(Some(data));
+                    return Ok(Some(payload));
                 }
                 Ok(None) => return Ok(None),
                 Err(e) if e.is_retryable() && attempt + 1 < max_attempts => {

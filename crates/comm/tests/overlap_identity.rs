@@ -38,6 +38,7 @@ fn overlap_workers_and_geometry_never_change_the_bits() {
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
         overlap,
+        ..Default::default()
     };
 
     // Serial reference, computed once. The serial preconditioner ignores

@@ -26,6 +26,7 @@ fn dist_schwarz_single_domain_direction() {
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
         overlap: true,
+        ..Default::default()
     };
     let grid = RankGrid::new(global_dims, rank_dims);
     let mut rng = Rng64::new(31);

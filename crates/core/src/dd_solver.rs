@@ -9,7 +9,9 @@ use crate::fgmres_dr::{fgmres_dr_with_workspace, FgmresConfig, SolveOutcome};
 use crate::pool::{resolve_workers, WorkerPool, WorkspacePool};
 use crate::schwarz::{SchwarzConfig, SchwarzPreconditioner};
 use crate::system::{FusedSystem, LocalSystem};
-use qdd_dirac::fused_full::{build_full_operator, FullOperator};
+use qdd_dirac::fused_full::{
+    build_full_operator_tuned, FullOperator, FusedTuning, StoragePrecision, SwPrefetch,
+};
 use qdd_dirac::wilson::WilsonClover;
 use qdd_field::fields::{CloverFieldF16, GaugeFieldF16, SpinorField};
 use qdd_util::stats::SolveStats;
@@ -45,6 +47,14 @@ pub struct DdSolverConfig {
     /// required when a trajectory must stay bitwise comparable to older
     /// scalar runs.
     pub fused_outer: bool,
+    /// Software prefetch depth for the fused outer operator's compute
+    /// loop. Bitwise-neutral; set from the backend's `PrefetchMode` by
+    /// [`Self::with_tuned`] (collapses to `None` on `hw_prefetch`
+    /// chips).
+    pub prefetch: SwPrefetch,
+    /// L2 working-set budget for the fused outer tile traversal
+    /// (z-blocking); `None` keeps the flat order. Bitwise-neutral.
+    pub l2_bytes: Option<usize>,
 }
 
 impl Default for DdSolverConfig {
@@ -55,6 +65,8 @@ impl Default for DdSolverConfig {
             precision: Precision::Single,
             workers: 1,
             fused_outer: true,
+            prefetch: SwPrefetch::None,
+            l2_bytes: None,
         }
     }
 }
@@ -63,15 +75,34 @@ impl DdSolverConfig {
     /// Apply a tuned operating point from the autotuner: the Schwarz
     /// geometry and sweep counts plus the preconditioner storage
     /// precision (model `Single` → f32, `Half` → f16-compressed gauge
-    /// and clover). The tuned outer-iteration count is a model forecast,
-    /// not a budget, so `fgmres.max_iterations` is left alone.
+    /// and clover — which the fused mixed-precision operator then
+    /// *streams* as f16), the software-prefetch mode, and an L2
+    /// traversal budget of half the backend chip's per-core L2 (the
+    /// other half is left to the output tiles and halo scratch). The
+    /// tuned outer-iteration count is a model forecast, not a budget,
+    /// so `fgmres.max_iterations` is left alone.
     pub fn with_tuned(mut self, tuned: &qdd_autotune::TunedParams) -> Self {
         self.schwarz = self.schwarz.with_tuned(tuned);
         self.precision = match tuned.precision {
             qdd_machine::Precision::Single => Precision::Single,
             qdd_machine::Precision::Half => Precision::HalfCompressed,
         };
+        self.prefetch = match tuned.prefetch {
+            qdd_machine::PrefetchMode::None => SwPrefetch::None,
+            qdd_machine::PrefetchMode::L1 => SwPrefetch::L1,
+            qdd_machine::PrefetchMode::L1L2 => SwPrefetch::L1L2,
+        };
+        let l2_kb = tuned.backend.instance().chip().l2_per_core_kb;
+        self.l2_bytes = Some((l2_kb * 1024.0 / 2.0) as usize);
         self
+    }
+
+    /// The execution tuning the outer fused operators run with: storage
+    /// follows the preconditioner precision for the f32 operator (the
+    /// f64 outer operator always stays native — its constants are not
+    /// pre-rounded, so compressed storage would change results).
+    fn outer_tuning(&self, storage: StoragePrecision) -> FusedTuning {
+        FusedTuning { storage, prefetch: self.prefetch, l2_bytes: self.l2_bytes }
     }
 }
 
@@ -115,8 +146,24 @@ impl DdSolver {
         };
         let pre = SchwarzPreconditioner::new(op32, cfg.schwarz)?;
         let pool = WorkerPool::new(resolve_workers(cfg.workers));
-        let fused = if cfg.fused_outer { build_full_operator(&op) } else { None };
-        let fused32 = if cfg.fused_outer { build_full_operator(pre.op()) } else { None };
+        let fused = if cfg.fused_outer {
+            build_full_operator_tuned(&op, cfg.outer_tuning(StoragePrecision::Native))
+        } else {
+            None
+        };
+        // The f16-compressed preconditioner operator was rounded through
+        // f16 above, so streaming its constants as genuine f16 is
+        // lossless: the mixed-precision matvec stays bitwise identical
+        // while the hot loop moves half the bytes.
+        let storage32 = match cfg.precision {
+            Precision::Single => StoragePrecision::Native,
+            Precision::HalfCompressed => StoragePrecision::Half,
+        };
+        let fused32 = if cfg.fused_outer {
+            build_full_operator_tuned(pre.op(), cfg.outer_tuning(storage32))
+        } else {
+            None
+        };
         Some(Self {
             op,
             pre,
@@ -388,10 +435,12 @@ mod tests {
                 mr: MrConfig { iterations: i_domain, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
             precision: Precision::Single,
             workers: 1,
             fused_outer: true,
+            ..Default::default()
         }
     }
 
@@ -401,7 +450,7 @@ mod tests {
             backend: qdd_machine::BackendKind::KnlFlat,
             block: Dims::new(4, 4, 2, 2),
             precision: qdd_machine::Precision::Half,
-            prefetch: qdd_machine::PrefetchMode::None,
+            prefetch: qdd_machine::PrefetchMode::L1L2,
             i_schwarz: 8,
             i_domain: 6,
             outer_iterations: 250,
@@ -416,6 +465,12 @@ mod tests {
         assert_eq!(cfg.schwarz.i_schwarz, 8);
         assert_eq!(cfg.schwarz.mr.iterations, 6);
         assert_eq!(cfg.precision, Precision::HalfCompressed);
+        // Half precision extends to the preconditioner's halo wire format,
+        // and the fused-outer execution knobs follow the backend model.
+        assert!(cfg.schwarz.f16_faces);
+        assert_eq!(cfg.prefetch, SwPrefetch::L1L2);
+        let l2_kb = qdd_machine::BackendKind::KnlFlat.instance().chip().l2_per_core_kb;
+        assert_eq!(cfg.l2_bytes, Some((l2_kb * 1024.0 / 2.0) as usize));
         // The forecasted outer count is a prediction, not a budget.
         assert_eq!(cfg.fgmres.max_iterations, DdSolverConfig::default().fgmres.max_iterations);
 

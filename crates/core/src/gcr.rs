@@ -210,6 +210,7 @@ mod tests {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -41,6 +41,13 @@ pub struct SchwarzConfig {
     /// half-sweep. Ignored by the single-rank preconditioner. Overlap
     /// changes only *when* data moves, never the result.
     pub overlap: bool,
+    /// Pack distributed halo faces as f16 on the wire, halving halo
+    /// bytes under the overlap schedule (paper Sec. III-B extends the
+    /// f16 storage choice to the preconditioner's communication).
+    /// Ignored by the single-rank preconditioner. Off by default: f16
+    /// faces round the exchanged boundary spinors, so existing f32-face
+    /// solves stay bitwise untouched unless explicitly opted in.
+    pub f16_faces: bool,
 }
 
 impl Default for SchwarzConfig {
@@ -51,19 +58,24 @@ impl Default for SchwarzConfig {
             mr: MrConfig { iterations: 5, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            f16_faces: false,
         }
     }
 }
 
 impl SchwarzConfig {
     /// Apply a tuned operating point from `qdd-autotune`: block geometry,
-    /// `ISchwarz`, and the MR iteration count (`Idomain`). The tuned
-    /// prefetch mode has no software analogue in this implementation
-    /// (codegen decides prefetching here), so it is ignored.
+    /// `ISchwarz`, the MR iteration count (`Idomain`), and — when the
+    /// tuned storage precision is `Half` — f16 halo faces, extending the
+    /// compressed-storage choice to the preconditioner's wire traffic.
+    /// The tuned prefetch mode applies to the fused *outer* operator
+    /// (see `DdSolverConfig::with_tuned`); the block kernel here leaves
+    /// prefetching to codegen.
     pub fn with_tuned(mut self, tuned: &qdd_autotune::TunedParams) -> Self {
         self.block = tuned.block;
         self.i_schwarz = tuned.i_schwarz;
         self.mr.iterations = tuned.i_domain;
+        self.f16_faces = tuned.precision == qdd_machine::Precision::Half;
         self
     }
 }
@@ -469,6 +481,7 @@ mod tests {
             mr: MrConfig { iterations: i_domain, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         }
     }
 

@@ -35,10 +35,12 @@ fn config(workers: usize) -> DdSolverConfig {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers,
         fused_outer: true,
+        ..Default::default()
     }
 }
 
@@ -129,6 +131,39 @@ fn mixed_precision_solve_bitwise_identical_across_worker_counts() {
         let (x, out) = solver.solve_mixed(&f, 1e-4, &mut stats);
         assert_eq!(out.iterations, out_ref.iterations, "w={workers}");
         assert_bits_equal(&x, &x_ref, &format!("mixed solution w={workers}"));
+    }
+}
+
+/// The f16-storage hot path (HalfCompressed preconditioner constants
+/// streamed as genuine f16, plus L2 tile blocking and software prefetch)
+/// is bitwise deterministic in the worker count, and bitwise identical to
+/// the untuned HalfCompressed run: storage compression of pre-rounded
+/// constants is lossless, and blocking/prefetch only reorder or hint.
+#[test]
+fn f16_storage_solve_bitwise_identical_across_workers_and_tuning() {
+    use qdd_dirac::fused_full::SwPrefetch;
+    let dims = Dims::new(8, 4, 4, 4);
+    let mut rng = Rng64::new(51);
+    let f = SpinorField::<f64>::random(dims, &mut rng);
+    let mut cfg = config(1);
+    cfg.schwarz.block = Dims::new(4, 2, 2, 2);
+    cfg.precision = Precision::HalfCompressed;
+
+    let reference = DdSolver::new(operator(dims, 52), cfg).unwrap();
+    let mut st = SolveStats::new();
+    let (x_ref, out_ref) = reference.solve_mixed(&f, 1e-4, &mut st);
+    assert!(out_ref.converged, "residual {}", out_ref.relative_residual);
+
+    for workers in [1usize, 2, 4] {
+        let mut c = cfg;
+        c.workers = workers;
+        c.prefetch = SwPrefetch::L1L2;
+        c.l2_bytes = Some(1 << 15); // tight budget: forces real z-blocking
+        let solver = DdSolver::new(operator(dims, 52), c).unwrap();
+        let mut stats = SolveStats::new();
+        let (x, out) = solver.solve_mixed(&f, 1e-4, &mut stats);
+        assert_eq!(out.iterations, out_ref.iterations, "w={workers}");
+        assert_bits_equal(&x, &x_ref, &format!("f16-storage solution w={workers}"));
     }
 }
 

@@ -172,6 +172,7 @@ fn schwarz_preconditioned_solve_traces_nested_phases() {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
     )
     .unwrap();

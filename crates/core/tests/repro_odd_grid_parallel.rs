@@ -28,6 +28,7 @@ fn odd_grid_preconditioner() -> (SchwarzPreconditioner<f64>, SpinorField<f64>) {
         mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
         additive: false,
         overlap: true,
+        ..Default::default()
     };
     let pre = SchwarzPreconditioner::new(op, cfg).unwrap();
     let f = SpinorField::<f64>::random(dims, &mut rng);

@@ -17,7 +17,7 @@
 
 use crate::gamma::GammaBasis;
 use crate::wilson::WilsonClover;
-use qdd_field::fused::{FusedField, FusedTile, VReal};
+use qdd_field::fused::{FusedField, FusedTile, VReal, VF16};
 use qdd_field::spinor::Spinor;
 use qdd_lattice::{Coord, Dims, Dir, Domain, LaneSrc, Parity, SiteIndexer, TileLayout};
 use qdd_util::complex::{Real, C64};
@@ -25,6 +25,117 @@ use qdd_util::complex::{Real, C64};
 /// One tile worth of gauge links for one direction: 3x3 complex in
 /// re/im-split SOA (`idx = 2*(3*i + j) + {0: re, 1: im}`).
 pub type GaugeTile<T, const N: usize> = [VReal<T, N>; 18];
+
+/// Same layout with packed f16 storage (paper Sec. II-A: constants are
+/// stored compressed and up-converted on load). Half the bytes of the f32
+/// tile, a quarter of the f64 one.
+pub type GaugeTileF16<const N: usize> = [VF16<N>; 18];
+
+/// Lane-vector read access to a gauge tile in *compute* precision — the
+/// hook that lets the SU(3) kernels stream either native or compressed
+/// storage. The native impl is a register copy; the f16 impl fuses the
+/// lane-wise up-conversion into the consuming multiply, so the compressed
+/// tile is never materialized at full width in memory.
+pub trait GaugeVecs<T: Real, const N: usize>: Sync {
+    fn vec(&self, k: usize) -> VReal<T, N>;
+}
+
+impl<T: Real, const N: usize> GaugeVecs<T, N> for GaugeTile<T, N> {
+    #[inline(always)]
+    fn vec(&self, k: usize) -> VReal<T, N> {
+        self[k]
+    }
+}
+
+impl<T: Real, const N: usize> GaugeVecs<T, N> for GaugeTileF16<N> {
+    #[inline(always)]
+    fn vec(&self, k: usize) -> VReal<T, N> {
+        self[k].decompress()
+    }
+}
+
+/// Lane-vector read access to one tile's clover storage (both
+/// chiralities), in compute precision. Mirrors [`GaugeVecs`].
+pub trait CloverVecs<T: Real, const N: usize>: Sync {
+    /// Real diagonal `i` (0..6) of chirality `ch`.
+    fn diag(&self, ch: usize, i: usize) -> VReal<T, N>;
+    /// Re/im-split off-diagonal component `k` (0..30) of chirality `ch`.
+    fn off(&self, ch: usize, k: usize) -> VReal<T, N>;
+}
+
+/// Native per-tile clover storage: `(diag[6], off_re_im[30])` per
+/// chirality.
+pub type CloverTile<T, const N: usize> = [([VReal<T, N>; 6], [VReal<T, N>; 30]); 2];
+
+/// Compressed per-tile clover storage. The 30 off-diagonal vectors pack
+/// to f16; the 6 real diagonals stay at compute width because they carry
+/// the `(4 + m)` mass shift, which is folded in *after* the clover term
+/// was rounded — keeping them native makes the compressed operator
+/// express the f16-rounded operator exactly (and the diagonal is the
+/// term whose dynamic range f16 handles worst).
+pub type CloverTileHalf<T, const N: usize> = [([VReal<T, N>; 6], [VF16<N>; 30]); 2];
+
+impl<T: Real, const N: usize> CloverVecs<T, N> for CloverTile<T, N> {
+    #[inline(always)]
+    fn diag(&self, ch: usize, i: usize) -> VReal<T, N> {
+        self[ch].0[i]
+    }
+
+    #[inline(always)]
+    fn off(&self, ch: usize, k: usize) -> VReal<T, N> {
+        self[ch].1[k]
+    }
+}
+
+impl<T: Real, const N: usize> CloverVecs<T, N> for CloverTileHalf<T, N> {
+    #[inline(always)]
+    fn diag(&self, ch: usize, i: usize) -> VReal<T, N> {
+        self[ch].0[i]
+    }
+
+    #[inline(always)]
+    fn off(&self, ch: usize, k: usize) -> VReal<T, N> {
+        self[ch].1[k].decompress()
+    }
+}
+
+/// Apply one tile of the clover + mass diagonal: `dst = A src`, with the
+/// constants streamed through [`CloverVecs`] (native or compressed). The
+/// block kernel's [`FusedKernel::apply_diag`] and the full-lattice
+/// operator's diagonal phase both run this exact FMA sequence, so native
+/// storage stays bitwise identical across paths.
+#[inline]
+pub(crate) fn clover_apply_tile<T: Real, const N: usize, C: CloverVecs<T, N>>(
+    clover: &C,
+    src: &FusedTile<T, N>,
+) -> FusedTile<T, N> {
+    use qdd_field::clover::LOWER_PAIRS;
+    let mut dst: FusedTile<T, N> = [VReal::ZERO; 24];
+    for ch in 0..2 {
+        // Diagonal.
+        for i in 0..6 {
+            let k = 6 * ch + i;
+            let d = clover.diag(ch, i);
+            dst[2 * k] = src[2 * k].mul(d);
+            dst[2 * k + 1] = src[2 * k + 1].mul(d);
+        }
+        // Off-diagonals (i > j): dst_i += off * src_j;
+        // dst_j += conj(off) * src_i.
+        for (kk, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
+            let o_re = clover.off(ch, 2 * kk);
+            let o_im = clover.off(ch, 2 * kk + 1);
+            let gi = 6 * ch + i;
+            let gj = 6 * ch + j;
+            let (sj_re, sj_im) = (src[2 * gj], src[2 * gj + 1]);
+            dst[2 * gi] = dst[2 * gi].fma(o_re, sj_re).fms(o_im, sj_im);
+            dst[2 * gi + 1] = dst[2 * gi + 1].fma(o_re, sj_im).fma(o_im, sj_re);
+            let (si_re, si_im) = (src[2 * gi], src[2 * gi + 1]);
+            dst[2 * gj] = dst[2 * gj].fma(o_re, si_re).fma(o_im, si_im);
+            dst[2 * gj + 1] = dst[2 * gj + 1].fma(o_re, si_im).fms(o_im, si_re);
+        }
+    }
+    dst
+}
 
 /// Per-domain gauge field in fused layout.
 pub struct FusedGauge<T: Real, const N: usize> {
@@ -69,8 +180,7 @@ impl<T: Real, const N: usize> FusedGauge<T, N> {
 /// 6 real diagonals and 15 complex off-diagonals (re/im split).
 pub struct FusedClover<T: Real, const N: usize> {
     /// `[parity][tile][chirality]` -> (diag[6], off_re_im[30]).
-    #[allow(clippy::type_complexity)]
-    pub(crate) data: [Vec<[([VReal<T, N>; 6], [VReal<T, N>; 30]); 2]>; 2],
+    pub(crate) data: [Vec<CloverTile<T, N>>; 2],
 }
 
 impl<T: Real, const N: usize> FusedClover<T, N> {
@@ -99,6 +209,62 @@ impl<T: Real, const N: usize> FusedClover<T, N> {
                 }
             }
         }
+        Self { data }
+    }
+}
+
+/// Per-domain gauge field with packed f16 tiles: the compressed-storage
+/// counterpart of [`FusedGauge`] (paper Sec. II-A). Built by rounding a
+/// native field; re-compressing values that are already
+/// f16-representable is lossless, so an operator whose links were
+/// pre-rounded through f16 yields bitwise-identical applies from either
+/// container.
+pub struct FusedGaugeF16<const N: usize> {
+    /// `[parity][tile][dir]`.
+    data: [Vec<[GaugeTileF16<N>; 4]>; 2],
+}
+
+impl<const N: usize> FusedGaugeF16<N> {
+    /// Compress a gathered native gauge field tile-for-tile.
+    pub fn compress<T: Real>(src: &FusedGauge<T, N>) -> Self {
+        let data = std::array::from_fn(|p| {
+            src.data[p]
+                .iter()
+                .map(|dirs| {
+                    std::array::from_fn(|d| std::array::from_fn(|k| VF16::compress(&dirs[d][k])))
+                })
+                .collect()
+        });
+        Self { data }
+    }
+
+    #[inline]
+    pub(crate) fn tile(&self, parity: Parity, tile: usize, dir: Dir) -> &GaugeTileF16<N> {
+        &self.data[parity.index()][tile][dir.index()]
+    }
+}
+
+/// Compressed counterpart of [`FusedClover`]: f16 off-diagonals, native
+/// diagonals (see [`CloverTileHalf`]).
+pub struct FusedCloverHalf<T: Real, const N: usize> {
+    /// `[parity][tile][chirality]` -> (diag[6], off_re_im[30]).
+    pub(crate) data: [Vec<CloverTileHalf<T, N>>; 2],
+}
+
+impl<T: Real, const N: usize> FusedCloverHalf<T, N> {
+    /// Compress a gathered native clover field tile-for-tile.
+    pub fn compress(src: &FusedClover<T, N>) -> Self {
+        let data = std::array::from_fn(|p| {
+            src.data[p]
+                .iter()
+                .map(|chs| {
+                    std::array::from_fn(|ch| {
+                        let (diag, off) = &chs[ch];
+                        (*diag, std::array::from_fn(|k| VF16::compress(&off[k])))
+                    })
+                })
+                .collect()
+        });
         Self { data }
     }
 }
@@ -228,16 +394,18 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
         h
     }
 
-    /// `out = U * h` (color multiply of both spin components).
+    /// `out = U * h` (color multiply of both spin components). Generic
+    /// over the gauge storage: native tiles are read as-is, compressed
+    /// tiles up-convert lane-wise on load — the FMA chain is identical.
     #[inline]
-    pub(crate) fn su3_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+    pub(crate) fn su3_mul<G: GaugeVecs<T, N>>(g: &G, h: &Half<T, N>) -> Half<T, N> {
         let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
         for s in 0..2 {
             for i in 0..3 {
                 let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
                 for c in 0..3 {
-                    let u_re = g[2 * (3 * i + c)];
-                    let u_im = g[2 * (3 * i + c) + 1];
+                    let u_re = g.vec(2 * (3 * i + c));
+                    let u_im = g.vec(2 * (3 * i + c) + 1);
                     let h_re = h[3 * s + c][0];
                     let h_im = h[3 * s + c][1];
                     // acc += u * h
@@ -252,15 +420,15 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
 
     /// `out = U^dag * h`.
     #[inline]
-    pub(crate) fn su3_adj_mul(g: &GaugeTile<T, N>, h: &Half<T, N>) -> Half<T, N> {
+    pub(crate) fn su3_adj_mul<G: GaugeVecs<T, N>>(g: &G, h: &Half<T, N>) -> Half<T, N> {
         let mut out: Half<T, N> = std::array::from_fn(|_| [VReal::ZERO; 2]);
         for s in 0..2 {
             for i in 0..3 {
                 let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
                 for c in 0..3 {
                     // conj(U[c][i]) * h[c]
-                    let u_re = g[2 * (3 * c + i)];
-                    let u_im = g[2 * (3 * c + i) + 1];
+                    let u_re = g.vec(2 * (3 * c + i));
+                    let u_im = g.vec(2 * (3 * c + i) + 1);
                     let h_re = h[3 * s + c][0];
                     let h_im = h[3 * s + c][1];
                     acc_re = acc_re.fma(u_re, h_re).fma(u_im, h_im);
@@ -276,8 +444,8 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
     /// the three-term FMA chain of [`Self::su3_mul`] for a single output
     /// component, returned in registers.
     #[inline(always)]
-    fn su3_row<const ADJ: bool>(
-        g: &GaugeTile<T, N>,
+    fn su3_row<const ADJ: bool, G: GaugeVecs<T, N>>(
+        g: &G,
         h: &Half<T, N>,
         s: usize,
         i: usize,
@@ -285,9 +453,9 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
         let (mut acc_re, mut acc_im) = (VReal::ZERO, VReal::ZERO);
         for c in 0..3 {
             let (u_re, u_im) = if ADJ {
-                (g[2 * (3 * c + i)], g[2 * (3 * c + i) + 1])
+                (g.vec(2 * (3 * c + i)), g.vec(2 * (3 * c + i) + 1))
             } else {
-                (g[2 * (3 * i + c)], g[2 * (3 * i + c) + 1])
+                (g.vec(2 * (3 * i + c)), g.vec(2 * (3 * i + c) + 1))
             };
             let h_re = h[3 * s + c][0];
             let h_im = h[3 * s + c][1];
@@ -333,12 +501,12 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
     /// [`Self::su3_mul`]/[`Self::su3_adj_mul`] followed by
     /// [`Self::reconstruct_acc`], so results are bitwise identical.
     #[inline]
-    pub(crate) fn su3_recon_acc(
+    pub(crate) fn su3_recon_acc<G: GaugeVecs<T, N>>(
         &self,
         dir: Dir,
         plus: bool,
         adj: bool,
-        g: &GaugeTile<T, N>,
+        g: &G,
         h: &Half<T, N>,
         acc: &mut FusedTile<T, N>,
     ) {
@@ -350,9 +518,9 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
             let coef = coef.scale(-0.5);
             for i in 0..3 {
                 let (re, im) = if adj {
-                    Self::su3_row::<true>(g, h, sp, i)
+                    Self::su3_row::<true, G>(g, h, sp, i)
                 } else {
-                    Self::su3_row::<false>(g, h, sp, i)
+                    Self::su3_row::<false, G>(g, h, sp, i)
                 };
                 Self::recon_pair(acc, 3 * sp + i, 3 * (2 + s_out) + i, coef, re, im);
             }
@@ -511,34 +679,10 @@ impl<T: Real, const N: usize> FusedKernel<T, N> {
         clover: &FusedClover<T, N>,
         parity: Parity,
     ) {
-        use qdd_field::clover::LOWER_PAIRS;
         for tile in 0..self.layout.tiles_per_parity() {
             let src = inp.tile(parity, tile);
-            let mut dst: FusedTile<T, N> = [VReal::ZERO; 24];
-            for ch in 0..2 {
-                let (diag, off) = &clover.data[parity.index()][tile][ch];
-                // Diagonal.
-                for i in 0..6 {
-                    let k = 6 * ch + i;
-                    dst[2 * k] = src[2 * k].mul(diag[i]);
-                    dst[2 * k + 1] = src[2 * k + 1].mul(diag[i]);
-                }
-                // Off-diagonals (i > j): dst_i += off * src_j;
-                // dst_j += conj(off) * src_i.
-                for (kk, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
-                    let o_re = off[2 * kk];
-                    let o_im = off[2 * kk + 1];
-                    let gi = 6 * ch + i;
-                    let gj = 6 * ch + j;
-                    let (sj_re, sj_im) = (src[2 * gj], src[2 * gj + 1]);
-                    dst[2 * gi] = dst[2 * gi].fma(o_re, sj_re).fms(o_im, sj_im);
-                    dst[2 * gi + 1] = dst[2 * gi + 1].fma(o_re, sj_im).fma(o_im, sj_re);
-                    let (si_re, si_im) = (src[2 * gi], src[2 * gi + 1]);
-                    dst[2 * gj] = dst[2 * gj].fma(o_re, si_re).fma(o_im, si_im);
-                    dst[2 * gj + 1] = dst[2 * gj + 1].fma(o_re, si_im).fms(o_im, si_re);
-                }
-            }
-            *out.tile_mut(parity, tile) = dst;
+            *out.tile_mut(parity, tile) =
+                clover_apply_tile(&clover.data[parity.index()][tile], src);
         }
     }
 

@@ -21,7 +21,11 @@
 //! Both require every lattice extent to be even; [`build_full_operator`]
 //! returns `None` otherwise and callers keep the scalar path.
 
-use crate::fused::{xy_idx, FusedClover, FusedGauge, FusedKernel, Half};
+use crate::fused::{
+    clover_apply_tile, xy_idx, CloverTile, CloverTileHalf, CloverVecs, FusedClover,
+    FusedCloverHalf, FusedGauge, FusedGaugeF16, FusedKernel, GaugeTile, GaugeTileF16, GaugeVecs,
+    Half,
+};
 use crate::wilson::WilsonClover;
 use qdd_field::fields::SpinorField;
 use qdd_field::fused::{FusedField, FusedTile, VReal};
@@ -30,6 +34,54 @@ use qdd_lattice::{Coord, Dims, Dir, Domain, DomainColor, Parity, SiteIndexer, Ti
 use qdd_util::complex::{Complex, Real};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Storage precision of the streamed gauge/clover constants (paper
+/// Sec. II-A): `Native` keeps them at the compute type `T`, `Half` packs
+/// them as f16 and up-converts lane-wise inside the SU(3) multiply, so
+/// the hot loop streams half (f32) or a quarter (f64) of the constant
+/// bytes. Compute precision is unaffected either way — every FMA runs on
+/// `T` vectors in the identical order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StoragePrecision {
+    #[default]
+    Native,
+    Half,
+}
+
+/// Software prefetch depth for the compute phase, mirroring the machine
+/// model's `PrefetchMode` (KNC has no useful hardware prefetcher, so the
+/// paper's kernels prefetch in software; on chips with `hw_prefetch`
+/// this should stay `None`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SwPrefetch {
+    /// Rely on the hardware prefetcher.
+    #[default]
+    None,
+    /// Prefetch the next tile's gauge/clover constants into L1.
+    L1,
+    /// Additionally stage the next tile's input spinors into L2.
+    L1L2,
+}
+
+/// Execution tuning for the full-lattice fused operator. Every knob is
+/// bitwise-neutral: storage only changes *where* constants live (an
+/// operator whose constants are already f16-representable produces
+/// identical results from either container), and blocking/prefetch only
+/// reorder independent tiles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FusedTuning {
+    pub storage: StoragePrecision,
+    pub prefetch: SwPrefetch,
+    /// Per-core L2 working-set budget driving the z-block traversal;
+    /// `None` keeps the flat z-then-t order.
+    pub l2_bytes: Option<usize>,
+}
+
+impl Default for FusedTuning {
+    fn default() -> Self {
+        Self { storage: StoragePrecision::Native, prefetch: SwPrefetch::None, l2_bytes: None }
+    }
+}
 
 /// How a kernel spreads its tiles over workers. Implemented by the solver
 /// layer's persistent worker pool; [`SerialRunner`] is the trivial
@@ -63,6 +115,14 @@ pub trait FullOperator<T: Real>: Send + Sync {
     fn dims(&self) -> Dims;
     /// SIMD lanes per tile (`nx * ny / 2`).
     fn lanes(&self) -> usize;
+    /// The execution tuning this operator was built with.
+    fn tuning(&self) -> FusedTuning;
+    /// Bytes one `apply` streams from/to memory per lattice site:
+    /// gauge + clover constants at their storage width plus the AOS
+    /// input read and output write at the compute width. The fused
+    /// scratch tile is written and re-read per tile inside the cache
+    /// working set, so it is not counted as DRAM traffic.
+    fn streamed_bytes_per_site(&self) -> usize;
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner);
 }
 
@@ -71,19 +131,28 @@ pub trait FullOperator<T: Real>: Send + Sync {
 /// the lane count has no compiled kernel; callers then keep the scalar
 /// [`WilsonClover::apply`] path.
 pub fn build_full_operator<T: Real>(op: &WilsonClover<T>) -> Option<Box<dyn FullOperator<T>>> {
+    build_full_operator_tuned(op, FusedTuning::default())
+}
+
+/// [`build_full_operator`] with explicit execution tuning (compressed
+/// constant storage, software prefetch, L2 traversal blocking).
+pub fn build_full_operator_tuned<T: Real>(
+    op: &WilsonClover<T>,
+    tuning: FusedTuning,
+) -> Option<Box<dyn FullOperator<T>>> {
     let dims = *op.dims();
     if dims.0.iter().any(|&e| e % 2 != 0) {
         return None;
     }
     let lanes = dims.0[0] * dims.0[1] / 2;
     Some(match lanes {
-        2 => Box::new(FusedFullOperator::<T, 2>::new(op)),
-        4 => Box::new(FusedFullOperator::<T, 4>::new(op)),
-        8 => Box::new(FusedFullOperator::<T, 8>::new(op)),
-        16 => Box::new(FusedFullOperator::<T, 16>::new(op)),
-        32 => Box::new(FusedFullOperator::<T, 32>::new(op)),
-        64 => Box::new(FusedFullOperator::<T, 64>::new(op)),
-        128 => Box::new(FusedFullOperator::<T, 128>::new(op)),
+        2 => Box::new(FusedFullOperator::<T, 2>::with_tuning(op, tuning)),
+        4 => Box::new(FusedFullOperator::<T, 4>::with_tuning(op, tuning)),
+        8 => Box::new(FusedFullOperator::<T, 8>::with_tuning(op, tuning)),
+        16 => Box::new(FusedFullOperator::<T, 16>::with_tuning(op, tuning)),
+        32 => Box::new(FusedFullOperator::<T, 32>::with_tuning(op, tuning)),
+        64 => Box::new(FusedFullOperator::<T, 64>::with_tuning(op, tuning)),
+        128 => Box::new(FusedFullOperator::<T, 128>::with_tuning(op, tuning)),
         _ => return None,
     })
 }
@@ -160,14 +229,76 @@ impl JobBarrier {
     }
 }
 
+/// Uniform lane-vector access to the streamed constants, whatever their
+/// storage width: `compute_tile` is generic over this, so the native and
+/// compressed paths share one (monomorphized) kernel body with the f16
+/// up-conversion fused into the loads.
+trait ConstStore<T: Real, const N: usize>: Sync {
+    type G: GaugeVecs<T, N>;
+    type C: CloverVecs<T, N>;
+    fn gauge(&self, p: Parity, tile: usize, dir: Dir) -> &Self::G;
+    fn clover(&self, p: Parity, tile: usize) -> &Self::C;
+}
+
+struct NativeConsts<T: Real, const N: usize> {
+    gauge: FusedGauge<T, N>,
+    clover: FusedClover<T, N>,
+}
+
+struct HalfConsts<T: Real, const N: usize> {
+    gauge: FusedGaugeF16<N>,
+    clover: FusedCloverHalf<T, N>,
+}
+
+impl<T: Real, const N: usize> ConstStore<T, N> for NativeConsts<T, N> {
+    type G = GaugeTile<T, N>;
+    type C = CloverTile<T, N>;
+
+    #[inline(always)]
+    fn gauge(&self, p: Parity, tile: usize, dir: Dir) -> &GaugeTile<T, N> {
+        self.gauge.tile(p, tile, dir)
+    }
+
+    #[inline(always)]
+    fn clover(&self, p: Parity, tile: usize) -> &CloverTile<T, N> {
+        &self.clover.data[p.index()][tile]
+    }
+}
+
+impl<T: Real, const N: usize> ConstStore<T, N> for HalfConsts<T, N> {
+    type G = GaugeTileF16<N>;
+    type C = CloverTileHalf<T, N>;
+
+    #[inline(always)]
+    fn gauge(&self, p: Parity, tile: usize, dir: Dir) -> &GaugeTileF16<N> {
+        self.gauge.tile(p, tile, dir)
+    }
+
+    #[inline(always)]
+    fn clover(&self, p: Parity, tile: usize) -> &CloverTileHalf<T, N> {
+        &self.clover.data[p.index()][tile]
+    }
+}
+
+/// The operator's constants in their selected storage width.
+enum Storage<T: Real, const N: usize> {
+    Native(NativeConsts<T, N>),
+    Half(HalfConsts<T, N>),
+}
+
 /// The fused Wilson-Clover operator over the full local lattice for one
 /// compiled lane count `N`.
 pub struct FusedFullOperator<T: Real, const N: usize> {
     dims: Dims,
     layout: TileLayout,
     kernel: FusedKernel<T, N>,
-    gauge: FusedGauge<T, N>,
-    clover: FusedClover<T, N>,
+    consts: Storage<T, N>,
+    tuning: FusedTuning,
+    /// Tile traversal order shared by every worker (each takes a
+    /// contiguous chunk): flat z-then-t, or z-blocked to keep a block's
+    /// constants + spinors inside the configured L2 budget. Tiles own
+    /// disjoint sites, so any order is bitwise-equivalent.
+    order: Vec<u32>,
     /// `[flavor][dest parity][dir(x,y)][fwd]` wrap-aware lane tables.
     xy: Vec<WrapPattern<T, N>>,
     /// Whole-tile boundary phase applied to wrapping z/t hops, if not +1.
@@ -179,8 +310,55 @@ pub struct FusedFullOperator<T: Real, const N: usize> {
     scratch: Mutex<FusedField<T, N>>,
 }
 
+/// Per-parity-tile constant bytes at the given storage width.
+fn const_tile_bytes<T: Real, const N: usize>(storage: StoragePrecision) -> usize {
+    match storage {
+        StoragePrecision::Native => {
+            4 * std::mem::size_of::<GaugeTile<T, N>>() + std::mem::size_of::<CloverTile<T, N>>()
+        }
+        StoragePrecision::Half => {
+            4 * std::mem::size_of::<GaugeTileF16<N>>() + std::mem::size_of::<CloverTileHalf<T, N>>()
+        }
+    }
+}
+
+/// Build the z-blocked tile traversal. The t hop reaches tile `(z, t±1)`,
+/// which in the flat z-fastest order is a whole z-extent away — too far
+/// for L2 reuse on large lattices. Restricting z to blocks of `zb` and
+/// sweeping t inside each block shrinks that reach to `zb` tiles, so one
+/// t row of constants + input tiles (both parities, times two adjacent
+/// rows for the reuse window) fits the budget.
+fn blocked_order(
+    layout: &TileLayout,
+    dims: Dims,
+    tuning: &FusedTuning,
+    per_tile: usize,
+) -> Vec<u32> {
+    let (bz, bt) = (dims[Dir::Z], dims[Dir::T]);
+    let zb = match tuning.l2_bytes {
+        Some(l2) => (l2 / (2 * per_tile).max(1)).clamp(1, bz),
+        None => bz,
+    };
+    let mut order = Vec::with_capacity(bz * bt);
+    let mut z0 = 0;
+    while z0 < bz {
+        let zend = (z0 + zb).min(bz);
+        for t in 0..bt {
+            for z in z0..zend {
+                order.push(layout.tile_of(z, t) as u32);
+            }
+        }
+        z0 = zend;
+    }
+    order
+}
+
 impl<T: Real, const N: usize> FusedFullOperator<T, N> {
     pub fn new(op: &WilsonClover<T>) -> Self {
+        Self::with_tuning(op, FusedTuning::default())
+    }
+
+    pub fn with_tuning(op: &WilsonClover<T>, tuning: FusedTuning) -> Self {
         let dims = *op.dims();
         assert!(dims.0.iter().all(|&e| e % 2 == 0), "full fused operator needs even extents");
         let layout = TileLayout::new(dims);
@@ -197,6 +375,13 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
         let kernel = FusedKernel::new(dims);
         let gauge = FusedGauge::gather(op, &whole);
         let clover = FusedClover::gather(op, &whole);
+        let consts = match tuning.storage {
+            StoragePrecision::Native => Storage::Native(NativeConsts { gauge, clover }),
+            StoragePrecision::Half => Storage::Half(HalfConsts {
+                gauge: FusedGaugeF16::compress(&gauge),
+                clover: FusedCloverHalf::compress(&clover),
+            }),
+        };
 
         let (nx, ny) = (dims[Dir::X], dims[Dir::Y]);
         let mut xy = Vec::with_capacity(16);
@@ -262,8 +447,15 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
             }
         }
 
+        // Blocking budget: both parities of constants + gathered input
+        // spinors per (z, t) tile index.
+        let per_tile =
+            2 * (const_tile_bytes::<T, N>(tuning.storage) + std::mem::size_of::<FusedTile<T, N>>());
+        let order = blocked_order(&layout, dims, &tuning, per_tile);
+        debug_assert_eq!(order.len(), tiles);
+
         let scratch = Mutex::new(FusedField::zeros(dims));
-        Self { dims, layout, kernel, gauge, clover, xy, zt_phase, site_map, scratch }
+        Self { dims, layout, kernel, consts, tuning, order, xy, zt_phase, site_map, scratch }
     }
 
     /// Gather the AOS input sites of one tile into fused layout: one
@@ -307,43 +499,23 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
         }
     }
 
-    /// The clover + mass diagonal of one tile (per-tile sibling of
-    /// [`FusedKernel::apply_diag`]).
-    fn diag_tile(&self, src: &FusedTile<T, N>, p: Parity, tile: usize) -> FusedTile<T, N> {
-        use qdd_field::clover::LOWER_PAIRS;
-        let mut dst: FusedTile<T, N> = [VReal::ZERO; 24];
-        for ch in 0..2 {
-            let (diag, off) = &self.clover.data[p.index()][tile][ch];
-            for i in 0..6 {
-                let k = 6 * ch + i;
-                dst[2 * k] = src[2 * k].mul(diag[i]);
-                dst[2 * k + 1] = src[2 * k + 1].mul(diag[i]);
-            }
-            for (kk, &(i, j)) in LOWER_PAIRS.iter().enumerate() {
-                let o_re = off[2 * kk];
-                let o_im = off[2 * kk + 1];
-                let gi = 6 * ch + i;
-                let gj = 6 * ch + j;
-                let (sj_re, sj_im) = (src[2 * gj], src[2 * gj + 1]);
-                dst[2 * gi] = dst[2 * gi].fma(o_re, sj_re).fms(o_im, sj_im);
-                dst[2 * gi + 1] = dst[2 * gi + 1].fma(o_re, sj_im).fma(o_im, sj_re);
-                let (si_re, si_im) = (src[2 * gi], src[2 * gi + 1]);
-                dst[2 * gj] = dst[2 * gj].fma(o_re, si_re).fma(o_im, si_im);
-                dst[2 * gj + 1] = dst[2 * gj + 1].fma(o_re, si_im).fms(o_im, si_re);
-            }
-        }
-        dst
-    }
-
     /// One output tile of `A inp = (diag - 1/2 Dw) inp` with wrapping
     /// boundaries: diagonal plus all eight hops, in a fixed order.
-    fn compute_tile(&self, inp: &FusedField<T, N>, tile: usize, to: Parity) -> FusedTile<T, N> {
+    /// Generic over the constant storage; the native instantiation is
+    /// the exact pre-compression kernel.
+    fn compute_tile<S: ConstStore<T, N>>(
+        &self,
+        consts: &S,
+        inp: &FusedField<T, N>,
+        tile: usize,
+        to: Parity,
+    ) -> FusedTile<T, N> {
         let from = to.flip();
         let flavor = self.layout.flavor(tile);
         let (tz, tt) = self.layout.tile_coords(tile);
         let (bz, bt) = (self.dims[Dir::Z], self.dims[Dir::T]);
 
-        let mut acc = self.diag_tile(inp.tile(to, tile), to, tile);
+        let mut acc = clover_apply_tile(consts.clover(to, tile), inp.tile(to, tile));
 
         // x/y hops: in-register lane permutations within the same tile,
         // wrap included in the table — no masks, all lanes live. The
@@ -364,7 +536,7 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
                         dir,
                         false,
                         false,
-                        self.gauge.tile(to, tile, dir),
+                        consts.gauge(to, tile, dir),
                         &hp,
                         &mut acc,
                     );
@@ -373,7 +545,7 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
                     // the permutation (and boundary sign) is applied as
                     // `U^dag h` is consumed by the reconstruction.
                     let h = self.kernel.project(dir, true, inp.tile(from, tile));
-                    let uh = FusedKernel::su3_adj_mul(self.gauge.tile(from, tile, dir), &h);
+                    let uh = FusedKernel::su3_adj_mul(consts.gauge(from, tile, dir), &h);
                     self.kernel.reconstruct_acc_permuted(
                         dir,
                         true,
@@ -402,14 +574,7 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
                     scale_half(&mut h, p);
                 }
             }
-            self.kernel.su3_recon_acc(
-                dir,
-                false,
-                false,
-                self.gauge.tile(to, tile, dir),
-                &h,
-                &mut acc,
-            );
+            self.kernel.su3_recon_acc(dir, false, false, consts.gauge(to, tile, dir), &h, &mut acc);
             // Backward.
             let (pc, wrapped) = if coord == 0 { (extent - 1, true) } else { (coord - 1, false) };
             let ptile = match dir {
@@ -426,13 +591,89 @@ impl<T: Real, const N: usize> FusedFullOperator<T, N> {
                 dir,
                 true,
                 true,
-                self.gauge.tile(from, ptile, dir),
+                consts.gauge(from, ptile, dir),
                 &h,
                 &mut acc,
             );
         }
 
         acc
+    }
+
+    /// Issue prefetches for the constants (and, in `L1L2` mode, the
+    /// gathered input spinors) of the tile the worker will compute next.
+    #[inline]
+    fn prefetch_tile<S: ConstStore<T, N>>(
+        &self,
+        consts: &S,
+        inp: &FusedField<T, N>,
+        tile: usize,
+        mode: SwPrefetch,
+    ) {
+        for p in [Parity::Even, Parity::Odd] {
+            for dir in Dir::ALL {
+                prefetch_lines(consts.gauge(p, tile, dir), true);
+            }
+            prefetch_lines(consts.clover(p, tile), true);
+            if mode == SwPrefetch::L1L2 {
+                prefetch_lines(inp.tile(p, tile), false);
+            }
+        }
+    }
+
+    /// Compute + scatter the worker's chunk of the traversal order,
+    /// software-prefetching one tile ahead when configured.
+    ///
+    /// # Safety
+    /// The chunk's tiles must be owned by the calling worker (the
+    /// traversal order is a permutation of all tiles and workers take
+    /// disjoint chunks, so the per-tile site sets are disjoint).
+    unsafe fn compute_chunk<S: ConstStore<T, N>>(
+        &self,
+        consts: &S,
+        fused: &FusedField<T, N>,
+        chunk: &[u32],
+        out: &SharedMut<Spinor<T>>,
+    ) {
+        let pf = self.tuning.prefetch;
+        for (i, &tile) in chunk.iter().enumerate() {
+            if pf != SwPrefetch::None {
+                if let Some(&next) = chunk.get(i + 1) {
+                    self.prefetch_tile(consts, fused, next as usize, pf);
+                }
+            }
+            for p in [Parity::Even, Parity::Odd] {
+                let acc = self.compute_tile(consts, fused, tile as usize, p);
+                unsafe { self.scatter_tile(&acc, out, p, tile as usize) };
+            }
+        }
+    }
+}
+
+/// Touch every cache line of `*v` with a prefetch hint: `to_l1` uses T0
+/// (all levels), otherwise T1 (L2 and up). Compiles to nothing off
+/// x86_64. Prefetches are architecturally side-effect-free, so this
+/// never changes results — only residency.
+#[inline(always)]
+fn prefetch_lines<V>(v: &V, to_l1: bool) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0, _MM_HINT_T1};
+        let p = (v as *const V).cast::<i8>();
+        let n = std::mem::size_of::<V>();
+        let mut off = 0usize;
+        while off < n {
+            if to_l1 {
+                _mm_prefetch::<_MM_HINT_T0>(p.add(off));
+            } else {
+                _mm_prefetch::<_MM_HINT_T1>(p.add(off));
+            }
+            off += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (v, to_l1);
     }
 }
 
@@ -474,6 +715,20 @@ impl<T: Real, const N: usize> FullOperator<T> for FusedFullOperator<T, N> {
         N
     }
 
+    fn tuning(&self) -> FusedTuning {
+        self.tuning
+    }
+
+    fn streamed_bytes_per_site(&self) -> usize {
+        let consts_per_site = const_tile_bytes::<T, N>(self.tuning.storage) / N;
+        let spinors_per_site = 2 * std::mem::size_of::<Spinor<T>>();
+        // `const_tile_bytes` is per parity-tile; a parity-tile holds `N`
+        // sites and both parities are streamed once per apply, so the
+        // per-site constant cost is exactly `consts_per_site` (the
+        // parity factor cancels against half the sites living on each).
+        consts_per_site + spinors_per_site
+    }
+
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner) {
         assert_eq!(*inp.dims(), self.dims, "input geometry mismatch");
         assert_eq!(*out.dims(), self.dims, "output geometry mismatch");
@@ -510,17 +765,23 @@ impl<T: Real, const N: usize> FullOperator<T> for FusedFullOperator<T, N> {
         let shared_out = SharedMut::new(out.as_mut_slice());
         let barrier = JobBarrier::new(workers);
         runner.run(&|w| {
-            for tile in tile_range(tiles, workers, w) {
+            let chunk = &self.order[tile_range(tiles, workers, w)];
+            for &tile in chunk {
+                let tile = tile as usize;
                 self.gather_tile(src, unsafe { se.get_mut(tile) }, Parity::Even, tile);
                 self.gather_tile(src, unsafe { so.get_mut(tile) }, Parity::Odd, tile);
             }
             barrier.wait();
             let fused: &FusedField<T, N> = unsafe { scratch.get() };
-            for tile in tile_range(tiles, workers, w) {
-                for p in [Parity::Even, Parity::Odd] {
-                    let acc = self.compute_tile(fused, tile, p);
-                    unsafe { self.scatter_tile(&acc, &shared_out, p, tile) };
-                }
+            // One storage dispatch per worker job; the chunk loop runs a
+            // fully monomorphized kernel either way.
+            match &self.consts {
+                Storage::Native(c) => unsafe {
+                    self.compute_chunk(c, fused, chunk, &shared_out);
+                },
+                Storage::Half(c) => unsafe {
+                    self.compute_chunk(c, fused, chunk, &shared_out);
+                },
             }
         });
     }
@@ -604,6 +865,208 @@ mod tests {
             let odd_op = WilsonClover::new(g, c, 0.2, BoundaryPhases::periodic());
             assert!(build_full_operator(&odd_op).is_none(), "dims {dims} must fall back");
             drop(op);
+        }
+    }
+
+    /// Scoped-thread runner for worker-count sweeps inside this crate
+    /// (the solver layer's persistent pool lives above qdd-dirac).
+    struct TestPool(usize);
+
+    impl ParallelRunner for TestPool {
+        fn workers(&self) -> usize {
+            self.0
+        }
+
+        fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+            std::thread::scope(|s| {
+                for w in 0..self.0 {
+                    s.spawn(move || job(w));
+                }
+            });
+        }
+    }
+
+    fn assert_bitwise_eq<T: Real>(a: &SpinorField<T>, b: &SpinorField<T>, what: &str) {
+        for site in 0..a.len() {
+            for k in 0..12 {
+                let (x, y) = (a.site(site).component(k), b.site(site).component(k));
+                assert!(
+                    x.re == y.re && x.im == y.im,
+                    "{what}: site {site} component {k}: {:?} vs {:?}",
+                    x,
+                    y
+                );
+            }
+        }
+    }
+
+    /// The compatibility contract the solver layer relies on: for an
+    /// operator whose constants were already rounded through f16
+    /// (`Precision::HalfCompressed` pre-rounds exactly like this),
+    /// genuine f16 storage is lossless — re-compressing
+    /// f16-representable values is exact and the FMA order is shared —
+    /// so Native and Half applies agree bitwise.
+    #[test]
+    fn half_storage_of_prerounded_op_is_bitwise_native() {
+        use qdd_field::fields::{CloverFieldF16, GaugeFieldF16};
+        let dims = Dims::new(8, 4, 4, 4);
+        let op = operator(dims, BoundaryPhases::antiperiodic_t(), 61);
+        let g16 = GaugeFieldF16::compress(&op.gauge().cast()).decompress();
+        let c16 = CloverFieldF16::compress(&op.clover().cast()).decompress();
+        let op32 = WilsonClover::<f32>::new(g16, c16, op.mass() as f32, *op.phases());
+
+        let native = build_full_operator(&op32).unwrap();
+        let half = build_full_operator_tuned(
+            &op32,
+            FusedTuning {
+                storage: StoragePrecision::Half,
+                prefetch: SwPrefetch::L1,
+                l2_bytes: Some(1 << 15),
+            },
+        )
+        .unwrap();
+        assert_eq!(half.streamed_bytes_per_site(), 504);
+        assert_eq!(native.streamed_bytes_per_site(), 768);
+
+        let mut rng = Rng64::new(62);
+        let inp = SpinorField::<f32>::random(dims, &mut rng);
+        let mut a = SpinorField::zeros(dims);
+        let mut b = SpinorField::zeros(dims);
+        native.apply(&mut a, &inp, &SerialRunner);
+        half.apply(&mut b, &inp, &SerialRunner);
+        assert_bitwise_eq(&a, &b, "native vs half storage of pre-rounded op");
+    }
+
+    /// f16-storage apply against the *unrounded* scalar f64 apply: the
+    /// only perturbation is the constants' round to f16 (relative error
+    /// <= 2^-12 per entry), so with O(1) gauge/clover entries and the
+    /// diag + 8-hop sum the normwise relative error stays far below
+    /// ~100 * 2^-12; assert an order-of-magnitude slack of 1e-2.
+    #[test]
+    fn half_storage_matches_scalar_f64_within_f16_bound() {
+        let dims = Dims::new(8, 4, 4, 4);
+        let op = operator(dims, BoundaryPhases::antiperiodic_t(), 63);
+        let half = build_full_operator_tuned(
+            &op,
+            FusedTuning {
+                storage: StoragePrecision::Half,
+                prefetch: SwPrefetch::None,
+                l2_bytes: None,
+            },
+        )
+        .unwrap();
+        let mut rng = Rng64::new(64);
+        let inp = SpinorField::<f64>::random(dims, &mut rng);
+        let mut expect = SpinorField::zeros(dims);
+        op.apply(&mut expect, &inp);
+        let mut got = SpinorField::zeros(dims);
+        half.apply(&mut got, &inp, &SerialRunner);
+        let (mut err2, mut ref2) = (0.0f64, 0.0f64);
+        for site in 0..inp.len() {
+            err2 += got.site(site).sub(*expect.site(site)).norm_sqr();
+            ref2 += expect.site(site).norm_sqr();
+        }
+        let rel = (err2 / ref2).sqrt();
+        assert!(rel < 1e-2, "normwise relative error {rel}");
+        assert!(rel > 1e-8, "f16 storage must actually round (got {rel})");
+    }
+
+    /// Blocking + prefetch + compressed storage must be bitwise
+    /// worker-count-independent and identical to the untuned traversal:
+    /// tiles own disjoint sites and each tile's accumulation order is
+    /// fixed, so order and residency hints cannot change results.
+    #[test]
+    fn tuned_paths_are_bitwise_worker_and_order_independent() {
+        let dims = Dims::new(4, 4, 8, 6);
+        let op = operator(dims, BoundaryPhases::antiperiodic_t(), 65);
+        let plain = build_full_operator(&op).unwrap();
+        let tuned = build_full_operator_tuned(
+            &op,
+            FusedTuning {
+                storage: StoragePrecision::Native,
+                prefetch: SwPrefetch::L1L2,
+                // Tiny budget: forces zb = 1, the most reordered walk.
+                l2_bytes: Some(1),
+            },
+        )
+        .unwrap();
+        let half = build_full_operator_tuned(
+            &op,
+            FusedTuning {
+                storage: StoragePrecision::Half,
+                prefetch: SwPrefetch::L1,
+                l2_bytes: Some(1 << 14),
+            },
+        )
+        .unwrap();
+
+        let mut rng = Rng64::new(66);
+        let inp = SpinorField::<f64>::random(dims, &mut rng);
+        let mut reference = SpinorField::zeros(dims);
+        plain.apply(&mut reference, &inp, &SerialRunner);
+        let mut blocked = SpinorField::zeros(dims);
+        tuned.apply(&mut blocked, &inp, &SerialRunner);
+        assert_bitwise_eq(&reference, &blocked, "blocked+prefetch vs flat traversal");
+
+        let mut half_ref = SpinorField::zeros(dims);
+        half.apply(&mut half_ref, &inp, &SerialRunner);
+        for workers in [2, 4] {
+            let mut got = SpinorField::zeros(dims);
+            half.apply(&mut got, &inp, &TestPool(workers));
+            assert_bitwise_eq(&half_ref, &got, "half-storage worker sweep");
+            let mut got_native = SpinorField::zeros(dims);
+            tuned.apply(&mut got_native, &inp, &TestPool(workers));
+            assert_bitwise_eq(&reference, &got_native, "blocked worker sweep");
+        }
+    }
+
+    /// Pin the streamed-bytes accounting: the compression ratio vs the
+    /// plateaued f64 path is what the memory-wall PR promises.
+    #[test]
+    fn streamed_bytes_per_site_pinned() {
+        let dims = Dims::new(8, 4, 4, 4);
+        let op = operator(dims, BoundaryPhases::periodic(), 67);
+        let op32: WilsonClover<f32> = op.cast();
+        let f64_native = build_full_operator(&op).unwrap();
+        let f32_native = build_full_operator(&op32).unwrap();
+        let f32_half = build_full_operator_tuned(
+            &op32,
+            FusedTuning {
+                storage: StoragePrecision::Half,
+                prefetch: SwPrefetch::None,
+                l2_bytes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(f64_native.streamed_bytes_per_site(), 1536);
+        assert_eq!(f32_native.streamed_bytes_per_site(), 768);
+        assert_eq!(f32_half.streamed_bytes_per_site(), 504);
+        let ratio =
+            f64_native.streamed_bytes_per_site() as f64 / f32_half.streamed_bytes_per_site() as f64;
+        assert!(ratio >= 1.8, "compression ratio {ratio}");
+    }
+
+    /// The blocked traversal is a permutation of all tiles for any
+    /// budget, and degenerates to the identity without one.
+    #[test]
+    fn blocked_order_is_a_permutation() {
+        let dims = Dims::new(4, 4, 10, 6);
+        let layout = TileLayout::new(dims);
+        let tiles = layout.tiles_per_parity();
+        let flat = blocked_order(&layout, dims, &FusedTuning::default(), 1024);
+        assert_eq!(flat, (0..tiles as u32).collect::<Vec<_>>());
+        for l2 in [1usize, 4096, 1 << 20] {
+            let tuning = FusedTuning {
+                storage: StoragePrecision::Native,
+                prefetch: SwPrefetch::None,
+                l2_bytes: Some(l2),
+            };
+            let order = blocked_order(&layout, dims, &tuning, 1024);
+            let mut seen = vec![false; tiles];
+            for &t in &order {
+                assert!(!std::mem::replace(&mut seen[t as usize], true), "tile {t} repeated");
+            }
+            assert!(seen.iter().all(|&s| s), "l2 {l2}: not all tiles covered");
         }
     }
 

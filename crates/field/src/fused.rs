@@ -14,6 +14,7 @@
 use crate::spinor::Spinor;
 use qdd_lattice::{Dims, Parity, SiteIndexer, TileLayout};
 use qdd_util::complex::{Complex, Real};
+use qdd_util::half::F16;
 
 /// A fixed-width lane vector ("one SIMD register" of the model machine).
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -108,6 +109,48 @@ impl<T: Real, const N: usize> VReal<T, N> {
             acc += self.0[i];
         }
         acc
+    }
+}
+
+/// A lane vector of *packed* f16 storage — the compressed-stream analogue
+/// of [`VReal`] (paper Sec. II-A / III-B: constants are stored in half
+/// precision and up-converted on load; all arithmetic happens after
+/// up-conversion).
+///
+/// Deliberately **not** cache-line aligned: `[F16; N]` is `2 N` bytes
+/// (32 for the paper's 16 lanes), and forcing `align(64)` would pad every
+/// vector back to 64 bytes — exactly the compression the type exists to
+/// provide. Natural 2-byte alignment packs two 16-lane vectors per cache
+/// line, halving the streamed bytes of a gauge/clover tile.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(transparent)]
+pub struct VF16<const N: usize>(pub [F16; N]);
+
+impl<const N: usize> Default for VF16<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> VF16<N> {
+    pub const ZERO: Self = VF16([F16::ZERO; N]);
+
+    /// Down-convert a lane vector for storage (round-to-nearest-even per
+    /// lane, finite overflow saturating to ±65504). `f64` sources round
+    /// through `f32` first — the double rounding is irrelevant for the O(1)
+    /// gauge/clover constants this stores, and it matches how the scalar
+    /// f16 fields in `qdd-field::fields` are produced, so compressing an
+    /// already-f16-rounded f32 field is bitwise lossless.
+    #[inline]
+    pub fn compress<T: Real>(v: &VReal<T, N>) -> Self {
+        VF16(std::array::from_fn(|i| F16::from_f32(v.0[i].to_f64() as f32)))
+    }
+
+    /// Up-convert to a compute vector (exact: every finite f16 value is
+    /// representable in both f32 and f64).
+    #[inline(always)]
+    pub fn decompress<T: Real>(&self) -> VReal<T, N> {
+        VReal(std::array::from_fn(|i| T::from_f64(self.0[i].to_f32() as f64)))
     }
 }
 
@@ -239,6 +282,29 @@ mod tests {
     fn alignment_is_cache_line() {
         assert_eq!(std::mem::align_of::<VReal<f32, 16>>(), 64);
         assert_eq!(std::mem::size_of::<VReal<f32, 16>>(), 64);
+    }
+
+    #[test]
+    fn vf16_is_packed_and_roundtrips() {
+        // The compressed vector must actually be half the bytes of the f32
+        // vector — no alignment padding allowed.
+        assert_eq!(std::mem::size_of::<VF16<16>>(), 32);
+        assert_eq!(std::mem::size_of::<[VF16<16>; 2]>(), 64);
+        let mut rng = Rng64::new(3);
+        let v = VReal::<f32, 16>::from_fn(|_| rng.normal() as f32);
+        let packed = VF16::compress(&v);
+        let back: VReal<f32, 16> = packed.decompress();
+        for i in 0..16 {
+            let rel = ((back.0[i] - v.0[i]) / v.0[i]).abs();
+            assert!(rel <= 2.0_f32.powi(-11), "lane {i}: {} -> {}", v.0[i], back.0[i]);
+        }
+        // Re-compressing the rounded values is bitwise lossless.
+        assert_eq!(VF16::compress(&back), packed);
+        // f64 decompression agrees with f32 decompression exactly.
+        let back64: VReal<f64, 16> = packed.decompress();
+        for i in 0..16 {
+            assert_eq!(back64.0[i], back.0[i] as f64);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::su3::C3;
 use qdd_util::complex::{Complex, Real};
+use qdd_util::half::{CF16, F16};
 use qdd_util::rng::Rng64;
 
 /// Full spinor: 4 spin components, each a color vector.
@@ -112,6 +113,43 @@ impl<T: Real> HalfSpinor<T> {
     }
 }
 
+/// Half spinor packed to f16 for the wire: 6 complex = 12 f16 = 24 bytes,
+/// half the f32 envelope (paper Sec. III-B extends the f16 storage choice
+/// to the halo traffic the preconditioner exchanges).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct HalfSpinorF16(pub [[CF16; 3]; 2]);
+
+impl HalfSpinorF16 {
+    pub const ZERO: Self = HalfSpinorF16([[CF16 { re: F16(0), im: F16(0) }; 3]; 2]);
+
+    /// Bytes per half-spinor on the wire.
+    pub const WIRE_BYTES: usize = 24;
+
+    /// Round every component to f16 (through f32, matching the storage
+    /// compression path).
+    #[inline]
+    pub fn compress<T: Real>(h: &HalfSpinor<T>) -> Self {
+        HalfSpinorF16(std::array::from_fn(|s| {
+            std::array::from_fn(|c| {
+                let z = h.0[s].0[c];
+                CF16::from_c32(Complex::new(z.re.to_f64() as f32, z.im.to_f64() as f32))
+            })
+        }))
+    }
+
+    /// Up-convert back to the compute precision.
+    #[inline]
+    pub fn decompress<T: Real>(&self) -> HalfSpinor<T> {
+        HalfSpinor(std::array::from_fn(|s| {
+            C3(std::array::from_fn(|c| {
+                let z = self.0[s][c].to_c32();
+                Complex::new(T::from_f64(z.re as f64), T::from_f64(z.im as f64))
+            }))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +211,26 @@ mod tests {
         let back: Spinor<f64> = low.cast();
         let diff = a.sub(back);
         assert!(diff.norm_sqr().sqrt() < 1e-6 * a.norm_sqr().sqrt().max(1.0));
+    }
+
+    #[test]
+    fn half_spinor_f16_wire_format() {
+        // Exactly 24 bytes per half-spinor on the wire, and compression is
+        // idempotent: decompress(compress(h)) re-compresses bit-identically.
+        assert_eq!(std::mem::size_of::<HalfSpinorF16>(), HalfSpinorF16::WIRE_BYTES);
+        let mut rng = Rng64::new(7);
+        let h = HalfSpinor::<f32>([C3::random(&mut rng), C3::random(&mut rng)]);
+        let packed = HalfSpinorF16::compress(&h);
+        let rounded: HalfSpinor<f32> = packed.decompress();
+        assert_eq!(HalfSpinorF16::compress(&rounded), packed);
+        // Relative rounding error stays within the f16 epsilon per component.
+        for s in 0..2 {
+            for c in 0..3 {
+                let a = h.0[s].0[c];
+                let b = rounded.0[s].0[c];
+                assert!((a - b).abs() <= 4.9e-4 * a.abs().max(1e-6));
+            }
+        }
     }
 
     #[test]

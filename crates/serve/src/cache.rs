@@ -191,10 +191,12 @@ mod tests {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
             precision: qdd_core::Precision::Single,
             workers: 1,
             fused_outer: true,
+            ..Default::default()
         };
         DdSolver::new(op, cfg).unwrap()
     }

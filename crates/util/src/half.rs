@@ -32,9 +32,13 @@ impl F16 {
 
     /// Down-convert from `f32` with round-to-nearest-even.
     ///
-    /// Overflow saturates to ±infinity (as the hardware conversion does
-    /// without exception handling); subnormals are produced for tiny
-    /// magnitudes; NaN payloads are canonicalized.
+    /// *Finite* overflow saturates to ±[`F16::MAX`] (±65504): the streamed
+    /// constants this type stores (gauge links, clover entries) are O(1),
+    /// so a value past the f16 range is a data bug, and an infinity would
+    /// silently poison every accumulation it touches, while a saturated
+    /// maximum keeps the result finite and the error bounded. True ±∞
+    /// still maps to ±∞ and NaN payloads are canonicalized, so the
+    /// non-finite checks in `is_nan`/`is_infinite` keep working.
     pub fn from_f32(x: f32) -> F16 {
         let bits = x.to_bits();
         let sign = ((bits >> 16) & 0x8000) as u16;
@@ -53,8 +57,8 @@ impl F16 {
         // Unbiased exponent; f32 bias 127, f16 bias 15.
         let unbiased = exp - 127;
         if unbiased > 15 {
-            // Too large: saturate to infinity.
-            return F16(sign | 0x7C00);
+            // Finite but too large: saturate to the largest finite value.
+            return F16(sign | 0x7BFF);
         }
         if unbiased >= -14 {
             // Normal range for f16.
@@ -65,8 +69,13 @@ impl F16 {
             let mut out = sign | (half_exp << 10) | mant10;
             // Round: rest > half, or exactly half and LSB set.
             if rest > 0x1000 || (rest == 0x1000 && (mant10 & 1) != 0) {
-                out += 1; // may carry into the exponent — that is correct
-                          // (rounds up to the next binade or to infinity)
+                out += 1; // may carry into the exponent — correct within the
+                          // finite range (rounds up to the next binade)
+            }
+            if out & 0x7FFF == 0x7C00 {
+                // The carry crossed into the infinity encoding: the value
+                // rounded past 65504 — saturate instead.
+                return F16(sign | 0x7BFF);
             }
             return F16(out);
         }
@@ -170,11 +179,22 @@ mod tests {
     }
 
     #[test]
-    fn overflow_saturates_to_infinity() {
-        assert_eq!(F16::from_f32(65520.0).0, 0x7C00); // rounds up past MAX
-        assert_eq!(F16::from_f32(1e10).0, 0x7C00);
-        assert_eq!(F16::from_f32(-1e10).0, 0xFC00);
-        assert!(F16::from_f32(1e10).is_infinite());
+    fn overflow_saturates_to_max_finite() {
+        // Finite inputs past the f16 range clamp to ±65504 instead of
+        // producing an infinity that would poison downstream accumulation.
+        assert_eq!(F16::from_f32(65520.0).0, 0x7BFF); // would round up past MAX
+        assert_eq!(F16::from_f32(65536.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(1e10).0, 0x7BFF);
+        assert_eq!(F16::from_f32(-1e10).0, 0xFBFF);
+        assert_eq!(F16::from_f32(f32::MAX).0, 0x7BFF);
+        assert_eq!(F16::from_f32(-f32::MAX).0, 0xFBFF);
+        assert_eq!(F16::from_f32(1e10).to_f32(), 65504.0);
+        assert!(!F16::from_f32(1e10).is_infinite());
+        // Values that round *down* to MAX keep doing so.
+        assert_eq!(F16::from_f32(65519.0).0, 0x7BFF);
+        // True infinities still convert to infinities.
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7C00);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY).0, 0xFC00);
     }
 
     #[test]
@@ -249,5 +269,148 @@ mod tests {
         let z = Complex::new(0.25f32, -3.5);
         let packed = CF16::from_c32(z);
         assert_eq!(packed.to_c32(), z); // exactly representable
+    }
+
+    /// Slow, obviously-correct reference conversion built on `f64`
+    /// round-ties-even: the f16 grid at exponent `e` is `m * 2^(e-10)`
+    /// with `m ∈ [0, 2048)`, and `a * 2^(10-e)` is exact in f64 (pure
+    /// power-of-two scaling), so `round_ties_even` yields the IEEE-754
+    /// correctly rounded significand directly.
+    fn reference_from_f32(x: f32) -> u16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        if x.is_nan() {
+            return sign | 0x7E00;
+        }
+        if x.is_infinite() {
+            return sign | 0x7C00;
+        }
+        let a = x.abs() as f64;
+        if a == 0.0 {
+            return sign;
+        }
+        let exp = ((bits >> 23) & 0xFF) as i32 - 127; // f32 subnormals give -127
+        let mut e = exp.max(-14);
+        let mut m = (a * 2f64.powi(10 - e)).round_ties_even();
+        if m >= 2048.0 {
+            m /= 2.0; // carry into the next binade (m becomes 1024)
+            e += 1;
+        }
+        if e > 15 {
+            return sign | 0x7BFF; // finite overflow saturates to ±MAX
+        }
+        if m < 1024.0 {
+            debug_assert_eq!(e, -14, "subnormal grid only exists at e = -14");
+            sign | m as u16
+        } else {
+            sign | ((((e + 15) as u16) << 10) | (m as u16 - 1024))
+        }
+    }
+
+    /// Reference up-conversion straight from the encoding definition.
+    fn reference_to_f32(h: u16) -> f32 {
+        let sign = if h & 0x8000 != 0 { -1.0f64 } else { 1.0 };
+        let exp = ((h >> 10) & 0x1F) as i32;
+        let mant = (h & 0x03FF) as f64;
+        let v = if exp == 0 {
+            sign * mant * 2f64.powi(-24)
+        } else if exp == 0x1F {
+            if mant == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        } else {
+            sign * (1024.0 + mant) * 2f64.powi(exp - 15 - 10)
+        };
+        v as f32
+    }
+
+    fn next_up(x: f32) -> f32 {
+        let b = x.to_bits();
+        f32::from_bits(if x >= 0.0 { b + 1 } else { b - 1 })
+    }
+
+    fn next_down(x: f32) -> f32 {
+        let b = x.to_bits();
+        f32::from_bits(if x > 0.0 {
+            b - 1
+        } else if x == 0.0 {
+            0x8000_0001
+        } else {
+            b + 1
+        })
+    }
+
+    #[test]
+    fn exhaustive_up_conversion_matches_reference() {
+        // All 65536 bit patterns: to_f32 must reproduce the encoding
+        // definition bit for bit (NaNs compared as NaN-ness).
+        for bits in 0..=0xFFFFu16 {
+            let got = F16(bits).to_f32();
+            let want = reference_to_f32(bits);
+            if want.is_nan() {
+                assert!(got.is_nan(), "bits {bits:#06x} -> {got} want NaN");
+            } else {
+                assert_eq!(got.to_bits(), want.to_bits(), "bits {bits:#06x} -> {got} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_boundary_rounding_matches_reference() {
+        // For every adjacent pair of same-sign finite f16 values, probe the
+        // f32 values where the rounding decision lives: both endpoints, the
+        // exact midpoint (ties must go to the even significand), one f32
+        // ulp to either side of it, and the quarter points. This covers
+        // every normal/subnormal boundary, every binade crossing, the
+        // zero neighborhood, and the saturation edge at ±MAX.
+        for sign in [0u16, 0x8000] {
+            for lo_bits in 0..0x7BFFu16 {
+                let lo = F16(sign | lo_bits).to_f32();
+                let hi = F16(sign | (lo_bits + 1)).to_f32();
+                let mid = ((lo as f64 + hi as f64) / 2.0) as f32;
+                let quarter = ((3.0 * lo as f64 + hi as f64) / 4.0) as f32;
+                let three_q = ((lo as f64 + 3.0 * hi as f64) / 4.0) as f32;
+                for probe in [lo, hi, mid, next_up(mid), next_down(mid), quarter, three_q] {
+                    assert_eq!(
+                        F16::from_f32(probe).0,
+                        reference_from_f32(probe),
+                        "probe {probe:e} ({:#010x}) between {lo_bits:#06x} and next",
+                        probe.to_bits()
+                    );
+                }
+                // Pin the tie rule itself, independently of the reference:
+                // the midpoint must land on whichever neighbor is even.
+                let even = if lo_bits % 2 == 0 { sign | lo_bits } else { sign | (lo_bits + 1) };
+                assert_eq!(F16::from_f32(mid).0, even, "tie at {mid:e} must round to even");
+            }
+        }
+        // The saturation edge: the midpoint between MAX and the next
+        // power of two (65504..65536) now stays finite.
+        assert_eq!(F16::from_f32(65520.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(next_down(65520.0)).0, 0x7BFF);
+        assert_eq!(F16::from_f32(-65520.0).0, 0xFBFF);
+    }
+
+    #[test]
+    #[ignore = "dense audit sweep (~1e9 conversions); run with --release -- --ignored"]
+    fn dense_sweep_matches_reference() {
+        // Every f32 with an exponent anywhere near the f16 range (unbiased
+        // -30..=17, plus all f32 subnormals' behavior via the boundary test
+        // above), both signs, full mantissa sweep.
+        for exp in 97u32..=145 {
+            for mant in 0..0x0080_0000u32 {
+                for sign in [0u32, 0x8000_0000] {
+                    let x = f32::from_bits(sign | (exp << 23) | mant);
+                    assert_eq!(
+                        F16::from_f32(x).0,
+                        reference_from_f32(x),
+                        "x = {x:e} ({:#010x})",
+                        x.to_bits()
+                    );
+                }
+            }
+        }
     }
 }

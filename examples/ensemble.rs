@@ -50,10 +50,12 @@ fn main() {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     };
     let basis = GammaBasis::degrand_rossi();
     let mut rng = Rng64::new(999);

@@ -29,10 +29,12 @@ fn main() {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 4,        // Schwarz sweeps on 4 worker threads (paper: 60 cores)
         fused_outer: true, // outer matvec on the full-lattice SIMD kernel
+        ..Default::default()
     };
     let solver = DdSolver::new(op, config).expect("clover blocks invertible");
 

@@ -51,10 +51,12 @@ fn main() {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
             precision: Precision::Single,
             workers: 1,
             fused_outer: true,
+            ..Default::default()
         };
         let solver = DdSolver::new(op(dims, 90), cfg).unwrap();
         let mut stats = SolveStats::new();
@@ -83,6 +85,7 @@ fn main() {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
         )
         .unwrap();

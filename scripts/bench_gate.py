@@ -102,6 +102,43 @@ GATES = {
         },
         "metas": {"exact": ["all_converged"]},
     },
+    "memwall": {
+        # The storage sweep's layout facts (streamed bytes/site per
+        # storage precision, tile labels, worker grid) are size_of
+        # arithmetic and must reproduce bitwise; so must the join solve's
+        # iteration count and the autotuned plan fingerprint. Wall-clock
+        # fields (seconds, GB/s, speedups, model.err ratios) are not
+        # gated.
+        "series": {
+            "f64": {"exact": ["storage", "tile", "l2_bytes", "workers", "bytes_per_site"]},
+            "f32": {"exact": ["storage", "tile", "l2_bytes", "workers", "bytes_per_site"]},
+            "f16": {"exact": ["storage", "tile", "l2_bytes", "workers", "bytes_per_site"]},
+            "onchip_model": {
+                "exact": ["workers"],
+                "rel": {"model_gflops": 1e-9, "model_speedup": 1e-9},
+            },
+        },
+        "metas": {
+            "exact": [
+                "bitwise_identical",
+                "bytes_per_site_f64",
+                "bytes_per_site_f32",
+                "bytes_per_site_f16",
+                "join_iterations",
+                "plan_fingerprint",
+                "plan_choice",
+            ],
+        },
+    },
+    "outer": {
+        # Kernel labels, worker grid, and streamed bytes/site are exact;
+        # timing and speedups are host wall-clock and not gated.
+        "series": {
+            "f64": {"exact": ["kernel", "workers", "bytes_per_site"]},
+            "f32": {"exact": ["kernel", "workers", "bytes_per_site"]},
+            "f16": {"exact": ["kernel", "workers", "bytes_per_site"]},
+        },
+    },
     "serve": {
         "series": {
             "served_latency_ms": {"exact": ["request", "iterations"]},

@@ -41,6 +41,19 @@ cargo run -p qdd-bench --release --bin serve -- --smoke
 echo "==> telemetry overhead guard (release, smoke)"
 cargo run -p qdd-bench --release --bin telemetry -- --smoke
 
+# Outer smoke: fused-vs-scalar matvec across storage precisions; the
+# fused operator is cross-checked site-for-site against the scalar loop
+# and the streamed bytes/site per storage are pinned by the gate.
+echo "==> outer smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin outer -- --smoke
+
+# Memory-wall smoke: the f16 storage sweep must be bitwise identical
+# across workers/tiles and cut streamed bytes/site >= 1.8x vs f64 (both
+# asserted inside the binary); bytes/site, join iterations, and the plan
+# fingerprint are pinned by the gate.
+echo "==> memwall smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin memwall -- --smoke
+
 # Autotune smoke: the model search must beat the hand-set default on
 # every backend and produce a bitwise-reproducible plan (both asserted
 # inside the binary; the plan fingerprints are pinned by the gate).

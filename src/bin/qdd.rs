@@ -146,6 +146,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                     },
                     additive: args.has("additive"),
                     overlap: !args.has("no-overlap"),
+                    ..Default::default()
                 },
                 precision: if args.has("half") {
                     Precision::HalfCompressed
@@ -154,6 +155,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 },
                 workers,
                 fused_outer: !args.has("scalar-outer"),
+                ..Default::default()
             };
             let solver = DdSolver::new(op, cfg).ok_or("singular clover block")?;
             let (_, out) = if args.has("mixed") {
@@ -443,6 +445,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             },
             additive: false,
             overlap: !args.has("no-overlap"),
+            ..Default::default()
         },
         precision: if args.has("half") { Precision::HalfCompressed } else { Precision::Single },
     };

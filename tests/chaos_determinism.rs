@@ -47,6 +47,7 @@ fn problem(dims: Dims, ranks: Dims, tolerance: f64) -> Problem {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
             precision: Precision::Single,
         },

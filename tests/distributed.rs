@@ -28,6 +28,7 @@ fn dist_cfg() -> DistDdConfig {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
     }
@@ -48,6 +49,7 @@ fn eight_rank_dd_solve_matches_serial() {
             precision: Precision::Single,
             workers: 1,
             fused_outer: true,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -22,10 +22,12 @@ fn dd_config(block: Dims) -> DdSolverConfig {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     }
 }
 

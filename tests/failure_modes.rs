@@ -29,10 +29,12 @@ fn singular_clover_blocks_are_detected_at_setup() {
             mr: MrConfig { iterations: 2, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
         precision: Precision::Single,
         workers: 1,
         fused_outer: true,
+        ..Default::default()
     };
     assert!(DdSolver::new(op, cfg).is_none());
 }
@@ -126,6 +128,7 @@ fn mr_handles_exactly_singular_rhs_direction() {
             mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
             additive: false,
             overlap: true,
+            ..Default::default()
         },
     )
     .unwrap();

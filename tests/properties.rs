@@ -137,6 +137,7 @@ proptest! {
                 mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
                 additive: false,
                 overlap: true,
+                ..Default::default()
             },
         ).unwrap();
         let mut rng = Rng64::new(seed ^ 0x3333);
