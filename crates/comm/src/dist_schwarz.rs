@@ -297,7 +297,7 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                         slot.dir,
                         slot.forward,
                         part_of(slot.half),
-                        crate::exchange::MAX_ATTEMPTS,
+                        self.ctx.retry_policy().max_attempts,
                     )
                     .map(|opt| {
                         opt.map(|packed| {
@@ -313,7 +313,7 @@ impl<'a, T: HaloScalar> DistSchwarz<'a, T> {
                         slot.dir,
                         slot.forward,
                         part_of(slot.half),
-                        crate::exchange::MAX_ATTEMPTS,
+                        self.ctx.retry_policy().max_attempts,
                     )
                     .map(|opt| {
                         opt.map(|data| {

@@ -81,6 +81,62 @@ pub struct ResilientOutcome {
     /// This rank's first communication fault, if any (rank-local detail
     /// behind `comm_faulted`).
     pub local_comm_error: Option<CommError>,
+    /// True when the solve was seeded from a caller-provided iterate
+    /// (failover warm restart) instead of the zero vector.
+    pub warm_started: bool,
+    /// True when a provided warm-start iterate was *rejected* because its
+    /// honest residual on this world was no better than starting cold.
+    pub warm_rejected: bool,
+}
+
+/// A per-solve health verdict a shard supervisor can consume without
+/// digging through solver internals: the collectively agreed fault flag
+/// plus this rank's timeout/straggler evidence from the fault ledger.
+///
+/// `unhealthy()` is the breaker input: it fires on communication faults
+/// and unrecovered breakdowns — the failure modes that implicate the
+/// *world* (fabric or runtime) rather than the problem. A convergence
+/// miss on a clean fabric stays a request-level concern (degrade, don't
+/// trip the breaker).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthVerdict {
+    /// Collectively agreed: some rank saw a communication fault.
+    pub comm_faulted: bool,
+    /// The final round died in an unrecovered numerical breakdown.
+    pub breakdown: bool,
+    /// The solve reached its tolerance (after restarts/rollbacks).
+    pub converged: bool,
+    /// Receives that exhausted their retry budget (timeout verdicts).
+    pub timeouts: u64,
+    /// Retransmission attempts (straggler evidence short of a timeout).
+    pub retries: u64,
+    /// Modeled straggler/backoff delay accumulated, microseconds.
+    pub delay_us: f64,
+    /// Schwarz exchange rounds skipped by a hiccuping peer.
+    pub hiccups: u64,
+    /// Faces zero-filled after an abandoned delivery.
+    pub zero_fills: u64,
+}
+
+impl HealthVerdict {
+    /// Summarize one resilient solve for the supervisor.
+    pub fn from_solve(out: &ResilientOutcome, comm: &CommStats) -> Self {
+        Self {
+            comm_faulted: out.comm_faulted,
+            breakdown: out.outcome.breakdown.is_some(),
+            converged: out.outcome.converged,
+            timeouts: comm.faults.timeouts,
+            retries: comm.faults.retries,
+            delay_us: comm.faults.delay_us,
+            hiccups: comm.faults.hiccups,
+            zero_fills: comm.faults.zero_fills,
+        }
+    }
+
+    /// Should this solve count against the shard's circuit breaker?
+    pub fn unhealthy(&self) -> bool {
+        self.comm_faulted || self.breakdown
+    }
 }
 
 /// Self-healing wrapper around [`dd_solve_distributed`]: runs the solve,
@@ -98,6 +154,29 @@ pub fn dd_solve_resilient(
     ctx: &RankCtx<'_>,
     op: &WilsonClover<f64>,
     f: &SpinorField<f64>,
+    cfg: &DistDdConfig,
+    max_restarts: u32,
+    stats: &mut SolveStats,
+) -> (SpinorField<f64>, ResilientOutcome, CommStats) {
+    dd_solve_resilient_warm(ctx, op, f, None, cfg, max_restarts, stats)
+}
+
+/// [`dd_solve_resilient`] seeded from a caller-provided iterate: the
+/// failover path of a sharded service hands the best-so-far iterate of a
+/// solve that died on a sick shard (the resilient wrapper's rollback
+/// checkpoint) to a healthy shard, which continues from it by solving the
+/// residual-correction system `A e = f - A x0` instead of starting cold.
+///
+/// The warm start is *audited*, not trusted: its honest residual is
+/// recomputed on this world first, and an iterate that is no better than
+/// the zero vector (e.g. poisoned by zero-filled halos on the sick shard)
+/// is rejected (`warm_rejected`), falling back to a cold start. With
+/// `x0 = None` this is exactly `dd_solve_resilient`, bit for bit.
+pub fn dd_solve_resilient_warm(
+    ctx: &RankCtx<'_>,
+    op: &WilsonClover<f64>,
+    f: &SpinorField<f64>,
+    x0: Option<&SpinorField<f64>>,
     cfg: &DistDdConfig,
     max_restarts: u32,
     stats: &mut SolveStats,
@@ -134,16 +213,40 @@ pub fn dd_solve_resilient(
         rollbacks: 0,
         comm_faulted: false,
         local_comm_error: None,
+        warm_started: false,
+        warm_rejected: false,
     };
     // Checkpoint: the accepted solution so far, with its true relative
     // residual (vs. `f`). Rollback = refusing a round's correction.
     let mut x = SpinorField::<f64>::zeros(*f.dims());
     let mut best_rel = res.outcome.relative_residual;
+    // Audit a warm-start iterate against the cold start: accept it as the
+    // initial checkpoint only if its honest residual on *this* world
+    // improves on the zero vector's (rel = 1).
+    let mut x_is_zero = true;
+    if let Some(x0) = x0 {
+        if f_norm > 0.0 {
+            let mut ax = SpinorField::zeros(*f.dims());
+            sys.apply(&mut ax, x0, stats);
+            let mut g0 = f.clone();
+            g0.sub_assign(&ax);
+            let rel = sys.norm_sqr(&g0, stats).sqrt() / f_norm;
+            if rel.is_finite() && rel < best_rel {
+                x = x0.clone();
+                best_rel = rel;
+                x_is_zero = false;
+                res.warm_started = true;
+            } else {
+                res.warm_rejected = true;
+            }
+        }
+    }
 
     let mut round = 0u32;
     while best_rel > cfg.fgmres.tolerance && round <= max_restarts {
-        // Residual correction system: g = f - A x (first round: g = f).
-        let g = if round == 0 {
+        // Residual correction system: g = f - A x (first round from a
+        // cold start: g = f, no operator application needed).
+        let g = if round == 0 && x_is_zero {
             f.clone()
         } else {
             let mut ax = SpinorField::zeros(*f.dims());
@@ -449,5 +552,99 @@ mod tests {
             (dd_sums as f64) < 0.15 * bi_sums as f64,
             "DD sums {dd_sums} vs BiCGstab {bi_sums}"
         );
+    }
+
+    #[test]
+    fn warm_restart_continues_from_checkpoint_and_audits_it() {
+        // A healthy world finishing a solve another world started: the
+        // warm-started solve must accept a good iterate (fewer iterations
+        // than cold), reject a poisoned one, and agree with the cold
+        // solution to the solver tolerance either way.
+        let global_dims = Dims::new(8, 4, 4, 8);
+        let grid = RankGrid::new(global_dims, Dims::new(1, 1, 1, 2));
+        let mut rng = Rng64::new(77);
+        let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.5);
+        let basis = GammaBasis::degrand_rossi();
+        let clover = build_clover_field(&gauge, 1.5, &basis);
+        let phases = BoundaryPhases::antiperiodic_t();
+        let f = SpinorField::<f64>::random(global_dims, &mut rng);
+        let local_gauge = scatter_gauge(&gauge, &grid);
+        let local_clover = scatter_clover(&clover, &grid);
+        let f_local = scatter_field(&f, &grid);
+        let fgmres =
+            FgmresConfig { max_basis: 8, deflate: 4, tolerance: 1e-9, max_iterations: 300 };
+        let schwarz = SchwarzConfig {
+            block: Dims::new(4, 4, 4, 4),
+            i_schwarz: 4,
+            mr: MrConfig { iterations: 4, tolerance: 0.0, f16_vectors: false },
+            additive: false,
+            overlap: true,
+            ..Default::default()
+        };
+        let cfg = DistDdConfig { fgmres, schwarz, precision: Precision::Single };
+
+        let solve = |x0: Option<&Vec<SpinorField<f64>>>| {
+            let world = CommWorld::new(grid.clone());
+            run_spmd(&world, |ctx| {
+                let r = ctx.rank();
+                let op =
+                    WilsonClover::new(local_gauge[r].clone(), local_clover[r].clone(), 0.2, phases);
+                let mut stats = SolveStats::new();
+                let (x, out, _) = dd_solve_resilient_warm(
+                    ctx,
+                    &op,
+                    &f_local[r],
+                    x0.map(|v| &v[r]),
+                    &cfg,
+                    2,
+                    &mut stats,
+                );
+                (x, out)
+            })
+        };
+
+        // Cold reference.
+        let cold = solve(None);
+        assert!(cold[0].1.outcome.converged);
+        assert!(!cold[0].1.warm_started && !cold[0].1.warm_rejected);
+        let x_cold = gather_field(&cold.iter().map(|r| r.0.clone()).collect::<Vec<_>>(), &grid);
+
+        // Warm start from a deliberately imperfect copy of the solution
+        // (solves the last digits only): must be accepted and converge in
+        // strictly fewer iterations.
+        let mut near = x_cold.clone();
+        near.scale(qdd_util::complex::Complex::real(0.999));
+        let near_local = scatter_field(&near, &grid);
+        let warm = solve(Some(&near_local));
+        for (_, out) in &warm {
+            assert!(out.warm_started && !out.warm_rejected);
+            assert!(out.outcome.converged);
+            assert!(
+                out.outcome.iterations < cold[0].1.outcome.iterations,
+                "warm {} vs cold {}",
+                out.outcome.iterations,
+                cold[0].1.outcome.iterations
+            );
+        }
+        let x_warm = gather_field(&warm.iter().map(|r| r.0.clone()).collect::<Vec<_>>(), &grid);
+        let mut diff = x_warm.clone();
+        diff.sub_assign(&x_cold);
+        assert!(diff.norm() < 1e-6 * x_cold.norm());
+
+        // A poisoned iterate (huge garbage) must be rejected, landing on
+        // the cold path — bitwise equal to the cold solve.
+        let mut garbage = x_cold.clone();
+        garbage.scale(qdd_util::complex::Complex::real(1e12));
+        let garbage_local = scatter_field(&garbage, &grid);
+        let audited = solve(Some(&garbage_local));
+        for ((x_a, out), (x_c, _)) in audited.iter().zip(&cold) {
+            assert!(!out.warm_started && out.warm_rejected);
+            assert!(out.outcome.converged);
+            assert_eq!(
+                x_a.as_slice(),
+                x_c.as_slice(),
+                "rejected warm start must reduce to the cold solve bitwise"
+            );
+        }
     }
 }

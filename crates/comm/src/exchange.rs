@@ -12,8 +12,11 @@ use qdd_field::halo::{FaceBuffer, HaloData};
 use qdd_lattice::Dir;
 use qdd_trace::Phase;
 
-/// Delivery attempts per face before an exchange gives up on it: the
-/// first try plus three retransmissions with modeled backoff.
+/// Default delivery attempts per face before an exchange gives up on it:
+/// the first try plus three retransmissions with modeled backoff. This is
+/// the `max_attempts` of [`RetryPolicy::default`](crate::RetryPolicy);
+/// exchanges consult the context's installed policy
+/// ([`RankCtx::retry_policy`]) rather than this constant directly.
 pub const MAX_ATTEMPTS: u32 = 4;
 
 /// One face that could not be delivered within the retry budget.
@@ -101,11 +104,12 @@ pub fn exchange_halo<T: HaloScalar>(
     trace.begin(Phase::HaloUnpack);
     let mut halo = HaloData::zeros(*op.dims());
     let mut faults: Vec<FaultedFace> = Vec::new();
+    let max_attempts = ctx.retry_policy().max_attempts;
     for dir in Dir::ALL.into_iter().filter(|&d| ctx.is_split(d)) {
         // face(dir, true): from our forward neighbor; face(dir, false):
         // from our backward neighbor.
         for forward in [true, false] {
-            match ctx.recv_face_retrying::<T>(dir, forward, MAX_ATTEMPTS) {
+            match ctx.recv_face_retrying::<T>(dir, forward, max_attempts) {
                 Ok(Some(data)) => *halo.face_mut(dir, forward) = FaceBuffer { data },
                 // A hiccup marker in the full-operator exchange (the
                 // peer skipped): no data will ever come for this face.

@@ -29,8 +29,13 @@ pub mod runtime;
 pub mod scatter;
 
 pub use dist_schwarz::DistSchwarz;
-pub use dist_solver::{dd_solve_distributed, dd_solve_resilient, DistDdConfig, ResilientOutcome};
+pub use dist_solver::{
+    dd_solve_distributed, dd_solve_resilient, dd_solve_resilient_warm, DistDdConfig, HealthVerdict,
+    ResilientOutcome,
+};
 pub use dist_system::DistSystem;
 pub use exchange::{exchange_halo, ExchangeFailure, FaultedFace, MAX_ATTEMPTS};
-pub use runtime::{run_spmd, CommCounters, CommError, CommWorld, FaultCounters, RankCtx};
+pub use runtime::{
+    run_spmd, CommCounters, CommError, CommWorld, FaultCounters, RankCtx, RetryPolicy,
+};
 pub use scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};

@@ -233,6 +233,42 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// Retransmission budget and modeled backoff schedule for retrying face
+/// receives. The default reproduces the historical hard-coded behavior
+/// (4 delivery attempts, 50 µs linear backoff, no cap) bit for bit, so
+/// existing baselines are unaffected unless a caller installs a custom
+/// policy via [`CommWorld::with_retry_policy`] or
+/// [`RankCtx::set_retry_policy`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Delivery attempts per face: the first try plus retransmissions.
+    pub max_attempts: u32,
+    /// Modeled backoff before retransmission `k` (1-based) is
+    /// `base_backoff_us * k`, accounted in the fault ledger's `delay_us`
+    /// (never slept — fault timing stays bitwise reproducible).
+    pub base_backoff_us: f64,
+    /// Ceiling on a single backoff step; `f64::INFINITY` disables it.
+    pub cap_backoff_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: crate::exchange::MAX_ATTEMPTS,
+            base_backoff_us: 50.0,
+            cap_backoff_us: f64::INFINITY,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Modeled backoff in microseconds before retransmitting after
+    /// failed attempt `attempt` (0-based).
+    pub fn backoff_us(&self, attempt: u32) -> f64 {
+        (self.base_backoff_us * (attempt + 1) as f64).min(self.cap_backoff_us)
+    }
+}
+
 /// Precision dispatch for payloads.
 pub trait HaloScalar: Real {
     fn wrap(data: Vec<HalfSpinor<Self>>) -> Payload;
@@ -404,6 +440,8 @@ pub struct RankCtx<'w> {
     /// Flight-recorder lane for this rank's fault/comm events (disabled
     /// by default; attach via [`RankCtx::attach_flight`]).
     flight: RefCell<FlightLane>,
+    /// Retransmission budget and backoff schedule for retrying receives.
+    retry: Cell<RetryPolicy>,
 }
 
 impl<'w> RankCtx<'w> {
@@ -468,6 +506,18 @@ impl<'w> RankCtx<'w> {
     /// Tag subsequent flight events with `id` (a per-solve trace id).
     pub fn set_trace_id(&self, id: qdd_trace::TraceId) {
         self.flight.borrow().set_trace(id);
+    }
+
+    /// Install a retransmission policy for subsequent retrying receives.
+    /// SPMD discipline: install the same policy on every rank (or via
+    /// [`CommWorld::with_retry_policy`]) so peers agree on budgets.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry.set(policy);
+    }
+
+    /// The active retransmission policy (default unless set).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
     }
 
     /// Send one face to the neighbor in `(dir, forward)`. Traffic is
@@ -735,8 +785,7 @@ impl<'w> RankCtx<'w> {
         max_attempts: u32,
     ) -> Result<Option<Payload>, CommError> {
         debug_assert!(max_attempts >= 1);
-        /// Modeled backoff before a retransmission attempt, microseconds.
-        const BACKOFF_US: f64 = 50.0;
+        let policy = self.retry.get();
         let mut last = CommError::Timeout { dir, attempts: 0 };
         for attempt in 0..max_attempts {
             match self.recv_attempt(dir, forward) {
@@ -749,7 +798,7 @@ impl<'w> RankCtx<'w> {
                     let trace = self.trace.borrow();
                     trace.begin(Phase::Fault);
                     FaultCounters::bump(&self.counters.faults.retries);
-                    let backoff = BACKOFF_US * (attempt + 1) as f64;
+                    let backoff = policy.backoff_us(attempt);
                     let cell = &self.counters.faults.delay_us;
                     cell.set(cell.get() + backoff);
                     self.flight.borrow().record(
@@ -844,17 +893,26 @@ pub struct CommWorld {
     /// Fault schedule attached to every rank context at spawn (so senders
     /// and receivers agree on whether envelopes carry checksums).
     faults: Option<FaultPlan>,
+    /// Retransmission policy installed on every rank context at spawn.
+    retry: RetryPolicy,
 }
 
 impl CommWorld {
     pub fn new(grid: RankGrid) -> Self {
-        Self { grid, faults: None }
+        Self { grid, faults: None, retry: RetryPolicy::default() }
     }
 
     /// A world whose fabric misbehaves according to `plan`. An inert plan
     /// (zero rates, no events) is equivalent to [`CommWorld::new`].
     pub fn with_faults(grid: RankGrid, plan: FaultPlan) -> Self {
-        Self { grid, faults: (!plan.is_inert()).then_some(plan) }
+        Self { grid, faults: (!plan.is_inert()).then_some(plan), retry: RetryPolicy::default() }
+    }
+
+    /// Install a retransmission policy on every rank of this world
+    /// (SPMD-consistent by construction).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     #[inline]
@@ -865,6 +923,11 @@ impl CommWorld {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The world's retransmission policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 }
 
@@ -918,6 +981,7 @@ pub fn run_spmd<R: Send>(world: &CommWorld, body: impl Fn(&RankCtx<'_>) -> R + S
             hiccup_seq: Cell::new(0),
             stash: std::array::from_fn(|_| std::array::from_fn(|_| RefCell::new(None))),
             flight: RefCell::new(FlightLane::disabled()),
+            retry: Cell::new(world.retry),
         });
     }
 
@@ -1108,6 +1172,58 @@ mod tests {
                 assert_eq!(stats.bytes_received, face_bytes);
             }
             assert_eq!(stats.bytes_sent, face_bytes, "sends are accounted at the sender");
+        }
+    }
+
+    #[test]
+    fn retry_policy_default_matches_historical_constants() {
+        // The default policy must reproduce the pre-policy behavior
+        // bit for bit: 4 delivery attempts, 50 us linear backoff, no cap.
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, crate::exchange::MAX_ATTEMPTS);
+        assert_eq!(p.backoff_us(0), 50.0);
+        assert_eq!(p.backoff_us(2), 150.0);
+    }
+
+    #[test]
+    fn retry_policy_governs_budget_and_caps_backoff() {
+        use qdd_faults::{FaultClass, FaultEvent, FaultRates};
+        // Permanent loss on rank 0's X-backward channel: with a 3-attempt
+        // policy the receive retries twice (backoffs 40 then min(80, 50))
+        // and then times out; the modeled delay ledger must show the
+        // capped schedule exactly.
+        let plan = FaultPlan::new(1, FaultRates::NONE).with_event(FaultEvent {
+            rank: 0,
+            class: FaultClass::Loss,
+            dir: Some(Dir::X),
+            forward: Some(false),
+            at_seq: 0,
+            attempts: u32::MAX,
+        });
+        let world = CommWorld::with_faults(
+            RankGrid::new(Dims::new(8, 4, 4, 4), Dims::new(2, 1, 1, 1)),
+            plan,
+        )
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 40.0,
+            cap_backoff_us: 50.0,
+        });
+        let rows = run_spmd(&world, |ctx| {
+            ctx.send_face(Dir::X, true, vec![HalfSpinor::<f64>::ZERO; 6]);
+            let attempts = ctx.retry_policy().max_attempts;
+            let res = ctx.recv_face_retrying::<f64>(Dir::X, false, attempts);
+            (ctx.rank(), res.is_err(), ctx.counters.snapshot())
+        });
+        for (rank, failed, stats) in rows {
+            if rank == 0 {
+                assert!(failed, "rank 0 must exhaust the 3-attempt budget");
+                assert_eq!(stats.faults.retries, 2);
+                assert_eq!(stats.faults.timeouts, 1);
+                assert_eq!(stats.faults.delay_us, 40.0 + 50.0, "linear backoff, capped at 50");
+            } else {
+                assert!(!failed);
+            }
         }
     }
 

@@ -55,7 +55,7 @@ impl FaultClass {
 
 /// Per-class injection probabilities, sampled independently per message
 /// (and per retry attempt, so a retransmission can fail again).
-#[derive(Copy, Clone, Debug, PartialEq)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct FaultRates {
     pub loss: f64,
     pub corrupt: f64,
@@ -153,6 +153,20 @@ impl FaultPlan {
     /// without the fault layer.
     pub fn is_inert(&self) -> bool {
         self.rates.all_zero() && self.events.is_empty()
+    }
+
+    /// The same schedule re-seeded for one shard of a sharded service:
+    /// rates, events and modeled latency carry over, but every decision
+    /// decorrelates completely from every other shard's (the shard index
+    /// is mixed into the seed through a full diffusion round). Shard 0's
+    /// plan is *not* the base plan — all shards are peers.
+    pub fn for_shard(&self, shard: usize) -> FaultPlan {
+        FaultPlan {
+            seed: shard_seed(self.seed, shard as u64),
+            rates: self.rates,
+            events: self.events.clone(),
+            delay_us: self.delay_us,
+        }
     }
 
     /// Uniform [0, 1) draw for one decision coordinate.
@@ -263,6 +277,66 @@ impl FaultPlan {
             seq,
             attempt as u64,
         ))
+    }
+}
+
+/// Derive the decorrelated fault seed of one shard from a pool seed
+/// (one SplitMix64 diffusion round over the shard index).
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut h = seed ^ shard.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The fault environment of a whole shard pool: a base schedule every
+/// shard inherits (with a per-shard decorrelated seed) plus targeted
+/// per-shard overrides — the "one sick node" scenarios QPACE 2 operates
+/// under. Deterministic: `plan_for(shard)` is a pure function of the
+/// pool seed, base rates, and overrides.
+#[derive(Clone, Debug, Default)]
+pub struct ShardFaults {
+    seed: u64,
+    base: FaultRates,
+    overrides: Vec<(usize, FaultRates)>,
+}
+
+impl ShardFaults {
+    /// Every shard runs `base` rates under its own derived seed.
+    pub fn new(seed: u64, base: FaultRates) -> Self {
+        Self { seed, base, overrides: Vec::new() }
+    }
+
+    /// A perfectly healthy pool (all plans inert).
+    pub fn none(seed: u64) -> Self {
+        Self::new(seed, FaultRates::NONE)
+    }
+
+    /// Override one shard's rates (e.g. a 100% loss plan for a
+    /// permanently sick shard). Later overrides win.
+    pub fn with_shard(mut self, shard: usize, rates: FaultRates) -> Self {
+        self.overrides.push((shard, rates));
+        self
+    }
+
+    /// The pool seed (`QDD_FAULT_SEED` in the benches).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The effective rates of one shard.
+    pub fn rates_for(&self, shard: usize) -> FaultRates {
+        self.overrides.iter().rev().find(|(s, _)| *s == shard).map(|(_, r)| *r).unwrap_or(self.base)
+    }
+
+    /// The fault plan of one shard's world.
+    pub fn plan_for(&self, shard: usize) -> FaultPlan {
+        FaultPlan::new(shard_seed(self.seed, shard as u64), self.rates_for(shard))
+    }
+
+    /// True if no shard can ever fault.
+    pub fn is_inert(&self) -> bool {
+        self.base.all_zero() && self.overrides.iter().all(|(_, r)| r.all_zero())
     }
 }
 
@@ -413,5 +487,46 @@ mod tests {
         let mut c = p.corruption_rng(0, Dir::X, true, 6, 0);
         assert_eq!(a.next_u64(), b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn shard_plans_are_deterministic_and_decorrelated() {
+        let rates = FaultRates { loss: 0.3, corrupt: 0.2, delay: 0.1, hiccup: 0.05 };
+        let p = plan(rates);
+        // Same shard, same seed: bitwise-identical decisions.
+        let a = p.for_shard(3);
+        let b = p.for_shard(3);
+        assert_eq!(a.seed(), b.seed());
+        // Different shards decorrelate: the decision streams differ
+        // somewhere in a modest window (and from the base plan's).
+        let c = p.for_shard(4);
+        assert_ne!(a.seed(), c.seed());
+        let stream = |q: &FaultPlan| {
+            (0..200).map(|seq| q.recv_fault(0, Dir::X, true, seq, 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(&a), stream(&b));
+        assert_ne!(stream(&a), stream(&c), "shards 3 and 4 must decorrelate");
+        assert_ne!(stream(&a), stream(&p), "shard 3 must decorrelate from the base plan");
+        // Rates and events carry over.
+        assert_eq!(*a.rates(), rates);
+    }
+
+    #[test]
+    fn shard_faults_overrides_and_inertness() {
+        let base = FaultRates { loss: 0.01, corrupt: 0.0, delay: 0.0, hiccup: 0.0 };
+        let sick = FaultRates { loss: 1.0, corrupt: 0.0, delay: 0.0, hiccup: 0.0 };
+        let pool = ShardFaults::new(9, base).with_shard(1, sick);
+        assert_eq!(pool.rates_for(0), base);
+        assert_eq!(pool.rates_for(1), sick);
+        assert_eq!(*pool.plan_for(1).rates(), sick);
+        // The sick shard's plan loses everything; shard 0's does not.
+        let lost = (0..100)
+            .filter(|&s| pool.plan_for(1).recv_fault(0, Dir::X, true, s, 0) == RecvFault::Lose)
+            .count();
+        assert_eq!(lost, 100);
+        assert!(!pool.is_inert());
+        assert!(ShardFaults::none(9).is_inert());
+        // Healthy pools derive per-shard seeds deterministically.
+        assert_eq!(ShardFaults::none(9).plan_for(2).seed(), pool.plan_for(2).seed());
     }
 }

@@ -1,0 +1,239 @@
+//! Per-shard circuit breakers.
+//!
+//! A shard that keeps failing requests (communication faults, solver
+//! breakdowns) should stop receiving traffic until there is evidence it
+//! recovered — otherwise every request routed to it burns a failover
+//! attempt and a full (futile) solve. The classic three-state breaker:
+//!
+//! * **Closed** — healthy; requests flow. Consecutive failures are
+//!   counted, and at [`BreakerConfig::failure_threshold`] the breaker
+//!   *trips* to Open.
+//! * **Open** — no requests are dispatched. The cooldown is measured in
+//!   supervisor *dispatch rounds*, not wall-clock: the supervisor ticks
+//!   every breaker once per round ([`CircuitBreaker::tick`]), so breaker
+//!   behaviour is a deterministic function of the request schedule and
+//!   the fault seed — reruns are bitwise-reproducible.
+//! * **HalfOpen** — cooled down; the next dispatch round routes exactly
+//!   one probe request to the shard. Success closes the breaker,
+//!   failure re-opens it (and restarts the cooldown).
+//!
+//! Every transition is recorded with the round it happened in; the
+//! supervisor exports them (`serve.breaker.*` metrics) and snapshots the
+//! flight recorder on each trip.
+
+/// Breaker tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a Closed breaker to Open.
+    pub failure_threshold: u32,
+    /// Dispatch rounds an Open breaker waits before arming a HalfOpen
+    /// probe.
+    pub cooldown_rounds: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 2, cooldown_rounds: 2 }
+    }
+}
+
+/// The breaker's position in the Closed → Open → HalfOpen cycle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Numeric encoding for the `serve.shard.*.state` gauge.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
+/// One recorded state change.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BreakerTransition {
+    pub from: BreakerState,
+    pub to: BreakerState,
+    /// Supervisor dispatch round the transition happened in.
+    pub round: u64,
+}
+
+/// A deterministic, round-clocked circuit breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_remaining: u32,
+    transitions: Vec<BreakerTransition>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.failure_threshold > 0, "failure threshold must be positive");
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_remaining: 0,
+            transitions: Vec::new(),
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May the supervisor dispatch to this shard right now? Closed flows
+    /// freely; HalfOpen admits (the supervisor's in-flight cap of one
+    /// job per shard makes that a single probe); Open admits nothing.
+    pub fn admits(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Times the breaker tripped (entered Open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Every state change so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, to: BreakerState, round: u64) {
+        let from = self.state;
+        if from == to {
+            return;
+        }
+        self.transitions.push(BreakerTransition { from, to, round });
+        if to == BreakerState::Open {
+            self.trips += 1;
+            self.cooldown_remaining = self.cfg.cooldown_rounds;
+        }
+        self.state = to;
+    }
+
+    /// A dispatch round passed. Open breakers cool; one fully cooled
+    /// arms a HalfOpen probe. Returns `true` if the breaker just armed.
+    pub fn tick(&mut self, round: u64) -> bool {
+        if self.state == BreakerState::Open {
+            self.cooldown_remaining = self.cooldown_remaining.saturating_sub(1);
+            if self.cooldown_remaining == 0 {
+                self.transition(BreakerState::HalfOpen, round);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The shard answered a request healthily. Resets the failure count;
+    /// a HalfOpen probe success closes the breaker.
+    pub fn record_success(&mut self, round: u64) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.transition(BreakerState::Closed, round);
+        }
+    }
+
+    /// The shard failed a request (fault verdict or breakdown). Returns
+    /// `true` when this failure *tripped* the breaker (entered Open).
+    pub fn record_failure(&mut self, round: u64) -> bool {
+        self.consecutive_failures += 1;
+        match self.state {
+            BreakerState::Closed if self.consecutive_failures >= self.cfg.failure_threshold => {
+                self.transition(BreakerState::Open, round);
+                true
+            }
+            // A failed probe re-opens immediately: the shard proved it is
+            // still sick, no need to accumulate a fresh threshold.
+            BreakerState::HalfOpen => {
+                self.transition(BreakerState::Open, round);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_probes_after_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 2, cooldown_rounds: 3 });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admits());
+        assert!(!b.record_failure(1), "first failure stays under threshold");
+        assert!(b.record_failure(2), "second failure must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admits());
+        assert_eq!(b.trips(), 1);
+        // Cooldown is counted in ticks, not time.
+        assert!(!b.tick(3));
+        assert!(!b.tick(4));
+        assert!(b.tick(5), "third tick arms the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admits());
+        // Probe succeeds: closed again, failure count reset.
+        b.record_success(6);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(
+            b.transitions(),
+            &[
+                BreakerTransition { from: BreakerState::Closed, to: BreakerState::Open, round: 2 },
+                BreakerTransition {
+                    from: BreakerState::Open,
+                    to: BreakerState::HalfOpen,
+                    round: 5
+                },
+                BreakerTransition {
+                    from: BreakerState::HalfOpen,
+                    to: BreakerState::Closed,
+                    round: 6
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_fresh_threshold() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 3, cooldown_rounds: 1 });
+        for r in 0..3 {
+            b.record_failure(r);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.tick(4));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_failure(5), "one failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold: 2, cooldown_rounds: 1 });
+        b.record_failure(1);
+        b.record_success(2);
+        assert!(!b.record_failure(3), "the streak restarted after a success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

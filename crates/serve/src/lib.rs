@@ -28,17 +28,33 @@
 //!   primary miss), or `Degraded` with a [`DegradeReason`]. Deadline
 //!   misses return the best iterate so far; nothing panics or hangs.
 //!
-//! Entry point: [`serve`] runs the worker pool around a client closure
-//! and returns a [`ServiceReport`] with queue-depth/batch-size metrics
-//! and p50/p99 latency.
+//! * **Sharded self-healing** — [`shard_serve`] runs the service as a
+//!   supervised pool of *shard workers*, each owning a simulated
+//!   multi-rank communication world with its own seeded fault plan
+//!   ([`qdd_faults::ShardFaults`]). A supervisor thread tracks per-shard
+//!   health from solve verdicts, trips a per-shard [`CircuitBreaker`]
+//!   on repeated failures (Closed → Open → HalfOpen probe), fails
+//!   requests over to healthy shards with a best-so-far warm-restart
+//!   iterate, and sheds deadline-expired requests at dequeue — all on a
+//!   round-synchronous logical clock that keeps the whole pool
+//!   bitwise-reproducible under a fixed fault seed.
+//!
+//! Entry points: [`serve`] runs the single-world worker pool around a
+//! client closure and returns a [`ServiceReport`] with
+//! queue-depth/batch-size metrics and p50/p99 latency; [`shard_serve`]
+//! runs the supervised shard pool and returns a [`PoolReport`].
 
+pub mod breaker;
 pub mod cache;
 pub mod latency;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod shard;
+pub mod supervisor;
 pub mod telemetry;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use cache::{CacheOutcome, SetupCache, TuneCache};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use queue::{BoundedQueue, QueueFull};
@@ -49,5 +65,12 @@ pub use request::{
 pub use service::{
     serve, serve_with_flight, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, Ticket,
     STRAGGLER_RATIO,
+};
+pub use shard::{
+    run_shard_job, shard_worker_loop, ShardJob, ShardOutcome, ShardRuntime, ShardSetup,
+    ShardSetupCache,
+};
+pub use supervisor::{
+    shard_serve, shard_serve_with_flight, PoolHandle, PoolReport, PoolTicket, ShardPoolConfig,
 };
 pub use telemetry::{join_against_model, RequestTimeline};

@@ -87,9 +87,6 @@ impl SolveRequest {
 /// Why a request was degraded.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum DegradeReason {
-    /// The deadline had already passed when the request reached a worker;
-    /// the zero initial guess is returned untouched.
-    DeadlineBeforeSolve,
     /// The primary solve ran out of deadline; its best iterate is
     /// returned without attempting the fallback.
     DeadlineExceeded,
@@ -99,21 +96,26 @@ pub enum DegradeReason {
     /// The configuration could not be materialized or its clover term is
     /// singular; no solve was attempted.
     SetupFailed,
+    /// Every shard the failover ladder was allowed to try (retry budget,
+    /// breaker state, already-tried set) failed the request; the best
+    /// surviving iterate is returned.
+    ShardsExhausted,
 }
 
 impl DegradeReason {
     pub fn label(self) -> &'static str {
         match self {
-            DegradeReason::DeadlineBeforeSolve => "deadline-before-solve",
             DegradeReason::DeadlineExceeded => "deadline-exceeded",
             DegradeReason::TargetMissed => "target-missed",
             DegradeReason::SetupFailed => "setup-failed",
+            DegradeReason::ShardsExhausted => "shards-exhausted",
         }
     }
 }
 
 /// What the service achieved for a request — the degradation ladder is
-/// `Converged` → `Fallback` → `Degraded`.
+/// `Converged` → `Fallback` → `Degraded`, with `Shed` for requests the
+/// service declined to solve at all.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum ServeStatus {
     /// The primary FGMRES-DR + Schwarz solve reached the target.
@@ -123,6 +125,9 @@ pub enum ServeStatus {
     Fallback,
     /// Best-effort result; see the reason.
     Degraded(DegradeReason),
+    /// The request expired while queued and was shed at dequeue: no
+    /// solver ever ran for it and the zero guess is returned untouched.
+    Shed,
 }
 
 impl ServeStatus {
@@ -136,6 +141,7 @@ impl ServeStatus {
             ServeStatus::Converged => "converged",
             ServeStatus::Fallback => "fallback",
             ServeStatus::Degraded(_) => "degraded",
+            ServeStatus::Shed => "shed",
         }
     }
 }
@@ -160,8 +166,13 @@ pub struct SolveResponse {
     pub solution: SpinorField<f64>,
     /// Relative residual actually achieved.
     pub relative_residual: f64,
-    /// Outer iterations spent (primary plus fallback).
+    /// Outer iterations spent (primary plus fallback), summed across
+    /// failover attempts on the sharded path.
     pub iterations: usize,
+    /// Solve attempts made: 1 for a request served by its first shard
+    /// (or the single-world path), `1 + failovers` on the sharded path,
+    /// 0 for a shed request (no solver ever ran).
+    pub attempts: u32,
     /// Time from submission to being picked up by a worker batch.
     pub queue_wait: Duration,
     /// Time from submission to completion.

@@ -472,6 +472,7 @@ fn respond(
         ServeStatus::Converged => "solved",
         ServeStatus::Fallback => "fallback",
         ServeStatus::Degraded(_) => "degraded",
+        ServeStatus::Shed => "shed",
     };
     out.timelines.push(RequestTimeline {
         request: m.id,
@@ -492,6 +493,7 @@ fn respond(
         solution,
         relative_residual: residual,
         iterations,
+        attempts: if status == ServeStatus::Shed { 0 } else { 1 },
         queue_wait: wait,
         latency: total,
     });
@@ -519,8 +521,8 @@ fn run_batch(
     let precision = batch[0].request.precision;
 
     // Split bookkeeping from the sources. Requests whose deadline already
-    // passed are answered immediately with the untouched zero initial
-    // guess instead of being solved.
+    // passed are shed at dequeue: answered immediately with the untouched
+    // zero initial guess and a `Shed` status — the solver never sees them.
     let mut metas: Vec<Meta> = Vec::with_capacity(batch.len());
     let mut sources: Vec<SpinorField<f64>> = Vec::with_capacity(batch.len());
     for p in batch {
@@ -528,8 +530,10 @@ fn run_batch(
         let meta = Meta { id, trace, submitted, deadline, reply };
         if deadline.is_some_and(|d| picked_up > d) {
             let zero = SpinorField::zeros(*request.source.dims());
-            let status = ServeStatus::Degraded(DegradeReason::DeadlineBeforeSolve);
-            respond(out, metrics, sink, flane, picked_up, meta, status, zero, 1.0, 0);
+            metrics.add("serve.shed.expired", 1.0);
+            flane.set_trace(meta.trace);
+            flane.record(Phase::ServeBatch, "req.shed.expired", meta.id.0 as f64, 0.0);
+            respond(out, metrics, sink, flane, picked_up, meta, ServeStatus::Shed, zero, 1.0, 0);
         } else {
             metas.push(meta);
             sources.push(request.source);
@@ -824,11 +828,12 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_degrades_instead_of_hanging() {
+    fn expired_while_queued_is_shed_at_dequeue_never_solved() {
         let cfg = service_cfg();
         let source = SyntheticSource::new(dims());
         let sink = TraceSink::enabled();
-        let (response, _report) = serve(&cfg, &source, &sink, |h| {
+        let flight = qdd_trace::FlightRecorder::with_capacity(64);
+        let (response, report) = serve_with_flight(&cfg, &source, &sink, &flight, |h| {
             let mut req = SolveRequest::new(ConfigKey(1), sources_for(1).pop().unwrap());
             req.deadline = Some(Duration::ZERO);
             let ticket = h.submit(req).unwrap();
@@ -836,9 +841,22 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
             ticket.wait()
         });
-        assert_eq!(response.status, ServeStatus::Degraded(DegradeReason::DeadlineBeforeSolve));
+        // Shed, not degraded: the solver never ran (zero iterations, the
+        // zero guess untouched), the shed counter fired, and the flight
+        // recorder carries the shed breadcrumb under the request's trace.
+        assert_eq!(response.status, ServeStatus::Shed);
+        assert!(!response.status.meets_target());
         assert_eq!(response.iterations, 0);
         assert_eq!(response.solution.norm(), 0.0);
+        assert_eq!(report.metrics.counters().get("serve.shed.expired").copied(), Some(1.0));
+        let timeline = &report.timelines[0];
+        assert!(timeline.stages.iter().any(|s| s.0 == "shed"));
+        let shed = flight
+            .snapshot()
+            .into_iter()
+            .find(|e| e.code == "req.shed.expired")
+            .expect("req.shed.expired flight event");
+        assert_eq!(shed.trace, response.trace_id.0);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub enum Phase {
     /// The solve service's degradation ladder: a fallback solve after the
     /// primary DD attempt missed its target or deadline.
     ServeFallback,
+    /// One solve executed by a shard worker of the sharded service (one
+    /// world + comm runtime per shard); shard health counters ride here.
+    ServeShard,
+    /// A failover re-dispatch: the supervisor moving an in-flight
+    /// request from a sick shard to a healthy one (warm restart).
+    ServeFailover,
     /// One worker's share of a job dispatched on the persistent worker
     /// pool (Schwarz sweeps, fused operator tiles, blocked reductions);
     /// `par.*` counters ride on this phase.
@@ -64,7 +70,7 @@ pub enum Phase {
 }
 
 impl Phase {
-    pub const ALL: [Phase; 21] = [
+    pub const ALL: [Phase; 23] = [
         Phase::Solve,
         Phase::OuterIteration,
         Phase::ArnoldiStep,
@@ -83,6 +89,8 @@ impl Phase {
         Phase::ServeSetup,
         Phase::ServeBatch,
         Phase::ServeFallback,
+        Phase::ServeShard,
+        Phase::ServeFailover,
         Phase::PoolJob,
         Phase::Fault,
         Phase::Other,
@@ -109,6 +117,8 @@ impl Phase {
             Phase::ServeSetup => "serve setup",
             Phase::ServeBatch => "serve batch",
             Phase::ServeFallback => "serve fallback",
+            Phase::ServeShard => "serve shard",
+            Phase::ServeFailover => "serve failover",
             Phase::PoolJob => "pool job",
             Phase::Fault => "fault",
             Phase::Other => "other",
@@ -136,6 +146,8 @@ impl Phase {
             Phase::ServeSetup => "serve_setup",
             Phase::ServeBatch => "serve_batch",
             Phase::ServeFallback => "serve_fallback",
+            Phase::ServeShard => "serve_shard",
+            Phase::ServeFailover => "serve_failover",
             Phase::PoolJob => "pool_job",
             Phase::Fault => "fault",
             Phase::Other => "other",
@@ -154,6 +166,7 @@ impl Phase {
             Phase::HaloPack | Phase::HaloSend | Phase::HaloRecv | Phase::HaloUnpack => "halo",
             Phase::GlobalSum => "reduction",
             Phase::ServeSetup | Phase::ServeBatch | Phase::ServeFallback => "serve",
+            Phase::ServeShard | Phase::ServeFailover => "serve",
             Phase::PoolJob => "pool",
             Phase::Fault => "fault",
         }

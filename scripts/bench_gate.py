@@ -146,6 +146,37 @@ GATES = {
         },
         "metas": {"exact": ["bitwise_identical"]},
     },
+    "shards": {
+        # The sharded pool's scheduling is round-synchronous and its
+        # fault plans are seeded, so everything but wall clock is pinned:
+        # per-request status/iterations/attempts/trace ids, the breaker's
+        # transition script (shard, edge, round), shed/failover counts in
+        # the load sweep, and the FNV digest of every solution's bits.
+        # p50/p99 latency fields are wall clock and not gated.
+        "series": {
+            "fault_free": {
+                "exact": ["request", "trace", "config", "status", "iterations", "attempts"],
+            },
+            "degraded": {
+                "exact": ["request", "trace", "config", "status", "iterations", "attempts"],
+            },
+            "breaker_transitions": {"exact": ["shard", "from", "to", "round"]},
+            "load_sweep": {
+                "exact": ["load", "shed", "converged", "degraded", "failovers", "breaker_trips"],
+            },
+        },
+        "metas": {
+            "exact": [
+                "bitwise_identical",
+                "rerun_bitwise",
+                "zero_dropped",
+                "fault_free_digest",
+                "degraded_digest",
+                "breaker_open_round",
+                "failovers",
+            ],
+        },
+    },
     "telemetry": {
         "series": {"trial_wall_ms": {"exact": ["trial", "iterations"]}},
         "metas": {"exact": ["bitwise_identical"]},

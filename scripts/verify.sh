@@ -25,6 +25,16 @@ cargo test --release -q -p qdd-dirac --test fused_full_property
 echo "==> chaos smoke benchmark (release)"
 cargo run -p qdd-bench --release --bin chaos -- --smoke
 
+# Shards smoke: the supervised shard pool must keep serving with 1 of 3
+# shards under 100% message loss (zero dropped requests, breaker opens
+# within threshold, failover rescues every request), reproduce bitwise
+# under the same fault seed, and match the single-world path bitwise when
+# fault-free — all asserted inside the binary; statuses, trace ids,
+# breaker transitions, shed/failover counts and the solution digests are
+# pinned by the gate.
+echo "==> shards smoke benchmark (release)"
+QDD_FAULT_SEED=7 cargo run -p qdd-bench --release --bin shards -- --smoke
+
 # Overlap smoke: the Fig. 4 staged schedule must be bitwise identical to
 # the bulk exchange (asserted inside the binary) and reports measured
 # exposed communication for both schedules.

@@ -12,6 +12,8 @@
 //!           [--queue N] [--cache N] [--seed N] [--half] [--trace PATH]
 //!           [--flight-dump PATH] [--timelines] [--autotune]
 //!           [--backend knc|knl-flat|knl-cache]
+//!           [--shards N] [--retry-budget N] [--sick-shard I]
+//!           [--ranks X,Y,Z,T] [--fault-seed N]
 //! qdd chaos [--dims X,Y,Z,T] [--block X,Y,Z,T] [--ranks X,Y,Z,T]
 //!           [--loss P] [--corrupt P] [--delay P] [--hiccup P]
 //!           [--fault-seed N] [--restarts N] [--mass M] [--spread S]
@@ -219,6 +221,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.flags.contains_key("shards") {
+        return cmd_serve_sharded(args);
+    }
     let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
     let block = args.dims("block", Dims::new(4, 4, 4, 4))?;
     let requests: usize = args.get("requests", 8)?;
@@ -365,6 +370,191 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     }
     let failed = responses.iter().filter(|r| !r.status.meets_target()).count();
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failed} request(s) did not reach the target"))
+    }
+}
+
+/// `qdd serve --shards N`: the supervised shard pool. Each shard is one
+/// simulated multi-rank world; `--sick-shard I` puts shard `I` under a
+/// 100% message-loss plan to demonstrate breaker + failover, and the
+/// whole run is deterministic for a fixed `--fault-seed`.
+fn cmd_serve_sharded(args: &Args) -> Result<(), String> {
+    use lattice_qcd_dd::faults::{FaultRates, ShardFaults};
+    use lattice_qcd_dd::serve::{shard_serve_with_flight, PoolTicket, ShardPoolConfig};
+
+    let dims = args.dims("dims", Dims::new(8, 8, 8, 8))?;
+    let block = args.dims("block", Dims::new(4, 4, 4, 4))?;
+    let ranks = args.dims("ranks", Dims::new(1, 1, 1, 2))?;
+    let requests: usize = args.get("requests", 8)?;
+    let configs: u64 = args.get("configs", 2)?;
+    let tol: f64 = args.get("tol", 1e-8)?;
+    let deadline_ms: u64 = args.get("deadline-ms", 0)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let shards: usize = args.get("shards", 2)?;
+    let retry_budget: u32 = args.get("retry-budget", 2)?;
+    let fault_seed_default =
+        std::env::var("QDD_FAULT_SEED").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
+    let fault_seed: u64 = args.get("fault-seed", fault_seed_default)?;
+    if !dims.divisible_by(&block) {
+        return Err(format!("block {block} does not tile lattice {dims}"));
+    }
+    if !dims.divisible_by(&ranks) {
+        return Err(format!("rank grid {ranks} does not tile lattice {dims}"));
+    }
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    if configs == 0 {
+        return Err("--configs must be positive".into());
+    }
+
+    let mut cfg = ShardPoolConfig {
+        shards,
+        rank_dims: ranks,
+        retry_budget,
+        setup_cache_capacity: args.get("cache", 4)?,
+        ..ShardPoolConfig::default()
+    };
+    cfg.solver.schwarz.block = block;
+    cfg.solver.fgmres.tolerance = tol;
+    let precision = if args.has("half") { Precision::HalfCompressed } else { Precision::Single };
+    cfg.solver.precision = precision;
+
+    let mut faults = ShardFaults::none(fault_seed);
+    let sick: Option<usize> = match args.flags.get("sick-shard") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--sick-shard: {e}"))?),
+    };
+    if let Some(s) = sick {
+        if s >= shards {
+            return Err(format!("--sick-shard {s} out of range (pool has {shards} shards)"));
+        }
+        faults = faults.with_shard(s, FaultRates { loss: 1.0, ..FaultRates::default() });
+    }
+
+    let sink = TraceSink::disabled();
+    let flight_path = args.flags.get("flight-dump").cloned();
+    let flight = if flight_path.is_some() {
+        FlightRecorder::with_capacity(256)
+    } else {
+        FlightRecorder::disabled()
+    };
+    if let Some(p) = &flight_path {
+        if let Some(dir) = std::path::Path::new(p).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        flight.set_auto_dump_path(p);
+    }
+    let source = SyntheticSource::new(dims);
+    println!(
+        "serving {requests} requests over {configs} synthetic configuration(s) on {dims} \
+         ({shards} shard(s) of {ranks} rank(s), retry budget {retry_budget}, fault seed \
+         {fault_seed}{}) ...",
+        sick.map(|s| format!(", shard {s} sick")).unwrap_or_default()
+    );
+
+    let t0 = std::time::Instant::now();
+    let (responses, report) =
+        shard_serve_with_flight(&cfg, &source, &faults, &sink, &flight, |h| {
+            let mut rng = Rng64::new(seed);
+            let reqs: Vec<SolveRequest> = (0..requests)
+                .map(|i| {
+                    let b = SpinorField::<f64>::random(dims, &mut rng);
+                    let mut req = SolveRequest::new(ConfigKey(i as u64 % configs), b);
+                    req.tolerance = tol;
+                    req.precision = precision;
+                    if deadline_ms > 0 {
+                        req.deadline = Some(std::time::Duration::from_millis(deadline_ms));
+                    }
+                    req
+                })
+                .collect();
+            h.submit_wave(reqs).into_iter().map(PoolTicket::wait).collect::<Vec<_>>()
+        });
+    let wall = t0.elapsed();
+
+    let count =
+        |pred: fn(&ServeStatus) -> bool| responses.iter().filter(|r| pred(&r.status)).count();
+    println!("\n{:>12}  {}", "converged", count(|s| matches!(s, ServeStatus::Converged)));
+    println!("{:>12}  {}", "fallback", count(|s| matches!(s, ServeStatus::Fallback)));
+    println!("{:>12}  {}", "degraded", count(|s| matches!(s, ServeStatus::Degraded(_))));
+    println!("{:>12}  {}", "shed", report.shed);
+    println!("{:>12}  {}", "failovers", report.failovers);
+
+    println!(
+        "\n{:>6} {:>6} {:>9} {:>6} {:>11} {:>10}",
+        "shard", "jobs", "failures", "trips", "breaker", "heartbeat"
+    );
+    for (i, (jobs, fails)) in report.shard_jobs.iter().zip(&report.shard_failures).enumerate() {
+        let state = report
+            .metrics
+            .gauge(&format!("serve.shard.{i}.state"))
+            .map(|g| {
+                if g == 0.0 {
+                    "closed"
+                } else if g == 1.0 {
+                    "open"
+                } else {
+                    "half-open"
+                }
+            })
+            .unwrap_or("?");
+        let hb = report.metrics.gauge(&format!("serve.shard.{i}.last_heartbeat")).unwrap_or(0.0);
+        println!(
+            "{i:>6} {jobs:>6} {fails:>9} {:>6} {state:>11} {hb:>10}",
+            report
+                .breaker_transitions
+                .iter()
+                .filter(|(s, t)| *s == i && t.to == lattice_qcd_dd::serve::BreakerState::Open)
+                .count()
+        );
+    }
+    if !report.breaker_transitions.is_empty() {
+        println!("\nbreaker transitions (round-clocked):");
+        for (s, t) in &report.breaker_transitions {
+            println!("  shard {s}: {} -> {} at round {}", t.from.label(), t.to.label(), t.round);
+        }
+    }
+    println!(
+        "\nsetup cache: {} hit(s) / {} miss(es) / {} eviction(s)",
+        report.setup_hits, report.setup_misses, report.setup_evictions
+    );
+    let lat = report.latency.summary();
+    println!(
+        "latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms; {} dispatch round(s)",
+        lat.p50_ms, lat.p99_ms, lat.max_ms, report.rounds
+    );
+    println!(
+        "throughput: {:.2} solves/s ({} answered in {:.2} s)",
+        report.completed as f64 / wall.as_secs_f64(),
+        report.completed,
+        wall.as_secs_f64()
+    );
+
+    if args.has("timelines") {
+        println!("\nper-request timelines (ms since admission):");
+        for t in &report.timelines {
+            let stages: Vec<String> =
+                t.stages.iter().map(|(s, ms)| format!("{s}@{ms:.2}")).collect();
+            println!("  {} trace {}  {}", t.request, t.trace, stages.join(" -> "));
+        }
+    }
+    if flight_path.is_some() {
+        if let Some(p) = flight.dump("on-demand") {
+            println!("flight dump written: {p} ({} event(s))", flight.snapshot().len());
+        }
+    }
+
+    // Shed requests are an explicit service decision, not a failure; a
+    // degraded answer with every shard tried is only acceptable when the
+    // operator made the whole pool sick on purpose.
+    let failed = responses
+        .iter()
+        .filter(|r| !r.status.meets_target() && r.status != ServeStatus::Shed)
+        .count();
     if failed == 0 {
         Ok(())
     } else {
