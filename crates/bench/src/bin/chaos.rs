@@ -47,6 +47,7 @@ struct ChaosPoint {
     corruptions: u64,
     delays: u64,
     hiccups: u64,
+    peer_skips: u64,
     zero_fills: u64,
     comm_faulted: bool,
     flight_fault_events: usize,
@@ -110,6 +111,7 @@ fn run_at_rate(
             corruptions: agg.corruptions,
             delays: agg.delays,
             hiccups: agg.hiccups,
+            peer_skips: agg.peer_skips,
             zero_fills: agg.zero_fills,
             comm_faulted: out.comm_faulted,
             flight_fault_events,
@@ -184,7 +186,7 @@ fn main() {
         );
 
     println!(
-        "{:>7} {:>5} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "{:>7} {:>5} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
         "rate",
         "conv",
         "iters",
@@ -192,6 +194,7 @@ fn main() {
         "retries",
         "corrupt",
         "hiccups",
+        "pskips",
         "zfills",
         "true_res",
         "wall_ms"
@@ -247,7 +250,7 @@ fn main() {
             assert_eq!(run.point.retries + run.point.corruptions + run.point.hiccups, 0);
         }
         println!(
-            "{:>7.3} {:>5} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>10.2e} {:>12.1}",
+            "{:>7.3} {:>5} {:>6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10.2e} {:>12.1}",
             run.point.rate,
             run.point.converged,
             run.point.iterations,
@@ -255,6 +258,7 @@ fn main() {
             run.point.retries,
             run.point.corruptions,
             run.point.hiccups,
+            run.point.peer_skips,
             run.point.zero_fills,
             run.point.true_residual,
             run.point.wall_ms

@@ -1,0 +1,388 @@
+//! Communication hiding in the staged *outer* operator apply (the
+//! Fig. 4 schedule lifted from the Schwarz sweep to the full matvec),
+//! swept over domains per core to chart the Eq. 7 hiding boundary:
+//! hiding works while the interior compute window per core is longer
+//! than the wire time, and collapses as cores eat the window.
+//!
+//! Two layers, deliberately separate:
+//!
+//! - **measured**: the SPMD runtime times every blocking face receive
+//!   (`recv_wait_s`) while the same chained applies run staged and
+//!   bulk (`with_overlap(false)`), sweeping the worker count.
+//!   Arithmetic is bitwise identical either way (asserted, every
+//!   worker count), only the wait moves. Wall-clock hiding needs a
+//!   spare core to overlap with — on a single-core host the two
+//!   schedules serialize identically and the measured gap collapses,
+//!   so these numbers are reported, never gated.
+//! - **modeled**: the Eq. 7 boundary on the paper's machine — t-face
+//!   wire time against the interior compute window per core from the
+//!   backend's kernel bound — swept over core counts. Pure model
+//!   output, bitwise reproducible on any host; the >=10x hiding
+//!   acceptance is asserted here.
+//!
+//! A peer-skip probe rides along: one injected rank hiccup must surface
+//! on the victim as the *peer-skip* fault class — zero timeouts, no
+//! retry budget burned — with exactly the skipped faces zero-filled.
+//!
+//! Emits `results/BENCH_outer_overlap.json` in the shared `Report`
+//! schema.
+//!
+//! Run: `cargo run -p qdd-bench --release --bin outer_overlap [-- --smoke]`
+
+use qdd_bench::Report;
+use qdd_comm::dist_system::DistSystem;
+use qdd_comm::exchange::face_bytes;
+use qdd_comm::runtime::{run_spmd, CommWorld};
+use qdd_comm::scatter::{scatter_clover, scatter_field, scatter_gauge};
+use qdd_core::system::SystemOps;
+use qdd_dirac::clover::build_clover_field;
+use qdd_dirac::gamma::GammaBasis;
+use qdd_dirac::wilson::{BoundaryPhases, WilsonClover, TOTAL_FLOPS_PER_SITE};
+use qdd_faults::{FaultClass, FaultEvent, FaultPlan, FaultRates};
+use qdd_field::fields::{CloverField, GaugeField, SpinorField};
+use qdd_lattice::{Dims, Dir, RankGrid};
+use qdd_machine::{BackendKind, MachineBackend};
+use qdd_util::rng::Rng64;
+use qdd_util::stats::SolveStats;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One point of the Eq. 7 model sweep: wire time vs per-core interior
+/// compute window on the backend's modeled machine. Pure model output —
+/// every field reproduces bitwise on any host.
+#[derive(Serialize)]
+struct Eq7Row {
+    cores: usize,
+    /// Interior 4^4-domain equivalents per core.
+    domains_per_core: f64,
+    /// Overlap window: interior compute seconds per core per apply.
+    window_s: f64,
+    /// Wire time of both t-faces per apply on the modeled network.
+    wire_s: f64,
+    model_staged_exposed_s: f64,
+    model_bulk_exposed_s: f64,
+    /// True when the model hides the wires completely (zero exposed).
+    hidden: bool,
+}
+
+/// One point of the measured domains-per-core sweep: the same chained
+/// applies with the staged schedule and the bulk one.
+#[derive(Serialize)]
+struct SweepRow {
+    workers: usize,
+    /// Interior 4^4-domain equivalents per worker — the paper's
+    /// `ndomain` axis for the Eq. 7 hiding boundary.
+    domains_per_core: f64,
+    interior_sites: usize,
+    boundary_sites: usize,
+    /// Mean blocked-receive seconds per rank per apply, staged schedule.
+    overlap_exposed_s: f64,
+    /// Same, bulk exchange-then-compute.
+    bulk_exposed_s: f64,
+    /// `bulk / staged` exposure — how much wait the schedule hides.
+    hiding_factor: f64,
+    overlap_wall_s: f64,
+    bulk_wall_s: f64,
+    /// Overlap-model prediction for the staged exposure given the
+    /// measured bulk wire cost and interior compute window.
+    predicted_exposed_s: f64,
+    measured_over_model: f64,
+}
+
+struct Problem {
+    grid: RankGrid,
+    local_gauge: Vec<GaugeField<f64>>,
+    local_clover: Vec<CloverField<f64>>,
+    f_local: Vec<SpinorField<f64>>,
+}
+
+struct ModeRun {
+    /// Gathered per-rank outputs after the final apply (bitwise check).
+    outs: Vec<SpinorField<f64>>,
+    exposed_per_apply_s: f64,
+    wall_per_apply_s: f64,
+    interior: usize,
+    boundary: usize,
+}
+
+fn run_mode(p: &Problem, overlap: bool, workers: usize, applies: usize, reps: usize) -> ModeRun {
+    let ranks = p.grid.num_ranks();
+    let mut wait_sum = 0.0;
+    let mut wall_sum = 0.0;
+    let mut outs = Vec::new();
+    let mut counts = (0usize, 0usize);
+    for _ in 0..reps {
+        let world = CommWorld::new(p.grid.clone());
+        let results = run_spmd(&world, |ctx| {
+            let r = ctx.rank();
+            let op = WilsonClover::new(
+                p.local_gauge[r].clone(),
+                p.local_clover[r].clone(),
+                0.2,
+                BoundaryPhases::antiperiodic_t(),
+            );
+            let sys = DistSystem::new(ctx, &op).with_overlap(overlap).with_workers(workers);
+            let mut stats = SolveStats::new();
+            let mut a = p.f_local[r].clone();
+            let mut b = SpinorField::zeros(*op.dims());
+            // Warm-up apply + collective barrier: rank-thread and pool
+            // spawn skew lands in the first receive of the world's life
+            // and would otherwise drown the per-apply wait we are after.
+            sys.apply(&mut b, &a, &mut stats);
+            ctx.all_sum(&[0.0]);
+            let wait0 = ctx.counters.recv_wait_s.get();
+            let start = Instant::now();
+            for _ in 0..applies {
+                sys.apply(&mut b, &a, &mut stats);
+                std::mem::swap(&mut a, &mut b);
+            }
+            let wall = start.elapsed().as_secs_f64();
+            (a, ctx.counters.recv_wait_s.get() - wait0, wall, sys.stage_site_counts())
+        });
+        wait_sum += results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
+        wall_sum += results.iter().map(|r| r.2).sum::<f64>() / ranks as f64;
+        counts = results[0].3;
+        outs = results.into_iter().map(|r| r.0).collect();
+    }
+    let per_apply = (reps * applies) as f64;
+    ModeRun {
+        outs,
+        exposed_per_apply_s: wait_sum / per_apply,
+        wall_per_apply_s: wall_sum / per_apply,
+        interior: counts.0,
+        boundary: counts.1,
+    }
+}
+
+/// Inject one rank-0 hiccup under the staged schedule and check the
+/// victims' ledgers: each skip must land in the peer-skip fault class
+/// (no timeouts, no retries billed), zero-filling exactly the two
+/// skipped t-faces across the neighbors that expected them.
+fn peer_skip_probe(p: &Problem) -> bool {
+    let plan = FaultPlan::new(3, FaultRates::NONE).with_event(FaultEvent {
+        rank: 0,
+        class: FaultClass::Hiccup,
+        dir: None,
+        forward: None,
+        at_seq: 0,
+        attempts: 1,
+    });
+    let world = CommWorld::with_faults(p.grid.clone(), plan);
+    let rows = run_spmd(&world, |ctx| {
+        let r = ctx.rank();
+        let op = WilsonClover::new(
+            p.local_gauge[r].clone(),
+            p.local_clover[r].clone(),
+            0.2,
+            BoundaryPhases::antiperiodic_t(),
+        );
+        let sys = DistSystem::new(ctx, &op).with_workers(2);
+        let mut stats = SolveStats::new();
+        let mut out = SpinorField::zeros(*op.dims());
+        sys.apply(&mut out, &p.f_local[r], &mut stats);
+        ctx.counters.snapshot().faults
+    });
+    // Rank 0's two skipped t-sends land on its t-neighbors: rank 1
+    // (forward) and rank nt-1 (backward) — the same rank when the
+    // t-split is only 2 wide, two distinct victims otherwise.
+    let nt = rows.len();
+    let expect = |r: usize| (r == 1) as u64 + (r == nt - 1) as u64;
+    let totals = rows.iter().fold((0u64, 0u64, 0u64), |acc, f| {
+        (acc.0 + f.peer_skips, acc.1 + f.timeouts, acc.2 + f.zero_fills)
+    });
+    let distinct = rows[0].hiccups == 1
+        && rows.iter().enumerate().all(|(r, f)| {
+            f.peer_skips == expect(r) && f.timeouts == 0 && f.zero_fills == expect(r)
+        });
+    println!(
+        "peer-skip probe: victims peer_skips {} timeouts {} zero_fills {} -> {}",
+        totals.0,
+        totals.1,
+        totals.2,
+        if distinct { "distinct" } else { "CONFLATED" }
+    );
+    distinct
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let backend = std::env::args()
+        .find_map(|a| a.strip_prefix("--backend=").map(str::to_string))
+        .map(|s| BackendKind::parse(&s).unwrap_or_else(|| panic!("unknown backend {s}")))
+        .unwrap_or(BackendKind::Knc7110p);
+    // t-split only: every site with t ∈ {0, L_t-1} is boundary, the rest
+    // is the interior window that hides the wires.
+    let (global, rank_dims, applies, reps) = if smoke {
+        (Dims::new(8, 8, 8, 16), Dims::new(1, 1, 1, 2), 4, 3)
+    } else {
+        (Dims::new(8, 8, 8, 32), Dims::new(1, 1, 1, 4), 6, 5)
+    };
+    let grid = RankGrid::new(global, rank_dims);
+    let mut rng = Rng64::new(701);
+    let gauge = GaugeField::<f64>::random(global, &mut rng, 0.5);
+    let clover = build_clover_field(&gauge, 1.4, &GammaBasis::degrand_rossi());
+    let f = SpinorField::<f64>::random(global, &mut rng);
+    let p = Problem {
+        local_gauge: scatter_gauge(&gauge, &grid),
+        local_clover: scatter_clover(&clover, &grid),
+        f_local: scatter_field(&f, &grid),
+        grid,
+    };
+    let machine: &dyn MachineBackend = backend.instance();
+
+    println!("outer-apply communication hiding ({global}, ranks {rank_dims})");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>8} {:>14}",
+        "workers", "dom/core", "staged [us]", "bulk [us]", "hide x", "model [us]"
+    );
+
+    // Reference bits: bulk at one worker. Every other combination must
+    // reproduce them exactly.
+    let reference = run_mode(&p, false, 1, applies, 1);
+    let mut bitwise = true;
+    let mut best_hiding = 0.0f64;
+    let mut report = Report::new("BENCH_outer_overlap");
+    for workers in [1usize, 2, 4] {
+        let staged = run_mode(&p, true, workers, applies, reps);
+        let bulk = run_mode(&p, false, workers, applies, reps);
+        for (m, name) in [(&staged, "staged"), (&bulk, "bulk")] {
+            for (got, want) in m.outs.iter().zip(&reference.outs) {
+                if got.as_slice() != want.as_slice() {
+                    bitwise = false;
+                    println!("BITWISE MISMATCH: {name} schedule at {workers} workers");
+                }
+            }
+        }
+        // Eq. 7 join: the honest wire cost on this host is what the bulk
+        // schedule exposed; the model predicts what survives hiding given
+        // the interior compute window per apply.
+        let compute_s = (staged.wall_per_apply_s - staged.exposed_per_apply_s).max(0.0);
+        let v = machine.validate_overlap(
+            &[0.0, 0.0, 0.0, bulk.exposed_per_apply_s],
+            compute_s,
+            staged.interior > 0,
+            staged.exposed_per_apply_s,
+        );
+        let hiding = bulk.exposed_per_apply_s / staged.exposed_per_apply_s.max(f64::MIN_POSITIVE);
+        best_hiding = best_hiding.max(hiding);
+        let domains_per_core = staged.interior as f64 / 256.0 / workers as f64;
+        println!(
+            "{:>8} {:>12.2} {:>14.2} {:>14.2} {:>8.1} {:>14.2}",
+            workers,
+            domains_per_core,
+            staged.exposed_per_apply_s * 1e6,
+            bulk.exposed_per_apply_s * 1e6,
+            hiding,
+            v.predicted_exposed_s * 1e6
+        );
+        report.push(
+            "hiding_vs_domains_per_core",
+            &SweepRow {
+                workers,
+                domains_per_core,
+                interior_sites: staged.interior,
+                boundary_sites: staged.boundary,
+                overlap_exposed_s: staged.exposed_per_apply_s,
+                bulk_exposed_s: bulk.exposed_per_apply_s,
+                hiding_factor: hiding,
+                overlap_wall_s: staged.wall_per_apply_s,
+                bulk_wall_s: bulk.wall_per_apply_s,
+                predicted_exposed_s: v.predicted_exposed_s,
+                measured_over_model: v.ratio,
+            },
+        );
+    }
+
+    // Eq. 7 on the modeled machine: both t-faces of the local lattice
+    // against the interior compute window per core, swept over cores
+    // until the hiding boundary ("cores <= ndomain/2") collapses.
+    let local = *p.grid.local();
+    let (interior_sites, _) = {
+        let r = &reference;
+        (r.interior, r.boundary)
+    };
+    let net = machine.network();
+    let (_, gflops_core) = machine.wilson_clover_bound();
+    let wire_bytes = 2.0 * face_bytes::<f64>(local.face_area(Dir::T));
+    let wire_s = net.transfer_time_s(wire_bytes, 2.0);
+    let interior_flops = interior_sites as f64 * TOTAL_FLOPS_PER_SITE;
+    println!(
+        "\nEq. 7 boundary on {} ({:.1} Gflop/s/core, wire {:.1} us):",
+        backend.label(),
+        gflops_core,
+        wire_s * 1e6
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "cores", "dom/core", "window [us]", "staged [us]", "bulk [us]"
+    );
+    let mut ten_x = false;
+    let mut boundary_crossed = false;
+    for cores in [1usize, 2, 4, 8, 16, 32, 60] {
+        let window_s = interior_flops / (gflops_core * 1e9 * cores as f64);
+        let domains_per_core = interior_sites as f64 / 256.0 / cores as f64;
+        let can_hide = domains_per_core >= 2.0;
+        let staged = machine.overlap().exposed_s(&[0.0, 0.0, 0.0, wire_s], window_s, can_hide);
+        let bulk = wire_s;
+        let hidden = staged == 0.0;
+        ten_x |= bulk > 0.0 && staged * 10.0 <= bulk;
+        boundary_crossed |= !hidden;
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>14.2} {:>14.2}{}",
+            cores,
+            domains_per_core,
+            window_s * 1e6,
+            staged * 1e6,
+            bulk * 1e6,
+            if hidden { "  (hidden)" } else { "" }
+        );
+        report.push(
+            "eq7_hiding_boundary",
+            &Eq7Row {
+                cores,
+                domains_per_core,
+                window_s,
+                wire_s,
+                model_staged_exposed_s: staged,
+                model_bulk_exposed_s: bulk,
+                hidden,
+            },
+        );
+    }
+
+    let skips_distinct = peer_skip_probe(&p);
+
+    report
+        .param("dims", format!("{global}"))
+        .param("ranks", format!("{rank_dims}"))
+        .param("applies", applies)
+        .param("reps", reps)
+        .param("smoke", smoke)
+        .param("backend", backend.label())
+        .meta("paper", "Fig. 4 schedule on the outer matvec; Eq. 7 hiding boundary vs dom/core")
+        .meta("bitwise_identical", bitwise)
+        .meta("peer_skips_distinct", skips_distinct)
+        .meta("model_hiding_10x", ten_x)
+        .meta("eq7_boundary_crossed", boundary_crossed)
+        .meta("best_measured_hiding_factor", best_hiding)
+        .meta(
+            "host_cores",
+            std::thread::available_parallelism().map(|n| n.get() as f64).unwrap_or(0.0),
+        );
+    report.write();
+    println!("\nresults/BENCH_outer_overlap.json written");
+
+    assert!(bitwise, "staged outer apply changed the result bits");
+    assert!(skips_distinct, "peer skip was conflated with a timeout");
+    assert!(
+        ten_x,
+        "the overlap model must cut exposed outer-apply comm >= 10x somewhere on the core sweep"
+    );
+    if best_hiding < 10.0 {
+        println!(
+            "note: measured hiding factor {best_hiding:.1}x — wall-clock hiding needs \
+             spare cores (host has {}); the >=10x acceptance rides the model sweep",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        );
+    }
+}

@@ -48,7 +48,9 @@ pub fn dd_solve_distributed(
     };
     let pre =
         DistSchwarz::new(ctx, &op32, cfg.schwarz).expect("singular clover block in preconditioner");
-    let sys = DistSystem::new(ctx, op);
+    // One switch governs hiding on both paths: the inner Schwarz sweep
+    // (above) and the outer matvec (here).
+    let sys = DistSystem::new(ctx, op).with_overlap(cfg.schwarz.overlap);
     let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
         let r32: SpinorField<f32> = r.cast();
         pre.apply(&r32, st).cast()
@@ -114,6 +116,9 @@ pub struct HealthVerdict {
     pub delay_us: f64,
     /// Schwarz exchange rounds skipped by a hiccuping peer.
     pub hiccups: u64,
+    /// Skip markers received from hiccuping peers — deliberate absences,
+    /// reported separately from retry-exhausted `timeouts`.
+    pub peer_skips: u64,
     /// Faces zero-filled after an abandoned delivery.
     pub zero_fills: u64,
 }
@@ -129,6 +134,7 @@ impl HealthVerdict {
             retries: comm.faults.retries,
             delay_us: comm.faults.delay_us,
             hiccups: comm.faults.hiccups,
+            peer_skips: comm.faults.peer_skips,
             zero_fills: comm.faults.zero_fills,
         }
     }
@@ -192,7 +198,9 @@ pub fn dd_solve_resilient_warm(
     };
     let pre =
         DistSchwarz::new(ctx, &op32, cfg.schwarz).expect("singular clover block in preconditioner");
-    let sys = DistSystem::new(ctx, op);
+    // As in `dd_solve_distributed`: `cfg.schwarz.overlap` governs hiding
+    // on the outer matvec too.
+    let sys = DistSystem::new(ctx, op).with_overlap(cfg.schwarz.overlap);
     let mut precond = |r: &SpinorField<f64>, st: &mut SolveStats| -> SpinorField<f64> {
         let r32: SpinorField<f32> = r.cast();
         pre.apply(&r32, st).cast()

@@ -32,16 +32,43 @@ pub struct FaultedFace {
 /// successfully delivered face in place and the faulted ones zeroed, so
 /// the caller can choose its degradation policy explicitly instead of
 /// silently inheriting a zero fill.
+///
+/// Invariant: holds at least one fault. A fault-free exchange is an
+/// `Ok(HaloData)`, never an empty failure — the constructor enforces it.
 pub struct ExchangeFailure<T: HaloScalar> {
-    pub faults: Vec<FaultedFace>,
-    pub partial: HaloData<T>,
+    faults: Vec<FaultedFace>,
+    partial: HaloData<T>,
 }
 
 impl<T: HaloScalar> ExchangeFailure<T> {
+    /// Wrap the faulted faces of one exchange. Panics if `faults` is
+    /// empty: an exchange with nothing wrong must not manufacture a
+    /// failure (and [`first`](Self::first) relies on non-emptiness).
+    pub fn new(faults: Vec<FaultedFace>, partial: HaloData<T>) -> Self {
+        assert!(!faults.is_empty(), "ExchangeFailure requires at least one faulted face");
+        ExchangeFailure { faults, partial }
+    }
+
     /// The first fault, for callers that track a single representative
-    /// error.
+    /// error. Total: the constructor guarantees at least one fault.
     pub fn first(&self) -> CommError {
         self.faults[0].error
+    }
+
+    /// Every faulted face, in drain order. Never empty.
+    pub fn faults(&self) -> &[FaultedFace] {
+        &self.faults
+    }
+
+    /// The partial halo: delivered faces in place, faulted faces zeroed.
+    pub fn partial(&self) -> &HaloData<T> {
+        &self.partial
+    }
+
+    /// Consume the failure, keeping the partial halo for a degraded
+    /// apply.
+    pub fn into_partial(self) -> HaloData<T> {
+        self.partial
     }
 }
 
@@ -62,84 +89,159 @@ impl<T: HaloScalar> std::fmt::Display for ExchangeFailure<T> {
     }
 }
 
-/// Exchange the *split-direction* faces of `inp` and assemble this
-/// rank's halo. Faces of unsplit directions are left zeroed and never
-/// sent: consumers must apply the operator with the split-aware halo
-/// path (`apply_with_halo_split`), which wraps unsplit hops through the
-/// local field directly.
+/// The in-flight half of a staged outer halo exchange: every send has
+/// been posted (or skip markers sent, if this rank hiccuped), and the
+/// listed receives are still outstanding. Produced by
+/// [`begin_exchange`]; consumed by [`drain_exchange`]. Dropping it
+/// without draining desynchronizes the per-neighbor channels — the type
+/// is deliberately not `Clone` and carries no escape hatch.
+#[must_use = "pending receives must be drained or the channels go out of step"]
+pub struct PendingExchange {
+    /// Receive slots still to drain, in the fixed bulk-exchange order
+    /// (per split direction: forward neighbor, then backward neighbor).
+    slots: Vec<(Dir, bool)>,
+}
+
+impl PendingExchange {
+    /// Outstanding receives (diagnostics; drained by [`drain_exchange`]).
+    pub fn outstanding(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Post all sends of one outer halo exchange and return the pending
+/// receives. Unsplit directions stay entirely local: packing and
+/// self-looping a face there is pure copy overhead — the caller's
+/// split-aware apply wraps those hops through the local field instead.
 ///
 /// Non-blocking in effect: all sends are posted before any receive
 /// (channels are unbounded), matching the paper's non-blocking MPI
-/// send/receive pairs issued by a dedicated core (Sec. III-E).
+/// send/receive pairs issued by a dedicated core (Sec. III-E). The
+/// split between `begin` and [`drain_exchange`] is what lets the caller
+/// compute interior sites while the faces are in flight (Fig. 4).
 ///
-/// Lost or corrupted faces are retried up to [`MAX_ATTEMPTS`] deliveries
-/// each. On exhaustion the exchange still drains every remaining receive
-/// (keeping the per-neighbor channels aligned for later exchanges) and
-/// returns an [`ExchangeFailure`] naming every faulted face alongside the
-/// partial halo, so the caller decides — explicitly — how to degrade.
-pub fn exchange_halo<T: HaloScalar>(
+/// Consumes one hiccup decision when a fault plan is attached: a
+/// hiccuping rank sends explicit skip markers instead of faces (peers
+/// see [`CommError::PeerSkipped`], not a timeout) but still drains its
+/// own receives so the channel streams stay aligned.
+pub fn begin_exchange<T: HaloScalar>(
     ctx: &RankCtx<'_>,
     op: &WilsonClover<T>,
     inp: &SpinorField<T>,
-) -> Result<HaloData<T>, Box<ExchangeFailure<T>>> {
+) -> PendingExchange {
     let trace = ctx.trace();
-    // Post all sends. Unsplit directions stay entirely local: packing
-    // and self-looping a face there is pure copy overhead — the caller's
-    // split-aware apply wraps those hops through the local field instead.
     trace.begin(Phase::HaloPack);
+    let hiccup = ctx.take_hiccup();
+    let mut slots = Vec::with_capacity(8);
     for dir in Dir::ALL.into_iter().filter(|&d| ctx.is_split(d)) {
-        let sign_fwd = if ctx.at_global_backward_edge(dir) { op.phases().of(dir) } else { 1.0 };
-        let sign_bwd = if ctx.at_global_forward_edge(dir) { op.phases().of(dir) } else { 1.0 };
-        // Our backward face, projected for the forward hops of our
-        // backward neighbor's sites.
-        let fwd_payload = pack_for_forward_hop(op, inp, dir, sign_fwd);
-        ctx.send_face(dir, false, fwd_payload.data);
-        // Our forward face, link-applied, for the backward hops of our
-        // forward neighbor's sites.
-        let bwd_payload = pack_for_backward_hop(op, inp, dir, sign_bwd);
-        ctx.send_face(dir, true, bwd_payload.data);
-    }
-    trace.end(Phase::HaloPack);
-    // Collect receives; drain them all even after a fault.
-    trace.begin(Phase::HaloUnpack);
-    let mut halo = HaloData::zeros(*op.dims());
-    let mut faults: Vec<FaultedFace> = Vec::new();
-    let max_attempts = ctx.retry_policy().max_attempts;
-    for dir in Dir::ALL.into_iter().filter(|&d| ctx.is_split(d)) {
+        if hiccup {
+            // Announce the skip on both channels so peers learn the
+            // faces are deliberately absent without burning retries.
+            ctx.send_skip(dir, false);
+            ctx.send_skip(dir, true);
+        } else {
+            let sign_fwd = if ctx.at_global_backward_edge(dir) { op.phases().of(dir) } else { 1.0 };
+            let sign_bwd = if ctx.at_global_forward_edge(dir) { op.phases().of(dir) } else { 1.0 };
+            // Our backward face, projected for the forward hops of our
+            // backward neighbor's sites.
+            let fwd_payload = pack_for_forward_hop(op, inp, dir, sign_fwd);
+            ctx.send_face(dir, false, fwd_payload.data);
+            // Our forward face, link-applied, for the backward hops of
+            // our forward neighbor's sites.
+            let bwd_payload = pack_for_backward_hop(op, inp, dir, sign_bwd);
+            ctx.send_face(dir, true, bwd_payload.data);
+        }
         // face(dir, true): from our forward neighbor; face(dir, false):
         // from our backward neighbor.
-        for forward in [true, false] {
-            match ctx.recv_face_retrying::<T>(dir, forward, max_attempts) {
-                Ok(Some(data)) => *halo.face_mut(dir, forward) = FaceBuffer { data },
-                // A hiccup marker in the full-operator exchange (the
-                // peer skipped): no data will ever come for this face.
-                Ok(None) => {
-                    faults.push(FaultedFace {
-                        dir,
-                        forward,
-                        error: CommError::Timeout { dir, attempts: 0 },
-                    });
-                }
-                Err(error) => faults.push(FaultedFace { dir, forward, error }),
+        slots.push((dir, true));
+        slots.push((dir, false));
+    }
+    trace.end(Phase::HaloPack);
+    PendingExchange { slots }
+}
+
+/// Drain the receives of a staged exchange and assemble this rank's
+/// halo. Faces of unsplit directions are left zeroed (they were never
+/// sent).
+///
+/// Lost or corrupted faces are retried up to the context's installed
+/// [`RetryPolicy`](crate::RetryPolicy) budget each. On exhaustion the
+/// drain still collects every remaining receive (keeping the
+/// per-neighbor channels aligned for later exchanges) and returns an
+/// [`ExchangeFailure`] naming every faulted face alongside the partial
+/// halo, so the caller decides — explicitly — how to degrade. A peer's
+/// skip marker is reported as [`CommError::PeerSkipped`], distinct from
+/// a retry-exhausted [`CommError::Timeout`].
+pub fn drain_exchange<T: HaloScalar>(
+    ctx: &RankCtx<'_>,
+    dims: qdd_lattice::Dims,
+    pending: PendingExchange,
+) -> Result<HaloData<T>, Box<ExchangeFailure<T>>> {
+    let trace = ctx.trace();
+    trace.begin(Phase::HaloUnpack);
+    let mut halo = HaloData::zeros(dims);
+    let mut faults: Vec<FaultedFace> = Vec::new();
+    let max_attempts = ctx.retry_policy().max_attempts;
+    for (dir, forward) in pending.slots {
+        match ctx.recv_face_retrying::<T>(dir, forward, max_attempts) {
+            Ok(Some(data)) => *halo.face_mut(dir, forward) = FaceBuffer { data },
+            // A hiccup marker in the full-operator exchange: the peer
+            // deliberately skipped, no data will ever come for this face.
+            Ok(None) => {
+                faults.push(FaultedFace {
+                    dir,
+                    forward,
+                    error: CommError::PeerSkipped { dir, forward },
+                });
             }
+            Err(error) => faults.push(FaultedFace { dir, forward, error }),
         }
     }
     trace.end(Phase::HaloUnpack);
     if faults.is_empty() {
         Ok(halo)
     } else {
-        Err(Box::new(ExchangeFailure { faults, partial: halo }))
+        Err(Box::new(ExchangeFailure::new(faults, halo)))
     }
+}
+
+/// Exchange the *split-direction* faces of `inp` and assemble this
+/// rank's halo: [`begin_exchange`] immediately followed by
+/// [`drain_exchange`] — the bulk (non-overlapped) schedule. The staged
+/// pair exists so callers can put interior compute between the two; the
+/// sends, receives, and fault handling are identical either way, which
+/// is what makes the overlapped schedule bitwise-equal to this one.
+pub fn exchange_halo<T: HaloScalar>(
+    ctx: &RankCtx<'_>,
+    op: &WilsonClover<T>,
+    inp: &SpinorField<T>,
+) -> Result<HaloData<T>, Box<ExchangeFailure<T>>> {
+    let pending = begin_exchange(ctx, op, inp);
+    drain_exchange(ctx, *op.dims(), pending)
+}
+
+/// Wire bytes of one face site: a spin-projected [`HalfSpinor`]
+/// (6 complex = 12 reals) at the exchange's scalar precision. The single
+/// source of truth for sent-vs-received accounting — `exchange_bytes`
+/// (predicted sends) and the degraded-receive ledger in
+/// `DistSystem` both derive from it, so a future wire-format change
+/// (e.g. f16 outer faces) cannot silently desync the two counters.
+pub fn face_bytes_per_site<T: HaloScalar>() -> f64 {
+    (qdd_field::spinor::HalfSpinor::<T>::REALS * std::mem::size_of::<T>()) as f64
+}
+
+/// Wire bytes of one whole face (`area` sites) at precision `T`.
+pub fn face_bytes<T: HaloScalar>(area: usize) -> f64 {
+    area as f64 * face_bytes_per_site::<T>()
 }
 
 /// Bytes one full exchange moves over the network for this rank.
 pub fn exchange_bytes<T: HaloScalar>(ctx: &RankCtx<'_>, op: &WilsonClover<T>) -> f64 {
     let dims = *op.dims();
-    let per_site = (12 * std::mem::size_of::<T>()) as f64;
     Dir::ALL
         .iter()
         .filter(|d| ctx.is_split(**d))
-        .map(|&d| 2.0 * dims.face_area(d) as f64 * per_site)
+        .map(|&d| 2.0 * face_bytes::<T>(dims.face_area(d)))
         .sum()
 }
 

@@ -34,7 +34,10 @@ pub use dist_solver::{
     ResilientOutcome,
 };
 pub use dist_system::DistSystem;
-pub use exchange::{exchange_halo, ExchangeFailure, FaultedFace, MAX_ATTEMPTS};
+pub use exchange::{
+    begin_exchange, drain_exchange, exchange_halo, face_bytes, face_bytes_per_site,
+    ExchangeFailure, FaultedFace, PendingExchange, MAX_ATTEMPTS,
+};
 pub use runtime::{
     run_spmd, CommCounters, CommError, CommWorld, FaultCounters, RankCtx, RetryPolicy,
 };

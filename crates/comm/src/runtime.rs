@@ -203,11 +203,17 @@ pub enum CommError {
     /// The face in `dir` never arrived within the delivery attempt(s):
     /// `attempts` is the total number of attempts made so far.
     Timeout { dir: Dir, attempts: u32 },
+    /// The peer rank deliberately skipped its face send for this step
+    /// (a scheduling hiccup announced with an explicit skip marker).
+    /// Unlike [`CommError::Timeout`] no retry budget was spent and none
+    /// would help: the peer will not retransmit what it never packed.
+    PeerSkipped { dir: Dir, forward: bool },
 }
 
 impl CommError {
     /// True if a retry can plausibly fix this (lost or damaged message);
-    /// false for structural errors (wrong precision, dead peer).
+    /// false for structural errors (wrong precision, dead peer) and for
+    /// deliberate peer skips (the peer announced it has nothing to send).
     pub fn is_retryable(&self) -> bool {
         matches!(self, CommError::Corrupt { .. } | CommError::Timeout { .. })
     }
@@ -226,6 +232,10 @@ impl std::fmt::Display for CommError {
             }
             CommError::Timeout { dir, attempts } => {
                 write!(f, "face receive in {dir} timed out after {attempts} attempt(s)")
+            }
+            CommError::PeerSkipped { dir, forward } => {
+                let o = if *forward { "fwd" } else { "bwd" };
+                write!(f, "peer skipped its face send ({dir} {o}): scheduling hiccup")
             }
         }
     }
@@ -346,6 +356,10 @@ pub struct FaultCounters {
     pub delays: Cell<u64>,
     pub delay_us: Cell<f64>,
     pub hiccups: Cell<u64>,
+    /// Explicit skip markers received from hiccuping peers. Distinct
+    /// from `timeouts`: no retry budget was spent and the face is known
+    /// to be deliberately absent rather than lost.
+    pub peer_skips: Cell<u64>,
     pub zero_fills: Cell<u64>,
 }
 
@@ -358,6 +372,7 @@ impl FaultCounters {
             delays: self.delays.get(),
             delay_us: self.delay_us.get(),
             hiccups: self.hiccups.get(),
+            peer_skips: self.peer_skips.get(),
             zero_fills: self.zero_fills.get(),
         }
     }
@@ -603,7 +618,15 @@ impl<'w> RankCtx<'w> {
                 waited.set(waited.get() + t0.elapsed().as_secs_f64());
                 trace.end_with(Phase::HaloRecv, &[("dir", d as f64)]);
                 match msg {
-                    Msg::Skip => return Ok(None),
+                    Msg::Skip => {
+                        // Count every skip marker here, at its single
+                        // delivery point, so the inner (Schwarz) and
+                        // outer (matvec) exchanges share one ledger for
+                        // the peer-skip fault class.
+                        FaultCounters::bump(&self.counters.faults.peer_skips);
+                        self.flight.borrow().record(Phase::Fault, "fault.peer_skip", d as f64, 0.0);
+                        return Ok(None);
+                    }
                     Msg::Face(env) => {
                         let seq = self.recv_seq[d][o].get();
                         self.recv_seq[d][o].set(seq + 1);
@@ -691,8 +714,9 @@ impl<'w> RankCtx<'w> {
     /// A payload of the wrong precision, a hung-up peer, or an injected
     /// fault is reported as a [`CommError`], never a panic: callers
     /// retry ([`recv_face_retrying`](Self::recv_face_retrying)) or
-    /// degrade the solve. A hiccup marker surfaces as a zero-attempt
-    /// timeout here; exchanges that expect skips use
+    /// degrade the solve. A hiccup marker surfaces as
+    /// [`CommError::PeerSkipped`] here (no retry budget was spent);
+    /// exchanges that expect skips use
     /// [`recv_face_or_skip`](Self::recv_face_or_skip).
     pub fn recv_face<T: HaloScalar>(
         &self,
@@ -701,7 +725,7 @@ impl<'w> RankCtx<'w> {
     ) -> Result<Vec<HalfSpinor<T>>, CommError> {
         match self.recv_attempt(dir, forward)? {
             Some((p, _)) => T::try_unwrap(p),
-            None => Err(CommError::Timeout { dir, attempts: 0 }),
+            None => Err(CommError::PeerSkipped { dir, forward }),
         }
     }
 

@@ -1,0 +1,198 @@
+//! Bitwise-identity sweep for the staged *outer* operator apply plus
+//! the peer-skip fault accounting it must keep honest.
+//!
+//! The staged schedule (`DistSystem` default) may change only *when*
+//! the halo drain happens, never any arithmetic: for every rank
+//! geometry and worker count the overlapped apply must reproduce the
+//! bulk (`with_overlap(false)`) apply bit for bit. One `#[test]` for
+//! the sweep on purpose: `QDD_WORKERS` is process-global state.
+
+use qdd_comm::dist_system::DistSystem;
+use qdd_comm::exchange::{exchange_bytes, face_bytes};
+use qdd_comm::runtime::{run_spmd, CommError, CommWorld};
+use qdd_comm::scatter::{gather_field, scatter_clover, scatter_field, scatter_gauge};
+use qdd_core::system::{LocalSystem, SystemOps};
+use qdd_dirac::clover::build_clover_field;
+use qdd_dirac::gamma::GammaBasis;
+use qdd_dirac::wilson::{BoundaryPhases, WilsonClover};
+use qdd_faults::{FaultClass, FaultEvent, FaultPlan, FaultRates};
+use qdd_field::fields::{GaugeField, SpinorField};
+use qdd_lattice::{Dims, Dir, RankGrid};
+use qdd_util::rng::Rng64;
+use qdd_util::stats::{Component, SolveStats};
+
+struct Setup {
+    global_op: WilsonClover<f64>,
+    gauge: GaugeField<f64>,
+    clover: qdd_field::fields::CloverField<f64>,
+    f: SpinorField<f64>,
+}
+
+fn setup() -> Setup {
+    let global_dims = Dims::new(8, 8, 8, 8);
+    let mut rng = Rng64::new(97);
+    let gauge = GaugeField::<f64>::random(global_dims, &mut rng, 0.55);
+    let basis = GammaBasis::degrand_rossi();
+    let clover = build_clover_field(&gauge, 1.45, &basis);
+    let phases = BoundaryPhases::antiperiodic_t();
+    let global_op = WilsonClover::new(gauge.clone(), clover.clone(), 0.22, phases);
+    let f = SpinorField::<f64>::random(global_dims, &mut rng);
+    Setup { global_op, gauge, clover, f }
+}
+
+fn dist_apply(
+    s: &Setup,
+    grid: &RankGrid,
+    overlap: bool,
+    plan: Option<FaultPlan>,
+) -> (SpinorField<f64>, Vec<(f64, u64, u64, u64, u64, Option<CommError>)>) {
+    let local_gauge = scatter_gauge(&s.gauge, grid);
+    let local_clover = scatter_clover(&s.clover, grid);
+    let f_local = scatter_field(&s.f, grid);
+    let world = match plan {
+        Some(p) => CommWorld::with_faults(grid.clone(), p),
+        None => CommWorld::new(grid.clone()),
+    };
+    let results = run_spmd(&world, |ctx| {
+        let r = ctx.rank();
+        let op = WilsonClover::new(
+            local_gauge[r].clone(),
+            local_clover[r].clone(),
+            0.22,
+            BoundaryPhases::antiperiodic_t(),
+        );
+        let sys = DistSystem::new(ctx, &op).with_overlap(overlap);
+        let mut stats = SolveStats::new();
+        let mut out = SpinorField::zeros(*op.dims());
+        sys.apply(&mut out, &f_local[r], &mut stats);
+        let faults = ctx.counters.snapshot().faults;
+        (
+            out,
+            (
+                stats.comm_recv_bytes(Component::OperatorA),
+                faults.peer_skips,
+                faults.zero_fills,
+                faults.timeouts,
+                faults.hiccups,
+                sys.comm_error(),
+            ),
+        )
+    });
+    let locals: Vec<SpinorField<f64>> = results.iter().map(|r| r.0.clone()).collect();
+    (gather_field(&locals, grid), results.into_iter().map(|r| r.1).collect())
+}
+
+#[test]
+fn outer_overlap_workers_and_geometry_never_change_the_bits() {
+    let s = setup();
+    let global_dims = *s.global_op.dims();
+
+    // Tolerance anchor: the distributed apply (any schedule) must agree
+    // with the single-rank operator to rounding.
+    let mut st = SolveStats::new();
+    let local = LocalSystem::new(&s.global_op);
+    let mut anchor = SpinorField::zeros(global_dims);
+    local.apply(&mut anchor, &s.f, &mut st);
+
+    let saved = std::env::var("QDD_WORKERS").ok();
+    for rank_dims in [Dims::new(1, 1, 1, 2), Dims::new(2, 2, 1, 1), Dims::new(2, 2, 2, 2)] {
+        let grid = RankGrid::new(global_dims, rank_dims);
+        // Bulk reference at one worker: the schedule every other
+        // (overlap, workers) combination must reproduce bitwise.
+        std::env::set_var("QDD_WORKERS", "1");
+        let (reference, _) = dist_apply(&s, &grid, false, None);
+        let mut diff = reference.clone();
+        diff.sub_assign(&anchor);
+        assert!(
+            diff.norm() < 1e-12 * anchor.norm(),
+            "distributed apply drifted from the single-rank operator: ranks {rank_dims}"
+        );
+        for workers in [1usize, 2, 4] {
+            std::env::set_var("QDD_WORKERS", workers.to_string());
+            for overlap in [true, false] {
+                let (got, stats) = dist_apply(&s, &grid, overlap, None);
+                assert_eq!(
+                    got.as_slice(),
+                    reference.as_slice(),
+                    "bits changed: ranks {rank_dims}, workers {workers}, overlap {overlap}"
+                );
+                for (recv, skips, zf, to, hic, err) in stats {
+                    assert!(recv > 0.0, "clean apply must receive its halo");
+                    assert_eq!((skips, zf, to, hic), (0, 0, 0, 0), "clean run counted faults");
+                    assert!(err.is_none());
+                }
+            }
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("QDD_WORKERS", v),
+        None => std::env::remove_var("QDD_WORKERS"),
+    }
+}
+
+/// A peer hiccup under the overlapped outer apply: the victim rank must
+/// report the *peer-skip* fault class (not retry-exhausted timeouts),
+/// zero-fill exactly the skipped faces, and deduct exactly those faces
+/// from its received-byte ledger — while the overlap on/off results stay
+/// bitwise identical (both degrade to the same zeroed faces).
+#[test]
+fn peer_hiccup_is_skip_accounted_not_timeout() {
+    let s = setup();
+    let global_dims = *s.global_op.dims();
+    let grid = RankGrid::new(global_dims, Dims::new(1, 1, 1, 2));
+    // Rank 0 hiccups its first outer exchange: both of its t-faces turn
+    // into skip markers, which rank 1 receives.
+    let plan = || {
+        FaultPlan::new(5, FaultRates::NONE).with_event(FaultEvent {
+            rank: 0,
+            class: FaultClass::Hiccup,
+            dir: None,
+            forward: None,
+            at_seq: 0,
+            attempts: 1,
+        })
+    };
+    let (with, stats_on) = dist_apply(&s, &grid, true, Some(plan()));
+    let (without, stats_off) = dist_apply(&s, &grid, false, Some(plan()));
+    assert_eq!(
+        with.as_slice(),
+        without.as_slice(),
+        "degraded apply must stay bitwise overlap-independent"
+    );
+
+    let local = *grid.local();
+    let full = {
+        // Full exchange bytes for this geometry, from any rank's view
+        // (the grid is homogeneous).
+        let world = CommWorld::new(grid.clone());
+        let g = scatter_gauge(&s.gauge, &grid);
+        let c = scatter_clover(&s.clover, &grid);
+        run_spmd(&world, |ctx| {
+            let op = WilsonClover::new(
+                g[ctx.rank()].clone(),
+                c[ctx.rank()].clone(),
+                0.22,
+                BoundaryPhases::antiperiodic_t(),
+            );
+            exchange_bytes(ctx, &op)
+        })[0]
+    };
+    let skipped = 2.0 * face_bytes::<f64>(local.face_area(Dir::T));
+    for stats in [&stats_on, &stats_off] {
+        // Rank 0 skipped the round: one hiccup, clean receives.
+        let (recv0, skips0, zf0, to0, hic0, err0) = &stats[0];
+        assert_eq!((*skips0, *zf0, *to0, *hic0), (0, 0, 0, 1), "rank 0 is the skipper");
+        assert_eq!(*recv0, full, "rank 0 still receives rank 1's faces in full");
+        assert!(err0.is_none(), "skipping your own send is not a local fault");
+        // Rank 1 is the victim: two peer skips, two zero-filled faces,
+        // zero timeouts (no retry budget was burned), and a received-byte
+        // ledger short by exactly the two skipped t-faces.
+        let (recv1, skips1, zf1, to1, hic1, err1) = &stats[1];
+        assert_eq!((*skips1, *zf1, *to1, *hic1), (2, 2, 0, 0), "peer skips must not be timeouts");
+        assert!((recv1 - (full - skipped)).abs() < 1e-9, "recv ledger must deduct skipped faces");
+        assert!(
+            matches!(err1, Some(CommError::PeerSkipped { .. })),
+            "fault must surface as PeerSkipped, got {err1:?}"
+        );
+    }
+}

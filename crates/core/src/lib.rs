@@ -31,6 +31,7 @@ pub mod mr;
 pub mod pool;
 pub mod richardson;
 pub mod schwarz;
+pub mod stage;
 pub mod system;
 
 pub use bicgstab::{bicgstab, BiCgStabConfig};
@@ -42,4 +43,5 @@ pub use mr::{mr_solve_schur, MrConfig};
 pub use pool::{resolve_workers, SharedCells, WorkerPool, WorkspacePool};
 pub use richardson::{richardson_bicgstab, RichardsonConfig};
 pub use schwarz::{schwarz_block_update, SchwarzConfig, SchwarzPreconditioner};
+pub use stage::{ChunkQueue, StageGate};
 pub use system::{FusedSystem, LocalSystem, SystemOps};

@@ -1,0 +1,163 @@
+//! Barrier-free stage handoff for overlapped schedules.
+//!
+//! The Fig. 4 communication-hiding schedule splits an operator apply
+//! into an *interior* stage (computable while halo faces are in flight)
+//! and a *boundary* stage (dependent on the drained halo). A classic
+//! implementation puts a pool barrier between the stages; that makes
+//! every worker wait for the slowest interior share even though the
+//! boundary stage only depends on the *halo*, not on the other workers.
+//!
+//! These two primitives replace the barrier with the actual data
+//! dependency:
+//!
+//! - [`ChunkQueue`]: an atomic-cursor work queue. Workers steal fixed
+//!   chunks of the interior site list until it runs dry, so nobody owns
+//!   a fixed share and fast workers drain into the next stage early.
+//! - [`StageGate`]: a one-shot open/wait flag with release/acquire
+//!   ordering. The leader opens it after the halo is written; workers
+//!   that exhaust the interior queue wait on the gate — on the halo,
+//!   not on each other — then steal boundary chunks.
+//!
+//! Both are deliberately tiny: no generation counters, no reuse across
+//! applies. A fresh queue/gate per apply keeps the schedule trivially
+//! race-free and costs two atomics per stage.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// An atomic-cursor queue over `0..len`, handing out disjoint chunks of
+/// up to `chunk` indices. Every index is handed out exactly once across
+/// all workers; [`next`](Self::next) returns `None` once the range is
+/// exhausted.
+pub struct ChunkQueue {
+    cursor: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkQueue {
+    /// Queue over `0..len` in chunks of `chunk` (clamped to at least 1).
+    pub fn new(len: usize, chunk: usize) -> Self {
+        ChunkQueue { cursor: AtomicUsize::new(0), len, chunk: chunk.max(1) }
+    }
+
+    /// Steal the next chunk, or `None` when the range is exhausted.
+    pub fn next(&self) -> Option<Range<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some(start..(start + self.chunk).min(self.len))
+        }
+    }
+}
+
+/// A one-shot stage gate. The leader publishes stage data, then calls
+/// [`open`](Self::open) (release); waiters spin in [`wait`](Self::wait)
+/// (acquire) until it opens, after which the published data is visible.
+pub struct StageGate {
+    open: AtomicBool,
+}
+
+impl Default for StageGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageGate {
+    pub fn new() -> Self {
+        StageGate { open: AtomicBool::new(false) }
+    }
+
+    /// Open the gate, publishing everything written before the call to
+    /// every thread that observes the gate open.
+    pub fn open(&self) {
+        self.open.store(true, Ordering::Release);
+    }
+
+    /// True once the gate has been opened (acquire: pairs with
+    /// [`open`](Self::open)).
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// Spin (with yields) until the gate opens.
+    pub fn wait(&self) {
+        let mut spins = 0u32;
+        while !self.is_open() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_queue_covers_range_exactly_once() {
+        let q = ChunkQueue::new(1003, 17);
+        let mut seen = vec![false; 1003];
+        while let Some(r) = q.next() {
+            for i in r {
+                assert!(!seen[i], "index {i} handed out twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index never handed out");
+        assert!(q.next().is_none(), "exhausted queue must stay exhausted");
+    }
+
+    #[test]
+    fn chunk_queue_empty_and_degenerate_chunk() {
+        assert!(ChunkQueue::new(0, 8).next().is_none());
+        let q = ChunkQueue::new(3, 0); // clamped to 1
+        assert_eq!(q.next(), Some(0..1));
+        assert_eq!(q.next(), Some(1..2));
+        assert_eq!(q.next(), Some(2..3));
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn chunk_queue_concurrent_disjoint_total() {
+        let q = ChunkQueue::new(10_000, 7);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut local = 0u64;
+                    while let Some(r) = q.next() {
+                        local += r.len() as u64;
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn stage_gate_publishes_data() {
+        let gate = StageGate::new();
+        let slot = AtomicU64::new(0);
+        assert!(!gate.is_open());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                slot.store(42, Ordering::Relaxed);
+                gate.open();
+            });
+            s.spawn(|| {
+                gate.wait();
+                assert_eq!(slot.load(Ordering::Relaxed), 42);
+            });
+        });
+        assert!(gate.is_open());
+    }
+}

@@ -117,6 +117,30 @@ pub trait FullOperator<T: Real>: Send + Sync {
     fn lanes(&self) -> usize;
     /// The execution tuning this operator was built with.
     fn tuning(&self) -> FusedTuning;
+    /// Partition the (z, t) tile grid into tiles whose every hop stays
+    /// on the local lattice (*interior*) and tiles touching a
+    /// rank-boundary face in a split direction (*boundary*). `None`
+    /// when the split cannot be expressed at tile granularity — tiles
+    /// span the full x-y cross-section, so any x/y split intersects
+    /// every tile and the caller must keep a site-granular schedule.
+    fn split_tiles(&self, split: [bool; 4]) -> Option<SplitTiles> {
+        let _ = split;
+        None
+    }
+    /// Apply the operator to the listed tiles only, leaving every other
+    /// output site untouched. Callers obtain a valid tile list from
+    /// [`split_tiles`](Self::split_tiles); implementations that return
+    /// `Some` there must override this.
+    fn apply_tiles(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        runner: &dyn ParallelRunner,
+        tiles: &[u32],
+    ) {
+        let _ = (out, inp, runner, tiles);
+        unimplemented!("tile-subset apply not supported by this operator (split_tiles was None)")
+    }
     /// Bytes one `apply` streams from/to memory per lattice site:
     /// gauge + clover constants at their storage width plus the AOS
     /// input read and output write at the compute width. The fused
@@ -124,6 +148,25 @@ pub trait FullOperator<T: Real>: Send + Sync {
     /// working set, so it is not counted as DRAM traffic.
     fn streamed_bytes_per_site(&self) -> usize;
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner);
+}
+
+/// A tile-granular interior/boundary partition of the (z, t) tile grid
+/// for a rank split, from [`FullOperator::split_tiles`]. Interior tiles
+/// never read a halo face in a split direction, so they can compute
+/// while the exchange is still in flight; boundary tiles (equivalently
+/// `boundary_sites`, site-granular) must wait for the drained halo.
+#[derive(Clone, Debug, Default)]
+pub struct SplitTiles {
+    /// Tiles with no hop crossing a split-direction rank boundary, in
+    /// the operator's traversal order.
+    pub interior: Vec<u32>,
+    /// Tiles touching a split-direction rank boundary, in traversal
+    /// order. `interior` and `boundary` together cover every tile
+    /// exactly once.
+    pub boundary: Vec<u32>,
+    /// Lattice sites of the boundary tiles (both parities), ascending —
+    /// the site set a halo-dependent scalar pass must cover.
+    pub boundary_sites: Vec<usize>,
 }
 
 /// Build the fused full-lattice operator for `op`, dispatching on the
@@ -730,17 +773,76 @@ impl<T: Real, const N: usize> FullOperator<T> for FusedFullOperator<T, N> {
     }
 
     fn apply(&self, out: &mut SpinorField<T>, inp: &SpinorField<T>, runner: &dyn ParallelRunner) {
+        self.apply_selected(out, inp, runner, &self.order);
+    }
+
+    fn split_tiles(&self, split: [bool; 4]) -> Option<SplitTiles> {
+        // Tiles span the full x-y cross-section: an x/y split cuts
+        // through every tile, so only z/t splits partition cleanly.
+        if split[0] || split[1] {
+            return None;
+        }
+        let (bz, bt) = (self.dims[Dir::Z], self.dims[Dir::T]);
+        let is_boundary = |tile: u32| {
+            let (tz, tt) = self.layout.tile_coords(tile as usize);
+            (split[2] && (tz == 0 || tz == bz - 1)) || (split[3] && (tt == 0 || tt == bt - 1))
+        };
+        // Preserve the operator's traversal order within each class so
+        // a staged apply keeps the L2-blocked locality of the full one.
+        let mut parts = SplitTiles::default();
+        for &tile in &self.order {
+            if is_boundary(tile) {
+                parts.boundary.push(tile);
+            } else {
+                parts.interior.push(tile);
+            }
+        }
+        for &tile in &parts.boundary {
+            for p in [Parity::Even, Parity::Odd] {
+                let map = &self.site_map[p.index()][tile as usize * N..(tile as usize + 1) * N];
+                parts.boundary_sites.extend(map.iter().map(|&s| s as usize));
+            }
+        }
+        parts.boundary_sites.sort_unstable();
+        Some(parts)
+    }
+
+    fn apply_tiles(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        runner: &dyn ParallelRunner,
+        tiles: &[u32],
+    ) {
+        self.apply_selected(out, inp, runner, tiles);
+    }
+}
+
+impl<T: Real, const N: usize> FusedFullOperator<T, N> {
+    /// `apply` restricted to `select`ed tiles: gather covers the whole
+    /// lattice (a selected tile's z/t hops read *neighbor* tiles from
+    /// the fused scratch), compute and scatter touch only the selected
+    /// tiles' sites. The full apply is `select = &self.order`.
+    fn apply_selected(
+        &self,
+        out: &mut SpinorField<T>,
+        inp: &SpinorField<T>,
+        runner: &dyn ParallelRunner,
+        select: &[u32],
+    ) {
         assert_eq!(*inp.dims(), self.dims, "input geometry mismatch");
         assert_eq!(*out.dims(), self.dims, "output geometry mismatch");
         let tiles = self.layout.tiles_per_parity();
+        debug_assert!(select.iter().all(|&t| (t as usize) < tiles), "tile out of range");
         let workers = runner.workers().max(1);
         let mut guard = self.scratch.lock().unwrap();
 
         // One dispatch, two phases separated by an internal barrier:
         // gather the AOS input into fused layout (disjoint tile writes),
-        // then compute each output tile (diag + 8 hops, fixed order) and
-        // scatter straight to the AOS output — tiles own disjoint sites,
-        // so the result is bitwise independent of the worker count.
+        // then compute each selected output tile (diag + 8 hops, fixed
+        // order) and scatter straight to the AOS output — tiles own
+        // disjoint sites, so the result is bitwise independent of the
+        // worker count.
         //
         // The scratch field is written through raw tile pointers before
         // the barrier and only read (through the same pointers) after it,
@@ -765,14 +867,13 @@ impl<T: Real, const N: usize> FullOperator<T> for FusedFullOperator<T, N> {
         let shared_out = SharedMut::new(out.as_mut_slice());
         let barrier = JobBarrier::new(workers);
         runner.run(&|w| {
-            let chunk = &self.order[tile_range(tiles, workers, w)];
-            for &tile in chunk {
-                let tile = tile as usize;
+            for tile in tile_range(tiles, workers, w) {
                 self.gather_tile(src, unsafe { se.get_mut(tile) }, Parity::Even, tile);
                 self.gather_tile(src, unsafe { so.get_mut(tile) }, Parity::Odd, tile);
             }
             barrier.wait();
             let fused: &FusedField<T, N> = unsafe { scratch.get() };
+            let chunk = &select[tile_range(select.len(), workers, w)];
             // One storage dispatch per worker job; the chunk loop runs a
             // fully monomorphized kernel either way.
             match &self.consts {

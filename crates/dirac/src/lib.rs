@@ -38,6 +38,6 @@ pub mod wilson;
 pub use block::{DomainFields, SchurOperator};
 pub use clover::build_clover_field;
 pub use fused::{FusedClover, FusedGauge, FusedKernel, FusedSchur};
-pub use fused_full::{build_full_operator, FullOperator, ParallelRunner, SerialRunner};
+pub use fused_full::{build_full_operator, FullOperator, ParallelRunner, SerialRunner, SplitTiles};
 pub use gamma::{Gamma, GammaBasis};
 pub use wilson::{BoundaryPhases, WilsonClover, DW_FLOPS_PER_SITE, TOTAL_FLOPS_PER_SITE};

@@ -228,6 +228,10 @@ pub struct FaultStats {
     pub delay_us: f64,
     /// Schwarz exchanges this rank skipped entirely (hiccups).
     pub hiccups: u64,
+    /// Skip markers received from hiccuping peers. Distinct from
+    /// `timeouts`: the peer announced the face is deliberately absent,
+    /// no retry budget was spent waiting for it.
+    pub peer_skips: u64,
     /// Halo faces zero-filled by the degrade policy after a fault.
     pub zero_fills: u64,
 }
@@ -245,6 +249,7 @@ impl FaultStats {
         self.delays += other.delays;
         self.delay_us += other.delay_us;
         self.hiccups += other.hiccups;
+        self.peer_skips += other.peer_skips;
         self.zero_fills += other.zero_fills;
     }
 
@@ -257,6 +262,7 @@ impl FaultStats {
             delays: self.delays - earlier.delays,
             delay_us: self.delay_us - earlier.delay_us,
             hiccups: self.hiccups - earlier.hiccups,
+            peer_skips: self.peer_skips - earlier.peer_skips,
             zero_fills: self.zero_fills - earlier.zero_fills,
         }
     }
@@ -269,6 +275,7 @@ impl FaultStats {
         reg.add("fault.delays", self.delays as f64);
         reg.add("fault.delay_us", self.delay_us);
         reg.add("fault.hiccups", self.hiccups as f64);
+        reg.add("fault.peer_skips", self.peer_skips as f64);
         reg.add("fault.zero_fills", self.zero_fills as f64);
     }
 }

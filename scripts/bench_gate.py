@@ -93,6 +93,7 @@ GATES = {
                     "corruptions",
                     "delays",
                     "hiccups",
+                    "peer_skips",
                     "zero_fills",
                     "comm_faulted",
                     "flight_fault_events",
@@ -137,6 +138,35 @@ GATES = {
             "f64": {"exact": ["kernel", "workers", "bytes_per_site"]},
             "f32": {"exact": ["kernel", "workers", "bytes_per_site"]},
             "f16": {"exact": ["kernel", "workers", "bytes_per_site"]},
+        },
+    },
+    "outer_overlap": {
+        # The measured worker sweep is wall clock and only its structure
+        # is pinned (site partition, domain counts). The Eq. 7 series is
+        # pure overlap-model output and must reproduce bitwise, as must
+        # the two correctness verdicts: bitwise identity across
+        # schedules/workers and the peer-skip/timeout distinction.
+        "series": {
+            "hiding_vs_domains_per_core": {
+                "exact": ["workers", "domains_per_core", "interior_sites", "boundary_sites"],
+            },
+            "eq7_hiding_boundary": {
+                "exact": ["cores", "domains_per_core", "hidden"],
+                "rel": {
+                    "window_s": 1e-9,
+                    "wire_s": 1e-9,
+                    "model_staged_exposed_s": 1e-9,
+                    "model_bulk_exposed_s": 1e-9,
+                },
+            },
+        },
+        "metas": {
+            "exact": [
+                "bitwise_identical",
+                "peer_skips_distinct",
+                "model_hiding_10x",
+                "eq7_boundary_crossed",
+            ],
         },
     },
     "serve": {

@@ -41,6 +41,15 @@ QDD_FAULT_SEED=7 cargo run -p qdd-bench --release --bin shards -- --smoke
 echo "==> overlap smoke benchmark (release)"
 cargo run -p qdd-bench --release --bin overlap -- --smoke
 
+# Outer-overlap smoke: the staged outer matvec must be bitwise identical
+# to the bulk exchange across worker counts, a peer hiccup must land in
+# the peer-skip fault class (not timeouts), and the Eq. 7 model sweep
+# must cut exposed comm >= 10x inside the hiding boundary — all asserted
+# inside the binary; the model series and both correctness verdicts are
+# pinned by the gate.
+echo "==> outer-overlap smoke benchmark (release)"
+cargo run -p qdd-bench --release --bin outer_overlap -- --smoke
+
 # Serve smoke: bitwise cold-vs-served agreement plus the telemetry
 # acceptance asserts (complete per-request timelines, model join).
 echo "==> serve smoke benchmark (release)"

@@ -147,6 +147,8 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                         f16_vectors: args.has("f16-spinors"),
                     },
                     additive: args.has("additive"),
+                    // One switch for both schedules: the Schwarz sweep's
+                    // Fig. 4 overlap and the staged outer matvec.
                     overlap: !args.has("no-overlap"),
                     ..Default::default()
                 },
@@ -634,6 +636,8 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                 f16_vectors: false,
             },
             additive: false,
+            // Governs the outer matvec's staged schedule too, so chaos
+            // runs exercise the same drain paths the solve CLI uses.
             overlap: !args.has("no-overlap"),
             ..Default::default()
         },
@@ -685,14 +689,29 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         println!("communication faults exhausted retries on at least one rank (degraded faces)");
     }
     println!(
-        "\n{:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "rank", "retries", "timeout", "corrupt", "delays", "hiccups", "zerofills", "delay_us"
+        "\n{:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "rank",
+        "retries",
+        "timeout",
+        "corrupt",
+        "delays",
+        "hiccups",
+        "pskips",
+        "zerofills",
+        "delay_us"
     );
     for (r, (_, _, comm)) in results.iter().enumerate() {
         let f = &comm.faults;
         println!(
-            "{r:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10.0}",
-            f.retries, f.timeouts, f.corruptions, f.delays, f.hiccups, f.zero_fills, f.delay_us
+            "{r:>4}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10.0}",
+            f.retries,
+            f.timeouts,
+            f.corruptions,
+            f.delays,
+            f.hiccups,
+            f.peer_skips,
+            f.zero_fills,
+            f.delay_us
         );
     }
 
@@ -700,7 +719,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     // rings — the black box lands next to the run that tripped it.
     let fault_activity = results.iter().any(|(_, _, c)| {
         let f = &c.faults;
-        f.retries + f.timeouts + f.corruptions + f.delays + f.hiccups > 0
+        f.retries + f.timeouts + f.corruptions + f.delays + f.hiccups + f.peer_skips > 0
     });
     if fault_activity {
         if let Some(p) = flight.dump("fault-verdict") {
